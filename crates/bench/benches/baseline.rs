@@ -1,0 +1,30 @@
+//! The flooding baseline row: optimal ρ_awk time, Θ(m) messages — the
+//! yardstick for every other row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_flooding");
+    for &n in &[64usize, 256, 1024] {
+        let point = wakeup_bench::measure_flooding(n, 7);
+        eprintln!(
+            "baseline n={:>4}: messages={:>7} (= 2m) time={:>4.1}",
+            point.n, point.messages, point.time
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| wakeup_bench::measure_flooding(n, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

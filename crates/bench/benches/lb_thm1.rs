@@ -1,0 +1,35 @@
+//! Theorem 1 lower-bound curve: messages vs advice bits β on class 𝒢,
+//! tracking the n²/2^β shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wakeup_lb::thm1;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb_thm1");
+    let n = 48usize;
+    for &beta in &[0usize, 1, 2, 3, 4] {
+        let p = thm1::run_point(n, beta, 11);
+        eprintln!(
+            "lb_thm1 n={n} β={beta}: messages={:>8} shape={:>10.0} ratio={:.3} solved={}",
+            p.messages,
+            p.predicted_shape,
+            p.messages as f64 / p.predicted_shape,
+            p.all_found
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(beta), &beta, |b, &beta| {
+            b.iter(|| thm1::run_point(n, beta, 11))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Theorem 2 lower-bound curve: the time/message trade-off on class 𝒢ₖ —
+//! one-round flooding (Θ(n^{1+1/k}) messages) vs unrestricted DFS-rank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use wakeup_lb::thm2;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb_thm2");
+    for &(k, q) in &[(3usize, 3usize), (3, 4), (5, 2)] {
+        let p = thm2::run_point(k, q, 13);
+        eprintln!(
+            "lb_thm2 k={k} n={:>4}: flood msgs={:>7} ({} rounds)  dfs msgs={:>7} ({:.0} units)  shape n^(1+1/k)={:.0}",
+            p.n, p.flood_messages, p.flood_rounds, p.dfs_messages, p.dfs_time_units,
+            p.predicted_shape
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_q{q}")),
+            &(k, q),
+            |b, &(k, q)| b.iter(|| thm2::run_point(k, q, 13)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 1 row "[FIP06] Corollary 1 (BFS-tree advice)": regenerates the row's measured point at each n in a
+//! sweep; criterion times the full simulation, and the measured complexity
+//! values print once per size (see also `cargo run --bin table1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cor1");
+    for &n in &[64usize, 256, 1024] {
+        let point = wakeup_bench::measure_cor1(n, 7);
+        eprintln!(
+            "table1_cor1 n={:>4}: messages={:>8} time={:>8.1} advice(max/avg)={}/{:.1} ratio={:.3}",
+            point.n, point.messages, point.time, point.advice_max_bits, point.advice_avg_bits,
+            point.ratio()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| wakeup_bench::measure_cor1(n, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

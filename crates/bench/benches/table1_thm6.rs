@@ -1,0 +1,34 @@
+//! Table 1 row "Theorem 6": the spanner advising scheme across the stretch
+//! parameter k — both an n-sweep at fixed k and a k-sweep at fixed n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_thm6");
+    for &k in &[2usize, 3, 4] {
+        for &n in &[64usize, 128, 256] {
+            let point = wakeup_bench::measure_thm6(n, k, 7);
+            eprintln!(
+                "table1_thm6 k={k} n={:>4}: messages={:>8} time={:>8.1} advice(max/avg)={}/{:.1}",
+                point.n, point.messages, point.time, point.advice_max_bits, point.advice_avg_bits
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &(n, k),
+                |b, &(n, k)| b.iter(|| wakeup_bench::measure_thm6(n, k, 7)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Prints the measured counterpart of the paper's Table 1.
+//!
+//! ```text
+//! cargo run --release -p wakeup-bench --bin table1
+//! ```
+//!
+//! Each row reports, for the largest sweep size, the measured time, message
+//! count, and advice lengths, next to the paper's claimed bounds; the ratio
+//! column (measured messages / claimed shape) should stay roughly flat
+//! across the sweep — printed per size below the table.
+
+use wakeup_bench::{
+    measure_cor1, measure_cor2, measure_flooding, measure_thm3, measure_thm4, measure_thm5a,
+    measure_thm5b, measure_thm6, RowPoint, SWEEP,
+};
+
+struct Row {
+    label: &'static str,
+    claim: &'static str,
+    sizes: Vec<usize>,
+    run: Box<dyn Fn(usize) -> RowPoint>,
+}
+
+fn main() {
+    let rows: Vec<Row> = vec![
+        Row {
+            label: "flooding (baseline)",
+            claim: "time ρ_awk, msgs Θ(m)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_flooding(n, 7)),
+        },
+        Row {
+            label: "Theorem 3 (DfsRank)",
+            claim: "time & msgs O(n log n)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_thm3(n, 7)),
+        },
+        Row {
+            label: "Theorem 4 (FastWakeUp)",
+            claim: "10ρ_awk rounds, msgs O(n^1.5 √log n)",
+            sizes: vec![32, 64, 128, 192],
+            run: Box::new(|n| measure_thm4(n, 7)),
+        },
+        Row {
+            label: "[FIP06], Cor. 1",
+            claim: "O(D) time, O(n) msgs, advice max O(n)/avg O(log n)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_cor1(n, 7)),
+        },
+        Row {
+            label: "Theorem 5(A)",
+            claim: "O(D) time, O(n^1.5) msgs, advice max O(√n log n)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_thm5a(n, 7)),
+        },
+        Row {
+            label: "Theorem 5(B) (CEN)",
+            claim: "O(D log n) time, O(n) msgs, advice max O(log n)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_thm5b(n, 7)),
+        },
+        Row {
+            label: "Theorem 6 (k=2)",
+            claim: "O(kρ log n) time, O(k n^{1+1/k} log n) msgs, advice O(n^{1/k} log² n)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_thm6(n, 2, 7)),
+        },
+        Row {
+            label: "Theorem 6 (k=3)",
+            claim: "as above with k=3",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_thm6(n, 3, 7)),
+        },
+        Row {
+            label: "Corollary 2",
+            claim: "O(ρ log² n) time, O(n log² n) msgs, advice O(log² n)",
+            sizes: SWEEP.to_vec(),
+            run: Box::new(|n| measure_cor2(n, 7)),
+        },
+    ];
+
+    println!("# Measured Table 1 (sparse G(n,p), avg degree ≈ 8; seeds fixed)\n");
+    println!(
+        "| {:<22} | {:>5} | {:>9} | {:>9} | {:>8} | {:>8} | {:>6} |",
+        "row", "n", "messages", "time", "adv max", "adv avg", "ratio"
+    );
+    println!("|{}|{}|{}|{}|{}|{}|{}|", "-".repeat(24), "-".repeat(7), "-".repeat(11), "-".repeat(11), "-".repeat(10), "-".repeat(10), "-".repeat(8));
+    for row in &rows {
+        for &n in &row.sizes {
+            let p = (row.run)(n);
+            println!(
+                "| {:<22} | {:>5} | {:>9} | {:>9.1} | {:>8} | {:>8.1} | {:>6.3} |",
+                row.label, p.n, p.messages, p.time, p.advice_max_bits, p.advice_avg_bits,
+                p.ratio()
+            );
+        }
+    }
+    println!("\nClaimed bounds per row:");
+    for row in &rows {
+        println!("  {:<22} {}", row.label, row.claim);
+    }
+    println!("\nratio = measured messages / claimed shape; flat ratios across n confirm the asymptotics.");
+}

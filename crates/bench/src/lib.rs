@@ -1,0 +1,190 @@
+//! Shared workload builders and measurement helpers for the benchmark
+//! harness (`benches/`) and the report binaries (`src/bin/table1.rs`,
+//! `src/bin/experiments.rs`).
+//!
+//! Every Table 1 row gets a `measure_*` function returning a [`RowPoint`]
+//! with the paper's three complexity measures; the criterion benches time
+//! the same closures, and the binaries print the measured scaling tables for
+//! EXPERIMENTS.md.
+
+pub mod stats;
+
+use wakeup_core::advice::{
+    run_scheme, AdvisingScheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
+};
+use wakeup_core::dfs_rank::DfsRank;
+use wakeup_core::fast_wakeup::FastWakeUp;
+use wakeup_core::flooding::FloodAsync;
+use wakeup_core::harness;
+use wakeup_graph::{generators, Graph, NodeId};
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::{Network, TICKS_PER_UNIT};
+
+/// One measured point of a Table 1 row.
+#[derive(Debug, Clone)]
+pub struct RowPoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// Measured message complexity.
+    pub messages: u64,
+    /// Measured time (τ units for async rows, rounds for sync rows).
+    pub time: f64,
+    /// Maximum advice bits per node (0 for advice-free rows).
+    pub advice_max_bits: usize,
+    /// Average advice bits per node (0 for advice-free rows).
+    pub advice_avg_bits: f64,
+    /// The row's predicted asymptotic shape evaluated at `n` (for ratio
+    /// columns in the reports).
+    pub shape: f64,
+}
+
+impl RowPoint {
+    /// Measured / predicted ratio — flat ratios across an n-sweep confirm
+    /// the claimed asymptotics.
+    pub fn ratio(&self) -> f64 {
+        self.messages as f64 / self.shape
+    }
+}
+
+/// The standard sparse connected workload (average degree ≈ 8).
+pub fn sparse_graph(n: usize, seed: u64) -> Graph {
+    generators::erdos_renyi_connected(n, 8.0 / n as f64, seed).expect("valid size")
+}
+
+fn ln(n: usize) -> f64 {
+    (n as f64).ln()
+}
+
+fn log2(n: usize) -> f64 {
+    (n as f64).log2()
+}
+
+/// Baseline row: flooding (Θ(m) messages, ρ_awk time).
+pub fn measure_flooding(n: usize, seed: u64) -> RowPoint {
+    let g = sparse_graph(n, seed);
+    let m = g.m() as f64;
+    let net = Network::kt0(g, seed);
+    let run = harness::run_async::<FloodAsync>(&net, &WakeSchedule::single(NodeId::new(0)), seed);
+    assert!(run.report.all_awake);
+    RowPoint {
+        n,
+        messages: run.report.messages(),
+        time: run.report.time_units(),
+        advice_max_bits: 0,
+        advice_avg_bits: 0.0,
+        shape: 2.0 * m,
+    }
+}
+
+/// Table 1 row "Theorem 3": DFS-rank under the staggered adversary.
+///
+/// The 2-unit gap keeps tokens overlapping — each adversary wake lands while
+/// earlier tokens are still traversing, the regime the Theorem 3 analysis is
+/// about. (A gap above ~2n lets the first token finish, making the rest of
+/// the schedule a no-op.)
+pub fn measure_thm3(n: usize, seed: u64) -> RowPoint {
+    let g = sparse_graph(n, seed);
+    let net = Network::kt1(g, seed);
+    let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let schedule = WakeSchedule::staggered(&all, 2.0);
+    let run = harness::run_async::<DfsRank>(&net, &schedule, seed);
+    assert!(run.report.all_awake);
+    RowPoint {
+        n,
+        messages: run.report.messages(),
+        time: run.report.time_units(),
+        advice_max_bits: 0,
+        advice_avg_bits: 0.0,
+        shape: n as f64 * ln(n),
+    }
+}
+
+/// Table 1 row "Theorem 4": FastWakeUp on the dense all-awake workload.
+pub fn measure_thm4(n: usize, seed: u64) -> RowPoint {
+    let g = generators::complete(n).expect("valid size");
+    let net = Network::kt1(g, seed);
+    let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let run = harness::run_sync::<FastWakeUp>(&net, &WakeSchedule::all_at_zero(&all), seed);
+    assert!(run.report.all_awake);
+    RowPoint {
+        n,
+        messages: run.report.messages(),
+        time: (run.report.metrics.all_awake_tick.unwrap_or(0) / TICKS_PER_UNIT) as f64,
+        advice_max_bits: 0,
+        advice_avg_bits: 0.0,
+        shape: (n as f64).powf(1.5) * ln(n).sqrt(),
+    }
+}
+
+fn measure_scheme<S: AdvisingScheme>(scheme: &S, n: usize, seed: u64, shape: f64) -> RowPoint {
+    let g = sparse_graph(n, seed);
+    let net = Network::kt0(g, seed);
+    let run = run_scheme(scheme, &net, &WakeSchedule::single(NodeId::new(0)), seed);
+    assert!(run.report.all_awake);
+    assert_eq!(run.report.metrics.congest_violations, 0);
+    RowPoint {
+        n,
+        messages: run.report.messages(),
+        time: run.report.time_units(),
+        advice_max_bits: run.advice.max_bits,
+        advice_avg_bits: run.advice.avg_bits,
+        shape,
+    }
+}
+
+/// Table 1 row "\[FIP06\], Cor. 1".
+pub fn measure_cor1(n: usize, seed: u64) -> RowPoint {
+    measure_scheme(&BfsTreeScheme::new(), n, seed, n as f64)
+}
+
+/// Table 1 row "Theorem 5(A)".
+pub fn measure_thm5a(n: usize, seed: u64) -> RowPoint {
+    measure_scheme(&ThresholdScheme::new(), n, seed, (n as f64).powf(1.5))
+}
+
+/// Table 1 row "Theorem 5(B)".
+pub fn measure_thm5b(n: usize, seed: u64) -> RowPoint {
+    measure_scheme(&CenScheme::new(), n, seed, n as f64)
+}
+
+/// Table 1 row "Theorem 6" at a given `k`.
+pub fn measure_thm6(n: usize, k: usize, seed: u64) -> RowPoint {
+    let shape = k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * ln(n);
+    measure_scheme(&SpannerScheme::new(k), n, seed, shape)
+}
+
+/// Table 1 row "Corollary 2" (`k = ⌈log₂ n⌉`).
+pub fn measure_cor2(n: usize, seed: u64) -> RowPoint {
+    let shape = n as f64 * log2(n) * log2(n);
+    measure_scheme(&SpannerScheme::log_instantiation(n), n, seed, shape)
+}
+
+/// The standard n-sweep used by the report binaries.
+pub const SWEEP: [usize; 4] = [64, 128, 256, 512];
+
+/// A smaller sweep for the quadratic-cost lower-bound experiments.
+pub const LB_SWEEP: [usize; 3] = [24, 48, 96];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_measure_cleanly_at_small_n() {
+        let n = 48;
+        for point in [
+            measure_flooding(n, 1),
+            measure_thm3(n, 1),
+            measure_cor1(n, 1),
+            measure_thm5a(n, 1),
+            measure_thm5b(n, 1),
+            measure_thm6(n, 2, 1),
+            measure_cor2(n, 1),
+        ] {
+            assert!(point.messages > 0);
+            assert!(point.ratio().is_finite());
+        }
+        let p4 = measure_thm4(32, 1);
+        assert!(p4.messages > 0);
+    }
+}

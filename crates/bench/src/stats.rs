@@ -1,0 +1,183 @@
+//! Statistics for the experiment reports: summary statistics over repeated
+//! trials and log–log power-law fits that turn measured sweeps into
+//! *empirical exponents* (so "messages grow like n^1.5" becomes a number the
+//! reports can print and the tests can assert on).
+
+/// Summary of a sample of measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for singleton samples).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (mean of the middle pair for even sizes).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a nonempty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+}
+
+/// A fitted power law `y ≈ c · x^exponent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerLawFit {
+    /// The fitted exponent (slope in log–log space).
+    pub exponent: f64,
+    /// The multiplicative constant.
+    pub constant: f64,
+    /// Coefficient of determination of the log–log regression.
+    pub r_squared: f64,
+}
+
+/// Least-squares fit of `log y = log c + e · log x`.
+///
+/// # Panics
+///
+/// Panics with fewer than two points or non-positive coordinates.
+///
+/// # Example
+///
+/// ```
+/// let points = [(10.0, 100.0), (20.0, 400.0), (40.0, 1600.0)];
+/// let fit = wakeup_bench::stats::fit_power_law(&points);
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
+    assert!(points.len() >= 2, "power-law fit needs at least two points");
+    assert!(
+        points.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "power-law fit needs positive coordinates"
+    );
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "power-law fit needs distinct x values");
+    let exponent = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - exponent * sx) / n;
+    // R² of the log-space regression.
+    let mean_y = sy / n;
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    PowerLawFit { exponent, constant: intercept.exp(), r_squared }
+}
+
+/// Fits the empirical message exponent of a measured sweep
+/// (`(n, messages)` pairs).
+pub fn message_exponent(points: &[(usize, u64)]) -> PowerLawFit {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(n, m)| (n as f64, m as f64))
+        .collect();
+    fit_power_law(&pts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - 1.2909944487).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_singleton() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_panics() {
+        Summary::of(&[]);
+    }
+
+    #[test]
+    fn fits_linear_and_quadratic() {
+        let linear: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        let fit = fit_power_law(&linear);
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+        assert!((fit.constant - 3.0).abs() < 1e-9);
+
+        let quad: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        let fit = fit_power_law(&quad);
+        assert!((fit.exponent - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let noisy = [(8.0, 70.0), (16.0, 130.0), (32.0, 260.0), (64.0, 520.0), (128.0, 1010.0)];
+        let fit = fit_power_law(&noisy);
+        assert!((fit.exponent - 1.0).abs() < 0.1, "exponent {}", fit.exponent);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive() {
+        fit_power_law(&[(1.0, 0.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn rejects_degenerate_x() {
+        fit_power_law(&[(2.0, 1.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn message_exponent_wrapper() {
+        let fit = message_exponent(&[(10, 100), (100, 1000), (1000, 10000)]);
+        assert!((fit.exponent - 1.0).abs() < 1e-9);
+    }
+}

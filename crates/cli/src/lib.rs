@@ -1,0 +1,752 @@
+//! Specification parsing and execution for the `wakeup` command-line tool.
+//!
+//! The CLI accepts compact colon-separated specs:
+//!
+//! * graphs — `file:PATH` (edge-list format, see [`wakeup_graph::io`]),
+//!   `path:64`, `cycle:64`, `star:100`, `complete:32`, `grid:8:12`,
+//!   `hypercube:6`, `tree:100:SEED`, `gnp:200:0.05:SEED`, `ba:200:3:SEED`,
+//!   `ws:100:3:0.2:SEED`, `ring:6:8`, `caterpillar:10:5`, `barbell:10:4`,
+//!   `lollipop:12:6`, `classg:32`, `classgk:3:4:SEED`;
+//! * wake schedules — `single:0`, `all`, `spread:7`, `stagger:7:2.5`,
+//!   `at:0@0,5@2.5`;
+//! * algorithms — `flooding`, `dfs-rank`, `fast-wakeup`, `gossip`, `leader`,
+//!   `cor1`, `thm5a`, `thm5b`, `thm6:K`, `cor2`.
+//!
+//! Parsing is separated from execution so the formats are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use wakeup_core::advice::{
+    run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
+};
+use wakeup_core::dfs_rank::DfsRank;
+use wakeup_core::fast_wakeup::FastWakeUp;
+use wakeup_core::flooding::FloodAsync;
+use wakeup_core::gossip::SetGossip;
+use wakeup_core::harness;
+use wakeup_core::leader::LeaderElect;
+use wakeup_graph::families::{ClassG, ClassGk};
+use wakeup_graph::{algo, generators, Graph, NodeId};
+use wakeup_sim::adversary::{AdversarialDelay, DelayStrategy, RandomDelay, UnitDelay, WakeSchedule};
+use wakeup_sim::{Network, TICKS_PER_UNIT};
+
+/// A CLI usage error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, CliError> {
+    s.parse().map_err(|_| err(format!("invalid {what}: {s:?}")))
+}
+
+/// Parses a graph specification.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the malformed spec.
+///
+/// # Example
+///
+/// ```
+/// let g = wakeup_cli::parse_graph("grid:3:4").unwrap();
+/// assert_eq!(g.n(), 12);
+/// assert!(wakeup_cli::parse_graph("grid:3").is_err());
+/// ```
+pub fn parse_graph(spec: &str) -> Result<Graph, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let wrap = |r: Result<Graph, wakeup_graph::GraphError>| {
+        r.map_err(|e| err(format!("graph spec {spec:?}: {e}")))
+    };
+    let arity = |want: usize| -> Result<(), CliError> {
+        if parts.len() == want + 1 {
+            Ok(())
+        } else {
+            Err(err(format!(
+                "graph spec {spec:?}: expected {want} parameter(s) after {:?}",
+                parts[0]
+            )))
+        }
+    };
+    match parts[0] {
+        "file" => {
+            if parts.len() < 2 {
+                return Err(err("file spec needs a path: file:PATH"));
+            }
+            // Paths may contain colons; rejoin the remainder.
+            let path = parts[1..].join(":");
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| err(format!("cannot read {path:?}: {e}")))?;
+            wakeup_graph::io::parse_edge_list(&text)
+                .map_err(|e| err(format!("graph file {path:?}: {e}")))
+        }
+        "path" => {
+            arity(1)?;
+            wrap(generators::path(parse_num(parts[1], "size")?))
+        }
+        "cycle" => {
+            arity(1)?;
+            wrap(generators::cycle(parse_num(parts[1], "size")?))
+        }
+        "star" => {
+            arity(1)?;
+            wrap(generators::star(parse_num(parts[1], "size")?))
+        }
+        "complete" => {
+            arity(1)?;
+            wrap(generators::complete(parse_num(parts[1], "size")?))
+        }
+        "hypercube" => {
+            arity(1)?;
+            wrap(generators::hypercube(parse_num(parts[1], "dimension")?))
+        }
+        "grid" => {
+            arity(2)?;
+            wrap(generators::grid(
+                parse_num(parts[1], "rows")?,
+                parse_num(parts[2], "cols")?,
+            ))
+        }
+        "tree" => {
+            arity(2)?;
+            wrap(generators::random_tree(
+                parse_num(parts[1], "size")?,
+                parse_num(parts[2], "seed")?,
+            ))
+        }
+        "gnp" => {
+            arity(3)?;
+            wrap(generators::erdos_renyi_connected(
+                parse_num(parts[1], "size")?,
+                parse_num(parts[2], "probability")?,
+                parse_num(parts[3], "seed")?,
+            ))
+        }
+        "ba" => {
+            arity(3)?;
+            wrap(generators::preferential_attachment(
+                parse_num(parts[1], "size")?,
+                parse_num(parts[2], "attachment count")?,
+                parse_num(parts[3], "seed")?,
+            ))
+        }
+        "ws" => {
+            arity(4)?;
+            wrap(generators::watts_strogatz(
+                parse_num(parts[1], "size")?,
+                parse_num(parts[2], "lattice degree")?,
+                parse_num(parts[3], "rewiring probability")?,
+                parse_num(parts[4], "seed")?,
+            ))
+        }
+        "ring" => {
+            arity(2)?;
+            wrap(generators::ring_of_cliques(
+                parse_num(parts[1], "clique count")?,
+                parse_num(parts[2], "clique size")?,
+            ))
+        }
+        "caterpillar" => {
+            arity(2)?;
+            wrap(generators::caterpillar(
+                parse_num(parts[1], "spine")?,
+                parse_num(parts[2], "legs")?,
+            ))
+        }
+        "barbell" => {
+            arity(2)?;
+            wrap(generators::barbell(
+                parse_num(parts[1], "clique size")?,
+                parse_num(parts[2], "bridge")?,
+            ))
+        }
+        "lollipop" => {
+            arity(2)?;
+            wrap(generators::lollipop(
+                parse_num(parts[1], "clique size")?,
+                parse_num(parts[2], "tail")?,
+            ))
+        }
+        "classg" => {
+            arity(1)?;
+            let fam = ClassG::new(parse_num(parts[1], "parameter")?)
+                .map_err(|e| err(format!("graph spec {spec:?}: {e}")))?;
+            Ok(fam.graph().clone())
+        }
+        "classgk" => {
+            arity(3)?;
+            let fam = ClassGk::new(
+                parse_num(parts[1], "k")?,
+                parse_num(parts[2], "q")?,
+                parse_num(parts[3], "seed")?,
+            )
+            .map_err(|e| err(format!("graph spec {spec:?}: {e}")))?;
+            Ok(fam.graph().clone())
+        }
+        other => Err(err(format!(
+            "unknown graph family {other:?} (try path, cycle, star, complete, hypercube, grid, \
+             tree, gnp, ba, ws, ring, caterpillar, barbell, lollipop, classg, classgk, file)"
+        ))),
+    }
+}
+
+/// Parses a wake-schedule specification against a graph of `n` nodes.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for malformed specs or out-of-range nodes.
+///
+/// # Example
+///
+/// ```
+/// let s = wakeup_cli::parse_schedule("stagger:5:2.0", 20).unwrap();
+/// assert_eq!(s.entries().len(), 4);
+/// ```
+pub fn parse_schedule(spec: &str, n: usize) -> Result<WakeSchedule, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let check_node = |v: usize| -> Result<NodeId, CliError> {
+        if v < n {
+            Ok(NodeId::new(v))
+        } else {
+            Err(err(format!("wake spec {spec:?}: node {v} out of range (n = {n})")))
+        }
+    };
+    match parts[0] {
+        "single" => {
+            if parts.len() != 2 {
+                return Err(err(format!("wake spec {spec:?}: expected single:<node>")));
+            }
+            Ok(WakeSchedule::single(check_node(parse_num(parts[1], "node")?)?))
+        }
+        "all" => {
+            let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+            Ok(WakeSchedule::all_at_zero(&nodes))
+        }
+        "spread" => {
+            if parts.len() != 2 {
+                return Err(err(format!("wake spec {spec:?}: expected spread:<step>")));
+            }
+            let step: usize = parse_num(parts[1], "step")?;
+            if step == 0 {
+                return Err(err("spread step must be positive"));
+            }
+            let nodes: Vec<NodeId> = (0..n).step_by(step).map(NodeId::new).collect();
+            Ok(WakeSchedule::all_at_zero(&nodes))
+        }
+        "stagger" => {
+            if parts.len() != 3 {
+                return Err(err(format!("wake spec {spec:?}: expected stagger:<step>:<gap>")));
+            }
+            let step: usize = parse_num(parts[1], "step")?;
+            if step == 0 {
+                return Err(err("stagger step must be positive"));
+            }
+            let gap: f64 = parse_num(parts[2], "gap")?;
+            let nodes: Vec<NodeId> = (0..n).step_by(step).map(NodeId::new).collect();
+            Ok(WakeSchedule::staggered(&nodes, gap))
+        }
+        "at" => {
+            if parts.len() != 2 {
+                return Err(err(format!("wake spec {spec:?}: expected at:<v@t,v@t,...>")));
+            }
+            let mut pairs = Vec::new();
+            for item in parts[1].split(',') {
+                let (v, t) = item
+                    .split_once('@')
+                    .ok_or_else(|| err(format!("wake spec item {item:?}: expected v@t")))?;
+                pairs.push((check_node(parse_num(v, "node")?)?, parse_num::<f64>(t, "time")?));
+            }
+            Ok(WakeSchedule::from_pairs(&pairs))
+        }
+        other => Err(err(format!(
+            "unknown wake schedule {other:?} (try single, all, spread, stagger, at)"
+        ))),
+    }
+}
+
+/// Parses a delay-strategy specification (`unit`, `random:SEED`, `skewed:SALT`).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown strategies.
+pub fn parse_delays(spec: &str) -> Result<Box<dyn DelayStrategy>, CliError> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts[0] {
+        "unit" => Ok(Box::new(UnitDelay)),
+        "random" => {
+            let seed = if parts.len() > 1 { parse_num(parts[1], "seed")? } else { 0 };
+            Ok(Box::new(RandomDelay::new(seed)))
+        }
+        "skewed" => {
+            let salt = if parts.len() > 1 { parse_num(parts[1], "salt")? } else { 0 };
+            Ok(Box::new(AdversarialDelay::new(salt)))
+        }
+        other => Err(err(format!(
+            "unknown delay strategy {other:?} (try unit, random:SEED, skewed:SALT)"
+        ))),
+    }
+}
+
+/// The algorithms the CLI can run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Async flooding baseline.
+    Flooding,
+    /// Theorem 3 (async KT1).
+    DfsRank,
+    /// Theorem 4 (sync KT1).
+    FastWakeUp,
+    /// Appendix-D-style set gossip (sync KT1).
+    Gossip,
+    /// Leader election extension (async KT1).
+    Leader,
+    /// Corollary 1 advice scheme (async KT0 CONGEST).
+    Cor1,
+    /// Theorem 5(A) advice scheme.
+    Thm5a,
+    /// Theorem 5(B) advice scheme.
+    Thm5b,
+    /// Theorem 6 advice scheme with stretch parameter k.
+    Thm6(usize),
+    /// Corollary 2 (Theorem 6 with k = ⌈log₂ n⌉).
+    Cor2,
+}
+
+impl Algorithm {
+    /// Parses an algorithm name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for unknown names.
+    pub fn parse(spec: &str) -> Result<Algorithm, CliError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts[0] {
+            "flooding" => Ok(Algorithm::Flooding),
+            "dfs-rank" => Ok(Algorithm::DfsRank),
+            "fast-wakeup" => Ok(Algorithm::FastWakeUp),
+            "gossip" => Ok(Algorithm::Gossip),
+            "leader" => Ok(Algorithm::Leader),
+            "cor1" => Ok(Algorithm::Cor1),
+            "thm5a" => Ok(Algorithm::Thm5a),
+            "thm5b" => Ok(Algorithm::Thm5b),
+            "thm6" => {
+                if parts.len() != 2 {
+                    return Err(err("thm6 needs a stretch parameter: thm6:K"));
+                }
+                let k = parse_num(parts[1], "k")?;
+                if k == 0 {
+                    return Err(err("thm6 stretch parameter must be positive"));
+                }
+                Ok(Algorithm::Thm6(k))
+            }
+            "cor2" => Ok(Algorithm::Cor2),
+            other => Err(err(format!(
+                "unknown algorithm {other:?} (try flooding, dfs-rank, fast-wakeup, gossip, \
+                 leader, cor1, thm5a, thm5b, thm6:K, cor2)"
+            ))),
+        }
+    }
+
+    /// Whether this algorithm needs the KT1 knowledge mode.
+    pub fn needs_kt1(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::DfsRank | Algorithm::FastWakeUp | Algorithm::Gossip | Algorithm::Leader
+        )
+    }
+}
+
+/// A rendered execution summary.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Algorithm name as parsed.
+    pub algorithm: String,
+    /// Nodes.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Whether everyone woke.
+    pub all_awake: bool,
+    /// Message complexity.
+    pub messages: u64,
+    /// Time in τ units (async) or rounds (sync).
+    pub time: f64,
+    /// Awake distance of the schedule.
+    pub rho_awk: Option<usize>,
+    /// Advice stats (advice schemes only): (max bits, avg bits).
+    pub advice: Option<(usize, f64)>,
+    /// Elected leader ID (leader election only).
+    pub leader: Option<u64>,
+    /// Sparkline of the awake-set growth over time.
+    pub wake_front: String,
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "algorithm : {}", self.algorithm)?;
+        writeln!(f, "graph     : n = {}, m = {}", self.n, self.m)?;
+        writeln!(
+            f,
+            "awake dist: {}",
+            self.rho_awk.map_or("-".into(), |r| r.to_string())
+        )?;
+        writeln!(f, "all awake : {}", self.all_awake)?;
+        writeln!(f, "messages  : {}", self.messages)?;
+        writeln!(f, "time      : {:.2}", self.time)?;
+        if let Some((max, avg)) = self.advice {
+            writeln!(f, "advice    : max {max} bits, avg {avg:.2} bits")?;
+        }
+        if let Some(leader) = self.leader {
+            writeln!(f, "leader    : id {leader}")?;
+        }
+        writeln!(f, "front     : {}", self.wake_front)?;
+        Ok(())
+    }
+}
+
+/// Runs an algorithm on a graph under a schedule and returns the summary.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if the combination is invalid (e.g. a KT1-only
+/// algorithm was requested but the run failed to wake everyone because the
+/// graph is disconnected).
+pub fn execute(
+    algo_spec: &str,
+    graph: Graph,
+    schedule: &WakeSchedule,
+    seed: u64,
+    delays: &mut dyn DelayStrategy,
+) -> Result<Summary, CliError> {
+    let algorithm = Algorithm::parse(algo_spec)?;
+    let n = graph.n();
+    let m = graph.m();
+    let rho_awk = algo::awake_distance(&graph, &schedule.initially_awake());
+    let net = if algorithm.needs_kt1() {
+        Network::kt1(graph, seed)
+    } else {
+        Network::kt0(graph, seed)
+    };
+    let mut advice = None;
+    let mut leader = None;
+    #[allow(unused_assignments)]
+    let mut front = String::new();
+    let (all_awake, messages, time) = match algorithm {
+        Algorithm::Flooding => {
+            let run = harness::run_async_with_delays::<FloodAsync>(&net, schedule, seed, delays);
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::DfsRank => {
+            let run = harness::run_async_with_delays::<DfsRank>(&net, schedule, seed, delays);
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::Leader => {
+            let run = harness::run_async_with_delays::<LeaderElect>(&net, schedule, seed, delays);
+            leader = run.report.outputs.first().copied().flatten();
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::FastWakeUp => {
+            let run = harness::run_sync::<FastWakeUp>(&net, schedule, seed);
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            let rounds = run
+                .report
+                .metrics
+                .all_awake_tick
+                .map_or(run.report.rounds as f64, |t| (t / TICKS_PER_UNIT) as f64);
+            (run.report.all_awake, run.report.messages(), rounds)
+        }
+        Algorithm::Gossip => {
+            let run = harness::run_sync::<SetGossip>(&net, schedule, seed);
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.rounds as f64)
+        }
+        Algorithm::Cor1 => {
+            let run = run_scheme(&BfsTreeScheme::new(), &net, schedule, seed);
+            advice = Some((run.advice.max_bits, run.advice.avg_bits));
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::Thm5a => {
+            let run = run_scheme(&ThresholdScheme::new(), &net, schedule, seed);
+            advice = Some((run.advice.max_bits, run.advice.avg_bits));
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::Thm5b => {
+            let run = run_scheme(&CenScheme::new(), &net, schedule, seed);
+            advice = Some((run.advice.max_bits, run.advice.avg_bits));
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::Thm6(k) => {
+            let run = run_scheme(&SpannerScheme::new(k), &net, schedule, seed);
+            advice = Some((run.advice.max_bits, run.advice.avg_bits));
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+        Algorithm::Cor2 => {
+            let run = run_scheme(&SpannerScheme::log_instantiation(n), &net, schedule, seed);
+            advice = Some((run.advice.max_bits, run.advice.avg_bits));
+            front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            (run.report.all_awake, run.report.messages(), run.report.time_units())
+        }
+    };
+    Ok(Summary {
+        algorithm: algo_spec.to_string(),
+        n,
+        m,
+        all_awake,
+        messages,
+        time,
+        rho_awk,
+        advice,
+        leader,
+        wake_front: front,
+    })
+}
+
+/// Runs a size sweep of one algorithm over a graph family, returning one
+/// summary per size.
+///
+/// Families: `gnp` (average degree ≈ 8), `complete`, `tree`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unknown families or invalid runs.
+pub fn sweep(
+    algo_spec: &str,
+    family: &str,
+    sizes: &[usize],
+    seed: u64,
+) -> Result<Vec<Summary>, CliError> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let spec = match family {
+            "gnp" => format!("gnp:{n}:{}:{seed}", (8.0 / n as f64).min(1.0)),
+            "complete" => format!("complete:{n}"),
+            "tree" => format!("tree:{n}:{seed}"),
+            other => {
+                return Err(err(format!(
+                    "unknown sweep family {other:?} (try gnp, complete, tree)"
+                )))
+            }
+        };
+        let graph = parse_graph(&spec)?;
+        let schedule = parse_schedule("single:0", graph.n())?;
+        let mut delays = parse_delays("unit")?;
+        out.push(execute(algo_spec, graph, &schedule, seed, delays.as_mut())?);
+    }
+    Ok(out)
+}
+
+/// Statistics over repeated randomized trials (the `trials` subcommand).
+#[derive(Debug, Clone)]
+pub struct TrialSummary {
+    /// Trials run.
+    pub trials: usize,
+    /// Trials that woke every node.
+    pub successes: usize,
+    /// Mean messages.
+    pub mean_messages: f64,
+    /// Worst-case (max) messages — what the paper's w.h.p. bounds govern.
+    pub max_messages: u64,
+    /// Worst-case time.
+    pub max_time: f64,
+}
+
+/// Runs `trials` seeds of an algorithm and aggregates.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on invalid specs or zero trials.
+pub fn run_trials(
+    algo_spec: &str,
+    graph: Graph,
+    schedule: &WakeSchedule,
+    base_seed: u64,
+    trials: usize,
+) -> Result<TrialSummary, CliError> {
+    if trials == 0 {
+        return Err(err("need at least one trial"));
+    }
+    let mut successes = 0usize;
+    let mut messages = Vec::with_capacity(trials);
+    let mut times: Vec<f64> = Vec::with_capacity(trials);
+    for i in 0..trials {
+        let mut delays = parse_delays("unit")?;
+        let s = execute(algo_spec, graph.clone(), schedule, base_seed + i as u64, delays.as_mut())?;
+        successes += usize::from(s.all_awake);
+        messages.push(s.messages);
+        times.push(s.time);
+    }
+    Ok(TrialSummary {
+        trials,
+        successes,
+        mean_messages: messages.iter().sum::<u64>() as f64 / trials as f64,
+        max_messages: messages.iter().copied().max().unwrap_or(0),
+        max_time: times.iter().copied().fold(0.0, f64::max),
+    })
+}
+
+/// Prints graph statistics (the `info` subcommand).
+pub fn graph_info(graph: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("nodes     : {}\n", graph.n()));
+    out.push_str(&format!("edges     : {}\n", graph.m()));
+    out.push_str(&format!(
+        "degrees   : min {}, avg {:.2}, max {}\n",
+        graph.min_degree(),
+        graph.average_degree(),
+        graph.max_degree()
+    ));
+    out.push_str(&format!("connected : {}\n", algo::is_connected(graph)));
+    out.push_str(&format!(
+        "diameter  : {}\n",
+        algo::diameter(graph).map_or("∞".into(), |d| d.to_string())
+    ));
+    out.push_str(&format!(
+        "girth     : {}\n",
+        algo::girth(graph).map_or("∞ (forest)".into(), |g| g.to_string())
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_specs_parse() {
+        assert_eq!(parse_graph("path:10").unwrap().n(), 10);
+        assert_eq!(parse_graph("grid:3:4").unwrap().n(), 12);
+        assert_eq!(parse_graph("gnp:30:0.2:7").unwrap().n(), 30);
+        assert_eq!(parse_graph("classg:8").unwrap().n(), 24);
+        assert_eq!(parse_graph("classgk:3:2:1").unwrap().n(), 24);
+        assert_eq!(parse_graph("ba:50:2:3").unwrap().n(), 50);
+        assert_eq!(parse_graph("ws:30:2:0.1:4").unwrap().n(), 30);
+        assert_eq!(parse_graph("ring:3:4").unwrap().n(), 12);
+        assert_eq!(parse_graph("caterpillar:4:2").unwrap().n(), 12);
+    }
+
+    #[test]
+    fn graph_spec_errors_are_descriptive() {
+        let e = parse_graph("nope:3").unwrap_err();
+        assert!(e.0.contains("unknown graph family"));
+        let e = parse_graph("grid:3").unwrap_err();
+        assert!(e.0.contains("expected 2 parameter"));
+        let e = parse_graph("path:xyz").unwrap_err();
+        assert!(e.0.contains("invalid size"));
+        let e = parse_graph("cycle:2").unwrap_err();
+        assert!(e.0.contains("at least three"));
+    }
+
+    #[test]
+    fn schedule_specs_parse() {
+        assert_eq!(parse_schedule("single:3", 10).unwrap().entries().len(), 1);
+        assert_eq!(parse_schedule("all", 10).unwrap().entries().len(), 10);
+        assert_eq!(parse_schedule("spread:3", 10).unwrap().entries().len(), 4);
+        let s = parse_schedule("at:0@0,5@2.5", 10).unwrap();
+        assert_eq!(s.entries().len(), 2);
+        assert_eq!(s.wake_time(NodeId::new(5)), Some(2.5));
+    }
+
+    #[test]
+    fn schedule_spec_errors() {
+        assert!(parse_schedule("single:99", 10).is_err());
+        assert!(parse_schedule("spread:0", 10).is_err());
+        assert!(parse_schedule("at:5", 10).is_err());
+        assert!(parse_schedule("bogus", 10).is_err());
+    }
+
+    #[test]
+    fn delay_specs_parse() {
+        assert!(parse_delays("unit").is_ok());
+        assert!(parse_delays("random:5").is_ok());
+        assert!(parse_delays("skewed").is_ok());
+        assert!(parse_delays("warp").is_err());
+    }
+
+    #[test]
+    fn algorithm_specs_parse() {
+        assert_eq!(Algorithm::parse("dfs-rank").unwrap(), Algorithm::DfsRank);
+        assert_eq!(Algorithm::parse("thm6:3").unwrap(), Algorithm::Thm6(3));
+        assert!(Algorithm::parse("thm6").is_err());
+        assert!(Algorithm::parse("thm6:0").is_err());
+        assert!(Algorithm::parse("magic").is_err());
+        assert!(Algorithm::parse("fast-wakeup").unwrap().needs_kt1());
+        assert!(!Algorithm::parse("cor1").unwrap().needs_kt1());
+    }
+
+    #[test]
+    fn execute_every_algorithm_end_to_end() {
+        for spec in [
+            "flooding", "dfs-rank", "fast-wakeup", "gossip", "leader", "cor1", "thm5a",
+            "thm5b", "thm6:2", "cor2",
+        ] {
+            let g = parse_graph("gnp:30:0.2:5").unwrap();
+            let schedule = parse_schedule("single:0", 30).unwrap();
+            let mut delays = parse_delays("unit").unwrap();
+            let summary = execute(spec, g, &schedule, 7, delays.as_mut()).unwrap();
+            assert!(summary.all_awake, "{spec}");
+            assert!(summary.messages > 0, "{spec}");
+            let text = summary.to_string();
+            assert!(text.contains("messages"), "{spec}");
+        }
+    }
+
+    #[test]
+    fn leader_summary_reports_winner() {
+        let g = parse_graph("cycle:12").unwrap();
+        let schedule = parse_schedule("single:4", 12).unwrap();
+        let mut delays = parse_delays("unit").unwrap();
+        let summary = execute("leader", g, &schedule, 3, delays.as_mut()).unwrap();
+        assert!(summary.leader.is_some());
+        assert!(summary.to_string().contains("leader"));
+    }
+
+    #[test]
+    fn sweep_produces_one_summary_per_size() {
+        let summaries = sweep("thm5b", "gnp", &[30, 60], 3).unwrap();
+        assert_eq!(summaries.len(), 2);
+        assert!(summaries.iter().all(|s| s.all_awake));
+        assert!(summaries[0].n < summaries[1].n);
+        assert!(sweep("thm5b", "torus", &[30], 3).is_err());
+    }
+
+    #[test]
+    fn trials_aggregate() {
+        let g = parse_graph("gnp:25:0.25:4").unwrap();
+        let schedule = parse_schedule("single:0", 25).unwrap();
+        let t = run_trials("dfs-rank", g, &schedule, 5, 6).unwrap();
+        assert_eq!(t.trials, 6);
+        assert_eq!(t.successes, 6);
+        assert!(t.max_messages as f64 >= t.mean_messages);
+        assert!(run_trials("dfs-rank", parse_graph("path:3").unwrap(), &parse_schedule("all", 3).unwrap(), 1, 0).is_err());
+    }
+
+    #[test]
+    fn graph_info_renders() {
+        let g = parse_graph("cycle:8").unwrap();
+        let info = graph_info(&g);
+        assert!(info.contains("nodes     : 8"));
+        assert!(info.contains("girth     : 8"));
+        let t = parse_graph("tree:10:2").unwrap();
+        assert!(graph_info(&t).contains("forest"));
+    }
+}

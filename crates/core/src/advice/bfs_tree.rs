@@ -1,0 +1,259 @@
+//! Corollary 1 (\[FIP06\] with a BFS tree and bit-tight encodings): O(D) time,
+//! O(n) messages, maximum advice O(n) bits, average advice O(log n) bits.
+//!
+//! The oracle roots a BFS tree and tells every node which of its ports are
+//! tree edges. Each node, upon waking, pushes a one-bit wake-up signal over
+//! exactly its tree ports; every tree edge carries at most two messages, so
+//! the message complexity is at most `2(n−1)`, and propagation along the BFS
+//! tree keeps the time at `O(D)`.
+//!
+//! The advice encoding is chosen per node to be the cheaper of
+//!
+//! * a **port list** (Elias-gamma coded; ~`deg_T(v) · log deg(v)` bits), or
+//! * a **port bitmap** (`deg(v)` bits),
+//!
+//! which yields the Corollary 1 trade-off: the maximum stays `O(n)` while the
+//! average is `O(log n)` (the total list length is `O(n log n)`).
+
+use wakeup_graph::{algo, NodeId};
+use wakeup_sim::{
+    AsyncProtocol, BitReader, BitStr, Context, Incoming, Network, NodeInit, Payload, Port,
+    WakeCause,
+};
+
+use super::AdvisingScheme;
+
+/// The one-bit wake-up signal used by all tree schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeWakeMsg;
+
+impl Payload for TreeWakeMsg {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+/// Encodes a set of tree ports at a node of the given degree, choosing the
+/// cheaper of list and bitmap representations.
+pub(crate) fn encode_ports(ports: &[Port], degree: usize) -> BitStr {
+    let mut list = BitStr::new();
+    list.push_bool(false); // tag: list
+    list.push_gamma(ports.len() as u64 + 1);
+    for p in ports {
+        list.push_gamma(p.number() as u64);
+    }
+    let mut bitmap = BitStr::new();
+    bitmap.push_bool(true); // tag: bitmap
+    let mut member = vec![false; degree];
+    for p in ports {
+        member[p.index()] = true;
+    }
+    for b in member {
+        bitmap.push_bool(b);
+    }
+    if list.len() <= bitmap.len() {
+        list
+    } else {
+        bitmap
+    }
+}
+
+/// Decodes a port set written by [`encode_ports`].
+///
+/// Returns `None` on malformed advice.
+pub(crate) fn decode_ports(advice: &BitStr, degree: usize) -> Option<Vec<Port>> {
+    let mut r = BitReader::new(advice);
+    if r.read_bool()? {
+        // Bitmap.
+        let mut ports = Vec::new();
+        for i in 0..degree {
+            if r.read_bool()? {
+                ports.push(Port::new(i + 1));
+            }
+        }
+        Some(ports)
+    } else {
+        let count = r.read_gamma()?.checked_sub(1)? as usize;
+        let mut ports = Vec::with_capacity(count);
+        for _ in 0..count {
+            let p = r.read_gamma()? as usize;
+            if p == 0 || p > degree {
+                return None;
+            }
+            ports.push(Port::new(p));
+        }
+        Some(ports)
+    }
+}
+
+/// The Corollary 1 scheme.
+#[derive(Debug, Clone, Default)]
+pub struct BfsTreeScheme {
+    root: Option<NodeId>,
+}
+
+impl BfsTreeScheme {
+    /// Scheme rooted at node 0 (any root works; a BFS root minimizes time).
+    pub fn new() -> BfsTreeScheme {
+        BfsTreeScheme { root: None }
+    }
+
+    /// Scheme with an explicit BFS root.
+    pub fn rooted_at(root: NodeId) -> BfsTreeScheme {
+        BfsTreeScheme { root: Some(root) }
+    }
+}
+
+impl AdvisingScheme for BfsTreeScheme {
+    type Protocol = TreeWake;
+
+    fn advise(&self, net: &Network) -> Vec<BitStr> {
+        let g = net.graph();
+        // Default to a graph center: the BFS height is then the radius,
+        // halving the worst-case wake-up time vs an arbitrary root.
+        let root = self
+            .root
+            .or_else(|| algo::center(net.graph()).map(|(_, c)| c))
+            .unwrap_or(NodeId::new(0));
+        let tree = algo::bfs_tree(g, root);
+        (0..g.n())
+            .map(|vi| {
+                let v = NodeId::new(vi);
+                let mut ports: Vec<Port> = Vec::new();
+                if let Some(p) = tree.parent(v) {
+                    ports.push(net.ports().port_to(v, p).expect("tree edges exist"));
+                }
+                for &c in tree.children(v) {
+                    ports.push(net.ports().port_to(v, c).expect("tree edges exist"));
+                }
+                encode_ports(&ports, g.degree(v))
+            })
+            .collect()
+    }
+}
+
+/// Protocol: on waking, push the wake signal over every advised tree port.
+#[derive(Debug)]
+pub struct TreeWake {
+    tree_ports: Vec<Port>,
+    pushed: bool,
+}
+
+impl AsyncProtocol for TreeWake {
+    type Msg = TreeWakeMsg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let tree_ports = decode_ports(init.advice, init.degree).unwrap_or_default();
+        TreeWake { tree_ports, pushed: false }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, TreeWakeMsg>, _cause: WakeCause) {
+        if !self.pushed {
+            self.pushed = true;
+            for &p in &self.tree_ports {
+                ctx.send(p, TreeWakeMsg);
+            }
+        }
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, TreeWakeMsg>, _: Incoming, _: TreeWakeMsg) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::run_scheme;
+    use wakeup_graph::generators;
+    use wakeup_sim::advice::AdviceStats;
+    use wakeup_sim::adversary::WakeSchedule;
+
+    #[test]
+    fn port_codec_roundtrip() {
+        for degree in [1usize, 3, 10, 100] {
+            let ports: Vec<Port> = (1..=degree).step_by(3).map(Port::new).collect();
+            let enc = encode_ports(&ports, degree);
+            assert_eq!(decode_ports(&enc, degree).unwrap(), ports);
+        }
+        // Empty set.
+        let enc = encode_ports(&[], 5);
+        assert_eq!(decode_ports(&enc, 5).unwrap(), Vec::<Port>::new());
+    }
+
+    #[test]
+    fn codec_picks_bitmap_for_dense_sets() {
+        let degree = 64;
+        let all: Vec<Port> = (1..=degree).map(Port::new).collect();
+        let enc = encode_ports(&all, degree);
+        assert!(enc.len() <= degree + 1, "dense sets should use the bitmap");
+        assert_eq!(decode_ports(&enc, degree).unwrap().len(), degree);
+    }
+
+    #[test]
+    fn wakes_everyone_with_tree_messages() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_connected(50, 0.1, seed).unwrap();
+            let n = g.n() as u64;
+            let net = Network::kt0(g, seed);
+            let run = run_scheme(
+                &BfsTreeScheme::new(),
+                &net,
+                &WakeSchedule::single(NodeId::new((seed as usize * 7) % 50)),
+                seed,
+            );
+            assert!(run.report.all_awake);
+            assert!(run.report.metrics.messages_sent <= 2 * (n - 1));
+        }
+    }
+
+    #[test]
+    fn arbitrary_awake_sets_work() {
+        let g = generators::grid(5, 5).unwrap();
+        let net = Network::kt0(g, 5);
+        let awake: Vec<NodeId> = (0..25).step_by(6).map(NodeId::new).collect();
+        let run = run_scheme(
+            &BfsTreeScheme::new(),
+            &net,
+            &WakeSchedule::all_at_zero(&awake),
+            2,
+        );
+        assert!(run.report.all_awake);
+    }
+
+    #[test]
+    fn advice_lengths_match_corollary1() {
+        // Max O(n) bits, average O(log n) bits.
+        let n = 200usize;
+        let g = generators::star(n).unwrap(); // worst case: hub has n-1 tree edges
+        let net = Network::kt0(g, 1);
+        let advice = BfsTreeScheme::rooted_at(NodeId::new(0)).advise(&net);
+        let stats = AdviceStats::measure(&advice);
+        assert!(stats.max_bits <= n + 2, "max {} should be <= n + O(1)", stats.max_bits);
+        let avg_bound = 4.0 * (n as f64).log2();
+        assert!(stats.avg_bits <= avg_bound, "avg {} > {avg_bound}", stats.avg_bits);
+    }
+
+    #[test]
+    fn time_is_within_twice_tree_height() {
+        let g = generators::path(30).unwrap();
+        let net = Network::kt0(g, 3);
+        let run = run_scheme(
+            &BfsTreeScheme::rooted_at(NodeId::new(0)),
+            &net,
+            &WakeSchedule::single(NodeId::new(29)),
+            4,
+        );
+        assert!(run.report.all_awake);
+        // Wake-up travels from one end of the path to the other: 29 hops.
+        assert!(run.report.metrics.wakeup_time_units().unwrap() <= 29.0 + 1e-9);
+    }
+
+    #[test]
+    fn congest_budget_respected() {
+        // run_scheme enforces CONGEST; a panic here would fail the test.
+        let g = generators::complete(40).unwrap();
+        let net = Network::kt0(g, 6);
+        let run = run_scheme(&BfsTreeScheme::new(), &net, &WakeSchedule::single(NodeId::new(1)), 1);
+        assert!(run.report.all_awake);
+        assert_eq!(run.report.metrics.congest_violations, 0);
+    }
+}

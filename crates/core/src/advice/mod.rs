@@ -1,0 +1,91 @@
+//! The paper's KT0 CONGEST advising schemes (Section 4).
+//!
+//! Each scheme pairs an oracle (computes per-node advice bits from the whole
+//! network) with an asynchronous KT0 protocol that uses the advice to wake
+//! the network. [`run_scheme`] executes a scheme end to end and reports the
+//! paper's three complexity measures (time, messages, advice length).
+
+pub mod bfs_tree;
+pub mod cen;
+pub mod fip06;
+pub mod omniscient;
+pub mod spanner;
+pub mod threshold;
+
+use wakeup_sim::advice::AdviceStats;
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::{
+    AsyncConfig, AsyncEngine, AsyncProtocol, BitStr, ChannelModel, Network, RunReport,
+};
+
+/// An advising scheme: an oracle plus the distributed algorithm that
+/// consumes its advice.
+pub trait AdvisingScheme {
+    /// The KT0 protocol run by the nodes.
+    type Protocol: AsyncProtocol;
+
+    /// Computes every node's advice from the full network (the oracle sees
+    /// topology, IDs, and port mappings, but not the awake set).
+    fn advise(&self, net: &Network) -> Vec<BitStr>;
+
+    /// The bandwidth model the scheme is designed for (CONGEST by default,
+    /// matching Section 4).
+    fn channel(&self, n: usize) -> ChannelModel {
+        ChannelModel::congest_for(n)
+    }
+}
+
+/// Outcome of running an advising scheme.
+#[derive(Debug, Clone)]
+pub struct SchemeRun {
+    /// The execution report.
+    pub report: RunReport,
+    /// Advice-length statistics (max / avg / total bits).
+    pub advice: AdviceStats,
+}
+
+/// Runs `scheme` on `net` under `schedule` with the given engine seed.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_core::advice::{bfs_tree::BfsTreeScheme, run_scheme};
+/// use wakeup_graph::{generators, NodeId};
+/// use wakeup_sim::{adversary::WakeSchedule, Network};
+///
+/// let net = Network::kt0(generators::grid(4, 5)?, 3);
+/// let run = run_scheme(&BfsTreeScheme::new(), &net, &WakeSchedule::single(NodeId::new(7)), 1);
+/// assert!(run.report.all_awake);
+/// assert!(run.report.metrics.messages_sent <= 2 * (net.n() as u64 - 1));
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn run_scheme<S: AdvisingScheme>(
+    scheme: &S,
+    net: &Network,
+    schedule: &WakeSchedule,
+    seed: u64,
+) -> SchemeRun {
+    let advice = scheme.advise(net);
+    let stats = AdviceStats::measure(&advice);
+    let config = AsyncConfig {
+        channel: scheme.channel(net.n()),
+        seed,
+        advice: Some(advice),
+        ..AsyncConfig::default()
+    };
+    let report = AsyncEngine::<S::Protocol>::new(net, config).run(schedule);
+    SchemeRun { report, advice: stats }
+}
+
+#[doc(inline)]
+pub use bfs_tree::BfsTreeScheme;
+#[doc(inline)]
+pub use cen::CenScheme;
+#[doc(inline)]
+pub use fip06::Fip06Scheme;
+#[doc(inline)]
+pub use omniscient::OmniscientScheme;
+#[doc(inline)]
+pub use spanner::SpannerScheme;
+#[doc(inline)]
+pub use threshold::ThresholdScheme;

@@ -1,0 +1,133 @@
+//! The omniscient-oracle upper bound: what advice buys when the oracle knows
+//! the initially-awake set.
+//!
+//! Theorem 1's lower bound explicitly holds "even if the oracle knows the
+//! set of awake nodes", so the natural question is what the matching upper
+//! bound looks like in that stronger model: the oracle computes a
+//! multi-source BFS forest from `A₀` and hands every node its forest ports.
+//! Waking then takes exactly `ρ_awk` time with at most `2(n−1)` messages and
+//! O(log n) average advice — simultaneously optimal in all three measures.
+//!
+//! This is the yardstick the oblivious schemes of Section 4 are compared
+//! against: Corollary 2 matches it up to polylog factors *without* knowing
+//! `A₀`, which is exactly the paper's "optimal in all three complexity
+//! measures up to polylogarithmic factors" claim.
+
+use wakeup_graph::{algo, NodeId};
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::{BitStr, Network, Port};
+
+use super::bfs_tree::{encode_ports, TreeWake};
+use super::AdvisingScheme;
+
+/// The awake-set-aware scheme (multi-source BFS forest advice).
+#[derive(Debug, Clone)]
+pub struct OmniscientScheme {
+    awake: Vec<NodeId>,
+}
+
+impl OmniscientScheme {
+    /// Builds the scheme for a known initially-awake set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty awake set (no oracle can help then).
+    pub fn new(awake: Vec<NodeId>) -> OmniscientScheme {
+        assert!(!awake.is_empty(), "the awake set must be nonempty");
+        OmniscientScheme { awake }
+    }
+
+    /// Convenience: reads the awake set off a schedule's time-zero entries.
+    pub fn for_schedule(schedule: &WakeSchedule) -> OmniscientScheme {
+        OmniscientScheme::new(schedule.initially_awake())
+    }
+}
+
+impl AdvisingScheme for OmniscientScheme {
+    type Protocol = TreeWake;
+
+    fn advise(&self, net: &Network) -> Vec<BitStr> {
+        let g = net.graph();
+        let forest = algo::multi_source_bfs(g, &self.awake);
+        (0..g.n())
+            .map(|vi| {
+                let v = NodeId::new(vi);
+                // Children only: waking flows *away* from A₀, so no node ever
+                // needs to push toward its parent.
+                let ports: Vec<Port> = forest
+                    .children(v)
+                    .iter()
+                    .map(|&c| net.ports().port_to(v, c).expect("forest edge"))
+                    .collect();
+                encode_ports(&ports, g.degree(v))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::run_scheme;
+    use wakeup_graph::generators;
+    use wakeup_sim::advice::AdviceStats;
+
+    #[test]
+    fn optimal_in_all_three_measures() {
+        let g = generators::erdos_renyi_connected(80, 0.08, 3).unwrap();
+        let awake: Vec<NodeId> = (0..80).step_by(20).map(NodeId::new).collect();
+        let rho = algo::awake_distance(&g, &awake).unwrap() as f64;
+        let n = g.n() as u64;
+        let net = Network::kt0(g, 3);
+        let schedule = WakeSchedule::all_at_zero(&awake);
+        let run = run_scheme(&OmniscientScheme::for_schedule(&schedule), &net, &schedule, 1);
+        assert!(run.report.all_awake);
+        // Time exactly ρ_awk (unit delays), messages at most n − |A₀|
+        // (every sleeping node receives exactly its forest-parent's push,
+        // nothing else).
+        assert_eq!(run.report.metrics.wakeup_time_units(), Some(rho));
+        assert!(run.report.messages() <= n);
+        let stats: &AdviceStats = &run.advice;
+        assert!(stats.avg_bits <= 4.0 * (n as f64).log2());
+    }
+
+    #[test]
+    fn beats_oblivious_schemes_on_time() {
+        // On a cycle the oblivious BFS tree (rooted at node 0) cuts the edge
+        // opposite the root; an awake antipode must push the wake-up the long
+        // way around the tree (~n time), while the omniscient forest uses
+        // both arcs (~n/2 — the true ρ_awk).
+        let n = 120usize;
+        let g = generators::cycle(n).unwrap();
+        let awake = vec![NodeId::new(n / 2)];
+        let net = Network::kt0(g, 5);
+        let schedule = WakeSchedule::all_at_zero(&awake);
+        let omni = run_scheme(&OmniscientScheme::for_schedule(&schedule), &net, &schedule, 2);
+        let oblivious =
+            run_scheme(&super::super::BfsTreeScheme::rooted_at(NodeId::new(0)), &net, &schedule, 2);
+        assert!(omni.report.all_awake && oblivious.report.all_awake);
+        let t_omni = omni.report.metrics.wakeup_time_units().unwrap();
+        let t_obl = oblivious.report.metrics.wakeup_time_units().unwrap();
+        assert_eq!(t_omni, (n / 2) as f64, "omniscient time is exactly ρ_awk");
+        assert!(
+            t_omni * 1.5 < t_obl,
+            "omniscient {t_omni} should clearly beat oblivious {t_obl}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_awake_set_rejected() {
+        OmniscientScheme::new(Vec::new());
+    }
+
+    #[test]
+    fn single_source_degenerates_to_bfs_tree() {
+        let g = generators::grid(5, 5).unwrap();
+        let net = Network::kt0(g, 7);
+        let schedule = WakeSchedule::single(NodeId::new(12));
+        let run = run_scheme(&OmniscientScheme::for_schedule(&schedule), &net, &schedule, 3);
+        assert!(run.report.all_awake);
+        assert!(run.report.messages() <= 24);
+    }
+}

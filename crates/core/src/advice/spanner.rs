@@ -1,0 +1,361 @@
+//! Theorem 6 / Corollary 2: spanner-based 𝖢𝖤𝖭 advice with awake-distance
+//! time — O(k·ρ_awk·log n) time, O(k·n^{1+1/k}·log n) messages, maximum
+//! advice O(n^{1/k}·log² n) bits.
+//!
+//! The BFS-tree schemes pay Θ(D) time even when awake nodes sit next to
+//! every sleeper. This scheme instead encodes a greedy (2k−1)-spanner:
+//! waking then floods along *spanner* edges, whose stretch bounds the wake
+//! time by (2k−1)·ρ_awk hops (up to the 𝖢𝖤𝖭 log-factor per hop).
+//!
+//! Encoding a general subgraph with 𝖢𝖤𝖭 requires trees, so the oracle
+//! decomposes the spanner's edges into rooted forests (the greedy spanner's
+//! sparsity keeps the count at O(n^{1/k})) and stores one 𝖢𝖤𝖭 tuple per
+//! forest per node: O(n^{1/k} log n) ⊆ O(n^{1/k} log² n) bits. On waking, a
+//! node runs the 𝖢𝖤𝖭 routine in every forest simultaneously, waking all its
+//! spanner neighbors within O(log n) time.
+//!
+//! Corollary 2 is the instantiation `k = ⌈log₂ n⌉`: the spanner is then a
+//! O(log n)-stretch sparsifier with O(n) edges, giving O(ρ_awk·log² n) time,
+//! O(n·log² n) messages, and O(log² n)-bit advice.
+
+use wakeup_graph::algo;
+use wakeup_sim::{
+    AsyncProtocol, BitReader, BitStr, ChannelModel, Context, Incoming, Network, NodeInit,
+    Payload, Port, WakeCause,
+};
+
+use super::cen::{decode_entry, encode_entry, cen_entries, CenEntry};
+use super::AdvisingScheme;
+
+/// 𝖢𝖤𝖭 messages tagged with the forest they belong to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForestMsg {
+    /// Index of the forest this message belongs to.
+    pub forest: u32,
+    /// The 𝖢𝖤𝖭 payload.
+    pub kind: ForestMsgKind,
+}
+
+/// The 𝖢𝖤𝖭 message kinds (see [`super::cen::CenMsg`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForestMsgKind {
+    /// Child → parent wake-up.
+    WakeParent,
+    /// Parent → child wake-up + echo request.
+    WakeChild,
+    /// Child → parent: next sibling-tree ports.
+    NextSiblings {
+        /// Left sibling-tree child port (at the parent).
+        left: Option<u32>,
+        /// Right sibling-tree child port (at the parent).
+        right: Option<u32>,
+    },
+}
+
+impl Payload for ForestMsg {
+    fn size_bits(&self) -> usize {
+        let forest_bits = 64 - u64::from(self.forest.max(1)).leading_zeros() as usize;
+        let kind_bits = match &self.kind {
+            ForestMsgKind::WakeParent | ForestMsgKind::WakeChild => 2,
+            ForestMsgKind::NextSiblings { left, right } => {
+                let port_bits =
+                    |p: &Option<u32>| 1 + p.map_or(0, |x| 64 - u64::from(x).leading_zeros() as usize);
+                2 + port_bits(left) + port_bits(right)
+            }
+        };
+        forest_bits + kind_bits
+    }
+}
+
+/// The Theorem 6 scheme.
+#[derive(Debug, Clone)]
+pub struct SpannerScheme {
+    k: usize,
+}
+
+impl SpannerScheme {
+    /// Scheme with an explicit stretch parameter `k` (stretch `2k − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> SpannerScheme {
+        assert!(k >= 1, "spanner parameter k must be positive");
+        SpannerScheme { k }
+    }
+
+    /// Corollary 2's instantiation: `k = ⌈log₂ n⌉`.
+    pub fn log_instantiation(n: usize) -> SpannerScheme {
+        let k = (n.max(2) as f64).log2().ceil() as usize;
+        SpannerScheme::new(k.max(1))
+    }
+
+    /// The stretch parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl AdvisingScheme for SpannerScheme {
+    type Protocol = SpannerWake;
+
+    fn advise(&self, net: &Network) -> Vec<BitStr> {
+        let spanner = algo::greedy_spanner(net.graph(), self.k);
+        let forests = algo::forest_decomposition(&spanner);
+        let n = net.n();
+        let mut per_node: Vec<Vec<CenEntry>> = vec![Vec::new(); n];
+        for forest in &forests {
+            let entries = cen_entries(
+                net,
+                |v| forest.parent(v),
+                |v| forest.children(v).to_vec(),
+            );
+            for (v, e) in entries.into_iter().enumerate() {
+                per_node[v].push(e);
+            }
+        }
+        per_node
+            .into_iter()
+            .map(|entries| {
+                let mut s = BitStr::new();
+                s.push_gamma(entries.len() as u64 + 1);
+                for e in &entries {
+                    encode_entry(&mut s, e);
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn channel(&self, n: usize) -> ChannelModel {
+        ChannelModel::congest_for(n)
+    }
+}
+
+/// The node-side protocol: a 𝖢𝖤𝖭 wake routine per forest.
+///
+/// Carries the same defensive bounds as [`super::cen::CenWake`] (one
+/// `NextSiblings` echo per forest, one contact per child port per forest),
+/// so corrupted advice degrades gracefully instead of looping.
+#[derive(Debug)]
+pub struct SpannerWake {
+    entries: Vec<CenEntry>,
+    started: bool,
+    replied: Vec<bool>,
+    contacted: Vec<std::collections::BTreeSet<u32>>,
+}
+
+impl SpannerWake {
+    fn start(&mut self, ctx: &mut Context<'_, ForestMsg>) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for f in 0..self.entries.len() {
+            if let Some(p) = self.entries[f].parent_port {
+                if p.number() <= ctx.degree() {
+                    ctx.send(p, ForestMsg { forest: f as u32, kind: ForestMsgKind::WakeParent });
+                }
+            }
+            if let Some(fc) = self.entries[f].first_child_port {
+                self.contact_child(ctx, f, fc.number() as u32);
+            }
+        }
+    }
+
+    fn contact_child(&mut self, ctx: &mut Context<'_, ForestMsg>, forest: usize, port: u32) {
+        if port == 0 || port as usize > ctx.degree() {
+            return; // corrupted advice: out-of-range port
+        }
+        if self.contacted[forest].insert(port) {
+            ctx.send(
+                Port::new(port as usize),
+                ForestMsg { forest: forest as u32, kind: ForestMsgKind::WakeChild },
+            );
+        }
+    }
+}
+
+impl AsyncProtocol for SpannerWake {
+    type Msg = ForestMsg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let mut r = BitReader::new(init.advice);
+        let mut entries = Vec::new();
+        if let Some(count) = r.read_gamma().and_then(|c| c.checked_sub(1)) {
+            // Bound the entry count by the degree-independent sanity cap of
+            // the advice length itself (each entry takes >= 4 bits).
+            for _ in 0..count.min(init.advice.len() as u64) {
+                match decode_entry(&mut r) {
+                    Some(e) => entries.push(e),
+                    None => break,
+                }
+            }
+        }
+        let forests = entries.len();
+        SpannerWake {
+            entries,
+            started: false,
+            replied: vec![false; forests],
+            contacted: vec![std::collections::BTreeSet::new(); forests],
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, ForestMsg>, _cause: WakeCause) {
+        self.start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ForestMsg>, from: Incoming, msg: ForestMsg) {
+        self.start(ctx);
+        let f = msg.forest as usize;
+        let Some(entry) = self.entries.get(f) else {
+            return;
+        };
+        match msg.kind {
+            ForestMsgKind::WakeParent => {}
+            ForestMsgKind::WakeChild => {
+                if self.replied[f] {
+                    return; // honest parents contact a child exactly once
+                }
+                self.replied[f] = true;
+                let (l, r) = entry.next_sibling_ports;
+                ctx.send(
+                    from.port,
+                    ForestMsg {
+                        forest: msg.forest,
+                        kind: ForestMsgKind::NextSiblings {
+                            left: l.map(|p| p.number() as u32),
+                            right: r.map(|p| p.number() as u32),
+                        },
+                    },
+                );
+            }
+            ForestMsgKind::NextSiblings { left, right } => {
+                for p in [left, right].into_iter().flatten() {
+                    self.contact_child(ctx, f, p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::run_scheme;
+    use wakeup_graph::{generators, NodeId};
+    use wakeup_sim::advice::AdviceStats;
+    use wakeup_sim::adversary::WakeSchedule;
+
+    #[test]
+    fn wakes_everyone_various_k() {
+        let g = generators::erdos_renyi_connected(60, 0.15, 1).unwrap();
+        let net = Network::kt0(g, 1);
+        for k in [2usize, 3, 4] {
+            let run = run_scheme(
+                &SpannerScheme::new(k),
+                &net,
+                &WakeSchedule::single(NodeId::new(0)),
+                k as u64,
+            );
+            assert!(run.report.all_awake, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn log_instantiation_wakes_everyone() {
+        let g = generators::erdos_renyi_connected(80, 0.1, 2).unwrap();
+        let n = g.n();
+        let net = Network::kt0(g, 2);
+        let run = run_scheme(
+            &SpannerScheme::log_instantiation(n),
+            &net,
+            &WakeSchedule::single(NodeId::new(11)),
+            5,
+        );
+        assert!(run.report.all_awake);
+    }
+
+    #[test]
+    fn time_scales_with_awake_distance_not_diameter() {
+        // On a long path with awake nodes planted densely, wake-up completes
+        // in time ~ ρ_awk · log n, far below the diameter.
+        let n = 200usize;
+        let g = generators::path(n).unwrap();
+        let net = Network::kt0(g, 3);
+        let awake: Vec<NodeId> = (0..n).step_by(10).map(NodeId::new).collect();
+        let rho = wakeup_graph::algo::awake_distance(net.graph(), &awake).unwrap();
+        let run = run_scheme(
+            &SpannerScheme::new(3),
+            &net,
+            &WakeSchedule::all_at_zero(&awake),
+            1,
+        );
+        assert!(run.report.all_awake);
+        let t = run.report.metrics.wakeup_time_units().unwrap();
+        let diameter = (n - 1) as f64;
+        let k = 3.0;
+        let bound = 2.0 * k * rho as f64 * (n as f64).ln();
+        assert!(t <= bound, "time {t} > bound {bound}");
+        assert!(t < diameter / 2.0, "time {t} should beat diameter {diameter}");
+    }
+
+    #[test]
+    fn advice_length_scales_with_forest_count() {
+        let n = 100usize;
+        let g = generators::complete(n).unwrap();
+        let net = Network::kt0(g, 4);
+        let k = 2usize;
+        let advice = SpannerScheme::new(k).advise(&net);
+        let stats = AdviceStats::measure(&advice);
+        // O(n^{1/k} log^2 n) bits with a generous constant.
+        let bound = 8.0 * (n as f64).powf(1.0 / k as f64) * (n as f64).log2().powi(2);
+        assert!(
+            (stats.max_bits as f64) <= bound,
+            "max advice {} > {bound}",
+            stats.max_bits
+        );
+    }
+
+    #[test]
+    fn messages_track_spanner_size() {
+        let n = 80usize;
+        let g = generators::complete(n).unwrap();
+        let m = g.m() as u64;
+        let net = Network::kt0(g, 5);
+        let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let run = run_scheme(
+            &SpannerScheme::new(2),
+            &net,
+            &WakeSchedule::all_at_zero(&all),
+            2,
+        );
+        assert!(run.report.all_awake);
+        // Far fewer messages than flooding's 2m on the complete graph.
+        assert!(
+            run.report.metrics.messages_sent < m,
+            "messages {} should be below m = {m}",
+            run.report.metrics.messages_sent
+        );
+    }
+
+    #[test]
+    fn congest_compliant() {
+        let g = generators::erdos_renyi_connected(60, 0.2, 6).unwrap();
+        let net = Network::kt0(g, 6);
+        let run = run_scheme(
+            &SpannerScheme::new(3),
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            3,
+        );
+        assert_eq!(run.report.metrics.congest_violations, 0);
+        assert!(run.report.all_awake);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_rejected() {
+        SpannerScheme::new(0);
+    }
+}

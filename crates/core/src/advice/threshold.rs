@@ -1,0 +1,208 @@
+//! Theorem 5(A): O(D) time, O(n^{3/2}) messages, maximum advice
+//! O(√n · log n) bits, average advice O(log n) bits.
+//!
+//! Same BFS tree as Corollary 1, but nodes with more than √n tree neighbors
+//! (*high-degree tree nodes*) get a single advice bit and simply broadcast on
+//! all their ports when they wake. Since the tree has n−1 edges there are at
+//! most O(√n) high-degree tree nodes, so the broadcast overhead is bounded by
+//! O(√n · n) = O(n^{3/2}) messages, while no node stores more than √n port
+//! numbers.
+
+use wakeup_graph::{algo, NodeId};
+use wakeup_sim::{
+    AsyncProtocol, BitReader, BitStr, Context, Incoming, Network, NodeInit, Port, WakeCause,
+};
+
+use super::bfs_tree::TreeWakeMsg;
+use super::AdvisingScheme;
+
+/// The Theorem 5(A) scheme.
+#[derive(Debug, Clone, Default)]
+pub struct ThresholdScheme {
+    root: Option<NodeId>,
+}
+
+impl ThresholdScheme {
+    /// Scheme rooted at node 0.
+    pub fn new() -> ThresholdScheme {
+        ThresholdScheme { root: None }
+    }
+
+    /// Scheme with an explicit BFS root.
+    pub fn rooted_at(root: NodeId) -> ThresholdScheme {
+        ThresholdScheme { root: Some(root) }
+    }
+}
+
+impl AdvisingScheme for ThresholdScheme {
+    type Protocol = ThresholdWake;
+
+    fn advise(&self, net: &Network) -> Vec<BitStr> {
+        let g = net.graph();
+        let threshold = (g.n() as f64).sqrt().ceil() as usize;
+        // Default to a graph center: the BFS height is then the radius,
+        // halving the worst-case wake-up time vs an arbitrary root.
+        let root = self
+            .root
+            .or_else(|| algo::center(net.graph()).map(|(_, c)| c))
+            .unwrap_or(NodeId::new(0));
+        let tree = algo::bfs_tree(g, root);
+        (0..g.n())
+            .map(|vi| {
+                let v = NodeId::new(vi);
+                let mut s = BitStr::new();
+                if tree.tree_degree(v) > threshold {
+                    // High-degree tree node: one bit of advice.
+                    s.push_bool(true);
+                } else {
+                    s.push_bool(false);
+                    let mut ports: Vec<Port> = Vec::new();
+                    if let Some(p) = tree.parent(v) {
+                        ports.push(net.ports().port_to(v, p).expect("tree edge"));
+                    }
+                    for &c in tree.children(v) {
+                        ports.push(net.ports().port_to(v, c).expect("tree edge"));
+                    }
+                    s.push_gamma(ports.len() as u64 + 1);
+                    for p in ports {
+                        s.push_gamma(p.number() as u64);
+                    }
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+/// Protocol: low-degree tree nodes push over their listed ports, high-degree
+/// tree nodes broadcast everywhere.
+#[derive(Debug)]
+pub struct ThresholdWake {
+    high_degree: bool,
+    tree_ports: Vec<Port>,
+    pushed: bool,
+}
+
+impl AsyncProtocol for ThresholdWake {
+    type Msg = TreeWakeMsg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let mut r = BitReader::new(init.advice);
+        let high_degree = r.read_bool().unwrap_or(false);
+        let mut tree_ports = Vec::new();
+        if !high_degree {
+            if let Some(count) = r.read_gamma().and_then(|c| c.checked_sub(1)) {
+                for _ in 0..count {
+                    match r.read_gamma() {
+                        Some(p) if p >= 1 && p as usize <= init.degree => {
+                            tree_ports.push(Port::new(p as usize));
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        ThresholdWake { high_degree, tree_ports, pushed: false }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, TreeWakeMsg>, _cause: WakeCause) {
+        if self.pushed {
+            return;
+        }
+        self.pushed = true;
+        if self.high_degree {
+            ctx.broadcast(TreeWakeMsg);
+        } else {
+            for &p in &self.tree_ports {
+                ctx.send(p, TreeWakeMsg);
+            }
+        }
+    }
+
+    fn on_message(&mut self, _: &mut Context<'_, TreeWakeMsg>, _: Incoming, _: TreeWakeMsg) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advice::run_scheme;
+    use wakeup_graph::generators;
+    use wakeup_sim::advice::AdviceStats;
+    use wakeup_sim::adversary::WakeSchedule;
+
+    #[test]
+    fn wakes_everyone() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_connected(60, 0.08, seed).unwrap();
+            let net = Network::kt0(g, seed);
+            let run = run_scheme(
+                &ThresholdScheme::new(),
+                &net,
+                &WakeSchedule::single(NodeId::new(seed as usize)),
+                seed,
+            );
+            assert!(run.report.all_awake, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn star_hub_is_high_degree() {
+        let n = 100usize;
+        let g = generators::star(n).unwrap();
+        let net = Network::kt0(g, 1);
+        let advice = ThresholdScheme::rooted_at(NodeId::new(0)).advise(&net);
+        // Hub advice is the single high-degree bit.
+        assert_eq!(advice[0].len(), 1);
+        let stats = AdviceStats::measure(&advice);
+        let max_bound = ((n as f64).sqrt().ceil() as usize + 2) * 2 * (64 - (n as u64).leading_zeros() as usize);
+        assert!(stats.max_bits <= max_bound, "max {} > {max_bound}", stats.max_bits);
+    }
+
+    #[test]
+    fn messages_within_three_halves_power() {
+        let n = 120usize;
+        let g = generators::erdos_renyi_connected(n, 0.2, 9).unwrap();
+        let net = Network::kt0(g, 9);
+        let run = run_scheme(
+            &ThresholdScheme::new(),
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            1,
+        );
+        assert!(run.report.all_awake);
+        let bound = 4.0 * (n as f64).powf(1.5);
+        assert!(
+            (run.report.metrics.messages_sent as f64) <= bound,
+            "messages {} above O(n^1.5) = {bound}",
+            run.report.metrics.messages_sent
+        );
+    }
+
+    #[test]
+    fn advice_avg_is_logarithmic() {
+        let n = 150usize;
+        let g = generators::erdos_renyi_connected(n, 0.1, 4).unwrap();
+        let net = Network::kt0(g, 4);
+        let advice = ThresholdScheme::new().advise(&net);
+        let stats = AdviceStats::measure(&advice);
+        assert!(
+            stats.avg_bits <= 6.0 * (n as f64).log2(),
+            "avg advice {} too large",
+            stats.avg_bits
+        );
+    }
+
+    #[test]
+    fn multiple_wake_sources() {
+        let g = generators::barbell(10, 5).unwrap();
+        let net = Network::kt0(g, 2);
+        let awake = [NodeId::new(0), NodeId::new(24)];
+        let run = run_scheme(
+            &ThresholdScheme::new(),
+            &net,
+            &WakeSchedule::all_at_zero(&awake),
+            3,
+        );
+        assert!(run.report.all_awake);
+    }
+}

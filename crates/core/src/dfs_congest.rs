@@ -1,0 +1,251 @@
+//! A CONGEST-compliant variant of the Theorem 3 DFS — and a demonstration of
+//! why the theorem is stated for the LOCAL model.
+//!
+//! [`crate::dfs_rank::DfsRank`] keeps its message count at O(n log n) by
+//! carrying the full visited list inside the token, so a token is never
+//! forwarded to an already-visited node. Under CONGEST the token can only
+//! carry its `(rank, origin)` key; visited state must live at the nodes, and
+//! the classic echo technique applies: a token forwarded to an
+//! already-visited node *bounces* back, costing two messages on every
+//! non-tree edge it probes. The result is correct and CONGEST-sized but
+//! pays Θ(m) messages in the worst case — exactly the gap between this
+//! variant and Theorem 3 that the `ablation_congest` measurements expose.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use wakeup_graph::rng::Xoshiro256;
+use wakeup_sim::{AsyncProtocol, Context, Incoming, NodeInit, Payload, WakeCause};
+
+/// CONGEST-sized DFS traffic: every message carries only the token key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestDfsMsg {
+    /// The token advances to a (hopefully unvisited) node.
+    Token {
+        /// Originator's random rank.
+        rank: u64,
+        /// Originator's ID.
+        origin: u64,
+    },
+    /// The receiver had already been visited by this token: try elsewhere.
+    Bounce {
+        /// Originator's random rank.
+        rank: u64,
+        /// Originator's ID.
+        origin: u64,
+    },
+    /// The receiver finished its subtree: continue with your next neighbor.
+    Return {
+        /// Originator's random rank.
+        rank: u64,
+        /// Originator's ID.
+        origin: u64,
+    },
+}
+
+impl CongestDfsMsg {
+    fn key(&self) -> (u64, u64) {
+        match *self {
+            CongestDfsMsg::Token { rank, origin }
+            | CongestDfsMsg::Bounce { rank, origin }
+            | CongestDfsMsg::Return { rank, origin } => (rank, origin),
+        }
+    }
+}
+
+impl Payload for CongestDfsMsg {
+    fn size_bits(&self) -> usize {
+        // Tag + the significant bits of the rank (≈ 3·log₂ n, since ranks
+        // come from [n³]) and the origin ID (≈ log₂ n) — ~4·log₂ n total,
+        // within the standard CONGEST budget.
+        let (rank, origin) = self.key();
+        let bits = |x: u64| 64 - x.max(1).leading_zeros() as usize;
+        2 + bits(rank) + bits(origin)
+    }
+}
+
+#[derive(Debug, Default)]
+struct TokenState {
+    parent: Option<u64>,
+    tried: BTreeSet<u64>,
+    visited: bool,
+}
+
+/// The CONGEST DFS protocol (KT1, asynchronous).
+#[derive(Debug)]
+pub struct DfsCongest {
+    id: u64,
+    neighbors: Vec<u64>,
+    rng: Xoshiro256,
+    rank_bound: u64,
+    best: Option<(u64, u64)>,
+    states: BTreeMap<(u64, u64), TokenState>,
+}
+
+impl DfsCongest {
+    /// Forwards the token for `key` to this node's next untried neighbor, or
+    /// returns it to the parent when exhausted.
+    fn advance(&mut self, ctx: &mut Context<'_, CongestDfsMsg>, key: (u64, u64)) {
+        let state = self.states.entry(key).or_default();
+        let next = self
+            .neighbors
+            .iter()
+            .copied()
+            .find(|w| !state.tried.contains(w) && Some(*w) != state.parent);
+        let (rank, origin) = key;
+        match next {
+            Some(w) => {
+                state.tried.insert(w);
+                ctx.send_to_id(w, CongestDfsMsg::Token { rank, origin });
+            }
+            None => {
+                if let Some(parent) = state.parent {
+                    ctx.send_to_id(parent, CongestDfsMsg::Return { rank, origin });
+                }
+                // At the origin with everything tried: traversal complete.
+            }
+        }
+    }
+}
+
+impl AsyncProtocol for DfsCongest {
+    type Msg = CongestDfsMsg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let n = init.n_hint.max(2) as u64;
+        DfsCongest {
+            id: init.id,
+            neighbors: init
+                .neighbor_ids
+                .expect("DfsCongest requires the KT1 knowledge mode")
+                .to_vec(),
+            rng: Xoshiro256::seed_from(init.private_seed),
+            rank_bound: n.saturating_mul(n).saturating_mul(n),
+            best: None,
+            states: BTreeMap::new(),
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, CongestDfsMsg>, cause: WakeCause) {
+        if cause != WakeCause::Adversary {
+            return;
+        }
+        let rank = 1 + self.rng.next_below(self.rank_bound);
+        let key = (rank, self.id);
+        self.best = Some(key);
+        self.states.entry(key).or_default().visited = true;
+        self.advance(ctx, key);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, CongestDfsMsg>, from: Incoming, msg: CongestDfsMsg) {
+        let key = msg.key();
+        if let Some(best) = self.best {
+            if key < best {
+                return; // discard, as in Theorem 3
+            }
+        }
+        self.best = Some(key);
+        let sender = from.sender_id.expect("KT1 reveals senders");
+        match msg {
+            CongestDfsMsg::Token { rank, origin } => {
+                let state = self.states.entry(key).or_default();
+                if state.visited {
+                    ctx.send(from.port, CongestDfsMsg::Bounce { rank, origin });
+                } else {
+                    state.visited = true;
+                    state.parent = Some(sender);
+                    self.advance(ctx, key);
+                }
+            }
+            CongestDfsMsg::Bounce { .. } | CongestDfsMsg::Return { .. } => {
+                // Our probe to `sender` is over; continue with the next
+                // neighbor.
+                self.advance(ctx, key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs_rank::DfsRank;
+    use wakeup_graph::{generators, NodeId};
+    use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::{AsyncConfig, AsyncEngine, ChannelModel, Network};
+
+    fn run(net: &Network, schedule: &WakeSchedule, seed: u64) -> wakeup_sim::RunReport {
+        let config = AsyncConfig {
+            seed,
+            channel: ChannelModel::congest_for(net.n()),
+            ..AsyncConfig::default()
+        };
+        AsyncEngine::<DfsCongest>::new(net, config).run(schedule)
+    }
+
+    #[test]
+    fn wakes_everyone_within_congest() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_connected(40, 0.15, seed).unwrap();
+            let net = Network::kt1(g, seed);
+            let report = run(&net, &WakeSchedule::single(NodeId::new(0)), seed);
+            assert!(report.all_awake, "seed {seed}");
+            assert_eq!(report.metrics.congest_violations, 0);
+        }
+    }
+
+    #[test]
+    fn message_bound_is_4m() {
+        let g = generators::erdos_renyi_connected(50, 0.2, 3).unwrap();
+        let m = g.m() as u64;
+        let net = Network::kt1(g, 3);
+        let report = run(&net, &WakeSchedule::single(NodeId::new(0)), 5);
+        assert!(report.all_awake);
+        // Each edge carries at most one probe + one bounce/return in each
+        // direction.
+        assert!(report.metrics.messages_sent <= 4 * m, "{} > 4m", report.metrics.messages_sent);
+    }
+
+    #[test]
+    fn pays_theta_m_where_local_dfs_pays_theta_n() {
+        // On a dense graph the CONGEST variant's bounces dominate, while the
+        // LOCAL token sidesteps every visited node.
+        let n = 60usize;
+        let g = generators::complete(n).unwrap();
+        let m = g.m() as u64;
+        let net = Network::kt1(g, 4);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let congest = run(&net, &schedule, 6);
+        let local = AsyncEngine::<DfsRank>::new(&net, AsyncConfig { seed: 6, ..AsyncConfig::default() })
+            .run(&schedule);
+        assert!(congest.all_awake && local.all_awake);
+        assert!(
+            congest.metrics.messages_sent > m,
+            "CONGEST DFS should pay Ω(m): {} <= {m}",
+            congest.metrics.messages_sent
+        );
+        assert!(
+            local.metrics.messages_sent <= 2 * n as u64,
+            "LOCAL DFS stays at O(n): {}",
+            local.metrics.messages_sent
+        );
+    }
+
+    #[test]
+    fn multi_source_las_vegas() {
+        let g = generators::grid(6, 6).unwrap();
+        let net = Network::kt1(g, 7);
+        let awake: Vec<NodeId> = (0..36).step_by(9).map(NodeId::new).collect();
+        for seed in 0..4 {
+            let report = run(&net, &WakeSchedule::staggered(&awake, 3.0), seed);
+            assert!(report.all_awake, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_messages_are_congest_sized() {
+        let g = generators::erdos_renyi_connected(30, 0.2, 8).unwrap();
+        let net = Network::kt1(g, 8);
+        let report = run(&net, &WakeSchedule::single(NodeId::new(0)), 9);
+        assert!(report.metrics.max_message_bits <= 130);
+    }
+}

@@ -1,0 +1,162 @@
+//! A deterministic set gossip for synchronous KT1 networks — the simplified
+//! stand-in for the Appendix-D algorithm on 𝒢ₖ (see DESIGN.md).
+//!
+//! Each awake node maintains the set of IDs it knows to be awake (itself,
+//! every sender it has heard from, and everything those senders knew). Per
+//! round it sends its knowledge to the single smallest-ID neighbor it does
+//! not yet know to be awake. One message per node per round caps the message
+//! complexity at `n · T` for a `T`-round execution — the defining property
+//! of gossip protocols the paper cites (\[KSSV00\]) — and the knowledge sets
+//! spread transitively, so close-by awake nodes quickly learn about each
+//! other and stop contacting the same sleepers.
+
+use std::collections::BTreeSet;
+
+use wakeup_sim::{Context, Incoming, NodeInit, Payload, SyncProtocol, WakeCause};
+
+/// A gossip message: the sender's ID plus its known-awake set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnownSet {
+    /// The sender's ID.
+    pub from: u64,
+    /// IDs the sender knows to be awake.
+    pub known: Vec<u64>,
+}
+
+impl Payload for KnownSet {
+    fn size_bits(&self) -> usize {
+        64 * (1 + self.known.len()) + 32
+    }
+}
+
+/// The deterministic push-only set gossip.
+#[derive(Debug)]
+pub struct SetGossip {
+    id: u64,
+    neighbors: Vec<u64>,
+    known_awake: BTreeSet<u64>,
+    contacted: BTreeSet<u64>,
+    awake: bool,
+}
+
+impl SetGossip {
+    fn uncovered_neighbor(&self) -> Option<u64> {
+        self.neighbors
+            .iter()
+            .copied()
+            .find(|w| !self.known_awake.contains(w) && !self.contacted.contains(w))
+    }
+}
+
+impl SyncProtocol for SetGossip {
+    type Msg = KnownSet;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        SetGossip {
+            id: init.id,
+            neighbors: init
+                .neighbor_ids
+                .expect("SetGossip requires the KT1 knowledge mode")
+                .to_vec(),
+            known_awake: BTreeSet::new(),
+            contacted: BTreeSet::new(),
+            awake: false,
+        }
+    }
+
+    fn on_wake(&mut self, _: &mut Context<'_, KnownSet>, _cause: WakeCause) {
+        self.awake = true;
+        self.known_awake.insert(self.id);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, KnownSet>, inbox: Vec<(Incoming, KnownSet)>) {
+        for (_, msg) in inbox {
+            self.known_awake.insert(msg.from);
+            self.known_awake.extend(msg.known);
+        }
+        if let Some(target) = self.uncovered_neighbor() {
+            self.contacted.insert(target);
+            let known: Vec<u64> = self.known_awake.iter().copied().collect();
+            ctx.send_to_id(target, KnownSet { from: self.id, known });
+        }
+    }
+
+    fn wants_round(&self) -> bool {
+        self.awake && self.uncovered_neighbor().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakeup_graph::families::ClassGk;
+    use wakeup_graph::{generators, NodeId};
+    use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::{Network, SyncConfig, SyncEngine};
+
+    fn run(net: &Network, schedule: &WakeSchedule) -> wakeup_sim::RunReport {
+        SyncEngine::<SetGossip>::new(net, SyncConfig::default()).run(schedule)
+    }
+
+    #[test]
+    fn single_source_wakes_everyone() {
+        let g = generators::erdos_renyi_connected(40, 0.1, 1).unwrap();
+        let net = Network::kt1(g, 1);
+        let report = run(&net, &WakeSchedule::single(NodeId::new(0)));
+        assert!(report.all_awake);
+    }
+
+    #[test]
+    fn one_message_per_node_per_round() {
+        let g = generators::complete(30).unwrap();
+        let net = Network::kt1(g, 2);
+        let all: Vec<NodeId> = (0..30).map(NodeId::new).collect();
+        let report = run(&net, &WakeSchedule::all_at_zero(&all));
+        assert!(report.all_awake);
+        assert!(
+            report.metrics.messages_sent <= 30 * report.rounds,
+            "gossip invariant: messages {} <= n*T = {}",
+            report.metrics.messages_sent,
+            30 * report.rounds
+        );
+    }
+
+    #[test]
+    fn knowledge_spreading_saves_messages_on_class_gk() {
+        // All centers awake on G_k: gossip lets centers learn about each
+        // other through shared U-neighbors and stop re-contacting them;
+        // messages stay below flooding's 2m.
+        let fam = ClassGk::new(3, 3, 7).unwrap();
+        let m = fam.graph().m() as u64;
+        let net = Network::kt1(fam.graph().clone(), 7);
+        let report = run(&net, &WakeSchedule::all_at_zero(&fam.centers()));
+        assert!(report.all_awake);
+        assert!(
+            report.metrics.messages_sent < 2 * m,
+            "messages {} should beat flooding {}",
+            report.metrics.messages_sent,
+            2 * m
+        );
+    }
+
+    #[test]
+    fn lollipop_footnote_case_completes() {
+        // The paper's footnote-3 graph where push-only *uniform* gossip is
+        // slow; the deterministic variant still completes (it has no
+        // randomness to get unlucky with).
+        let g = generators::lollipop(20, 1).unwrap();
+        let net = Network::kt1(g, 3);
+        let report = run(&net, &WakeSchedule::single(NodeId::new(0)));
+        assert!(report.all_awake);
+    }
+
+    #[test]
+    fn staggered_wakes_complete() {
+        let g = generators::grid(5, 5).unwrap();
+        let net = Network::kt1(g, 4);
+        let schedule =
+            WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(24), 6.0)]);
+        let report = run(&net, &schedule);
+        assert!(report.all_awake);
+    }
+}

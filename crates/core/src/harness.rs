@@ -1,0 +1,201 @@
+//! One-call experiment harness: run an algorithm on a network and collect
+//! the paper's complexity measures alongside the graph parameters they are
+//! compared against (ρ_awk, D).
+
+use wakeup_graph::algo;
+use wakeup_sim::adversary::{DelayStrategy, WakeSchedule};
+use wakeup_sim::{
+    AsyncConfig, AsyncEngine, AsyncProtocol, Network, RunReport, SyncConfig, SyncEngine,
+    SyncProtocol,
+};
+
+/// An execution report bundled with the workload's structural parameters.
+#[derive(Debug, Clone)]
+pub struct WakeupRun {
+    /// The raw engine report.
+    pub report: RunReport,
+    /// Awake distance ρ_awk(G, A₀) of the schedule's initially-awake set
+    /// (None if the schedule starts empty or the graph is disconnected).
+    pub rho_awk: Option<usize>,
+    /// Graph diameter (None if disconnected).
+    pub diameter: Option<usize>,
+}
+
+fn decorate(net: &Network, schedule: &WakeSchedule, report: RunReport) -> WakeupRun {
+    let initially_awake = schedule.initially_awake();
+    let rho_awk = algo::awake_distance(net.graph(), &initially_awake);
+    let diameter = algo::diameter(net.graph());
+    WakeupRun { report, rho_awk, diameter }
+}
+
+/// Runs an asynchronous protocol with unit (τ) delays.
+pub fn run_async<P: AsyncProtocol>(net: &Network, schedule: &WakeSchedule, seed: u64) -> WakeupRun {
+    let config = AsyncConfig { seed, ..AsyncConfig::default() };
+    let report = AsyncEngine::<P>::new(net, config).run(schedule);
+    decorate(net, schedule, report)
+}
+
+/// Runs an asynchronous protocol with an explicit delay strategy.
+pub fn run_async_with_delays<P: AsyncProtocol>(
+    net: &Network,
+    schedule: &WakeSchedule,
+    seed: u64,
+    delays: &mut dyn DelayStrategy,
+) -> WakeupRun {
+    let config = AsyncConfig { seed, ..AsyncConfig::default() };
+    let report = AsyncEngine::<P>::new(net, config).run_with(schedule, delays);
+    decorate(net, schedule, report)
+}
+
+/// Runs a synchronous protocol.
+pub fn run_sync<P: SyncProtocol>(net: &Network, schedule: &WakeSchedule, seed: u64) -> WakeupRun {
+    let config = SyncConfig { seed, ..SyncConfig::default() };
+    let report = SyncEngine::<P>::new(net, config).run(schedule);
+    decorate(net, schedule, report)
+}
+
+/// Aggregate of repeated trials of a randomized algorithm — the right way to
+/// report "w.h.p." quantities (a single seed is an anecdote).
+#[derive(Debug, Clone)]
+pub struct TrialStats {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials in which every node woke up.
+    pub successes: usize,
+    /// Message counts per trial.
+    pub messages: Vec<u64>,
+    /// Time per trial (τ units).
+    pub times: Vec<f64>,
+}
+
+impl TrialStats {
+    /// Mean messages across trials.
+    pub fn mean_messages(&self) -> f64 {
+        self.messages.iter().sum::<u64>() as f64 / self.trials as f64
+    }
+
+    /// Worst (maximum) message count across trials — the quantity the
+    /// paper's w.h.p. bounds speak about.
+    pub fn max_messages(&self) -> u64 {
+        self.messages.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Worst time across trials.
+    pub fn max_time(&self) -> f64 {
+        self.times.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Runs `trials` independent executions of an async protocol with seeds
+/// `base_seed..base_seed + trials`.
+pub fn run_trials_async<P: AsyncProtocol>(
+    net: &Network,
+    schedule: &WakeSchedule,
+    base_seed: u64,
+    trials: usize,
+) -> TrialStats {
+    let mut stats = TrialStats {
+        trials,
+        successes: 0,
+        messages: Vec::with_capacity(trials),
+        times: Vec::with_capacity(trials),
+    };
+    for i in 0..trials {
+        let run = run_async::<P>(net, schedule, base_seed + i as u64);
+        stats.successes += usize::from(run.report.all_awake);
+        stats.messages.push(run.report.messages());
+        stats.times.push(run.report.time_units());
+    }
+    stats
+}
+
+/// Runs `trials` independent executions of a sync protocol.
+pub fn run_trials_sync<P: SyncProtocol>(
+    net: &Network,
+    schedule: &WakeSchedule,
+    base_seed: u64,
+    trials: usize,
+) -> TrialStats {
+    let mut stats = TrialStats {
+        trials,
+        successes: 0,
+        messages: Vec::with_capacity(trials),
+        times: Vec::with_capacity(trials),
+    };
+    for i in 0..trials {
+        let run = run_sync::<P>(net, schedule, base_seed + i as u64);
+        stats.successes += usize::from(run.report.all_awake);
+        stats.messages.push(run.report.messages());
+        stats.times.push(run.report.rounds as f64);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs_rank::DfsRank;
+    use crate::flooding::{FloodAsync, FloodSync};
+    use wakeup_graph::{generators, NodeId};
+    use wakeup_sim::adversary::RandomDelay;
+
+    #[test]
+    fn decorates_with_rho_and_diameter() {
+        let net = Network::kt0(generators::path(10).unwrap(), 1);
+        let run = run_async::<FloodAsync>(&net, &WakeSchedule::single(NodeId::new(0)), 1);
+        assert_eq!(run.rho_awk, Some(9));
+        assert_eq!(run.diameter, Some(9));
+        assert!(run.report.all_awake);
+    }
+
+    #[test]
+    fn sync_runner_works() {
+        let net = Network::kt1(generators::cycle(12).unwrap(), 2);
+        let run = run_sync::<FloodSync>(&net, &WakeSchedule::single(NodeId::new(3)), 2);
+        assert!(run.report.all_awake);
+        assert_eq!(run.rho_awk, Some(6));
+    }
+
+    #[test]
+    fn delay_strategy_runner_works() {
+        let net = Network::kt1(generators::complete(8).unwrap(), 3);
+        let mut delays = RandomDelay::new(9);
+        let run = run_async_with_delays::<DfsRank>(
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            3,
+            &mut delays,
+        );
+        assert!(run.report.all_awake);
+    }
+
+    #[test]
+    fn trials_aggregate_correctly() {
+        let net = Network::kt1(generators::erdos_renyi_connected(25, 0.2, 5).unwrap(), 5);
+        let stats =
+            run_trials_async::<DfsRank>(&net, &WakeSchedule::single(NodeId::new(0)), 10, 8);
+        assert_eq!(stats.trials, 8);
+        assert_eq!(stats.successes, 8, "DfsRank is Las Vegas");
+        assert_eq!(stats.messages.len(), 8);
+        assert!(stats.mean_messages() > 0.0);
+        assert!(stats.max_messages() >= stats.mean_messages() as u64);
+        assert!(stats.max_time() > 0.0);
+    }
+
+    #[test]
+    fn sync_trials_count_rounds() {
+        let net = Network::kt1(generators::path(6).unwrap(), 2);
+        let stats =
+            run_trials_sync::<FloodSync>(&net, &WakeSchedule::single(NodeId::new(0)), 1, 3);
+        assert_eq!(stats.successes, 3);
+        assert!(stats.max_time() >= 5.0);
+    }
+
+    #[test]
+    fn empty_schedule_has_no_rho() {
+        let net = Network::kt0(generators::path(4).unwrap(), 4);
+        let run = run_async::<FloodAsync>(&net, &WakeSchedule::default(), 1);
+        assert_eq!(run.rho_awk, None);
+        assert!(!run.report.all_awake);
+    }
+}

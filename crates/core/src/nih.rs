@@ -1,0 +1,159 @@
+//! Lemma 1: the reduction from wake-up to the needles-in-haystack (𝖭𝖨𝖧)
+//! problem, as a generic protocol adapter.
+//!
+//! Given *any* asynchronous wake-up protocol `P`, [`Nih<P>`] runs `P`
+//! unchanged while adding the Lemma 1 instrumentation:
+//!
+//! * every degree-1 node (the `W`-side of the lower-bound families — the
+//!   only degree-1 nodes there) sends one special `Response` message back on
+//!   its single port upon waking;
+//! * every other node, upon receiving a `Response`, outputs the 𝖭𝖨𝖧 answer:
+//!   the arrival port number under KT0, or the responder's ID under KT1.
+//!
+//! The overhead matches Lemma 1 exactly: at most `n` extra messages and one
+//! extra time unit. Both lower-bound experiments build on this reduction;
+//! the adapter makes it available for *any* algorithm, so one can, for
+//! example, measure how many messages `DfsRank` needs before every center
+//! knows its crucial neighbor.
+
+use wakeup_sim::{AsyncProtocol, Context, Incoming, NodeInit, Payload, WakeCause};
+
+/// Message wrapper: the inner protocol's traffic plus the Lemma 1 response.
+#[derive(Debug, Clone)]
+pub enum NihMsg<M> {
+    /// A message of the wrapped protocol.
+    Inner(M),
+    /// The degree-1 responder's special message (distinct from everything
+    /// the inner protocol produces, as the lemma requires).
+    Response,
+}
+
+impl<M: Payload> Payload for NihMsg<M> {
+    fn size_bits(&self) -> usize {
+        match self {
+            NihMsg::Inner(m) => 1 + m.size_bits(),
+            NihMsg::Response => 1,
+        }
+    }
+}
+
+/// The Lemma 1 adapter around an inner wake-up protocol.
+#[derive(Debug)]
+pub struct Nih<P> {
+    inner: P,
+    degree: usize,
+    responded: bool,
+}
+
+impl<P: AsyncProtocol> Nih<P> {
+    fn run_inner<R>(
+        &mut self,
+        ctx: &mut Context<'_, NihMsg<P::Msg>>,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
+    ) -> R {
+        let inner = &mut self.inner;
+        ctx.scoped(|inner_ctx| f(inner, inner_ctx), NihMsg::Inner)
+    }
+}
+
+impl<P: AsyncProtocol> AsyncProtocol for Nih<P> {
+    type Msg = NihMsg<P::Msg>;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        Nih {
+            inner: P::init(init),
+            degree: init.degree,
+            responded: false,
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause) {
+        // Degree-1 nodes respond upon their (message-caused) wake-up.
+        if self.degree == 1 && cause == WakeCause::Message && !self.responded {
+            self.responded = true;
+            ctx.send(wakeup_sim::Port::new(1), NihMsg::Response);
+        }
+        self.run_inner(ctx, |p, c| p.on_wake(c, cause));
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: Incoming, msg: Self::Msg) {
+        match msg {
+            NihMsg::Response => {
+                // The NIH output: the port (KT0) or the responder ID (KT1).
+                let answer = from
+                    .sender_id
+                    .unwrap_or(from.port.number() as u64);
+                ctx.output(answer);
+            }
+            NihMsg::Inner(m) => {
+                self.run_inner(ctx, |p, c| p.on_message(c, from, m));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfs_rank::DfsRank;
+    use crate::flooding::FloodAsync;
+    use wakeup_graph::families::{ClassG, ClassGk};
+    use wakeup_graph::NodeId;
+    use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::{AsyncConfig, AsyncEngine, Network};
+
+    #[test]
+    fn flooding_solves_nih_on_class_g_kt0() {
+        let fam = ClassG::new(16).unwrap();
+        let net = Network::kt0(fam.graph().clone(), 3);
+        let schedule = WakeSchedule::all_at_zero(&fam.centers());
+        let report = AsyncEngine::<Nih<FloodAsync>>::new(&net, AsyncConfig::default())
+            .run(&schedule);
+        assert!(report.all_awake);
+        for (v, w) in fam.crucial_pairs() {
+            let out = report.outputs[v.index()].expect("center must output");
+            let port = wakeup_sim::Port::new(out as usize);
+            assert_eq!(net.ports().neighbor(v, port), w, "KT0 output is the crucial port");
+        }
+    }
+
+    #[test]
+    fn dfs_rank_solves_nih_on_class_gk_kt1() {
+        let fam = ClassGk::new(3, 3, 5).unwrap();
+        let net = Network::kt1(fam.graph().clone(), 5);
+        let schedule = WakeSchedule::all_at_zero(&fam.centers());
+        let report =
+            AsyncEngine::<Nih<DfsRank>>::new(&net, AsyncConfig::default()).run(&schedule);
+        assert!(report.all_awake);
+        for (v, w) in fam.crucial_pairs() {
+            let out = report.outputs[v.index()].expect("center must output");
+            assert_eq!(out, net.ids().id(w), "KT1 output is the crucial neighbor's ID");
+        }
+    }
+
+    #[test]
+    fn overhead_is_at_most_n_messages() {
+        let fam = ClassG::new(12).unwrap();
+        let n3 = fam.graph().n() as u64;
+        let net = Network::kt0(fam.graph().clone(), 1);
+        let schedule = WakeSchedule::all_at_zero(&fam.centers());
+        let plain =
+            AsyncEngine::<FloodAsync>::new(&net, AsyncConfig::default()).run(&schedule);
+        let wrapped =
+            AsyncEngine::<Nih<FloodAsync>>::new(&net, AsyncConfig::default()).run(&schedule);
+        assert!(wrapped.metrics.messages_sent <= plain.metrics.messages_sent + n3);
+    }
+
+    #[test]
+    fn non_matching_degree_one_nodes_also_respond_harmlessly() {
+        // On a path, endpoints have degree 1; they respond and their single
+        // neighbor outputs — the adapter never breaks the inner protocol.
+        let g = wakeup_graph::generators::path(6).unwrap();
+        let net = Network::kt0(g, 2);
+        let report = AsyncEngine::<Nih<FloodAsync>>::new(&net, AsyncConfig::default())
+            .run(&WakeSchedule::single(NodeId::new(2)));
+        assert!(report.all_awake);
+        assert!(report.outputs[1].is_some());
+        assert!(report.outputs[4].is_some());
+    }
+}

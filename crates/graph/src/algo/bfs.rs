@@ -1,0 +1,227 @@
+//! Breadth-first search: distances, trees, and multi-source variants.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Distance value representing "unreachable".
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// A rooted BFS tree (or forest, for multiple sources).
+///
+/// Produced by [`bfs_tree`] and [`multi_source_bfs`]; the advice oracles in
+/// `wakeup-core` turn these into per-node advice strings.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    roots: Vec<NodeId>,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+}
+
+impl BfsTree {
+    /// The sources the search started from.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// Parent of `v` in the tree, or `None` for roots and unreachable nodes.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v`, sorted by node index.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Hop distance of `v` from the nearest root, or [`UNREACHABLE`].
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v.index()]
+    }
+
+    /// Whether `v` was reached by the search.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.depth[v.index()] != UNREACHABLE
+    }
+
+    /// Height of the tree: maximum finite depth.
+    pub fn height(&self) -> usize {
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of tree edges (= number of non-root reached nodes).
+    pub fn edge_count(&self) -> usize {
+        self.parent.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Degree of `v` within the tree (children plus parent, if any).
+    pub fn tree_degree(&self, v: NodeId) -> usize {
+        self.children(v).len() + usize::from(self.parent(v).is_some())
+    }
+
+    /// Iterates over all reached nodes in increasing depth order.
+    pub fn by_depth(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.parent.len())
+            .map(NodeId::new)
+            .filter(|&v| self.reached(v))
+            .collect();
+        nodes.sort_by_key(|&v| (self.depth(v), v));
+        nodes
+    }
+}
+
+/// Hop distances from `source` to every node ([`UNREACHABLE`] if none).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo, NodeId};
+/// let g = generators::path(5)?;
+/// let d = algo::bfs_distances(&g, NodeId::new(0));
+/// assert_eq!(d[4], 4);
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<usize> {
+    multi_source_distances(graph, std::slice::from_ref(&source))
+}
+
+/// Hop distances from the nearest of several `sources`.
+pub fn multi_source_distances(graph: &Graph, sources: &[NodeId]) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; graph.n()];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s.index()] == UNREACHABLE {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v.index()];
+        for &w in graph.neighbors(v) {
+            if dist[w.index()] == UNREACHABLE {
+                dist[w.index()] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// BFS tree rooted at `root`.
+pub fn bfs_tree(graph: &Graph, root: NodeId) -> BfsTree {
+    multi_source_bfs(graph, std::slice::from_ref(&root))
+}
+
+/// BFS forest grown simultaneously from all `sources`.
+///
+/// Ties are broken by queue order (sources in the given order, then FIFO), so
+/// the result is deterministic.
+pub fn multi_source_bfs(graph: &Graph, sources: &[NodeId]) -> BfsTree {
+    let n = graph.n();
+    let mut parent = vec![None; n];
+    let mut depth = vec![UNREACHABLE; n];
+    let mut children = vec![Vec::new(); n];
+    let mut queue = VecDeque::new();
+    let mut roots = Vec::new();
+    for &s in sources {
+        if depth[s.index()] == UNREACHABLE {
+            depth[s.index()] = 0;
+            roots.push(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let dv = depth[v.index()];
+        for &w in graph.neighbors(v) {
+            if depth[w.index()] == UNREACHABLE {
+                depth[w.index()] = dv + 1;
+                parent[w.index()] = Some(v);
+                children[v.index()].push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    BfsTree { roots, parent, children, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let g = generators::path(6).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], UNREACHABLE);
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn tree_structure_on_star() {
+        let g = generators::star(5).unwrap();
+        let t = bfs_tree(&g, NodeId::new(0));
+        assert_eq!(t.roots(), &[NodeId::new(0)]);
+        assert_eq!(t.children(NodeId::new(0)).len(), 4);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.edge_count(), 4);
+        for i in 1..5 {
+            assert_eq!(t.parent(NodeId::new(i)), Some(NodeId::new(0)));
+            assert_eq!(t.tree_degree(NodeId::new(i)), 1);
+        }
+        assert_eq!(t.tree_degree(NodeId::new(0)), 4);
+    }
+
+    #[test]
+    fn multi_source_nearest() {
+        let g = generators::path(7).unwrap();
+        let t = multi_source_bfs(&g, &[NodeId::new(0), NodeId::new(6)]);
+        assert_eq!(t.depth(NodeId::new(3)), 3);
+        assert_eq!(t.depth(NodeId::new(5)), 1);
+        assert_eq!(t.roots().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_sources_collapse() {
+        let g = generators::path(3).unwrap();
+        let t = multi_source_bfs(&g, &[NodeId::new(1), NodeId::new(1)]);
+        assert_eq!(t.roots(), &[NodeId::new(1)]);
+    }
+
+    #[test]
+    fn by_depth_is_sorted() {
+        let g = generators::path(5).unwrap();
+        let t = bfs_tree(&g, NodeId::new(2));
+        let order = t.by_depth();
+        for w in order.windows(2) {
+            assert!(t.depth(w[0]) <= t.depth(w[1]));
+        }
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let g = generators::erdos_renyi_connected(40, 0.15, 99).unwrap();
+        let t = bfs_tree(&g, NodeId::new(0));
+        for v in g.nodes() {
+            for &c in t.children(v) {
+                assert_eq!(t.parent(c), Some(v));
+                assert_eq!(t.depth(c), t.depth(v) + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Connected components.
+
+use crate::{Graph, NodeId};
+
+/// Assigns each node a component label in `0..k` and returns `(labels, k)`.
+///
+/// Labels are assigned in increasing order of the smallest node index in each
+/// component, so the output is deterministic.
+pub fn connected_components(graph: &Graph) -> (Vec<usize>, usize) {
+    let n = graph.n();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        stack.push(NodeId::new(start));
+        while let Some(v) = stack.pop() {
+            for &w in graph.neighbors(v) {
+                if label[w.index()] == usize::MAX {
+                    label[w.index()] = next;
+                    stack.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{Graph, algo};
+/// let g = Graph::from_edges(3, &[(0, 1)])?;
+/// assert!(!algo::is_connected(&g));
+/// let h = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// assert!(algo::is_connected(&h));
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn is_connected(graph: &Graph) -> bool {
+    let (_, k) = connected_components(graph);
+    k <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_graph_connected() {
+        assert!(is_connected(&Graph::empty(0)));
+    }
+
+    #[test]
+    fn singleton_connected() {
+        assert!(is_connected(&Graph::empty(1)));
+    }
+
+    #[test]
+    fn isolated_nodes_form_components() {
+        let g = Graph::empty(4);
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 4);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn generators_are_connected() {
+        for g in [
+            generators::path(9).unwrap(),
+            generators::cycle(9).unwrap(),
+            generators::star(9).unwrap(),
+            generators::complete(9).unwrap(),
+            generators::hypercube(3).unwrap(),
+        ] {
+            assert!(is_connected(&g));
+        }
+    }
+}

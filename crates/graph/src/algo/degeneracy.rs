@@ -1,0 +1,147 @@
+//! Degeneracy (k-core) ordering — the certificate for forest-decomposition
+//! sizes: every graph decomposes into at most `2·degeneracy` forests, and
+//! arboricity ≥ ⌈degeneracy / 2⌉, so the Theorem 6 advice bound
+//! O(n^{1/k} log² n) can be checked against a computable graph parameter.
+
+use crate::{Graph, NodeId};
+
+/// Result of the degeneracy computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degeneracy {
+    /// The degeneracy d: every subgraph has a node of degree ≤ d.
+    pub value: usize,
+    /// A degeneracy ordering (each node has ≤ d neighbors later in it).
+    pub order: Vec<NodeId>,
+}
+
+/// Computes the degeneracy and a degeneracy ordering in O(n + m) via the
+/// bucketed peeling algorithm (Matula–Beck).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{algo, generators};
+/// let tree = generators::balanced_tree(3, 3)?;
+/// assert_eq!(algo::degeneracy(&tree).value, 1); // forests are 1-degenerate
+/// let k5 = generators::complete(5)?;
+/// assert_eq!(algo::degeneracy(&k5).value, 4);
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn degeneracy(graph: &Graph) -> Degeneracy {
+    let n = graph.n();
+    if n == 0 {
+        return Degeneracy { value: 0, order: Vec::new() };
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(NodeId::new(v))).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Buckets of nodes by current degree.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut value = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // Find the lowest nonempty bucket; cursor only needs to go back by
+        // one per removal, so this stays linear.
+        cursor = cursor.min(max_deg);
+        loop {
+            while cursor <= max_deg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let candidate = buckets[cursor].pop().expect("bucket nonempty");
+            if removed[candidate] {
+                continue;
+            }
+            if degree[candidate] != cursor {
+                // Stale entry; the node lives in a lower bucket now.
+                continue;
+            }
+            removed[candidate] = true;
+            value = value.max(cursor);
+            order.push(NodeId::new(candidate));
+            for &w in graph.neighbors(NodeId::new(candidate)) {
+                let wi = w.index();
+                if !removed[wi] {
+                    degree[wi] -= 1;
+                    buckets[degree[wi]].push(wi);
+                    if degree[wi] < cursor {
+                        cursor = degree[wi];
+                    }
+                }
+            }
+            break;
+        }
+    }
+    Degeneracy { value, order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo, generators};
+
+    #[test]
+    fn forests_are_one_degenerate() {
+        for seed in 0..4 {
+            let g = generators::random_tree(40, seed).unwrap();
+            assert_eq!(degeneracy(&g).value, 1, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cycles_are_two_degenerate() {
+        assert_eq!(degeneracy(&generators::cycle(15).unwrap()).value, 2);
+    }
+
+    #[test]
+    fn cliques_are_n_minus_one_degenerate() {
+        assert_eq!(degeneracy(&generators::complete(8).unwrap()).value, 7);
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        assert_eq!(degeneracy(&Graph::empty(0)).value, 0);
+        assert_eq!(degeneracy(&Graph::empty(5)).value, 0);
+    }
+
+    #[test]
+    fn ordering_certifies_the_value() {
+        let g = generators::erdos_renyi_connected(50, 0.15, 9).unwrap();
+        let d = degeneracy(&g);
+        assert_eq!(d.order.len(), 50);
+        // Every node has at most `value` neighbors later in the order.
+        let pos: std::collections::HashMap<NodeId, usize> =
+            d.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for &v in &d.order {
+            let later = g.neighbors(v).iter().filter(|w| pos[w] > pos[&v]).count();
+            assert!(later <= d.value, "node {v} has {later} later neighbors > {}", d.value);
+        }
+    }
+
+    #[test]
+    fn forest_decomposition_bounded_by_degeneracy() {
+        // Arboricity ≤ degeneracy, and the greedy peeling decomposition uses
+        // at most ~2·arboricity forests.
+        for seed in [3u64, 7, 11] {
+            let g = generators::erdos_renyi_connected(40, 0.3, seed).unwrap();
+            let d = degeneracy(&g).value;
+            let forests = algo::forest_decomposition(&g).len();
+            assert!(
+                forests <= 2 * d + 1,
+                "seed {seed}: {forests} forests exceeds 2·degeneracy + 1 = {}",
+                2 * d + 1
+            );
+        }
+    }
+
+    #[test]
+    fn spanner_degeneracy_shrinks_with_k() {
+        let g = generators::complete(60).unwrap();
+        let d2 = degeneracy(&algo::greedy_spanner(&g, 2)).value;
+        let d_full = degeneracy(&g).value;
+        assert!(d2 < d_full / 2, "spanner degeneracy {d2} vs full {d_full}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Depth-first search (reference traversal used by tests of the distributed
+//! DFS algorithm of Theorem 3).
+
+use crate::{Graph, NodeId};
+
+/// One step of a preorder DFS visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DfsVisit {
+    /// The node visited.
+    pub node: NodeId,
+    /// The node it was discovered from (`None` for the root).
+    pub discovered_from: Option<NodeId>,
+    /// Preorder index (0 for the root).
+    pub order: usize,
+}
+
+/// Iterative preorder DFS from `root`, exploring neighbors in ascending index
+/// order (matching the deterministic tie-breaking of the distributed DFS).
+///
+/// Returns the visits in preorder; unreachable nodes do not appear.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo, NodeId};
+/// let g = generators::path(4)?;
+/// let visits = algo::dfs_preorder(&g, NodeId::new(0));
+/// let order: Vec<usize> = visits.iter().map(|v| v.node.index()).collect();
+/// assert_eq!(order, vec![0, 1, 2, 3]);
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn dfs_preorder(graph: &Graph, root: NodeId) -> Vec<DfsVisit> {
+    let n = graph.n();
+    let mut visited = vec![false; n];
+    let mut visits = Vec::new();
+    // Stack of (node, discovered_from, next-neighbor cursor).
+    let mut stack: Vec<(NodeId, Option<NodeId>, usize)> = vec![(root, None, 0)];
+    visited[root.index()] = true;
+    visits.push(DfsVisit { node: root, discovered_from: None, order: 0 });
+    while let Some(&mut (v, _, ref mut cursor)) = stack.last_mut() {
+        let nbrs = graph.neighbors(v);
+        let mut advanced = false;
+        while *cursor < nbrs.len() {
+            let w = nbrs[*cursor];
+            *cursor += 1;
+            if !visited[w.index()] {
+                visited[w.index()] = true;
+                visits.push(DfsVisit {
+                    node: w,
+                    discovered_from: Some(v),
+                    order: visits.len(),
+                });
+                stack.push((w, Some(v), 0));
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            stack.pop();
+        }
+    }
+    visits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn visits_every_reachable_node_once() {
+        let g = generators::erdos_renyi_connected(30, 0.2, 7).unwrap();
+        let visits = dfs_preorder(&g, NodeId::new(0));
+        assert_eq!(visits.len(), 30);
+        let mut seen = std::collections::HashSet::new();
+        for v in &visits {
+            assert!(seen.insert(v.node), "node visited twice: {:?}", v.node);
+        }
+    }
+
+    #[test]
+    fn preorder_indices_sequential() {
+        let g = generators::complete(6).unwrap();
+        let visits = dfs_preorder(&g, NodeId::new(2));
+        for (i, v) in visits.iter().enumerate() {
+            assert_eq!(v.order, i);
+        }
+        assert_eq!(visits[0].node, NodeId::new(2));
+        assert_eq!(visits[0].discovered_from, None);
+    }
+
+    #[test]
+    fn discovery_edges_exist_in_graph() {
+        let g = generators::erdos_renyi_connected(25, 0.3, 9).unwrap();
+        for v in dfs_preorder(&g, NodeId::new(0)) {
+            if let Some(p) = v.discovered_from {
+                assert!(g.has_edge(p, v.node));
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes_skipped() {
+        let g = crate::Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let visits = dfs_preorder(&g, NodeId::new(0));
+        assert_eq!(visits.len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Distance-based measures: eccentricity, diameter, and the paper's awake
+//! distance ρ_awk (Section 1.2, equation (1)).
+
+use super::bfs::{bfs_distances, multi_source_distances, UNREACHABLE};
+use crate::{Graph, NodeId};
+
+/// Eccentricity of `v`: the maximum hop distance from `v` to any node, or
+/// `None` if some node is unreachable from `v`.
+pub fn eccentricity(graph: &Graph, v: NodeId) -> Option<usize> {
+    let d = bfs_distances(graph, v);
+    let mut ecc = 0usize;
+    for &x in &d {
+        if x == UNREACHABLE {
+            return None;
+        }
+        ecc = ecc.max(x);
+    }
+    Some(ecc)
+}
+
+/// Exact diameter via BFS from every node; `None` if disconnected.
+///
+/// Runs in `O(n·m)`; all graph sizes in the experiments keep this cheap.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo};
+/// let g = generators::star(10)?;
+/// assert_eq!(algo::diameter(&g), Some(2));
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn diameter(graph: &Graph) -> Option<usize> {
+    if graph.n() == 0 {
+        return Some(0);
+    }
+    let mut best = 0usize;
+    for v in graph.nodes() {
+        best = best.max(eccentricity(graph, v)?);
+    }
+    Some(best)
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `start`, then BFS from
+/// the farthest node found. Exact on trees; a lower bound in general.
+pub fn double_sweep_lower_bound(graph: &Graph, start: NodeId) -> Option<usize> {
+    let d1 = bfs_distances(graph, start);
+    if d1.contains(&UNREACHABLE) {
+        return None;
+    }
+    let far = d1
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, d)| *d)
+        .map(|(i, _)| NodeId::new(i))?;
+    eccentricity(graph, far)
+}
+
+/// The radius (minimum eccentricity) and a center node attaining it, or
+/// `None` for disconnected graphs.
+///
+/// Rooting a BFS tree at a center halves the worst-case tree height compared
+/// to an arbitrary root, which is why the advising schemes default to it.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo, NodeId};
+/// let g = generators::path(9)?;
+/// let (radius, center) = algo::center(&g).expect("connected");
+/// assert_eq!(radius, 4);
+/// assert_eq!(center, NodeId::new(4));
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn center(graph: &Graph) -> Option<(usize, NodeId)> {
+    let mut best: Option<(usize, NodeId)> = None;
+    for v in graph.nodes() {
+        let ecc = eccentricity(graph, v)?;
+        if best.map_or(true, |(b, _)| ecc < b) {
+            best = Some((ecc, v));
+        }
+    }
+    best
+}
+
+/// The awake distance ρ_awk(G, A₀): the maximum over nodes `u` of the hop
+/// distance from `u` to the nearest initially-awake node (paper eq. (1)).
+///
+/// Returns `None` if `awake` is empty or some node is unreachable from every
+/// awake node (in which case no wake-up algorithm can succeed).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo, NodeId};
+/// let g = generators::path(7)?;
+/// // Waking both endpoints halves the distance compared to the diameter.
+/// let rho = algo::awake_distance(&g, &[NodeId::new(0), NodeId::new(6)]);
+/// assert_eq!(rho, Some(3));
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn awake_distance(graph: &Graph, awake: &[NodeId]) -> Option<usize> {
+    if awake.is_empty() {
+        return None;
+    }
+    let d = multi_source_distances(graph, awake);
+    let mut rho = 0usize;
+    for &x in &d {
+        if x == UNREACHABLE {
+            return None;
+        }
+        rho = rho.max(x);
+    }
+    Some(rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_diameter() {
+        let g = generators::path(9).unwrap();
+        assert_eq!(diameter(&g), Some(8));
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&generators::cycle(10).unwrap()), Some(5));
+        assert_eq!(diameter(&generators::cycle(11).unwrap()), Some(5));
+    }
+
+    #[test]
+    fn complete_diameter_one() {
+        assert_eq!(diameter(&generators::complete(7).unwrap()), Some(1));
+    }
+
+    #[test]
+    fn disconnected_diameter_none() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(diameter(&g), None);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_path() {
+        let g = generators::path(12).unwrap();
+        assert_eq!(double_sweep_lower_bound(&g, NodeId::new(5)), Some(11));
+    }
+
+    #[test]
+    fn double_sweep_is_lower_bound() {
+        let g = generators::erdos_renyi_connected(40, 0.1, 3).unwrap();
+        let exact = diameter(&g).unwrap();
+        let lb = double_sweep_lower_bound(&g, NodeId::new(0)).unwrap();
+        assert!(lb <= exact);
+    }
+
+    #[test]
+    fn awake_distance_upper_bounded_by_diameter() {
+        let g = generators::erdos_renyi_connected(30, 0.15, 5).unwrap();
+        let d = diameter(&g).unwrap();
+        for a in 0..g.n() {
+            let rho = awake_distance(&g, &[NodeId::new(a)]).unwrap();
+            assert!(rho <= d);
+        }
+    }
+
+    #[test]
+    fn awake_distance_all_awake_is_zero() {
+        let g = generators::cycle(8).unwrap();
+        let all: Vec<NodeId> = g.nodes().collect();
+        assert_eq!(awake_distance(&g, &all), Some(0));
+    }
+
+    #[test]
+    fn awake_distance_empty_set_none() {
+        let g = generators::cycle(8).unwrap();
+        assert_eq!(awake_distance(&g, &[]), None);
+    }
+
+    #[test]
+    fn center_of_star_is_hub() {
+        let g = generators::star(9).unwrap();
+        assert_eq!(center(&g), Some((1, NodeId::new(0))));
+    }
+
+    #[test]
+    fn center_radius_relation() {
+        let g = generators::erdos_renyi_connected(35, 0.12, 9).unwrap();
+        let (radius, c) = center(&g).unwrap();
+        let d = diameter(&g).unwrap();
+        assert!(radius <= d && d <= 2 * radius, "radius {radius}, diameter {d}");
+        assert_eq!(eccentricity(&g, c), Some(radius));
+    }
+
+    #[test]
+    fn center_disconnected_none() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(center(&g), None);
+    }
+
+    use crate::Graph;
+}

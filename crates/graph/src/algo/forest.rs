@@ -1,0 +1,234 @@
+//! Forest decompositions: partitioning a graph's edge set into rooted
+//! spanning forests. The Theorem 6 advising scheme applies the child-encoding
+//! scheme to each forest of a spanner's decomposition.
+
+use crate::{Graph, NodeId};
+
+/// A rooted forest over the node set of some graph.
+///
+/// Every node has at most one parent; nodes with no parent are roots of their
+/// trees (isolated nodes are trivial roots). Parent/child edges always exist
+/// in the source graph.
+#[derive(Debug, Clone)]
+pub struct Forest {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl Forest {
+    /// Builds a forest from a parent assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent pointers contain a cycle.
+    pub fn from_parents(parent: Vec<Option<NodeId>>) -> Forest {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        for (i, p) in parent.iter().enumerate() {
+            if let Some(p) = p {
+                children[p.index()].push(NodeId::new(i));
+            }
+        }
+        let forest = Forest { parent, children };
+        assert!(forest.is_acyclic(), "parent pointers contain a cycle");
+        forest
+    }
+
+    fn is_acyclic(&self) -> bool {
+        let n = self.parent.len();
+        // Follow parent pointers with a step budget of n.
+        for start in 0..n {
+            let mut v = NodeId::new(start);
+            let mut steps = 0usize;
+            while let Some(p) = self.parent[v.index()] {
+                v = p;
+                steps += 1;
+                if steps > n {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of nodes covered by the forest's node universe.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` in the forest.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v` in ascending index order.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Number of edges in the forest.
+    pub fn edge_count(&self) -> usize {
+        self.parent.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// All tree roots that have at least one child.
+    pub fn nontrivial_roots(&self) -> Vec<NodeId> {
+        (0..self.n())
+            .map(NodeId::new)
+            .filter(|&v| self.parent(v).is_none() && !self.children(v).is_empty())
+            .collect()
+    }
+}
+
+/// Partitions the edges of `graph` into rooted spanning forests.
+///
+/// Repeatedly extracts a maximal spanning forest of the remaining edges until
+/// none are left. The number of forests equals the graph's arboricity up to a
+/// factor of 2 (each extraction removes a spanning forest, and any graph with
+/// arboricity `a` loses at least a `1/a` fraction of edges per round in the
+/// dense parts). For greedy (2k−1)-spanners the count is O(n^{1/k}).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo};
+/// let g = generators::cycle(6)?;
+/// let forests = algo::forest_decomposition(&g);
+/// assert_eq!(forests.len(), 2); // a cycle is two forests
+/// let total: usize = forests.iter().map(|f| f.edge_count()).sum();
+/// assert_eq!(total, g.m());
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn forest_decomposition(graph: &Graph) -> Vec<Forest> {
+    let n = graph.n();
+    let mut remaining: Vec<Vec<NodeId>> = (0..n)
+        .map(|v| graph.neighbors(NodeId::new(v)).to_vec())
+        .collect();
+    let mut remaining_edges = graph.m();
+    let mut forests = Vec::new();
+    while remaining_edges > 0 {
+        // Extract one maximal spanning forest of the remaining edges by DFS.
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut in_tree = vec![false; n];
+        let mut used_edge: Vec<(NodeId, NodeId)> = Vec::new();
+        for start in 0..n {
+            if in_tree[start] {
+                continue;
+            }
+            in_tree[start] = true;
+            let mut stack = vec![NodeId::new(start)];
+            while let Some(v) = stack.pop() {
+                for &w in &remaining[v.index()] {
+                    if !in_tree[w.index()] {
+                        in_tree[w.index()] = true;
+                        parent[w.index()] = Some(v);
+                        used_edge.push((v, w));
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        if used_edge.is_empty() {
+            // Remaining edges exist but none could be used: impossible, since
+            // any remaining edge connects two nodes and the DFS covers all
+            // nodes; defend against logic errors rather than looping forever.
+            unreachable!("spanning forest extraction made no progress");
+        }
+        // Remove used edges from the remaining multiset.
+        for &(u, v) in &used_edge {
+            remove_edge(&mut remaining, u, v);
+            remaining_edges -= 1;
+        }
+        forests.push(Forest::from_parents(parent));
+    }
+    forests
+}
+
+fn remove_edge(adj: &mut [Vec<NodeId>], u: NodeId, v: NodeId) {
+    if let Some(pos) = adj[u.index()].iter().position(|&x| x == v) {
+        adj[u.index()].swap_remove(pos);
+    }
+    if let Some(pos) = adj[v.index()].iter().position(|&x| x == u) {
+        adj[v.index()].swap_remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn tree_is_one_forest() {
+        let g = generators::balanced_tree(3, 3).unwrap();
+        let forests = forest_decomposition(&g);
+        assert_eq!(forests.len(), 1);
+        assert_eq!(forests[0].edge_count(), g.m());
+    }
+
+    #[test]
+    fn edges_partitioned_exactly() {
+        let g = generators::erdos_renyi_connected(30, 0.3, 11).unwrap();
+        let forests = forest_decomposition(&g);
+        let mut seen = std::collections::HashSet::new();
+        for f in &forests {
+            for v in g.nodes() {
+                if let Some(p) = f.parent(v) {
+                    let key = if v < p { (v, p) } else { (p, v) };
+                    assert!(g.has_edge(v, p), "forest edge must exist in graph");
+                    assert!(seen.insert(key), "edge appears in two forests");
+                }
+            }
+        }
+        assert_eq!(seen.len(), g.m());
+    }
+
+    #[test]
+    fn complete_graph_forest_count() {
+        let g = generators::complete(10).unwrap();
+        let forests = forest_decomposition(&g);
+        // Arboricity of K_10 is 5; the greedy peeling uses at most ~2x.
+        assert!(forests.len() >= 5);
+        assert!(forests.len() <= 10, "got {}", forests.len());
+    }
+
+    #[test]
+    fn children_consistent_with_parents() {
+        let g = generators::erdos_renyi_connected(20, 0.4, 13).unwrap();
+        for f in forest_decomposition(&g) {
+            for v in g.nodes() {
+                for &c in f.children(v) {
+                    assert_eq!(f.parent(c), Some(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cyclic_parents_rejected() {
+        let parent = vec![
+            Some(NodeId::new(1)),
+            Some(NodeId::new(2)),
+            Some(NodeId::new(0)),
+        ];
+        Forest::from_parents(parent);
+    }
+
+    #[test]
+    fn empty_graph_no_forests() {
+        let g = Graph::empty(5);
+        assert!(forest_decomposition(&g).is_empty());
+    }
+
+    #[test]
+    fn nontrivial_roots_excludes_isolated() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let forests = forest_decomposition(&g);
+        assert_eq!(forests.len(), 1);
+        let roots = forests[0].nontrivial_roots();
+        assert_eq!(roots.len(), 1);
+    }
+
+    use crate::Graph;
+}

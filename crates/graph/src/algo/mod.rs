@@ -1,0 +1,19 @@
+//! Graph algorithms used by the wake-up algorithms and the experiments.
+
+mod bfs;
+mod components;
+mod degeneracy;
+mod dfs;
+mod distance;
+mod forest;
+mod girth;
+mod spanner;
+
+pub use bfs::{bfs_distances, bfs_tree, multi_source_bfs, multi_source_distances, BfsTree, UNREACHABLE};
+pub use components::{connected_components, is_connected};
+pub use degeneracy::{degeneracy, Degeneracy};
+pub use dfs::{dfs_preorder, DfsVisit};
+pub use distance::{awake_distance, center, diameter, double_sweep_lower_bound, eccentricity};
+pub use forest::{forest_decomposition, Forest};
+pub use girth::girth;
+pub use spanner::{greedy_spanner, verify_spanner_stretch};

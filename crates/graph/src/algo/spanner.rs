@@ -1,0 +1,164 @@
+//! Greedy multiplicative spanners (Althöfer et al.), the substrate of the
+//! Theorem 6 advising scheme.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Computes a greedy (2k−1)-spanner of `graph`.
+///
+/// Edges are scanned in canonical order; an edge `{u, v}` joins the spanner
+/// iff the current spanner distance between `u` and `v` exceeds `2k − 1`.
+/// The result has at most `n^{1+1/k}` edges up to constants (girth argument)
+/// and multiplicative stretch `2k − 1`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{generators, algo};
+/// let g = generators::complete(20)?;
+/// let s = algo::greedy_spanner(&g, 2); // stretch 3
+/// assert!(s.m() < g.m());
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn greedy_spanner(graph: &Graph, k: usize) -> Graph {
+    assert!(k >= 1, "spanner parameter k must be positive");
+    let stretch = 2 * k - 1;
+    let n = graph.n();
+    let mut builder = GraphBuilder::new(n);
+    // Adjacency of the growing spanner for bounded-depth BFS probes.
+    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut dist = vec![usize::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for &(u, v) in graph.edges() {
+        // Bounded BFS from u up to depth `stretch` inside the spanner.
+        let within = {
+            dist[u.index()] = 0;
+            touched.push(u.index());
+            let mut queue = VecDeque::new();
+            queue.push_back(u);
+            let mut found = false;
+            'bfs: while let Some(x) = queue.pop_front() {
+                let dx = dist[x.index()];
+                if dx >= stretch {
+                    break;
+                }
+                for &y in &adj[x.index()] {
+                    if dist[y.index()] == usize::MAX {
+                        dist[y.index()] = dx + 1;
+                        touched.push(y.index());
+                        if y == v {
+                            found = true;
+                            break 'bfs;
+                        }
+                        queue.push_back(y);
+                    }
+                }
+            }
+            for &t in &touched {
+                dist[t] = usize::MAX;
+            }
+            touched.clear();
+            found
+        };
+        if !within {
+            builder
+                .add_edge(u.index(), v.index())
+                .expect("spanner edges come from a valid graph");
+            adj[u.index()].push(v);
+            adj[v.index()].push(u);
+        }
+    }
+    builder.build()
+}
+
+/// Verifies the (2k−1)-stretch property of `spanner` with respect to `graph`,
+/// returning the worst observed stretch over all graph edges.
+///
+/// This is the natural certificate: multiplicative stretch over all pairs is
+/// attained on edges.
+pub fn verify_spanner_stretch(graph: &Graph, spanner: &Graph) -> Option<f64> {
+    let mut worst: f64 = 0.0;
+    for v in graph.nodes() {
+        let d = super::bfs::bfs_distances(spanner, v);
+        for &w in graph.neighbors(v) {
+            if d[w.index()] == usize::MAX {
+                return None;
+            }
+            worst = worst.max(d[w.index()] as f64);
+        }
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{algo, generators};
+
+    #[test]
+    fn k1_spanner_is_the_graph() {
+        let g = generators::erdos_renyi_connected(25, 0.3, 1).unwrap();
+        let s = greedy_spanner(&g, 1); // stretch 1: keep every edge
+        assert_eq!(s.m(), g.m());
+    }
+
+    #[test]
+    fn stretch_respected() {
+        for k in [2usize, 3, 4] {
+            let g = generators::erdos_renyi_connected(40, 0.25, 42).unwrap();
+            let s = greedy_spanner(&g, k);
+            let worst = verify_spanner_stretch(&g, &s).expect("spanner spans");
+            assert!(
+                worst <= (2 * k - 1) as f64,
+                "stretch {worst} exceeds {} for k={k}",
+                2 * k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn spanner_connected_when_graph_connected() {
+        let g = generators::erdos_renyi_connected(50, 0.2, 7).unwrap();
+        let s = greedy_spanner(&g, 3);
+        assert!(algo::is_connected(&s));
+    }
+
+    #[test]
+    fn spanner_girth_exceeds_stretch() {
+        // The greedy invariant: the spanner has girth > 2k, hence few edges.
+        let g = generators::complete(30).unwrap();
+        let k = 2;
+        let s = greedy_spanner(&g, k);
+        if let Some(girth) = algo::girth(&s) {
+            assert!(girth > 2 * k, "girth {girth} should exceed {}", 2 * k);
+        }
+    }
+
+    #[test]
+    fn complete_graph_sparsifies() {
+        let g = generators::complete(40).unwrap();
+        let s = greedy_spanner(&g, 3);
+        // K_n with stretch 5 keeps far fewer than n^2/2 edges.
+        assert!(s.m() < g.m() / 4, "spanner m = {}, graph m = {}", s.m(), g.m());
+    }
+
+    #[test]
+    fn tree_is_its_own_spanner() {
+        let g = generators::balanced_tree(2, 5).unwrap();
+        let s = greedy_spanner(&g, 3);
+        assert_eq!(s.m(), g.m());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        greedy_spanner(&Graph::empty(1), 0);
+    }
+
+    use crate::Graph;
+}

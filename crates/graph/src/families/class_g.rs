@@ -1,0 +1,160 @@
+//! The KT0 lower-bound class 𝒢 (Section 2 of the paper).
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// An instance of the lower-bound class 𝒢.
+///
+/// The vertex set is `U ∪ V ∪ W` with `|U| = |V| = |W| = n`:
+///
+/// * nodes `0..n` are `U`,
+/// * nodes `n..2n` are the **center** nodes `V` (initially awake),
+/// * nodes `2n..3n` are `W` (asleep, degree 1).
+///
+/// Edges: the perfect matching `{vᵢ, wᵢ}` (the only edges incident to `W`)
+/// plus the complete bipartite graph between `U` and `V`, giving every center
+/// degree `n + 1`. Node `wᵢ` is the *crucial neighbor* of `vᵢ`: it can only
+/// be woken by a direct message from `vᵢ`.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::families::ClassG;
+/// let fam = ClassG::new(8)?;
+/// assert_eq!(fam.graph().n(), 24);
+/// assert_eq!(fam.centers().len(), 8);
+/// for (v, w) in fam.crucial_pairs() {
+///     assert_eq!(fam.graph().degree(w), 1);
+///     assert!(fam.graph().has_edge(v, w));
+/// }
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassG {
+    graph: Graph,
+    n: usize,
+}
+
+impl ClassG {
+    /// Builds the class-𝒢 instance with parameter `n` (so `3n` nodes).
+    ///
+    /// # Errors
+    ///
+    /// Fails for `n == 0`.
+    pub fn new(n: usize) -> Result<ClassG, GraphError> {
+        if n == 0 {
+            return Err(GraphError::InvalidSize {
+                reason: "class G requires n >= 1".into(),
+            });
+        }
+        let mut b = GraphBuilder::new(3 * n);
+        // Complete bipartite U x V.
+        for u in 0..n {
+            for v in 0..n {
+                b.add_edge(u, n + v)?;
+            }
+        }
+        // Perfect matching V - W.
+        for i in 0..n {
+            b.add_edge(n + i, 2 * n + i)?;
+        }
+        Ok(ClassG { graph: b.build(), n })
+    }
+
+    /// The underlying graph on `3n` nodes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The family parameter `n` (a third of the node count).
+    pub fn parameter(&self) -> usize {
+        self.n
+    }
+
+    /// The `U`-side nodes.
+    pub fn u_side(&self) -> Vec<NodeId> {
+        (0..self.n).map(NodeId::new).collect()
+    }
+
+    /// The center nodes `V` — the paper's initially-awake set.
+    pub fn centers(&self) -> Vec<NodeId> {
+        (self.n..2 * self.n).map(NodeId::new).collect()
+    }
+
+    /// The sleeping matched nodes `W`.
+    pub fn w_side(&self) -> Vec<NodeId> {
+        (2 * self.n..3 * self.n).map(NodeId::new).collect()
+    }
+
+    /// The crucial pairs `(vᵢ, wᵢ)`.
+    pub fn crucial_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        (0..self.n)
+            .map(|i| (NodeId::new(self.n + i), NodeId::new(2 * self.n + i)))
+            .collect()
+    }
+
+    /// The crucial neighbor of a center node, or `None` if `v` is not a
+    /// center.
+    pub fn crucial_neighbor(&self, v: NodeId) -> Option<NodeId> {
+        let i = v.index();
+        if (self.n..2 * self.n).contains(&i) {
+            Some(NodeId::new(i + self.n))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn structure_matches_paper() {
+        let fam = ClassG::new(6).unwrap();
+        let g = fam.graph();
+        assert_eq!(g.n(), 18);
+        // m = n^2 (bipartite core) + n (matching).
+        assert_eq!(g.m(), 36 + 6);
+        for &v in &fam.centers() {
+            assert_eq!(g.degree(v), 7, "centers have degree n + 1");
+        }
+        for &w in &fam.w_side() {
+            assert_eq!(g.degree(w), 1, "W nodes have degree 1");
+        }
+        for &u in &fam.u_side() {
+            assert_eq!(g.degree(u), 6, "U nodes connect to all centers");
+        }
+    }
+
+    #[test]
+    fn crucial_pairs_are_matching() {
+        let fam = ClassG::new(5).unwrap();
+        let mut seen_w = std::collections::HashSet::new();
+        for (v, w) in fam.crucial_pairs() {
+            assert!(fam.graph().has_edge(v, w));
+            assert!(seen_w.insert(w), "matching must be injective");
+            assert_eq!(fam.crucial_neighbor(v), Some(w));
+        }
+        assert_eq!(fam.crucial_neighbor(NodeId::new(0)), None);
+    }
+
+    #[test]
+    fn connected() {
+        let fam = ClassG::new(4).unwrap();
+        assert!(algo::is_connected(fam.graph()));
+    }
+
+    #[test]
+    fn awake_distance_from_centers_is_one() {
+        // Waking all centers dominates the graph: U and W are one hop away.
+        let fam = ClassG::new(7).unwrap();
+        let rho = algo::awake_distance(fam.graph(), &fam.centers()).unwrap();
+        assert_eq!(rho, 1);
+    }
+
+    #[test]
+    fn zero_parameter_rejected() {
+        assert!(ClassG::new(0).is_err());
+    }
+}

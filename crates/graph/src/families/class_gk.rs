@@ -1,0 +1,255 @@
+//! The KT1 lower-bound class 𝒢ₖ (Section 2.2 of the paper).
+
+use crate::generators::random_bipartite_regular;
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// An instance of the lower-bound class 𝒢ₖ.
+///
+/// Layout matches [`super::ClassG`] (`U` = `0..n`, centers `V` = `n..2n`,
+/// `W` = `2n..3n`, matching `vᵢ—wᵢ`), but the `U × V` core is an
+/// approximately `d`-regular bipartite graph with `d ≈ n^{1/k}` and girth at
+/// least `k + 5` (Fact 1). The paper uses Lazebnik–Ustimenko graphs; we use a
+/// seeded greedy girth-constrained generator instead (see DESIGN.md), and
+/// [`ClassGk::core_deficit`] reports how far from exact regularity the greedy
+/// construction landed.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{families::ClassGk, algo};
+/// let fam = ClassGk::new(3, 4, 7)?; // k = 3, q = 4 => n = 64
+/// assert_eq!(fam.n_parameter(), 64);
+/// let girth = algo::girth(fam.graph()).expect("the core has cycles");
+/// assert!(girth >= 3 + 5);
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClassGk {
+    graph: Graph,
+    n: usize,
+    k: usize,
+    d: usize,
+    core_deficit: usize,
+}
+
+impl ClassGk {
+    /// Builds a 𝒢ₖ instance with parameters `k` (odd, ≥ 3) and `q` (the
+    /// paper's prime power; any integer ≥ 2 works for the generator), so that
+    /// `n = q^k` and the core degree is `d = q = n^{1/k}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `k < 3`, `k` is even, `q < 2`, or `q^k` overflows practical
+    /// sizes (n capped at 2^22).
+    pub fn new(k: usize, q: usize, seed: u64) -> Result<ClassGk, GraphError> {
+        if k < 3 || k % 2 == 0 {
+            return Err(GraphError::InvalidSize {
+                reason: format!("class Gk requires odd k >= 3, got {k}"),
+            });
+        }
+        if q < 2 {
+            return Err(GraphError::InvalidSize {
+                reason: "class Gk requires q >= 2".into(),
+            });
+        }
+        let n = q
+            .checked_pow(k as u32)
+            .filter(|&n| n <= 1 << 22)
+            .ok_or_else(|| GraphError::InvalidSize {
+                reason: format!("q^k = {q}^{k} too large"),
+            })?;
+        Self::with_explicit(n, k, q, seed)
+    }
+
+    /// Builds a 𝒢ₖ instance with an explicit `n` (not necessarily `q^k`) and
+    /// core degree `d`; useful for sweeping n smoothly in experiments.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `d > n` or `n == 0`.
+    pub fn with_explicit(n: usize, k: usize, d: usize, seed: u64) -> Result<ClassGk, GraphError> {
+        if n == 0 {
+            return Err(GraphError::InvalidSize { reason: "class Gk requires n >= 1".into() });
+        }
+        if d > n {
+            return Err(GraphError::InvalidSize {
+                reason: format!("core degree {d} exceeds n = {n}"),
+            });
+        }
+        // Girth floor k + 5, rounded up to even (bipartite graphs only have
+        // even cycles).
+        let floor = {
+            let f = k + 5;
+            if f % 2 == 0 { f } else { f + 1 }
+        };
+        let core = random_bipartite_regular(n, d, Some(floor), seed)?;
+        let mut b = GraphBuilder::new(3 * n);
+        for &(x, y) in core.graph.edges() {
+            // Core side 0..n is U; side n..2n is V (centers).
+            b.add_edge(x.index(), y.index())?;
+        }
+        for i in 0..n {
+            b.add_edge(n + i, 2 * n + i)?;
+        }
+        Ok(ClassGk {
+            graph: b.build(),
+            n,
+            k,
+            d,
+            core_deficit: core.deficit,
+        })
+    }
+
+    /// The underlying graph on `3n` nodes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The family parameter `n` (= `q^k` for [`ClassGk::new`]).
+    pub fn n_parameter(&self) -> usize {
+        self.n
+    }
+
+    /// The time parameter `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Target core degree `d ≈ n^{1/k}` (centers then have degree `d + 1`).
+    pub fn core_degree(&self) -> usize {
+        self.d
+    }
+
+    /// Total missing degree of the greedy core construction (0 = exactly
+    /// regular, matching the paper's construction).
+    pub fn core_deficit(&self) -> usize {
+        self.core_deficit
+    }
+
+    /// The center nodes `V` (initially awake).
+    pub fn centers(&self) -> Vec<NodeId> {
+        (self.n..2 * self.n).map(NodeId::new).collect()
+    }
+
+    /// The sleeping matched nodes `W`.
+    pub fn w_side(&self) -> Vec<NodeId> {
+        (2 * self.n..3 * self.n).map(NodeId::new).collect()
+    }
+
+    /// The crucial pairs `(vᵢ, wᵢ)`.
+    pub fn crucial_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        (0..self.n)
+            .map(|i| (NodeId::new(self.n + i), NodeId::new(2 * self.n + i)))
+            .collect()
+    }
+
+    /// Validates Fact 1 empirically: center degrees, edge count, and girth.
+    ///
+    /// Returns a human-readable report; `ok` is false if any property failed.
+    pub fn validate_fact1(&self) -> Fact1Report {
+        let g = &self.graph;
+        let expected_center_degree = self.d + 1;
+        let centers = self.centers();
+        let center_degree_deficit: usize = centers
+            .iter()
+            .map(|&v| expected_center_degree.saturating_sub(g.degree(v)))
+            .sum();
+        let girth = crate::algo::girth(g);
+        let girth_floor = self.k + 5;
+        let girth_ok = girth.map_or(true, |girth| girth >= girth_floor);
+        let min_edges = (self.n as f64) * (self.n as f64).powf(1.0 / self.k as f64);
+        let edges_ratio = g.m() as f64 / min_edges;
+        Fact1Report {
+            center_degree_deficit,
+            girth,
+            girth_floor,
+            girth_ok,
+            edges: g.m(),
+            edges_ratio,
+            core_deficit: self.core_deficit,
+        }
+    }
+}
+
+/// Empirical validation of Fact 1 for a [`ClassGk`] instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fact1Report {
+    /// Total missing degree among centers relative to `d + 1`.
+    pub center_degree_deficit: usize,
+    /// Measured girth (None for forests, which trivially pass).
+    pub girth: Option<usize>,
+    /// Required floor `k + 5`.
+    pub girth_floor: usize,
+    /// Whether the girth requirement holds.
+    pub girth_ok: bool,
+    /// Total number of edges.
+    pub edges: usize,
+    /// `m / n^{1+1/k}` — should be Θ(1) for a faithful construction.
+    pub edges_ratio: f64,
+    /// Deficit inherited from the greedy core generator.
+    pub core_deficit: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ClassGk::new(2, 3, 0).is_err(), "even k");
+        assert!(ClassGk::new(1, 3, 0).is_err(), "k too small");
+        assert!(ClassGk::new(3, 1, 0).is_err(), "q too small");
+        assert!(ClassGk::new(9, 100, 0).is_err(), "overflow");
+    }
+
+    #[test]
+    fn structure_small() {
+        let fam = ClassGk::new(3, 3, 1).unwrap(); // n = 27
+        let g = fam.graph();
+        assert_eq!(g.n(), 81);
+        for &w in &fam.w_side() {
+            assert_eq!(g.degree(w), 1);
+        }
+        for (v, w) in fam.crucial_pairs() {
+            assert!(g.has_edge(v, w));
+        }
+    }
+
+    #[test]
+    fn fact1_validation() {
+        let fam = ClassGk::new(3, 4, 7).unwrap(); // n = 64, d = 4
+        let report = fam.validate_fact1();
+        assert!(report.girth_ok, "girth {:?} below {}", report.girth, report.girth_floor);
+        // Greedy construction should get most of the degree mass in place.
+        assert!(
+            report.center_degree_deficit <= fam.n_parameter(),
+            "excessive deficit: {report:?}"
+        );
+        assert!(report.edges > fam.n_parameter(), "core plus matching beats n edges");
+    }
+
+    #[test]
+    fn crucial_neighbors_only_via_centers() {
+        let fam = ClassGk::new(3, 3, 5).unwrap();
+        let g = fam.graph();
+        for (v, w) in fam.crucial_pairs() {
+            assert_eq!(g.neighbors(w), &[v], "w's only neighbor is its center");
+        }
+    }
+
+    #[test]
+    fn girth_meets_floor_for_k5() {
+        let fam = ClassGk::new(5, 2, 3).unwrap(); // n = 32, girth floor 10
+        if let Some(girth) = algo::girth(fam.graph()) {
+            assert!(girth >= 10, "girth {girth}");
+        }
+    }
+
+    #[test]
+    fn explicit_constructor_smooth_n() {
+        let fam = ClassGk::with_explicit(50, 3, 4, 11).unwrap();
+        assert_eq!(fam.n_parameter(), 50);
+        assert_eq!(fam.graph().n(), 150);
+    }
+}

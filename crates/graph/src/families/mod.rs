@@ -1,0 +1,14 @@
+//! The paper's lower-bound graph families.
+//!
+//! * [`ClassG`] — Section 2's class 𝒢 for the KT0 advice lower bound
+//!   (Theorem 1): 3n nodes `U ∪ V ∪ W`, a perfect matching `vᵢ—wᵢ`, and a
+//!   complete bipartite core `U × V`.
+//! * [`ClassGk`] — Section 2.2's class 𝒢ₖ for the KT1 time-restricted lower
+//!   bound (Theorem 2): same matching, but the core is an (approximately)
+//!   `n^{1/k}`-regular bipartite graph with girth at least `k + 5`.
+
+mod class_g;
+mod class_gk;
+
+pub use class_g::ClassG;
+pub use class_gk::ClassGk;

@@ -1,0 +1,18 @@
+//! Deterministic and seeded graph generators for workloads.
+//!
+//! All random generators take an explicit `seed` and are fully reproducible
+//! via the workspace RNG ([`crate::rng::Xoshiro256`]).
+
+mod random;
+mod realistic;
+mod structured;
+
+pub use random::{
+    erdos_renyi, erdos_renyi_connected, random_bipartite_regular, random_regular, random_tree,
+    BipartiteRegular,
+};
+pub use realistic::{caterpillar, preferential_attachment, ring_of_cliques, watts_strogatz};
+pub use structured::{
+    balanced_tree, barbell, complete, complete_bipartite, cycle, grid, hypercube, lollipop, path,
+    star,
+};

@@ -1,0 +1,346 @@
+//! Seeded random generators.
+
+use crate::rng::Xoshiro256;
+use crate::{Graph, GraphBuilder, GraphError};
+
+fn invalid(reason: impl Into<String>) -> GraphError {
+    GraphError::InvalidSize { reason: reason.into() }
+}
+
+/// Erdős–Rényi graph `G(n, p)` with the given seed.
+///
+/// # Errors
+///
+/// Fails for `n == 0` or `p` outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(invalid("G(n,p) requires at least one node"));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(invalid(format!("edge probability {p} outside [0, 1]")));
+    }
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.bernoulli(p) {
+                b.add_edge(i, j)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Connected Erdős–Rényi graph: samples `G(n, p)` and, if disconnected, adds
+/// one random edge between consecutive components (a minimal connectivity
+/// patch that preserves the degree distribution up to +1 per component).
+///
+/// # Errors
+///
+/// Same conditions as [`erdos_renyi`].
+pub fn erdos_renyi_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    let g = erdos_renyi(n, p, seed)?;
+    let (labels, k) = crate::algo::connected_components(&g);
+    if k <= 1 {
+        return Ok(g);
+    }
+    let mut rng = Xoshiro256::seed_from(seed ^ 0xC0FF_EE00);
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (v, &l) in labels.iter().enumerate() {
+        members[l].push(v);
+    }
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in g.edges() {
+        b.add_edge(u.index(), v.index())?;
+    }
+    for c in 1..k {
+        let u = members[c - 1][rng.index(members[c - 1].len())];
+        let v = members[c][rng.index(members[c].len())];
+        b.add_edge_if_absent(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Uniform random labelled tree on `n` nodes via a Prüfer-style attachment
+/// process (each node `i >= 1` attaches to a uniformly random earlier node,
+/// then labels are shuffled — a random recursive tree with relabelling).
+///
+/// # Errors
+///
+/// Fails for `n == 0`.
+pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(invalid("tree requires at least one node"));
+    }
+    let mut rng = Xoshiro256::seed_from(seed);
+    let relabel = rng.permutation(n);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        let j = rng.index(i);
+        b.add_edge(relabel[i], relabel[j])?;
+    }
+    Ok(b.build())
+}
+
+/// Random `d`-regular graph via the pairing model with restarts.
+///
+/// # Errors
+///
+/// Fails if `n·d` is odd, `d >= n`, or a simple pairing cannot be found in a
+/// reasonable number of restarts (only plausible for adversarial parameters).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if d >= n {
+        return Err(invalid(format!("degree {d} must be below n = {n}")));
+    }
+    if (n * d) % 2 != 0 {
+        return Err(invalid("n * d must be even for a d-regular graph"));
+    }
+    if d == 0 {
+        return Ok(Graph::empty(n));
+    }
+    let mut rng = Xoshiro256::seed_from(seed);
+    'restart: for _attempt in 0..200 {
+        let mut stubs: Vec<usize> = (0..n * d).map(|s| s / d).collect();
+        rng.shuffle(&mut stubs);
+        let mut b = GraphBuilder::new(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue 'restart;
+            }
+            match b.add_edge_if_absent(u, v) {
+                Ok(true) => {}
+                Ok(false) => continue 'restart,
+                Err(e) => return Err(e),
+            }
+        }
+        return Ok(b.build());
+    }
+    Err(invalid(format!(
+        "no simple {d}-regular pairing found for n = {n} after 200 restarts"
+    )))
+}
+
+/// Random bipartite `d`-regular graph between sides `0..side` and
+/// `side..2·side`, with an optional girth floor.
+///
+/// When `min_girth` is `Some(g)`, edges that would close a cycle shorter than
+/// `g` are rejected (Erdős–Sachs-style greedy); the generator then aims for
+/// `d`-regularity but may leave a small deficit at the densest feasibility
+/// boundary, reported via [`BipartiteRegular::deficit`]. This is the
+/// substitution for the Lazebnik–Ustimenko graphs used by the 𝒢ₖ family
+/// (see DESIGN.md).
+///
+/// # Errors
+///
+/// Fails for `side == 0` or `d > side`.
+pub fn random_bipartite_regular(
+    side: usize,
+    d: usize,
+    min_girth: Option<usize>,
+    seed: u64,
+) -> Result<BipartiteRegular, GraphError> {
+    if side == 0 {
+        return Err(invalid("bipartite sides must be nonempty"));
+    }
+    if d > side {
+        return Err(invalid(format!("degree {d} exceeds side size {side}")));
+    }
+    let n = 2 * side;
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut b = GraphBuilder::new(n);
+    let mut deg = vec![0usize; n];
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Round-robin over left nodes, picking random right partners; with a
+    // girth floor we reject partners that close short cycles. A bounded
+    // number of sweeps keeps termination unconditional.
+    let girth_floor = min_girth.unwrap_or(0);
+    let max_sweeps = 12 * d.max(1);
+    let mut dist = vec![usize::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for _sweep in 0..max_sweeps {
+        let mut progress = false;
+        for u in 0..side {
+            if deg[u] >= d {
+                continue;
+            }
+            // Collect candidate right nodes with remaining capacity.
+            let mut candidates: Vec<usize> = (side..n)
+                .filter(|&v| deg[v] < d && !b.has_edge(u, v))
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            rng.shuffle(&mut candidates);
+            for v in candidates {
+                if girth_floor > 4
+                    && closes_short_cycle(&adj, u, v, girth_floor, &mut dist, &mut touched)
+                {
+                    continue;
+                }
+                b.add_edge(u, v)?;
+                deg[u] += 1;
+                deg[v] += 1;
+                adj[u].push(v);
+                adj[v].push(u);
+                progress = true;
+                break;
+            }
+        }
+        if !progress {
+            break;
+        }
+        if (0..side).all(|u| deg[u] >= d) {
+            break;
+        }
+    }
+    let deficit = (0..n).map(|v| d.saturating_sub(deg[v])).sum();
+    Ok(BipartiteRegular { graph: b.build(), target_degree: d, deficit })
+}
+
+/// Result of [`random_bipartite_regular`].
+#[derive(Debug, Clone)]
+pub struct BipartiteRegular {
+    /// The generated bipartite graph.
+    pub graph: Graph,
+    /// Requested per-node degree.
+    pub target_degree: usize,
+    /// Total missing degree across all nodes (0 for exact regularity).
+    pub deficit: usize,
+}
+
+/// Checks whether adding `{u, v}` would create a cycle shorter than
+/// `girth_floor`, by a bounded-depth BFS from `u` toward `v` in the current
+/// partial graph. A cycle through the new edge has length `dist(u, v) + 1`,
+/// so the edge is rejected iff `dist(u, v) <= girth_floor - 2`.
+///
+/// `dist`/`touched` are caller-provided scratch buffers (reset on exit) so
+/// the hot generator loop performs no allocation.
+fn closes_short_cycle(
+    adj: &[Vec<usize>],
+    u: usize,
+    v: usize,
+    girth_floor: usize,
+    dist: &mut [usize],
+    touched: &mut Vec<usize>,
+) -> bool {
+    let limit = girth_floor - 2;
+    dist[u] = 0;
+    touched.push(u);
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(u);
+    let mut found = false;
+    'bfs: while let Some(x) = queue.pop_front() {
+        let dx = dist[x];
+        if dx >= limit {
+            continue;
+        }
+        for &y in &adj[x] {
+            if dist[y] == usize::MAX {
+                dist[y] = dx + 1;
+                touched.push(y);
+                if y == v {
+                    found = true;
+                    break 'bfs;
+                }
+                queue.push_back(y);
+            }
+        }
+    }
+    for &t in touched.iter() {
+        dist[t] = usize::MAX;
+    }
+    touched.clear();
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn erdos_renyi_reproducible() {
+        let a = erdos_renyi(30, 0.2, 5).unwrap();
+        let b = erdos_renyi(30, 0.2, 5).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        let c = erdos_renyi(30, 0.2, 6).unwrap();
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).unwrap().m(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).unwrap().m(), 45);
+        assert!(erdos_renyi(10, 1.5, 1).is_err());
+        assert!(erdos_renyi(0, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn connected_variant_connects() {
+        for seed in 0..5 {
+            let g = erdos_renyi_connected(40, 0.03, seed).unwrap();
+            assert!(algo::is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let g = random_tree(25, seed).unwrap();
+            assert_eq!(g.m(), 24);
+            assert!(algo::is_connected(&g));
+            assert_eq!(algo::girth(&g), None);
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(24, 4, 9).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert!(random_regular(5, 3, 0).is_err(), "odd n*d");
+        assert!(random_regular(4, 4, 0).is_err(), "d >= n");
+        assert_eq!(random_regular(6, 0, 0).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn bipartite_regular_no_girth_floor() {
+        let r = random_bipartite_regular(16, 3, None, 2).unwrap();
+        assert_eq!(r.deficit, 0);
+        let g = &r.graph;
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 3);
+        }
+        // Bipartite: no odd cycles.
+        if let Some(girth) = algo::girth(g) {
+            assert_eq!(girth % 2, 0);
+        }
+    }
+
+    #[test]
+    fn bipartite_regular_respects_girth_floor() {
+        let r = random_bipartite_regular(64, 3, Some(8), 3).unwrap();
+        if let Some(girth) = algo::girth(&r.graph) {
+            assert!(girth >= 8, "girth {girth} below floor");
+        }
+        // Some deficit is allowed, but the graph should be near-regular.
+        assert!(
+            r.deficit <= r.graph.n(),
+            "unexpectedly large deficit {}",
+            r.deficit
+        );
+    }
+
+    #[test]
+    fn bipartite_sides_respected() {
+        let side = 10;
+        let r = random_bipartite_regular(side, 2, None, 4).unwrap();
+        for &(u, v) in r.graph.edges() {
+            let left = u.index() < side;
+            let right = v.index() >= side;
+            assert!(left && right, "edge {u}-{v} not across the bipartition");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Generators for "realistic" network shapes used as example and benchmark
+//! workloads: small-world rewirings, preferential attachment, and clustered
+//! topologies.
+
+use crate::rng::Xoshiro256;
+use crate::{Graph, GraphBuilder, GraphError};
+
+fn invalid(reason: impl Into<String>) -> GraphError {
+    GraphError::InvalidSize { reason: reason.into() }
+}
+
+/// Watts–Strogatz small world: a ring lattice where each node connects to
+/// its `k` nearest neighbors on each side, with every edge rewired to a
+/// random endpoint with probability `p`.
+///
+/// Rewiring never disconnects a node entirely (self-loops and duplicates are
+/// re-rolled with a bounded number of attempts, keeping the original edge on
+/// failure), so the result stays simple.
+///
+/// # Errors
+///
+/// Fails for `n < 2k + 2`, `k == 0`, or `p` outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if k == 0 {
+        return Err(invalid("small world requires k >= 1"));
+    }
+    if n < 2 * k + 2 {
+        return Err(invalid(format!("small world requires n >= 2k + 2 = {}", 2 * k + 2)));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(invalid(format!("rewiring probability {p} outside [0, 1]")));
+    }
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for d in 1..=k {
+            let w = (v + d) % n;
+            let (u, w) = if rng.bernoulli(p) {
+                // Rewire the far endpoint.
+                let mut attempts = 0;
+                loop {
+                    let cand = rng.index(n);
+                    if cand != v && !b.has_edge(v, cand) {
+                        break (v, cand);
+                    }
+                    attempts += 1;
+                    if attempts > 32 {
+                        break (v, w);
+                    }
+                }
+            } else {
+                (v, w)
+            };
+            b.add_edge_if_absent(u, w)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m` existing nodes with probability
+/// proportional to their degree.
+///
+/// # Errors
+///
+/// Fails for `m == 0` or `n <= m`.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(invalid("preferential attachment requires m >= 1"));
+    }
+    if n <= m {
+        return Err(invalid(format!("preferential attachment requires n > m = {m}")));
+    }
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut b = GraphBuilder::new(n);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<usize> = Vec::new();
+    // Seed clique on m+1 nodes.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            b.add_edge(i, j)?;
+            endpoints.push(i);
+            endpoints.push(j);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut attempts = 0;
+        while chosen.len() < m && attempts < 64 * m {
+            let target = endpoints[rng.index(endpoints.len())];
+            attempts += 1;
+            if target != v {
+                chosen.insert(target);
+            }
+        }
+        // Fallback: fill from lowest indices (only on pathological rolls).
+        let mut fill = 0usize;
+        while chosen.len() < m {
+            if fill != v {
+                chosen.insert(fill);
+            }
+            fill += 1;
+        }
+        for &t in &chosen {
+            b.add_edge(v, t)?;
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// A ring of `count` cliques of size `size`, consecutive cliques joined by a
+/// single bridge edge — high clustering with long bridges, a stress case for
+/// message-efficient wake-up.
+///
+/// # Errors
+///
+/// Fails for `count < 3` or `size < 2`.
+pub fn ring_of_cliques(count: usize, size: usize) -> Result<Graph, GraphError> {
+    if count < 3 {
+        return Err(invalid("ring of cliques requires at least three cliques"));
+    }
+    if size < 2 {
+        return Err(invalid("cliques need at least two nodes"));
+    }
+    let n = count * size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..count {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                b.add_edge(base + i, base + j)?;
+            }
+        }
+        // Bridge: last node of this clique to first node of the next.
+        let next = ((c + 1) % count) * size;
+        b.add_edge_if_absent(base + size - 1, next)?;
+    }
+    Ok(b.build())
+}
+
+/// A caterpillar: a spine path of `spine` nodes, each carrying `legs` leaf
+/// nodes — the tree shape with maximal leaf pressure on tree-based advice
+/// schemes.
+///
+/// # Errors
+///
+/// Fails for `spine == 0`.
+pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
+    if spine == 0 {
+        return Err(invalid("caterpillar requires a nonempty spine"));
+    }
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for s in 1..spine {
+        b.add_edge(s - 1, s)?;
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            b.add_edge(s, spine + s * legs + l)?;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn watts_strogatz_zero_p_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1).unwrap();
+        assert_eq!(g.m(), 40);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_rewired_stays_simple_and_same_m_or_less() {
+        for seed in 0..5 {
+            let g = watts_strogatz(40, 3, 0.3, seed).unwrap();
+            assert!(g.m() <= 120);
+            assert!(g.m() >= 100, "rewiring should rarely drop edges: m = {}", g.m());
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_shrinks_diameter() {
+        let lattice = watts_strogatz(64, 2, 0.0, 1).unwrap();
+        let small = watts_strogatz(64, 2, 0.3, 1).unwrap();
+        if algo::is_connected(&small) {
+            let d_lattice = algo::diameter(&lattice).unwrap();
+            let d_small = algo::diameter(&small).unwrap();
+            assert!(d_small < d_lattice, "{d_small} !< {d_lattice}");
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_validates() {
+        assert!(watts_strogatz(5, 2, 0.1, 0).is_err());
+        assert!(watts_strogatz(20, 0, 0.1, 0).is_err());
+        assert!(watts_strogatz(20, 2, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn preferential_attachment_structure() {
+        let g = preferential_attachment(100, 2, 3).unwrap();
+        assert_eq!(g.n(), 100);
+        assert!(algo::is_connected(&g));
+        // Edge count: clique(3) + 2 per newcomer.
+        assert_eq!(g.m(), 3 + 2 * 97);
+        // Heavy tail: the max degree should well exceed the mean.
+        assert!(g.max_degree() as f64 > 2.5 * g.average_degree());
+    }
+
+    #[test]
+    fn preferential_attachment_validates() {
+        assert!(preferential_attachment(5, 0, 0).is_err());
+        assert!(preferential_attachment(2, 2, 0).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let g = ring_of_cliques(4, 5).unwrap();
+        assert_eq!(g.n(), 20);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.m(), 4 * 10 + 4);
+        assert_eq!(algo::girth(&g), Some(3));
+    }
+
+    #[test]
+    fn caterpillar_is_tree() {
+        let g = caterpillar(6, 4).unwrap();
+        assert_eq!(g.n(), 30);
+        assert_eq!(g.m(), 29);
+        assert!(algo::is_connected(&g));
+        assert_eq!(algo::girth(&g), None);
+    }
+
+    #[test]
+    fn caterpillar_no_legs_is_path() {
+        let g = caterpillar(5, 0).unwrap();
+        assert_eq!(g.m(), 4);
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+}

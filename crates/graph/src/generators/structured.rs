@@ -1,0 +1,332 @@
+//! Deterministic structured generators.
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+fn invalid(reason: impl Into<String>) -> GraphError {
+    GraphError::InvalidSize { reason: reason.into() }
+}
+
+/// Path graph `P_n` on nodes `0 — 1 — … — n−1`.
+///
+/// # Errors
+///
+/// Fails for `n == 0`.
+pub fn path(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(invalid("path requires at least one node"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(i - 1, i)?;
+    }
+    Ok(b.build())
+}
+
+/// Cycle graph `C_n`.
+///
+/// # Errors
+///
+/// Fails for `n < 3`.
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(invalid("cycle requires at least three nodes"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n)?;
+    }
+    Ok(b.build())
+}
+
+/// Star graph: node 0 is the hub, nodes `1..n` are leaves.
+///
+/// # Errors
+///
+/// Fails for `n == 0`.
+pub fn star(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(invalid("star requires at least one node"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(0, i)?;
+    }
+    Ok(b.build())
+}
+
+/// Complete graph `K_n`.
+///
+/// # Errors
+///
+/// Fails for `n == 0`.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(invalid("complete graph requires at least one node"));
+    }
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+///
+/// # Errors
+///
+/// Fails if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph, GraphError> {
+    if a == 0 || b == 0 {
+        return Err(invalid("complete bipartite requires nonempty sides"));
+    }
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i, a + j)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// `rows × cols` grid graph.
+///
+/// # Errors
+///
+/// Fails if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(invalid("grid requires positive dimensions"));
+    }
+    let mut b = GraphBuilder::new(rows * cols);
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(at(r, c), at(r, c + 1))?;
+            }
+            if r + 1 < rows {
+                b.add_edge(at(r, c), at(r + 1, c))?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+///
+/// # Errors
+///
+/// Fails for `d > 20` (guards accidental huge allocations).
+pub fn hypercube(d: usize) -> Result<Graph, GraphError> {
+    if d > 20 {
+        return Err(invalid("hypercube dimension capped at 20"));
+    }
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1 << bit);
+            if v < w {
+                b.add_edge(v, w)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Perfectly balanced rooted tree with branching factor `arity` and the given
+/// `depth` (depth 0 is a single root).
+///
+/// # Errors
+///
+/// Fails for `arity == 0` with positive depth, or when the node count would
+/// overflow practical sizes (> 2^26 nodes).
+pub fn balanced_tree(arity: usize, depth: usize) -> Result<Graph, GraphError> {
+    if arity == 0 && depth > 0 {
+        return Err(invalid("balanced tree with depth > 0 requires arity >= 1"));
+    }
+    // Count nodes level by level.
+    let mut level_sizes = vec![1usize];
+    for _ in 0..depth {
+        let next = level_sizes
+            .last()
+            .unwrap()
+            .checked_mul(arity)
+            .ok_or_else(|| invalid("balanced tree too large"))?;
+        level_sizes.push(next);
+    }
+    let n: usize = level_sizes.iter().sum();
+    if n > (1 << 26) {
+        return Err(invalid("balanced tree too large"));
+    }
+    let mut b = GraphBuilder::new(n);
+    // Nodes are laid out level by level; children of node v at level l start
+    // at level_offset(l+1) + (v - level_offset(l)) * arity.
+    let mut offsets = vec![0usize];
+    for s in &level_sizes {
+        offsets.push(offsets.last().unwrap() + s);
+    }
+    for l in 0..depth {
+        for i in 0..level_sizes[l] {
+            let v = offsets[l] + i;
+            for c in 0..arity {
+                let w = offsets[l + 1] + i * arity + c;
+                b.add_edge(v, w)?;
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Barbell graph: two `K_a` cliques joined by a path of `bridge` extra nodes.
+///
+/// # Errors
+///
+/// Fails for `a < 2`.
+pub fn barbell(a: usize, bridge: usize) -> Result<Graph, GraphError> {
+    if a < 2 {
+        return Err(invalid("barbell cliques need at least two nodes"));
+    }
+    let n = 2 * a + bridge;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..a {
+        for j in (i + 1)..a {
+            b.add_edge(i, j)?;
+            b.add_edge(a + bridge + i, a + bridge + j)?;
+        }
+    }
+    // Path from clique 1 (node a-1) through the bridge to clique 2 (node a+bridge).
+    let mut prev = a - 1;
+    for t in 0..bridge {
+        b.add_edge(prev, a + t)?;
+        prev = a + t;
+    }
+    b.add_edge(prev, a + bridge)?;
+    Ok(b.build())
+}
+
+/// Lollipop graph: a `K_a` clique with a pendant path of `tail` nodes — the
+/// paper's footnote-3 example of why push-only gossip fails (a complete graph
+/// `H` plus a single vertex attached by one edge is `lollipop(a, 1)`).
+///
+/// # Errors
+///
+/// Fails for `a < 2`.
+pub fn lollipop(a: usize, tail: usize) -> Result<Graph, GraphError> {
+    if a < 2 {
+        return Err(invalid("lollipop clique needs at least two nodes"));
+    }
+    let n = a + tail;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..a {
+        for j in (i + 1)..a {
+            b.add_edge(i, j)?;
+        }
+    }
+    let mut prev = a - 1;
+    for t in 0..tail {
+        b.add_edge(prev, a + t)?;
+        prev = a + t;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn path_counts() {
+        let g = path(10).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.m(), 9);
+        assert!(path(0).is_err());
+    }
+
+    #[test]
+    fn cycle_counts() {
+        let g = cycle(5).unwrap();
+        assert_eq!((g.n(), g.m()), (5, 5));
+        assert!(cycle(2).is_err());
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(7).unwrap();
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.max_degree(), 6);
+        assert!(star(0).is_err());
+        // A single-node star is legal.
+        assert_eq!(star(1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6).unwrap();
+        assert_eq!(g.m(), 15);
+        assert_eq!(g.min_degree(), 5);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m(), 12);
+        assert!(complete_bipartite(0, 4).is_err());
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4);
+        assert_eq!(algo::diameter(&g), Some(2 + 3));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4).unwrap();
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 32);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(algo::diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn hypercube_zero_dim() {
+        let g = hypercube(0).unwrap();
+        assert_eq!((g.n(), g.m()), (1, 0));
+    }
+
+    #[test]
+    fn balanced_tree_structure() {
+        let g = balanced_tree(2, 3).unwrap();
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(algo::girth(&g), None);
+        assert!(balanced_tree(0, 2).is_err());
+        assert_eq!(balanced_tree(0, 0).unwrap().n(), 1);
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 2).unwrap();
+        assert_eq!(g.n(), 10);
+        assert!(algo::is_connected(&g));
+        assert_eq!(g.m(), 2 * 6 + 3);
+    }
+
+    #[test]
+    fn lollipop_matches_footnote_example() {
+        // Complete graph H plus one pendant vertex.
+        let g = lollipop(6, 1).unwrap();
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.degree(crate::NodeId::new(6)), 1);
+        assert!(algo::is_connected(&g));
+    }
+}

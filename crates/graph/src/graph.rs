@@ -1,0 +1,531 @@
+//! Immutable compressed-sparse-row graph representation.
+//!
+//! Graphs in this workspace are simple (no self-loops, no multi-edges),
+//! undirected, and unweighted, matching the paper's network model. Nodes are
+//! identified by dense indices `0..n`; the simulator layers arbitrary
+//! polynomial-range IDs on top (the paper's `id(u)`), so topology code never
+//! needs to care about ID assignments.
+
+use std::fmt;
+
+/// Dense index of a node in a [`Graph`], in `0..n`.
+///
+/// `NodeId` is a topological index, not the paper's node *ID*: the simulator
+/// assigns (possibly adversarial) integer IDs separately. Keeping the two
+/// notions in distinct types prevents an entire class of lower-bound-graph
+/// bugs where an ID permutation is accidentally used as an index.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.index()
+    }
+}
+
+/// Errors produced while constructing a [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint index.
+        node: usize,
+        /// Number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// A self-loop `{v, v}` was added.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: usize,
+    },
+    /// The same undirected edge was added twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A generator was asked for an impossible size (for example a cycle on
+    /// fewer than three nodes).
+    InvalidSize {
+        /// Human-readable description of the constraint that failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::DuplicateEdge { u, v } => write!(f, "duplicate edge {{{u}, {v}}}"),
+            GraphError::InvalidSize { reason } => write!(f, "invalid size: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Construct one through [`GraphBuilder`] or [`Graph::from_edges`]. Neighbor
+/// lists are sorted, enabling `O(log deg)` adjacency tests.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::{Graph, NodeId};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)])?;
+/// assert_eq!(g.degree(NodeId::new(1)), 2);
+/// assert!(g.has_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adjacency: Vec<NodeId>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range endpoints, self-loops, or duplicate
+    /// edges (in either orientation).
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
+        let mut builder = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Returns an edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Graph {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Sorted slice of the neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adjacency[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Canonical edge list; every edge appears once with `u < v`.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n()).map(NodeId::new)
+    }
+
+    /// Maximum degree over all nodes, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes, or 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        self.nodes().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`, or 0.0 for the empty graph.
+    pub fn average_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Returns the induced subgraph on the same node set containing exactly
+    /// the edges for which `keep` returns true.
+    pub fn filter_edges(&self, mut keep: impl FnMut(NodeId, NodeId) -> bool) -> Graph {
+        let mut builder = GraphBuilder::new(self.n());
+        for &(u, v) in &self.edges {
+            if keep(u, v) {
+                builder
+                    .add_edge(u.index(), v.index())
+                    .expect("edges of a valid graph remain valid");
+            }
+        }
+        builder.build()
+    }
+
+    /// The subgraph induced by `nodes`, with nodes renumbered `0..k` in the
+    /// given order; returns the graph and the old-to-new index map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<Option<NodeId>>) {
+        let mut map: Vec<Option<NodeId>> = vec![None; self.n()];
+        for (new, &old) in nodes.iter().enumerate() {
+            assert!(map[old.index()].is_none(), "duplicate node {old} in selection");
+            map[old.index()] = Some(NodeId::new(new));
+        }
+        let mut builder = GraphBuilder::new(nodes.len());
+        for &(u, v) in &self.edges {
+            if let (Some(nu), Some(nv)) = (map[u.index()], map[v.index()]) {
+                builder
+                    .add_edge(nu.index(), nv.index())
+                    .expect("induced edges stay valid");
+            }
+        }
+        (builder.build(), map)
+    }
+
+    /// The complement graph (same nodes, exactly the missing edges).
+    pub fn complement(&self) -> Graph {
+        let mut builder = GraphBuilder::new(self.n());
+        for u in 0..self.n() {
+            for v in (u + 1)..self.n() {
+                if !self.has_edge(NodeId::new(u), NodeId::new(v)) {
+                    builder.add_edge(u, v).expect("complement edges valid");
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+/// Incremental, validating builder for [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// assert!(b.add_edge(1, 0).is_err()); // duplicate, either orientation
+/// let g = b.build();
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    seen: std::collections::HashSet<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Number of nodes the resulting graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`], [`GraphError::SelfLoop`], or
+    /// [`GraphError::DuplicateEdge`] as appropriate. Duplicate detection is
+    /// `O(1)` amortized via a hash-set shadow, keeping dense generators
+    /// (complete bipartite cores of the lower-bound families) linear in `m`.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        if !self.seen.insert(key) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        self.edges.push(key);
+        Ok(())
+    }
+
+    /// Adds `{u, v}` unless it is already present; self-loops are still
+    /// rejected.
+    ///
+    /// Returns `true` if the edge was inserted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`].
+    pub fn add_edge_if_absent(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether `{u, v}` has been added (in either orientation).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        self.seen.contains(&key)
+    }
+
+    /// Finalizes the builder into an immutable CSR graph.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adjacency = vec![NodeId::default(); acc];
+        for &(u, v) in &self.edges {
+            adjacency[cursor[u as usize]] = NodeId(v);
+            cursor[u as usize] += 1;
+            adjacency[cursor[v as usize]] = NodeId(u);
+            cursor[v as usize] += 1;
+        }
+        // Each node's slice is sorted because edges were processed in sorted
+        // order of (min, max) endpoints... which does NOT imply per-node
+        // sortedness for the higher endpoint, so sort each slice explicitly.
+        for v in 0..n {
+            adjacency[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        let edges = self
+            .edges
+            .into_iter()
+            .map(|(u, v)| (NodeId(u), NodeId(v)))
+            .collect();
+        Graph { offsets, adjacency, edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.nodes().count(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_self_loop() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(
+            b.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        );
+        assert_eq!(
+            b.add_edge(7, 0),
+            Err(GraphError::NodeOutOfRange { node: 7, n: 3 })
+        );
+    }
+
+    #[test]
+    fn builder_rejects_duplicates_in_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(matches!(b.add_edge(0, 1), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn add_edge_if_absent_reports_insertion() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_if_absent(0, 1).unwrap());
+        assert!(!b.add_edge_if_absent(1, 0).unwrap());
+        assert!(b.add_edge_if_absent(1, 2).unwrap());
+        assert_eq!(b.build().m(), 2);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, &[(3, 0), (3, 4), (3, 1), (3, 2)]).unwrap();
+        let nbrs: Vec<usize> = g.neighbors(NodeId::new(3)).iter().map(|v| v.index()).collect();
+        assert_eq!(nbrs, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn degrees_and_edges() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert_eq!(g.edges().len(), 4);
+        for &(u, v) in g.edges() {
+            assert!(u < v, "canonical orientation");
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn filter_edges_keeps_subset() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sub = g.filter_edges(|u, _| u.index() != 1);
+        assert_eq!(sub.m(), 2);
+        assert!(sub.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!sub.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let (sub, map) = g.induced_subgraph(&[NodeId::new(1), NodeId::new(2), NodeId::new(4)]);
+        assert_eq!(sub.n(), 3);
+        // Kept edges: {1,2} only ({4,0} and {3,4} lose an endpoint).
+        assert_eq!(sub.m(), 1);
+        assert_eq!(map[1], Some(NodeId::new(0)));
+        assert_eq!(map[3], None);
+        assert!(sub.has_edge(NodeId::new(0), NodeId::new(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = Graph::empty(3);
+        g.induced_subgraph(&[NodeId::new(1), NodeId::new(1)]);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]).unwrap();
+        let c = g.complement();
+        assert_eq!(c.m(), 10 - 2);
+        assert!(!c.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(c.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert_eq!(c.complement(), g);
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        let v = NodeId::new(2);
+        assert_eq!(format!("{v}"), "v2");
+        assert_eq!(format!("{v:?}"), "v2");
+        let g = Graph::empty(1);
+        assert!(format!("{g:?}").contains("Graph"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text edge-list serialization, so the CLI and external tools can
+//! exchange topologies.
+//!
+//! Format: an optional header line `n <count>` (required when isolated
+//! high-numbered nodes exist), then one `u v` pair per line. Lines starting
+//! with `#` and blank lines are ignored.
+//!
+//! ```text
+//! # my network
+//! n 5
+//! 0 1
+//! 1 2
+//! 2 3
+//! ```
+
+use std::io::{BufRead, Write};
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Parses a graph from edge-list text.
+///
+/// Without an `n` header, the node count is one past the largest mentioned
+/// index.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidSize`] for malformed lines and the usual
+/// builder errors for bad edges.
+///
+/// # Example
+///
+/// ```
+/// let g = wakeup_graph::io::parse_edge_list("n 4\n0 1\n1 2\n")?;
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 2);
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut declared_n: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut max_node = 0usize;
+    let mut any_node = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("nonempty line has a token");
+        if first == "n" {
+            let v = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GraphError::InvalidSize {
+                    reason: format!("line {}: malformed n header {line:?}", lineno + 1),
+                })?;
+            declared_n = Some(v);
+            continue;
+        }
+        let u: usize = first.parse().map_err(|_| GraphError::InvalidSize {
+            reason: format!("line {}: expected integer, got {first:?}", lineno + 1),
+        })?;
+        let v: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| GraphError::InvalidSize {
+                reason: format!("line {}: expected `u v`, got {line:?}", lineno + 1),
+            })?;
+        if parts.next().is_some() {
+            return Err(GraphError::InvalidSize {
+                reason: format!("line {}: trailing tokens in {line:?}", lineno + 1),
+            });
+        }
+        max_node = max_node.max(u).max(v);
+        any_node = true;
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or(if any_node { max_node + 1 } else { 0 });
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Reads a graph from any [`BufRead`] source.
+///
+/// # Errors
+///
+/// I/O errors are wrapped into [`GraphError::InvalidSize`] with the message;
+/// format errors as in [`parse_edge_list`].
+pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, GraphError> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| GraphError::InvalidSize { reason: format!("read failed: {e}") })?;
+    parse_edge_list(&text)
+}
+
+/// Serializes a graph to edge-list text (with an `n` header so isolated
+/// nodes round-trip).
+pub fn to_edge_list(graph: &Graph) -> String {
+    let mut out = String::with_capacity(16 + 8 * graph.m());
+    out.push_str(&format!("n {}\n", graph.n()));
+    for &(u, v) in graph.edges() {
+        out.push_str(&format!("{} {}\n", u.index(), v.index()));
+    }
+    out
+}
+
+/// Writes a graph to any [`Write`] sink in edge-list format.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    writer.write_all(to_edge_list(graph).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = generators::erdos_renyi_connected(30, 0.2, 5).unwrap();
+        let text = to_edge_list(&g);
+        let back = parse_edge_list(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_preserves_isolated_nodes() {
+        let g = Graph::from_edges(5, &[(0, 1)]).unwrap();
+        let back = parse_edge_list(&to_edge_list(&g)).unwrap();
+        assert_eq!(back.n(), 5);
+        assert_eq!(back.m(), 1);
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let g = parse_edge_list("# header\n\n0 1\n# mid\n1 2\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn infers_n_without_header() {
+        let g = parse_edge_list("0 5\n").unwrap();
+        assert_eq!(g.n(), 6);
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.n(), 0);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_edge_list("0\n").is_err());
+        assert!(parse_edge_list("0 x\n").is_err());
+        assert!(parse_edge_list("0 1 2\n").is_err());
+        assert!(parse_edge_list("n\n").is_err());
+        assert!(parse_edge_list("0 0\n").is_err(), "self loop");
+        assert!(parse_edge_list("0 1\n1 0\n").is_err(), "duplicate");
+    }
+
+    #[test]
+    fn reader_and_writer_roundtrip() {
+        let g = generators::cycle(8).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,329 @@
+//! The Section 1.4.1 pitfall strategy, realized: fragmenting a center's
+//! crucial port across its *neighbors'* advice.
+//!
+//! The Theorem 1 proof must rule out oracles that do not tell `vᵢ` its
+//! crucial port directly but hide the bits in the advice of `vᵢ`'s
+//! neighbors, who can each ship an arbitrarily long message once contacted
+//! ("the oracle could partition the port number for `wᵢ` into Θ(1) pieces
+//! and store each piece among a subset of the neighbors of `vᵢ`").
+//!
+//! This module implements that oracle family so its cost can be *measured*
+//! against the prefix-advice family of [`crate::thm1`]:
+//!
+//! * the oracle gives every `U`-node, for every center, one addressed bit of
+//!   that center's crucial port (position + value);
+//! * a center probes ports one at a time; each responder returns its
+//!   fragment; the center stops as soon as the collected positions cover the
+//!   whole port width and then wakes the reconstructed port.
+//!
+//! Because the port assignment is uniformly random and probing is blind, the
+//! center plays coupon collector over the `width ≈ log₂ n` positions:
+//! expected probes `Θ(log n · log log n)`, against Θ(n · log log n) *bits of
+//! advice per U-node*. Measured side by side with prefix advice this shows
+//! the pitfall buys nothing: for the same total advice budget the direct
+//! prefix encoding is strictly cheaper — which is the intuition the
+//! information-theoretic proof turns into a theorem.
+
+use wakeup_graph::families::ClassG;
+use wakeup_sim::advice::AdviceStats;
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::bits::width_for;
+use wakeup_sim::{
+    AsyncConfig, AsyncEngine, AsyncProtocol, BitReader, BitStr, Context, Incoming, Network,
+    NodeInit, Payload, Port, WakeCause,
+};
+
+/// Fragment-probing traffic (CONGEST-sized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FragMsg {
+    /// Center → neighbor: "I am center index `center`; send my fragment."
+    Query {
+        /// The querying center's index within V (0-based).
+        center: u64,
+    },
+    /// Neighbor → center: one addressed bit of the crucial port.
+    Fragment {
+        /// Bit position within the port index.
+        position: u8,
+        /// The bit.
+        bit: bool,
+        /// Responder's degree (1 identifies the crucial W-node, which has no
+        /// fragment to offer but ends the search immediately).
+        degree: u64,
+    },
+    /// The final wake-up sent to the reconstructed port.
+    Wake,
+}
+
+impl Payload for FragMsg {
+    fn size_bits(&self) -> usize {
+        match self {
+            FragMsg::Query { center } => 2 + (64 - center.max(&1).leading_zeros() as usize),
+            FragMsg::Fragment { degree, .. } => {
+                2 + 8 + 1 + (64 - degree.max(&1).leading_zeros() as usize)
+            }
+            FragMsg::Wake => 2,
+        }
+    }
+}
+
+/// Node behavior under the fragment oracle.
+///
+/// Centers carry their own V-index and a `width` in their advice; `U`-nodes
+/// carry the fragment table (one `(position, bit)` entry per center, ordered
+/// by center index).
+#[derive(Debug)]
+pub struct FragmentProbe {
+    /// Some for centers: (center index, port width).
+    center: Option<(u64, usize)>,
+    /// Fragment table for U nodes: entry i = (position, bit) for center i.
+    table: Vec<(u8, bool)>,
+    degree: u64,
+    /// Collected bits, by position.
+    collected: Vec<Option<bool>>,
+    next_port: usize,
+    done: bool,
+}
+
+impl FragmentProbe {
+    fn probe_next(&mut self, ctx: &mut Context<'_, FragMsg>) {
+        let Some((center, _)) = self.center else { return };
+        if self.done || self.next_port >= ctx.degree() {
+            return;
+        }
+        self.next_port += 1;
+        ctx.send(Port::new(self.next_port), FragMsg::Query { center });
+    }
+
+    fn try_finish(&mut self, ctx: &mut Context<'_, FragMsg>) {
+        if self.done || self.collected.iter().any(Option::is_none) {
+            return;
+        }
+        let mut x = 0u64;
+        for (i, bit) in self.collected.iter().enumerate() {
+            if bit.expect("checked complete") {
+                x |= 1 << i;
+            }
+        }
+        self.done = true;
+        let port = (x as usize + 1).min(ctx.degree());
+        ctx.output(port as u64);
+        ctx.send(Port::new(port), FragMsg::Wake);
+    }
+}
+
+impl AsyncProtocol for FragmentProbe {
+    type Msg = FragMsg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let mut r = BitReader::new(init.advice);
+        let mut center = None;
+        let mut table = Vec::new();
+        match r.read_bool() {
+            Some(true) => {
+                // Center advice: index + width.
+                let idx = r.read_gamma().map_or(0, |v| v - 1);
+                let width = r.read_gamma().unwrap_or(1) as usize;
+                center = Some((idx, width));
+            }
+            Some(false) => {
+                // U advice: per-center fragment entries.
+                while r.remaining() >= 9 {
+                    let position = r.read_bits(8).unwrap_or(0) as u8;
+                    let bit = r.read_bool().unwrap_or(false);
+                    table.push((position, bit));
+                }
+            }
+            None => {}
+        }
+        let width = center.map_or(0, |(_, w)| w);
+        FragmentProbe {
+            center,
+            table,
+            degree: init.degree as u64,
+            collected: vec![None; width],
+            next_port: 0,
+            done: false,
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, FragMsg>, _cause: WakeCause) {
+        self.probe_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, FragMsg>, from: Incoming, msg: FragMsg) {
+        match msg {
+            FragMsg::Query { center } => {
+                let entry = self.table.get(center as usize).copied();
+                let (position, bit) = entry.unwrap_or((0, false));
+                ctx.send(
+                    from.port,
+                    FragMsg::Fragment { position, bit, degree: self.degree },
+                );
+            }
+            FragMsg::Fragment { position, bit, degree } => {
+                if self.done {
+                    return;
+                }
+                if degree == 1 {
+                    // Blind luck: the probe hit the crucial neighbor itself.
+                    self.done = true;
+                    ctx.output(from.port.number() as u64);
+                    ctx.send(from.port, FragMsg::Wake);
+                    return;
+                }
+                if let Some(slot) = self.collected.get_mut(position as usize) {
+                    *slot = Some(bit);
+                }
+                self.try_finish(ctx);
+                if !self.done {
+                    self.probe_next(ctx);
+                }
+            }
+            FragMsg::Wake => {}
+        }
+    }
+}
+
+/// Builds the fragment advice for a class-𝒢 network.
+pub fn fragment_advice(fam: &ClassG, net: &Network) -> Vec<BitStr> {
+    let mut advice: Vec<BitStr> = (0..net.n()).map(|_| BitStr::new()).collect();
+    // Crucial port index (0-based) and width per center.
+    let ports: Vec<(u64, usize)> = fam
+        .crucial_pairs()
+        .iter()
+        .map(|&(v, w)| {
+            let p = net.ports().port_to(v, w).expect("matching edge");
+            let width = width_for(net.graph().degree(v) as u64);
+            ((p.number() - 1) as u64, width)
+        })
+        .collect();
+    // Centers: marker + index + width.
+    for (i, &v) in fam.centers().iter().enumerate() {
+        let s = &mut advice[v.index()];
+        s.push_bool(true);
+        s.push_gamma(i as u64 + 1);
+        s.push_gamma(ports[i].1 as u64);
+    }
+    // U nodes: marker + one (position, bit) entry per center. The position
+    // assigned to (u, vᵢ) is u's index modulo the width, so every position
+    // appears on ≈ n/width of vᵢ's neighbors.
+    for (j, &u) in fam.u_side().iter().enumerate() {
+        let s = &mut advice[u.index()];
+        s.push_bool(false);
+        for &(x, width) in &ports {
+            let position = (j % width) as u8;
+            s.push_bits(u64::from(position), 8);
+            s.push_bool((x >> position) & 1 == 1);
+        }
+    }
+    // W nodes: marker only.
+    for &w in &fam.w_side() {
+        advice[w.index()].push_bool(false);
+    }
+    advice
+}
+
+/// One measured point of the fragment-family experiment.
+#[derive(Debug, Clone)]
+pub struct FragmentPoint {
+    /// Family parameter.
+    pub n: usize,
+    /// Total messages.
+    pub messages: u64,
+    /// Advice statistics.
+    pub advice: AdviceStats,
+    /// Whether every center reconstructed its crucial port.
+    pub all_found: bool,
+}
+
+/// Runs the fragment strategy on class 𝒢 with all centers awake.
+pub fn run_fragment_point(n: usize, seed: u64) -> FragmentPoint {
+    let fam = ClassG::new(n).expect("valid family parameter");
+    let net = Network::kt0(fam.graph().clone(), seed);
+    let advice = fragment_advice(&fam, &net);
+    let stats = AdviceStats::measure(&advice);
+    let config = AsyncConfig {
+        seed: seed ^ 0xF0F0,
+        advice: Some(advice),
+        ..AsyncConfig::default()
+    };
+    let schedule = WakeSchedule::all_at_zero(&fam.centers());
+    let report = AsyncEngine::<FragmentProbe>::new(&net, config).run(&schedule);
+    let all_found = fam.crucial_pairs().iter().all(|&(v, w)| {
+        report.outputs[v.index()]
+            .map(|p| net.ports().neighbor(v, Port::new(p as usize)) == w)
+            .unwrap_or(false)
+    });
+    FragmentPoint {
+        n,
+        messages: report.metrics.messages_sent,
+        advice: stats,
+        all_found,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thm1;
+
+    #[test]
+    fn fragments_reconstruct_every_crucial_port() {
+        for seed in 0..3 {
+            let p = run_fragment_point(24, seed);
+            assert!(p.all_found, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn messages_are_polylog_per_center() {
+        let n = 64usize;
+        let p = run_fragment_point(n, 5);
+        assert!(p.all_found);
+        // Coupon collector over width positions: ~width·ln(width) probes,
+        // two messages each, plus the final wake. Generous envelope:
+        let width = (64 - (n as u64).leading_zeros()) as f64;
+        let bound = (n as f64) * (3.0 * width * width.ln().max(1.0) + 4.0) * 2.0;
+        assert!(
+            (p.messages as f64) < bound,
+            "messages {} above envelope {bound}",
+            p.messages
+        );
+    }
+
+    #[test]
+    fn pitfall_is_dominated_by_prefix_advice() {
+        // For the same or better message count, the prefix family uses far
+        // less advice — the empirical content of the Section 1.4.1
+        // discussion.
+        let n = 48usize;
+        let frag = run_fragment_point(n, 7);
+        // Prefix advice with full width: one probe per center.
+        let width = wakeup_sim::bits::width_for((n + 1) as u64);
+        let prefix = thm1::run_point(n, width, 7);
+        assert!(frag.all_found && prefix.all_found);
+        assert!(
+            prefix.messages <= frag.messages,
+            "prefix {} should not exceed fragment {}",
+            prefix.messages,
+            frag.messages
+        );
+        assert!(
+            prefix.advice.total_bits * 10 < frag.advice.total_bits,
+            "prefix advice {} should be far below fragment advice {}",
+            prefix.advice.total_bits,
+            frag.advice.total_bits
+        );
+    }
+
+    #[test]
+    fn u_nodes_carry_the_advice_mass() {
+        let fam = ClassG::new(16).unwrap();
+        let net = Network::kt0(fam.graph().clone(), 3);
+        let advice = fragment_advice(&fam, &net);
+        let u_bits: usize = fam.u_side().iter().map(|&u| advice[u.index()].len()).sum();
+        let v_bits: usize = fam.centers().iter().map(|&v| advice[v.index()].len()).sum();
+        assert!(u_bits > 10 * v_bits, "u {} vs v {}", u_bits, v_bits);
+    }
+}

@@ -1,0 +1,25 @@
+//! Empirical witnesses for the paper's two lower bounds.
+//!
+//! Lower bounds cannot be "run"; what can be run is the best strategy family
+//! a bound permits, to confirm that the measured cost tracks the bound's
+//! shape:
+//!
+//! * [`thm1`] — on the KT0 class 𝒢, an oracle that reveals β prefix bits of
+//!   each center's crucial port, and centers that probe the remaining
+//!   candidates. The measured message count follows `Θ(n² / 2^β)` as β
+//!   sweeps — exactly the trade-off Theorem 1 proves unavoidable.
+//! * [`fragments`] — the Section 1.4.1 pitfall oracle (port bits hidden in
+//!   the neighbors' advice), measured against the prefix family to show why
+//!   the proof must, and does, rule it out.
+//! * [`thm2`] — on the KT1 class 𝒢ₖ, the time-restricted strategies
+//!   (one-round flooding with `Θ(n^{1+1/k})` messages) against the
+//!   unrestricted DFS-rank algorithm (`O(n log n)` messages, `Θ(n)` time),
+//!   exhibiting the time/message trade-off of Theorem 2; plus the Figure 3
+//!   ID-swap demonstration behind Lemmas 5 and 6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fragments;
+pub mod thm1;
+pub mod thm2;

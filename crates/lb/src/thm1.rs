@@ -1,0 +1,337 @@
+//! Theorem 1 experiment: the advice/message trade-off on class 𝒢.
+//!
+//! The oracle (which, per Theorem 1, may know everything including the awake
+//! set) writes β prefix bits of each center's crucial-port index into its
+//! advice. A center then probes, one port at a time, the `≈ (n+1)/2^β`
+//! ports consistent with its prefix until the degree-1 crucial neighbor
+//! answers. Expected messages: `n · (n+1)/2^{β+1}` probes plus as many
+//! replies — the `n²/2^β` shape of Theorem 1's bound. The probing order is
+//! round-robin over candidates, so the adversary's uniformly random port
+//! assignment makes every candidate equally likely.
+
+use wakeup_graph::families::ClassG;
+use wakeup_sim::advice::AdviceStats;
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::bits::width_for;
+use wakeup_sim::{
+    AsyncConfig, AsyncEngine, AsyncProtocol, BitReader, BitStr, Context, Incoming, Network,
+    NodeInit, Payload, Port, WakeCause,
+};
+
+/// Probe traffic (CONGEST-sized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeMsg {
+    /// Center → candidate port: who are you?
+    Probe,
+    /// Reply carrying the responder's degree (degree 1 identifies a crucial
+    /// `W`-node on class 𝒢).
+    Reply {
+        /// The responder's degree.
+        degree: u64,
+    },
+}
+
+impl Payload for ProbeMsg {
+    fn size_bits(&self) -> usize {
+        match self {
+            ProbeMsg::Probe => 2,
+            ProbeMsg::Reply { degree } => 2 + (64 - degree.max(&1).leading_zeros() as usize),
+        }
+    }
+}
+
+/// The prefix-probing protocol for the needles-in-haystack (𝖭𝖨𝖧) game.
+///
+/// Centers (recognized by their advice, which starts with a presence bit)
+/// probe candidate ports sequentially; every other node answers probes with
+/// its degree. A center outputs the crucial port number once found (the
+/// 𝖭𝖨𝖧 output convention for KT0).
+#[derive(Debug)]
+pub struct PrefixProbe {
+    candidates: Vec<Port>,
+    cursor: usize,
+    degree: u64,
+    done: bool,
+}
+
+impl PrefixProbe {
+    fn probe_next(&mut self, ctx: &mut Context<'_, ProbeMsg>) {
+        if let Some(&p) = self.candidates.get(self.cursor) {
+            ctx.send(p, ProbeMsg::Probe);
+        }
+    }
+}
+
+impl AsyncProtocol for PrefixProbe {
+    type Msg = ProbeMsg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let mut r = BitReader::new(init.advice);
+        let mut candidates = Vec::new();
+        if r.read_bool() == Some(true) {
+            // Center: the advice carries the β-bit index of the equal-width
+            // bucket (over port indices 0..degree) containing the crucial
+            // port. Equal-width buckets keep the candidate count at
+            // ≈ degree / 2^β regardless of whether degree is a power of two.
+            let beta = r.remaining();
+            let bucket = r.read_bits(beta).unwrap_or(0) as u128;
+            let deg = init.degree as u128;
+            let scale = 1u128 << beta.min(64);
+            for x in 0..init.degree as u128 {
+                if beta == 0 || x * scale / deg == bucket {
+                    candidates.push(Port::new(x as usize + 1));
+                }
+            }
+        }
+        PrefixProbe {
+            candidates,
+            cursor: 0,
+            degree: init.degree as u64,
+            done: false,
+        }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, ProbeMsg>, _cause: WakeCause) {
+        self.probe_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ProbeMsg>, from: Incoming, msg: ProbeMsg) {
+        match msg {
+            ProbeMsg::Probe => {
+                ctx.send(from.port, ProbeMsg::Reply { degree: self.degree });
+            }
+            ProbeMsg::Reply { degree } => {
+                if self.done {
+                    return;
+                }
+                if degree == 1 {
+                    self.done = true;
+                    ctx.output(from.port.number() as u64);
+                } else {
+                    self.cursor += 1;
+                    self.probe_next(ctx);
+                }
+            }
+        }
+    }
+}
+
+/// Builds the β-prefix advice for a class-𝒢 network.
+///
+/// Centers receive `1` followed by the top `β` bits of their crucial port
+/// index; everyone else receives the single bit `0`.
+pub fn prefix_advice(fam: &ClassG, net: &Network, beta: usize) -> Vec<BitStr> {
+    let n3 = net.n();
+    let mut advice: Vec<BitStr> = (0..n3)
+        .map(|_| {
+            let mut s = BitStr::new();
+            s.push_bool(false);
+            s
+        })
+        .collect();
+    for (v, w) in fam.crucial_pairs() {
+        let port = net.ports().port_to(v, w).expect("matching edge");
+        let degree = net.graph().degree(v) as u128;
+        let width = width_for(degree as u64);
+        let x = (port.number() - 1) as u128;
+        let mut s = BitStr::new();
+        s.push_bool(true);
+        let b = beta.min(width);
+        if b > 0 {
+            let bucket = x * (1u128 << b) / degree;
+            s.push_bits(bucket as u64, b);
+        }
+        advice[v.index()] = s;
+    }
+    advice
+}
+
+/// One measured point of the Theorem 1 trade-off.
+#[derive(Debug, Clone)]
+pub struct Thm1Point {
+    /// The family parameter (3n nodes total).
+    pub n: usize,
+    /// Advice bits revealed per center.
+    pub beta: usize,
+    /// Total messages observed.
+    pub messages: u64,
+    /// The theorem's shape `n² / 2^β` for reference.
+    pub predicted_shape: f64,
+    /// Advice statistics (max/avg bits per node).
+    pub advice: AdviceStats,
+    /// Whether every center solved its 𝖭𝖨𝖧 instance.
+    pub all_found: bool,
+}
+
+/// Runs the Theorem 1 experiment for a single `(n, β)` pair.
+pub fn run_point(n: usize, beta: usize, seed: u64) -> Thm1Point {
+    let fam = ClassG::new(n).expect("valid family parameter");
+    let net = Network::kt0(fam.graph().clone(), seed);
+    let advice = prefix_advice(&fam, &net, beta);
+    let stats = AdviceStats::measure(&advice);
+    let config = AsyncConfig {
+        seed: seed ^ 0xABCD,
+        advice: Some(advice),
+        ..AsyncConfig::default()
+    };
+    let schedule = WakeSchedule::all_at_zero(&fam.centers());
+    let report = AsyncEngine::<PrefixProbe>::new(&net, config).run(&schedule);
+    let all_found = fam.crucial_pairs().iter().all(|&(v, w)| {
+        report.outputs[v.index()]
+            .map(|p| net.ports().neighbor(v, Port::new(p as usize)) == w)
+            .unwrap_or(false)
+    });
+    Thm1Point {
+        n,
+        beta,
+        messages: report.metrics.messages_sent,
+        predicted_shape: (n as f64) * (n as f64) / (1u64 << beta.min(62)) as f64,
+        advice: stats,
+        all_found,
+    }
+}
+
+/// Sweeps β for a fixed `n`.
+pub fn sweep_beta(n: usize, betas: &[usize], seed: u64) -> Vec<Thm1Point> {
+    betas.iter().map(|&b| run_point(n, b, seed + b as u64)).collect()
+}
+
+/// Port-usage profile of a Theorem 1 run — the empirical counterpart of the
+/// paper's `Smlᵢ` events ("vᵢ sends or receives over at most n/2^β of its
+/// ports") and of Lemma 2's claim that at least half the centers are
+/// port-frugal when the message budget is met.
+#[derive(Debug, Clone)]
+pub struct PortUsageProfile {
+    /// Ports used per center, one entry per center.
+    pub ports_used: Vec<u32>,
+    /// The `n/2^β` threshold from the event `Smlᵢ`.
+    pub small_threshold: f64,
+    /// Fraction of centers at or below the threshold.
+    pub small_fraction: f64,
+}
+
+/// Measures port usage of the prefix-probe strategy at advice level β.
+pub fn port_usage(n: usize, beta: usize, seed: u64) -> PortUsageProfile {
+    let fam = ClassG::new(n).expect("valid family parameter");
+    let net = Network::kt0(fam.graph().clone(), seed);
+    let advice = prefix_advice(&fam, &net, beta);
+    let config = AsyncConfig {
+        seed: seed ^ 0xABCD,
+        advice: Some(advice),
+        track_ports: true,
+        ..AsyncConfig::default()
+    };
+    let schedule = WakeSchedule::all_at_zero(&fam.centers());
+    let report = AsyncEngine::<PrefixProbe>::new(&net, config).run(&schedule);
+    let ports_used: Vec<u32> = fam
+        .centers()
+        .iter()
+        .map(|&v| report.metrics.ports_used[v.index()])
+        .collect();
+    let small_threshold = n as f64 / (1u64 << beta.min(62)) as f64;
+    let small = ports_used
+        .iter()
+        .filter(|&&p| f64::from(p) <= small_threshold.max(1.0))
+        .count();
+    PortUsageProfile {
+        small_fraction: small as f64 / ports_used.len() as f64,
+        ports_used,
+        small_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_advice_costs_quadratic_messages() {
+        let p = run_point(24, 0, 1);
+        assert!(p.all_found);
+        // Expected ~ n * (n+1)/2 probes * 2 messages each = n(n+1)/2 * 2.
+        let expected = (24.0 * 25.0 / 2.0) * 2.0;
+        let ratio = p.messages as f64 / expected;
+        assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn full_advice_costs_linear_messages() {
+        let n = 24usize;
+        let width = width_for((n + 1) as u64);
+        let p = run_point(n, width, 2);
+        assert!(p.all_found);
+        // One probe + one reply per center, plus nothing else.
+        assert!(
+            p.messages <= 3 * n as u64,
+            "messages {} should be linear",
+            p.messages
+        );
+    }
+
+    #[test]
+    fn messages_halve_per_advice_bit() {
+        let n = 32usize;
+        let points = sweep_beta(n, &[0, 1, 2, 3], 7);
+        for pair in points.windows(2) {
+            assert!(pair[0].all_found && pair[1].all_found);
+            let ratio = pair[0].messages as f64 / pair[1].messages as f64;
+            assert!(
+                (1.4..2.8).contains(&ratio),
+                "β {}→{}: ratio {ratio} not ≈ 2",
+                pair[0].beta,
+                pair[1].beta
+            );
+        }
+    }
+
+    #[test]
+    fn advice_stats_reflect_beta() {
+        let p = run_point(16, 3, 3);
+        // Centers hold 1 + 3 bits; U and W hold 1 bit.
+        assert_eq!(p.advice.max_bits, 4);
+        assert!(p.advice.avg_bits < 2.5);
+    }
+
+    #[test]
+    fn lemma2_style_port_frugality() {
+        // With β advice bits, probing touches ≈ (n+1)/2^(β+1) ports per
+        // center in expectation; well over half the centers stay below the
+        // Sml threshold n/2^β (Lemma 2 guarantees ≥ 1/2 under the message
+        // budget).
+        for beta in [1usize, 2, 3] {
+            let profile = port_usage(32, beta, 9);
+            assert!(
+                profile.small_fraction >= 0.5,
+                "β={beta}: only {:.2} of centers were port-frugal (threshold {})",
+                profile.small_fraction,
+                profile.small_threshold
+            );
+        }
+    }
+
+    #[test]
+    fn port_usage_shrinks_with_beta() {
+        let max_ports = |beta| {
+            port_usage(32, beta, 9)
+                .ports_used
+                .iter()
+                .copied()
+                .max()
+                .unwrap()
+        };
+        let wide = max_ports(0);
+        let narrow = max_ports(4);
+        assert!(
+            narrow * 4 < wide,
+            "β=4 usage {narrow} should be far below β=0 usage {wide}"
+        );
+    }
+
+    #[test]
+    fn outputs_are_correct_ports() {
+        // run_point already validates outputs; assert the flag.
+        for seed in 0..3 {
+            assert!(run_point(12, 1, seed).all_found, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Theorem 2 experiment: the time/message trade-off on class 𝒢ₖ, plus the
+//! Figure 3 ID-swap demonstration.
+//!
+//! Theorem 2 says any `(k+1)`-time algorithm sends `Ω(n^{1+1/k})` messages on
+//! 𝒢ₖ even under KT1. The fastest strategy — one-round flooding — indeed
+//! sends `Θ(n^{1+1/k})` messages (every center must cover all of its
+//! `n^{1/k}+1` ports, since nothing distinguishes the crucial neighbor in
+//! one round). Giving up the time restriction, the DFS-rank algorithm of
+//! Theorem 3 solves the same instances with `O(n log n)` messages — the gap
+//! the theorem proves is inherent, not algorithmic laziness.
+//!
+//! The [`swap_demo`] reproduces Figure 3's reasoning: a deterministic
+//! one-round protocol that contacts only *some* neighbors must behave
+//! identically when the IDs of a contacted-neighborhood-preserving pair are
+//! swapped, and therefore fails on one of the two instances.
+
+use wakeup_core::dfs_rank::DfsRank;
+use wakeup_core::flooding::FloodSync;
+use wakeup_graph::families::ClassGk;
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::{
+    AsyncConfig, AsyncEngine, Context, IdAssignment, Incoming, KnowledgeMode, Network, NodeInit,
+    Payload, PortAssignment, SyncConfig, SyncEngine, SyncProtocol, WakeCause, TICKS_PER_UNIT,
+};
+
+/// One measured point of the Theorem 2 trade-off.
+#[derive(Debug, Clone)]
+pub struct Thm2Point {
+    /// The family's time parameter `k`.
+    pub k: usize,
+    /// The family parameter `n` (3n nodes total).
+    pub n: usize,
+    /// Core degree `d ≈ n^{1/k}`.
+    pub d: usize,
+    /// Messages of the time-optimal strategy (flooding, 1 round).
+    pub flood_messages: u64,
+    /// Rounds taken by flooding.
+    pub flood_rounds: u64,
+    /// Messages of the unrestricted-time DFS-rank algorithm.
+    pub dfs_messages: u64,
+    /// τ-normalized time taken by DFS-rank.
+    pub dfs_time_units: f64,
+    /// The theorem's shape `n^{1+1/k}` for reference.
+    pub predicted_shape: f64,
+}
+
+/// Runs flooding (time-restricted) and DFS-rank (message-light) on the same
+/// 𝒢ₖ instance with all centers awake (ρ_awk = 1, the theorem's setting).
+pub fn run_point(k: usize, q: usize, seed: u64) -> Thm2Point {
+    let fam = ClassGk::new(k, q, seed).expect("valid family parameters");
+    run_family_point(&fam, seed)
+}
+
+/// As [`run_point`] but over an explicitly-sized family instance.
+pub fn run_family_point(fam: &ClassGk, seed: u64) -> Thm2Point {
+    let n = fam.n_parameter();
+    let centers = fam.centers();
+    let schedule = WakeSchedule::all_at_zero(&centers);
+
+    let net_sync = Network::kt1(fam.graph().clone(), seed);
+    let flood = SyncEngine::<FloodSync>::new(&net_sync, SyncConfig { seed, ..SyncConfig::default() })
+        .run(&schedule);
+    assert!(flood.all_awake, "flooding must wake everyone");
+    let flood_rounds = flood.metrics.all_awake_tick.unwrap_or(0) / TICKS_PER_UNIT;
+
+    let net_async = Network::kt1(fam.graph().clone(), seed ^ 0x51);
+    let dfs = AsyncEngine::<DfsRank>::new(
+        &net_async,
+        AsyncConfig { seed: seed ^ 0x99, ..AsyncConfig::default() },
+    )
+    .run(&schedule);
+    assert!(dfs.all_awake, "DFS-rank is Las Vegas");
+
+    Thm2Point {
+        k: fam.k(),
+        n,
+        d: fam.core_degree(),
+        flood_messages: flood.metrics.messages_sent,
+        flood_rounds,
+        dfs_messages: dfs.metrics.messages_sent,
+        dfs_time_units: dfs.metrics.time_units(),
+        predicted_shape: (n as f64).powf(1.0 + 1.0 / fam.k() as f64),
+    }
+}
+
+/// A deterministic 1-round KT1 protocol that contacts only the smallest
+/// `budget` neighbor IDs — the kind of message-saving strategy Lemmas 5/6
+/// show cannot work.
+#[derive(Debug)]
+pub struct SelectiveProbe {
+    targets: Vec<u64>,
+}
+
+/// The one-bit contact message of [`SelectiveProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contact;
+
+impl Payload for Contact {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+impl SelectiveProbe {
+    /// Fraction of neighbors contacted, fixed at protocol level for the demo.
+    const BUDGET: usize = 1;
+}
+
+impl SyncProtocol for SelectiveProbe {
+    type Msg = Contact;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        let mut targets: Vec<u64> = init.neighbor_ids.map(<[u64]>::to_vec).unwrap_or_default();
+        targets.truncate(Self::BUDGET);
+        SelectiveProbe { targets }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Contact>, cause: WakeCause) {
+        if cause == WakeCause::Adversary {
+            for &t in &self.targets.clone() {
+                ctx.send_to_id(t, Contact);
+            }
+        }
+    }
+
+    fn on_round(&mut self, _: &mut Context<'_, Contact>, _: Vec<(Incoming, Contact)>) {}
+}
+
+/// Outcome of the Figure 3 swap demonstration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapDemo {
+    /// Whether the crucial neighbor of the focal center was woken in the
+    /// original ID assignment.
+    pub original_woke_crucial: bool,
+    /// Whether it was woken after swapping the crucial node's ID with a
+    /// non-contacted neighbor's ID.
+    pub swapped_woke_crucial: bool,
+}
+
+/// Reproduces the Figure 3 argument: take a 𝒢ₖ instance, find a center
+/// whose deterministic 1-round protocol does *not* contact its crucial
+/// neighbor, swap the crucial node's ID with the contacted neighbor's ID,
+/// and observe that the protocol's fate flips — a deterministic, time-
+/// restricted, message-light protocol cannot be correct on both instances.
+pub fn swap_demo(k: usize, q: usize, seed: u64) -> SwapDemo {
+    let fam = ClassGk::new(k, q, seed).expect("valid family parameters");
+    let g = fam.graph().clone();
+    let base_ids: Vec<u64> = (0..g.n() as u64).collect();
+    let run = |ids: Vec<u64>| {
+        let net = Network::with_parts(
+            g.clone(),
+            PortAssignment::canonical(&g),
+            IdAssignment::from_vec(ids),
+            KnowledgeMode::Kt1,
+        );
+        let schedule = WakeSchedule::all_at_zero(&fam.centers());
+        SyncEngine::<SelectiveProbe>::new(&net, SyncConfig::default()).run(&schedule)
+    };
+    // Find a center whose smallest-ID neighbor is NOT its crucial neighbor.
+    let (focal_v, focal_w) = fam
+        .crucial_pairs()
+        .into_iter()
+        .find(|&(v, w)| {
+            let min_nbr = g.neighbors(v).iter().copied().min_by_key(|x| base_ids[x.index()]);
+            min_nbr != Some(w)
+        })
+        .expect("some center has a non-crucial smallest neighbor");
+    let contacted = *g
+        .neighbors(focal_v)
+        .iter()
+        .min_by_key(|x| base_ids[x.index()])
+        .unwrap();
+    let original = run(base_ids.clone());
+    let original_woke_crucial = original.metrics.wake_tick[focal_w.index()].is_some();
+    // Swap the IDs of the contacted neighbor and the crucial neighbor.
+    let mut swapped_ids = base_ids;
+    swapped_ids.swap(contacted.index(), focal_w.index());
+    let swapped = run(swapped_ids);
+    let swapped_woke_crucial = swapped.metrics.wake_tick[focal_w.index()].is_some();
+    SwapDemo { original_woke_crucial, swapped_woke_crucial }
+}
+
+/// Sweeps `q` for a fixed `k`.
+pub fn sweep(k: usize, qs: &[usize], seed: u64) -> Vec<Thm2Point> {
+    qs.iter().map(|&q| run_point(k, q, seed + q as u64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flooding_messages_track_edge_count() {
+        let p = run_point(3, 3, 1); // n = 27
+        // Flooding sends 2m messages; m = Θ(n^{1+1/k}).
+        let ratio = p.flood_messages as f64 / p.predicted_shape;
+        assert!((0.5..8.0).contains(&ratio), "ratio {ratio}");
+        assert!(p.flood_rounds <= 1, "all centers form a dominating set");
+    }
+
+    #[test]
+    fn dfs_beats_flooding_on_messages_but_not_time() {
+        let p = run_point(3, 4, 2); // n = 64
+        assert!(
+            p.dfs_messages < p.flood_messages,
+            "DFS {} should undercut flooding {}",
+            p.dfs_messages,
+            p.flood_messages
+        );
+        assert!(
+            p.dfs_time_units > p.flood_rounds as f64,
+            "the saving must cost time: {} vs {}",
+            p.dfs_time_units,
+            p.flood_rounds
+        );
+    }
+
+    #[test]
+    fn swap_demo_flips_the_outcome() {
+        let demo = swap_demo(3, 3, 5);
+        // The deterministic 1-contact protocol misses the crucial neighbor
+        // originally; after swapping IDs the contacted port now leads to it.
+        assert!(!demo.original_woke_crucial);
+        assert!(demo.swapped_woke_crucial);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_n() {
+        let points = sweep(3, &[2, 3], 3);
+        assert!(points[0].n < points[1].n);
+        assert!(points[0].flood_messages < points[1].flood_messages);
+    }
+}

@@ -1,0 +1,10 @@
+//! The oblivious adversary: wake-up schedules and message-delay strategies.
+//!
+//! Both are fixed before the execution and never observe node randomness,
+//! matching the paper's adversary model (Section 1.1).
+
+mod delay;
+mod wake;
+
+pub use delay::{AdversarialDelay, BurstDelay, DelayStrategy, RandomDelay, TargetedDelay, UnitDelay};
+pub use wake::WakeSchedule;

@@ -1,0 +1,219 @@
+//! Adversarial wake-up schedules.
+
+use wakeup_graph::NodeId;
+
+use crate::metrics::TICKS_PER_UNIT;
+
+/// A wake-up schedule: which nodes the adversary wakes, and when.
+///
+/// Times are in engine ticks for the async engine ([`TICKS_PER_UNIT`] ticks
+/// per τ time unit) and in *rounds* for the sync engine (the round value is
+/// `ticks / TICKS_PER_UNIT`, so unit-aligned schedules work for both).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_sim::adversary::WakeSchedule;
+/// use wakeup_graph::NodeId;
+/// let s = WakeSchedule::staggered(&[NodeId::new(0), NodeId::new(3)], 2.0);
+/// assert_eq!(s.entries().len(), 2);
+/// assert_eq!(s.wake_time(NodeId::new(3)), Some(2.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WakeSchedule {
+    // Sorted by tick.
+    entries: Vec<(u64, NodeId)>,
+}
+
+impl WakeSchedule {
+    /// Wakes a single node at time 0.
+    pub fn single(node: NodeId) -> WakeSchedule {
+        WakeSchedule { entries: vec![(0, node)] }
+    }
+
+    /// Wakes all given nodes at time 0.
+    pub fn all_at_zero(nodes: &[NodeId]) -> WakeSchedule {
+        let mut entries: Vec<(u64, NodeId)> = nodes.iter().map(|&v| (0, v)).collect();
+        entries.sort_unstable();
+        entries.dedup();
+        WakeSchedule { entries }
+    }
+
+    /// Wakes the nodes one by one, `gap_units` time units apart, in order.
+    pub fn staggered(nodes: &[NodeId], gap_units: f64) -> WakeSchedule {
+        assert!(gap_units >= 0.0, "gap must be nonnegative");
+        let mut entries = Vec::with_capacity(nodes.len());
+        for (i, &v) in nodes.iter().enumerate() {
+            let ticks = (i as f64 * gap_units * TICKS_PER_UNIT as f64).round() as u64;
+            entries.push((ticks, v));
+        }
+        entries.sort_unstable();
+        WakeSchedule { entries }
+    }
+
+    /// Builds from explicit `(node, time-in-units)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative times.
+    pub fn from_pairs(pairs: &[(NodeId, f64)]) -> WakeSchedule {
+        let mut entries = Vec::with_capacity(pairs.len());
+        for &(v, t) in pairs {
+            assert!(t >= 0.0, "wake times must be nonnegative");
+            entries.push(((t * TICKS_PER_UNIT as f64).round() as u64, v));
+        }
+        entries.sort_unstable();
+        WakeSchedule { entries }
+    }
+
+    /// The "farthest-first" adversary: wakes `count` nodes one by one,
+    /// `gap_units` apart, always picking a node at maximum hop distance from
+    /// everything woken so far (ties to the smallest index; the first node
+    /// is `start`). Computed purely from the topology, so it remains an
+    /// oblivious adversary — and it maximizes ρ_awk at every prefix, the
+    /// stress case for awake-distance-sensitive algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or exceeds `n`.
+    pub fn farthest_first(
+        graph: &wakeup_graph::Graph,
+        start: NodeId,
+        count: usize,
+        gap_units: f64,
+    ) -> WakeSchedule {
+        assert!(count >= 1, "need at least one awake node");
+        assert!(count <= graph.n(), "cannot wake {count} of {} nodes", graph.n());
+        let mut chosen = vec![start];
+        while chosen.len() < count {
+            let dist = wakeup_graph::algo::multi_source_distances(graph, &chosen);
+            let far = dist
+                .iter()
+                .enumerate()
+                .filter(|&(v, _)| !chosen.contains(&NodeId::new(v)))
+                .max_by_key(|&(v, &d)| (if d == usize::MAX { 0 } else { d }, usize::MAX - v))
+                .map(|(v, _)| NodeId::new(v))
+                .expect("count <= n leaves candidates");
+            chosen.push(far);
+        }
+        WakeSchedule::staggered(&chosen, gap_units)
+    }
+
+    /// Wakes `count` uniformly random distinct nodes (out of `n`) at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `count > n`.
+    pub fn random(n: usize, count: usize, seed: u64) -> WakeSchedule {
+        assert!(count >= 1, "need at least one awake node");
+        assert!(count <= n, "cannot wake {count} of {n} nodes");
+        let mut rng = wakeup_graph::rng::Xoshiro256::seed_from(seed);
+        let nodes: Vec<NodeId> = rng
+            .sample_distinct(n, count)
+            .into_iter()
+            .map(NodeId::new)
+            .collect();
+        WakeSchedule::all_at_zero(&nodes)
+    }
+
+    /// The schedule as sorted `(tick, node)` pairs.
+    pub fn entries(&self) -> &[(u64, NodeId)] {
+        &self.entries
+    }
+
+    /// Nodes woken at time 0 (the initially-awake set `A₀`).
+    pub fn initially_awake(&self) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .take_while(|&&(t, _)| t == 0)
+            .map(|&(_, v)| v)
+            .collect()
+    }
+
+    /// All nodes the adversary ever wakes, in schedule order.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// The scheduled wake time of `node` in units, if any.
+    pub fn wake_time(&self, node: NodeId) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|&&(_, v)| v == node)
+            .map(|&(t, _)| t as f64 / TICKS_PER_UNIT as f64)
+    }
+
+    /// Whether the schedule is empty (no algorithm can wake anyone).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_at_zero() {
+        let s = WakeSchedule::single(NodeId::new(4));
+        assert_eq!(s.initially_awake(), vec![NodeId::new(4)]);
+        assert_eq!(s.wake_time(NodeId::new(4)), Some(0.0));
+        assert_eq!(s.wake_time(NodeId::new(5)), None);
+    }
+
+    #[test]
+    fn all_at_zero_dedups() {
+        let s = WakeSchedule::all_at_zero(&[NodeId::new(1), NodeId::new(1), NodeId::new(2)]);
+        assert_eq!(s.entries().len(), 2);
+    }
+
+    #[test]
+    fn staggered_ordering() {
+        let nodes: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let s = WakeSchedule::staggered(&nodes, 0.5);
+        let ticks: Vec<u64> = s.entries().iter().map(|&(t, _)| t).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s.wake_time(NodeId::new(2)), Some(1.0));
+        assert_eq!(s.initially_awake(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn from_pairs_sorted() {
+        let s = WakeSchedule::from_pairs(&[(NodeId::new(9), 3.0), (NodeId::new(1), 1.0)]);
+        assert_eq!(s.entries()[0].1, NodeId::new(1));
+        assert!(s.initially_awake().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_time_rejected() {
+        WakeSchedule::from_pairs(&[(NodeId::new(0), -1.0)]);
+    }
+
+    #[test]
+    fn farthest_first_maximizes_prefix_distance() {
+        let g = wakeup_graph::generators::path(10).unwrap();
+        let s = WakeSchedule::farthest_first(&g, NodeId::new(0), 3, 1.0);
+        let nodes = s.all_nodes();
+        assert_eq!(nodes[0], NodeId::new(0));
+        assert_eq!(nodes[1], NodeId::new(9), "farthest from 0 on a path");
+        // Third pick: farthest from {0, 9} = the middle.
+        assert!(nodes[2] == NodeId::new(4) || nodes[2] == NodeId::new(5));
+    }
+
+    #[test]
+    fn random_schedule_distinct_and_reproducible() {
+        let a = WakeSchedule::random(30, 7, 4);
+        let b = WakeSchedule::random(30, 7, 4);
+        assert_eq!(a.entries(), b.entries());
+        assert_eq!(a.initially_awake().len(), 7);
+        let c = WakeSchedule::random(30, 7, 5);
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn random_zero_count_rejected() {
+        WakeSchedule::random(5, 0, 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! The "computing with advice" framework (Fraigniaud–Ilcinkas–Pelc style).
+//!
+//! An [`Oracle`] sees the *entire* network — topology, IDs, and (under KT0)
+//! the port mappings — before the execution, and assigns each node a bit
+//! string. Per the paper's default, the oracle does **not** know the
+//! initially-awake set; oracles that do (allowed by Theorem 1's lower bound)
+//! can be built by closing over the schedule.
+
+use crate::bits::BitStr;
+use crate::network::Network;
+
+/// An advice oracle.
+pub trait Oracle {
+    /// Computes each node's advice string from the full network.
+    fn advise(&self, net: &Network) -> Vec<BitStr>;
+}
+
+impl<F> Oracle for F
+where
+    F: Fn(&Network) -> Vec<BitStr>,
+{
+    fn advise(&self, net: &Network) -> Vec<BitStr> {
+        self(net)
+    }
+}
+
+/// Summary statistics of an advice assignment — the paper's advice-length
+/// complexity measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdviceStats {
+    /// Maximum advice length over all nodes, in bits.
+    pub max_bits: usize,
+    /// Total advice length, in bits.
+    pub total_bits: usize,
+    /// Average advice length per node, in bits.
+    pub avg_bits: f64,
+}
+
+impl AdviceStats {
+    /// Measures an advice assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty assignment.
+    pub fn measure(advice: &[BitStr]) -> AdviceStats {
+        assert!(!advice.is_empty(), "advice assignment must cover nodes");
+        let total_bits: usize = advice.iter().map(BitStr::len).sum();
+        let max_bits = advice.iter().map(BitStr::len).max().unwrap_or(0);
+        AdviceStats {
+            max_bits,
+            total_bits,
+            avg_bits: total_bits as f64 / advice.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakeup_graph::generators;
+
+    #[test]
+    fn closure_oracles_work() {
+        let oracle = |net: &Network| {
+            (0..net.n())
+                .map(|v| {
+                    let mut s = BitStr::new();
+                    s.push_bits(v as u64 % 2, 1);
+                    s
+                })
+                .collect::<Vec<_>>()
+        };
+        let net = Network::kt0(generators::path(4).unwrap(), 0);
+        let advice = oracle.advise(&net);
+        assert_eq!(advice.len(), 4);
+        let stats = AdviceStats::measure(&advice);
+        assert_eq!(stats.max_bits, 1);
+        assert_eq!(stats.total_bits, 4);
+        assert_eq!(stats.avg_bits, 1.0);
+    }
+
+    #[test]
+    fn stats_with_uneven_lengths() {
+        let mut a = BitStr::new();
+        a.push_bits(0, 10);
+        let b = BitStr::new();
+        let stats = AdviceStats::measure(&[a, b]);
+        assert_eq!(stats.max_bits, 10);
+        assert_eq!(stats.avg_bits, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover nodes")]
+    fn empty_assignment_panics() {
+        AdviceStats::measure(&[]);
+    }
+}

@@ -1,0 +1,663 @@
+//! The asynchronous discrete-event engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use wakeup_graph::rng::Xoshiro256;
+use wakeup_graph::NodeId;
+
+use crate::adversary::{DelayStrategy, UnitDelay, WakeSchedule};
+use crate::bits::BitStr;
+use crate::knowledge::Port;
+use crate::message::{ChannelModel, Payload};
+use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
+use crate::network::{Network, NodeTables};
+use crate::protocol::{AsyncProtocol, Context, Incoming, NodeInit, WakeCause};
+use crate::trace::{Trace, TraceEvent};
+
+/// Configuration of an [`AsyncEngine`] run.
+#[derive(Debug, Clone)]
+pub struct AsyncConfig {
+    /// Bandwidth regime; oversize messages in CONGEST mode panic unless
+    /// `record_congest_violations` is set.
+    pub channel: ChannelModel,
+    /// Master seed for the nodes' private randomness.
+    pub seed: u64,
+    /// Seed of the shared random tape.
+    pub shared_seed: u64,
+    /// Per-node advice strings from an oracle (None = no advice).
+    pub advice: Option<Vec<BitStr>>,
+    /// Safety cap on processed events; exceeding it sets
+    /// [`RunReport::truncated`].
+    pub max_events: u64,
+    /// Track the set of distinct ports each node communicates over (needed
+    /// by the lower-bound experiments; costs memory, off by default).
+    pub track_ports: bool,
+    /// Count CONGEST violations in metrics instead of panicking.
+    pub record_congest_violations: bool,
+    /// Record an execution trace with the given event capacity.
+    pub trace_capacity: Option<usize>,
+}
+
+impl Default for AsyncConfig {
+    fn default() -> AsyncConfig {
+        AsyncConfig {
+            channel: ChannelModel::Local,
+            seed: 0xDEFA_17,
+            shared_seed: 0x5EED,
+            advice: None,
+            max_events: 50_000_000,
+            track_ports: false,
+            record_congest_violations: false,
+            trace_capacity: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Wake(NodeId),
+    Deliver { to: NodeId, port: Port, from: NodeId, msg: M },
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    tick: u64,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+    }
+}
+
+/// Discrete-event simulator for the asynchronous model.
+///
+/// See the crate-level example. Delays come from a [`DelayStrategy`] (default
+/// [`UnitDelay`]); FIFO order per channel is enforced regardless of the
+/// strategy's choices, matching the paper's channel model.
+pub struct AsyncEngine<'n, P: AsyncProtocol> {
+    net: &'n Network,
+    tables: NodeTables,
+    config: AsyncConfig,
+    protocols: Vec<P>,
+}
+
+impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
+    /// Initializes every node's protocol state over the given network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.advice` is present but has the wrong length.
+    pub fn new(net: &'n Network, config: AsyncConfig) -> AsyncEngine<'n, P> {
+        let tables = NodeTables::build(net);
+        let empty = BitStr::new();
+        if let Some(advice) = &config.advice {
+            assert_eq!(advice.len(), net.n(), "advice must cover every node");
+        }
+        let master = Xoshiro256::seed_from(config.seed);
+        let protocols = (0..net.n())
+            .map(|v| {
+                let node = NodeId::new(v);
+                let advice = config
+                    .advice
+                    .as_ref()
+                    .map_or(&empty, |a| &a[v]);
+                let init = NodeInit {
+                    id: net.ids().id(node),
+                    degree: net.graph().degree(node),
+                    n_hint: net.n(),
+                    neighbor_ids: if self_is_kt1(net) {
+                        Some(tables.neighbor_ids[v].as_slice())
+                    } else {
+                        None
+                    },
+                    advice,
+                    private_seed: master.fork(v as u64).next_u64_peek(),
+                    shared_seed: config.shared_seed,
+                };
+                P::init(&init)
+            })
+            .collect();
+        AsyncEngine { net, tables, config, protocols }
+    }
+
+    /// Runs with per-message delay τ (the [`UnitDelay`] strategy).
+    pub fn run(self, schedule: &WakeSchedule) -> RunReport {
+        self.run_with(schedule, &mut UnitDelay)
+    }
+
+    /// Runs with an explicit delay strategy.
+    pub fn run_with(self, schedule: &WakeSchedule, delays: &mut dyn DelayStrategy) -> RunReport {
+        self.run_into_parts(schedule, delays).0
+    }
+
+    /// As [`AsyncEngine::run_with`], but also returns the final per-node
+    /// protocol states for post-hoc inspection (e.g. checking Claim 4's
+    /// per-node token-forwarding bound on `DfsRank`).
+    pub fn run_into_parts(
+        mut self,
+        schedule: &WakeSchedule,
+        delays: &mut dyn DelayStrategy,
+    ) -> (RunReport, Vec<P>) {
+        let n = self.net.n();
+        let mut metrics = Metrics::new(n);
+        let mut outputs: Vec<Option<u64>> = vec![None; n];
+        let mut awake = vec![false; n];
+        let mut awake_count = 0usize;
+        let mut queue: BinaryHeap<Reverse<Event<P::Msg>>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut last_scheduled: HashMap<u64, u64> = HashMap::new();
+        let mut channel_seq: HashMap<u64, u64> = HashMap::new();
+        let mut ports_touched: Vec<HashSet<u32>> = if self.config.track_ports {
+            vec![HashSet::new(); n]
+        } else {
+            Vec::new()
+        };
+        let mut trace: Option<Trace> = self.config.trace_capacity.map(Trace::with_capacity);
+        for &(tick, node) in schedule.entries() {
+            queue.push(Reverse(Event { tick, seq, kind: EventKind::Wake(node) }));
+            seq += 1;
+        }
+        let mut processed = 0u64;
+        let mut truncated = false;
+        while let Some(Reverse(event)) = queue.pop() {
+            processed += 1;
+            if processed > self.config.max_events {
+                truncated = true;
+                break;
+            }
+            let tick = event.tick;
+            match event.kind {
+                EventKind::Wake(v) => {
+                    if awake[v.index()] {
+                        continue;
+                    }
+                    wake_node(
+                        &mut self.protocols,
+                        self.net,
+                        &self.tables,
+                        v,
+                        WakeCause::Adversary,
+                        tick,
+                        &mut awake,
+                        &mut awake_count,
+                        &mut metrics,
+                        &mut outputs,
+                        &mut queue,
+                        &mut seq,
+                        &mut last_scheduled,
+                        &mut channel_seq,
+                        &mut ports_touched,
+                        &mut trace,
+                        &self.config,
+                        delays,
+                    );
+                }
+                EventKind::Deliver { to, port, from, msg } => {
+                    if let Some(tr) = trace.as_mut() {
+                        tr.record(TraceEvent::Deliver { tick, from, to });
+                    }
+                    metrics.received_by[to.index()] += 1;
+                    metrics.last_receipt_tick =
+                        Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
+                    if self.config.track_ports {
+                        ports_touched[to.index()].insert(port.number() as u32);
+                    }
+                    if !awake[to.index()] {
+                        wake_node(
+                            &mut self.protocols,
+                            self.net,
+                            &self.tables,
+                            to,
+                            WakeCause::Message,
+                            tick,
+                            &mut awake,
+                            &mut awake_count,
+                            &mut metrics,
+                            &mut outputs,
+                            &mut queue,
+                            &mut seq,
+                            &mut last_scheduled,
+                            &mut channel_seq,
+                            &mut ports_touched,
+                            &mut trace,
+                            &self.config,
+                            delays,
+                        );
+                    }
+                    let sender_id = match self.net.mode() {
+                        crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(from)),
+                        crate::knowledge::KnowledgeMode::Kt0 => None,
+                    };
+                    let incoming = Incoming { port, sender_id };
+                    let mut ctx = Context::new(
+                        to,
+                        self.net.graph().degree(to),
+                        self.net.mode(),
+                        &self.tables.id_to_port[to.index()],
+                        &mut outputs[to.index()],
+                    );
+                    self.protocols[to.index()].on_message(&mut ctx, incoming, msg);
+                    dispatch_outbox(
+                        ctx.into_outbox(),
+                        to,
+                        tick,
+                        self.net,
+                        &mut metrics,
+                        &mut queue,
+                        &mut seq,
+                        &mut last_scheduled,
+                        &mut channel_seq,
+                        &mut ports_touched,
+                        &mut trace,
+                        &self.config,
+                        delays,
+                    );
+                }
+            }
+        }
+        if self.config.track_ports {
+            for (v, set) in ports_touched.iter().enumerate() {
+                metrics.ports_used[v] = set.len() as u32;
+            }
+        }
+        let report = RunReport {
+            all_awake: awake_count == n,
+            rounds: 0,
+            outputs,
+            truncated,
+            metrics,
+            trace,
+        };
+        (report, self.protocols)
+    }
+}
+
+fn self_is_kt1(net: &Network) -> bool {
+    net.mode() == crate::knowledge::KnowledgeMode::Kt1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn wake_node<P: AsyncProtocol>(
+    protocols: &mut [P],
+    net: &Network,
+    tables: &NodeTables,
+    v: NodeId,
+    cause: WakeCause,
+    tick: u64,
+    awake: &mut [bool],
+    awake_count: &mut usize,
+    metrics: &mut Metrics,
+    outputs: &mut [Option<u64>],
+    queue: &mut BinaryHeap<Reverse<Event<P::Msg>>>,
+    seq: &mut u64,
+    last_scheduled: &mut HashMap<u64, u64>,
+    channel_seq: &mut HashMap<u64, u64>,
+    ports_touched: &mut [HashSet<u32>],
+    trace: &mut Option<Trace>,
+    config: &AsyncConfig,
+    delays: &mut dyn DelayStrategy,
+) {
+    if let Some(tr) = trace.as_mut() {
+        tr.record(TraceEvent::Wake { tick, node: v, cause });
+    }
+    awake[v.index()] = true;
+    *awake_count += 1;
+    metrics.wake_tick[v.index()] = Some(tick);
+    metrics.first_wake_tick = Some(metrics.first_wake_tick.map_or(tick, |t| t.min(tick)));
+    if *awake_count == awake.len() {
+        metrics.all_awake_tick = Some(tick);
+    }
+    let mut ctx = Context::new(
+        v,
+        net.graph().degree(v),
+        net.mode(),
+        &tables.id_to_port[v.index()],
+        &mut outputs[v.index()],
+    );
+    protocols[v.index()].on_wake(&mut ctx, cause);
+    dispatch_outbox(
+        ctx.into_outbox(),
+        v,
+        tick,
+        net,
+        metrics,
+        queue,
+        seq,
+        last_scheduled,
+        channel_seq,
+        ports_touched,
+        trace,
+        config,
+        delays,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_outbox<M: Payload>(
+    outbox: Vec<(Port, M)>,
+    from: NodeId,
+    tick: u64,
+    net: &Network,
+    metrics: &mut Metrics,
+    queue: &mut BinaryHeap<Reverse<Event<M>>>,
+    seq: &mut u64,
+    last_scheduled: &mut HashMap<u64, u64>,
+    channel_seq: &mut HashMap<u64, u64>,
+    ports_touched: &mut [HashSet<u32>],
+    trace: &mut Option<Trace>,
+    config: &AsyncConfig,
+    delays: &mut dyn DelayStrategy,
+) {
+    for (port, msg) in outbox {
+        let to = net.ports().neighbor(from, port);
+        let bits = msg.size_bits();
+        if let Some(tr) = trace.as_mut() {
+            tr.record(TraceEvent::Send { tick, from, to, bits });
+        }
+        if !config.channel.permits(bits) {
+            if config.record_congest_violations {
+                metrics.congest_violations += 1;
+            } else {
+                panic!(
+                    "CONGEST violation: {bits}-bit message from {from} exceeds {:?}",
+                    config.channel
+                );
+            }
+        }
+        metrics.messages_sent += 1;
+        metrics.bits_sent += bits as u64;
+        metrics.max_message_bits = metrics.max_message_bits.max(bits);
+        metrics.sent_by[from.index()] += 1;
+        if config.track_ports {
+            ports_touched[from.index()].insert(port.number() as u32);
+        }
+        let key = ((from.index() as u64) << 32) | to.index() as u64;
+        let cseq = channel_seq.entry(key).or_insert(0);
+        let delay = delays
+            .delay_ticks(from, to, tick, *cseq)
+            .clamp(1, TICKS_PER_UNIT);
+        *cseq += 1;
+        let naive = tick + delay;
+        let slot = last_scheduled.entry(key).or_insert(0);
+        // FIFO per channel: never deliver before an earlier message on the
+        // same channel; equal ticks are ordered by the global sequence
+        // number, which increases in send order.
+        let deliver = naive.max(*slot);
+        *slot = deliver;
+        // The receiver-side port is the paper's port_to(to, from).
+        let rport = net
+            .ports()
+            .port_to(to, from)
+            .expect("messages travel along graph edges");
+        queue.push(Reverse(Event {
+            tick: deliver,
+            seq: *seq,
+            kind: EventKind::Deliver { to, port: rport, from, msg },
+        }));
+        *seq += 1;
+    }
+}
+
+/// Peek helper so engine init can derive a per-node seed without consuming
+/// the forked stream's state semantics elsewhere.
+trait PeekU64 {
+    fn next_u64_peek(self) -> u64;
+}
+
+impl PeekU64 for Xoshiro256 {
+    fn next_u64_peek(mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversarialDelay, RandomDelay};
+    use wakeup_graph::generators;
+
+    #[derive(Debug, Clone)]
+    struct Token(u32);
+    impl Payload for Token {
+        fn size_bits(&self) -> usize {
+            32
+        }
+    }
+
+    /// Floods a token once.
+    struct Flood {
+        relayed: bool,
+    }
+    impl AsyncProtocol for Flood {
+        type Msg = Token;
+        fn init(_: &NodeInit<'_>) -> Self {
+            Flood { relayed: false }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Token>, _cause: WakeCause) {
+            if !self.relayed {
+                self.relayed = true;
+                ctx.broadcast(Token(7));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, Token>, _from: Incoming, _msg: Token) {}
+    }
+
+    #[test]
+    fn flood_wakes_everyone() {
+        let net = Network::kt0(generators::path(10).unwrap(), 3);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let report = AsyncEngine::<Flood>::new(&net, AsyncConfig::default()).run(&schedule);
+        assert!(report.all_awake);
+        // Path: every node broadcasts once => sum of degrees = 2m = 18.
+        assert_eq!(report.metrics.messages_sent, 18);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn flood_time_matches_awake_distance_under_unit_delay() {
+        let net = Network::kt0(generators::path(9).unwrap(), 3);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let report = AsyncEngine::<Flood>::new(&net, AsyncConfig::default()).run(&schedule);
+        // Wake-up completes after 8 unit hops; last receipt is one more hop
+        // (the endpoint's own broadcast echo back).
+        assert_eq!(report.metrics.wakeup_time_units(), Some(8.0));
+        assert_eq!(report.time_units(), 9.0);
+    }
+
+    #[test]
+    fn random_delays_still_wake_everyone_and_respect_tau() {
+        let net = Network::kt0(generators::erdos_renyi_connected(30, 0.2, 9).unwrap(), 4);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let mut delays = RandomDelay::new(5);
+        let report = AsyncEngine::<Flood>::new(&net, AsyncConfig::default())
+            .run_with(&schedule, &mut delays);
+        assert!(report.all_awake);
+        let rho = wakeup_graph::algo::awake_distance(net.graph(), &[NodeId::new(0)]).unwrap();
+        // Flooding under any (0, τ] delays completes within ρ_awk units.
+        assert!(report.metrics.wakeup_time_units().unwrap() <= rho as f64 + 1e-9);
+    }
+
+    #[test]
+    fn adversarial_delays_deterministic() {
+        let net = Network::kt0(generators::cycle(12).unwrap(), 4);
+        let schedule = WakeSchedule::single(NodeId::new(3));
+        let run = |salt| {
+            let mut delays = AdversarialDelay::new(salt);
+            AsyncEngine::<Flood>::new(&net, AsyncConfig::default())
+                .run_with(&schedule, &mut delays)
+                .metrics
+                .last_receipt_tick
+        };
+        assert_eq!(run(1), run(1));
+    }
+
+    #[test]
+    fn congest_violation_panics_by_default() {
+        #[derive(Debug, Clone)]
+        struct Big;
+        impl Payload for Big {
+            fn size_bits(&self) -> usize {
+                1_000_000
+            }
+        }
+        struct Shout;
+        impl AsyncProtocol for Shout {
+            type Msg = Big;
+            fn init(_: &NodeInit<'_>) -> Self {
+                Shout
+            }
+            fn on_wake(&mut self, ctx: &mut Context<'_, Big>, _cause: WakeCause) {
+                ctx.broadcast(Big);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Big>, _: Incoming, _: Big) {}
+        }
+        let net = Network::kt0(generators::path(3).unwrap(), 0);
+        let config = AsyncConfig {
+            channel: ChannelModel::congest_for(3),
+            ..AsyncConfig::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            AsyncEngine::<Shout>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn congest_violation_recordable() {
+        #[derive(Debug, Clone)]
+        struct Big;
+        impl Payload for Big {
+            fn size_bits(&self) -> usize {
+                1_000_000
+            }
+        }
+        struct Shout;
+        impl AsyncProtocol for Shout {
+            type Msg = Big;
+            fn init(_: &NodeInit<'_>) -> Self {
+                Shout
+            }
+            fn on_wake(&mut self, ctx: &mut Context<'_, Big>, _cause: WakeCause) {
+                ctx.broadcast(Big);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Big>, _: Incoming, _: Big) {}
+        }
+        let net = Network::kt0(generators::path(3).unwrap(), 0);
+        let config = AsyncConfig {
+            channel: ChannelModel::congest_for(3),
+            record_congest_violations: true,
+            ..AsyncConfig::default()
+        };
+        let report =
+            AsyncEngine::<Shout>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
+        assert!(report.metrics.congest_violations > 0);
+    }
+
+    #[test]
+    fn empty_schedule_nobody_wakes() {
+        let net = Network::kt0(generators::path(5).unwrap(), 0);
+        let report =
+            AsyncEngine::<Flood>::new(&net, AsyncConfig::default()).run(&WakeSchedule::default());
+        assert!(!report.all_awake);
+        assert_eq!(report.metrics.awake_count(), 0);
+        assert_eq!(report.metrics.messages_sent, 0);
+    }
+
+    #[test]
+    fn port_tracking_counts_distinct_ports() {
+        let net = Network::kt0(generators::star(6).unwrap(), 2);
+        let config = AsyncConfig { track_ports: true, ..AsyncConfig::default() };
+        let report =
+            AsyncEngine::<Flood>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
+        // The hub broadcasts on all 5 ports and receives back on all 5.
+        assert_eq!(report.metrics.ports_used[0], 5);
+        for leaf in 1..6 {
+            assert_eq!(report.metrics.ports_used[leaf], 1);
+        }
+    }
+
+    /// Echoes grow without bound; exercises the event cap.
+    struct PingPong;
+    impl AsyncProtocol for PingPong {
+        type Msg = Token;
+        fn init(_: &NodeInit<'_>) -> Self {
+            PingPong
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Token>, _cause: WakeCause) {
+            ctx.broadcast(Token(0));
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Token>, from: Incoming, msg: Token) {
+            ctx.send(from.port, Token(msg.0 + 1));
+        }
+    }
+
+    #[test]
+    fn event_cap_truncates_runaway_protocols() {
+        let net = Network::kt0(generators::path(2).unwrap(), 0);
+        let config = AsyncConfig { max_events: 100, ..AsyncConfig::default() };
+        let report =
+            AsyncEngine::<PingPong>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
+        assert!(report.truncated);
+    }
+
+    /// Sends two messages along one channel and records arrival order.
+    #[derive(Debug, Clone)]
+    struct Seq(u32);
+    impl Payload for Seq {
+        fn size_bits(&self) -> usize {
+            32
+        }
+    }
+    struct FifoProbe {
+        got: Vec<u32>,
+        is_sender: bool,
+    }
+    impl AsyncProtocol for FifoProbe {
+        type Msg = Seq;
+        fn init(init: &NodeInit<'_>) -> Self {
+            FifoProbe { got: Vec::new(), is_sender: init.id == 0 }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Seq>, _cause: WakeCause) {
+            if self.is_sender {
+                for i in 0..20 {
+                    ctx.send(Port::new(1), Seq(i));
+                }
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Seq>, _: Incoming, msg: Seq) {
+            self.got.push(msg.0);
+            if msg.0 == 19 {
+                // Report a checksum of the arrival order: it is only 19*20/2
+                // positions-correct if FIFO held; encode first inversion.
+                let ordered = self.got.windows(2).all(|w| w[0] < w[1]);
+                ctx.output(u64::from(ordered));
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_holds_under_random_delays() {
+        let net = Network::kt0(generators::path(2).unwrap(), 0);
+        for seed in 0..10 {
+            let mut delays = RandomDelay::new(seed);
+            let report = AsyncEngine::<FifoProbe>::new(&net, AsyncConfig::default())
+                .run_with(&WakeSchedule::single(NodeId::new(0)), &mut delays);
+            assert_eq!(report.outputs[1], Some(1), "FIFO violated for seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Bit-level strings for advice.
+//!
+//! The paper measures advice in *bits*, so advice must be encoded at bit
+//! granularity: a scheme claiming `O(log n)` bits per node cannot smuggle a
+//! `Vec<u64>` past the accounting. [`BitStr`] is an append-only bit vector
+//! with explicit-width writes, and [`BitReader`] is its sequential decoder.
+
+use std::fmt;
+
+/// An append-only bit string (MSB-first within each pushed field).
+///
+/// # Example
+///
+/// ```
+/// use wakeup_sim::{BitStr, BitReader};
+/// let mut s = BitStr::new();
+/// s.push_bits(5, 3);     // 101
+/// s.push_bool(true);     // 1
+/// s.push_gamma(9);       // Elias-gamma coded
+/// let mut r = BitReader::new(&s);
+/// assert_eq!(r.read_bits(3), Some(5));
+/// assert_eq!(r.read_bool(), Some(true));
+/// assert_eq!(r.read_gamma(), Some(9));
+/// assert_eq!(r.read_bool(), None); // exhausted
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitStr {
+    bits: Vec<bool>,
+}
+
+impl fmt::Debug for BitStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitStr[{}b:", self.bits.len())?;
+        for (i, b) in self.bits.iter().enumerate() {
+            if i >= 64 {
+                write!(f, "…")?;
+                break;
+            }
+            write!(f, "{}", u8::from(*b))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitStr {
+    /// Creates an empty bit string.
+    pub fn new() -> BitStr {
+        BitStr::default()
+    }
+
+    /// Length in bits — the quantity the paper's advice bounds talk about.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the string is empty (zero advice).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Appends a single bit.
+    pub fn push_bool(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Appends the low `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn push_bits(&mut self, value: u64, width: usize) {
+        assert!(width <= 64, "width {width} exceeds 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.bits.push((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends `value` in Elias-gamma coding (self-delimiting; `value >= 1`).
+    ///
+    /// Gamma coding lets advice hold variable-width fields without paying a
+    /// fixed `log n` for small values — this is what keeps the *average*
+    /// advice length of the tree schemes at `O(log n)` while the max stays
+    /// larger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn push_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "gamma coding requires value >= 1");
+        let width = 64 - value.leading_zeros() as usize; // bits in value
+        for _ in 0..width - 1 {
+            self.bits.push(false);
+        }
+        self.push_bits(value, width);
+    }
+
+    /// Appends another bit string.
+    pub fn extend_from(&mut self, other: &BitStr) {
+        self.bits.extend_from_slice(&other.bits);
+    }
+
+    /// The raw bits, MSB-first in push order.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+/// Sequential reader over a [`BitStr`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bits: &'a [bool],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader at the start of `s`.
+    pub fn new(s: &'a BitStr) -> BitReader<'a> {
+        BitReader { bits: s.as_slice(), pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.bits.len() - self.pos
+    }
+
+    /// Reads one bit; `None` if exhausted.
+    pub fn read_bool(&mut self) -> Option<bool> {
+        let b = *self.bits.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    /// Reads `width` bits as a big-endian value; `None` if fewer remain.
+    pub fn read_bits(&mut self, width: usize) -> Option<u64> {
+        assert!(width <= 64, "width {width} exceeds 64");
+        if self.remaining() < width {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | u64::from(self.bits[self.pos]);
+            self.pos += 1;
+        }
+        Some(v)
+    }
+
+    /// Reads an Elias-gamma coded value; `None` on malformed/short input.
+    pub fn read_gamma(&mut self) -> Option<u64> {
+        let mut zeros = 0usize;
+        loop {
+            match self.read_bool()? {
+                false => zeros += 1,
+                true => break,
+            }
+            if zeros > 64 {
+                return None;
+            }
+        }
+        // The leading 1 has been consumed; read the remaining `zeros` bits.
+        let rest = self.read_bits(zeros)?;
+        Some((1u64 << zeros) | rest)
+    }
+}
+
+/// Width in bits needed to store values in `0..bound` (at least 1).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(wakeup_sim::bits::width_for(1), 1);
+/// assert_eq!(wakeup_sim::bits::width_for(2), 1);
+/// assert_eq!(wakeup_sim::bits::width_for(3), 2);
+/// assert_eq!(wakeup_sim::bits::width_for(1024), 10);
+/// ```
+pub fn width_for(bound: u64) -> usize {
+    if bound <= 2 {
+        1
+    } else {
+        (64 - (bound - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fixed_width() {
+        let mut s = BitStr::new();
+        for (v, w) in [(0u64, 1), (1, 1), (7, 3), (1023, 10), (u64::MAX, 64)] {
+            s.push_bits(v, w);
+        }
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(1), Some(0));
+        assert_eq!(r.read_bits(1), Some(1));
+        assert_eq!(r.read_bits(3), Some(7));
+        assert_eq!(r.read_bits(10), Some(1023));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn gamma_roundtrip() {
+        let mut s = BitStr::new();
+        let values = [1u64, 2, 3, 4, 9, 100, 1_000_000, u64::MAX / 2];
+        for &v in &values {
+            s.push_gamma(v);
+        }
+        let mut r = BitReader::new(&s);
+        for &v in &values {
+            assert_eq!(r.read_gamma(), Some(v));
+        }
+    }
+
+    #[test]
+    fn gamma_length_is_logarithmic() {
+        let mut s = BitStr::new();
+        s.push_gamma(1);
+        assert_eq!(s.len(), 1);
+        let mut s = BitStr::new();
+        s.push_gamma(255);
+        assert_eq!(s.len(), 15); // 2*8 - 1
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_too_wide_panics() {
+        BitStr::new().push_bits(8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "value >= 1")]
+    fn gamma_zero_panics() {
+        BitStr::new().push_gamma(0);
+    }
+
+    #[test]
+    fn reader_exhaustion() {
+        let mut s = BitStr::new();
+        s.push_bits(3, 2);
+        let mut r = BitReader::new(&s);
+        assert_eq!(r.read_bits(3), None, "not enough bits");
+        assert_eq!(r.read_bits(2), Some(3), "reader did not advance on failure");
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = BitStr::new();
+        a.push_bits(5, 3);
+        let mut b = BitStr::new();
+        b.push_bits(2, 2);
+        a.extend_from(&b);
+        assert_eq!(a.len(), 5);
+        let mut r = BitReader::new(&a);
+        assert_eq!(r.read_bits(3), Some(5));
+        assert_eq!(r.read_bits(2), Some(2));
+    }
+
+    #[test]
+    fn width_for_boundaries() {
+        assert_eq!(width_for(4), 2);
+        assert_eq!(width_for(5), 3);
+        assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn debug_truncates() {
+        let mut s = BitStr::new();
+        s.push_bits(0, 64);
+        s.push_bits(0, 64);
+        let d = format!("{s:?}");
+        assert!(d.contains("128b"));
+        assert!(d.contains('…'));
+    }
+}

@@ -1,0 +1,294 @@
+//! Post-hoc invariant checking over execution traces.
+//!
+//! Given a [`crate::trace::Trace`] and the network it came from, the
+//! checker verifies the model-level guarantees every execution must satisfy:
+//!
+//! * **Edge validity** — messages travel only along graph edges.
+//! * **FIFO channels** — deliveries on a directed channel happen in send
+//!   order, never before their send.
+//! * **Bounded delay** — every message is delivered within `(0, τ]` of its
+//!   send (the paper's normalization).
+//! * **Conservation** — equal numbers of sends and deliveries per channel at
+//!   the end of a completed run.
+//! * **Wake causality** — a node woken by a message has a delivery at its
+//!   wake tick; no node acts before the first adversary wake.
+//!
+//! The engines uphold these by construction; the checker exists so tests
+//! (and users extending the engines) can prove it about *any* recorded run,
+//! and so protocol-level test failures can be triaged against model-level
+//! causes.
+
+use std::collections::HashMap;
+
+use wakeup_graph::NodeId;
+
+use crate::metrics::TICKS_PER_UNIT;
+use crate::network::Network;
+use crate::protocol::WakeCause;
+use crate::trace::{Trace, TraceEvent};
+
+/// A violated invariant, with a human-readable description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed.
+    pub kind: ViolationKind,
+    /// Description with the offending event details.
+    pub detail: String,
+}
+
+/// The checkable invariant classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A message traveled along a non-edge.
+    NonEdgeTraffic,
+    /// FIFO order was violated on a channel.
+    FifoOrder,
+    /// A delivery preceded its send or exceeded the τ bound.
+    DelayBound,
+    /// Sends and deliveries do not match up.
+    Conservation,
+    /// A message-caused wake without a matching delivery.
+    WakeCausality,
+}
+
+/// Checks all standard invariants; returns every violation found (empty =
+/// clean).
+///
+/// `completed` should be true when the engine ran to quiescence (enables the
+/// conservation check, which does not hold for truncated runs).
+pub fn check_standard_invariants(
+    trace: &Trace,
+    net: &Network,
+    completed: bool,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut sends: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
+    let mut delivers: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
+    let mut wake_ticks: HashMap<NodeId, (u64, WakeCause)> = HashMap::new();
+    for event in trace.events() {
+        match *event {
+            TraceEvent::Send { tick, from, to, .. } => {
+                if !net.graph().has_edge(from, to) {
+                    violations.push(Violation {
+                        kind: ViolationKind::NonEdgeTraffic,
+                        detail: format!("send {from} -> {to} at tick {tick}: not an edge"),
+                    });
+                }
+                sends.entry((from, to)).or_default().push(tick);
+            }
+            TraceEvent::Deliver { tick, from, to } => {
+                delivers.entry((from, to)).or_default().push(tick);
+            }
+            TraceEvent::Wake { tick, node, cause } => {
+                wake_ticks.entry(node).or_insert((tick, cause));
+            }
+        }
+    }
+    // FIFO + delay bound: the i-th delivery on a channel corresponds to the
+    // i-th send (FIFO), must not precede it, and must arrive within τ of the
+    // latest of (its send, the previous delivery) — the engine restores FIFO
+    // by delaying, so the bound is relative to the effective dispatch time.
+    for (channel, d_ticks) in &delivers {
+        let s_ticks = sends.get(channel).cloned().unwrap_or_default();
+        if d_ticks.len() > s_ticks.len() {
+            violations.push(Violation {
+                kind: ViolationKind::Conservation,
+                detail: format!(
+                    "channel {} -> {}: {} deliveries but {} sends",
+                    channel.0,
+                    channel.1,
+                    d_ticks.len(),
+                    s_ticks.len()
+                ),
+            });
+            continue;
+        }
+        let mut prev_delivery = 0u64;
+        for (i, &d) in d_ticks.iter().enumerate() {
+            let s = s_ticks[i];
+            if d < s {
+                violations.push(Violation {
+                    kind: ViolationKind::DelayBound,
+                    detail: format!(
+                        "channel {} -> {}: delivery #{i} at {d} precedes send at {s}",
+                        channel.0, channel.1
+                    ),
+                });
+            }
+            let dispatch = s.max(prev_delivery);
+            if d > dispatch + TICKS_PER_UNIT {
+                violations.push(Violation {
+                    kind: ViolationKind::DelayBound,
+                    detail: format!(
+                        "channel {} -> {}: delivery #{i} at {d} exceeds τ after dispatch {dispatch}",
+                        channel.0, channel.1
+                    ),
+                });
+            }
+            if d < prev_delivery {
+                violations.push(Violation {
+                    kind: ViolationKind::FifoOrder,
+                    detail: format!(
+                        "channel {} -> {}: delivery #{i} at {d} before previous at {prev_delivery}",
+                        channel.0, channel.1
+                    ),
+                });
+            }
+            prev_delivery = d;
+        }
+    }
+    if completed && !trace.truncated {
+        for (channel, s_ticks) in &sends {
+            let delivered = delivers.get(channel).map_or(0, Vec::len);
+            if delivered != s_ticks.len() {
+                violations.push(Violation {
+                    kind: ViolationKind::Conservation,
+                    detail: format!(
+                        "channel {} -> {}: {} sends but {} deliveries",
+                        channel.0,
+                        channel.1,
+                        s_ticks.len(),
+                        delivered
+                    ),
+                });
+            }
+        }
+    }
+    // Wake causality: message wakes coincide with a delivery to that node.
+    for (&node, &(tick, cause)) in &wake_ticks {
+        if cause == WakeCause::Message {
+            let has_delivery = delivers
+                .iter()
+                .any(|(&(_, to), ticks)| to == node && ticks.contains(&tick));
+            if !has_delivery {
+                violations.push(Violation {
+                    kind: ViolationKind::WakeCausality,
+                    detail: format!("{node} woke by message at tick {tick} with no delivery"),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{RandomDelay, WakeSchedule};
+    use crate::protocol::{AsyncProtocol, Context, Incoming, NodeInit};
+    use crate::{AsyncConfig, AsyncEngine, Payload};
+    use wakeup_graph::generators;
+
+    #[derive(Debug, Clone)]
+    struct Ping;
+    impl Payload for Ping {
+        fn size_bits(&self) -> usize {
+            1
+        }
+    }
+    struct Flood {
+        sent: bool,
+    }
+    impl AsyncProtocol for Flood {
+        type Msg = Ping;
+        fn init(_: &NodeInit<'_>) -> Self {
+            Flood { sent: false }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _: crate::WakeCause) {
+            if !self.sent {
+                self.sent = true;
+                ctx.broadcast(Ping);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Ping>, _: Incoming, _: Ping) {}
+    }
+
+    #[test]
+    fn real_runs_are_clean() {
+        let g = generators::erdos_renyi_connected(30, 0.2, 3).unwrap();
+        let net = Network::kt0(g, 3);
+        for seed in 0..5 {
+            let config = AsyncConfig {
+                seed,
+                trace_capacity: Some(1 << 20),
+                ..AsyncConfig::default()
+            };
+            let mut delays = RandomDelay::new(seed);
+            let report = AsyncEngine::<Flood>::new(&net, config).run_with(
+                &WakeSchedule::single(wakeup_graph::NodeId::new(0)),
+                &mut delays,
+            );
+            let trace = report.trace.as_ref().unwrap();
+            let violations = check_standard_invariants(trace, &net, !report.truncated);
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn detects_non_edge_traffic() {
+        let g = generators::path(3).unwrap();
+        let net = Network::kt0(g, 0);
+        let mut trace = Trace::default();
+        trace.record(TraceEvent::Send {
+            tick: 0,
+            from: NodeId::new(0),
+            to: NodeId::new(2),
+            bits: 1,
+        });
+        let violations = check_standard_invariants(&trace, &net, false);
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::NonEdgeTraffic));
+    }
+
+    #[test]
+    fn detects_fifo_and_delay_violations() {
+        let g = generators::path(2).unwrap();
+        let net = Network::kt0(g, 0);
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        let mut trace = Trace::default();
+        // Two sends, delivered out of order and one too late.
+        trace.record(TraceEvent::Send { tick: 0, from: a, to: b, bits: 1 });
+        trace.record(TraceEvent::Send { tick: 10, from: a, to: b, bits: 1 });
+        trace.record(TraceEvent::Deliver { tick: 5000, from: a, to: b });
+        trace.record(TraceEvent::Deliver { tick: 100, from: a, to: b });
+        let violations = check_standard_invariants(&trace, &net, true);
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::FifoOrder));
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::DelayBound));
+    }
+
+    #[test]
+    fn detects_lost_messages() {
+        let g = generators::path(2).unwrap();
+        let net = Network::kt0(g, 0);
+        let mut trace = Trace::default();
+        trace.record(TraceEvent::Send { tick: 0, from: NodeId::new(0), to: NodeId::new(1), bits: 1 });
+        let violations = check_standard_invariants(&trace, &net, true);
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::Conservation));
+    }
+
+    #[test]
+    fn detects_uncaused_wakes() {
+        let g = generators::path(2).unwrap();
+        let net = Network::kt0(g, 0);
+        let mut trace = Trace::default();
+        trace.record(TraceEvent::Wake {
+            tick: 7,
+            node: NodeId::new(1),
+            cause: WakeCause::Message,
+        });
+        let violations = check_standard_invariants(&trace, &net, false);
+        assert!(violations.iter().any(|v| v.kind == ViolationKind::WakeCausality));
+    }
+
+    #[test]
+    fn adversary_wakes_need_no_cause() {
+        let g = generators::path(2).unwrap();
+        let net = Network::kt0(g, 0);
+        let mut trace = Trace::default();
+        trace.record(TraceEvent::Wake {
+            tick: 7,
+            node: NodeId::new(1),
+            cause: WakeCause::Adversary,
+        });
+        assert!(check_standard_invariants(&trace, &net, false).is_empty());
+    }
+}

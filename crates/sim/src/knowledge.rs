@@ -1,0 +1,285 @@
+//! Initial-knowledge models: KT0 port mappings and KT1 neighbor IDs.
+
+use std::fmt;
+
+use wakeup_graph::rng::Xoshiro256;
+use wakeup_graph::{Graph, NodeId};
+
+/// A port number at some node, in `1..=deg(v)` (the paper numbers ports from
+/// 1; we follow that convention in the public API).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(u32);
+
+impl Port {
+    /// Creates a port from a 1-based number.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `number == 0`.
+    pub fn new(number: usize) -> Port {
+        assert!(number >= 1, "ports are numbered from 1");
+        Port(u32::try_from(number).expect("port number exceeds u32"))
+    }
+
+    /// The 1-based port number.
+    pub fn number(self) -> usize {
+        self.0 as usize
+    }
+
+    /// 0-based index into a node's port table.
+    pub fn index(self) -> usize {
+        self.0 as usize - 1
+    }
+}
+
+impl fmt::Debug for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Which initial-knowledge assumption the network runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnowledgeMode {
+    /// Port numbering only; nodes do not know who their ports lead to.
+    Kt0,
+    /// Every node knows its neighbors' IDs from the start.
+    Kt1,
+}
+
+/// The adversary's port mapping for every node: a bijection
+/// `port_v : [deg(v)] → N(v)` per node `v` (Section 1.1 of the paper).
+#[derive(Debug, Clone)]
+pub struct PortAssignment {
+    // to_neighbor[v][p-1] = neighbor reached via port p at v.
+    to_neighbor: Vec<Vec<NodeId>>,
+    // from_neighbor[v] is sorted by neighbor for O(log deg) reverse lookup.
+    from_neighbor: Vec<Vec<(NodeId, Port)>>,
+}
+
+impl PortAssignment {
+    /// The canonical mapping: port `i` at `v` leads to `v`'s `i`-th smallest
+    /// neighbor. Useful for deterministic tests.
+    pub fn canonical(graph: &Graph) -> PortAssignment {
+        Self::from_permutations(graph, |_, d| (0..d).collect())
+    }
+
+    /// A uniformly random mapping per node, mutually independent across
+    /// nodes — the sampling step of the lower-bound distribution 𝒢.
+    pub fn random(graph: &Graph, rng: &mut Xoshiro256) -> PortAssignment {
+        Self::from_permutations(graph, |rng_slot, d| {
+            // Each node's permutation is drawn from a forked stream so the
+            // mapping is independent of iteration order.
+            let mut local = rng.fork(rng_slot as u64 ^ 0x9E37_79B9);
+            local.permutation(d)
+        })
+    }
+
+    fn from_permutations(
+        graph: &Graph,
+        mut perm_for: impl FnMut(usize, usize) -> Vec<usize>,
+    ) -> PortAssignment {
+        let n = graph.n();
+        let mut to_neighbor = Vec::with_capacity(n);
+        let mut from_neighbor = Vec::with_capacity(n);
+        for v in 0..n {
+            let nbrs = graph.neighbors(NodeId::new(v));
+            let perm = perm_for(v, nbrs.len());
+            debug_assert_eq!(perm.len(), nbrs.len());
+            let table: Vec<NodeId> = perm.iter().map(|&i| nbrs[i]).collect();
+            let mut reverse: Vec<(NodeId, Port)> = table
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (w, Port::new(i + 1)))
+                .collect();
+            reverse.sort_unstable_by_key(|&(w, _)| w);
+            to_neighbor.push(table);
+            from_neighbor.push(reverse);
+        }
+        PortAssignment { to_neighbor, from_neighbor }
+    }
+
+    /// Number of ports at `v` (= its degree).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.to_neighbor[v.index()].len()
+    }
+
+    /// The neighbor reached from `v` via `port` — the paper's `port_v(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port number exceeds `deg(v)`.
+    pub fn neighbor(&self, v: NodeId, port: Port) -> NodeId {
+        self.to_neighbor[v.index()][port.index()]
+    }
+
+    /// The port at `v` leading to neighbor `w` — the paper's `port_v⁻¹(w)`.
+    ///
+    /// Returns `None` if `w` is not a neighbor of `v`.
+    pub fn port_to(&self, v: NodeId, w: NodeId) -> Option<Port> {
+        let table = &self.from_neighbor[v.index()];
+        table
+            .binary_search_by_key(&w, |&(x, _)| x)
+            .ok()
+            .map(|i| table[i].1)
+    }
+}
+
+/// The adversary's assignment of network IDs (the paper's `id(u)`, unique
+/// integers from a range polynomial in n).
+#[derive(Debug, Clone)]
+pub struct IdAssignment {
+    id_of: Vec<u64>,
+}
+
+impl IdAssignment {
+    /// Identity assignment: node `v` has ID `v`.
+    pub fn identity(n: usize) -> IdAssignment {
+        IdAssignment { id_of: (0..n as u64).collect() }
+    }
+
+    /// A random permutation of `0..n` as IDs.
+    pub fn random_permutation(n: usize, rng: &mut Xoshiro256) -> IdAssignment {
+        IdAssignment {
+            id_of: rng.permutation(n).into_iter().map(|x| x as u64).collect(),
+        }
+    }
+
+    /// Builds from an explicit vector (`ids[v]` = ID of node `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if IDs are not pairwise distinct.
+    pub fn from_vec(ids: Vec<u64>) -> IdAssignment {
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "node IDs must be distinct");
+        IdAssignment { id_of: ids }
+    }
+
+    /// The ID of node `v`.
+    pub fn id(&self, v: NodeId) -> u64 {
+        self.id_of[v.index()]
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.id_of.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakeup_graph::generators;
+
+    #[test]
+    fn port_one_based() {
+        let p = Port::new(1);
+        assert_eq!(p.number(), 1);
+        assert_eq!(p.index(), 0);
+        assert_eq!(format!("{p}"), "p1");
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn port_zero_panics() {
+        Port::new(0);
+    }
+
+    #[test]
+    fn canonical_ports_sorted() {
+        let g = generators::star(5).unwrap();
+        let pa = PortAssignment::canonical(&g);
+        let hub = NodeId::new(0);
+        for i in 1..5 {
+            assert_eq!(pa.neighbor(hub, Port::new(i)), NodeId::new(i));
+        }
+    }
+
+    #[test]
+    fn ports_are_bijections() {
+        let g = generators::erdos_renyi_connected(25, 0.3, 3).unwrap();
+        let mut rng = Xoshiro256::seed_from(9);
+        let pa = PortAssignment::random(&g, &mut rng);
+        for v in g.nodes() {
+            let d = g.degree(v);
+            assert_eq!(pa.degree(v), d);
+            let mut seen = std::collections::HashSet::new();
+            for p in 1..=d {
+                let w = pa.neighbor(v, Port::new(p));
+                assert!(g.has_edge(v, w));
+                assert!(seen.insert(w), "port map must be injective");
+            }
+        }
+    }
+
+    #[test]
+    fn reverse_lookup_consistent() {
+        let g = generators::erdos_renyi_connected(20, 0.4, 5).unwrap();
+        let mut rng = Xoshiro256::seed_from(1);
+        let pa = PortAssignment::random(&g, &mut rng);
+        for v in g.nodes() {
+            for &w in g.neighbors(v) {
+                let p = pa.port_to(v, w).expect("neighbor has a port");
+                assert_eq!(pa.neighbor(v, p), w);
+            }
+            // Non-neighbors have no port.
+            for x in g.nodes() {
+                if x != v && !g.has_edge(v, x) {
+                    assert_eq!(pa.port_to(v, x), None);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_ports_reproducible_and_seed_sensitive() {
+        let g = generators::complete(8).unwrap();
+        let a = PortAssignment::random(&g, &mut Xoshiro256::seed_from(7));
+        let b = PortAssignment::random(&g, &mut Xoshiro256::seed_from(7));
+        let c = PortAssignment::random(&g, &mut Xoshiro256::seed_from(8));
+        let key = |pa: &PortAssignment| {
+            g.nodes()
+                .flat_map(|v| (1..=g.degree(v)).map(move |p| (v, p)))
+                .map(|(v, p)| pa.neighbor(v, Port::new(p)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+        assert_ne!(key(&a), key(&c));
+    }
+
+    #[test]
+    fn id_assignment_identity() {
+        let ids = IdAssignment::identity(5);
+        assert_eq!(ids.id(NodeId::new(3)), 3);
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn id_assignment_permutation_is_bijection() {
+        let mut rng = Xoshiro256::seed_from(2);
+        let ids = IdAssignment::random_permutation(50, &mut rng);
+        let mut seen: Vec<u64> = (0..50).map(|v| ids.id(NodeId::new(v))).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_ids_rejected() {
+        IdAssignment::from_vec(vec![1, 2, 2]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Running asynchronous protocols in the synchronous engine.
+//!
+//! An asynchronous algorithm tolerates *every* delay assignment in `(0, τ]`,
+//! and lock-step rounds are one of them (all delays exactly τ). The
+//! [`Lockstep`] adapter packages that observation: it exposes any
+//! [`AsyncProtocol`] as a [`SyncProtocol`] by feeding each round's inbox
+//! through `on_message` one message at a time (engine delivery order, which
+//! is deterministic).
+//!
+//! Useful for differential testing (the async engine under
+//! [`UnitDelay`](crate::adversary::UnitDelay) must agree with the sync
+//! engine running `Lockstep<P>`) and for running the Section 4 advising
+//! schemes in synchronous experiments.
+
+use crate::protocol::{AsyncProtocol, Context, Incoming, NodeInit, SyncProtocol, WakeCause};
+
+/// Adapter exposing an asynchronous protocol to the synchronous engine.
+#[derive(Debug)]
+pub struct Lockstep<P> {
+    inner: P,
+}
+
+impl<P> Lockstep<P> {
+    /// The wrapped protocol (post-run introspection).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: AsyncProtocol> SyncProtocol for Lockstep<P> {
+    type Msg = P::Msg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        Lockstep { inner: P::init(init) }
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause) {
+        self.inner.on_wake(ctx, cause);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: Vec<(Incoming, Self::Msg)>) {
+        for (from, msg) in inbox {
+            self.inner.on_message(ctx, from, msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::WakeSchedule;
+    use crate::{AsyncConfig, AsyncEngine, Network, Payload, SyncConfig, SyncEngine};
+    use wakeup_graph::{generators, NodeId};
+
+    #[derive(Debug, Clone)]
+    struct Hop(u32);
+    impl Payload for Hop {
+        fn size_bits(&self) -> usize {
+            32
+        }
+    }
+
+    /// Floods a hop counter; each node outputs the smallest hop count seen.
+    struct HopFlood {
+        best: Option<u32>,
+    }
+    impl AsyncProtocol for HopFlood {
+        type Msg = Hop;
+        fn init(_: &NodeInit<'_>) -> Self {
+            HopFlood { best: None }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Hop>, cause: WakeCause) {
+            if cause == WakeCause::Adversary && self.best.is_none() {
+                self.best = Some(0);
+                ctx.output(0);
+                ctx.broadcast(Hop(1));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Hop>, _: Incoming, msg: Hop) {
+            if self.best.map_or(true, |b| msg.0 < b) {
+                self.best = Some(msg.0);
+                ctx.output(u64::from(msg.0));
+                ctx.broadcast(Hop(msg.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn lockstep_agrees_with_unit_delay_async() {
+        let g = generators::erdos_renyi_connected(30, 0.15, 8).unwrap();
+        let net = Network::kt0(g, 8);
+        let schedule = WakeSchedule::single(NodeId::new(4));
+        let a = AsyncEngine::<HopFlood>::new(&net, AsyncConfig::default()).run(&schedule);
+        let s = SyncEngine::<Lockstep<HopFlood>>::new(&net, SyncConfig::default()).run(&schedule);
+        assert!(a.all_awake && s.all_awake);
+        assert_eq!(a.outputs, s.outputs, "hop counts must agree");
+        assert_eq!(a.metrics.messages_sent, s.metrics.messages_sent);
+        assert_eq!(a.metrics.wake_tick, s.metrics.wake_tick);
+    }
+
+    #[test]
+    fn inner_accessor_exposes_state() {
+        let g = generators::path(4).unwrap();
+        let net = Network::kt0(g, 1);
+        let (report, protocols) =
+            SyncEngine::<Lockstep<HopFlood>>::new(&net, SyncConfig::default())
+                .run_into_parts(&WakeSchedule::single(NodeId::new(0)));
+        assert!(report.all_awake);
+        assert_eq!(protocols[3].inner().best, Some(3));
+    }
+}

@@ -1,0 +1,72 @@
+//! Message payloads and bandwidth models.
+
+/// A message payload with bit-size accounting.
+///
+/// Every protocol defines its own message enum and reports an honest size so
+/// that the CONGEST model ([`ChannelModel::Congest`]) can be enforced and the
+/// LOCAL model can still report bit volumes.
+pub trait Payload: Clone + std::fmt::Debug {
+    /// Size of this message in bits, as it would be serialized on the wire.
+    fn size_bits(&self) -> usize;
+}
+
+/// Bandwidth regime of the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelModel {
+    /// Unbounded message sizes (the paper's LOCAL model).
+    Local,
+    /// Messages of at most `max_bits` bits (the paper's CONGEST model with
+    /// `O(log n)`-bit messages; callers typically pass `c · ⌈log₂ n⌉`).
+    Congest {
+        /// Maximum message size in bits.
+        max_bits: usize,
+    },
+}
+
+impl ChannelModel {
+    /// The standard CONGEST budget `c · ⌈log₂ n⌉` bits with `c = 8`, which is
+    /// generous enough for any O(log n)-bit message of the advice schemes
+    /// while still catching accidentally-linear payloads.
+    pub fn congest_for(n: usize) -> ChannelModel {
+        let log = usize::BITS as usize - n.max(2).leading_zeros() as usize;
+        ChannelModel::Congest { max_bits: 8 * log }
+    }
+
+    /// Whether `bits` fits in this model.
+    pub fn permits(&self, bits: usize) -> bool {
+        match *self {
+            ChannelModel::Local => true,
+            ChannelModel::Congest { max_bits } => bits <= max_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_permits_everything() {
+        assert!(ChannelModel::Local.permits(usize::MAX));
+    }
+
+    #[test]
+    fn congest_budget_scales_logarithmically() {
+        let small = ChannelModel::congest_for(16);
+        let big = ChannelModel::congest_for(1 << 20);
+        match (small, big) {
+            (ChannelModel::Congest { max_bits: a }, ChannelModel::Congest { max_bits: b }) => {
+                assert!(a < b);
+                assert!(b <= 8 * 21);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn congest_rejects_oversize() {
+        let m = ChannelModel::Congest { max_bits: 10 };
+        assert!(m.permits(10));
+        assert!(!m.permits(11));
+    }
+}

@@ -1,0 +1,144 @@
+//! Execution metrics: the paper's three complexity measures plus diagnostics.
+
+use wakeup_graph::NodeId;
+
+/// Engine ticks per τ time unit. Delays live in `[1, TICKS_PER_UNIT]`.
+pub const TICKS_PER_UNIT: u64 = 1024;
+
+/// Counters collected during a run.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Total point-to-point messages sent — the paper's message complexity.
+    pub messages_sent: u64,
+    /// Total payload volume in bits.
+    pub bits_sent: u64,
+    /// Largest single message in bits (CONGEST compliance evidence).
+    pub max_message_bits: usize,
+    /// Messages that exceeded the CONGEST budget (0 unless the engine was
+    /// configured to record instead of panic).
+    pub congest_violations: u64,
+    /// Per-node sent counts.
+    pub sent_by: Vec<u64>,
+    /// Per-node received counts.
+    pub received_by: Vec<u64>,
+    /// Tick at which each node woke (None = still asleep).
+    pub wake_tick: Vec<Option<u64>>,
+    /// Tick of the first adversary wake.
+    pub first_wake_tick: Option<u64>,
+    /// Tick of the last message receipt.
+    pub last_receipt_tick: Option<u64>,
+    /// Tick by which every node was awake, if that happened.
+    pub all_awake_tick: Option<u64>,
+    /// Number of distinct incident ports over which each node sent or
+    /// received at least one message (the paper's `Smlᵢ` events; only
+    /// tracked when enabled in the engine config, else all zeros).
+    pub ports_used: Vec<u32>,
+}
+
+impl Metrics {
+    pub(crate) fn new(n: usize) -> Metrics {
+        Metrics {
+            messages_sent: 0,
+            bits_sent: 0,
+            max_message_bits: 0,
+            congest_violations: 0,
+            sent_by: vec![0; n],
+            received_by: vec![0; n],
+            wake_tick: vec![None; n],
+            first_wake_tick: None,
+            last_receipt_tick: None,
+            all_awake_tick: None,
+            ports_used: vec![0; n],
+        }
+    }
+
+    /// The paper's time complexity in τ units: from the first wake-up to the
+    /// last message receipt. Zero if no message was ever received.
+    pub fn time_units(&self) -> f64 {
+        match (self.first_wake_tick, self.last_receipt_tick) {
+            (Some(first), Some(last)) if last > first => {
+                (last - first) as f64 / TICKS_PER_UNIT as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Time until every node was awake, in τ units (wake-up completion time).
+    pub fn wakeup_time_units(&self) -> Option<f64> {
+        match (self.first_wake_tick, self.all_awake_tick) {
+            (Some(first), Some(all)) => {
+                Some((all.saturating_sub(first)) as f64 / TICKS_PER_UNIT as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Wake tick of a node in τ units.
+    pub fn wake_time_units(&self, v: NodeId) -> Option<f64> {
+        self.wake_tick[v.index()].map(|t| t as f64 / TICKS_PER_UNIT as f64)
+    }
+
+    /// Number of nodes that woke up.
+    pub fn awake_count(&self) -> usize {
+        self.wake_tick.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// Result of running an engine to completion.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Collected counters.
+    pub metrics: Metrics,
+    /// Whether every node was awake at the end.
+    pub all_awake: bool,
+    /// Rounds executed (sync engine; 0 for async).
+    pub rounds: u64,
+    /// Per-node outputs recorded via [`crate::Context::output`] (the NIH
+    /// problem's outputs).
+    pub outputs: Vec<Option<u64>>,
+    /// True if the engine stopped because it hit its safety event/round cap
+    /// rather than quiescing.
+    pub truncated: bool,
+    /// Execution trace, when tracing was enabled in the engine config.
+    pub trace: Option<crate::trace::Trace>,
+}
+
+impl RunReport {
+    /// Convenience: the message complexity.
+    pub fn messages(&self) -> u64 {
+        self.metrics.messages_sent
+    }
+
+    /// Convenience: the τ-normalized time complexity.
+    pub fn time_units(&self) -> f64 {
+        self.metrics.time_units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_units_requires_activity() {
+        let m = Metrics::new(3);
+        assert_eq!(m.time_units(), 0.0);
+        assert_eq!(m.wakeup_time_units(), None);
+    }
+
+    #[test]
+    fn time_units_normalized() {
+        let mut m = Metrics::new(1);
+        m.first_wake_tick = Some(0);
+        m.last_receipt_tick = Some(3 * TICKS_PER_UNIT);
+        assert_eq!(m.time_units(), 3.0);
+    }
+
+    #[test]
+    fn awake_count_counts() {
+        let mut m = Metrics::new(3);
+        m.wake_tick[1] = Some(5);
+        assert_eq!(m.awake_count(), 1);
+        assert_eq!(m.wake_time_units(NodeId::new(1)), Some(5.0 / TICKS_PER_UNIT as f64));
+    }
+}

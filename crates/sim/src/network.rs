@@ -1,0 +1,161 @@
+//! The [`Network`]: a topology bundled with the adversary's static choices.
+
+use wakeup_graph::rng::Xoshiro256;
+use wakeup_graph::{Graph, NodeId};
+
+use crate::knowledge::{IdAssignment, KnowledgeMode, PortAssignment};
+
+/// A network instance: graph topology plus the adversary's ID assignment and
+/// port mappings, under a fixed knowledge mode.
+///
+/// Everything here is decided *before* the execution starts (the paper's
+/// oblivious adversary): the engines never mutate a `Network`.
+#[derive(Debug, Clone)]
+pub struct Network {
+    graph: Graph,
+    ports: PortAssignment,
+    ids: IdAssignment,
+    mode: KnowledgeMode,
+}
+
+impl Network {
+    /// A KT0 network with uniformly random, mutually independent port
+    /// mappings (the distribution used by the Theorem 1 lower bound) and
+    /// identity IDs.
+    pub fn kt0(graph: Graph, seed: u64) -> Network {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let ports = PortAssignment::random(&graph, &mut rng);
+        let ids = IdAssignment::identity(graph.n());
+        Network { graph, ports, ids, mode: KnowledgeMode::Kt0 }
+    }
+
+    /// A KT1 network with random IDs (a permutation of `0..n`, matching the
+    /// Theorem 2 distribution) and canonical ports (ports are invisible to
+    /// KT1 algorithms anyway).
+    pub fn kt1(graph: Graph, seed: u64) -> Network {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let n = graph.n();
+        let ports = PortAssignment::canonical(&graph);
+        let ids = IdAssignment::random_permutation(n, &mut rng);
+        Network { graph, ports, ids, mode: KnowledgeMode::Kt1 }
+    }
+
+    /// Full control over every adversarial choice.
+    pub fn with_parts(
+        graph: Graph,
+        ports: PortAssignment,
+        ids: IdAssignment,
+        mode: KnowledgeMode,
+    ) -> Network {
+        assert_eq!(ids.len(), graph.n(), "ID assignment must cover all nodes");
+        Network { graph, ports, ids, mode }
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The port mappings.
+    pub fn ports(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    /// The ID assignment.
+    pub fn ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// The knowledge mode.
+    pub fn mode(&self) -> KnowledgeMode {
+        self.mode
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Looks up the node with the given network ID (linear scan; intended
+    /// for tests and report post-processing, not hot paths).
+    pub fn node_with_id(&self, id: u64) -> Option<NodeId> {
+        (0..self.n())
+            .map(NodeId::new)
+            .find(|&v| self.ids.id(v) == id)
+    }
+}
+
+/// Engine-side lookup tables derived from a network (shared by both engines).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeTables {
+    /// Per node: sorted neighbor IDs (empty vectors under KT0).
+    pub neighbor_ids: Vec<Vec<u64>>,
+    /// Per node: sorted `(neighbor id, port)` pairs (empty under KT0 — KT0
+    /// contexts refuse ID addressing anyway).
+    pub id_to_port: Vec<Vec<(u64, crate::knowledge::Port)>>,
+}
+
+impl NodeTables {
+    pub(crate) fn build(net: &Network) -> NodeTables {
+        let n = net.n();
+        let mut neighbor_ids = vec![Vec::new(); n];
+        let mut id_to_port = vec![Vec::new(); n];
+        if net.mode() == KnowledgeMode::Kt1 {
+            for v in net.graph().nodes() {
+                let deg = net.graph().degree(v);
+                let mut pairs: Vec<(u64, crate::knowledge::Port)> = (1..=deg)
+                    .map(|p| {
+                        let port = crate::knowledge::Port::new(p);
+                        let w = net.ports().neighbor(v, port);
+                        (net.ids().id(w), port)
+                    })
+                    .collect();
+                pairs.sort_unstable_by_key(|&(id, _)| id);
+                neighbor_ids[v.index()] = pairs.iter().map(|&(id, _)| id).collect();
+                id_to_port[v.index()] = pairs;
+            }
+        }
+        NodeTables { neighbor_ids, id_to_port }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakeup_graph::generators;
+
+    #[test]
+    fn kt0_network_parts() {
+        let net = Network::kt0(generators::cycle(6).unwrap(), 1);
+        assert_eq!(net.mode(), KnowledgeMode::Kt0);
+        assert_eq!(net.n(), 6);
+        assert_eq!(net.ids().id(NodeId::new(2)), 2);
+    }
+
+    #[test]
+    fn kt1_ids_are_permuted() {
+        let net = Network::kt1(generators::path(40).unwrap(), 5);
+        assert_eq!(net.mode(), KnowledgeMode::Kt1);
+        let identity = (0..40).all(|v| net.ids().id(NodeId::new(v)) == v as u64);
+        assert!(!identity, "a random permutation of 40 IDs should not be the identity");
+    }
+
+    #[test]
+    fn node_with_id_roundtrip() {
+        let net = Network::kt1(generators::star(10).unwrap(), 3);
+        for v in net.graph().nodes() {
+            let id = net.ids().id(v);
+            assert_eq!(net.node_with_id(id), Some(v));
+        }
+        assert_eq!(net.node_with_id(999), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all nodes")]
+    fn mismatched_ids_rejected() {
+        let g = generators::path(3).unwrap();
+        let ports = PortAssignment::canonical(&g);
+        let ids = IdAssignment::identity(2);
+        Network::with_parts(g, ports, ids, KnowledgeMode::Kt0);
+    }
+}

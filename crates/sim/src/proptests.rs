@@ -1,0 +1,101 @@
+//! Property-based tests over the simulation substrate's data structures.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::bits::{width_for, BitReader, BitStr};
+
+/// One field of a bit-string write plan.
+#[derive(Debug, Clone)]
+enum Field {
+    Bit(bool),
+    Fixed { value: u64, width: usize },
+    Gamma(u64),
+}
+
+fn field() -> impl Strategy<Value = Field> {
+    prop_oneof![
+        any::<bool>().prop_map(Field::Bit),
+        (0u64..u64::MAX, 1usize..=64).prop_map(|(v, w)| {
+            let value = if w == 64 { v } else { v & ((1u64 << w) - 1) };
+            Field::Fixed { value, width: w }
+        }),
+        (1u64..u64::MAX).prop_map(Field::Gamma),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitstr_roundtrips_arbitrary_plans(fields in proptest::collection::vec(field(), 0..40)) {
+        let mut s = BitStr::new();
+        for f in &fields {
+            match *f {
+                Field::Bit(b) => s.push_bool(b),
+                Field::Fixed { value, width } => s.push_bits(value, width),
+                Field::Gamma(v) => s.push_gamma(v),
+            }
+        }
+        let mut r = BitReader::new(&s);
+        for f in &fields {
+            match *f {
+                Field::Bit(b) => prop_assert_eq!(r.read_bool(), Some(b)),
+                Field::Fixed { value, width } => prop_assert_eq!(r.read_bits(width), Some(value)),
+                Field::Gamma(v) => prop_assert_eq!(r.read_gamma(), Some(v)),
+            }
+        }
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn gamma_length_is_2_log_plus_1(v in 1u64..u64::MAX / 2) {
+        let mut s = BitStr::new();
+        s.push_gamma(v);
+        let bits = 64 - v.leading_zeros() as usize;
+        prop_assert_eq!(s.len(), 2 * bits - 1);
+    }
+
+    #[test]
+    fn width_for_is_sufficient_and_tight(bound in 1u64..u64::MAX) {
+        let w = width_for(bound);
+        // Sufficient: bound - 1 fits in w bits.
+        if w < 64 {
+            prop_assert!(bound - 1 < (1u64 << w));
+        }
+        // Tight (for bounds > 2): w-1 bits would not fit.
+        if bound > 2 && w > 1 {
+            prop_assert!(bound - 1 >= (1u64 << (w - 1)));
+        }
+    }
+
+    #[test]
+    fn reader_never_reads_past_end(
+        len in 0usize..64,
+        ask in 0usize..64,
+    ) {
+        let mut s = BitStr::new();
+        for i in 0..len {
+            s.push_bool(i % 2 == 0);
+        }
+        let mut r = BitReader::new(&s);
+        let got = r.read_bits(ask);
+        prop_assert_eq!(got.is_some(), ask <= len);
+        if got.is_some() {
+            prop_assert_eq!(r.remaining(), len - ask);
+        } else {
+            prop_assert_eq!(r.remaining(), len, "failed reads must not consume");
+        }
+    }
+
+    #[test]
+    fn rng_forks_do_not_correlate(seed in any::<u64>()) {
+        use wakeup_graph::rng::Xoshiro256;
+        let root = Xoshiro256::seed_from(seed);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let matches = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(matches <= 1, "sibling streams should not track each other");
+    }
+}

@@ -1,0 +1,305 @@
+//! Protocol traits and the handler-side [`Context`].
+
+use wakeup_graph::NodeId;
+
+use crate::bits::BitStr;
+use crate::knowledge::{KnowledgeMode, Port};
+use crate::message::Payload;
+
+/// Everything a node knows at initialization time, per the paper's model.
+#[derive(Debug, Clone)]
+pub struct NodeInit<'a> {
+    /// This node's network ID.
+    pub id: u64,
+    /// This node's degree (= number of ports).
+    pub degree: usize,
+    /// A constant-factor upper bound on `n` (the paper grants nodes
+    /// knowledge of a constant-factor upper bound on `log n`, which this
+    /// subsumes; algorithms should treat it as an estimate, not exact).
+    pub n_hint: usize,
+    /// Sorted neighbor IDs — `Some` under KT1, `None` under KT0.
+    pub neighbor_ids: Option<&'a [u64]>,
+    /// The advice string assigned by the oracle (empty without an oracle).
+    pub advice: &'a BitStr,
+    /// Seed for this node's private random bits (independent across nodes).
+    pub private_seed: u64,
+    /// Seed of the shared random tape (same for all nodes), for algorithms
+    /// analyzed under shared randomness (Theorem 1 allows it).
+    pub shared_seed: u64,
+}
+
+/// How a node was woken up.
+///
+/// The paper's model lets an algorithm distinguish the two: a node woken by
+/// the adversary "starts executing the algorithm", while one woken by a
+/// message starts executing *because of that message* (Theorem 3's DFS
+/// algorithm relies on this — only adversary-woken nodes draw ranks and
+/// launch tokens).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeCause {
+    /// The adversary woke this node directly.
+    Adversary,
+    /// A message receipt woke this node (`on_message` follows immediately).
+    Message,
+}
+
+/// Metadata of a received message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incoming {
+    /// The receiver-side port the message arrived on. Per the paper's KT0
+    /// convention, an endpoint learns the port connection once a message
+    /// crosses the edge — the engine models that by always revealing the
+    /// arrival port.
+    pub port: Port,
+    /// The sender's ID — `Some` under KT1, `None` under KT0 (where sender
+    /// identity must travel inside the payload if the algorithm needs it).
+    pub sender_id: Option<u64>,
+}
+
+/// Handler-side capabilities: sending messages and recording outputs.
+///
+/// A fresh `Context` is passed to every handler invocation; messages queued
+/// with [`Context::send`]/[`Context::send_to_id`]/[`Context::broadcast`] are
+/// dispatched by the engine when the handler returns (local computation is
+/// instantaneous and free, per the model).
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    node: NodeId,
+    degree: usize,
+    mode: KnowledgeMode,
+    /// Sorted (neighbor id, port) pairs; empty under KT0.
+    id_to_port: &'a [(u64, Port)],
+    outbox: Vec<(Port, M)>,
+    output: &'a mut Option<u64>,
+}
+
+impl<'a, M: Payload> Context<'a, M> {
+    pub(crate) fn new(
+        node: NodeId,
+        degree: usize,
+        mode: KnowledgeMode,
+        id_to_port: &'a [(u64, Port)],
+        output: &'a mut Option<u64>,
+    ) -> Context<'a, M> {
+        Context { node, degree, mode, id_to_port, outbox: Vec::new(), output }
+    }
+
+    /// The dense index of this node (for engine-side bookkeeping; honest
+    /// algorithms should use IDs, which the engine provides via
+    /// [`NodeInit::id`]).
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of ports at this node.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Queues `msg` on the given port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port number exceeds the degree.
+    pub fn send(&mut self, port: Port, msg: M) {
+        assert!(
+            port.number() <= self.degree,
+            "port {port} out of range for degree {}",
+            self.degree
+        );
+        self.outbox.push((port, msg));
+    }
+
+    /// Queues `msg` to the neighbor with the given ID (KT1 only).
+    ///
+    /// # Panics
+    ///
+    /// Panics under KT0 (nodes there cannot address neighbors by ID) or if
+    /// `id` is not a neighbor — both are algorithm bugs, not runtime
+    /// conditions.
+    pub fn send_to_id(&mut self, id: u64, msg: M) {
+        assert_eq!(
+            self.mode,
+            KnowledgeMode::Kt1,
+            "send_to_id requires the KT1 knowledge mode"
+        );
+        let port = self
+            .id_to_port
+            .binary_search_by_key(&id, |&(x, _)| x)
+            .map(|i| self.id_to_port[i].1)
+            .unwrap_or_else(|_| panic!("id {id} is not a neighbor of {}", self.node));
+        self.outbox.push((port, msg));
+    }
+
+    /// Queues `msg` on every port (clones the payload per port).
+    pub fn broadcast(&mut self, msg: M) {
+        for p in 1..=self.degree {
+            self.outbox.push((Port::new(p), msg.clone()));
+        }
+    }
+
+    /// Records this node's output (e.g. the NIH answer). Later calls
+    /// overwrite earlier ones.
+    pub fn output(&mut self, value: u64) {
+        *self.output = Some(value);
+    }
+
+    pub(crate) fn into_outbox(self) -> Vec<(Port, M)> {
+        self.outbox
+    }
+
+    /// Runs a sub-protocol handler under a context of a different message
+    /// type, wrapping every queued message with `wrap` into this context's
+    /// outbox. Outputs recorded by the inner handler land in the same
+    /// per-node output slot.
+    ///
+    /// This is the composition primitive behind protocol adapters like the
+    /// Lemma 1 needles-in-haystack wrapper: the adapter's message type embeds
+    /// the inner protocol's, and the inner handlers run unchanged.
+    ///
+    /// # Example
+    ///
+    /// See `wakeup_core::nih` for a full adapter built on this.
+    pub fn scoped<M2, R>(
+        &mut self,
+        run: impl FnOnce(&mut Context<'_, M2>) -> R,
+        wrap: impl Fn(M2) -> M,
+    ) -> R
+    where
+        M2: Payload,
+    {
+        let mut inner: Context<'_, M2> = Context {
+            node: self.node,
+            degree: self.degree,
+            mode: self.mode,
+            id_to_port: self.id_to_port,
+            outbox: Vec::new(),
+            output: &mut *self.output,
+        };
+        let result = run(&mut inner);
+        let inner_outbox = std::mem::take(&mut inner.outbox);
+        for (port, msg) in inner_outbox {
+            self.outbox.push((port, wrap(msg)));
+        }
+        result
+    }
+}
+
+/// A protocol for the asynchronous engine.
+///
+/// Handlers run atomically; the node is event-driven (woken by the adversary
+/// or by a first message, then driven by message receipts).
+pub trait AsyncProtocol: Sized {
+    /// The message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Constructs the per-node state from the initial knowledge.
+    fn init(init: &NodeInit<'_>) -> Self;
+
+    /// Called exactly once when the node wakes up (adversary wake or first
+    /// message receipt; in the latter case `on_wake` runs before
+    /// `on_message` for the waking message).
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause);
+
+    /// Called on every message receipt (after `on_wake`, if waking).
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: Incoming, msg: Self::Msg);
+}
+
+/// A protocol for the synchronous lock-step engine.
+///
+/// Each round, every awake node receives the batch of messages sent to it in
+/// the previous round and takes one compute-and-send step. Nodes have no
+/// global round counter — only what they count themselves since waking.
+pub trait SyncProtocol: Sized {
+    /// The message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Constructs the per-node state from the initial knowledge.
+    fn init(init: &NodeInit<'_>) -> Self;
+
+    /// Called exactly once, at the start of the round in which the node
+    /// wakes (before its first `on_round`).
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause);
+
+    /// One synchronous step: `inbox` holds the messages delivered at the
+    /// start of this round.
+    fn on_round(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: Vec<(Incoming, Self::Msg)>,
+    );
+
+    /// Whether this node needs further rounds even with no traffic in
+    /// flight. The engine keeps stepping while any awake node returns true —
+    /// protocols with internal timers (e.g. FastWakeUp's 10-round window)
+    /// use this to keep the clock running.
+    fn wants_round(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone)]
+    struct Unit;
+    impl Payload for Unit {
+        fn size_bits(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn context_send_collects() {
+        let mut out = None;
+        let mut ctx: Context<'_, Unit> =
+            Context::new(NodeId::new(0), 3, KnowledgeMode::Kt0, &[], &mut out);
+        ctx.send(Port::new(2), Unit);
+        ctx.broadcast(Unit);
+        ctx.output(42);
+        let outbox = ctx.into_outbox();
+        assert_eq!(outbox.len(), 4);
+        assert_eq!(outbox[0].0, Port::new(2));
+        assert_eq!(out, Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_beyond_degree_panics() {
+        let mut out = None;
+        let mut ctx: Context<'_, Unit> =
+            Context::new(NodeId::new(0), 2, KnowledgeMode::Kt0, &[], &mut out);
+        ctx.send(Port::new(3), Unit);
+    }
+
+    #[test]
+    #[should_panic(expected = "KT1")]
+    fn send_to_id_requires_kt1() {
+        let mut out = None;
+        let mut ctx: Context<'_, Unit> =
+            Context::new(NodeId::new(0), 2, KnowledgeMode::Kt0, &[], &mut out);
+        ctx.send_to_id(5, Unit);
+    }
+
+    #[test]
+    fn send_to_id_resolves_port() {
+        let table = [(3u64, Port::new(2)), (9u64, Port::new(1))];
+        let mut out = None;
+        let mut ctx: Context<'_, Unit> =
+            Context::new(NodeId::new(0), 2, KnowledgeMode::Kt1, &table, &mut out);
+        ctx.send_to_id(9, Unit);
+        let outbox = ctx.into_outbox();
+        assert_eq!(outbox[0].0, Port::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a neighbor")]
+    fn send_to_unknown_id_panics() {
+        let table = [(3u64, Port::new(1))];
+        let mut out = None;
+        let mut ctx: Context<'_, Unit> =
+            Context::new(NodeId::new(0), 1, KnowledgeMode::Kt1, &table, &mut out);
+        ctx.send_to_id(4, Unit);
+    }
+}

@@ -1,0 +1,425 @@
+//! The synchronous lock-step engine.
+
+use std::collections::HashSet;
+
+use wakeup_graph::rng::Xoshiro256;
+use wakeup_graph::NodeId;
+
+use crate::adversary::WakeSchedule;
+use crate::bits::BitStr;
+use crate::knowledge::Port;
+use crate::message::{ChannelModel, Payload};
+use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
+use crate::network::{Network, NodeTables};
+use crate::protocol::{Context, Incoming, NodeInit, SyncProtocol, WakeCause};
+use crate::trace::{Trace, TraceEvent};
+
+/// Configuration of a [`SyncEngine`] run.
+#[derive(Debug, Clone)]
+pub struct SyncConfig {
+    /// Bandwidth regime.
+    pub channel: ChannelModel,
+    /// Master seed for the nodes' private randomness.
+    pub seed: u64,
+    /// Seed of the shared random tape.
+    pub shared_seed: u64,
+    /// Per-node advice strings from an oracle (None = no advice).
+    pub advice: Option<Vec<BitStr>>,
+    /// Safety cap on rounds; exceeding it sets [`RunReport::truncated`].
+    pub max_rounds: u64,
+    /// Track distinct ports used per node.
+    pub track_ports: bool,
+    /// Count CONGEST violations instead of panicking.
+    pub record_congest_violations: bool,
+    /// Record an execution trace with the given event capacity.
+    pub trace_capacity: Option<usize>,
+}
+
+impl Default for SyncConfig {
+    fn default() -> SyncConfig {
+        SyncConfig {
+            channel: ChannelModel::Local,
+            seed: 0xDEFA_17,
+            shared_seed: 0x5EED,
+            advice: None,
+            max_rounds: 1_000_000,
+            track_ports: false,
+            record_congest_violations: false,
+            trace_capacity: None,
+        }
+    }
+}
+
+/// Lock-step round simulator for the synchronous model.
+///
+/// Round semantics match Section 3.2 of the paper: at the start of round `r`
+/// every node receives the messages sent to it in round `r − 1` (receipt of a
+/// message wakes a sleeping node), the adversary wakes its scheduled nodes,
+/// and every awake node takes one compute-and-send step. Nodes do not know
+/// the global round number.
+pub struct SyncEngine<'n, P: SyncProtocol> {
+    net: &'n Network,
+    tables: NodeTables,
+    config: SyncConfig,
+    protocols: Vec<P>,
+}
+
+struct InFlight<M> {
+    to: NodeId,
+    from: NodeId,
+    msg: M,
+}
+
+impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
+    /// Initializes every node's protocol state over the given network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.advice` is present but has the wrong length.
+    pub fn new(net: &'n Network, config: SyncConfig) -> SyncEngine<'n, P> {
+        let tables = NodeTables::build(net);
+        let empty = BitStr::new();
+        if let Some(advice) = &config.advice {
+            assert_eq!(advice.len(), net.n(), "advice must cover every node");
+        }
+        let master = Xoshiro256::seed_from(config.seed);
+        let protocols = (0..net.n())
+            .map(|v| {
+                let node = NodeId::new(v);
+                let advice = config.advice.as_ref().map_or(&empty, |a| &a[v]);
+                let init = NodeInit {
+                    id: net.ids().id(node),
+                    degree: net.graph().degree(node),
+                    n_hint: net.n(),
+                    neighbor_ids: if net.mode() == crate::knowledge::KnowledgeMode::Kt1 {
+                        Some(tables.neighbor_ids[v].as_slice())
+                    } else {
+                        None
+                    },
+                    advice,
+                    private_seed: {
+                        let mut fork = master.fork(v as u64);
+                        fork.next_u64()
+                    },
+                    shared_seed: config.shared_seed,
+                };
+                P::init(&init)
+            })
+            .collect();
+        SyncEngine { net, tables, config, protocols }
+    }
+
+    /// Runs rounds until quiescence (no traffic in flight, no pending
+    /// adversary wakes, and no awake node wants another round) or the round
+    /// cap.
+    ///
+    /// Wake schedule ticks are interpreted as rounds
+    /// (`tick / TICKS_PER_UNIT`), so unit-based schedules carry over.
+    pub fn run(self, schedule: &WakeSchedule) -> RunReport {
+        self.run_into_parts(schedule).0
+    }
+
+    /// As [`SyncEngine::run`], but also returns the final per-node protocol
+    /// states for post-hoc inspection (e.g. which FastWakeUp nodes sampled
+    /// themselves as roots).
+    pub fn run_into_parts(mut self, schedule: &WakeSchedule) -> (RunReport, Vec<P>) {
+        let n = self.net.n();
+        let mut metrics = Metrics::new(n);
+        let mut outputs: Vec<Option<u64>> = vec![None; n];
+        let mut awake = vec![false; n];
+        let mut awake_count = 0usize;
+        let mut ports_touched: Vec<HashSet<u32>> = if self.config.track_ports {
+            vec![HashSet::new(); n]
+        } else {
+            Vec::new()
+        };
+        // Adversary wakes grouped by round.
+        let mut pending_wakes: Vec<(u64, NodeId)> = schedule
+            .entries()
+            .iter()
+            .map(|&(tick, v)| (tick / TICKS_PER_UNIT, v))
+            .collect();
+        pending_wakes.sort_unstable();
+        let mut wake_cursor = 0usize;
+        let mut in_flight: Vec<InFlight<P::Msg>> = Vec::new();
+        let mut trace: Option<Trace> = self.config.trace_capacity.map(Trace::with_capacity);
+        let mut truncated = false;
+        let mut round = 0u64;
+        loop {
+            if round >= self.config.max_rounds {
+                truncated = true;
+                break;
+            }
+            let traffic = !in_flight.is_empty();
+            let wakes_pending = wake_cursor < pending_wakes.len();
+            let wants: bool = self
+                .protocols
+                .iter()
+                .enumerate()
+                .any(|(v, p)| awake[v] && p.wants_round());
+            if !traffic && !wakes_pending && !wants {
+                break;
+            }
+            // Deliver round r-1 traffic: group per receiver, stable order.
+            let mut inboxes: Vec<Vec<(Incoming, P::Msg)>> = vec![Vec::new(); n];
+            let delivered = std::mem::take(&mut in_flight);
+            for m in delivered {
+                metrics.received_by[m.to.index()] += 1;
+                let tick = round * TICKS_PER_UNIT;
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(TraceEvent::Deliver { tick, from: m.from, to: m.to });
+                }
+                metrics.last_receipt_tick =
+                    Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
+                let rport = self
+                    .net
+                    .ports()
+                    .port_to(m.to, m.from)
+                    .expect("messages travel along graph edges");
+                if self.config.track_ports {
+                    ports_touched[m.to.index()].insert(rport.number() as u32);
+                }
+                let sender_id = match self.net.mode() {
+                    crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(m.from)),
+                    crate::knowledge::KnowledgeMode::Kt0 => None,
+                };
+                inboxes[m.to.index()].push((Incoming { port: rport, sender_id }, m.msg));
+            }
+            // Round-r adversary wakes take precedence over message wakes.
+            let mut newly_awake: Vec<(NodeId, WakeCause)> = Vec::new();
+            while wake_cursor < pending_wakes.len() && pending_wakes[wake_cursor].0 <= round {
+                let v = pending_wakes[wake_cursor].1;
+                wake_cursor += 1;
+                if !awake[v.index()] && !newly_awake.iter().any(|&(x, _)| x == v) {
+                    newly_awake.push((v, WakeCause::Adversary));
+                }
+            }
+            // Message receipt wakes.
+            for v in 0..n {
+                if !awake[v]
+                    && !inboxes[v].is_empty()
+                    && !newly_awake.iter().any(|&(x, _)| x == NodeId::new(v))
+                {
+                    newly_awake.push((NodeId::new(v), WakeCause::Message));
+                }
+            }
+            newly_awake.sort_unstable_by_key(|&(v, _)| v);
+            let tick = round * TICKS_PER_UNIT;
+            let mut outbox_all: Vec<(NodeId, Port, P::Msg)> = Vec::new();
+            for &(v, cause) in &newly_awake {
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(TraceEvent::Wake { tick, node: v, cause });
+                }
+                awake[v.index()] = true;
+                awake_count += 1;
+                metrics.wake_tick[v.index()] = Some(tick);
+                metrics.first_wake_tick =
+                    Some(metrics.first_wake_tick.map_or(tick, |t| t.min(tick)));
+                if awake_count == n {
+                    metrics.all_awake_tick = Some(tick);
+                }
+                let mut ctx = Context::new(
+                    v,
+                    self.net.graph().degree(v),
+                    self.net.mode(),
+                    &self.tables.id_to_port[v.index()],
+                    &mut outputs[v.index()],
+                );
+                self.protocols[v.index()].on_wake(&mut ctx, cause);
+                for (port, msg) in ctx.into_outbox() {
+                    outbox_all.push((v, port, msg));
+                }
+            }
+            // Compute-and-send step for every awake node.
+            for v in 0..n {
+                if !awake[v] {
+                    continue;
+                }
+                let node = NodeId::new(v);
+                let inbox = std::mem::take(&mut inboxes[v]);
+                let mut ctx = Context::new(
+                    node,
+                    self.net.graph().degree(node),
+                    self.net.mode(),
+                    &self.tables.id_to_port[v],
+                    &mut outputs[v],
+                );
+                self.protocols[v].on_round(&mut ctx, inbox);
+                for (port, msg) in ctx.into_outbox() {
+                    outbox_all.push((node, port, msg));
+                }
+            }
+            // Queue round-r sends for round r+1 delivery.
+            for (from, port, msg) in outbox_all {
+                let to = self.net.ports().neighbor(from, port);
+                let bits = msg.size_bits();
+                if !self.config.channel.permits(bits) {
+                    if self.config.record_congest_violations {
+                        metrics.congest_violations += 1;
+                    } else {
+                        panic!(
+                            "CONGEST violation: {bits}-bit message from {from} exceeds {:?}",
+                            self.config.channel
+                        );
+                    }
+                }
+                if let Some(tr) = trace.as_mut() {
+                    tr.record(TraceEvent::Send { tick: round * TICKS_PER_UNIT, from, to, bits });
+                }
+                metrics.messages_sent += 1;
+                metrics.bits_sent += bits as u64;
+                metrics.max_message_bits = metrics.max_message_bits.max(bits);
+                metrics.sent_by[from.index()] += 1;
+                if self.config.track_ports {
+                    ports_touched[from.index()].insert(port.number() as u32);
+                }
+                in_flight.push(InFlight { to, from, msg });
+            }
+            round += 1;
+        }
+        if self.config.track_ports {
+            for (v, set) in ports_touched.iter().enumerate() {
+                metrics.ports_used[v] = set.len() as u32;
+            }
+        }
+        let report = RunReport {
+            all_awake: awake_count == n,
+            rounds: round,
+            outputs,
+            truncated,
+            metrics,
+            trace,
+        };
+        (report, self.protocols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wakeup_graph::generators;
+
+    #[derive(Debug, Clone)]
+    struct Ping;
+    impl Payload for Ping {
+        fn size_bits(&self) -> usize {
+            1
+        }
+    }
+
+    /// Broadcasts once upon waking.
+    struct Flood {
+        sent: bool,
+    }
+    impl SyncProtocol for Flood {
+        type Msg = Ping;
+        fn init(_: &NodeInit<'_>) -> Self {
+            Flood { sent: false }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _cause: WakeCause) {
+            self.sent = true;
+            ctx.broadcast(Ping);
+        }
+        fn on_round(&mut self, _: &mut Context<'_, Ping>, _: Vec<(Incoming, Ping)>) {}
+    }
+
+    #[test]
+    fn sync_flood_wakes_in_awake_distance_rounds() {
+        let g = generators::path(9).unwrap();
+        let net = Network::kt1(g, 1);
+        let report = SyncEngine::<Flood>::new(&net, SyncConfig::default())
+            .run(&WakeSchedule::single(NodeId::new(0)));
+        assert!(report.all_awake);
+        // ρ_awk = 8: node 8 wakes in round 8.
+        assert_eq!(report.metrics.wake_tick[8], Some(8 * TICKS_PER_UNIT));
+        assert_eq!(report.metrics.messages_sent, 16);
+    }
+
+    #[test]
+    fn sync_flood_multi_source() {
+        let g = generators::path(9).unwrap();
+        let net = Network::kt1(g, 1);
+        let schedule = WakeSchedule::all_at_zero(&[NodeId::new(0), NodeId::new(8)]);
+        let report = SyncEngine::<Flood>::new(&net, SyncConfig::default()).run(&schedule);
+        assert!(report.all_awake);
+        assert_eq!(report.metrics.wake_tick[4], Some(4 * TICKS_PER_UNIT));
+    }
+
+    /// Stays silent but requests 5 rounds after waking, then sends one ping.
+    struct TimerNode {
+        rounds_awake: u32,
+    }
+    impl SyncProtocol for TimerNode {
+        type Msg = Ping;
+        fn init(_: &NodeInit<'_>) -> Self {
+            TimerNode { rounds_awake: 0 }
+        }
+        fn on_wake(&mut self, _: &mut Context<'_, Ping>, _cause: WakeCause) {}
+        fn on_round(&mut self, ctx: &mut Context<'_, Ping>, _: Vec<(Incoming, Ping)>) {
+            self.rounds_awake += 1;
+            if self.rounds_awake == 5 && ctx.degree() > 0 {
+                ctx.send(Port::new(1), Ping);
+            }
+        }
+        fn wants_round(&self) -> bool {
+            self.rounds_awake < 5
+        }
+    }
+
+    #[test]
+    fn wants_round_keeps_clock_running() {
+        let g = generators::path(2).unwrap();
+        let net = Network::kt1(g, 1);
+        let report = SyncEngine::<TimerNode>::new(&net, SyncConfig::default())
+            .run(&WakeSchedule::single(NodeId::new(0)));
+        // Node 0 waits 5 silent rounds, sends in round 4 (0-indexed: its 5th
+        // round), waking node 1, which itself runs 5 rounds.
+        assert!(report.all_awake);
+        assert_eq!(report.metrics.messages_sent, 2);
+        assert!(report.rounds >= 10);
+    }
+
+    #[test]
+    fn round_cap_truncates() {
+        struct Forever;
+        impl SyncProtocol for Forever {
+            type Msg = Ping;
+            fn init(_: &NodeInit<'_>) -> Self {
+                Forever
+            }
+            fn on_wake(&mut self, _: &mut Context<'_, Ping>, _cause: WakeCause) {}
+            fn on_round(&mut self, _: &mut Context<'_, Ping>, _: Vec<(Incoming, Ping)>) {}
+            fn wants_round(&self) -> bool {
+                true
+            }
+        }
+        let net = Network::kt1(generators::path(2).unwrap(), 1);
+        let config = SyncConfig { max_rounds: 50, ..SyncConfig::default() };
+        let report = SyncEngine::<Forever>::new(&net, config)
+            .run(&WakeSchedule::single(NodeId::new(0)));
+        assert!(report.truncated);
+        assert_eq!(report.rounds, 50);
+    }
+
+    #[test]
+    fn staggered_adversary_wakes_apply_in_their_round() {
+        let g = generators::path(5).unwrap();
+        let net = Network::kt1(g, 1);
+        // Wake node 4 at round 2; node 0 at round 0.
+        let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(4), 2.0)]);
+        let report = SyncEngine::<Flood>::new(&net, SyncConfig::default()).run(&schedule);
+        assert_eq!(report.metrics.wake_tick[4], Some(2 * TICKS_PER_UNIT));
+        // Node 3 is woken by node 4's broadcast in round 3, beating the flood
+        // from node 0 (which would arrive in round 3 as well — tie).
+        assert_eq!(report.metrics.wake_tick[3], Some(3 * TICKS_PER_UNIT));
+    }
+
+    #[test]
+    fn quiescence_without_any_wake() {
+        let net = Network::kt1(generators::path(4).unwrap(), 1);
+        let report =
+            SyncEngine::<Flood>::new(&net, SyncConfig::default()).run(&WakeSchedule::default());
+        assert_eq!(report.rounds, 0);
+        assert!(!report.all_awake);
+    }
+}

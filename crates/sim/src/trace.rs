@@ -1,0 +1,209 @@
+//! Structured execution traces.
+//!
+//! When enabled in the engine config, every wake-up, send, and delivery is
+//! recorded as a [`TraceEvent`]. Traces answer the questions one actually
+//! asks when debugging a distributed algorithm — "who woke whom, when?",
+//! "what did the wake-up front look like?" — and back the timeline renderer
+//! used in the examples.
+//!
+//! Traces are capped ([`Trace::capacity`]) so a runaway protocol cannot
+//! exhaust memory; the cap drops the *newest* events and sets
+//! [`Trace::truncated`].
+
+use wakeup_graph::NodeId;
+
+use crate::metrics::TICKS_PER_UNIT;
+use crate::protocol::WakeCause;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node woke up.
+    Wake {
+        /// Tick of the wake-up.
+        tick: u64,
+        /// The node.
+        node: NodeId,
+        /// What woke it.
+        cause: WakeCause,
+    },
+    /// A message was handed to the channel.
+    Send {
+        /// Tick of the send.
+        tick: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload size in bits.
+        bits: usize,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Tick of the delivery.
+        tick: u64,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The tick at which this event happened.
+    pub fn tick(&self) -> u64 {
+        match *self {
+            TraceEvent::Wake { tick, .. }
+            | TraceEvent::Send { tick, .. }
+            | TraceEvent::Deliver { tick, .. } => tick,
+        }
+    }
+}
+
+/// A bounded event log.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    /// True if events were dropped because the capacity was reached.
+    pub truncated: bool,
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::with_capacity(1 << 20)
+    }
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace { events: Vec::new(), capacity, truncated: false }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.events.len() >= self.capacity {
+            self.truncated = true;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// All recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The wake-up front: `(time-in-units, node, cause)` sorted by time —
+    /// how the awake set grew over the execution.
+    pub fn wake_front(&self) -> Vec<(f64, NodeId, WakeCause)> {
+        let mut front: Vec<(f64, NodeId, WakeCause)> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                TraceEvent::Wake { tick, node, cause } => {
+                    Some((tick as f64 / TICKS_PER_UNIT as f64, node, cause))
+                }
+                _ => None,
+            })
+            .collect();
+        front.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        front
+    }
+
+    /// Messages on the directed channel `from → to`.
+    pub fn channel_load(&self, from: NodeId, to: NodeId) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to))
+            .count()
+    }
+
+    /// A compact human-readable timeline, one line per event, capped at
+    /// `max_lines` lines.
+    pub fn render_timeline(&self, max_lines: usize) -> String {
+        let mut out = String::new();
+        for e in self.events.iter().take(max_lines) {
+            let t = e.tick() as f64 / TICKS_PER_UNIT as f64;
+            let line = match e {
+                TraceEvent::Wake { node, cause, .. } => {
+                    format!("{t:9.3}  WAKE    {node} ({cause:?})\n")
+                }
+                TraceEvent::Send { from, to, bits, .. } => {
+                    format!("{t:9.3}  SEND    {from} -> {to} ({bits}b)\n")
+                }
+                TraceEvent::Deliver { from, to, .. } => {
+                    format!("{t:9.3}  DELIVER {from} -> {to}\n")
+                }
+            };
+            out.push_str(&line);
+        }
+        if self.events.len() > max_lines {
+            out.push_str(&format!("… {} more events\n", self.events.len() - max_lines));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..4 {
+            t.record(TraceEvent::Wake { tick: i, node: NodeId::new(0), cause: WakeCause::Adversary });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated);
+    }
+
+    #[test]
+    fn wake_front_sorted() {
+        let mut t = Trace::default();
+        t.record(TraceEvent::Wake { tick: 2048, node: NodeId::new(1), cause: WakeCause::Message });
+        t.record(TraceEvent::Wake { tick: 0, node: NodeId::new(0), cause: WakeCause::Adversary });
+        let front = t.wake_front();
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].1, NodeId::new(0));
+        assert_eq!(front[1].0, 2.0);
+    }
+
+    #[test]
+    fn channel_load_counts_directed() {
+        let mut t = Trace::default();
+        let (a, b) = (NodeId::new(0), NodeId::new(1));
+        t.record(TraceEvent::Send { tick: 0, from: a, to: b, bits: 1 });
+        t.record(TraceEvent::Send { tick: 1, from: a, to: b, bits: 1 });
+        t.record(TraceEvent::Send { tick: 2, from: b, to: a, bits: 1 });
+        assert_eq!(t.channel_load(a, b), 2);
+        assert_eq!(t.channel_load(b, a), 1);
+    }
+
+    #[test]
+    fn timeline_renders_and_caps() {
+        let mut t = Trace::default();
+        for i in 0..5 {
+            t.record(TraceEvent::Deliver { tick: i, from: NodeId::new(0), to: NodeId::new(1) });
+        }
+        t.record(TraceEvent::Send { tick: 6, from: NodeId::new(1), to: NodeId::new(0), bits: 8 });
+        let s = t.render_timeline(3);
+        assert!(s.contains("DELIVER"));
+        assert!(s.contains("more events"));
+        let full = t.render_timeline(100);
+        assert!(full.contains("SEND"));
+        assert!(!full.contains("more events"));
+    }
+
+    #[test]
+    fn event_tick_accessor() {
+        let e = TraceEvent::Send { tick: 7, from: NodeId::new(0), to: NodeId::new(1), bits: 3 };
+        assert_eq!(e.tick(), 7);
+    }
+}

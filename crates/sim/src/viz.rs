@@ -1,0 +1,144 @@
+//! Terminal visualization helpers: sparklines and histograms for run
+//! metrics (wake fronts, per-node loads, trial distributions).
+
+/// Renders a sparkline of the values using Unicode block characters.
+///
+/// Empty input renders an empty string; constant input renders mid-height
+/// blocks.
+///
+/// # Example
+///
+/// ```
+/// let line = wakeup_sim::viz::sparkline(&[1.0, 2.0, 4.0, 8.0]);
+/// assert_eq!(line.chars().count(), 4);
+/// ```
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            let t = if hi > lo { (v - lo) / (hi - lo) } else { 0.5 };
+            let idx = ((t * (BLOCKS.len() - 1) as f64).round() as usize).min(BLOCKS.len() - 1);
+            BLOCKS[idx]
+        })
+        .collect()
+}
+
+/// Renders a horizontal-bar histogram of the values over `buckets` equal
+/// ranges; one line per bucket, bars scaled to `width` characters.
+///
+/// # Panics
+///
+/// Panics for `buckets == 0` or `width == 0`.
+pub fn histogram(values: &[f64], buckets: usize, width: usize) -> String {
+    assert!(buckets > 0, "histogram needs at least one bucket");
+    assert!(width > 0, "histogram needs positive width");
+    if values.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0usize; buckets];
+    for &v in values {
+        let idx = (((v - lo) / span) * buckets as f64) as usize;
+        counts[idx.min(buckets - 1)] += 1;
+    }
+    let max_count = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let from = lo + span * i as f64 / buckets as f64;
+        let to = lo + span * (i + 1) as f64 / buckets as f64;
+        let bar_len = (c * width).div_ceil(max_count);
+        let bar: String = std::iter::repeat_n('█', if c > 0 { bar_len.max(1) } else { 0 }).collect();
+        out.push_str(&format!("{from:10.2} – {to:10.2} │{bar:<width$}│ {c}\n"));
+    }
+    out
+}
+
+/// Renders the growth of the awake set over time as a sparkline plus
+/// endpoints, from a run's wake ticks.
+pub fn wake_front_sparkline(wake_ticks: &[Option<u64>], samples: usize) -> String {
+    let mut ticks: Vec<u64> = wake_ticks.iter().copied().flatten().collect();
+    if ticks.is_empty() {
+        return String::from("(nobody woke)");
+    }
+    ticks.sort_unstable();
+    let end = *ticks.last().unwrap();
+    let samples = samples.max(2);
+    let series: Vec<f64> = (0..samples)
+        .map(|i| {
+            let t = end as f64 * i as f64 / (samples - 1) as f64;
+            ticks.iter().take_while(|&&x| x as f64 <= t).count() as f64
+        })
+        .collect();
+    format!(
+        "awake 1 → {} over {:.1} units  {}",
+        ticks.len(),
+        end as f64 / crate::metrics::TICKS_PER_UNIT as f64,
+        sparkline(&series)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        // Constant series renders uniformly.
+        let c = sparkline(&[3.0, 3.0, 3.0]);
+        let chars: Vec<char> = c.chars().collect();
+        assert!(chars.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn histogram_counts_everything() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = histogram(&values, 4, 20);
+        assert_eq!(h.lines().count(), 4);
+        let total: usize = h
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn histogram_empty_and_degenerate() {
+        assert!(histogram(&[], 3, 10).contains("no data"));
+        let h = histogram(&[5.0, 5.0], 2, 10);
+        assert!(h.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn histogram_zero_buckets_panics() {
+        histogram(&[1.0], 0, 10);
+    }
+
+    #[test]
+    fn wake_front_renders() {
+        use crate::metrics::TICKS_PER_UNIT;
+        let ticks = vec![
+            Some(0),
+            Some(TICKS_PER_UNIT),
+            Some(2 * TICKS_PER_UNIT),
+            None,
+        ];
+        let s = wake_front_sparkline(&ticks, 8);
+        assert!(s.contains("awake 1 → 3"));
+        assert!(s.contains("2.0 units"));
+        assert_eq!(wake_front_sparkline(&[None], 4), "(nobody woke)");
+    }
+}

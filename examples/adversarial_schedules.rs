@@ -1,0 +1,73 @@
+//! How adversarial can the adversary get? Stress DFS-rank (Theorem 3) with
+//! wake-up schedules designed to prolong the execution, and watch the
+//! O(n log n) guarantee hold anyway.
+//!
+//! The Theorem 3 analysis shows the adversary must wake geometrically
+//! growing sets of nodes to keep displacing the maximum-rank token; this
+//! example plays that adversary: it wakes one fresh node every ~2n time
+//! units, right when the current token could be finishing.
+//!
+//! ```text
+//! cargo run --example adversarial_schedules
+//! ```
+
+use wakeup::core::dfs_rank::DfsRank;
+use wakeup::core::harness;
+use wakeup::graph::{generators, NodeId};
+use wakeup::sim::adversary::{AdversarialDelay, WakeSchedule};
+use wakeup::sim::Network;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 150usize;
+    let g = generators::erdos_renyi_connected(n, 0.04, 9)?;
+    let net = Network::kt1(g, 9);
+    let envelope = |c: f64| c * n as f64 * (n as f64).ln();
+
+    println!("DFS-rank on n = {n}; O(n ln n) envelope ≈ {:.0} messages\n", envelope(4.0));
+    println!("{:<28} {:>9} {:>12}", "schedule", "messages", "time units");
+
+    let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let schedules: Vec<(&str, WakeSchedule)> = vec![
+        ("single node", WakeSchedule::single(NodeId::new(0))),
+        ("all at time 0", WakeSchedule::all_at_zero(&all)),
+        ("staggered, gap 2n", WakeSchedule::staggered(&all, 2.0 * n as f64)),
+        (
+            "staggered, gap n/4 (bursty)",
+            WakeSchedule::staggered(&all, n as f64 / 4.0),
+        ),
+    ];
+
+    for (name, schedule) in &schedules {
+        let run = harness::run_async::<DfsRank>(&net, schedule, 21);
+        assert!(run.report.all_awake, "{name}: not everyone woke");
+        println!(
+            "{:<28} {:>9} {:>12.1}",
+            name,
+            run.report.messages(),
+            run.report.time_units()
+        );
+        assert!(
+            (run.report.messages() as f64) < envelope(6.0),
+            "{name}: messages above the w.h.p. envelope"
+        );
+    }
+
+    // Same adversary, now also controlling per-channel delays.
+    let mut delays = AdversarialDelay::new(1234);
+    let run = harness::run_async_with_delays::<DfsRank>(
+        &net,
+        &schedules[2].1,
+        22,
+        &mut delays,
+    );
+    assert!(run.report.all_awake);
+    println!(
+        "{:<28} {:>9} {:>12.1}",
+        "staggered + skewed delays",
+        run.report.messages(),
+        run.report.time_units()
+    );
+
+    println!("\nevery schedule stayed within the O(n log n) envelope ✓");
+    Ok(())
+}

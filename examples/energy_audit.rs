@@ -1,0 +1,70 @@
+//! Energy audit: which wake-up strategy lets the most NICs stay quiet?
+//!
+//! The paper's motivation is energy (Wake-on-LAN, performance-per-watt).
+//! Message complexity is the total energy; this example also looks at how
+//! that energy is *distributed* — a protocol that concentrates traffic on a
+//! few nodes drains those nodes even if its total is low.
+//!
+//! ```text
+//! cargo run --example energy_audit
+//! ```
+
+use wakeup::core::advice::{run_scheme, CenScheme};
+use wakeup::core::dfs_rank::DfsRank;
+use wakeup::core::energy::EnergyReport;
+use wakeup::core::flooding::FloodAsync;
+use wakeup::core::harness;
+use wakeup::graph::{generators, NodeId};
+use wakeup::sim::adversary::WakeSchedule;
+use wakeup::sim::Network;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 200usize;
+    let g = generators::preferential_attachment(n, 3, 13)?;
+    println!(
+        "scale-free network (Barabási–Albert): n = {n}, m = {}, max degree {}\n",
+        g.m(),
+        g.max_degree()
+    );
+    let schedule = WakeSchedule::single(NodeId::new(0));
+
+    println!(
+        "{:<16} {:>12} {:>10} {:>10} {:>8}",
+        "strategy", "total energy", "max load", "imbalance", "gini"
+    );
+    let rows: Vec<(&str, EnergyReport, bool)> = vec![
+        {
+            let net = Network::kt0(g.clone(), 13);
+            let run = harness::run_async::<FloodAsync>(&net, &schedule, 1);
+            ("flooding", EnergyReport::from_metrics(&run.report.metrics), run.report.all_awake)
+        },
+        {
+            let net = Network::kt1(g.clone(), 13);
+            let run = harness::run_async::<DfsRank>(&net, &schedule, 2);
+            ("dfs-rank", EnergyReport::from_metrics(&run.report.metrics), run.report.all_awake)
+        },
+        {
+            let net = Network::kt0(g.clone(), 13);
+            let run = run_scheme(&CenScheme::new(), &net, &schedule, 3);
+            ("cen advice", EnergyReport::from_metrics(&run.report.metrics), run.report.all_awake)
+        },
+    ];
+    for (name, e, ok) in &rows {
+        assert!(ok, "{name} failed to wake everyone");
+        println!(
+            "{:<16} {:>12} {:>10} {:>9.1}x {:>8.3}",
+            name,
+            e.total,
+            e.max,
+            e.imbalance(),
+            e.gini
+        );
+    }
+    println!(
+        "\nflooding pays degree-proportional energy (hubs drain fastest on scale-free\n\
+         graphs); DFS and CEN cut totals by {:.1}x and {:.1}x, trading some per-node balance.",
+        rows[0].1.total as f64 / rows[1].1.total.max(1) as f64,
+        rows[0].1.total as f64 / rows[2].1.total.max(1) as f64
+    );
+    Ok(())
+}

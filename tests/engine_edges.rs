@@ -1,0 +1,217 @@
+//! Edge-case semantics of the engines: wake-once guarantees, cause
+//! precedence, tie ordering, and output slots.
+
+use wakeup::graph::{generators, NodeId};
+use wakeup::sim::adversary::WakeSchedule;
+use wakeup::sim::{
+    AsyncConfig, AsyncEngine, AsyncProtocol, Context, Incoming, Network, NodeInit, Payload,
+    SyncConfig, SyncEngine, SyncProtocol, WakeCause,
+};
+
+#[derive(Debug, Clone)]
+struct Ping;
+impl Payload for Ping {
+    fn size_bits(&self) -> usize {
+        1
+    }
+}
+
+/// Records how it was woken and how many times `on_wake` fired; outputs
+/// `wake_count * 10 + cause_code`.
+struct WakeRecorder {
+    wakes: u64,
+    cause: Option<WakeCause>,
+    relayed: bool,
+}
+
+impl WakeRecorder {
+    fn emit(&self, ctx: &mut Context<'_, Ping>) {
+        let cause_code = match self.cause {
+            Some(WakeCause::Adversary) => 1,
+            Some(WakeCause::Message) => 2,
+            None => 9,
+        };
+        ctx.output(self.wakes * 10 + cause_code);
+    }
+}
+
+impl AsyncProtocol for WakeRecorder {
+    type Msg = Ping;
+    fn init(_: &NodeInit<'_>) -> Self {
+        WakeRecorder { wakes: 0, cause: None, relayed: false }
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, cause: WakeCause) {
+        self.wakes += 1;
+        self.cause.get_or_insert(cause);
+        if !self.relayed {
+            self.relayed = true;
+            ctx.broadcast(Ping);
+        }
+        self.emit(ctx);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: Incoming, _: Ping) {
+        self.emit(ctx);
+    }
+}
+
+impl SyncProtocol for WakeRecorder {
+    type Msg = Ping;
+    fn init(_: &NodeInit<'_>) -> Self {
+        WakeRecorder { wakes: 0, cause: None, relayed: false }
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, cause: WakeCause) {
+        self.wakes += 1;
+        self.cause.get_or_insert(cause);
+        if !self.relayed {
+            self.relayed = true;
+            ctx.broadcast(Ping);
+        }
+        self.emit(ctx);
+    }
+    fn on_round(&mut self, ctx: &mut Context<'_, Ping>, _: Vec<(Incoming, Ping)>) {
+        self.emit(ctx);
+    }
+}
+
+#[test]
+fn async_on_wake_fires_exactly_once_despite_late_adversary_entry() {
+    // Node 1 is woken by node 0's flood well before its scheduled adversary
+    // wake at t = 50; the late entry must be a no-op.
+    let g = generators::path(3).unwrap();
+    let net = Network::kt0(g, 1);
+    let schedule =
+        WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 50.0)]);
+    let report = AsyncEngine::<WakeRecorder>::new(&net, AsyncConfig::default()).run(&schedule);
+    assert!(report.all_awake);
+    // wake_count 1, cause Message.
+    assert_eq!(report.outputs[1], Some(12));
+    // Node 0: wake_count 1, cause Adversary.
+    assert_eq!(report.outputs[0], Some(11));
+}
+
+#[test]
+fn sync_adversary_cause_wins_simultaneous_message_wake() {
+    // Node 1 receives node 0's round-0 broadcast at the start of round 1 AND
+    // is adversary-scheduled for round 1: the adversary cause takes
+    // precedence (it is the stronger capability in the model).
+    let g = generators::path(2).unwrap();
+    let net = Network::kt1(g, 1);
+    let schedule =
+        WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 1.0)]);
+    let report = SyncEngine::<WakeRecorder>::new(&net, SyncConfig::default()).run(&schedule);
+    assert_eq!(report.outputs[1], Some(11), "cause should be Adversary");
+}
+
+#[test]
+fn duplicate_schedule_entries_fire_once() {
+    let g = generators::path(2).unwrap();
+    let net = Network::kt0(g, 1);
+    let schedule = WakeSchedule::from_pairs(&[
+        (NodeId::new(0), 0.0),
+        (NodeId::new(0), 0.0),
+        (NodeId::new(0), 2.0),
+    ]);
+    let report = AsyncEngine::<WakeRecorder>::new(&net, AsyncConfig::default()).run(&schedule);
+    assert_eq!(report.outputs[0], Some(11), "exactly one wake despite 3 entries");
+}
+
+/// Outputs the latest value written — later `output` calls overwrite.
+struct Overwriter {
+    count: u64,
+}
+impl AsyncProtocol for Overwriter {
+    type Msg = Ping;
+    fn init(_: &NodeInit<'_>) -> Self {
+        Overwriter { count: 0 }
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _: WakeCause) {
+        ctx.output(100);
+        ctx.broadcast(Ping);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _: Incoming, _: Ping) {
+        self.count += 1;
+        ctx.output(self.count);
+    }
+}
+
+#[test]
+fn outputs_overwrite() {
+    let g = generators::path(2).unwrap();
+    let net = Network::kt0(g, 1);
+    let schedule = WakeSchedule::all_at_zero(&[NodeId::new(0), NodeId::new(1)]);
+    let report = AsyncEngine::<Overwriter>::new(&net, AsyncConfig::default()).run(&schedule);
+    // Each node wakes (output 100) then receives the other's ping (output 1).
+    assert_eq!(report.outputs[0], Some(1));
+    assert_eq!(report.outputs[1], Some(1));
+}
+
+/// Checks the `NodeInit` contents the engines hand out.
+struct InitProbe;
+impl AsyncProtocol for InitProbe {
+    type Msg = Ping;
+    fn init(init: &NodeInit<'_>) -> Self {
+        assert!(init.n_hint >= 1);
+        assert!(init.neighbor_ids.is_none(), "KT0 must hide neighbor IDs");
+        assert!(init.advice.is_empty(), "no oracle configured");
+        InitProbe
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _: WakeCause) {
+        ctx.output(ctx.degree() as u64);
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Ping>, _: Incoming, _: Ping) {}
+}
+
+#[test]
+fn kt0_init_hides_ids_and_degree_is_visible() {
+    let g = generators::star(5).unwrap();
+    let net = Network::kt0(g, 1);
+    let report = AsyncEngine::<InitProbe>::new(&net, AsyncConfig::default())
+        .run(&WakeSchedule::single(NodeId::new(0)));
+    assert_eq!(report.outputs[0], Some(4), "hub degree");
+}
+
+/// KT1 probe: neighbor IDs are exactly the assigned IDs of graph neighbors.
+struct Kt1Probe {
+    ok: bool,
+}
+impl AsyncProtocol for Kt1Probe {
+    type Msg = Ping;
+    fn init(init: &NodeInit<'_>) -> Self {
+        let ids = init.neighbor_ids.expect("KT1 exposes neighbor IDs");
+        let sorted = ids.windows(2).all(|w| w[0] < w[1]);
+        Kt1Probe { ok: sorted && ids.len() == init.degree }
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _: WakeCause) {
+        ctx.output(u64::from(self.ok));
+    }
+    fn on_message(&mut self, _: &mut Context<'_, Ping>, _: Incoming, _: Ping) {}
+}
+
+#[test]
+fn kt1_init_exposes_sorted_neighbor_ids() {
+    let g = generators::erdos_renyi_connected(20, 0.3, 5).unwrap();
+    let net = Network::kt1(g, 5);
+    let all: Vec<NodeId> = (0..20).map(NodeId::new).collect();
+    let report = AsyncEngine::<Kt1Probe>::new(&net, AsyncConfig::default())
+        .run(&WakeSchedule::all_at_zero(&all));
+    for v in 0..20 {
+        assert_eq!(report.outputs[v], Some(1), "node {v}");
+    }
+}
+
+#[test]
+fn sync_and_async_agree_on_who_wakes_whom_for_flooding() {
+    use wakeup::core::flooding::{FloodAsync, FloodSync};
+    let g = generators::grid(4, 5).unwrap();
+    let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(19), 3.0)]);
+    let net0 = Network::kt0(g.clone(), 2);
+    let a = AsyncEngine::<FloodAsync>::new(&net0, AsyncConfig::default()).run(&schedule);
+    let net1 = Network::kt1(g, 2);
+    let s = SyncEngine::<FloodSync>::new(&net1, SyncConfig::default()).run(&schedule);
+    for v in 0..20 {
+        assert_eq!(
+            a.metrics.wake_tick[v], s.metrics.wake_tick[v],
+            "node {v}: async ticks and sync round-ticks must coincide under unit delays"
+        );
+    }
+}

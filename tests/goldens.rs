@@ -1,0 +1,69 @@
+//! Golden regression tests: exact message/time values for fixed seeds.
+//!
+//! The simulator promises bit-for-bit reproducibility; these goldens turn
+//! that promise into a tripwire. A failure here does not necessarily mean a
+//! bug — any intentional change to an algorithm, the engines' ordering, or
+//! the RNG will shift the numbers — but it must be *noticed* and the values
+//! re-pinned deliberately (update the constants and say why in the commit).
+
+use wakeup::core::advice::{run_scheme, BfsTreeScheme, CenScheme, SpannerScheme};
+use wakeup::core::dfs_rank::DfsRank;
+use wakeup::core::fast_wakeup::FastWakeUp;
+use wakeup::core::flooding::FloodAsync;
+use wakeup::core::harness;
+use wakeup::graph::{generators, NodeId};
+use wakeup::lb::{thm1, thm2};
+use wakeup::sim::adversary::WakeSchedule;
+use wakeup::sim::Network;
+
+#[test]
+fn golden_flooding() {
+    let net = Network::kt0(generators::erdos_renyi_connected(60, 0.1, 42).unwrap(), 42);
+    let run = harness::run_async::<FloodAsync>(&net, &WakeSchedule::single(NodeId::new(0)), 42);
+    assert!(run.report.all_awake);
+    assert_eq!(run.report.messages(), 342);
+    assert_eq!(run.report.time_units(), 5.0);
+}
+
+#[test]
+fn golden_dfs_rank() {
+    let net = Network::kt1(generators::erdos_renyi_connected(60, 0.1, 42).unwrap(), 42);
+    let all: Vec<NodeId> = (0..60).map(NodeId::new).collect();
+    let run = harness::run_async::<DfsRank>(&net, &WakeSchedule::staggered(&all, 2.0), 42);
+    assert!(run.report.all_awake);
+    assert_eq!(run.report.messages(), 142);
+}
+
+#[test]
+fn golden_fast_wakeup() {
+    let net = Network::kt1(generators::complete(48).unwrap(), 42);
+    let all: Vec<NodeId> = (0..48).map(NodeId::new).collect();
+    let run = harness::run_sync::<FastWakeUp>(&net, &WakeSchedule::all_at_zero(&all), 42);
+    assert!(run.report.all_awake);
+    assert_eq!(run.report.messages(), 1316);
+}
+
+#[test]
+fn golden_advice_schemes() {
+    let g = generators::erdos_renyi_connected(80, 0.08, 42).unwrap();
+    let net = Network::kt0(g, 42);
+    let schedule = WakeSchedule::single(NodeId::new(3));
+    let tree = run_scheme(&BfsTreeScheme::new(), &net, &schedule, 42);
+    assert_eq!(tree.report.messages(), 158);
+    assert_eq!(tree.advice.max_bits, 13);
+    let cen = run_scheme(&CenScheme::new(), &net, &schedule, 42);
+    assert_eq!(cen.report.messages(), 237);
+    assert_eq!(cen.advice.max_bits, 28);
+    let spanner = run_scheme(&SpannerScheme::new(2), &net, &schedule, 42);
+    assert_eq!(spanner.report.messages(), 522);
+}
+
+#[test]
+fn golden_lower_bounds() {
+    let p1 = thm1::run_point(32, 2, 42);
+    assert!(p1.all_found);
+    assert_eq!(p1.messages, 282);
+    let p2 = thm2::run_point(3, 3, 42);
+    assert_eq!(p2.flood_messages, 212);
+    assert_eq!(p2.flood_rounds, 1);
+}
