@@ -11,7 +11,11 @@ fn bench(c: &mut Criterion) {
         let point = wakeup_bench::measure_cor1(n, 7);
         eprintln!(
             "table1_cor1 n={:>4}: messages={:>8} time={:>8.1} advice(max/avg)={}/{:.1} ratio={:.3}",
-            point.n, point.messages, point.time, point.advice_max_bits, point.advice_avg_bits,
+            point.n,
+            point.messages,
+            point.time,
+            point.advice_max_bits,
+            point.advice_avg_bits,
             point.ratio()
         );
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {

@@ -1,0 +1,154 @@
+//! Engine-throughput baseline emitter.
+//!
+//! ```text
+//! cargo run --release -p wakeup-bench --bin engine_perf [out.json]
+//! ```
+//!
+//! Times the discrete-event engines on fixed workloads and writes
+//! `BENCH_engine.json` (or the given path): events/sec and wall-clock
+//! milliseconds per (n, protocol). Future engine PRs compare against the
+//! committed numbers to show a trajectory.
+//!
+//! "Events" are engine-level units of work: processed wake + deliver events
+//! for the async engine, delivered messages + node wakes for the sync one.
+
+use std::time::Instant;
+
+use wakeup_bench::sparse_graph;
+use wakeup_core::dfs_rank::DfsRank;
+use wakeup_core::flooding::{FloodAsync, FloodSync};
+use wakeup_graph::NodeId;
+use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::{AsyncConfig, AsyncEngine, Network, SyncConfig, SyncEngine};
+
+struct Entry {
+    protocol: &'static str,
+    n: usize,
+    events: u64,
+    wall_ms: f64,
+}
+
+impl Entry {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Medians over `reps` timed runs of `run`, which reports its event count.
+fn time_median(reps: usize, mut run: impl FnMut() -> u64) -> (u64, f64) {
+    let mut walls: Vec<f64> = Vec::with_capacity(reps);
+    let mut events = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        events = run();
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    walls.sort_by(|a, b| a.total_cmp(b));
+    (events, walls[walls.len() / 2])
+}
+
+fn flood_async(n: usize) -> Entry {
+    let g = sparse_graph(n, 7);
+    let net = Network::kt0(g, 7);
+    let schedule = WakeSchedule::single(NodeId::new(0));
+    let (events, wall_ms) = time_median(5, || {
+        let config = AsyncConfig {
+            seed: 7,
+            ..AsyncConfig::default()
+        };
+        let report = AsyncEngine::<FloodAsync>::new(&net, config).run(&schedule);
+        assert!(report.all_awake);
+        // Every delivery is one event, plus one wake event per node.
+        report.messages() + n as u64
+    });
+    Entry {
+        protocol: "flood_async",
+        n,
+        events,
+        wall_ms,
+    }
+}
+
+fn dfs_async(n: usize) -> Entry {
+    let g = sparse_graph(n, 7);
+    let net = Network::kt1(g, 7);
+    let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let schedule = WakeSchedule::staggered(&all, 2.0);
+    let (events, wall_ms) = time_median(3, || {
+        let config = AsyncConfig {
+            seed: 7,
+            ..AsyncConfig::default()
+        };
+        let report = AsyncEngine::<DfsRank>::new(&net, config).run(&schedule);
+        assert!(report.all_awake);
+        report.messages() + n as u64
+    });
+    Entry {
+        protocol: "dfs_rank_async",
+        n,
+        events,
+        wall_ms,
+    }
+}
+
+fn flood_sync(n: usize) -> Entry {
+    let g = sparse_graph(n, 7);
+    let net = Network::kt1(g, 7);
+    let schedule = WakeSchedule::single(NodeId::new(0));
+    let (events, wall_ms) = time_median(5, || {
+        let config = SyncConfig {
+            seed: 7,
+            ..SyncConfig::default()
+        };
+        let report = SyncEngine::<FloodSync>::new(&net, config).run(&schedule);
+        assert!(report.all_awake);
+        report.messages() + n as u64
+    });
+    Entry {
+        protocol: "flood_sync",
+        n,
+        events,
+        wall_ms,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let entries = [
+        flood_async(1_000),
+        flood_async(10_000),
+        dfs_async(1_000),
+        flood_sync(1_000),
+        flood_sync(10_000),
+    ];
+
+    let mut json = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            e.protocol,
+            e.n,
+            e.events,
+            e.wall_ms,
+            e.events_per_sec(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+        println!(
+            "{:<16} n={:<6} events={:<9} wall={:>9.3} ms  {:>12.0} events/s",
+            e.protocol,
+            e.n,
+            e.events,
+            e.wall_ms,
+            e.events_per_sec()
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark baseline");
+    println!("wrote {out_path}");
+}

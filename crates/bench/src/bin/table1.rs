@@ -11,14 +11,14 @@
 
 use wakeup_bench::{
     measure_cor1, measure_cor2, measure_flooding, measure_thm3, measure_thm4, measure_thm5a,
-    measure_thm5b, measure_thm6, RowPoint, SWEEP,
+    measure_thm5b, measure_thm6, par_sweep, RowPoint, SWEEP,
 };
 
 struct Row {
     label: &'static str,
     claim: &'static str,
     sizes: Vec<usize>,
-    run: Box<dyn Fn(usize) -> RowPoint>,
+    run: Box<dyn Fn(usize) -> RowPoint + Sync>,
 }
 
 fn main() {
@@ -79,21 +79,42 @@ fn main() {
         },
     ];
 
+    // Measure every (row, n) cell as one flat parallel batch — par_sweep
+    // returns results in input (row-major) order, so the printed table is
+    // byte-identical to the sequential run at any WAKEUP_THREADS.
+    let cells: Vec<(usize, usize)> = rows
+        .iter()
+        .enumerate()
+        .flat_map(|(i, row)| row.sizes.iter().map(move |&n| (i, n)))
+        .collect();
+    let points = par_sweep(&cells, |&(i, n)| (rows[i].run)(n));
+
     println!("# Measured Table 1 (sparse G(n,p), avg degree ≈ 8; seeds fixed)\n");
     println!(
         "| {:<22} | {:>5} | {:>9} | {:>9} | {:>8} | {:>8} | {:>6} |",
         "row", "n", "messages", "time", "adv max", "adv avg", "ratio"
     );
-    println!("|{}|{}|{}|{}|{}|{}|{}|", "-".repeat(24), "-".repeat(7), "-".repeat(11), "-".repeat(11), "-".repeat(10), "-".repeat(10), "-".repeat(8));
-    for row in &rows {
-        for &n in &row.sizes {
-            let p = (row.run)(n);
-            println!(
-                "| {:<22} | {:>5} | {:>9} | {:>9.1} | {:>8} | {:>8.1} | {:>6.3} |",
-                row.label, p.n, p.messages, p.time, p.advice_max_bits, p.advice_avg_bits,
-                p.ratio()
-            );
-        }
+    println!(
+        "|{}|{}|{}|{}|{}|{}|{}|",
+        "-".repeat(24),
+        "-".repeat(7),
+        "-".repeat(11),
+        "-".repeat(11),
+        "-".repeat(10),
+        "-".repeat(10),
+        "-".repeat(8)
+    );
+    for (&(i, _), p) in cells.iter().zip(&points) {
+        println!(
+            "| {:<22} | {:>5} | {:>9} | {:>9.1} | {:>8} | {:>8.1} | {:>6.3} |",
+            rows[i].label,
+            p.n,
+            p.messages,
+            p.time,
+            p.advice_max_bits,
+            p.advice_avg_bits,
+            p.ratio()
+        );
     }
     println!("\nClaimed bounds per row:");
     for row in &rows {

@@ -101,17 +101,22 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> PowerLawFit {
         .iter()
         .map(|p| (p.1 - (intercept + exponent * p.0)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    PowerLawFit { exponent, constant: intercept.exp(), r_squared }
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    PowerLawFit {
+        exponent,
+        constant: intercept.exp(),
+        r_squared,
+    }
 }
 
 /// Fits the empirical message exponent of a measured sweep
 /// (`(n, messages)` pairs).
 pub fn message_exponent(points: &[(usize, u64)]) -> PowerLawFit {
-    let pts: Vec<(f64, f64)> = points
-        .iter()
-        .map(|&(n, m)| (n as f64, m as f64))
-        .collect();
+    let pts: Vec<(f64, f64)> = points.iter().map(|&(n, m)| (n as f64, m as f64)).collect();
     fit_power_law(&pts)
 }
 
@@ -157,9 +162,19 @@ mod tests {
 
     #[test]
     fn fit_tolerates_noise() {
-        let noisy = [(8.0, 70.0), (16.0, 130.0), (32.0, 260.0), (64.0, 520.0), (128.0, 1010.0)];
+        let noisy = [
+            (8.0, 70.0),
+            (16.0, 130.0),
+            (32.0, 260.0),
+            (64.0, 520.0),
+            (128.0, 1010.0),
+        ];
         let fit = fit_power_law(&noisy);
-        assert!((fit.exponent - 1.0).abs() < 0.1, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 1.0).abs() < 0.1,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r_squared > 0.99);
     }
 

@@ -19,9 +19,7 @@
 
 use std::fmt;
 
-use wakeup_core::advice::{
-    run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
-};
+use wakeup_core::advice::{run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme};
 use wakeup_core::dfs_rank::DfsRank;
 use wakeup_core::fast_wakeup::FastWakeUp;
 use wakeup_core::flooding::FloodAsync;
@@ -30,7 +28,9 @@ use wakeup_core::harness;
 use wakeup_core::leader::LeaderElect;
 use wakeup_graph::families::{ClassG, ClassGk};
 use wakeup_graph::{algo, generators, Graph, NodeId};
-use wakeup_sim::adversary::{AdversarialDelay, DelayStrategy, RandomDelay, UnitDelay, WakeSchedule};
+use wakeup_sim::adversary::{
+    AdversarialDelay, DelayStrategy, RandomDelay, UnitDelay, WakeSchedule,
+};
 use wakeup_sim::{Network, TICKS_PER_UNIT};
 
 /// A CLI usage error with a human-readable message.
@@ -221,7 +221,9 @@ pub fn parse_schedule(spec: &str, n: usize) -> Result<WakeSchedule, CliError> {
         if v < n {
             Ok(NodeId::new(v))
         } else {
-            Err(err(format!("wake spec {spec:?}: node {v} out of range (n = {n})")))
+            Err(err(format!(
+                "wake spec {spec:?}: node {v} out of range (n = {n})"
+            )))
         }
     };
     match parts[0] {
@@ -229,7 +231,9 @@ pub fn parse_schedule(spec: &str, n: usize) -> Result<WakeSchedule, CliError> {
             if parts.len() != 2 {
                 return Err(err(format!("wake spec {spec:?}: expected single:<node>")));
             }
-            Ok(WakeSchedule::single(check_node(parse_num(parts[1], "node")?)?))
+            Ok(WakeSchedule::single(check_node(parse_num(
+                parts[1], "node",
+            )?)?))
         }
         "all" => {
             let nodes: Vec<NodeId> = (0..n).map(NodeId::new).collect();
@@ -248,7 +252,9 @@ pub fn parse_schedule(spec: &str, n: usize) -> Result<WakeSchedule, CliError> {
         }
         "stagger" => {
             if parts.len() != 3 {
-                return Err(err(format!("wake spec {spec:?}: expected stagger:<step>:<gap>")));
+                return Err(err(format!(
+                    "wake spec {spec:?}: expected stagger:<step>:<gap>"
+                )));
             }
             let step: usize = parse_num(parts[1], "step")?;
             if step == 0 {
@@ -260,14 +266,19 @@ pub fn parse_schedule(spec: &str, n: usize) -> Result<WakeSchedule, CliError> {
         }
         "at" => {
             if parts.len() != 2 {
-                return Err(err(format!("wake spec {spec:?}: expected at:<v@t,v@t,...>")));
+                return Err(err(format!(
+                    "wake spec {spec:?}: expected at:<v@t,v@t,...>"
+                )));
             }
             let mut pairs = Vec::new();
             for item in parts[1].split(',') {
                 let (v, t) = item
                     .split_once('@')
                     .ok_or_else(|| err(format!("wake spec item {item:?}: expected v@t")))?;
-                pairs.push((check_node(parse_num(v, "node")?)?, parse_num::<f64>(t, "time")?));
+                pairs.push((
+                    check_node(parse_num(v, "node")?)?,
+                    parse_num::<f64>(t, "time")?,
+                ));
             }
             Ok(WakeSchedule::from_pairs(&pairs))
         }
@@ -287,11 +298,19 @@ pub fn parse_delays(spec: &str) -> Result<Box<dyn DelayStrategy>, CliError> {
     match parts[0] {
         "unit" => Ok(Box::new(UnitDelay)),
         "random" => {
-            let seed = if parts.len() > 1 { parse_num(parts[1], "seed")? } else { 0 };
+            let seed = if parts.len() > 1 {
+                parse_num(parts[1], "seed")?
+            } else {
+                0
+            };
             Ok(Box::new(RandomDelay::new(seed)))
         }
         "skewed" => {
-            let salt = if parts.len() > 1 { parse_num(parts[1], "salt")? } else { 0 };
+            let salt = if parts.len() > 1 {
+                parse_num(parts[1], "salt")?
+            } else {
+                0
+            };
             Ok(Box::new(AdversarialDelay::new(salt)))
         }
         other => Err(err(format!(
@@ -448,18 +467,30 @@ pub fn execute(
         Algorithm::Flooding => {
             let run = harness::run_async_with_delays::<FloodAsync>(&net, schedule, seed, delays);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::DfsRank => {
             let run = harness::run_async_with_delays::<DfsRank>(&net, schedule, seed, delays);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::Leader => {
             let run = harness::run_async_with_delays::<LeaderElect>(&net, schedule, seed, delays);
             leader = run.report.outputs.first().copied().flatten();
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::FastWakeUp => {
             let run = harness::run_sync::<FastWakeUp>(&net, schedule, seed);
@@ -474,37 +505,61 @@ pub fn execute(
         Algorithm::Gossip => {
             let run = harness::run_sync::<SetGossip>(&net, schedule, seed);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.rounds as f64)
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.rounds as f64,
+            )
         }
         Algorithm::Cor1 => {
             let run = run_scheme(&BfsTreeScheme::new(), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::Thm5a => {
             let run = run_scheme(&ThresholdScheme::new(), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::Thm5b => {
             let run = run_scheme(&CenScheme::new(), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::Thm6(k) => {
             let run = run_scheme(&SpannerScheme::new(k), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
         Algorithm::Cor2 => {
             let run = run_scheme(&SpannerScheme::log_instantiation(n), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
-            (run.report.all_awake, run.report.messages(), run.report.time_units())
+            (
+                run.report.all_awake,
+                run.report.messages(),
+                run.report.time_units(),
+            )
         }
     };
     Ok(Summary {
@@ -590,7 +645,13 @@ pub fn run_trials(
     let mut times: Vec<f64> = Vec::with_capacity(trials);
     for i in 0..trials {
         let mut delays = parse_delays("unit")?;
-        let s = execute(algo_spec, graph.clone(), schedule, base_seed + i as u64, delays.as_mut())?;
+        let s = execute(
+            algo_spec,
+            graph.clone(),
+            schedule,
+            base_seed + i as u64,
+            delays.as_mut(),
+        )?;
         successes += usize::from(s.all_awake);
         messages.push(s.messages);
         times.push(s.time);
@@ -696,8 +757,16 @@ mod tests {
     #[test]
     fn execute_every_algorithm_end_to_end() {
         for spec in [
-            "flooding", "dfs-rank", "fast-wakeup", "gossip", "leader", "cor1", "thm5a",
-            "thm5b", "thm6:2", "cor2",
+            "flooding",
+            "dfs-rank",
+            "fast-wakeup",
+            "gossip",
+            "leader",
+            "cor1",
+            "thm5a",
+            "thm5b",
+            "thm6:2",
+            "cor2",
         ] {
             let g = parse_graph("gnp:30:0.2:5").unwrap();
             let schedule = parse_schedule("single:0", 30).unwrap();
@@ -737,7 +806,14 @@ mod tests {
         assert_eq!(t.trials, 6);
         assert_eq!(t.successes, 6);
         assert!(t.max_messages as f64 >= t.mean_messages);
-        assert!(run_trials("dfs-rank", parse_graph("path:3").unwrap(), &parse_schedule("all", 3).unwrap(), 1, 0).is_err());
+        assert!(run_trials(
+            "dfs-rank",
+            parse_graph("path:3").unwrap(),
+            &parse_schedule("all", 3).unwrap(),
+            1,
+            0
+        )
+        .is_err());
     }
 
     #[test]

@@ -61,11 +61,18 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let graph = parse_graph(required(flags, "graph")?)?;
     let n = graph.n();
     let schedule = parse_schedule(required(flags, "wake")?, n)?;
-    let seed: u64 = flags
-        .get("seed")
-        .map_or(Ok(7), |s| s.parse().map_err(|_| CliError(format!("invalid seed {s:?}"))))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(7), |s| {
+        s.parse()
+            .map_err(|_| CliError(format!("invalid seed {s:?}")))
+    })?;
     let mut delays = parse_delays(flags.get("delays").map_or("unit", String::as_str))?;
-    let summary = execute(required(flags, "algo")?, graph, &schedule, seed, delays.as_mut())?;
+    let summary = execute(
+        required(flags, "algo")?,
+        graph,
+        &schedule,
+        seed,
+        delays.as_mut(),
+    )?;
     print!("{summary}");
     Ok(())
 }
@@ -73,13 +80,25 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
 fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let sizes: Vec<usize> = required(flags, "sizes")?
         .split(',')
-        .map(|s| s.parse().map_err(|_| CliError(format!("invalid size {s:?}"))))
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CliError(format!("invalid size {s:?}")))
+        })
         .collect::<Result<_, _>>()?;
-    let seed: u64 = flags
-        .get("seed")
-        .map_or(Ok(7), |s| s.parse().map_err(|_| CliError(format!("invalid seed {s:?}"))))?;
-    println!("{:>7} {:>10} {:>10} {:>10}", "n", "messages", "time", "adv max");
-    for s in sweep(required(flags, "algo")?, required(flags, "family")?, &sizes, seed)? {
+    let seed: u64 = flags.get("seed").map_or(Ok(7), |s| {
+        s.parse()
+            .map_err(|_| CliError(format!("invalid seed {s:?}")))
+    })?;
+    println!(
+        "{:>7} {:>10} {:>10} {:>10}",
+        "n", "messages", "time", "adv max"
+    );
+    for s in sweep(
+        required(flags, "algo")?,
+        required(flags, "family")?,
+        &sizes,
+        seed,
+    )? {
         println!(
             "{:>7} {:>10} {:>10.1} {:>10}",
             s.n,
@@ -97,13 +116,17 @@ fn cmd_trials(flags: &HashMap<String, String>) -> Result<(), CliError> {
     let count: usize = required(flags, "count")?
         .parse()
         .map_err(|_| CliError("invalid trial count".into()))?;
-    let seed: u64 = flags
-        .get("seed")
-        .map_or(Ok(7), |s| s.parse().map_err(|_| CliError(format!("invalid seed {s:?}"))))?;
+    let seed: u64 = flags.get("seed").map_or(Ok(7), |s| {
+        s.parse()
+            .map_err(|_| CliError(format!("invalid seed {s:?}")))
+    })?;
     let t = run_trials(required(flags, "algo")?, graph, &schedule, seed, count)?;
     println!("trials    : {}", t.trials);
     println!("successes : {}", t.successes);
-    println!("messages  : mean {:.1}, worst {}", t.mean_messages, t.max_messages);
+    println!(
+        "messages  : mean {:.1}, worst {}",
+        t.mean_messages, t.max_messages
+    );
     println!("time      : worst {:.1}", t.max_time);
     Ok(())
 }
@@ -125,7 +148,9 @@ fn main() -> ExitCode {
             print!("{HELP}");
             Ok(())
         }
-        Some(other) => Err(CliError(format!("unknown command {other:?}; see `wakeup help`"))),
+        Some(other) => Err(CliError(format!(
+            "unknown command {other:?}; see `wakeup help`"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

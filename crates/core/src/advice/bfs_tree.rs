@@ -144,7 +144,10 @@ impl AsyncProtocol for TreeWake {
 
     fn init(init: &NodeInit<'_>) -> Self {
         let tree_ports = decode_ports(init.advice, init.degree).unwrap_or_default();
-        TreeWake { tree_ports, pushed: false }
+        TreeWake {
+            tree_ports,
+            pushed: false,
+        }
     }
 
     fn on_wake(&mut self, ctx: &mut Context<'_, TreeWakeMsg>, _cause: WakeCause) {
@@ -164,8 +167,8 @@ mod tests {
     use super::*;
     use crate::advice::run_scheme;
     use wakeup_graph::generators;
-    use wakeup_sim::advice::AdviceStats;
     use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::advice::AdviceStats;
 
     #[test]
     fn port_codec_roundtrip() {
@@ -227,9 +230,17 @@ mod tests {
         let net = Network::kt0(g, 1);
         let advice = BfsTreeScheme::rooted_at(NodeId::new(0)).advise(&net);
         let stats = AdviceStats::measure(&advice);
-        assert!(stats.max_bits <= n + 2, "max {} should be <= n + O(1)", stats.max_bits);
+        assert!(
+            stats.max_bits <= n + 2,
+            "max {} should be <= n + O(1)",
+            stats.max_bits
+        );
         let avg_bound = 4.0 * (n as f64).log2();
-        assert!(stats.avg_bits <= avg_bound, "avg {} > {avg_bound}", stats.avg_bits);
+        assert!(
+            stats.avg_bits <= avg_bound,
+            "avg {} > {avg_bound}",
+            stats.avg_bits
+        );
     }
 
     #[test]
@@ -252,7 +263,12 @@ mod tests {
         // run_scheme enforces CONGEST; a panic here would fail the test.
         let g = generators::complete(40).unwrap();
         let net = Network::kt0(g, 6);
-        let run = run_scheme(&BfsTreeScheme::new(), &net, &WakeSchedule::single(NodeId::new(1)), 1);
+        let run = run_scheme(
+            &BfsTreeScheme::new(),
+            &net,
+            &WakeSchedule::single(NodeId::new(1)),
+            1,
+        );
         assert!(run.report.all_awake);
         assert_eq!(run.report.metrics.congest_violations, 0);
     }

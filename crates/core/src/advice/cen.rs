@@ -145,7 +145,11 @@ pub(crate) fn cen_entries_with(
                     let m = mid(lo, hi);
                     let child = kids[m];
                     let left = if lo < m { Some(kids[mid(lo, m)]) } else { None };
-                    let right = if m + 1 < hi { Some(kids[mid(m + 1, hi)]) } else { None };
+                    let right = if m + 1 < hi {
+                        Some(kids[mid(m + 1, hi)])
+                    } else {
+                        None
+                    };
                     entries[child.index()].next_sibling_ports =
                         (left.map(port_to), right.map(port_to));
                     if lo < m {
@@ -182,7 +186,9 @@ impl Payload for CenMsg {
         match self {
             CenMsg::WakeParent | CenMsg::WakeChild => 2,
             CenMsg::NextSiblings { left, right } => {
-                let port_bits = |p: &Option<u32>| 1 + p.map_or(0, |x| 64 - u64::from(x).leading_zeros() as usize);
+                let port_bits = |p: &Option<u32>| {
+                    1 + p.map_or(0, |x| 64 - u64::from(x).leading_zeros() as usize)
+                };
                 2 + port_bits(left) + port_bits(right)
             }
         }
@@ -199,12 +205,18 @@ pub struct CenScheme {
 impl CenScheme {
     /// Scheme rooted at node 0.
     pub fn new() -> CenScheme {
-        CenScheme { root: None, layout: SiblingLayout::Balanced }
+        CenScheme {
+            root: None,
+            layout: SiblingLayout::Balanced,
+        }
     }
 
     /// Scheme with an explicit BFS root.
     pub fn rooted_at(root: NodeId) -> CenScheme {
-        CenScheme { root: Some(root), layout: SiblingLayout::Balanced }
+        CenScheme {
+            root: Some(root),
+            layout: SiblingLayout::Balanced,
+        }
     }
 
     /// Ablation variant: arrange siblings in a linear chain instead of a
@@ -337,8 +349,8 @@ mod tests {
     use super::*;
     use crate::advice::run_scheme;
     use wakeup_graph::generators;
-    use wakeup_sim::advice::AdviceStats;
     use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::advice::AdviceStats;
 
     #[test]
     fn entry_codec_roundtrip() {
@@ -372,7 +384,12 @@ mod tests {
             (generators::balanced_tree(3, 4).unwrap(), 3),
         ] {
             let net = Network::kt0(g, seed);
-            let run = run_scheme(&CenScheme::new(), &net, &WakeSchedule::single(NodeId::new(0)), seed);
+            let run = run_scheme(
+                &CenScheme::new(),
+                &net,
+                &WakeSchedule::single(NodeId::new(0)),
+                seed,
+            );
             assert!(run.report.all_awake, "seed {seed}");
         }
     }
@@ -381,7 +398,12 @@ mod tests {
     fn wake_from_leaf_reaches_root_and_back() {
         let g = generators::star(50).unwrap();
         let net = Network::kt0(g, 7);
-        let run = run_scheme(&CenScheme::rooted_at(NodeId::new(0)), &net, &WakeSchedule::single(NodeId::new(33)), 1);
+        let run = run_scheme(
+            &CenScheme::rooted_at(NodeId::new(0)),
+            &net,
+            &WakeSchedule::single(NodeId::new(33)),
+            1,
+        );
         assert!(run.report.all_awake);
     }
 
@@ -403,7 +425,12 @@ mod tests {
         let n = 150usize;
         let g = generators::erdos_renyi_connected(n, 0.06, 5).unwrap();
         let net = Network::kt0(g, 5);
-        let run = run_scheme(&CenScheme::new(), &net, &WakeSchedule::single(NodeId::new(10)), 2);
+        let run = run_scheme(
+            &CenScheme::new(),
+            &net,
+            &WakeSchedule::single(NodeId::new(10)),
+            2,
+        );
         assert!(run.report.all_awake);
         assert!(
             run.report.metrics.messages_sent <= 3 * n as u64,
@@ -417,7 +444,12 @@ mod tests {
         let n = 200usize;
         let g = generators::star(n).unwrap();
         let net = Network::kt0(g, 2);
-        let run = run_scheme(&CenScheme::rooted_at(NodeId::new(0)), &net, &WakeSchedule::single(NodeId::new(0)), 3);
+        let run = run_scheme(
+            &CenScheme::rooted_at(NodeId::new(0)),
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            3,
+        );
         assert!(run.report.all_awake);
         // Hub waking n-1 children through the binary sibling tree takes
         // ~2·log2(n) alternations.
@@ -450,10 +482,7 @@ mod tests {
             "chain time {tc} should dwarf balanced time {tb} on a star"
         );
         // Same message count: the layout only changes the schedule.
-        assert_eq!(
-            balanced.report.messages(),
-            chain.report.messages()
-        );
+        assert_eq!(balanced.report.messages(), chain.report.messages());
     }
 
     #[test]
@@ -462,7 +491,13 @@ mod tests {
         let net = Network::kt0(g, 3);
         let entries = super::cen_entries(
             &net,
-            |v| if v.index() == 0 { None } else { Some(NodeId::new(0)) },
+            |v| {
+                if v.index() == 0 {
+                    None
+                } else {
+                    Some(NodeId::new(0))
+                }
+            },
             |v| {
                 if v.index() == 0 {
                     (1..33).map(NodeId::new).collect()

@@ -136,7 +136,10 @@ pub fn run_fip06(
         ..AsyncConfig::default()
     };
     let report = AsyncEngine::<TreeWake>::new(net, config).run(schedule);
-    super::SchemeRun { report, advice: stats }
+    super::SchemeRun {
+        report,
+        advice: stats,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +175,12 @@ mod tests {
         let net = Network::kt0(g, 1);
         let schedule = WakeSchedule::single(NodeId::new(0));
         let fip = run_fip06(&Fip06Scheme::rooted_at(NodeId::new(0)), &net, &schedule, 2);
-        let cor1 = run_scheme(&BfsTreeScheme::rooted_at(NodeId::new(0)), &net, &schedule, 2);
+        let cor1 = run_scheme(
+            &BfsTreeScheme::rooted_at(NodeId::new(0)),
+            &net,
+            &schedule,
+            2,
+        );
         assert!(fip.report.all_awake && cor1.report.all_awake);
         assert!(
             fip.advice.max_bits as f64 >= 4.0 * cor1.advice.max_bits as f64,
@@ -194,7 +202,12 @@ mod tests {
         let net = Network::kt0(g, 3);
         let schedule = WakeSchedule::single(NodeId::new(0));
         let fip = run_fip06(&Fip06Scheme::rooted_at(NodeId::new(0)), &net, &schedule, 3);
-        let cor1 = run_scheme(&BfsTreeScheme::rooted_at(NodeId::new(0)), &net, &schedule, 3);
+        let cor1 = run_scheme(
+            &BfsTreeScheme::rooted_at(NodeId::new(0)),
+            &net,
+            &schedule,
+            3,
+        );
         let t_fip = fip.report.metrics.wakeup_time_units().unwrap();
         let t_cor1 = cor1.report.metrics.wakeup_time_units().unwrap();
         assert_eq!(t_fip, (n - 1) as f64, "Hamiltonian-path crawl");

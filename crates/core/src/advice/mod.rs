@@ -12,8 +12,8 @@ pub mod omniscient;
 pub mod spanner;
 pub mod threshold;
 
-use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::{
     AsyncConfig, AsyncEngine, AsyncProtocol, BitStr, ChannelModel, Network, RunReport,
 };
@@ -74,7 +74,10 @@ pub fn run_scheme<S: AdvisingScheme>(
         ..AsyncConfig::default()
     };
     let report = AsyncEngine::<S::Protocol>::new(net, config).run(schedule);
-    SchemeRun { report, advice: stats }
+    SchemeRun {
+        report,
+        advice: stats,
+    }
 }
 
 #[doc(inline)]

@@ -80,7 +80,12 @@ mod tests {
         let n = g.n() as u64;
         let net = Network::kt0(g, 3);
         let schedule = WakeSchedule::all_at_zero(&awake);
-        let run = run_scheme(&OmniscientScheme::for_schedule(&schedule), &net, &schedule, 1);
+        let run = run_scheme(
+            &OmniscientScheme::for_schedule(&schedule),
+            &net,
+            &schedule,
+            1,
+        );
         assert!(run.report.all_awake);
         // Time exactly ρ_awk (unit delays), messages at most n − |A₀|
         // (every sleeping node receives exactly its forest-parent's push,
@@ -102,9 +107,18 @@ mod tests {
         let awake = vec![NodeId::new(n / 2)];
         let net = Network::kt0(g, 5);
         let schedule = WakeSchedule::all_at_zero(&awake);
-        let omni = run_scheme(&OmniscientScheme::for_schedule(&schedule), &net, &schedule, 2);
-        let oblivious =
-            run_scheme(&super::super::BfsTreeScheme::rooted_at(NodeId::new(0)), &net, &schedule, 2);
+        let omni = run_scheme(
+            &OmniscientScheme::for_schedule(&schedule),
+            &net,
+            &schedule,
+            2,
+        );
+        let oblivious = run_scheme(
+            &super::super::BfsTreeScheme::rooted_at(NodeId::new(0)),
+            &net,
+            &schedule,
+            2,
+        );
         assert!(omni.report.all_awake && oblivious.report.all_awake);
         let t_omni = omni.report.metrics.wakeup_time_units().unwrap();
         let t_obl = oblivious.report.metrics.wakeup_time_units().unwrap();
@@ -126,7 +140,12 @@ mod tests {
         let g = generators::grid(5, 5).unwrap();
         let net = Network::kt0(g, 7);
         let schedule = WakeSchedule::single(NodeId::new(12));
-        let run = run_scheme(&OmniscientScheme::for_schedule(&schedule), &net, &schedule, 3);
+        let run = run_scheme(
+            &OmniscientScheme::for_schedule(&schedule),
+            &net,
+            &schedule,
+            3,
+        );
         assert!(run.report.all_awake);
         assert!(run.report.messages() <= 24);
     }

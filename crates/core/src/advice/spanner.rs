@@ -20,11 +20,11 @@
 
 use wakeup_graph::algo;
 use wakeup_sim::{
-    AsyncProtocol, BitReader, BitStr, ChannelModel, Context, Incoming, Network, NodeInit,
-    Payload, Port, WakeCause,
+    AsyncProtocol, BitReader, BitStr, ChannelModel, Context, Incoming, Network, NodeInit, Payload,
+    Port, WakeCause,
 };
 
-use super::cen::{decode_entry, encode_entry, cen_entries, CenEntry};
+use super::cen::{cen_entries, decode_entry, encode_entry, CenEntry};
 use super::AdvisingScheme;
 
 /// 𝖢𝖤𝖭 messages tagged with the forest they belong to.
@@ -58,8 +58,9 @@ impl Payload for ForestMsg {
         let kind_bits = match &self.kind {
             ForestMsgKind::WakeParent | ForestMsgKind::WakeChild => 2,
             ForestMsgKind::NextSiblings { left, right } => {
-                let port_bits =
-                    |p: &Option<u32>| 1 + p.map_or(0, |x| 64 - u64::from(x).leading_zeros() as usize);
+                let port_bits = |p: &Option<u32>| {
+                    1 + p.map_or(0, |x| 64 - u64::from(x).leading_zeros() as usize)
+                };
                 2 + port_bits(left) + port_bits(right)
             }
         };
@@ -105,11 +106,7 @@ impl AdvisingScheme for SpannerScheme {
         let n = net.n();
         let mut per_node: Vec<Vec<CenEntry>> = vec![Vec::new(); n];
         for forest in &forests {
-            let entries = cen_entries(
-                net,
-                |v| forest.parent(v),
-                |v| forest.children(v).to_vec(),
-            );
+            let entries = cen_entries(net, |v| forest.parent(v), |v| forest.children(v).to_vec());
             for (v, e) in entries.into_iter().enumerate() {
                 per_node[v].push(e);
             }
@@ -154,7 +151,13 @@ impl SpannerWake {
         for f in 0..self.entries.len() {
             if let Some(p) = self.entries[f].parent_port {
                 if p.number() <= ctx.degree() {
-                    ctx.send(p, ForestMsg { forest: f as u32, kind: ForestMsgKind::WakeParent });
+                    ctx.send(
+                        p,
+                        ForestMsg {
+                            forest: f as u32,
+                            kind: ForestMsgKind::WakeParent,
+                        },
+                    );
                 }
             }
             if let Some(fc) = self.entries[f].first_child_port {
@@ -170,7 +173,10 @@ impl SpannerWake {
         if self.contacted[forest].insert(port) {
             ctx.send(
                 Port::new(port as usize),
-                ForestMsg { forest: forest as u32, kind: ForestMsgKind::WakeChild },
+                ForestMsg {
+                    forest: forest as u32,
+                    kind: ForestMsgKind::WakeChild,
+                },
             );
         }
     }
@@ -244,8 +250,8 @@ mod tests {
     use super::*;
     use crate::advice::run_scheme;
     use wakeup_graph::{generators, NodeId};
-    use wakeup_sim::advice::AdviceStats;
     use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::advice::AdviceStats;
 
     #[test]
     fn wakes_everyone_various_k() {
@@ -297,7 +303,10 @@ mod tests {
         let k = 3.0;
         let bound = 2.0 * k * rho as f64 * (n as f64).ln();
         assert!(t <= bound, "time {t} > bound {bound}");
-        assert!(t < diameter / 2.0, "time {t} should beat diameter {diameter}");
+        assert!(
+            t < diameter / 2.0,
+            "time {t} should beat diameter {diameter}"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl AsyncProtocol for ThresholdWake {
                 }
             }
         }
-        ThresholdWake { high_degree, tree_ports, pushed: false }
+        ThresholdWake {
+            high_degree,
+            tree_ports,
+            pushed: false,
+        }
     }
 
     fn on_wake(&mut self, ctx: &mut Context<'_, TreeWakeMsg>, _cause: WakeCause) {
@@ -127,8 +131,8 @@ mod tests {
     use super::*;
     use crate::advice::run_scheme;
     use wakeup_graph::generators;
-    use wakeup_sim::advice::AdviceStats;
     use wakeup_sim::adversary::WakeSchedule;
+    use wakeup_sim::advice::AdviceStats;
 
     #[test]
     fn wakes_everyone() {
@@ -154,8 +158,14 @@ mod tests {
         // Hub advice is the single high-degree bit.
         assert_eq!(advice[0].len(), 1);
         let stats = AdviceStats::measure(&advice);
-        let max_bound = ((n as f64).sqrt().ceil() as usize + 2) * 2 * (64 - (n as u64).leading_zeros() as usize);
-        assert!(stats.max_bits <= max_bound, "max {} > {max_bound}", stats.max_bits);
+        let max_bound = ((n as f64).sqrt().ceil() as usize + 2)
+            * 2
+            * (64 - (n as u64).leading_zeros() as usize);
+        assert!(
+            stats.max_bits <= max_bound,
+            "max {} > {max_bound}",
+            stats.max_bits
+        );
     }
 
     #[test]

@@ -136,7 +136,12 @@ impl AsyncProtocol for DfsCongest {
         self.advance(ctx, key);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, CongestDfsMsg>, from: Incoming, msg: CongestDfsMsg) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, CongestDfsMsg>,
+        from: Incoming,
+        msg: CongestDfsMsg,
+    ) {
         let key = msg.key();
         if let Some(best) = self.best {
             if key < best {
@@ -202,7 +207,11 @@ mod tests {
         assert!(report.all_awake);
         // Each edge carries at most one probe + one bounce/return in each
         // direction.
-        assert!(report.metrics.messages_sent <= 4 * m, "{} > 4m", report.metrics.messages_sent);
+        assert!(
+            report.metrics.messages_sent <= 4 * m,
+            "{} > 4m",
+            report.metrics.messages_sent
+        );
     }
 
     #[test]
@@ -215,8 +224,14 @@ mod tests {
         let net = Network::kt1(g, 4);
         let schedule = WakeSchedule::single(NodeId::new(0));
         let congest = run(&net, &schedule, 6);
-        let local = AsyncEngine::<DfsRank>::new(&net, AsyncConfig { seed: 6, ..AsyncConfig::default() })
-            .run(&schedule);
+        let local = AsyncEngine::<DfsRank>::new(
+            &net,
+            AsyncConfig {
+                seed: 6,
+                ..AsyncConfig::default()
+            },
+        )
+        .run(&schedule);
         assert!(congest.all_awake && local.all_awake);
         assert!(
             congest.metrics.messages_sent > m,

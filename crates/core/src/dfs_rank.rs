@@ -178,12 +178,11 @@ mod tests {
     use wakeup_sim::adversary::{AdversarialDelay, RandomDelay, WakeSchedule};
     use wakeup_sim::{AsyncConfig, AsyncEngine, Network};
 
-    fn run(
-        net: &Network,
-        schedule: &WakeSchedule,
-        seed: u64,
-    ) -> wakeup_sim::RunReport {
-        let config = AsyncConfig { seed, ..AsyncConfig::default() };
+    fn run(net: &Network, schedule: &WakeSchedule, seed: u64) -> wakeup_sim::RunReport {
+        let config = AsyncConfig {
+            seed,
+            ..AsyncConfig::default()
+        };
         AsyncEngine::<DfsRank>::new(net, config).run(schedule)
     }
 
@@ -241,7 +240,10 @@ mod tests {
             worst = worst.max(report.metrics.messages_sent);
         }
         let bound = (10.0 * n as f64 * (n as f64).ln()) as u64;
-        assert!(worst <= bound, "messages {worst} above O(n ln n) envelope {bound}");
+        assert!(
+            worst <= bound,
+            "messages {worst} above O(n ln n) envelope {bound}"
+        );
     }
 
     #[test]
@@ -274,7 +276,10 @@ mod tests {
 
     #[test]
     fn works_on_trees_and_stars() {
-        for g in [generators::star(30).unwrap(), generators::random_tree(30, 8).unwrap()] {
+        for g in [
+            generators::star(30).unwrap(),
+            generators::random_tree(30, 8).unwrap(),
+        ] {
             let net = Network::kt1(g, 7);
             let report = run(&net, &WakeSchedule::single(NodeId::new(5)), 11);
             assert!(report.all_awake);
@@ -306,7 +311,10 @@ mod tests {
         // A short gap keeps tokens overlapping: each ordered wake displaces
         // the deterministic-rank leader mid-traversal.
         let schedule = WakeSchedule::staggered(&nodes, 2.0);
-        let config = AsyncConfig { seed: 5, ..AsyncConfig::default() };
+        let config = AsyncConfig {
+            seed: 5,
+            ..AsyncConfig::default()
+        };
         let det = AsyncEngine::<super::DfsIdRank>::new(&net, config.clone()).run(&schedule);
         let rnd = AsyncEngine::<DfsRank>::new(&net, config).run(&schedule);
         assert!(det.all_awake && rnd.all_awake);
@@ -320,7 +328,12 @@ mod tests {
 
     #[test]
     fn token_sizes_reported_honestly() {
-        let t = DfsToken { rank: 1, origin: 2, visited: vec![1, 2, 3], path: vec![1] };
+        let t = DfsToken {
+            rank: 1,
+            origin: 2,
+            visited: vec![1, 2, 3],
+            path: vec![1],
+        };
         assert_eq!(t.size_bits(), 64 * 6 + 64);
     }
 }

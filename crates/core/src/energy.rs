@@ -45,7 +45,13 @@ impl EnergyReport {
         let total: u64 = load.iter().sum();
         let max = load.iter().copied().max().unwrap_or(0);
         let mean = total as f64 / n as f64;
-        EnergyReport { gini: gini(&load), load, total, max, mean }
+        EnergyReport {
+            gini: gini(&load),
+            load,
+            total,
+            max,
+            mean,
+        }
     }
 
     /// Ratio of the worst node's load to the mean (1.0 = perfectly even).
@@ -131,6 +137,9 @@ mod tests {
         let dfs = harness::run_async::<DfsRank>(&net1, &schedule, 3);
         let ef = EnergyReport::from_metrics(&flood.report.metrics);
         let ed = EnergyReport::from_metrics(&dfs.report.metrics);
-        assert!(ed.total < ef.total, "DFS total energy below flooding on K_n");
+        assert!(
+            ed.total < ef.total,
+            "DFS total energy below flooding on K_n"
+        );
     }
 }

@@ -100,10 +100,7 @@ impl Payload for FwMsg {
             | FwMsg::Edges3 { edges, .. }
             | FwMsg::Edges3Fwd { edges, .. } => 64 + 128 * edges.len(),
             FwMsg::FwdLists { lists, .. } => {
-                64 + lists
-                    .iter()
-                    .map(|(_, l)| 64 + 64 * l.len())
-                    .sum::<usize>()
+                64 + lists.iter().map(|(_, l)| 64 + 64 * l.len()).sum::<usize>()
             }
             FwMsg::Activate => 0,
         }
@@ -215,7 +212,13 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
                 // Join at level 1 and report my neighborhood.
                 self.l1.entry(root).or_default();
                 self.schedule_deactivation(self.local_round + 8);
-                ctx.send_to_id(sender, FwMsg::NbrList1 { root, nbrs: self.neighbors.clone() });
+                ctx.send_to_id(
+                    sender,
+                    FwMsg::NbrList1 {
+                        root,
+                        nbrs: self.neighbors.clone(),
+                    },
+                );
             }
             FwMsg::NbrList1 { root: _, nbrs } => {
                 if let Some(rs) = self.root_state.as_mut() {
@@ -238,7 +241,13 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
             FwMsg::Invite2 { root } => {
                 self.l2.insert(root, sender);
                 self.schedule_deactivation(self.local_round + 5);
-                ctx.send_to_id(sender, FwMsg::NbrList2 { root, nbrs: self.neighbors.clone() });
+                ctx.send_to_id(
+                    sender,
+                    FwMsg::NbrList2 {
+                        root,
+                        nbrs: self.neighbors.clone(),
+                    },
+                );
             }
             FwMsg::NbrList2 { root, nbrs } => {
                 if let Some(state) = self.l1.get_mut(&root) {
@@ -269,7 +278,13 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
                         }
                     }
                     for (p, subset) in by_parent {
-                        ctx.send_to_id(p, FwMsg::Edges3Fwd { root, edges: subset });
+                        ctx.send_to_id(
+                            p,
+                            FwMsg::Edges3Fwd {
+                                root,
+                                edges: subset,
+                            },
+                        );
                     }
                 }
             }
@@ -318,14 +333,19 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
         }
         rs.edges2 = parent_of.iter().map(|(&c, &p)| (p, c)).collect();
         rs.l2 = parent_of.keys().copied().collect();
-        let parents: std::collections::BTreeSet<u64> =
-            rs.edges2.iter().map(|&(p, _)| p).collect();
+        let parents: std::collections::BTreeSet<u64> = rs.edges2.iter().map(|&(p, _)| p).collect();
         rs.expect_fwd = parents.len();
         let edges = rs.edges2.clone();
         let done = edges.is_empty();
         if !done {
             for &v in &l1 {
-                ctx.send_to_id(v, FwMsg::Edges2 { root: self.id, edges: edges.clone() });
+                ctx.send_to_id(
+                    v,
+                    FwMsg::Edges2 {
+                        root: self.id,
+                        edges: edges.clone(),
+                    },
+                );
             }
         } else {
             // No level 2: the construction ends here.
@@ -359,15 +379,20 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
         }
         // Route each S3 edge via the level-1 parent that owns the level-2
         // node.
-        let l1_parent_of_l2: BTreeMap<u64, u64> =
-            rs.edges2.iter().map(|&(p, c)| (c, p)).collect();
+        let l1_parent_of_l2: BTreeMap<u64, u64> = rs.edges2.iter().map(|&(p, c)| (c, p)).collect();
         let mut per_l1: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
         for (&c3, &p2) in &parent_of {
             let p1 = l1_parent_of_l2[&p2];
             per_l1.entry(p1).or_default().push((p2, c3));
         }
         for (p1, edges) in per_l1 {
-            ctx.send_to_id(p1, FwMsg::Edges3 { root: self.id, edges });
+            ctx.send_to_id(
+                p1,
+                FwMsg::Edges3 {
+                    root: self.id,
+                    edges,
+                },
+            );
         }
     }
 }
@@ -450,9 +475,7 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
     fn wants_round(&self) -> bool {
         match self.status {
             Status::Active => self.local_round < 11,
-            Status::Dormant => self
-                .deactivate_at
-                .is_some_and(|at| self.local_round < at),
+            Status::Dormant => self.deactivate_at.is_some_and(|at| self.local_round < at),
             Status::Deactivated => false,
         }
     }
@@ -466,7 +489,11 @@ mod tests {
     use wakeup_sim::{Network, SyncConfig, SyncEngine, TICKS_PER_UNIT};
 
     fn run(net: &Network, schedule: &WakeSchedule, seed: u64) -> wakeup_sim::RunReport {
-        let config = SyncConfig { seed, max_rounds: 100_000, ..SyncConfig::default() };
+        let config = SyncConfig {
+            seed,
+            max_rounds: 100_000,
+            ..SyncConfig::default()
+        };
         SyncEngine::<FastWakeUp>::new(net, config).run(schedule)
     }
 
@@ -512,7 +539,10 @@ mod tests {
             let schedule = WakeSchedule::all_at_zero(&[NodeId::new(0), NodeId::new(30)]);
             let report = run(&net, &schedule, seed);
             assert!(report.all_awake, "seed {seed}");
-            assert!(rounds_to_all_awake(&report) <= 10 * rho.max(1), "seed {seed}");
+            assert!(
+                rounds_to_all_awake(&report) <= 10 * rho.max(1),
+                "seed {seed}"
+            );
         }
     }
 
@@ -544,11 +574,8 @@ mod tests {
         let nodes = [NodeId::new(0), NodeId::new(35), NodeId::new(17)];
         let net = Network::kt1(g, 4);
         // Rounds 0, 4, 8.
-        let schedule = WakeSchedule::from_pairs(&[
-            (nodes[0], 0.0),
-            (nodes[1], 4.0),
-            (nodes[2], 8.0),
-        ]);
+        let schedule =
+            WakeSchedule::from_pairs(&[(nodes[0], 0.0), (nodes[1], 4.0), (nodes[2], 8.0)]);
         let report = run(&net, &schedule, 5);
         assert!(report.all_awake);
     }
@@ -596,7 +623,10 @@ mod tests {
         for seed in 0..4 {
             let g = generators::erdos_renyi_connected(50, 0.1, seed).unwrap();
             let net = Network::kt1(g, seed);
-            let config = SyncConfig { seed, ..SyncConfig::default() };
+            let config = SyncConfig {
+                seed,
+                ..SyncConfig::default()
+            };
             let (report, protocols) = SyncEngine::<FastWakeUp>::new(&net, config)
                 .run_into_parts(&WakeSchedule::single(NodeId::new(0)));
             assert!(report.all_awake, "seed {seed}");
@@ -620,7 +650,10 @@ mod tests {
         let g = generators::complete(n).unwrap();
         let net = Network::kt1(g.clone(), 11);
         let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
-        let config = SyncConfig { seed: 21, ..SyncConfig::default() };
+        let config = SyncConfig {
+            seed: 21,
+            ..SyncConfig::default()
+        };
         let engine = SyncEngine::<FastWakeUp>::new(&net, config);
         let report = engine.run(&WakeSchedule::all_at_zero(&all));
         assert!(report.all_awake);

@@ -77,7 +77,13 @@ impl SyncProtocol for SetGossip {
         if let Some(target) = self.uncovered_neighbor() {
             self.contacted.insert(target);
             let known: Vec<u64> = self.known_awake.iter().copied().collect();
-            ctx.send_to_id(target, KnownSet { from: self.id, known });
+            ctx.send_to_id(
+                target,
+                KnownSet {
+                    from: self.id,
+                    known,
+                },
+            );
         }
     }
 
@@ -154,8 +160,7 @@ mod tests {
     fn staggered_wakes_complete() {
         let g = generators::grid(5, 5).unwrap();
         let net = Network::kt1(g, 4);
-        let schedule =
-            WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(24), 6.0)]);
+        let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(24), 6.0)]);
         let report = run(&net, &schedule);
         assert!(report.all_awake);
     }

@@ -25,12 +25,19 @@ fn decorate(net: &Network, schedule: &WakeSchedule, report: RunReport) -> Wakeup
     let initially_awake = schedule.initially_awake();
     let rho_awk = algo::awake_distance(net.graph(), &initially_awake);
     let diameter = algo::diameter(net.graph());
-    WakeupRun { report, rho_awk, diameter }
+    WakeupRun {
+        report,
+        rho_awk,
+        diameter,
+    }
 }
 
 /// Runs an asynchronous protocol with unit (τ) delays.
 pub fn run_async<P: AsyncProtocol>(net: &Network, schedule: &WakeSchedule, seed: u64) -> WakeupRun {
-    let config = AsyncConfig { seed, ..AsyncConfig::default() };
+    let config = AsyncConfig {
+        seed,
+        ..AsyncConfig::default()
+    };
     let report = AsyncEngine::<P>::new(net, config).run(schedule);
     decorate(net, schedule, report)
 }
@@ -42,14 +49,20 @@ pub fn run_async_with_delays<P: AsyncProtocol>(
     seed: u64,
     delays: &mut dyn DelayStrategy,
 ) -> WakeupRun {
-    let config = AsyncConfig { seed, ..AsyncConfig::default() };
+    let config = AsyncConfig {
+        seed,
+        ..AsyncConfig::default()
+    };
     let report = AsyncEngine::<P>::new(net, config).run_with(schedule, delays);
     decorate(net, schedule, report)
 }
 
 /// Runs a synchronous protocol.
 pub fn run_sync<P: SyncProtocol>(net: &Network, schedule: &WakeSchedule, seed: u64) -> WakeupRun {
-    let config = SyncConfig { seed, ..SyncConfig::default() };
+    let config = SyncConfig {
+        seed,
+        ..SyncConfig::default()
+    };
     let report = SyncEngine::<P>::new(net, config).run(schedule);
     decorate(net, schedule, report)
 }
@@ -172,8 +185,7 @@ mod tests {
     #[test]
     fn trials_aggregate_correctly() {
         let net = Network::kt1(generators::erdos_renyi_connected(25, 0.2, 5).unwrap(), 5);
-        let stats =
-            run_trials_async::<DfsRank>(&net, &WakeSchedule::single(NodeId::new(0)), 10, 8);
+        let stats = run_trials_async::<DfsRank>(&net, &WakeSchedule::single(NodeId::new(0)), 10, 8);
         assert_eq!(stats.trials, 8);
         assert_eq!(stats.successes, 8, "DfsRank is Las Vegas");
         assert_eq!(stats.messages.len(), 8);
@@ -185,8 +197,7 @@ mod tests {
     #[test]
     fn sync_trials_count_rounds() {
         let net = Network::kt1(generators::path(6).unwrap(), 2);
-        let stats =
-            run_trials_sync::<FloodSync>(&net, &WakeSchedule::single(NodeId::new(0)), 1, 3);
+        let stats = run_trials_sync::<FloodSync>(&net, &WakeSchedule::single(NodeId::new(0)), 1, 3);
         assert_eq!(stats.successes, 3);
         assert!(stats.max_time() >= 5.0);
     }

@@ -64,17 +64,44 @@ pub struct LeaderElect {
 }
 
 impl LeaderElect {
-    fn advance(&mut self, ctx: &mut Context<'_, ElectMsg>, rank: u64, origin: u64, mut visited: Vec<u64>, mut path: Vec<u64>) {
+    fn advance(
+        &mut self,
+        ctx: &mut Context<'_, ElectMsg>,
+        rank: u64,
+        origin: u64,
+        mut visited: Vec<u64>,
+        mut path: Vec<u64>,
+    ) {
         debug_assert_eq!(path.last(), Some(&self.id));
-        let next = self.neighbors.iter().copied().find(|w| !visited.contains(w));
+        let next = self
+            .neighbors
+            .iter()
+            .copied()
+            .find(|w| !visited.contains(w));
         match next {
             Some(w) => {
-                ctx.send_to_id(w, ElectMsg::Token { rank, origin, visited, path });
+                ctx.send_to_id(
+                    w,
+                    ElectMsg::Token {
+                        rank,
+                        origin,
+                        visited,
+                        path,
+                    },
+                );
             }
             None => {
                 path.pop();
                 if let Some(&parent) = path.last() {
-                    ctx.send_to_id(parent, ElectMsg::Token { rank, origin, visited, path });
+                    ctx.send_to_id(
+                        parent,
+                        ElectMsg::Token {
+                            rank,
+                            origin,
+                            visited,
+                            path,
+                        },
+                    );
                 } else if origin == self.id {
                     // The token came home without ever being discarded: it
                     // visited everyone. Announce.
@@ -88,7 +115,7 @@ impl LeaderElect {
     /// Adopts a candidate if it beats the current one and floods it onward.
     fn adopt(&mut self, ctx: &mut Context<'_, ElectMsg>, rank: u64, leader: u64) {
         let candidate = (rank, leader);
-        if self.adopted.map_or(true, |cur| candidate > cur) {
+        if self.adopted.is_none_or(|cur| candidate > cur) {
             self.adopted = Some(candidate);
             ctx.output(leader);
             for &w in &self.neighbors.clone() {
@@ -132,7 +159,12 @@ impl AsyncProtocol for LeaderElect {
 
     fn on_message(&mut self, ctx: &mut Context<'_, ElectMsg>, _from: Incoming, msg: ElectMsg) {
         match msg {
-            ElectMsg::Token { rank, origin, mut visited, mut path } => {
+            ElectMsg::Token {
+                rank,
+                origin,
+                mut visited,
+                mut path,
+            } => {
                 let key = (rank, origin);
                 if let Some(best) = self.best_token {
                     if key < best {
@@ -161,14 +193,21 @@ mod tests {
     use wakeup_sim::{AsyncConfig, AsyncEngine, Network};
 
     fn run(net: &Network, schedule: &WakeSchedule, seed: u64) -> wakeup_sim::RunReport {
-        let config = AsyncConfig { seed, ..AsyncConfig::default() };
+        let config = AsyncConfig {
+            seed,
+            ..AsyncConfig::default()
+        };
         AsyncEngine::<LeaderElect>::new(net, config).run(schedule)
     }
 
     fn agreed_leader(report: &wakeup_sim::RunReport) -> u64 {
         let first = report.outputs[0].expect("node 0 elected someone");
         for (v, out) in report.outputs.iter().enumerate() {
-            assert_eq!(out.expect("every node elects"), first, "disagreement at node {v}");
+            assert_eq!(
+                out.expect("every node elects"),
+                first,
+                "disagreement at node {v}"
+            );
         }
         first
     }
@@ -208,7 +247,10 @@ mod tests {
         let schedule = WakeSchedule::staggered(&awake, 11.0);
         for seed in 0..5 {
             let mut delays = RandomDelay::new(seed);
-            let config = AsyncConfig { seed, ..AsyncConfig::default() };
+            let config = AsyncConfig {
+                seed,
+                ..AsyncConfig::default()
+            };
             let report =
                 AsyncEngine::<LeaderElect>::new(&net, config).run_with(&schedule, &mut delays);
             assert!(report.all_awake);

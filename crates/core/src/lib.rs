@@ -36,8 +36,8 @@
 
 pub mod advice;
 pub mod dfs_congest;
-pub mod energy;
 pub mod dfs_rank;
+pub mod energy;
 pub mod fast_wakeup;
 pub mod flooding;
 pub mod gossip;

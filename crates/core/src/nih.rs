@@ -80,9 +80,7 @@ impl<P: AsyncProtocol> AsyncProtocol for Nih<P> {
         match msg {
             NihMsg::Response => {
                 // The NIH output: the port (KT0) or the responder ID (KT1).
-                let answer = from
-                    .sender_id
-                    .unwrap_or(from.port.number() as u64);
+                let answer = from.sender_id.unwrap_or(from.port.number() as u64);
                 ctx.output(answer);
             }
             NihMsg::Inner(m) => {
@@ -107,13 +105,17 @@ mod tests {
         let fam = ClassG::new(16).unwrap();
         let net = Network::kt0(fam.graph().clone(), 3);
         let schedule = WakeSchedule::all_at_zero(&fam.centers());
-        let report = AsyncEngine::<Nih<FloodAsync>>::new(&net, AsyncConfig::default())
-            .run(&schedule);
+        let report =
+            AsyncEngine::<Nih<FloodAsync>>::new(&net, AsyncConfig::default()).run(&schedule);
         assert!(report.all_awake);
         for (v, w) in fam.crucial_pairs() {
             let out = report.outputs[v.index()].expect("center must output");
             let port = wakeup_sim::Port::new(out as usize);
-            assert_eq!(net.ports().neighbor(v, port), w, "KT0 output is the crucial port");
+            assert_eq!(
+                net.ports().neighbor(v, port),
+                w,
+                "KT0 output is the crucial port"
+            );
         }
     }
 
@@ -122,12 +124,15 @@ mod tests {
         let fam = ClassGk::new(3, 3, 5).unwrap();
         let net = Network::kt1(fam.graph().clone(), 5);
         let schedule = WakeSchedule::all_at_zero(&fam.centers());
-        let report =
-            AsyncEngine::<Nih<DfsRank>>::new(&net, AsyncConfig::default()).run(&schedule);
+        let report = AsyncEngine::<Nih<DfsRank>>::new(&net, AsyncConfig::default()).run(&schedule);
         assert!(report.all_awake);
         for (v, w) in fam.crucial_pairs() {
             let out = report.outputs[v.index()].expect("center must output");
-            assert_eq!(out, net.ids().id(w), "KT1 output is the crucial neighbor's ID");
+            assert_eq!(
+                out,
+                net.ids().id(w),
+                "KT1 output is the crucial neighbor's ID"
+            );
         }
     }
 
@@ -137,8 +142,7 @@ mod tests {
         let n3 = fam.graph().n() as u64;
         let net = Network::kt0(fam.graph().clone(), 1);
         let schedule = WakeSchedule::all_at_zero(&fam.centers());
-        let plain =
-            AsyncEngine::<FloodAsync>::new(&net, AsyncConfig::default()).run(&schedule);
+        let plain = AsyncEngine::<FloodAsync>::new(&net, AsyncConfig::default()).run(&schedule);
         let wrapped =
             AsyncEngine::<Nih<FloodAsync>>::new(&net, AsyncConfig::default()).run(&schedule);
         assert!(wrapped.metrics.messages_sent <= plain.metrics.messages_sent + n3);

@@ -147,7 +147,12 @@ pub fn multi_source_bfs(graph: &Graph, sources: &[NodeId]) -> BfsTree {
             }
         }
     }
-    BfsTree { roots, parent, children, depth }
+    BfsTree {
+        roots,
+        parent,
+        children,
+        depth,
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,10 @@ pub struct Degeneracy {
 pub fn degeneracy(graph: &Graph) -> Degeneracy {
     let n = graph.n();
     if n == 0 {
-        return Degeneracy { value: 0, order: Vec::new() };
+        return Degeneracy {
+            value: 0,
+            order: Vec::new(),
+        };
     }
     let mut degree: Vec<usize> = (0..n).map(|v| graph.degree(NodeId::new(v))).collect();
     let max_deg = degree.iter().copied().max().unwrap_or(0);
@@ -117,7 +120,11 @@ mod tests {
             d.order.iter().enumerate().map(|(i, &v)| (v, i)).collect();
         for &v in &d.order {
             let later = g.neighbors(v).iter().filter(|w| pos[w] > pos[&v]).count();
-            assert!(later <= d.value, "node {v} has {later} later neighbors > {}", d.value);
+            assert!(
+                later <= d.value,
+                "node {v} has {later} later neighbors > {}",
+                d.value
+            );
         }
     }
 

@@ -36,7 +36,11 @@ pub fn dfs_preorder(graph: &Graph, root: NodeId) -> Vec<DfsVisit> {
     // Stack of (node, discovered_from, next-neighbor cursor).
     let mut stack: Vec<(NodeId, Option<NodeId>, usize)> = vec![(root, None, 0)];
     visited[root.index()] = true;
-    visits.push(DfsVisit { node: root, discovered_from: None, order: 0 });
+    visits.push(DfsVisit {
+        node: root,
+        discovered_from: None,
+        order: 0,
+    });
     while let Some(&mut (v, _, ref mut cursor)) = stack.last_mut() {
         let nbrs = graph.neighbors(v);
         let mut advanced = false;

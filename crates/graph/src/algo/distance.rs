@@ -76,7 +76,7 @@ pub fn center(graph: &Graph) -> Option<(usize, NodeId)> {
     let mut best: Option<(usize, NodeId)> = None;
     for v in graph.nodes() {
         let ecc = eccentricity(graph, v)?;
-        if best.map_or(true, |(b, _)| ecc < b) {
+        if best.is_none_or(|(b, _)| ecc < b) {
             best = Some((ecc, v));
         }
     }
@@ -191,7 +191,10 @@ mod tests {
         let g = generators::erdos_renyi_connected(35, 0.12, 9).unwrap();
         let (radius, c) = center(&g).unwrap();
         let d = diameter(&g).unwrap();
-        assert!(radius <= d && d <= 2 * radius, "radius {radius}, diameter {d}");
+        assert!(
+            radius <= d && d <= 2 * radius,
+            "radius {radius}, diameter {d}"
+        );
         assert_eq!(eccentricity(&g, c), Some(radius));
     }
 

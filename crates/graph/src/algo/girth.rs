@@ -52,7 +52,7 @@ pub fn girth(graph: &Graph) -> Option<usize> {
                     // not through the root, but every shortest cycle is found
                     // exactly when rooting at one of its vertices.
                     let cycle = dv + dist[w.index()] + 1;
-                    if best.map_or(true, |b| cycle < b) {
+                    if best.is_none_or(|b| cycle < b) {
                         best = Some(cycle);
                     }
                 }
@@ -107,11 +107,8 @@ mod tests {
     #[test]
     fn two_cycles_takes_min() {
         // A triangle and a separate 4-cycle.
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 3)])
+            .unwrap();
         assert_eq!(girth(&g), Some(3));
     }
 

@@ -9,7 +9,9 @@ mod forest;
 mod girth;
 mod spanner;
 
-pub use bfs::{bfs_distances, bfs_tree, multi_source_bfs, multi_source_distances, BfsTree, UNREACHABLE};
+pub use bfs::{
+    bfs_distances, bfs_tree, multi_source_bfs, multi_source_distances, BfsTree, UNREACHABLE,
+};
 pub use components::{connected_components, is_connected};
 pub use degeneracy::{degeneracy, Degeneracy};
 pub use dfs::{dfs_preorder, DfsVisit};

@@ -144,7 +144,12 @@ mod tests {
         let g = generators::complete(40).unwrap();
         let s = greedy_spanner(&g, 3);
         // K_n with stretch 5 keeps far fewer than n^2/2 edges.
-        assert!(s.m() < g.m() / 4, "spanner m = {}, graph m = {}", s.m(), g.m());
+        assert!(
+            s.m() < g.m() / 4,
+            "spanner m = {}, graph m = {}",
+            s.m(),
+            g.m()
+        );
     }
 
     #[test]

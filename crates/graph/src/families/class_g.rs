@@ -57,7 +57,10 @@ impl ClassG {
         for i in 0..n {
             b.add_edge(n + i, 2 * n + i)?;
         }
-        Ok(ClassG { graph: b.build(), n })
+        Ok(ClassG {
+            graph: b.build(),
+            n,
+        })
     }
 
     /// The underlying graph on `3n` nodes.

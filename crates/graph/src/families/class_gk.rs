@@ -42,7 +42,7 @@ impl ClassGk {
     /// Fails if `k < 3`, `k` is even, `q < 2`, or `q^k` overflows practical
     /// sizes (n capped at 2^22).
     pub fn new(k: usize, q: usize, seed: u64) -> Result<ClassGk, GraphError> {
-        if k < 3 || k % 2 == 0 {
+        if k < 3 || k.is_multiple_of(2) {
             return Err(GraphError::InvalidSize {
                 reason: format!("class Gk requires odd k >= 3, got {k}"),
             });
@@ -69,7 +69,9 @@ impl ClassGk {
     /// Fails if `d > n` or `n == 0`.
     pub fn with_explicit(n: usize, k: usize, d: usize, seed: u64) -> Result<ClassGk, GraphError> {
         if n == 0 {
-            return Err(GraphError::InvalidSize { reason: "class Gk requires n >= 1".into() });
+            return Err(GraphError::InvalidSize {
+                reason: "class Gk requires n >= 1".into(),
+            });
         }
         if d > n {
             return Err(GraphError::InvalidSize {
@@ -80,7 +82,11 @@ impl ClassGk {
         // even cycles).
         let floor = {
             let f = k + 5;
-            if f % 2 == 0 { f } else { f + 1 }
+            if f.is_multiple_of(2) {
+                f
+            } else {
+                f + 1
+            }
         };
         let core = random_bipartite_regular(n, d, Some(floor), seed)?;
         let mut b = GraphBuilder::new(3 * n);
@@ -156,7 +162,7 @@ impl ClassGk {
             .sum();
         let girth = crate::algo::girth(g);
         let girth_floor = self.k + 5;
-        let girth_ok = girth.map_or(true, |girth| girth >= girth_floor);
+        let girth_ok = girth.is_none_or(|girth| girth >= girth_floor);
         let min_edges = (self.n as f64) * (self.n as f64).powf(1.0 / self.k as f64);
         let edges_ratio = g.m() as f64 / min_edges;
         Fact1Report {
@@ -220,13 +226,20 @@ mod tests {
     fn fact1_validation() {
         let fam = ClassGk::new(3, 4, 7).unwrap(); // n = 64, d = 4
         let report = fam.validate_fact1();
-        assert!(report.girth_ok, "girth {:?} below {}", report.girth, report.girth_floor);
+        assert!(
+            report.girth_ok,
+            "girth {:?} below {}",
+            report.girth, report.girth_floor
+        );
         // Greedy construction should get most of the degree mass in place.
         assert!(
             report.center_degree_deficit <= fam.n_parameter(),
             "excessive deficit: {report:?}"
         );
-        assert!(report.edges > fam.n_parameter(), "core plus matching beats n edges");
+        assert!(
+            report.edges > fam.n_parameter(),
+            "core plus matching beats n edges"
+        );
     }
 
     #[test]

@@ -4,7 +4,9 @@ use crate::rng::Xoshiro256;
 use crate::{Graph, GraphBuilder, GraphError};
 
 fn invalid(reason: impl Into<String>) -> GraphError {
-    GraphError::InvalidSize { reason: reason.into() }
+    GraphError::InvalidSize {
+        reason: reason.into(),
+    }
 }
 
 /// Erdős–Rényi graph `G(n, p)` with the given seed.
@@ -92,7 +94,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
     if d >= n {
         return Err(invalid(format!("degree {d} must be below n = {n}")));
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(invalid("n * d must be even for a d-regular graph"));
     }
     if d == 0 {
@@ -195,7 +197,11 @@ pub fn random_bipartite_regular(
         }
     }
     let deficit = (0..n).map(|v| d.saturating_sub(deg[v])).sum();
-    Ok(BipartiteRegular { graph: b.build(), target_degree: d, deficit })
+    Ok(BipartiteRegular {
+        graph: b.build(),
+        target_degree: d,
+        deficit,
+    })
 }
 
 /// Result of [`random_bipartite_regular`].

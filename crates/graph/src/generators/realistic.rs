@@ -6,7 +6,9 @@ use crate::rng::Xoshiro256;
 use crate::{Graph, GraphBuilder, GraphError};
 
 fn invalid(reason: impl Into<String>) -> GraphError {
-    GraphError::InvalidSize { reason: reason.into() }
+    GraphError::InvalidSize {
+        reason: reason.into(),
+    }
 }
 
 /// Watts–Strogatz small world: a ring lattice where each node connects to
@@ -25,7 +27,10 @@ pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Result<Graph, Gr
         return Err(invalid("small world requires k >= 1"));
     }
     if n < 2 * k + 2 {
-        return Err(invalid(format!("small world requires n >= 2k + 2 = {}", 2 * k + 2)));
+        return Err(invalid(format!(
+            "small world requires n >= 2k + 2 = {}",
+            2 * k + 2
+        )));
     }
     if !(0.0..=1.0).contains(&p) {
         return Err(invalid(format!("rewiring probability {p} outside [0, 1]")));
@@ -69,7 +74,9 @@ pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Result<Graph, G
         return Err(invalid("preferential attachment requires m >= 1"));
     }
     if n <= m {
-        return Err(invalid(format!("preferential attachment requires n > m = {m}")));
+        return Err(invalid(format!(
+            "preferential attachment requires n > m = {m}"
+        )));
     }
     let mut rng = Xoshiro256::seed_from(seed);
     let mut b = GraphBuilder::new(n);
@@ -183,7 +190,11 @@ mod tests {
         for seed in 0..5 {
             let g = watts_strogatz(40, 3, 0.3, seed).unwrap();
             assert!(g.m() <= 120);
-            assert!(g.m() >= 100, "rewiring should rarely drop edges: m = {}", g.m());
+            assert!(
+                g.m() >= 100,
+                "rewiring should rarely drop edges: m = {}",
+                g.m()
+            );
         }
     }
 

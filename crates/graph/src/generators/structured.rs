@@ -3,7 +3,9 @@
 use crate::{Graph, GraphBuilder, GraphError};
 
 fn invalid(reason: impl Into<String>) -> GraphError {
-    GraphError::InvalidSize { reason: reason.into() }
+    GraphError::InvalidSize {
+        reason: reason.into(),
+    }
 }
 
 /// Path graph `P_n` on nodes `0 — 1 — … — n−1`.

@@ -247,7 +247,10 @@ impl Graph {
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<Option<NodeId>>) {
         let mut map: Vec<Option<NodeId>> = vec![None; self.n()];
         for (new, &old) in nodes.iter().enumerate() {
-            assert!(map[old.index()].is_none(), "duplicate node {old} in selection");
+            assert!(
+                map[old.index()].is_none(),
+                "duplicate node {old} in selection"
+            );
             map[old.index()] = Some(NodeId::new(new));
         }
         let mut builder = GraphBuilder::new(nodes.len());
@@ -334,7 +337,11 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
         }
-        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
         if !self.seen.insert(key) {
             return Err(GraphError::DuplicateEdge { u, v });
         }
@@ -360,7 +367,11 @@ impl GraphBuilder {
 
     /// Whether `{u, v}` has been added (in either orientation).
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        let key = if u < v { (u as u32, v as u32) } else { (v as u32, u as u32) };
+        let key = if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        };
         self.seen.contains(&key)
     }
 
@@ -400,7 +411,11 @@ impl GraphBuilder {
             .into_iter()
             .map(|(u, v)| (NodeId(u), NodeId(v)))
             .collect();
-        Graph { offsets, adjacency, edges }
+        Graph {
+            offsets,
+            adjacency,
+            edges,
+        }
     }
 }
 
@@ -448,8 +463,14 @@ mod tests {
     fn builder_rejects_duplicates_in_both_orientations() {
         let mut b = GraphBuilder::new(3);
         b.add_edge(0, 1).unwrap();
-        assert!(matches!(b.add_edge(0, 1), Err(GraphError::DuplicateEdge { .. })));
-        assert!(matches!(b.add_edge(1, 0), Err(GraphError::DuplicateEdge { .. })));
+        assert!(matches!(
+            b.add_edge(0, 1),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
     }
 
     #[test]
@@ -464,7 +485,11 @@ mod tests {
     #[test]
     fn neighbors_are_sorted() {
         let g = Graph::from_edges(5, &[(3, 0), (3, 4), (3, 1), (3, 2)]).unwrap();
-        let nbrs: Vec<usize> = g.neighbors(NodeId::new(3)).iter().map(|v| v.index()).collect();
+        let nbrs: Vec<usize> = g
+            .neighbors(NodeId::new(3))
+            .iter()
+            .map(|v| v.index())
+            .collect();
         assert_eq!(nbrs, vec![0, 1, 2, 4]);
     }
 

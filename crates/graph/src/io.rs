@@ -48,24 +48,24 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, GraphError> {
         let mut parts = line.split_whitespace();
         let first = parts.next().expect("nonempty line has a token");
         if first == "n" {
-            let v = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| GraphError::InvalidSize {
+            let v = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                GraphError::InvalidSize {
                     reason: format!("line {}: malformed n header {line:?}", lineno + 1),
-                })?;
+                }
+            })?;
             declared_n = Some(v);
             continue;
         }
         let u: usize = first.parse().map_err(|_| GraphError::InvalidSize {
             reason: format!("line {}: expected integer, got {first:?}", lineno + 1),
         })?;
-        let v: usize = parts
-            .next()
-            .and_then(|s| s.parse().ok())
-            .ok_or_else(|| GraphError::InvalidSize {
-                reason: format!("line {}: expected `u v`, got {line:?}", lineno + 1),
-            })?;
+        let v: usize =
+            parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| GraphError::InvalidSize {
+                    reason: format!("line {}: expected `u v`, got {line:?}", lineno + 1),
+                })?;
         if parts.next().is_some() {
             return Err(GraphError::InvalidSize {
                 reason: format!("line {}: trailing tokens in {line:?}", lineno + 1),
@@ -93,7 +93,9 @@ pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<Graph, GraphError> {
     let mut text = String::new();
     reader
         .read_to_string(&mut text)
-        .map_err(|e| GraphError::InvalidSize { reason: format!("read failed: {e}") })?;
+        .map_err(|e| GraphError::InvalidSize {
+            reason: format!("read failed: {e}"),
+        })?;
     parse_edge_list(&text)
 }
 

@@ -103,7 +103,7 @@ proptest! {
             let ds = algo::bfs_distances(&s, v);
             for &w in g.neighbors(v) {
                 prop_assert!(ds[w.index()] != algo::UNREACHABLE, "spanner must span");
-                prop_assert!(ds[w.index()] <= 2 * k - 1);
+                prop_assert!(ds[w.index()] < 2 * k);
             }
         }
     }

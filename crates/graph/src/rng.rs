@@ -70,7 +70,8 @@ impl Xoshiro256 {
     /// Forking does not advance `self`, so the set of forks taken from a
     /// generator is stable regardless of interleaving with its own draws.
     pub fn fork(&self, stream_id: u64) -> Xoshiro256 {
-        let mut mix = self.s[0] ^ self.s[1].rotate_left(17) ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut mix =
+            self.s[0] ^ self.s[1].rotate_left(17) ^ stream_id.wrapping_mul(0xA24B_AED4_963E_E407);
         let mut s = [0u64; 4];
         for slot in &mut s {
             *slot = split_mix64(&mut mix);

@@ -25,8 +25,8 @@
 //! information-theoretic proof turns into a theorem.
 
 use wakeup_graph::families::ClassG;
-use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::bits::width_for;
 use wakeup_sim::{
     AsyncConfig, AsyncEngine, AsyncProtocol, BitReader, BitStr, Context, Incoming, Network,
@@ -87,7 +87,9 @@ pub struct FragmentProbe {
 
 impl FragmentProbe {
     fn probe_next(&mut self, ctx: &mut Context<'_, FragMsg>) {
-        let Some((center, _)) = self.center else { return };
+        let Some((center, _)) = self.center else {
+            return;
+        };
         if self.done || self.next_port >= ctx.degree() {
             return;
         }
@@ -158,10 +160,18 @@ impl AsyncProtocol for FragmentProbe {
                 let (position, bit) = entry.unwrap_or((0, false));
                 ctx.send(
                     from.port,
-                    FragMsg::Fragment { position, bit, degree: self.degree },
+                    FragMsg::Fragment {
+                        position,
+                        bit,
+                        degree: self.degree,
+                    },
                 );
             }
-            FragMsg::Fragment { position, bit, degree } => {
+            FragMsg::Fragment {
+                position,
+                bit,
+                degree,
+            } => {
                 if self.done {
                     return;
                 }

@@ -10,8 +10,8 @@
 //! assignment makes every candidate equally likely.
 
 use wakeup_graph::families::ClassG;
-use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::adversary::WakeSchedule;
+use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::bits::width_for;
 use wakeup_sim::{
     AsyncConfig, AsyncEngine, AsyncProtocol, BitReader, BitStr, Context, Incoming, Network,
@@ -98,7 +98,12 @@ impl AsyncProtocol for PrefixProbe {
     fn on_message(&mut self, ctx: &mut Context<'_, ProbeMsg>, from: Incoming, msg: ProbeMsg) {
         match msg {
             ProbeMsg::Probe => {
-                ctx.send(from.port, ProbeMsg::Reply { degree: self.degree });
+                ctx.send(
+                    from.port,
+                    ProbeMsg::Reply {
+                        degree: self.degree,
+                    },
+                );
             }
             ProbeMsg::Reply { degree } => {
                 if self.done {
@@ -193,7 +198,10 @@ pub fn run_point(n: usize, beta: usize, seed: u64) -> Thm1Point {
 
 /// Sweeps β for a fixed `n`.
 pub fn sweep_beta(n: usize, betas: &[usize], seed: u64) -> Vec<Thm1Point> {
-    betas.iter().map(|&b| run_point(n, b, seed + b as u64)).collect()
+    betas
+        .iter()
+        .map(|&b| run_point(n, b, seed + b as u64))
+        .collect()
 }
 
 /// Port-usage profile of a Theorem 1 run — the empirical counterpart of the

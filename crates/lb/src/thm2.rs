@@ -58,15 +58,24 @@ pub fn run_family_point(fam: &ClassGk, seed: u64) -> Thm2Point {
     let schedule = WakeSchedule::all_at_zero(&centers);
 
     let net_sync = Network::kt1(fam.graph().clone(), seed);
-    let flood = SyncEngine::<FloodSync>::new(&net_sync, SyncConfig { seed, ..SyncConfig::default() })
-        .run(&schedule);
+    let flood = SyncEngine::<FloodSync>::new(
+        &net_sync,
+        SyncConfig {
+            seed,
+            ..SyncConfig::default()
+        },
+    )
+    .run(&schedule);
     assert!(flood.all_awake, "flooding must wake everyone");
     let flood_rounds = flood.metrics.all_awake_tick.unwrap_or(0) / TICKS_PER_UNIT;
 
     let net_async = Network::kt1(fam.graph().clone(), seed ^ 0x51);
     let dfs = AsyncEngine::<DfsRank>::new(
         &net_async,
-        AsyncConfig { seed: seed ^ 0x99, ..AsyncConfig::default() },
+        AsyncConfig {
+            seed: seed ^ 0x99,
+            ..AsyncConfig::default()
+        },
     )
     .run(&schedule);
     assert!(dfs.all_awake, "DFS-rank is Las Vegas");
@@ -161,7 +170,11 @@ pub fn swap_demo(k: usize, q: usize, seed: u64) -> SwapDemo {
         .crucial_pairs()
         .into_iter()
         .find(|&(v, w)| {
-            let min_nbr = g.neighbors(v).iter().copied().min_by_key(|x| base_ids[x.index()]);
+            let min_nbr = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .min_by_key(|x| base_ids[x.index()]);
             min_nbr != Some(w)
         })
         .expect("some center has a non-crucial smallest neighbor");
@@ -177,12 +190,17 @@ pub fn swap_demo(k: usize, q: usize, seed: u64) -> SwapDemo {
     swapped_ids.swap(contacted.index(), focal_w.index());
     let swapped = run(swapped_ids);
     let swapped_woke_crucial = swapped.metrics.wake_tick[focal_w.index()].is_some();
-    SwapDemo { original_woke_crucial, swapped_woke_crucial }
+    SwapDemo {
+        original_woke_crucial,
+        swapped_woke_crucial,
+    }
 }
 
 /// Sweeps `q` for a fixed `k`.
 pub fn sweep(k: usize, qs: &[usize], seed: u64) -> Vec<Thm2Point> {
-    qs.iter().map(|&q| run_point(k, q, seed + q as u64)).collect()
+    qs.iter()
+        .map(|&q| run_point(k, q, seed + q as u64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -192,7 +210,7 @@ mod tests {
     #[test]
     fn flooding_messages_track_edge_count() {
         let p = run_point(3, 3, 1); // n = 27
-        // Flooding sends 2m messages; m = Θ(n^{1+1/k}).
+                                    // Flooding sends 2m messages; m = Θ(n^{1+1/k}).
         let ratio = p.flood_messages as f64 / p.predicted_shape;
         assert!((0.5..8.0).contains(&ratio), "ratio {ratio}");
         assert!(p.flood_rounds <= 1, "all centers form a dominating set");

@@ -1,0 +1,181 @@
+//! A self-contained, offline stand-in for the [proptest](https://proptest-rs.github.io/)
+//! crate, implementing exactly the API surface this workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so the
+//! real proptest cannot be fetched; this shim keeps the workspace's property
+//! tests source-compatible. Semantics differ from upstream in two deliberate
+//! ways:
+//!
+//! * **Deterministic, seedless runs.** Every test function replays the same
+//!   fixed case sequence (case index → SplitMix64 stream), so failures
+//!   reproduce without a persistence file.
+//! * **No shrinking.** A failing case panics immediately with the case index
+//!   in the standard assertion message; since generation is deterministic,
+//!   re-running reaches the same inputs.
+//!
+//! Only the combinators the workspace's tests use are provided: ranges,
+//! tuples, [`strategy::Just`], [`any`](strategy::any), `prop_map`,
+//! `prop_flat_map`, [`collection::vec`], [`collection::btree_set`], and
+//! [`prop_oneof!`].
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Per-test configuration (only the `cases` knob is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case as u64);
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property body (panics — no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniformly picks one of several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let x = Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&x));
+            let y = Strategy::sample(&(1u64..=64), &mut rng);
+            assert!((1..=64).contains(&y));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<u64> = (0..20)
+            .map(|c| Strategy::sample(&(0u64..1000), &mut TestRng::for_case("d", c)))
+            .collect();
+        let b: Vec<u64> = (0..20)
+            .map(|c| Strategy::sample(&(0u64..1000), &mut TestRng::for_case("d", c)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "samples should vary");
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let strat = (2usize..10).prop_flat_map(|n| {
+            crate::collection::vec((0..n, 0..n), 0..30).prop_map(move |pairs| (n, pairs))
+        });
+        let mut rng = TestRng::for_case("compose", 3);
+        for _ in 0..100 {
+            let (n, pairs) = Strategy::sample(&strat, &mut rng);
+            assert!(pairs.len() < 30);
+            assert!(pairs.iter().all(|&(u, v)| u < n && v < n));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        let mut rng = TestRng::for_case("oneof", 0);
+        for _ in 0..200 {
+            seen[Strategy::sample(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn btree_set_respects_size_range() {
+        let strat = crate::collection::btree_set(0usize..40, 1..=6);
+        let mut rng = TestRng::for_case("sets", 1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&strat, &mut rng);
+            assert!((1..=6).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((a, b) in (0usize..5, 10usize..20), c in any::<bool>()) {
+            prop_assert!(a < 5);
+            prop_assert!((10..20).contains(&b));
+            prop_assert!(c as u8 <= 1);
+        }
+    }
+}

@@ -42,7 +42,9 @@ pub struct RandomDelay {
 impl RandomDelay {
     /// Creates the strategy from a seed.
     pub fn new(seed: u64) -> RandomDelay {
-        RandomDelay { rng: Xoshiro256::seed_from(seed) }
+        RandomDelay {
+            rng: Xoshiro256::seed_from(seed),
+        }
     }
 }
 
@@ -139,7 +141,10 @@ impl BurstDelay {
             (0.0..=1.0).contains(&slow_fraction),
             "slow fraction must be within [0, 1]"
         );
-        BurstDelay { period_ticks: period_units * TICKS_PER_UNIT, slow_fraction }
+        BurstDelay {
+            period_ticks: period_units * TICKS_PER_UNIT,
+            slow_fraction,
+        }
     }
 }
 
@@ -191,15 +196,24 @@ mod tests {
     #[test]
     fn targeted_delay_punishes_victims_only() {
         let mut d = TargetedDelay::new([NodeId::new(3)], 1);
-        assert_eq!(d.delay_ticks(NodeId::new(3), NodeId::new(1), 0, 0), TICKS_PER_UNIT);
-        assert_eq!(d.delay_ticks(NodeId::new(1), NodeId::new(3), 0, 0), TICKS_PER_UNIT);
+        assert_eq!(
+            d.delay_ticks(NodeId::new(3), NodeId::new(1), 0, 0),
+            TICKS_PER_UNIT
+        );
+        assert_eq!(
+            d.delay_ticks(NodeId::new(1), NodeId::new(3), 0, 0),
+            TICKS_PER_UNIT
+        );
         assert_eq!(d.delay_ticks(NodeId::new(1), NodeId::new(2), 0, 0), 1);
     }
 
     #[test]
     fn burst_delay_alternates() {
         let mut d = BurstDelay::new(4, 0.5);
-        assert_eq!(d.delay_ticks(NodeId::new(0), NodeId::new(1), 0, 0), TICKS_PER_UNIT);
+        assert_eq!(
+            d.delay_ticks(NodeId::new(0), NodeId::new(1), 0, 0),
+            TICKS_PER_UNIT
+        );
         assert_eq!(
             d.delay_ticks(NodeId::new(0), NodeId::new(1), 3 * TICKS_PER_UNIT, 0),
             1

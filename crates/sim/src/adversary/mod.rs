@@ -6,5 +6,7 @@
 mod delay;
 mod wake;
 
-pub use delay::{AdversarialDelay, BurstDelay, DelayStrategy, RandomDelay, TargetedDelay, UnitDelay};
+pub use delay::{
+    AdversarialDelay, BurstDelay, DelayStrategy, RandomDelay, TargetedDelay, UnitDelay,
+};
 pub use wake::WakeSchedule;

@@ -28,7 +28,9 @@ pub struct WakeSchedule {
 impl WakeSchedule {
     /// Wakes a single node at time 0.
     pub fn single(node: NodeId) -> WakeSchedule {
-        WakeSchedule { entries: vec![(0, node)] }
+        WakeSchedule {
+            entries: vec![(0, node)],
+        }
     }
 
     /// Wakes all given nodes at time 0.
@@ -83,7 +85,11 @@ impl WakeSchedule {
         gap_units: f64,
     ) -> WakeSchedule {
         assert!(count >= 1, "need at least one awake node");
-        assert!(count <= graph.n(), "cannot wake {count} of {} nodes", graph.n());
+        assert!(
+            count <= graph.n(),
+            "cannot wake {count} of {} nodes",
+            graph.n()
+        );
         let mut chosen = vec![start];
         while chosen.len() < count {
             let dist = wakeup_graph::algo::multi_source_distances(graph, &chosen);

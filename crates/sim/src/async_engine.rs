@@ -1,13 +1,35 @@
 //! The asynchronous discrete-event engine.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+//!
+//! # Event-queue design
+//!
+//! Delays are clamped to `[1, τ]` ticks at the single dispatch site, and the
+//! per-channel FIFO horizon is bounded by induction (each clamp target was
+//! itself scheduled ≤ τ ticks past an earlier, hence no later, send tick), so
+//! **every delivery lands in `(now, now + τ]`** where `now` is the engine's
+//! monotone tick cursor. That invariant lets a fixed-size bucketed timer
+//! wheel of `≥ τ + 1` slots replace a binary heap: O(1) insert, O(1)
+//! amortized pop, no per-event comparisons. Adversary wake-ups are the only
+//! events that may lie arbitrarily far in the future; they are known upfront
+//! and handled by a cursor over a stably tick-sorted list.
+//!
+//! Processing order is identical to the seed heap implementation's
+//! `(tick, seq)` order without materializing sequence numbers: at every tick,
+//! schedule wakes run first (they received the globally smallest sequence
+//! numbers at setup, in schedule order), then the tick's deliveries in bucket
+//! insertion order (pushes happen in send order, and a bucket never receives
+//! events for two different ticks while live, so insertion order *is*
+//! sequence order).
+//!
+//! Message payloads live out-of-line in a [`MsgSlab`] (a `Vec` with a free
+//! list), keeping wheel entries small `Copy` structs; per-channel FIFO
+//! horizons and sequence counters are flat arrays indexed by the dense
+//! directed-edge slots of [`NodeTables`].
 
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_graph::NodeId;
 
 use crate::adversary::{DelayStrategy, UnitDelay, WakeSchedule};
-use crate::bits::BitStr;
+use crate::bits::{BitStr, DenseBits};
 use crate::knowledge::Port;
 use crate::message::{ChannelModel, Payload};
 use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
@@ -43,7 +65,7 @@ impl Default for AsyncConfig {
     fn default() -> AsyncConfig {
         AsyncConfig {
             channel: ChannelModel::Local,
-            seed: 0xDEFA_17,
+            seed: 0xDEFA17,
             shared_seed: 0x5EED,
             advice: None,
             max_events: 50_000_000,
@@ -54,33 +76,166 @@ impl Default for AsyncConfig {
     }
 }
 
-#[derive(Debug)]
-enum EventKind<M> {
-    Wake(NodeId),
-    Deliver { to: NodeId, port: Port, from: NodeId, msg: M },
+/// Ring size: the smallest power of two covering the `τ + 1`-tick delivery
+/// horizon (power of two so the modulo is a mask).
+const WHEEL_SIZE: usize = (TICKS_PER_UNIT as usize + 1).next_power_of_two();
+const WHEEL_MASK: u64 = (WHEEL_SIZE - 1) as u64;
+const WHEEL_WORDS: usize = WHEEL_SIZE / 64;
+
+/// Out-of-line message storage: a slab with a free list. Queue entries carry
+/// a `u32` handle instead of the payload, so they stay small and `Copy`
+/// whatever the protocol's message type is.
+pub(crate) struct MsgSlab<M> {
+    slots: Vec<Option<M>>,
+    free: Vec<u32>,
 }
 
-#[derive(Debug)]
-struct Event<M> {
-    tick: u64,
-    seq: u64,
-    kind: EventKind<M>,
+impl<M> MsgSlab<M> {
+    pub(crate) fn new() -> MsgSlab<M> {
+        MsgSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Stores `msg`, reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, msg: M) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none());
+                self.slots[i as usize] = Some(msg);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("slab handle fits u32");
+                self.slots.push(Some(msg));
+                i
+            }
+        }
+    }
+
+    /// Removes and returns the message behind `handle`, freeing its slot.
+    pub(crate) fn take(&mut self, handle: u32) -> M {
+        let msg = self.slots[handle as usize]
+            .take()
+            .expect("slab handle taken twice");
+        self.free.push(handle);
+        msg
+    }
+
+    /// Number of live (inserted, not yet taken) messages.
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Number of slots ever allocated (high-water mark of `live`).
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.tick == other.tick && self.seq == other.seq
-    }
+/// A pending delivery: 16 bytes, `Copy`, payload behind a slab handle.
+#[derive(Clone, Copy, Debug)]
+struct DeliverEntry {
+    to: u32,
+    from: u32,
+    /// Receiver-side port number (1-based).
+    rport: u32,
+    msg: u32,
 }
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Bucketed timer wheel over the delivery horizon, with a word-packed
+/// occupancy bitmap for skipping empty ticks.
+struct TimerWheel<M> {
+    buckets: Vec<Vec<DeliverEntry>>,
+    occupied: [u64; WHEEL_WORDS],
+    len: usize,
+    slab: MsgSlab<M>,
+    /// Drained-bucket storage kept around so steady-state ticks reuse one
+    /// allocation instead of churning.
+    spare: Vec<DeliverEntry>,
 }
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.tick, self.seq).cmp(&(other.tick, other.seq))
+
+impl<M> TimerWheel<M> {
+    fn new() -> TimerWheel<M> {
+        TimerWheel {
+            buckets: (0..WHEEL_SIZE).map(|_| Vec::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            len: 0,
+            slab: MsgSlab::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Schedules `entry` for `deliver`, which must lie in the horizon
+    /// `(now, now + τ]` — the FIFO-clamp induction guarantees it, and the
+    /// assert keeps the wheel honest against future delay strategies.
+    fn push(&mut self, now: u64, deliver: u64, entry: DeliverEntry) {
+        assert!(
+            deliver > now && deliver - now <= TICKS_PER_UNIT,
+            "delivery tick {deliver} outside wheel horizon ({now}, {now} + τ]"
+        );
+        let b = (deliver & WHEEL_MASK) as usize;
+        if self.buckets[b].is_empty() {
+            self.occupied[b / 64] |= 1 << (b % 64);
+        }
+        self.buckets[b].push(entry);
+        self.len += 1;
+    }
+
+    /// Removes and returns the bucket for `tick`. While the caller iterates
+    /// it, pushes can only target *other* buckets (deliveries always land
+    /// strictly later, and the horizon is narrower than the ring), so the
+    /// bucket cannot grow behind the caller's back. Return the storage via
+    /// [`TimerWheel::restore_bucket`].
+    fn take_bucket(&mut self, tick: u64) -> Vec<DeliverEntry> {
+        let b = (tick & WHEEL_MASK) as usize;
+        self.occupied[b / 64] &= !(1 << (b % 64));
+        let bucket = std::mem::replace(&mut self.buckets[b], std::mem::take(&mut self.spare));
+        self.len -= bucket.len();
+        bucket
+    }
+
+    fn restore_bucket(&mut self, mut bucket: Vec<DeliverEntry>) {
+        bucket.clear();
+        self.spare = bucket;
+    }
+
+    /// The earliest tick strictly after `now` holding a delivery, if any.
+    fn next_occupied_after(&self, now: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let start = ((now + 1) & WHEEL_MASK) as usize;
+        let pos = self
+            .scan_from(start)
+            .expect("non-empty wheel has an occupied bucket");
+        let dist = (pos + WHEEL_SIZE - start) & (WHEEL_SIZE - 1);
+        Some(now + 1 + dist as u64)
+    }
+
+    /// First occupied ring position at or cyclically after `start`.
+    fn scan_from(&self, start: usize) -> Option<usize> {
+        let (sw, sb) = (start / 64, start % 64);
+        let first = self.occupied[sw] & (!0u64 << sb);
+        if first != 0 {
+            return Some(sw * 64 + first.trailing_zeros() as usize);
+        }
+        for i in 1..=WHEEL_WORDS {
+            let idx = (sw + i) % WHEEL_WORDS;
+            let word = if idx == sw {
+                // Wrapped all the way around: only the bits below `start`.
+                self.occupied[idx] & !(!0u64 << sb)
+            } else {
+                self.occupied[idx]
+            };
+            if word != 0 {
+                return Some(idx * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
     }
 }
 
@@ -112,10 +267,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         let protocols = (0..net.n())
             .map(|v| {
                 let node = NodeId::new(v);
-                let advice = config
-                    .advice
-                    .as_ref()
-                    .map_or(&empty, |a| &a[v]);
+                let advice = config.advice.as_ref().map_or(&empty, |a| &a[v]);
                 let init = NodeInit {
                     id: net.ids().id(node),
                     degree: net.graph().degree(node),
@@ -132,7 +284,12 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 P::init(&init)
             })
             .collect();
-        AsyncEngine { net, tables, config, protocols }
+        AsyncEngine {
+            net,
+            tables,
+            config,
+            protocols,
+        }
     }
 
     /// Runs with per-message delay τ (the [`UnitDelay`] strategy).
@@ -149,141 +306,99 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
     /// protocol states for post-hoc inspection (e.g. checking Claim 4's
     /// per-node token-forwarding bound on `DfsRank`).
     pub fn run_into_parts(
-        mut self,
+        self,
         schedule: &WakeSchedule,
         delays: &mut dyn DelayStrategy,
     ) -> (RunReport, Vec<P>) {
-        let n = self.net.n();
-        let mut metrics = Metrics::new(n);
-        let mut outputs: Vec<Option<u64>> = vec![None; n];
-        let mut awake = vec![false; n];
-        let mut awake_count = 0usize;
-        let mut queue: BinaryHeap<Reverse<Event<P::Msg>>> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let mut last_scheduled: HashMap<u64, u64> = HashMap::new();
-        let mut channel_seq: HashMap<u64, u64> = HashMap::new();
-        let mut ports_touched: Vec<HashSet<u32>> = if self.config.track_ports {
-            vec![HashSet::new(); n]
-        } else {
-            Vec::new()
+        let AsyncEngine {
+            net,
+            tables,
+            config,
+            protocols,
+        } = self;
+        let n = net.n();
+        // Stable sort: equal-tick wakes keep schedule order, matching the
+        // sequence numbers the seed heap implementation assigned at setup.
+        let mut wakes: Vec<(u64, NodeId)> = schedule.entries().to_vec();
+        wakes.sort_by_key(|&(tick, _)| tick);
+        let mut st = RunState {
+            net,
+            tables: &tables,
+            config: &config,
+            protocols,
+            metrics: Metrics::new(n),
+            outputs: vec![None; n],
+            awake: vec![false; n],
+            awake_count: 0,
+            wheel: TimerWheel::new(),
+            channel_next: vec![0; tables.directed_edges()],
+            channel_seq: vec![0; tables.directed_edges()],
+            ports_touched: if config.track_ports {
+                DenseBits::new(tables.directed_edges())
+            } else {
+                DenseBits::default()
+            },
+            trace: config.trace_capacity.map(Trace::with_capacity),
+            outbox_buf: Vec::new(),
         };
-        let mut trace: Option<Trace> = self.config.trace_capacity.map(Trace::with_capacity);
-        for &(tick, node) in schedule.entries() {
-            queue.push(Reverse(Event { tick, seq, kind: EventKind::Wake(node) }));
-            seq += 1;
-        }
+        let mut wake_cursor = 0usize;
         let mut processed = 0u64;
         let mut truncated = false;
-        while let Some(Reverse(event)) = queue.pop() {
-            processed += 1;
-            if processed > self.config.max_events {
-                truncated = true;
-                break;
-            }
-            let tick = event.tick;
-            match event.kind {
-                EventKind::Wake(v) => {
-                    if awake[v.index()] {
-                        continue;
+        if let Some(&(first_tick, _)) = wakes.first() {
+            let mut now = first_tick;
+            'ticks: loop {
+                // Schedule wakes at `now` run before this tick's deliveries
+                // (their sequence numbers predate every send).
+                while wake_cursor < wakes.len() && wakes[wake_cursor].0 == now {
+                    let v = wakes[wake_cursor].1;
+                    wake_cursor += 1;
+                    processed += 1;
+                    if processed > config.max_events {
+                        truncated = true;
+                        break 'ticks;
                     }
-                    wake_node(
-                        &mut self.protocols,
-                        self.net,
-                        &self.tables,
-                        v,
-                        WakeCause::Adversary,
-                        tick,
-                        &mut awake,
-                        &mut awake_count,
-                        &mut metrics,
-                        &mut outputs,
-                        &mut queue,
-                        &mut seq,
-                        &mut last_scheduled,
-                        &mut channel_seq,
-                        &mut ports_touched,
-                        &mut trace,
-                        &self.config,
-                        delays,
-                    );
+                    if !st.awake[v.index()] {
+                        st.wake_node(v, WakeCause::Adversary, now, delays);
+                    }
                 }
-                EventKind::Deliver { to, port, from, msg } => {
-                    if let Some(tr) = trace.as_mut() {
-                        tr.record(TraceEvent::Deliver { tick, from, to });
+                let bucket = st.wheel.take_bucket(now);
+                for &entry in &bucket {
+                    processed += 1;
+                    if processed > config.max_events {
+                        // Undelivered payloads stay in the slab and are
+                        // dropped with the engine, like the seed heap's.
+                        truncated = true;
+                        break 'ticks;
                     }
-                    metrics.received_by[to.index()] += 1;
-                    metrics.last_receipt_tick =
-                        Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
-                    if self.config.track_ports {
-                        ports_touched[to.index()].insert(port.number() as u32);
-                    }
-                    if !awake[to.index()] {
-                        wake_node(
-                            &mut self.protocols,
-                            self.net,
-                            &self.tables,
-                            to,
-                            WakeCause::Message,
-                            tick,
-                            &mut awake,
-                            &mut awake_count,
-                            &mut metrics,
-                            &mut outputs,
-                            &mut queue,
-                            &mut seq,
-                            &mut last_scheduled,
-                            &mut channel_seq,
-                            &mut ports_touched,
-                            &mut trace,
-                            &self.config,
-                            delays,
-                        );
-                    }
-                    let sender_id = match self.net.mode() {
-                        crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(from)),
-                        crate::knowledge::KnowledgeMode::Kt0 => None,
-                    };
-                    let incoming = Incoming { port, sender_id };
-                    let mut ctx = Context::new(
-                        to,
-                        self.net.graph().degree(to),
-                        self.net.mode(),
-                        &self.tables.id_to_port[to.index()],
-                        &mut outputs[to.index()],
-                    );
-                    self.protocols[to.index()].on_message(&mut ctx, incoming, msg);
-                    dispatch_outbox(
-                        ctx.into_outbox(),
-                        to,
-                        tick,
-                        self.net,
-                        &mut metrics,
-                        &mut queue,
-                        &mut seq,
-                        &mut last_scheduled,
-                        &mut channel_seq,
-                        &mut ports_touched,
-                        &mut trace,
-                        &self.config,
-                        delays,
-                    );
+                    st.deliver(entry, now, delays);
                 }
+                st.wheel.restore_bucket(bucket);
+                let next_wake = wakes.get(wake_cursor).map(|&(tick, _)| tick);
+                now = match (next_wake, st.wheel.next_occupied_after(now)) {
+                    (Some(w), Some(d)) => w.min(d),
+                    (Some(w), None) => w,
+                    (None, Some(d)) => d,
+                    (None, None) => break,
+                };
             }
         }
-        if self.config.track_ports {
-            for (v, set) in ports_touched.iter().enumerate() {
-                metrics.ports_used[v] = set.len() as u32;
+        if config.track_ports {
+            for v in 0..n {
+                st.metrics.ports_used[v] = st
+                    .ports_touched
+                    .count_range(tables.edge_offset[v], tables.edge_offset[v + 1])
+                    as u32;
             }
         }
         let report = RunReport {
-            all_awake: awake_count == n,
+            all_awake: st.awake_count == n,
             rounds: 0,
-            outputs,
+            outputs: st.outputs,
             truncated,
-            metrics,
-            trace,
+            metrics: st.metrics,
+            trace: st.trace,
         };
-        (report, self.protocols)
+        (report, st.protocols)
     }
 }
 
@@ -291,125 +406,162 @@ fn self_is_kt1(net: &Network) -> bool {
     net.mode() == crate::knowledge::KnowledgeMode::Kt1
 }
 
-#[allow(clippy::too_many_arguments)]
-fn wake_node<P: AsyncProtocol>(
-    protocols: &mut [P],
-    net: &Network,
-    tables: &NodeTables,
-    v: NodeId,
-    cause: WakeCause,
-    tick: u64,
-    awake: &mut [bool],
-    awake_count: &mut usize,
-    metrics: &mut Metrics,
-    outputs: &mut [Option<u64>],
-    queue: &mut BinaryHeap<Reverse<Event<P::Msg>>>,
-    seq: &mut u64,
-    last_scheduled: &mut HashMap<u64, u64>,
-    channel_seq: &mut HashMap<u64, u64>,
-    ports_touched: &mut [HashSet<u32>],
-    trace: &mut Option<Trace>,
-    config: &AsyncConfig,
-    delays: &mut dyn DelayStrategy,
-) {
-    if let Some(tr) = trace.as_mut() {
-        tr.record(TraceEvent::Wake { tick, node: v, cause });
-    }
-    awake[v.index()] = true;
-    *awake_count += 1;
-    metrics.wake_tick[v.index()] = Some(tick);
-    metrics.first_wake_tick = Some(metrics.first_wake_tick.map_or(tick, |t| t.min(tick)));
-    if *awake_count == awake.len() {
-        metrics.all_awake_tick = Some(tick);
-    }
-    let mut ctx = Context::new(
-        v,
-        net.graph().degree(v),
-        net.mode(),
-        &tables.id_to_port[v.index()],
-        &mut outputs[v.index()],
-    );
-    protocols[v.index()].on_wake(&mut ctx, cause);
-    dispatch_outbox(
-        ctx.into_outbox(),
-        v,
-        tick,
-        net,
-        metrics,
-        queue,
-        seq,
-        last_scheduled,
-        channel_seq,
-        ports_touched,
-        trace,
-        config,
-        delays,
-    );
+/// All mutable state of one engine run, so the wake/deliver/dispatch helpers
+/// are methods instead of functions threading a dozen `&mut` parameters.
+struct RunState<'e, P: AsyncProtocol> {
+    net: &'e Network,
+    tables: &'e NodeTables,
+    config: &'e AsyncConfig,
+    protocols: Vec<P>,
+    metrics: Metrics,
+    outputs: Vec<Option<u64>>,
+    awake: Vec<bool>,
+    awake_count: usize,
+    wheel: TimerWheel<P::Msg>,
+    /// Per directed-edge slot: latest delivery tick scheduled on the channel
+    /// (the FIFO horizon — the seed's `last_scheduled` hash map, flattened).
+    channel_next: Vec<u64>,
+    /// Per directed-edge slot: messages sent so far on the channel.
+    channel_seq: Vec<u64>,
+    /// Directed-edge slots over which a message was sent or received; empty
+    /// unless `track_ports`.
+    ports_touched: DenseBits,
+    trace: Option<Trace>,
+    /// Reusable outbox buffer lent to every handler invocation.
+    outbox_buf: Vec<(Port, P::Msg)>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dispatch_outbox<M: Payload>(
-    outbox: Vec<(Port, M)>,
-    from: NodeId,
-    tick: u64,
-    net: &Network,
-    metrics: &mut Metrics,
-    queue: &mut BinaryHeap<Reverse<Event<M>>>,
-    seq: &mut u64,
-    last_scheduled: &mut HashMap<u64, u64>,
-    channel_seq: &mut HashMap<u64, u64>,
-    ports_touched: &mut [HashSet<u32>],
-    trace: &mut Option<Trace>,
-    config: &AsyncConfig,
-    delays: &mut dyn DelayStrategy,
-) {
-    for (port, msg) in outbox {
-        let to = net.ports().neighbor(from, port);
-        let bits = msg.size_bits();
-        if let Some(tr) = trace.as_mut() {
-            tr.record(TraceEvent::Send { tick, from, to, bits });
+impl<P: AsyncProtocol> RunState<'_, P> {
+    fn wake_node(
+        &mut self,
+        v: NodeId,
+        cause: WakeCause,
+        tick: u64,
+        delays: &mut dyn DelayStrategy,
+    ) {
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::Wake {
+                tick,
+                node: v,
+                cause,
+            });
         }
-        if !config.channel.permits(bits) {
-            if config.record_congest_violations {
-                metrics.congest_violations += 1;
-            } else {
-                panic!(
-                    "CONGEST violation: {bits}-bit message from {from} exceeds {:?}",
-                    config.channel
-                );
+        self.awake[v.index()] = true;
+        self.awake_count += 1;
+        self.metrics.wake_tick[v.index()] = Some(tick);
+        self.metrics.first_wake_tick =
+            Some(self.metrics.first_wake_tick.map_or(tick, |t| t.min(tick)));
+        if self.awake_count == self.awake.len() {
+            self.metrics.all_awake_tick = Some(tick);
+        }
+        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        let mut ctx = Context::new(
+            v,
+            self.net.graph().degree(v),
+            self.net.mode(),
+            &self.tables.id_to_port[v.index()],
+            &mut outbox,
+            &mut self.outputs[v.index()],
+        );
+        self.protocols[v.index()].on_wake(&mut ctx, cause);
+        self.dispatch_outbox(&mut outbox, v, tick, delays);
+        self.outbox_buf = outbox;
+    }
+
+    fn deliver(&mut self, entry: DeliverEntry, tick: u64, delays: &mut dyn DelayStrategy) {
+        let to = NodeId::new(entry.to as usize);
+        let from = NodeId::new(entry.from as usize);
+        let msg = self.wheel.slab.take(entry.msg);
+        if let Some(tr) = self.trace.as_mut() {
+            tr.record(TraceEvent::Deliver { tick, from, to });
+        }
+        self.metrics.received_by[to.index()] += 1;
+        self.metrics.last_receipt_tick =
+            Some(self.metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
+        let rport = Port::new(entry.rport as usize);
+        if self.config.track_ports {
+            self.ports_touched.set(self.tables.slot(to, rport));
+        }
+        if !self.awake[to.index()] {
+            self.wake_node(to, WakeCause::Message, tick, delays);
+        }
+        let sender_id = match self.net.mode() {
+            crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(from)),
+            crate::knowledge::KnowledgeMode::Kt0 => None,
+        };
+        let incoming = Incoming {
+            port: rport,
+            sender_id,
+        };
+        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        let mut ctx = Context::new(
+            to,
+            self.net.graph().degree(to),
+            self.net.mode(),
+            &self.tables.id_to_port[to.index()],
+            &mut outbox,
+            &mut self.outputs[to.index()],
+        );
+        self.protocols[to.index()].on_message(&mut ctx, incoming, msg);
+        self.dispatch_outbox(&mut outbox, to, tick, delays);
+        self.outbox_buf = outbox;
+    }
+
+    fn dispatch_outbox(
+        &mut self,
+        outbox: &mut Vec<(Port, P::Msg)>,
+        from: NodeId,
+        tick: u64,
+        delays: &mut dyn DelayStrategy,
+    ) {
+        for (port, msg) in outbox.drain(..) {
+            let slot = self.tables.slot(from, port);
+            let to = NodeId::new(self.tables.edge_to[slot] as usize);
+            let bits = msg.size_bits();
+            if let Some(tr) = self.trace.as_mut() {
+                tr.record(TraceEvent::Send {
+                    tick,
+                    from,
+                    to,
+                    bits,
+                });
             }
+            if !self.config.channel.permits(bits) {
+                if self.config.record_congest_violations {
+                    self.metrics.congest_violations += 1;
+                } else {
+                    panic!(
+                        "CONGEST violation: {bits}-bit message from {from} exceeds {:?}",
+                        self.config.channel
+                    );
+                }
+            }
+            self.metrics.messages_sent += 1;
+            self.metrics.bits_sent += bits as u64;
+            self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+            self.metrics.sent_by[from.index()] += 1;
+            if self.config.track_ports {
+                self.ports_touched.set(slot);
+            }
+            let delay = delays
+                .delay_ticks(from, to, tick, self.channel_seq[slot])
+                .clamp(1, TICKS_PER_UNIT);
+            self.channel_seq[slot] += 1;
+            // FIFO per channel: never deliver before an earlier message on
+            // the same channel; equal ticks keep send order because bucket
+            // insertion order is send order.
+            let deliver = (tick + delay).max(self.channel_next[slot]);
+            self.channel_next[slot] = deliver;
+            // The receiver-side port is the paper's port_to(to, from),
+            // precomputed per directed edge.
+            let entry = DeliverEntry {
+                to: self.tables.edge_to[slot],
+                from: from.index() as u32,
+                rport: self.tables.rev_port[slot],
+                msg: self.wheel.slab.insert(msg),
+            };
+            self.wheel.push(tick, deliver, entry);
         }
-        metrics.messages_sent += 1;
-        metrics.bits_sent += bits as u64;
-        metrics.max_message_bits = metrics.max_message_bits.max(bits);
-        metrics.sent_by[from.index()] += 1;
-        if config.track_ports {
-            ports_touched[from.index()].insert(port.number() as u32);
-        }
-        let key = ((from.index() as u64) << 32) | to.index() as u64;
-        let cseq = channel_seq.entry(key).or_insert(0);
-        let delay = delays
-            .delay_ticks(from, to, tick, *cseq)
-            .clamp(1, TICKS_PER_UNIT);
-        *cseq += 1;
-        let naive = tick + delay;
-        let slot = last_scheduled.entry(key).or_insert(0);
-        // FIFO per channel: never deliver before an earlier message on the
-        // same channel; equal ticks are ordered by the global sequence
-        // number, which increases in send order.
-        let deliver = naive.max(*slot);
-        *slot = deliver;
-        // The receiver-side port is the paper's port_to(to, from).
-        let rport = net
-            .ports()
-            .port_to(to, from)
-            .expect("messages travel along graph edges");
-        queue.push(Reverse(Event {
-            tick: deliver,
-            seq: *seq,
-            kind: EventKind::Deliver { to, port: rport, from, msg },
-        }));
-        *seq += 1;
     }
 }
 
@@ -581,7 +733,10 @@ mod tests {
     #[test]
     fn port_tracking_counts_distinct_ports() {
         let net = Network::kt0(generators::star(6).unwrap(), 2);
-        let config = AsyncConfig { track_ports: true, ..AsyncConfig::default() };
+        let config = AsyncConfig {
+            track_ports: true,
+            ..AsyncConfig::default()
+        };
         let report =
             AsyncEngine::<Flood>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
         // The hub broadcasts on all 5 ports and receives back on all 5.
@@ -609,7 +764,10 @@ mod tests {
     #[test]
     fn event_cap_truncates_runaway_protocols() {
         let net = Network::kt0(generators::path(2).unwrap(), 0);
-        let config = AsyncConfig { max_events: 100, ..AsyncConfig::default() };
+        let config = AsyncConfig {
+            max_events: 100,
+            ..AsyncConfig::default()
+        };
         let report =
             AsyncEngine::<PingPong>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
         assert!(report.truncated);
@@ -630,7 +788,10 @@ mod tests {
     impl AsyncProtocol for FifoProbe {
         type Msg = Seq;
         fn init(init: &NodeInit<'_>) -> Self {
-            FifoProbe { got: Vec::new(), is_sender: init.id == 0 }
+            FifoProbe {
+                got: Vec::new(),
+                is_sender: init.id == 0,
+            }
         }
         fn on_wake(&mut self, ctx: &mut Context<'_, Seq>, _cause: WakeCause) {
             if self.is_sender {
@@ -659,5 +820,129 @@ mod tests {
                 .run_with(&WakeSchedule::single(NodeId::new(0)), &mut delays);
             assert_eq!(report.outputs[1], Some(1), "FIFO violated for seed {seed}");
         }
+    }
+
+    /// Picks strictly decreasing per-channel delays, so without the FIFO
+    /// clamp every later message would overtake the first, and the clamp
+    /// collapses all of them onto one delivery tick — the worst case for
+    /// same-tick ordering.
+    struct DecreasingDelay;
+    impl DelayStrategy for DecreasingDelay {
+        fn delay_ticks(&mut self, _: NodeId, _: NodeId, _: u64, seq: u64) -> u64 {
+            TICKS_PER_UNIT.saturating_sub(seq * 100)
+        }
+    }
+
+    #[test]
+    fn fifo_clamp_keeps_send_order_on_same_tick_ties() {
+        // All 20 sends clamp to the first message's delivery tick: they land
+        // in a single wheel bucket and must come out in send order.
+        let net = Network::kt0(generators::path(2).unwrap(), 0);
+        let report = AsyncEngine::<FifoProbe>::new(&net, AsyncConfig::default())
+            .run_with(&WakeSchedule::single(NodeId::new(0)), &mut DecreasingDelay);
+        assert_eq!(
+            report.outputs[1],
+            Some(1),
+            "same-tick ties broke send order"
+        );
+        // The clamp really did collapse the ticks: every delivery landed on
+        // the first message's tick (wake tick 0 + τ).
+        assert_eq!(report.metrics.last_receipt_tick, Some(TICKS_PER_UNIT));
+    }
+
+    #[test]
+    fn msg_slab_reuses_freed_slots() {
+        let mut slab: MsgSlab<String> = MsgSlab::new();
+        let a = slab.insert("a".into());
+        let b = slab.insert("b".into());
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.take(a), "a");
+        assert_eq!(slab.live(), 1);
+        // The freed slot is recycled: no new capacity allocated.
+        let c = slab.insert("c".into());
+        assert_eq!(c, a);
+        assert_eq!(slab.capacity(), 2);
+        assert_eq!(slab.take(b), "b");
+        assert_eq!(slab.take(c), "c");
+        assert_eq!(slab.live(), 0);
+        // Steady-state churn never grows past the high-water mark.
+        for i in 0..100 {
+            let h = slab.insert(format!("x{i}"));
+            slab.take(h);
+        }
+        assert_eq!(slab.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn msg_slab_double_take_panics() {
+        let mut slab: MsgSlab<u32> = MsgSlab::new();
+        let h = slab.insert(5);
+        slab.take(h);
+        slab.take(h);
+    }
+
+    #[test]
+    fn timer_wheel_scan_finds_next_tick_across_word_boundaries_and_wrap() {
+        let entry = DeliverEntry {
+            to: 0,
+            from: 0,
+            rport: 1,
+            msg: 0,
+        };
+        let mut wheel: TimerWheel<Token> = TimerWheel::new();
+        assert_eq!(wheel.next_occupied_after(0), None);
+        // Same word, later bit.
+        wheel.push(0, 5, entry);
+        assert_eq!(wheel.next_occupied_after(0), Some(5));
+        assert_eq!(wheel.next_occupied_after(4), Some(5));
+        // A later word in the bitmap.
+        wheel.push(0, 300, entry);
+        assert_eq!(wheel.next_occupied_after(5), Some(300));
+        // Ring wrap: drain tick 5's bucket (as the engine does once the
+        // cursor passes it), then occupy the same ring slot one lap later —
+        // the scan must report the wrapped absolute tick.
+        let drained = wheel.take_bucket(5);
+        assert_eq!(drained.len(), 1);
+        wheel.restore_bucket(drained);
+        let far = 5 + WHEEL_SIZE as u64;
+        wheel.push(far - 1, far, entry);
+        assert_eq!(wheel.next_occupied_after(301), Some(far));
+        // Horizon assert: within τ is fine, beyond τ must panic.
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w: TimerWheel<Token> = TimerWheel::new();
+            w.push(10, 10 + TICKS_PER_UNIT, entry);
+        }));
+        assert!(ok.is_ok());
+        let too_far = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut w: TimerWheel<Token> = TimerWheel::new();
+            w.push(10, 11 + TICKS_PER_UNIT, entry);
+        }));
+        assert!(too_far.is_err());
+    }
+
+    #[test]
+    fn timer_wheel_take_restore_keeps_len_and_occupancy() {
+        let entry = DeliverEntry {
+            to: 0,
+            from: 0,
+            rport: 1,
+            msg: 0,
+        };
+        let mut wheel: TimerWheel<Token> = TimerWheel::new();
+        wheel.push(0, 3, entry);
+        wheel.push(0, 3, entry);
+        wheel.push(0, 9, entry);
+        assert_eq!(wheel.len, 3);
+        let bucket = wheel.take_bucket(3);
+        assert_eq!(bucket.len(), 2);
+        assert_eq!(wheel.len, 1);
+        wheel.restore_bucket(bucket);
+        assert_eq!(wheel.next_occupied_after(3), Some(9));
+        let bucket = wheel.take_bucket(9);
+        assert_eq!(bucket.len(), 1);
+        wheel.restore_bucket(bucket);
+        assert_eq!(wheel.next_occupied_after(3), None);
+        assert_eq!(wheel.len, 0);
     }
 }

@@ -119,7 +119,10 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Creates a reader at the start of `s`.
     pub fn new(s: &'a BitStr) -> BitReader<'a> {
-        BitReader { bits: s.as_slice(), pos: 0 }
+        BitReader {
+            bits: s.as_slice(),
+            pos: 0,
+        }
     }
 
     /// Bits remaining.
@@ -151,11 +154,8 @@ impl<'a> BitReader<'a> {
     /// Reads an Elias-gamma coded value; `None` on malformed/short input.
     pub fn read_gamma(&mut self) -> Option<u64> {
         let mut zeros = 0usize;
-        loop {
-            match self.read_bool()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !self.read_bool()? {
+            zeros += 1;
             if zeros > 64 {
                 return None;
             }
@@ -163,6 +163,89 @@ impl<'a> BitReader<'a> {
         // The leading 1 has been consumed; read the remaining `zeros` bits.
         let rest = self.read_bits(zeros)?;
         Some((1u64 << zeros) | rest)
+    }
+}
+
+/// A fixed-size dense bitset over `0..len`, word-packed.
+///
+/// The engines use one of these (indexed by directed-edge slot) to track the
+/// distinct ports each node has communicated over — replacing a
+/// `HashSet<u32>` per node with two machine instructions per touch and a
+/// popcount per node at report time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DenseBits {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseBits {
+    /// An all-zero bitset with `len` addressable bits.
+    pub fn new(len: usize) -> DenseBits {
+        DenseBits {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset addresses zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range for {} bits", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for {} bits", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits in `start..end` (half-open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    pub fn count_range(&self, start: usize, end: usize) -> usize {
+        assert!(
+            start <= end && end <= self.len,
+            "range {start}..{end} out of bounds"
+        );
+        if start == end {
+            return 0;
+        }
+        let (first_word, last_word) = (start / 64, (end - 1) / 64);
+        let lo_mask = !0u64 << (start % 64);
+        let hi_mask = !0u64 >> (63 - (end - 1) % 64);
+        if first_word == last_word {
+            return (self.words[first_word] & lo_mask & hi_mask).count_ones() as usize;
+        }
+        let mut total = (self.words[first_word] & lo_mask).count_ones() as usize;
+        for w in &self.words[first_word + 1..last_word] {
+            total += w.count_ones() as usize;
+        }
+        total + (self.words[last_word] & hi_mask).count_ones() as usize
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 }
 
@@ -265,6 +348,51 @@ mod tests {
         assert_eq!(width_for(4), 2);
         assert_eq!(width_for(5), 3);
         assert_eq!(width_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn dense_bits_set_get() {
+        let mut b = DenseBits::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(128));
+        assert_eq!(b.count_ones(), 4);
+        // Idempotent.
+        b.set(64);
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn dense_bits_count_range() {
+        let mut b = DenseBits::new(200);
+        for i in [0usize, 5, 63, 64, 65, 127, 128, 199] {
+            b.set(i);
+        }
+        assert_eq!(b.count_range(0, 200), 8);
+        assert_eq!(b.count_range(0, 0), 0);
+        assert_eq!(b.count_range(5, 6), 1);
+        assert_eq!(b.count_range(6, 63), 0);
+        assert_eq!(b.count_range(63, 65), 2);
+        assert_eq!(b.count_range(64, 128), 3);
+        assert_eq!(b.count_range(128, 200), 2);
+        // Brute-force cross-check on every aligned/unaligned boundary pair.
+        for start in 0..=200 {
+            for end in start..=200 {
+                let brute = (start..end).filter(|&i| b.get(i)).count();
+                assert_eq!(b.count_range(start, end), brute, "range {start}..{end}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_bits_set_out_of_range_panics() {
+        DenseBits::new(10).set(10);
     }
 
     #[test]

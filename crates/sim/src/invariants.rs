@@ -56,11 +56,7 @@ pub enum ViolationKind {
 ///
 /// `completed` should be true when the engine ran to quiescence (enables the
 /// conservation check, which does not hold for truncated runs).
-pub fn check_standard_invariants(
-    trace: &Trace,
-    net: &Network,
-    completed: bool,
-) -> Vec<Violation> {
+pub fn check_standard_invariants(trace: &Trace, net: &Network, completed: bool) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut sends: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
     let mut delivers: HashMap<(NodeId, NodeId), Vec<u64>> = HashMap::new();
@@ -236,7 +232,9 @@ mod tests {
             bits: 1,
         });
         let violations = check_standard_invariants(&trace, &net, false);
-        assert!(violations.iter().any(|v| v.kind == ViolationKind::NonEdgeTraffic));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::NonEdgeTraffic));
     }
 
     #[test]
@@ -246,13 +244,35 @@ mod tests {
         let (a, b) = (NodeId::new(0), NodeId::new(1));
         let mut trace = Trace::default();
         // Two sends, delivered out of order and one too late.
-        trace.record(TraceEvent::Send { tick: 0, from: a, to: b, bits: 1 });
-        trace.record(TraceEvent::Send { tick: 10, from: a, to: b, bits: 1 });
-        trace.record(TraceEvent::Deliver { tick: 5000, from: a, to: b });
-        trace.record(TraceEvent::Deliver { tick: 100, from: a, to: b });
+        trace.record(TraceEvent::Send {
+            tick: 0,
+            from: a,
+            to: b,
+            bits: 1,
+        });
+        trace.record(TraceEvent::Send {
+            tick: 10,
+            from: a,
+            to: b,
+            bits: 1,
+        });
+        trace.record(TraceEvent::Deliver {
+            tick: 5000,
+            from: a,
+            to: b,
+        });
+        trace.record(TraceEvent::Deliver {
+            tick: 100,
+            from: a,
+            to: b,
+        });
         let violations = check_standard_invariants(&trace, &net, true);
-        assert!(violations.iter().any(|v| v.kind == ViolationKind::FifoOrder));
-        assert!(violations.iter().any(|v| v.kind == ViolationKind::DelayBound));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::FifoOrder));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::DelayBound));
     }
 
     #[test]
@@ -260,9 +280,16 @@ mod tests {
         let g = generators::path(2).unwrap();
         let net = Network::kt0(g, 0);
         let mut trace = Trace::default();
-        trace.record(TraceEvent::Send { tick: 0, from: NodeId::new(0), to: NodeId::new(1), bits: 1 });
+        trace.record(TraceEvent::Send {
+            tick: 0,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            bits: 1,
+        });
         let violations = check_standard_invariants(&trace, &net, true);
-        assert!(violations.iter().any(|v| v.kind == ViolationKind::Conservation));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Conservation));
     }
 
     #[test]
@@ -276,7 +303,9 @@ mod tests {
             cause: WakeCause::Message,
         });
         let violations = check_standard_invariants(&trace, &net, false);
-        assert!(violations.iter().any(|v| v.kind == ViolationKind::WakeCausality));
+        assert!(violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::WakeCausality));
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl PortAssignment {
             to_neighbor.push(table);
             from_neighbor.push(reverse);
         }
-        PortAssignment { to_neighbor, from_neighbor }
+        PortAssignment {
+            to_neighbor,
+            from_neighbor,
+        }
     }
 
     /// Number of ports at `v` (= its degree).
@@ -141,7 +144,9 @@ pub struct IdAssignment {
 impl IdAssignment {
     /// Identity assignment: node `v` has ID `v`.
     pub fn identity(n: usize) -> IdAssignment {
-        IdAssignment { id_of: (0..n as u64).collect() }
+        IdAssignment {
+            id_of: (0..n as u64).collect(),
+        }
     }
 
     /// A random permutation of `0..n` as IDs.

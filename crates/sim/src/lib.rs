@@ -75,7 +75,7 @@ pub mod trace;
 pub mod viz;
 
 pub use async_engine::{AsyncConfig, AsyncEngine};
-pub use bits::{BitReader, BitStr};
+pub use bits::{BitReader, BitStr, DenseBits};
 pub use knowledge::{IdAssignment, KnowledgeMode, Port, PortAssignment};
 pub use lockstep::Lockstep;
 pub use message::{ChannelModel, Payload};

@@ -31,7 +31,9 @@ impl<P: AsyncProtocol> SyncProtocol for Lockstep<P> {
     type Msg = P::Msg;
 
     fn init(init: &NodeInit<'_>) -> Self {
-        Lockstep { inner: P::init(init) }
+        Lockstep {
+            inner: P::init(init),
+        }
     }
 
     fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause) {
@@ -77,7 +79,7 @@ mod tests {
             }
         }
         fn on_message(&mut self, ctx: &mut Context<'_, Hop>, _: Incoming, msg: Hop) {
-            if self.best.map_or(true, |b| msg.0 < b) {
+            if self.best.is_none_or(|b| msg.0 < b) {
                 self.best = Some(msg.0);
                 ctx.output(u64::from(msg.0));
                 ctx.broadcast(Hop(msg.0 + 1));

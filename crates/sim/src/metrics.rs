@@ -139,6 +139,9 @@ mod tests {
         let mut m = Metrics::new(3);
         m.wake_tick[1] = Some(5);
         assert_eq!(m.awake_count(), 1);
-        assert_eq!(m.wake_time_units(NodeId::new(1)), Some(5.0 / TICKS_PER_UNIT as f64));
+        assert_eq!(
+            m.wake_time_units(NodeId::new(1)),
+            Some(5.0 / TICKS_PER_UNIT as f64)
+        );
     }
 }

@@ -26,7 +26,12 @@ impl Network {
         let mut rng = Xoshiro256::seed_from(seed);
         let ports = PortAssignment::random(&graph, &mut rng);
         let ids = IdAssignment::identity(graph.n());
-        Network { graph, ports, ids, mode: KnowledgeMode::Kt0 }
+        Network {
+            graph,
+            ports,
+            ids,
+            mode: KnowledgeMode::Kt0,
+        }
     }
 
     /// A KT1 network with random IDs (a permutation of `0..n`, matching the
@@ -37,7 +42,12 @@ impl Network {
         let n = graph.n();
         let ports = PortAssignment::canonical(&graph);
         let ids = IdAssignment::random_permutation(n, &mut rng);
-        Network { graph, ports, ids, mode: KnowledgeMode::Kt1 }
+        Network {
+            graph,
+            ports,
+            ids,
+            mode: KnowledgeMode::Kt1,
+        }
     }
 
     /// Full control over every adversarial choice.
@@ -48,7 +58,12 @@ impl Network {
         mode: KnowledgeMode,
     ) -> Network {
         assert_eq!(ids.len(), graph.n(), "ID assignment must cover all nodes");
-        Network { graph, ports, ids, mode }
+        Network {
+            graph,
+            ports,
+            ids,
+            mode,
+        }
     }
 
     /// The topology.
@@ -86,6 +101,13 @@ impl Network {
 }
 
 /// Engine-side lookup tables derived from a network (shared by both engines).
+///
+/// Besides the KT1 ID tables, this holds a *dense directed-edge index*: every
+/// (node, port) pair gets a contiguous slot `edge_offset[v] + port - 1`, so
+/// per-channel state (FIFO horizons, channel sequence numbers, port-usage
+/// bits) lives in flat arrays instead of hash maps, and the receiver-side
+/// port of every channel is precomputed instead of binary-searched per
+/// delivery.
 #[derive(Debug, Clone)]
 pub(crate) struct NodeTables {
     /// Per node: sorted neighbor IDs (empty vectors under KT0).
@@ -93,6 +115,16 @@ pub(crate) struct NodeTables {
     /// Per node: sorted `(neighbor id, port)` pairs (empty under KT0 — KT0
     /// contexts refuse ID addressing anyway).
     pub id_to_port: Vec<Vec<(u64, crate::knowledge::Port)>>,
+    /// Degree prefix sums: node `v`'s directed-edge slots are
+    /// `edge_offset[v] .. edge_offset[v + 1]` (length `n + 1`).
+    pub edge_offset: Vec<usize>,
+    /// `edge_to[slot(v, p)]` = dense index of the neighbor reached from `v`
+    /// via port `p` — the flat form of [`PortAssignment::neighbor`].
+    pub edge_to: Vec<u32>,
+    /// `rev_port[slot(v, p)]` = 1-based port at the *receiving* endpoint
+    /// over which that neighbor sees `v` — the flat form of
+    /// [`PortAssignment::port_to`].
+    pub rev_port: Vec<u32>,
 }
 
 impl NodeTables {
@@ -115,7 +147,43 @@ impl NodeTables {
                 id_to_port[v.index()] = pairs;
             }
         }
-        NodeTables { neighbor_ids, id_to_port }
+        let mut edge_offset = Vec::with_capacity(n + 1);
+        edge_offset.push(0usize);
+        for v in net.graph().nodes() {
+            edge_offset.push(edge_offset[v.index()] + net.graph().degree(v));
+        }
+        let dir_edges = edge_offset[n];
+        let mut edge_to = Vec::with_capacity(dir_edges);
+        let mut rev_port = Vec::with_capacity(dir_edges);
+        for v in net.graph().nodes() {
+            for p in 1..=net.graph().degree(v) {
+                let w = net.ports().neighbor(v, crate::knowledge::Port::new(p));
+                let back = net
+                    .ports()
+                    .port_to(w, v)
+                    .expect("port maps are bijections onto neighbors");
+                edge_to.push(u32::try_from(w.index()).expect("node index fits u32"));
+                rev_port.push(u32::try_from(back.number()).expect("port fits u32"));
+            }
+        }
+        NodeTables {
+            neighbor_ids,
+            id_to_port,
+            edge_offset,
+            edge_to,
+            rev_port,
+        }
+    }
+
+    /// The directed-edge slot of `(v, port)`.
+    #[inline]
+    pub(crate) fn slot(&self, v: NodeId, port: crate::knowledge::Port) -> usize {
+        self.edge_offset[v.index()] + port.index()
+    }
+
+    /// Total number of directed edges (= sum of degrees = 2m).
+    pub(crate) fn directed_edges(&self) -> usize {
+        *self.edge_offset.last().expect("offsets are non-empty")
     }
 }
 
@@ -137,7 +205,10 @@ mod tests {
         let net = Network::kt1(generators::path(40).unwrap(), 5);
         assert_eq!(net.mode(), KnowledgeMode::Kt1);
         let identity = (0..40).all(|v| net.ids().id(NodeId::new(v)) == v as u64);
-        assert!(!identity, "a random permutation of 40 IDs should not be the identity");
+        assert!(
+            !identity,
+            "a random permutation of 40 IDs should not be the identity"
+        );
     }
 
     #[test]
@@ -148,6 +219,55 @@ mod tests {
             assert_eq!(net.node_with_id(id), Some(v));
         }
         assert_eq!(net.node_with_id(999), None);
+    }
+
+    #[test]
+    fn edge_index_matches_port_assignment() {
+        // Random KT0 ports are the adversarial case: slots must agree with
+        // the (permuted) port maps, not with neighbor order.
+        for seed in 0..4 {
+            let g = generators::erdos_renyi_connected(24, 0.25, seed).unwrap();
+            let net = Network::kt0(g, seed);
+            let tables = NodeTables::build(&net);
+            assert_eq!(tables.edge_offset.len(), net.n() + 1);
+            let m2: usize = net.graph().nodes().map(|v| net.graph().degree(v)).sum();
+            assert_eq!(tables.directed_edges(), m2);
+            assert_eq!(tables.edge_to.len(), m2);
+            assert_eq!(tables.rev_port.len(), m2);
+            for v in net.graph().nodes() {
+                for p in 1..=net.graph().degree(v) {
+                    let port = crate::knowledge::Port::new(p);
+                    let slot = tables.slot(v, port);
+                    assert!(
+                        (tables.edge_offset[v.index()]..tables.edge_offset[v.index() + 1])
+                            .contains(&slot)
+                    );
+                    let w = net.ports().neighbor(v, port);
+                    assert_eq!(tables.edge_to[slot] as usize, w.index());
+                    let back = net.ports().port_to(w, v).unwrap();
+                    assert_eq!(tables.rev_port[slot] as usize, back.number());
+                    // The reverse slot maps back: following rev_port from w
+                    // must reach v again.
+                    let back_slot = tables.slot(w, back);
+                    assert_eq!(tables.edge_to[back_slot] as usize, v.index());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_index_slots_are_dense_and_disjoint() {
+        let net = Network::kt1(generators::star(7).unwrap(), 2);
+        let tables = NodeTables::build(&net);
+        // Star: hub degree 6, leaves degree 1 => slots 0..6 hub, then one each.
+        assert_eq!(tables.edge_offset, vec![0, 6, 7, 8, 9, 10, 11, 12]);
+        let mut seen = std::collections::HashSet::new();
+        for v in net.graph().nodes() {
+            for p in 1..=net.graph().degree(v) {
+                assert!(seen.insert(tables.slot(v, crate::knowledge::Port::new(p))));
+            }
+        }
+        assert_eq!(seen.len(), tables.directed_edges());
     }
 
     #[test]

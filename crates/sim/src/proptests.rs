@@ -5,6 +5,50 @@
 use proptest::prelude::*;
 
 use crate::bits::{width_for, BitReader, BitStr};
+use crate::knowledge::Port;
+use crate::message::Payload;
+use crate::protocol::{AsyncProtocol, Context, Incoming, NodeInit, WakeCause};
+
+#[derive(Debug, Clone)]
+struct SeqMsg(u32);
+impl Payload for SeqMsg {
+    fn size_bits(&self) -> usize {
+        32
+    }
+}
+
+/// Sender pushes `shared_seed` numbered messages down one channel; the
+/// receiver outputs 1 iff every message arrived, in send order.
+struct OrderProbe {
+    next_expected: u32,
+    ok: bool,
+    to_send: u32,
+    is_sender: bool,
+}
+
+impl AsyncProtocol for OrderProbe {
+    type Msg = SeqMsg;
+    fn init(init: &NodeInit<'_>) -> Self {
+        OrderProbe {
+            next_expected: 0,
+            ok: true,
+            to_send: init.shared_seed as u32,
+            is_sender: init.id == 0,
+        }
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, SeqMsg>, _: WakeCause) {
+        if self.is_sender {
+            for i in 0..self.to_send {
+                ctx.send(Port::new(1), SeqMsg(i));
+            }
+        }
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, SeqMsg>, _: Incoming, msg: SeqMsg) {
+        self.ok &= msg.0 == self.next_expected;
+        self.next_expected += 1;
+        ctx.output(u64::from(self.ok && self.next_expected == self.to_send));
+    }
+}
 
 /// One field of a bit-string write plan.
 #[derive(Debug, Clone)]
@@ -66,7 +110,7 @@ proptest! {
         }
         // Tight (for bounds > 2): w-1 bits would not fit.
         if bound > 2 && w > 1 {
-            prop_assert!(bound - 1 >= (1u64 << (w - 1)));
+            prop_assert!(bound > (1u64 << (w - 1)));
         }
     }
 
@@ -87,6 +131,23 @@ proptest! {
         } else {
             prop_assert_eq!(r.remaining(), len, "failed reads must not consume");
         }
+    }
+
+    #[test]
+    fn async_channels_stay_fifo_under_arbitrary_delays(
+        dseed in any::<u64>(),
+        k in 1u64..60,
+    ) {
+        use crate::adversary::{RandomDelay, WakeSchedule};
+        use crate::{AsyncConfig, AsyncEngine, Network};
+        use wakeup_graph::{generators, NodeId};
+        let net = Network::kt0(generators::path(2).unwrap(), 0);
+        // `shared_seed` smuggles the message count into `OrderProbe::init`.
+        let config = AsyncConfig { shared_seed: k, ..AsyncConfig::default() };
+        let mut delays = RandomDelay::new(dseed);
+        let report = AsyncEngine::<OrderProbe>::new(&net, config)
+            .run_with(&WakeSchedule::single(NodeId::new(0)), &mut delays);
+        prop_assert_eq!(report.outputs[1], Some(1));
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub struct Incoming {
 /// A fresh `Context` is passed to every handler invocation; messages queued
 /// with [`Context::send`]/[`Context::send_to_id`]/[`Context::broadcast`] are
 /// dispatched by the engine when the handler returns (local computation is
-/// instantaneous and free, per the model).
+/// instantaneous and free, per the model). The outbox is a buffer owned by
+/// the engine and reused across handler invocations, so steady-state event
+/// processing does not allocate per event.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     node: NodeId,
@@ -69,7 +71,7 @@ pub struct Context<'a, M> {
     mode: KnowledgeMode,
     /// Sorted (neighbor id, port) pairs; empty under KT0.
     id_to_port: &'a [(u64, Port)],
-    outbox: Vec<(Port, M)>,
+    outbox: &'a mut Vec<(Port, M)>,
     output: &'a mut Option<u64>,
 }
 
@@ -79,9 +81,21 @@ impl<'a, M: Payload> Context<'a, M> {
         degree: usize,
         mode: KnowledgeMode,
         id_to_port: &'a [(u64, Port)],
+        outbox: &'a mut Vec<(Port, M)>,
         output: &'a mut Option<u64>,
     ) -> Context<'a, M> {
-        Context { node, degree, mode, id_to_port, outbox: Vec::new(), output }
+        debug_assert!(
+            outbox.is_empty(),
+            "outbox buffer must be drained between handlers"
+        );
+        Context {
+            node,
+            degree,
+            mode,
+            id_to_port,
+            outbox,
+            output,
+        }
     }
 
     /// The dense index of this node (for engine-side bookkeeping; honest
@@ -144,10 +158,6 @@ impl<'a, M: Payload> Context<'a, M> {
         *self.output = Some(value);
     }
 
-    pub(crate) fn into_outbox(self) -> Vec<(Port, M)> {
-        self.outbox
-    }
-
     /// Runs a sub-protocol handler under a context of a different message
     /// type, wrapping every queued message with `wrap` into this context's
     /// outbox. Outputs recorded by the inner handler land in the same
@@ -168,16 +178,16 @@ impl<'a, M: Payload> Context<'a, M> {
     where
         M2: Payload,
     {
+        let mut inner_outbox: Vec<(Port, M2)> = Vec::new();
         let mut inner: Context<'_, M2> = Context {
             node: self.node,
             degree: self.degree,
             mode: self.mode,
             id_to_port: self.id_to_port,
-            outbox: Vec::new(),
+            outbox: &mut inner_outbox,
             output: &mut *self.output,
         };
         let result = run(&mut inner);
-        let inner_outbox = std::mem::take(&mut inner.outbox);
         for (port, msg) in inner_outbox {
             self.outbox.push((port, wrap(msg)));
         }
@@ -223,11 +233,7 @@ pub trait SyncProtocol: Sized {
 
     /// One synchronous step: `inbox` holds the messages delivered at the
     /// start of this round.
-    fn on_round(
-        &mut self,
-        ctx: &mut Context<'_, Self::Msg>,
-        inbox: Vec<(Incoming, Self::Msg)>,
-    );
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: Vec<(Incoming, Self::Msg)>);
 
     /// Whether this node needs further rounds even with no traffic in
     /// flight. The engine keeps stepping while any awake node returns true —
@@ -253,12 +259,18 @@ mod tests {
     #[test]
     fn context_send_collects() {
         let mut out = None;
-        let mut ctx: Context<'_, Unit> =
-            Context::new(NodeId::new(0), 3, KnowledgeMode::Kt0, &[], &mut out);
+        let mut outbox = Vec::new();
+        let mut ctx: Context<'_, Unit> = Context::new(
+            NodeId::new(0),
+            3,
+            KnowledgeMode::Kt0,
+            &[],
+            &mut outbox,
+            &mut out,
+        );
         ctx.send(Port::new(2), Unit);
         ctx.broadcast(Unit);
         ctx.output(42);
-        let outbox = ctx.into_outbox();
         assert_eq!(outbox.len(), 4);
         assert_eq!(outbox[0].0, Port::new(2));
         assert_eq!(out, Some(42));
@@ -268,8 +280,15 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn send_beyond_degree_panics() {
         let mut out = None;
-        let mut ctx: Context<'_, Unit> =
-            Context::new(NodeId::new(0), 2, KnowledgeMode::Kt0, &[], &mut out);
+        let mut outbox = Vec::new();
+        let mut ctx: Context<'_, Unit> = Context::new(
+            NodeId::new(0),
+            2,
+            KnowledgeMode::Kt0,
+            &[],
+            &mut outbox,
+            &mut out,
+        );
         ctx.send(Port::new(3), Unit);
     }
 
@@ -277,8 +296,15 @@ mod tests {
     #[should_panic(expected = "KT1")]
     fn send_to_id_requires_kt1() {
         let mut out = None;
-        let mut ctx: Context<'_, Unit> =
-            Context::new(NodeId::new(0), 2, KnowledgeMode::Kt0, &[], &mut out);
+        let mut outbox = Vec::new();
+        let mut ctx: Context<'_, Unit> = Context::new(
+            NodeId::new(0),
+            2,
+            KnowledgeMode::Kt0,
+            &[],
+            &mut outbox,
+            &mut out,
+        );
         ctx.send_to_id(5, Unit);
     }
 
@@ -286,10 +312,16 @@ mod tests {
     fn send_to_id_resolves_port() {
         let table = [(3u64, Port::new(2)), (9u64, Port::new(1))];
         let mut out = None;
-        let mut ctx: Context<'_, Unit> =
-            Context::new(NodeId::new(0), 2, KnowledgeMode::Kt1, &table, &mut out);
+        let mut outbox = Vec::new();
+        let mut ctx: Context<'_, Unit> = Context::new(
+            NodeId::new(0),
+            2,
+            KnowledgeMode::Kt1,
+            &table,
+            &mut outbox,
+            &mut out,
+        );
         ctx.send_to_id(9, Unit);
-        let outbox = ctx.into_outbox();
         assert_eq!(outbox[0].0, Port::new(1));
     }
 
@@ -298,8 +330,15 @@ mod tests {
     fn send_to_unknown_id_panics() {
         let table = [(3u64, Port::new(1))];
         let mut out = None;
-        let mut ctx: Context<'_, Unit> =
-            Context::new(NodeId::new(0), 1, KnowledgeMode::Kt1, &table, &mut out);
+        let mut outbox = Vec::new();
+        let mut ctx: Context<'_, Unit> = Context::new(
+            NodeId::new(0),
+            1,
+            KnowledgeMode::Kt1,
+            &table,
+            &mut outbox,
+            &mut out,
+        );
         ctx.send_to_id(4, Unit);
     }
 }

@@ -1,12 +1,10 @@
 //! The synchronous lock-step engine.
 
-use std::collections::HashSet;
-
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_graph::NodeId;
 
 use crate::adversary::WakeSchedule;
-use crate::bits::BitStr;
+use crate::bits::{BitStr, DenseBits};
 use crate::knowledge::Port;
 use crate::message::{ChannelModel, Payload};
 use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
@@ -39,7 +37,7 @@ impl Default for SyncConfig {
     fn default() -> SyncConfig {
         SyncConfig {
             channel: ChannelModel::Local,
-            seed: 0xDEFA_17,
+            seed: 0xDEFA17,
             shared_seed: 0x5EED,
             advice: None,
             max_rounds: 1_000_000,
@@ -67,6 +65,9 @@ pub struct SyncEngine<'n, P: SyncProtocol> {
 struct InFlight<M> {
     to: NodeId,
     from: NodeId,
+    /// Receiver-side port (the paper's `port_to(to, from)`), resolved from
+    /// the directed-edge index at send time so delivery does no lookups.
+    rport: Port,
     msg: M,
 }
 
@@ -106,7 +107,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 P::init(&init)
             })
             .collect();
-        SyncEngine { net, tables, config, protocols }
+        SyncEngine {
+            net,
+            tables,
+            config,
+            protocols,
+        }
     }
 
     /// Runs rounds until quiescence (no traffic in flight, no pending
@@ -128,10 +134,10 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         let mut outputs: Vec<Option<u64>> = vec![None; n];
         let mut awake = vec![false; n];
         let mut awake_count = 0usize;
-        let mut ports_touched: Vec<HashSet<u32>> = if self.config.track_ports {
-            vec![HashSet::new(); n]
+        let mut ports_touched = if self.config.track_ports {
+            DenseBits::new(self.tables.directed_edges())
         } else {
-            Vec::new()
+            DenseBits::default()
         };
         // Adversary wakes grouped by round.
         let mut pending_wakes: Vec<(u64, NodeId)> = schedule
@@ -143,6 +149,15 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         let mut wake_cursor = 0usize;
         let mut in_flight: Vec<InFlight<P::Msg>> = Vec::new();
         let mut trace: Option<Trace> = self.config.trace_capacity.map(Trace::with_capacity);
+        // Persistent per-round buffers, allocated once and reused: receiver
+        // inboxes (with the list of receivers touched this round), the wake
+        // list, a dedup scratch, the handler outbox, and the send queue.
+        let mut inboxes: Vec<Vec<(Incoming, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        let mut touched: Vec<usize> = Vec::new();
+        let mut newly_awake: Vec<(NodeId, WakeCause)> = Vec::new();
+        let mut wake_queued = vec![false; n];
+        let mut outbox_buf: Vec<(Port, P::Msg)> = Vec::new();
+        let mut outbox_all: Vec<(NodeId, Port, P::Msg)> = Vec::new();
         let mut truncated = false;
         let mut round = 0u64;
         loop {
@@ -161,54 +176,60 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 break;
             }
             // Deliver round r-1 traffic: group per receiver, stable order.
-            let mut inboxes: Vec<Vec<(Incoming, P::Msg)>> = vec![Vec::new(); n];
-            let delivered = std::mem::take(&mut in_flight);
-            for m in delivered {
+            let tick = round * TICKS_PER_UNIT;
+            for m in in_flight.drain(..) {
                 metrics.received_by[m.to.index()] += 1;
-                let tick = round * TICKS_PER_UNIT;
                 if let Some(tr) = trace.as_mut() {
-                    tr.record(TraceEvent::Deliver { tick, from: m.from, to: m.to });
+                    tr.record(TraceEvent::Deliver {
+                        tick,
+                        from: m.from,
+                        to: m.to,
+                    });
                 }
                 metrics.last_receipt_tick =
                     Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
-                let rport = self
-                    .net
-                    .ports()
-                    .port_to(m.to, m.from)
-                    .expect("messages travel along graph edges");
                 if self.config.track_ports {
-                    ports_touched[m.to.index()].insert(rport.number() as u32);
+                    ports_touched.set(self.tables.slot(m.to, m.rport));
                 }
                 let sender_id = match self.net.mode() {
                     crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(m.from)),
                     crate::knowledge::KnowledgeMode::Kt0 => None,
                 };
-                inboxes[m.to.index()].push((Incoming { port: rport, sender_id }, m.msg));
+                if inboxes[m.to.index()].is_empty() {
+                    touched.push(m.to.index());
+                }
+                inboxes[m.to.index()].push((
+                    Incoming {
+                        port: m.rport,
+                        sender_id,
+                    },
+                    m.msg,
+                ));
             }
             // Round-r adversary wakes take precedence over message wakes.
-            let mut newly_awake: Vec<(NodeId, WakeCause)> = Vec::new();
             while wake_cursor < pending_wakes.len() && pending_wakes[wake_cursor].0 <= round {
                 let v = pending_wakes[wake_cursor].1;
                 wake_cursor += 1;
-                if !awake[v.index()] && !newly_awake.iter().any(|&(x, _)| x == v) {
+                if !awake[v.index()] && !wake_queued[v.index()] {
+                    wake_queued[v.index()] = true;
                     newly_awake.push((v, WakeCause::Adversary));
                 }
             }
             // Message receipt wakes.
-            for v in 0..n {
-                if !awake[v]
-                    && !inboxes[v].is_empty()
-                    && !newly_awake.iter().any(|&(x, _)| x == NodeId::new(v))
-                {
+            for &v in &touched {
+                if !awake[v] && !wake_queued[v] {
+                    wake_queued[v] = true;
                     newly_awake.push((NodeId::new(v), WakeCause::Message));
                 }
             }
             newly_awake.sort_unstable_by_key(|&(v, _)| v);
-            let tick = round * TICKS_PER_UNIT;
-            let mut outbox_all: Vec<(NodeId, Port, P::Msg)> = Vec::new();
             for &(v, cause) in &newly_awake {
                 if let Some(tr) = trace.as_mut() {
-                    tr.record(TraceEvent::Wake { tick, node: v, cause });
+                    tr.record(TraceEvent::Wake {
+                        tick,
+                        node: v,
+                        cause,
+                    });
                 }
                 awake[v.index()] = true;
                 awake_count += 1;
@@ -223,13 +244,19 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     self.net.graph().degree(v),
                     self.net.mode(),
                     &self.tables.id_to_port[v.index()],
+                    &mut outbox_buf,
                     &mut outputs[v.index()],
                 );
                 self.protocols[v.index()].on_wake(&mut ctx, cause);
-                for (port, msg) in ctx.into_outbox() {
+                for (port, msg) in outbox_buf.drain(..) {
                     outbox_all.push((v, port, msg));
                 }
             }
+            for &(v, _) in &newly_awake {
+                wake_queued[v.index()] = false;
+            }
+            newly_awake.clear();
+            touched.clear();
             // Compute-and-send step for every awake node.
             for v in 0..n {
                 if !awake[v] {
@@ -242,16 +269,18 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     self.net.graph().degree(node),
                     self.net.mode(),
                     &self.tables.id_to_port[v],
+                    &mut outbox_buf,
                     &mut outputs[v],
                 );
                 self.protocols[v].on_round(&mut ctx, inbox);
-                for (port, msg) in ctx.into_outbox() {
+                for (port, msg) in outbox_buf.drain(..) {
                     outbox_all.push((node, port, msg));
                 }
             }
             // Queue round-r sends for round r+1 delivery.
-            for (from, port, msg) in outbox_all {
-                let to = self.net.ports().neighbor(from, port);
+            for (from, port, msg) in outbox_all.drain(..) {
+                let slot = self.tables.slot(from, port);
+                let to = NodeId::new(self.tables.edge_to[slot] as usize);
                 let bits = msg.size_bits();
                 if !self.config.channel.permits(bits) {
                     if self.config.record_congest_violations {
@@ -264,22 +293,35 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     }
                 }
                 if let Some(tr) = trace.as_mut() {
-                    tr.record(TraceEvent::Send { tick: round * TICKS_PER_UNIT, from, to, bits });
+                    tr.record(TraceEvent::Send {
+                        tick,
+                        from,
+                        to,
+                        bits,
+                    });
                 }
                 metrics.messages_sent += 1;
                 metrics.bits_sent += bits as u64;
                 metrics.max_message_bits = metrics.max_message_bits.max(bits);
                 metrics.sent_by[from.index()] += 1;
                 if self.config.track_ports {
-                    ports_touched[from.index()].insert(port.number() as u32);
+                    ports_touched.set(slot);
                 }
-                in_flight.push(InFlight { to, from, msg });
+                let rport = Port::new(self.tables.rev_port[slot] as usize);
+                in_flight.push(InFlight {
+                    to,
+                    from,
+                    rport,
+                    msg,
+                });
             }
             round += 1;
         }
         if self.config.track_ports {
-            for (v, set) in ports_touched.iter().enumerate() {
-                metrics.ports_used[v] = set.len() as u32;
+            for v in 0..n {
+                metrics.ports_used[v] = ports_touched
+                    .count_range(self.tables.edge_offset[v], self.tables.edge_offset[v + 1])
+                    as u32;
             }
         }
         let report = RunReport {
@@ -394,9 +436,12 @@ mod tests {
             }
         }
         let net = Network::kt1(generators::path(2).unwrap(), 1);
-        let config = SyncConfig { max_rounds: 50, ..SyncConfig::default() };
-        let report = SyncEngine::<Forever>::new(&net, config)
-            .run(&WakeSchedule::single(NodeId::new(0)));
+        let config = SyncConfig {
+            max_rounds: 50,
+            ..SyncConfig::default()
+        };
+        let report =
+            SyncEngine::<Forever>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
         assert!(report.truncated);
         assert_eq!(report.rounds, 50);
     }

@@ -78,7 +78,11 @@ impl Default for Trace {
 impl Trace {
     /// Creates a trace holding at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> Trace {
-        Trace { events: Vec::new(), capacity, truncated: false }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            truncated: false,
+        }
     }
 
     /// The configured capacity.
@@ -120,7 +124,9 @@ impl Trace {
     pub fn channel_load(&self, from: NodeId, to: NodeId) -> usize {
         self.events
             .iter()
-            .filter(|e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to))
+            .filter(
+                |e| matches!(e, TraceEvent::Send { from: f, to: t, .. } if *f == from && *t == to),
+            )
             .count()
     }
 
@@ -144,7 +150,10 @@ impl Trace {
             out.push_str(&line);
         }
         if self.events.len() > max_lines {
-            out.push_str(&format!("… {} more events\n", self.events.len() - max_lines));
+            out.push_str(&format!(
+                "… {} more events\n",
+                self.events.len() - max_lines
+            ));
         }
         out
     }
@@ -158,7 +167,11 @@ mod tests {
     fn records_until_capacity() {
         let mut t = Trace::with_capacity(2);
         for i in 0..4 {
-            t.record(TraceEvent::Wake { tick: i, node: NodeId::new(0), cause: WakeCause::Adversary });
+            t.record(TraceEvent::Wake {
+                tick: i,
+                node: NodeId::new(0),
+                cause: WakeCause::Adversary,
+            });
         }
         assert_eq!(t.events().len(), 2);
         assert!(t.truncated);
@@ -167,8 +180,16 @@ mod tests {
     #[test]
     fn wake_front_sorted() {
         let mut t = Trace::default();
-        t.record(TraceEvent::Wake { tick: 2048, node: NodeId::new(1), cause: WakeCause::Message });
-        t.record(TraceEvent::Wake { tick: 0, node: NodeId::new(0), cause: WakeCause::Adversary });
+        t.record(TraceEvent::Wake {
+            tick: 2048,
+            node: NodeId::new(1),
+            cause: WakeCause::Message,
+        });
+        t.record(TraceEvent::Wake {
+            tick: 0,
+            node: NodeId::new(0),
+            cause: WakeCause::Adversary,
+        });
         let front = t.wake_front();
         assert_eq!(front.len(), 2);
         assert_eq!(front[0].1, NodeId::new(0));
@@ -179,9 +200,24 @@ mod tests {
     fn channel_load_counts_directed() {
         let mut t = Trace::default();
         let (a, b) = (NodeId::new(0), NodeId::new(1));
-        t.record(TraceEvent::Send { tick: 0, from: a, to: b, bits: 1 });
-        t.record(TraceEvent::Send { tick: 1, from: a, to: b, bits: 1 });
-        t.record(TraceEvent::Send { tick: 2, from: b, to: a, bits: 1 });
+        t.record(TraceEvent::Send {
+            tick: 0,
+            from: a,
+            to: b,
+            bits: 1,
+        });
+        t.record(TraceEvent::Send {
+            tick: 1,
+            from: a,
+            to: b,
+            bits: 1,
+        });
+        t.record(TraceEvent::Send {
+            tick: 2,
+            from: b,
+            to: a,
+            bits: 1,
+        });
         assert_eq!(t.channel_load(a, b), 2);
         assert_eq!(t.channel_load(b, a), 1);
     }
@@ -190,9 +226,18 @@ mod tests {
     fn timeline_renders_and_caps() {
         let mut t = Trace::default();
         for i in 0..5 {
-            t.record(TraceEvent::Deliver { tick: i, from: NodeId::new(0), to: NodeId::new(1) });
+            t.record(TraceEvent::Deliver {
+                tick: i,
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+            });
         }
-        t.record(TraceEvent::Send { tick: 6, from: NodeId::new(1), to: NodeId::new(0), bits: 8 });
+        t.record(TraceEvent::Send {
+            tick: 6,
+            from: NodeId::new(1),
+            to: NodeId::new(0),
+            bits: 8,
+        });
         let s = t.render_timeline(3);
         assert!(s.contains("DELIVER"));
         assert!(s.contains("more events"));
@@ -203,7 +248,12 @@ mod tests {
 
     #[test]
     fn event_tick_accessor() {
-        let e = TraceEvent::Send { tick: 7, from: NodeId::new(0), to: NodeId::new(1), bits: 3 };
+        let e = TraceEvent::Send {
+            tick: 7,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            bits: 3,
+        };
         assert_eq!(e.tick(), 7);
     }
 }

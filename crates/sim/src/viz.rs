@@ -55,7 +55,8 @@ pub fn histogram(values: &[f64], buckets: usize, width: usize) -> String {
         let from = lo + span * i as f64 / buckets as f64;
         let to = lo + span * (i + 1) as f64 / buckets as f64;
         let bar_len = (c * width).div_ceil(max_count);
-        let bar: String = std::iter::repeat_n('█', if c > 0 { bar_len.max(1) } else { 0 }).collect();
+        let bar: String =
+            std::iter::repeat_n('█', if c > 0 { bar_len.max(1) } else { 0 }).collect();
         out.push_str(&format!("{from:10.2} – {to:10.2} │{bar:<width$}│ {c}\n"));
     }
     out

@@ -23,14 +23,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = Network::kt1(g, 9);
     let envelope = |c: f64| c * n as f64 * (n as f64).ln();
 
-    println!("DFS-rank on n = {n}; O(n ln n) envelope ≈ {:.0} messages\n", envelope(4.0));
+    println!(
+        "DFS-rank on n = {n}; O(n ln n) envelope ≈ {:.0} messages\n",
+        envelope(4.0)
+    );
     println!("{:<28} {:>9} {:>12}", "schedule", "messages", "time units");
 
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedules: Vec<(&str, WakeSchedule)> = vec![
         ("single node", WakeSchedule::single(NodeId::new(0))),
         ("all at time 0", WakeSchedule::all_at_zero(&all)),
-        ("staggered, gap 2n", WakeSchedule::staggered(&all, 2.0 * n as f64)),
+        (
+            "staggered, gap 2n",
+            WakeSchedule::staggered(&all, 2.0 * n as f64),
+        ),
         (
             "staggered, gap n/4 (bursty)",
             WakeSchedule::staggered(&all, n as f64 / 4.0),
@@ -54,12 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Same adversary, now also controlling per-channel delays.
     let mut delays = AdversarialDelay::new(1234);
-    let run = harness::run_async_with_delays::<DfsRank>(
-        &net,
-        &schedules[2].1,
-        22,
-        &mut delays,
-    );
+    let run = harness::run_async_with_delays::<DfsRank>(&net, &schedules[2].1, 22, &mut delays);
     assert!(run.report.all_awake);
     println!(
         "{:<28} {:>9} {:>12.1}",

@@ -11,16 +11,17 @@
 //! cargo run --example advice_tradeoff
 //! ```
 
-use wakeup::core::advice::{
-    run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
-};
+use wakeup::core::advice::{run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme};
 use wakeup::graph::{generators, NodeId};
 use wakeup::lb::thm1;
 use wakeup::sim::{adversary::WakeSchedule, Network};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Theorem 1: messages vs advice on class G (n = 48) ===");
-    println!("{:>4} {:>10} {:>14} {:>8}", "β", "messages", "n²/2^β shape", "solved");
+    println!(
+        "{:>4} {:>10} {:>14} {:>8}",
+        "β", "messages", "n²/2^β shape", "solved"
+    );
     for p in thm1::sweep_beta(48, &[0, 1, 2, 3, 4, 5], 11) {
         println!(
             "{:>4} {:>10} {:>14.0} {:>8}",
@@ -37,11 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scheme", "messages", "time", "max bits", "avg bits"
     );
     let rows: Vec<(&str, wakeup::core::advice::SchemeRun)> = vec![
-        ("Cor 1 (BFS tree)", run_scheme(&BfsTreeScheme::new(), &net, &schedule, 1)),
-        ("Thm 5A (thresh)", run_scheme(&ThresholdScheme::new(), &net, &schedule, 2)),
-        ("Thm 5B (CEN)", run_scheme(&CenScheme::new(), &net, &schedule, 3)),
-        ("Thm 6 (k=2)", run_scheme(&SpannerScheme::new(2), &net, &schedule, 4)),
-        ("Cor 2 (k=⌈lg n⌉)", run_scheme(&SpannerScheme::log_instantiation(300), &net, &schedule, 5)),
+        (
+            "Cor 1 (BFS tree)",
+            run_scheme(&BfsTreeScheme::new(), &net, &schedule, 1),
+        ),
+        (
+            "Thm 5A (thresh)",
+            run_scheme(&ThresholdScheme::new(), &net, &schedule, 2),
+        ),
+        (
+            "Thm 5B (CEN)",
+            run_scheme(&CenScheme::new(), &net, &schedule, 3),
+        ),
+        (
+            "Thm 6 (k=2)",
+            run_scheme(&SpannerScheme::new(2), &net, &schedule, 4),
+        ),
+        (
+            "Cor 2 (k=⌈lg n⌉)",
+            run_scheme(&SpannerScheme::log_instantiation(300), &net, &schedule, 5),
+        ),
     ];
     for (name, run) in rows {
         assert!(run.report.all_awake, "{name} failed");

@@ -52,7 +52,12 @@ n 12
 
     // Wake it with CEN advice from the far building.
     let net = Network::kt0(g, 99);
-    let run = run_scheme(&CenScheme::new(), &net, &WakeSchedule::single(NodeId::new(11)), 1);
+    let run = run_scheme(
+        &CenScheme::new(),
+        &net,
+        &WakeSchedule::single(NodeId::new(11)),
+        1,
+    );
     assert!(run.report.all_awake);
     println!(
         "CEN wake-up from node 11: {} messages, {:.1} time units, advice max {} bits",

@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ingress: Vec<NodeId> = (0..4).map(NodeId::new).collect();
     let schedule = WakeSchedule::all_at_zero(&ingress);
     let rho = algo::awake_distance(&g, &ingress).unwrap();
-    println!("ingress wakes the {} spines; ρ_awk = {rho}\n", ingress.len());
+    println!(
+        "ingress wakes the {} spines; ρ_awk = {rho}\n",
+        ingress.len()
+    );
 
     // Naive broadcast flooding.
     let net = Network::kt1(g.clone(), 7);

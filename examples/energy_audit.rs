@@ -36,17 +36,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         {
             let net = Network::kt0(g.clone(), 13);
             let run = harness::run_async::<FloodAsync>(&net, &schedule, 1);
-            ("flooding", EnergyReport::from_metrics(&run.report.metrics), run.report.all_awake)
+            (
+                "flooding",
+                EnergyReport::from_metrics(&run.report.metrics),
+                run.report.all_awake,
+            )
         },
         {
             let net = Network::kt1(g.clone(), 13);
             let run = harness::run_async::<DfsRank>(&net, &schedule, 2);
-            ("dfs-rank", EnergyReport::from_metrics(&run.report.metrics), run.report.all_awake)
+            (
+                "dfs-rank",
+                EnergyReport::from_metrics(&run.report.metrics),
+                run.report.all_awake,
+            )
         },
         {
             let net = Network::kt0(g.clone(), 13);
             let run = run_scheme(&CenScheme::new(), &net, &schedule, 3);
-            ("cen advice", EnergyReport::from_metrics(&run.report.metrics), run.report.all_awake)
+            (
+                "cen advice",
+                EnergyReport::from_metrics(&run.report.metrics),
+                run.report.all_awake,
+            )
         },
     ];
     for (name, e, ok) in &rows {

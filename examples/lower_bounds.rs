@@ -12,7 +12,10 @@ use wakeup::sim::viz::sparkline;
 fn main() {
     // ---- Theorem 1 ----
     println!("Theorem 1 — every advice bit halves the message bill (class 𝒢, n = 48)\n");
-    println!("{:>3} {:>9} {:>11} {:>7}   curve", "β", "messages", "n²/2^β", "ratio");
+    println!(
+        "{:>3} {:>9} {:>11} {:>7}   curve",
+        "β", "messages", "n²/2^β", "ratio"
+    );
     let points = thm1::sweep_beta(48, &[0, 1, 2, 3, 4, 5, 6], 11);
     let series: Vec<f64> = points.iter().map(|p| (p.messages as f64).ln()).collect();
     let spark = sparkline(&series);
@@ -64,8 +67,14 @@ fn main() {
     // ---- Figure 3 ----
     let demo = thm2::swap_demo(3, 3, 5);
     println!("Figure 3 ID-swap demo (deterministic 1-contact protocol):");
-    println!("  original IDs : crucial neighbor woken = {}", demo.original_woke_crucial);
-    println!("  swapped IDs  : crucial neighbor woken = {}", demo.swapped_woke_crucial);
+    println!(
+        "  original IDs : crucial neighbor woken = {}",
+        demo.original_woke_crucial
+    );
+    println!(
+        "  swapped IDs  : crucial neighbor woken = {}",
+        demo.swapped_woke_crucial
+    );
     assert_ne!(demo.original_woke_crucial, demo.swapped_woke_crucial);
     println!("  the outcome flips — a time-restricted deterministic protocol cannot");
     println!("  be right on both instances, which is Lemma 5/6 in action.");

@@ -146,16 +146,11 @@ fn farthest_first_is_the_worst_schedule_for_fast_wakeup_time() {
     let net = Network::kt1(g.clone(), 9);
     let clustered: Vec<NodeId> = (0..4).map(NodeId::new).collect();
     let far = WakeSchedule::farthest_first(&g, NodeId::new(0), 4, 0.0);
-    let t_clustered = harness::run_sync::<FastWakeUp>(
-        &net,
-        &WakeSchedule::all_at_zero(&clustered),
-        3,
-    );
+    let t_clustered =
+        harness::run_sync::<FastWakeUp>(&net, &WakeSchedule::all_at_zero(&clustered), 3);
     let t_far = harness::run_sync::<FastWakeUp>(&net, &far, 3);
     assert!(t_clustered.report.all_awake && t_far.report.all_awake);
-    let rho_clustered =
-        wakeup::graph::algo::awake_distance(&g, &clustered).unwrap();
-    let rho_far =
-        wakeup::graph::algo::awake_distance(&g, &far.initially_awake()).unwrap();
+    let rho_clustered = wakeup::graph::algo::awake_distance(&g, &clustered).unwrap();
+    let rho_far = wakeup::graph::algo::awake_distance(&g, &far.initially_awake()).unwrap();
     assert!(rho_far <= rho_clustered, "spreading wakes reduces ρ_awk");
 }

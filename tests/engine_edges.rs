@@ -38,7 +38,11 @@ impl WakeRecorder {
 impl AsyncProtocol for WakeRecorder {
     type Msg = Ping;
     fn init(_: &NodeInit<'_>) -> Self {
-        WakeRecorder { wakes: 0, cause: None, relayed: false }
+        WakeRecorder {
+            wakes: 0,
+            cause: None,
+            relayed: false,
+        }
     }
     fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, cause: WakeCause) {
         self.wakes += 1;
@@ -57,7 +61,11 @@ impl AsyncProtocol for WakeRecorder {
 impl SyncProtocol for WakeRecorder {
     type Msg = Ping;
     fn init(_: &NodeInit<'_>) -> Self {
-        WakeRecorder { wakes: 0, cause: None, relayed: false }
+        WakeRecorder {
+            wakes: 0,
+            cause: None,
+            relayed: false,
+        }
     }
     fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, cause: WakeCause) {
         self.wakes += 1;
@@ -79,8 +87,7 @@ fn async_on_wake_fires_exactly_once_despite_late_adversary_entry() {
     // wake at t = 50; the late entry must be a no-op.
     let g = generators::path(3).unwrap();
     let net = Network::kt0(g, 1);
-    let schedule =
-        WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 50.0)]);
+    let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 50.0)]);
     let report = AsyncEngine::<WakeRecorder>::new(&net, AsyncConfig::default()).run(&schedule);
     assert!(report.all_awake);
     // wake_count 1, cause Message.
@@ -96,8 +103,7 @@ fn sync_adversary_cause_wins_simultaneous_message_wake() {
     // precedence (it is the stronger capability in the model).
     let g = generators::path(2).unwrap();
     let net = Network::kt1(g, 1);
-    let schedule =
-        WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 1.0)]);
+    let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 1.0)]);
     let report = SyncEngine::<WakeRecorder>::new(&net, SyncConfig::default()).run(&schedule);
     assert_eq!(report.outputs[1], Some(11), "cause should be Adversary");
 }
@@ -112,7 +118,11 @@ fn duplicate_schedule_entries_fire_once() {
         (NodeId::new(0), 2.0),
     ]);
     let report = AsyncEngine::<WakeRecorder>::new(&net, AsyncConfig::default()).run(&schedule);
-    assert_eq!(report.outputs[0], Some(11), "exactly one wake despite 3 entries");
+    assert_eq!(
+        report.outputs[0],
+        Some(11),
+        "exactly one wake despite 3 entries"
+    );
 }
 
 /// Outputs the latest value written — later `output` calls overwrite.
@@ -179,7 +189,9 @@ impl AsyncProtocol for Kt1Probe {
     fn init(init: &NodeInit<'_>) -> Self {
         let ids = init.neighbor_ids.expect("KT1 exposes neighbor IDs");
         let sorted = ids.windows(2).all(|w| w[0] < w[1]);
-        Kt1Probe { ok: sorted && ids.len() == init.degree }
+        Kt1Probe {
+            ok: sorted && ids.len() == init.degree,
+        }
     }
     fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _: WakeCause) {
         ctx.output(u64::from(self.ok));

@@ -73,7 +73,11 @@ fn figure2_class_gk_construction() {
     );
 
     // Fact 1.3: girth >= k + 5.
-    assert!(report.girth_ok, "girth {:?} < {}", report.girth, report.girth_floor);
+    assert!(
+        report.girth_ok,
+        "girth {:?} < {}",
+        report.girth, report.girth_floor
+    );
 
     // The figure's green edges: every crucial neighbor is reachable only
     // through its center.
@@ -107,7 +111,7 @@ fn figure3_id_swap_flips_outcome() {
 #[test]
 fn figure1_crucial_port_uniformity() {
     let fam = wakeup::graph::families::ClassG::new(8).unwrap();
-    let mut counts = vec![0usize; 9]; // degree n+1 = 9 ports
+    let mut counts = [0usize; 9]; // degree n+1 = 9 ports
     for seed in 0..450 {
         let net = Network::kt0(fam.graph().clone(), seed);
         let (v, w) = fam.crucial_pairs()[0];
@@ -116,6 +120,11 @@ fn figure1_crucial_port_uniformity() {
     }
     // Each port should be hit ~50 times; allow generous slack.
     for (i, &c) in counts.iter().enumerate() {
-        assert!((20..100).contains(&c), "port {} count {} not ~uniform", i + 1, c);
+        assert!(
+            (20..100).contains(&c),
+            "port {} count {} not ~uniform",
+            i + 1,
+            c
+        );
     }
 }

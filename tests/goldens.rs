@@ -9,11 +9,11 @@
 use wakeup::core::advice::{run_scheme, BfsTreeScheme, CenScheme, SpannerScheme};
 use wakeup::core::dfs_rank::DfsRank;
 use wakeup::core::fast_wakeup::FastWakeUp;
-use wakeup::core::flooding::FloodAsync;
+use wakeup::core::flooding::{FloodAsync, FloodSync};
 use wakeup::core::harness;
 use wakeup::graph::{generators, NodeId};
 use wakeup::lb::{thm1, thm2};
-use wakeup::sim::adversary::WakeSchedule;
+use wakeup::sim::adversary::{RandomDelay, WakeSchedule};
 use wakeup::sim::Network;
 
 #[test]
@@ -56,6 +56,37 @@ fn golden_advice_schemes() {
     assert_eq!(cen.advice.max_bits, 28);
     let spanner = run_scheme(&SpannerScheme::new(2), &net, &schedule, 42);
     assert_eq!(spanner.report.messages(), 522);
+}
+
+/// Engine-internals tripwire: pins the *tick-level* trajectory of one async
+/// run under adversarial random delays (exercising the FIFO clamp and the
+/// event queue's tie-breaking) and one sync run. Any reordering inside the
+/// engines — however the queue or channel bookkeeping is implemented — moves
+/// these numbers.
+#[test]
+fn golden_engine_regression_async() {
+    let net = Network::kt0(generators::erdos_renyi_connected(70, 0.08, 9).unwrap(), 9);
+    let all: Vec<NodeId> = (0..70).map(NodeId::new).collect();
+    let schedule = WakeSchedule::staggered(&all, 1.5);
+    let mut delays = RandomDelay::new(1234);
+    let run = harness::run_async_with_delays::<FloodAsync>(&net, &schedule, 9, &mut delays);
+    assert!(run.report.all_awake);
+    assert_eq!(run.report.messages(), 398);
+    assert_eq!(run.report.metrics.first_wake_tick, Some(0));
+    assert_eq!(run.report.metrics.last_receipt_tick, Some(2262));
+    assert_eq!(run.report.metrics.all_awake_tick, Some(1477));
+}
+
+#[test]
+fn golden_engine_regression_sync() {
+    let net = Network::kt1(generators::erdos_renyi_connected(70, 0.08, 9).unwrap(), 9);
+    let schedule = WakeSchedule::single(NodeId::new(5));
+    let run = harness::run_sync::<FloodSync>(&net, &schedule, 9);
+    assert!(run.report.all_awake);
+    assert_eq!(run.report.messages(), 398);
+    assert_eq!(run.report.rounds, 5);
+    assert_eq!(run.report.metrics.last_receipt_tick, Some(4096));
+    assert_eq!(run.report.metrics.all_awake_tick, Some(3072));
 }
 
 #[test]

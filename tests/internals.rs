@@ -21,7 +21,10 @@ fn claim4_tokens_forwarded_per_node_logarithmic() {
     // The overlapping-wake adversary maximizes token churn.
     let schedule = WakeSchedule::staggered(&all, 2.0);
     for seed in 0..5 {
-        let config = AsyncConfig { seed, ..AsyncConfig::default() };
+        let config = AsyncConfig {
+            seed,
+            ..AsyncConfig::default()
+        };
         let (report, protocols) =
             AsyncEngine::<DfsRank>::new(&net, config).run_into_parts(&schedule, &mut UnitDelay);
         assert!(report.all_awake);
@@ -49,7 +52,10 @@ fn fast_wakeup_root_count_concentrates() {
     let mut total = 0usize;
     let trials = 6;
     for seed in 0..trials {
-        let config = SyncConfig { seed, ..SyncConfig::default() };
+        let config = SyncConfig {
+            seed,
+            ..SyncConfig::default()
+        };
         let (report, protocols) =
             SyncEngine::<FastWakeUp>::new(&net, config).run_into_parts(&schedule);
         assert!(report.all_awake);
@@ -67,9 +73,12 @@ fn fast_wakeup_root_count_concentrates() {
 fn trace_captures_wake_causality() {
     let g = generators::path(6).unwrap();
     let net = Network::kt0(g, 5);
-    let config = AsyncConfig { trace_capacity: Some(10_000), ..AsyncConfig::default() };
-    let report = AsyncEngine::<FloodAsync>::new(&net, config)
-        .run(&WakeSchedule::single(NodeId::new(0)));
+    let config = AsyncConfig {
+        trace_capacity: Some(10_000),
+        ..AsyncConfig::default()
+    };
+    let report =
+        AsyncEngine::<FloodAsync>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
     let trace = report.trace.as_ref().expect("tracing enabled");
     let front = trace.wake_front();
     assert_eq!(front.len(), 6, "every node appears in the wake front");
@@ -106,7 +115,10 @@ fn sync_trace_round_aligned() {
     use wakeup::core::flooding::FloodSync;
     let g = generators::path(4).unwrap();
     let net = Network::kt1(g, 2);
-    let config = SyncConfig { trace_capacity: Some(1_000), ..SyncConfig::default() };
+    let config = SyncConfig {
+        trace_capacity: Some(1_000),
+        ..SyncConfig::default()
+    };
     let report =
         SyncEngine::<FloodSync>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
     let trace = report.trace.expect("tracing enabled");
@@ -121,9 +133,12 @@ fn sync_trace_round_aligned() {
 fn trace_capacity_bounds_memory() {
     let g = generators::complete(20).unwrap();
     let net = Network::kt0(g, 9);
-    let config = AsyncConfig { trace_capacity: Some(10), ..AsyncConfig::default() };
-    let report = AsyncEngine::<FloodAsync>::new(&net, config)
-        .run(&WakeSchedule::single(NodeId::new(0)));
+    let config = AsyncConfig {
+        trace_capacity: Some(10),
+        ..AsyncConfig::default()
+    };
+    let report =
+        AsyncEngine::<FloodAsync>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
     let trace = report.trace.expect("tracing enabled");
     assert_eq!(trace.events().len(), 10);
     assert!(trace.truncated);
@@ -135,9 +150,12 @@ fn trace_capacity_bounds_memory() {
 fn dfs_channel_load_bounded_by_two() {
     let g = generators::erdos_renyi_connected(30, 0.2, 13).unwrap();
     let net = Network::kt1(g.clone(), 13);
-    let config = AsyncConfig { trace_capacity: Some(100_000), ..AsyncConfig::default() };
-    let report = AsyncEngine::<DfsRank>::new(&net, config)
-        .run(&WakeSchedule::single(NodeId::new(0)));
+    let config = AsyncConfig {
+        trace_capacity: Some(100_000),
+        ..AsyncConfig::default()
+    };
+    let report =
+        AsyncEngine::<DfsRank>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
     let trace = report.trace.expect("tracing enabled");
     for &(u, v) in g.edges() {
         assert!(trace.channel_load(u, v) + trace.channel_load(v, u) <= 2);

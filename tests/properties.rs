@@ -304,10 +304,10 @@ proptest! {
             &WakeSchedule::single(source),
             seed,
         );
-        for v in 0..n {
+        for (v, &d) in dist.iter().enumerate().take(n) {
             let woke = run.report.metrics.wake_tick[v].unwrap();
             // At least one tick per hop (TICKS_PER_UNIT under unit delays).
-            prop_assert!(woke >= dist[v] as u64, "node {v} woke impossibly early");
+            prop_assert!(woke >= d as u64, "node {v} woke impossibly early");
         }
     }
 }

@@ -43,7 +43,12 @@ fn cen_at_ten_thousand_nodes() {
     let n = 10_000usize;
     let g = generators::random_tree(n, 3).unwrap();
     let net = Network::kt0(g, 3);
-    let run = run_scheme(&CenScheme::new(), &net, &WakeSchedule::single(NodeId::new(7)), 3);
+    let run = run_scheme(
+        &CenScheme::new(),
+        &net,
+        &WakeSchedule::single(NodeId::new(7)),
+        3,
+    );
     assert!(run.report.all_awake);
     assert!(run.report.messages() <= 3 * n as u64);
     assert!(run.advice.max_bits <= 80, "O(log n) advice at scale");

@@ -6,9 +6,7 @@
 //! These are the cheap, always-on versions of the full benchmark sweeps in
 //! `wakeup-bench` (see EXPERIMENTS.md for the measured tables).
 
-use wakeup::core::advice::{
-    run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
-};
+use wakeup::core::advice::{run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme};
 use wakeup::core::dfs_rank::DfsRank;
 use wakeup::core::fast_wakeup::FastWakeUp;
 use wakeup::core::harness;
@@ -65,7 +63,12 @@ fn row_cor1_bfs_tree_messages_linear_time_diameter() {
     for &n in &SIZES {
         let g = generators::erdos_renyi_connected(n, 8.0 / n as f64, 3 + n as u64).unwrap();
         let net = Network::kt0(g, 3);
-        let run = run_scheme(&BfsTreeScheme::new(), &net, &WakeSchedule::single(NodeId::new(0)), 3);
+        let run = run_scheme(
+            &BfsTreeScheme::new(),
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            3,
+        );
         assert!(run.report.all_awake);
         ratios.push(run.report.messages() as f64 / n as f64);
         // Advice: avg O(log n).
@@ -80,8 +83,12 @@ fn row_thm5a_threshold_advice_sqrt_n_log_n() {
     for &n in &SIZES {
         let g = generators::star(n).unwrap();
         let net = Network::kt0(g, 4);
-        let run =
-            run_scheme(&ThresholdScheme::new(), &net, &WakeSchedule::single(NodeId::new(1)), 4);
+        let run = run_scheme(
+            &ThresholdScheme::new(),
+            &net,
+            &WakeSchedule::single(NodeId::new(1)),
+            4,
+        );
         assert!(run.report.all_awake);
         let shape = (n as f64).sqrt() * (n as f64).log2();
         ratios.push(run.advice.max_bits as f64 / shape);
@@ -96,7 +103,12 @@ fn row_thm5b_cen_advice_log_n_messages_linear() {
     for &n in &SIZES {
         let g = generators::erdos_renyi_connected(n, 8.0 / n as f64, 5 + n as u64).unwrap();
         let net = Network::kt0(g, 5);
-        let run = run_scheme(&CenScheme::new(), &net, &WakeSchedule::single(NodeId::new(0)), 5);
+        let run = run_scheme(
+            &CenScheme::new(),
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            5,
+        );
         assert!(run.report.all_awake);
         msg_ratios.push(run.report.messages() as f64 / n as f64);
         adv_ratios.push(run.advice.max_bits as f64 / (n as f64).log2());
@@ -113,7 +125,12 @@ fn row_thm6_spanner_tradeoff() {
     for &n in &SIZES {
         let g = generators::complete(n).unwrap();
         let net = Network::kt0(g, 6);
-        let run = run_scheme(&SpannerScheme::new(2), &net, &WakeSchedule::single(NodeId::new(0)), 6);
+        let run = run_scheme(
+            &SpannerScheme::new(2),
+            &net,
+            &WakeSchedule::single(NodeId::new(0)),
+            6,
+        );
         assert!(run.report.all_awake);
         let shape = (n as f64).sqrt() * (n as f64).log2().powi(2);
         adv_ratios.push(run.advice.max_bits as f64 / shape);

@@ -21,7 +21,10 @@ fn workloads() -> Vec<(String, Graph)> {
         ("grid".into(), generators::grid(6, 7).unwrap()),
         ("hypercube".into(), generators::hypercube(5).unwrap()),
         ("tree".into(), generators::random_tree(40, 3).unwrap()),
-        ("gnp".into(), generators::erdos_renyi_connected(40, 0.12, 4).unwrap()),
+        (
+            "gnp".into(),
+            generators::erdos_renyi_connected(40, 0.12, 4).unwrap(),
+        ),
         ("barbell".into(), generators::barbell(12, 4).unwrap()),
         ("lollipop".into(), generators::lollipop(20, 6).unwrap()),
         ("complete".into(), generators::complete(30).unwrap()),
@@ -73,8 +76,8 @@ fn fast_wakeup_wakes_everything_within_ten_rho() {
             assert!(run.report.all_awake, "{gname}/{sname}");
             if sname == "single" || sname == "spread" {
                 let rho = rho.unwrap() as u64;
-                let rounds = run.report.metrics.all_awake_tick.unwrap()
-                    / wakeup::sim::TICKS_PER_UNIT;
+                let rounds =
+                    run.report.metrics.all_awake_tick.unwrap() / wakeup::sim::TICKS_PER_UNIT;
                 assert!(
                     rounds <= 10 * rho.max(1),
                     "{gname}/{sname}: {rounds} rounds > 10ρ = {}",
@@ -178,6 +181,9 @@ fn advice_length_ordering_matches_table1() {
     let cen = CenScheme::new().advise(&net);
     let max = |a: &Vec<wakeup::sim::BitStr>| a.iter().map(|s| s.len()).max().unwrap();
     // Table 1 advice column: Cor1 O(n) >= Thm5A O(√n log n) >= Thm5B O(log n).
-    assert!(max(&thresh) <= max(&tree) * 2, "threshold should not exceed tree-scheme order");
+    assert!(
+        max(&thresh) <= max(&tree) * 2,
+        "threshold should not exceed tree-scheme order"
+    );
     assert!(max(&cen) <= max(&thresh), "CEN has the smallest max advice");
 }
