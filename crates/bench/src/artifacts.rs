@@ -1,0 +1,317 @@
+//! Thread-safe workload artifact cache with single-flight construction.
+//!
+//! Every measurement entry point (the `measure_*` builders, the criterion
+//! benches built on them, and the `table1`/`experiments`/`engine_perf`
+//! binaries) needs the same expensive setup artifacts: a generated graph, a
+//! `Network` with its port/ID assignments and cached node tables, and — for
+//! the advising schemes — the oracle's advice bitstrings. Before this cache,
+//! every trial regenerated all of them; a criterion bench at `n = 512`
+//! would re-run the spanner oracle hundreds of times for identical output.
+//!
+//! The cache memoizes all three artifact kinds behind `Arc`s, keyed by the
+//! exact construction parameters (`family`, `n`, `seed`, knowledge mode, and
+//! the scheme's identity + parameters for advice). Construction is
+//! **single-flight**: when several `par_sweep` workers or criterion
+//! iterations request the same key concurrently, exactly one of them builds
+//! the artifact while the rest block on the same [`OnceLock`] and then share
+//! the result. The per-key lock means a slow build (say, the `n = 512`
+//! spanner oracle) never holds up construction of *other* keys — the outer
+//! map mutex is only held long enough to clone an `Arc`.
+//!
+//! Caching is safe for determinism because every artifact is a pure function
+//! of its key: generators, port/ID assignments, and oracles are all
+//! seed-deterministic, so a cache hit returns bit-for-bit what a cold build
+//! would. The `WAKEUP_THREADS=1` vs `=4` CI diff and the cold-vs-cached
+//! tests below pin that equivalence.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use wakeup_graph::{generators, Graph};
+use wakeup_sim::{BitStr, KnowledgeMode, Network};
+
+/// The graph families the measurement workloads draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphFamily {
+    /// `erdos_renyi_connected(n, 8/n, seed)` — the standard sparse workload.
+    Sparse,
+    /// `complete(n)` (the seed is ignored by the generator but still part of
+    /// the key, since it seeds the network's port/ID assignments).
+    Complete,
+}
+
+/// Cache key for a [`Network`]: the full set of construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NetworkKey {
+    /// Generator family.
+    pub family: GraphFamily,
+    /// Number of nodes.
+    pub n: usize,
+    /// Seed for the generator and the port/ID assignments.
+    pub seed: u64,
+    /// KT0 or KT1.
+    pub mode: KnowledgeMode,
+}
+
+/// Identity + parameters of an advising scheme, for advice cache keys.
+///
+/// Two keys compare equal exactly when `AdvisingScheme::advise` is
+/// guaranteed to return the same bitstrings on the same network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeId {
+    /// `BfsTreeScheme::new()` (Corollary 1).
+    BfsTree,
+    /// `ThresholdScheme::new()` (Theorem 5A).
+    Threshold,
+    /// `CenScheme::new()` (Theorem 5B).
+    Cen,
+    /// `SpannerScheme::new(k)` (Theorem 6).
+    Spanner(usize),
+    /// `SpannerScheme::log_instantiation(n)` (Corollary 2; `n` is in the
+    /// network key).
+    SpannerLog,
+}
+
+/// Cache key for an advice vector: the network it was computed for plus the
+/// scheme that computed it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdviceKey {
+    /// The network the oracle ran on.
+    pub net: NetworkKey,
+    /// The oracle's identity and parameters.
+    pub scheme: SchemeId,
+}
+
+/// One memoization table: per-key `OnceLock` cells giving single-flight
+/// builds without serializing distinct keys behind one lock.
+struct Shard<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    builds: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> Shard<K, V> {
+    fn new() -> Self {
+        Shard {
+            map: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+        }
+    }
+
+    fn get_or_build(&self, key: &K, build: impl FnOnce() -> V) -> Arc<V> {
+        let cell = {
+            let mut map = self.map.lock().expect("artifact cache poisoned");
+            Arc::clone(map.entry(key.clone()).or_default())
+        };
+        // The map lock is released; concurrent requests for this key now
+        // race on the cell, and `OnceLock` guarantees exactly one `build`
+        // runs while the others block until it finishes.
+        Arc::clone(cell.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build())
+        }))
+    }
+}
+
+/// Build counts per artifact kind — observability for the single-flight
+/// guarantee (tests assert "exactly one build per key").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildCounts {
+    /// Graphs generated.
+    pub graphs: u64,
+    /// Networks constructed.
+    pub networks: u64,
+    /// Advice vectors computed by oracles.
+    pub advice: u64,
+}
+
+/// The artifact cache. Use [`global`] for the shared process-wide instance;
+/// tests construct private instances to observe build counts in isolation.
+pub struct ArtifactCache {
+    graphs: Shard<(GraphFamily, usize, u64), Graph>,
+    networks: Shard<NetworkKey, Network>,
+    advice: Shard<AdviceKey, Vec<BitStr>>,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache {
+            graphs: Shard::new(),
+            networks: Shard::new(),
+            advice: Shard::new(),
+        }
+    }
+
+    /// The generated graph for `(family, n, seed)`, built at most once.
+    pub fn graph(&self, family: GraphFamily, n: usize, seed: u64) -> Arc<Graph> {
+        self.graphs
+            .get_or_build(&(family, n, seed), || match family {
+                GraphFamily::Sparse => generators::erdos_renyi_connected(n, 8.0 / n as f64, seed)
+                    .expect("valid sparse workload size"),
+                GraphFamily::Complete => generators::complete(n).expect("valid complete size"),
+            })
+    }
+
+    /// The network for `key`, built at most once (the underlying graph comes
+    /// from the graph cache). The returned network has warm node tables for
+    /// KT1, so engines constructed from it skip the table build too.
+    pub fn network(&self, key: NetworkKey) -> Arc<Network> {
+        self.networks.get_or_build(&key, || {
+            let g = self.graph(key.family, key.n, key.seed);
+            match key.mode {
+                KnowledgeMode::Kt0 => Network::kt0((*g).clone(), key.seed),
+                KnowledgeMode::Kt1 => Network::kt1((*g).clone(), key.seed),
+            }
+        })
+    }
+
+    /// The advice vector for `key`, computing it via `build` at most once.
+    ///
+    /// The caller is responsible for `build` matching `key.scheme` — the
+    /// typed wrappers in the crate root keep that association mechanical.
+    pub fn advice(&self, key: AdviceKey, build: impl FnOnce() -> Vec<BitStr>) -> Arc<Vec<BitStr>> {
+        self.advice.get_or_build(&key, build)
+    }
+
+    /// Snapshot of how many artifacts of each kind were actually built.
+    pub fn build_counts(&self) -> BuildCounts {
+        BuildCounts {
+            graphs: self.graphs.builds.load(Ordering::Relaxed),
+            networks: self.networks.builds.load(Ordering::Relaxed),
+            advice: self.advice.builds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide cache shared by all measurement entry points.
+pub fn global() -> &'static ArtifactCache {
+    static GLOBAL: OnceLock<ArtifactCache> = OnceLock::new();
+    GLOBAL.get_or_init(ArtifactCache::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn graph_and_network_are_memoized() {
+        let cache = ArtifactCache::new();
+        let key = NetworkKey {
+            family: GraphFamily::Sparse,
+            n: 48,
+            seed: 7,
+            mode: KnowledgeMode::Kt1,
+        };
+        let a = cache.network(key);
+        let b = cache.network(key);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one network");
+        assert_eq!(
+            cache.build_counts(),
+            BuildCounts {
+                graphs: 1,
+                networks: 1,
+                advice: 0
+            }
+        );
+        // Same graph, different mode: graph cache hit, new network.
+        cache.network(NetworkKey {
+            mode: KnowledgeMode::Kt0,
+            ..key
+        });
+        assert_eq!(
+            cache.build_counts(),
+            BuildCounts {
+                graphs: 1,
+                networks: 2,
+                advice: 0
+            }
+        );
+    }
+
+    #[test]
+    fn cached_network_matches_cold_construction() {
+        let cache = ArtifactCache::new();
+        let cached = cache.network(NetworkKey {
+            family: GraphFamily::Sparse,
+            n: 40,
+            seed: 3,
+            mode: KnowledgeMode::Kt0,
+        });
+        let cold = Network::kt0(
+            generators::erdos_renyi_connected(40, 8.0 / 40.0, 3).unwrap(),
+            3,
+        );
+        assert_eq!(cached.n(), cold.n());
+        assert_eq!(cached.graph().m(), cold.graph().m());
+        assert_eq!(cached.mode(), cold.mode());
+    }
+
+    /// The single-flight guarantee under contention: 8 threads hammering a
+    /// small set of overlapping keys must (a) not deadlock, (b) build each
+    /// artifact exactly once, and (c) all observe the same `Arc`.
+    #[test]
+    fn concurrent_requests_build_each_key_exactly_once() {
+        let cache = ArtifactCache::new();
+        let slow_builds = AtomicUsize::new(0);
+        let keys: Vec<AdviceKey> = (0..3)
+            .map(|i| AdviceKey {
+                net: NetworkKey {
+                    family: GraphFamily::Sparse,
+                    n: 32 + 8 * i,
+                    seed: 7,
+                    mode: KnowledgeMode::Kt0,
+                },
+                scheme: SchemeId::BfsTree,
+            })
+            .collect();
+        let results: Mutex<Vec<(usize, Arc<Vec<BitStr>>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = &cache;
+                let keys = &keys;
+                let slow_builds = &slow_builds;
+                let results = &results;
+                scope.spawn(move || {
+                    // Each thread touches every key, in different orders.
+                    for j in 0..keys.len() {
+                        let ki = (t + j) % keys.len();
+                        let advice = cache.advice(keys[ki], || {
+                            slow_builds.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so losers really do
+                            // arrive while the winner is mid-build.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            vec![BitStr::default(); keys[ki].net.n]
+                        });
+                        results.lock().unwrap().push((ki, advice));
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            slow_builds.load(Ordering::SeqCst),
+            keys.len(),
+            "every key must be built exactly once"
+        );
+        assert_eq!(cache.build_counts().advice, keys.len() as u64);
+        let results = results.into_inner().unwrap();
+        assert_eq!(results.len(), 8 * keys.len());
+        for (ki, advice) in &results {
+            assert!(
+                Arc::ptr_eq(
+                    advice,
+                    &cache.advice(keys[*ki], || unreachable!("already built"))
+                ),
+                "all requesters share the single built artifact"
+            );
+        }
+    }
+}

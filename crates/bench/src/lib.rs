@@ -7,13 +7,16 @@
 //! the same closures, and the binaries print the measured scaling tables for
 //! EXPERIMENTS.md.
 
+pub mod artifacts;
 pub mod stats;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use artifacts::{AdviceKey, GraphFamily, NetworkKey, SchemeId};
 use wakeup_core::advice::{
-    run_scheme, AdvisingScheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
+    run_scheme_with_advice, AdvisingScheme, BfsTreeScheme, CenScheme, SpannerScheme,
+    ThresholdScheme,
 };
 use wakeup_core::dfs_rank::DfsRank;
 use wakeup_core::fast_wakeup::FastWakeUp;
@@ -21,7 +24,7 @@ use wakeup_core::flooding::FloodAsync;
 use wakeup_core::harness;
 use wakeup_graph::{generators, Graph, NodeId};
 use wakeup_sim::adversary::WakeSchedule;
-use wakeup_sim::{Network, TICKS_PER_UNIT};
+use wakeup_sim::{KnowledgeMode, TICKS_PER_UNIT};
 
 /// One measured point of a Table 1 row.
 #[derive(Debug, Clone)]
@@ -64,9 +67,13 @@ fn log2(n: usize) -> f64 {
 
 /// Baseline row: flooding (Θ(m) messages, ρ_awk time).
 pub fn measure_flooding(n: usize, seed: u64) -> RowPoint {
-    let g = sparse_graph(n, seed);
-    let m = g.m() as f64;
-    let net = Network::kt0(g, seed);
+    let net = artifacts::global().network(NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed,
+        mode: KnowledgeMode::Kt0,
+    });
+    let m = net.graph().m() as f64;
     let run = harness::run_async::<FloodAsync>(&net, &WakeSchedule::single(NodeId::new(0)), seed);
     assert!(run.report.all_awake);
     RowPoint {
@@ -86,8 +93,12 @@ pub fn measure_flooding(n: usize, seed: u64) -> RowPoint {
 /// about. (A gap above ~2n lets the first token finish, making the rest of
 /// the schedule a no-op.)
 pub fn measure_thm3(n: usize, seed: u64) -> RowPoint {
-    let g = sparse_graph(n, seed);
-    let net = Network::kt1(g, seed);
+    let net = artifacts::global().network(NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed,
+        mode: KnowledgeMode::Kt1,
+    });
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::staggered(&all, 2.0);
     let run = harness::run_async::<DfsRank>(&net, &schedule, seed);
@@ -104,8 +115,12 @@ pub fn measure_thm3(n: usize, seed: u64) -> RowPoint {
 
 /// Table 1 row "Theorem 4": FastWakeUp on the dense all-awake workload.
 pub fn measure_thm4(n: usize, seed: u64) -> RowPoint {
-    let g = generators::complete(n).expect("valid size");
-    let net = Network::kt1(g, seed);
+    let net = artifacts::global().network(NetworkKey {
+        family: GraphFamily::Complete,
+        n,
+        seed,
+        mode: KnowledgeMode::Kt1,
+    });
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let run = harness::run_sync::<FastWakeUp>(&net, &WakeSchedule::all_at_zero(&all), seed);
     assert!(run.report.all_awake);
@@ -119,10 +134,46 @@ pub fn measure_thm4(n: usize, seed: u64) -> RowPoint {
     }
 }
 
-fn measure_scheme<S: AdvisingScheme>(scheme: &S, n: usize, seed: u64, shape: f64) -> RowPoint {
-    let g = sparse_graph(n, seed);
-    let net = Network::kt0(g, seed);
-    let run = run_scheme(scheme, &net, &WakeSchedule::single(NodeId::new(0)), seed);
+/// Measures one advising-scheme row with all setup artifacts (graph,
+/// network, oracle advice) coming from the global cache: the first caller
+/// for a given `(n, seed, scheme)` runs the oracle, every later trial —
+/// criterion iterations, other sweep workers — replays the cached advice.
+/// Caching only skips *preprocessing* the oracle performs anyway; the
+/// measured protocol run is untouched (see "setup vs. run accounting" in
+/// docs/MODEL.md).
+fn measure_scheme<S: AdvisingScheme>(
+    scheme: &S,
+    id: SchemeId,
+    n: usize,
+    seed: u64,
+    shape: f64,
+) -> RowPoint {
+    let cache = artifacts::global();
+    let net = cache.network(NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed,
+        mode: KnowledgeMode::Kt0,
+    });
+    let advice = cache.advice(
+        AdviceKey {
+            net: NetworkKey {
+                family: GraphFamily::Sparse,
+                n,
+                seed,
+                mode: KnowledgeMode::Kt0,
+            },
+            scheme: id,
+        },
+        || scheme.advise(&net),
+    );
+    let run = run_scheme_with_advice(
+        scheme,
+        &net,
+        advice,
+        &WakeSchedule::single(NodeId::new(0)),
+        seed,
+    );
     assert!(run.report.all_awake);
     assert_eq!(run.report.metrics.congest_violations, 0);
     RowPoint {
@@ -137,29 +188,41 @@ fn measure_scheme<S: AdvisingScheme>(scheme: &S, n: usize, seed: u64, shape: f64
 
 /// Table 1 row "\[FIP06\], Cor. 1".
 pub fn measure_cor1(n: usize, seed: u64) -> RowPoint {
-    measure_scheme(&BfsTreeScheme::new(), n, seed, n as f64)
+    measure_scheme(&BfsTreeScheme::new(), SchemeId::BfsTree, n, seed, n as f64)
 }
 
 /// Table 1 row "Theorem 5(A)".
 pub fn measure_thm5a(n: usize, seed: u64) -> RowPoint {
-    measure_scheme(&ThresholdScheme::new(), n, seed, (n as f64).powf(1.5))
+    measure_scheme(
+        &ThresholdScheme::new(),
+        SchemeId::Threshold,
+        n,
+        seed,
+        (n as f64).powf(1.5),
+    )
 }
 
 /// Table 1 row "Theorem 5(B)".
 pub fn measure_thm5b(n: usize, seed: u64) -> RowPoint {
-    measure_scheme(&CenScheme::new(), n, seed, n as f64)
+    measure_scheme(&CenScheme::new(), SchemeId::Cen, n, seed, n as f64)
 }
 
 /// Table 1 row "Theorem 6" at a given `k`.
 pub fn measure_thm6(n: usize, k: usize, seed: u64) -> RowPoint {
     let shape = k as f64 * (n as f64).powf(1.0 + 1.0 / k as f64) * ln(n);
-    measure_scheme(&SpannerScheme::new(k), n, seed, shape)
+    measure_scheme(&SpannerScheme::new(k), SchemeId::Spanner(k), n, seed, shape)
 }
 
 /// Table 1 row "Corollary 2" (`k = ⌈log₂ n⌉`).
 pub fn measure_cor2(n: usize, seed: u64) -> RowPoint {
     let shape = n as f64 * log2(n) * log2(n);
-    measure_scheme(&SpannerScheme::log_instantiation(n), n, seed, shape)
+    measure_scheme(
+        &SpannerScheme::log_instantiation(n),
+        SchemeId::SpannerLog,
+        n,
+        seed,
+        shape,
+    )
 }
 
 /// Number of worker threads the sweep harness uses: the `WAKEUP_THREADS`
@@ -264,6 +327,31 @@ mod tests {
         }
         let p4 = measure_thm4(32, 1);
         assert!(p4.messages > 0);
+    }
+
+    /// A cache hit must be indistinguishable from a cold build: the cached
+    /// measurement path (shared network + replayed oracle advice) has to
+    /// reproduce the from-scratch `run_scheme` numbers bit-for-bit.
+    #[test]
+    fn cached_scheme_measure_matches_cold_run() {
+        let (n, seed) = (48usize, 7u64);
+        // Cold: build everything from scratch, advise inline.
+        let cold_net = wakeup_sim::Network::kt0(sparse_graph(n, seed), seed);
+        let cold = wakeup_core::advice::run_scheme(
+            &CenScheme::new(),
+            &cold_net,
+            &WakeSchedule::single(NodeId::new(0)),
+            seed,
+        );
+        // Cached: twice, so the second call replays memoized artifacts.
+        let a = measure_thm5b(n, seed);
+        let b = measure_thm5b(n, seed);
+        for p in [&a, &b] {
+            assert_eq!(p.messages, cold.report.messages());
+            assert_eq!(p.time.to_bits(), cold.report.time_units().to_bits());
+            assert_eq!(p.advice_max_bits, cold.advice.max_bits);
+            assert_eq!(p.advice_avg_bits.to_bits(), cold.advice.avg_bits.to_bits());
+        }
     }
 
     /// The sweep harness must be a pure reordering of work: identical

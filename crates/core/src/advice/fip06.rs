@@ -132,7 +132,7 @@ pub fn run_fip06(
     let config = AsyncConfig {
         channel: scheme.channel(net.n()),
         seed,
-        advice: Some(wire),
+        advice: Some(std::sync::Arc::new(wire)),
         ..AsyncConfig::default()
     };
     let report = AsyncEngine::<TreeWake>::new(net, config).run(schedule);

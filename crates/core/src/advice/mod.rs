@@ -65,7 +65,22 @@ pub fn run_scheme<S: AdvisingScheme>(
     schedule: &WakeSchedule,
     seed: u64,
 ) -> SchemeRun {
-    let advice = scheme.advise(net);
+    let advice = std::sync::Arc::new(scheme.advise(net));
+    run_scheme_with_advice(scheme, net, advice, schedule, seed)
+}
+
+/// As [`run_scheme`], but with the oracle's advice supplied by the caller —
+/// the entry point for artifact caches that compute advice once and replay
+/// it across many trials. The advice must be exactly what
+/// [`AdvisingScheme::advise`] returns for this network, or the run measures
+/// a different scheme.
+pub fn run_scheme_with_advice<S: AdvisingScheme>(
+    scheme: &S,
+    net: &Network,
+    advice: std::sync::Arc<Vec<BitStr>>,
+    schedule: &WakeSchedule,
+    seed: u64,
+) -> SchemeRun {
     let stats = AdviceStats::measure(&advice);
     let config = AsyncConfig {
         channel: scheme.channel(net.n()),

@@ -11,8 +11,6 @@
 //! pays Θ(m) messages in the worst case — exactly the gap between this
 //! variant and Theorem 3 that the `ablation_congest` measurements expose.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_sim::{AsyncProtocol, Context, Incoming, NodeInit, Payload, WakeCause};
 
@@ -66,7 +64,11 @@ impl Payload for CongestDfsMsg {
 #[derive(Debug, Default)]
 struct TokenState {
     parent: Option<u64>,
-    tried: BTreeSet<u64>,
+    /// Cursor into the sorted neighbor list: neighbors below it have been
+    /// probed (or are the parent, which is skipped, never probed). Equivalent
+    /// to the classic per-token `tried` set because probes go out in
+    /// ascending-ID order, so the tried set is always a prefix.
+    next: usize,
     visited: bool,
 }
 
@@ -78,30 +80,59 @@ pub struct DfsCongest {
     rng: Xoshiro256,
     rank_bound: u64,
     best: Option<(u64, u64)>,
-    states: BTreeMap<(u64, u64), TokenState>,
+    /// Per-token-key traversal state, sorted by key. Keys strictly below
+    /// `best` are pruned whenever `best` rises (messages carrying them are
+    /// discarded before ever touching this list), so the list stays at a
+    /// handful of entries instead of one per token ever seen.
+    states: Vec<((u64, u64), TokenState)>,
 }
 
 impl DfsCongest {
+    /// The index of `key`'s state, inserting a fresh one if absent.
+    fn state_index(&mut self, key: (u64, u64)) -> usize {
+        match self.states.binary_search_by_key(&key, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.states.insert(i, (key, TokenState::default()));
+                i
+            }
+        }
+    }
+
+    /// Drops state for keys strictly below `best` — no message carrying them
+    /// survives the discard filter, so they are unreachable.
+    fn prune_below_best(&mut self) {
+        if let Some(best) = self.best {
+            let cut = self.states.partition_point(|e| e.0 < best);
+            if cut > 0 {
+                self.states.drain(..cut);
+            }
+        }
+    }
+
     /// Forwards the token for `key` to this node's next untried neighbor, or
     /// returns it to the parent when exhausted.
     fn advance(&mut self, ctx: &mut Context<'_, CongestDfsMsg>, key: (u64, u64)) {
-        let state = self.states.entry(key).or_default();
-        let next = self
-            .neighbors
-            .iter()
-            .copied()
-            .find(|w| !state.tried.contains(w) && Some(*w) != state.parent);
+        let i = self.state_index(key);
+        let state = &mut self.states[i].1;
         let (rank, origin) = key;
-        match next {
-            Some(w) => {
-                state.tried.insert(w);
-                ctx.send_to_id(w, CongestDfsMsg::Token { rank, origin });
-            }
-            None => {
-                if let Some(parent) = state.parent {
-                    ctx.send_to_id(parent, CongestDfsMsg::Return { rank, origin });
+        loop {
+            match self.neighbors.get(state.next) {
+                Some(&w) => {
+                    state.next += 1;
+                    if Some(w) == state.parent {
+                        continue; // the parent is never probed
+                    }
+                    ctx.send_to_id(w, CongestDfsMsg::Token { rank, origin });
+                    return;
                 }
-                // At the origin with everything tried: traversal complete.
+                None => {
+                    if let Some(parent) = state.parent {
+                        ctx.send_to_id(parent, CongestDfsMsg::Return { rank, origin });
+                    }
+                    // At the origin with everything tried: traversal complete.
+                    return;
+                }
             }
         }
     }
@@ -121,8 +152,15 @@ impl AsyncProtocol for DfsCongest {
             rng: Xoshiro256::seed_from(init.private_seed),
             rank_bound: n.saturating_mul(n).saturating_mul(n),
             best: None,
-            states: BTreeMap::new(),
+            states: Vec::new(),
         }
+    }
+
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        debug_assert_eq!(self.id, init.id, "reinit must target the same node");
+        self.rng = Xoshiro256::seed_from(init.private_seed);
+        self.best = None;
+        self.states.clear();
     }
 
     fn on_wake(&mut self, ctx: &mut Context<'_, CongestDfsMsg>, cause: WakeCause) {
@@ -132,7 +170,9 @@ impl AsyncProtocol for DfsCongest {
         let rank = 1 + self.rng.next_below(self.rank_bound);
         let key = (rank, self.id);
         self.best = Some(key);
-        self.states.entry(key).or_default().visited = true;
+        self.prune_below_best();
+        let i = self.state_index(key);
+        self.states[i].1.visited = true;
         self.advance(ctx, key);
     }
 
@@ -149,10 +189,12 @@ impl AsyncProtocol for DfsCongest {
             }
         }
         self.best = Some(key);
+        self.prune_below_best();
         let sender = from.sender_id.expect("KT1 reveals senders");
         match msg {
             CongestDfsMsg::Token { rank, origin } => {
-                let state = self.states.entry(key).or_default();
+                let i = self.state_index(key);
+                let state = &mut self.states[i].1;
                 if state.visited {
                     ctx.send(from.port, CongestDfsMsg::Bounce { rank, origin });
                 } else {

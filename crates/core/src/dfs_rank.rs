@@ -24,16 +24,87 @@ pub struct DfsToken {
     pub visited: Vec<u64>,
     /// The current DFS stack; the last entry is the token's holder.
     pub path: Vec<u64>,
+    /// O(1)-membership mirror of `visited`, maintained at the two append
+    /// sites. Purely derived data riding along for simulation speed: it is
+    /// *not* part of the wire format and contributes nothing to
+    /// [`Payload::size_bits`] (a receiver could rebuild it from `visited`).
+    visited_set: IdSet,
+}
+
+impl DfsToken {
+    /// A fresh token launched by `origin` (which is its own first visit).
+    fn launch(rank: u64, origin: u64) -> DfsToken {
+        let mut token = DfsToken {
+            rank,
+            origin,
+            visited: Vec::new(),
+            path: vec![origin],
+            visited_set: IdSet::default(),
+        };
+        token.record_visit(origin);
+        token
+    }
+
+    /// Appends `id` to the visited list, keeping the membership mirror in
+    /// sync (the only way `visited` ever grows).
+    fn record_visit(&mut self, id: u64) {
+        self.visited.push(id);
+        self.visited_set.insert(id);
+    }
+
+    /// Whether `id` is in the visited list.
+    fn has_visited(&self, id: u64) -> bool {
+        self.visited_set.contains(id)
+    }
 }
 
 impl Payload for DfsToken {
     fn size_bits(&self) -> usize {
-        // rank + origin + two length-prefixed id lists.
+        // rank + origin + two length-prefixed id lists. The membership
+        // mirror is redundant with `visited` and therefore free.
         64 * (2 + self.visited.len() + self.path.len()) + 2 * 32
     }
 }
 
+/// A grow-on-demand bitset over node IDs. IDs are drawn from a range of
+/// size polynomial in `n` (see `docs/MODEL.md`), so indexing words by
+/// `id / 64` stays linear in the network size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct IdSet {
+    words: Vec<u64>,
+}
+
+impl IdSet {
+    fn insert(&mut self, id: u64) {
+        let w = (id / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (id % 64);
+    }
+
+    fn contains(&self, id: u64) -> bool {
+        self.words
+            .get((id / 64) as usize)
+            .is_some_and(|&word| word >> (id % 64) & 1 == 1)
+    }
+}
+
 /// The Theorem 3 protocol. Requires a KT1 network.
+///
+/// # Hot-path membership tracking
+///
+/// The naive implementation scans `token.visited` once per neighbor per
+/// arrival (O(deg · n) per hop, O(n²·deg) per traversal). The token instead
+/// carries an O(1)-membership mirror of its visited list ([`IdSet`],
+/// maintained at the two append sites), and each node keeps a cursor to the
+/// first possibly-unvisited neighbor in ascending-ID order for the one token
+/// key it is tracking. Because each `(rank, origin)` key names a *single
+/// physical token* whose visited list only ever grows, the cursor only moves
+/// forward, so the total per-node work for a key is O(deg) — no node ever
+/// rescans the visited list. The selected neighbor — first unvisited in
+/// ascending ID order — is identical to the naive scan's, so message
+/// sequences are byte-for-byte unchanged.
 #[derive(Debug)]
 pub struct DfsRank {
     id: u64,
@@ -45,6 +116,11 @@ pub struct DfsRank {
     deterministic_ranks: bool,
     /// Largest (rank, id) seen; tokens strictly below this are discarded.
     best: Option<(u64, u64)>,
+    /// Key of the token the cursor below describes.
+    scratch_key: Option<(u64, u64)>,
+    /// First neighbor index not yet known to be visited by the tracked
+    /// token.
+    cursor: usize,
     /// Diagnostics: number of distinct tokens this node forwarded.
     pub tokens_forwarded: u64,
 }
@@ -70,6 +146,11 @@ impl AsyncProtocol for DfsIdRank {
         DfsIdRank { inner }
     }
 
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        self.inner.reinit(init);
+        self.inner.deterministic_ranks = true;
+    }
+
     fn on_wake(&mut self, ctx: &mut Context<'_, DfsToken>, cause: WakeCause) {
         self.inner.on_wake(ctx, cause);
     }
@@ -80,18 +161,38 @@ impl AsyncProtocol for DfsIdRank {
 }
 
 impl DfsRank {
+    /// Points the cursor at `key`, resetting it if it currently describes a
+    /// different token. A mismatch implies this node has never processed
+    /// `key`'s token (visited entries are appended only by the node they
+    /// name, and any previously-tracked key below `key` can never pass the
+    /// `best` filter again), so a reset cursor is accurate.
+    fn track(&mut self, key: (u64, u64)) {
+        if self.scratch_key != Some(key) {
+            self.scratch_key = Some(key);
+            self.cursor = 0;
+        }
+    }
+
     /// Continues the DFS from this node, which must be the top of the
-    /// token's path.
+    /// token's path. Callers must have `track`ed the token's key.
     fn advance(&mut self, ctx: &mut Context<'_, DfsToken>, mut token: DfsToken) {
         debug_assert_eq!(token.path.last(), Some(&self.id));
-        // Next unvisited neighbor in ascending ID order (deterministic).
-        let next = self
-            .neighbors
-            .iter()
-            .copied()
-            .find(|w| !token.visited.contains(w));
-        match next {
-            Some(w) => {
+        debug_assert_eq!(self.scratch_key, Some((token.rank, token.origin)));
+        // Next unvisited neighbor in ascending ID order (deterministic) —
+        // the cursor only moves forward because visited only grows.
+        while self.cursor < self.neighbors.len() && token.has_visited(self.neighbors[self.cursor]) {
+            self.cursor += 1;
+        }
+        debug_assert_eq!(
+            self.neighbors.get(self.cursor).copied(),
+            self.neighbors
+                .iter()
+                .copied()
+                .find(|w| !token.visited.contains(w)),
+            "cursor must agree with a direct visited scan"
+        );
+        match self.neighbors.get(self.cursor) {
+            Some(&w) => {
                 self.tokens_forwarded += 1;
                 ctx.send_to_id(w, token);
             }
@@ -113,20 +214,32 @@ impl AsyncProtocol for DfsRank {
 
     fn init(init: &NodeInit<'_>) -> Self {
         let n = init.n_hint.max(2) as u64;
+        let neighbors = init
+            .neighbor_ids
+            .expect("DfsRank requires the KT1 knowledge mode")
+            .to_vec();
         DfsRank {
             id: init.id,
-            neighbors: init
-                .neighbor_ids
-                .expect("DfsRank requires the KT1 knowledge mode")
-                .to_vec(),
+            neighbors,
             rng: Xoshiro256::seed_from(init.private_seed),
             // The paper's [n^c] rank range with c = 3: collisions happen with
             // probability <= n^2 / n^3 = 1/n.
             rank_bound: n.saturating_mul(n).saturating_mul(n),
             deterministic_ranks: false,
             best: None,
+            scratch_key: None,
+            cursor: 0,
             tokens_forwarded: 0,
         }
+    }
+
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        debug_assert_eq!(self.id, init.id, "reinit must target the same node");
+        self.rng = Xoshiro256::seed_from(init.private_seed);
+        self.best = None;
+        self.scratch_key = None;
+        self.cursor = 0;
+        self.tokens_forwarded = 0;
     }
 
     fn on_wake(&mut self, ctx: &mut Context<'_, DfsToken>, cause: WakeCause) {
@@ -140,12 +253,8 @@ impl AsyncProtocol for DfsRank {
             1 + self.rng.next_below(self.rank_bound)
         };
         self.best = Some((rank, self.id));
-        let token = DfsToken {
-            rank,
-            origin: self.id,
-            visited: vec![self.id],
-            path: vec![self.id],
-        };
+        let token = DfsToken::launch(rank, self.id);
+        self.track((rank, self.id));
         self.advance(ctx, token);
     }
 
@@ -157,9 +266,10 @@ impl AsyncProtocol for DfsRank {
             }
         }
         self.best = Some(key);
-        if !msg.visited.contains(&self.id) {
+        self.track(key);
+        if !msg.has_visited(self.id) {
             // First visit: join the traversal.
-            msg.visited.push(self.id);
+            msg.record_visit(self.id);
             msg.path.push(self.id);
         }
         debug_assert_eq!(
@@ -328,12 +438,10 @@ mod tests {
 
     #[test]
     fn token_sizes_reported_honestly() {
-        let t = DfsToken {
-            rank: 1,
-            origin: 2,
-            visited: vec![1, 2, 3],
-            path: vec![1],
-        };
+        let mut t = DfsToken::launch(1, 1);
+        t.record_visit(2);
+        t.record_visit(3);
+        // visited = [1, 2, 3], path = [1]: the membership mirror is free.
         assert_eq!(t.size_bits(), 64 * 6 + 64);
     }
 }

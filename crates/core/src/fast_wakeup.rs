@@ -21,12 +21,17 @@
 //! which is what makes Lemma 9 ("when a node deactivates, all its neighbors
 //! are awake") hold.
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_sim::{Context, Incoming, NodeInit, Payload, SyncProtocol, WakeCause};
 
 /// FastWakeUp messages (LOCAL model — neighbor lists may be large).
+///
+/// The list payloads are `Arc`-shared: a neighbor list or edge set is built
+/// once and every copy of the message holds the same allocation. The
+/// `size_bits` accounting is unchanged — sharing is a simulator-level
+/// optimization, the *model* still charges for the full list per message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FwMsg {
     /// Root → all neighbors: join my tree at level 1.
@@ -39,14 +44,14 @@ pub enum FwMsg {
         /// Tree tag.
         root: u64,
         /// The sender's full neighbor ID list.
-        nbrs: Vec<u64>,
+        nbrs: Arc<Vec<u64>>,
     },
     /// Root → all neighbors: the level-1→2 BFS edge set `S₂`.
     Edges2 {
         /// Tree tag.
         root: u64,
         /// `(level-1 parent, level-2 child)` pairs.
-        edges: Vec<(u64, u64)>,
+        edges: Arc<Vec<(u64, u64)>>,
     },
     /// Level-1 node → its assigned level-2 children: join at level 2.
     Invite2 {
@@ -58,14 +63,14 @@ pub enum FwMsg {
         /// Tree tag.
         root: u64,
         /// The sender's full neighbor ID list.
-        nbrs: Vec<u64>,
+        nbrs: Arc<Vec<u64>>,
     },
     /// Level-1 node → root: collected level-2 neighbor lists.
     FwdLists {
         /// Tree tag.
         root: u64,
         /// `(level-2 child, its neighbor list)` pairs.
-        lists: Vec<(u64, Vec<u64>)>,
+        lists: Vec<(u64, Arc<Vec<u64>>)>,
     },
     /// Root → a level-1 node: the `S₃` edges in that node's subtree.
     Edges3 {
@@ -96,9 +101,8 @@ impl Payload for FwMsg {
         tag + match self {
             FwMsg::Invite1 { .. } | FwMsg::Invite2 { .. } | FwMsg::Invite3 { .. } => 64,
             FwMsg::NbrList1 { nbrs, .. } | FwMsg::NbrList2 { nbrs, .. } => 64 + 64 * nbrs.len(),
-            FwMsg::Edges2 { edges, .. }
-            | FwMsg::Edges3 { edges, .. }
-            | FwMsg::Edges3Fwd { edges, .. } => 64 + 128 * edges.len(),
+            FwMsg::Edges2 { edges, .. } => 64 + 128 * edges.len(),
+            FwMsg::Edges3 { edges, .. } | FwMsg::Edges3Fwd { edges, .. } => 64 + 128 * edges.len(),
             FwMsg::FwdLists { lists, .. } => {
                 64 + lists.iter().map(|(_, l)| 64 + 64 * l.len()).sum::<usize>()
             }
@@ -119,20 +123,28 @@ enum Status {
 
 #[derive(Debug, Default)]
 struct RootState {
-    nbr_lists: BTreeMap<u64, Vec<u64>>,
+    /// `(level-1 sender, its neighbor list)` in arrival order. Senders are
+    /// unique (a root invites each neighbor exactly once), and the `S₂`
+    /// computation is order-independent, so a flat push-vector replaces the
+    /// old `BTreeMap` without changing any output.
+    nbr_lists: Vec<(u64, Arc<Vec<u64>>)>,
+    /// `S₂` as `(level-1 parent, level-2 child)`, sorted by child.
     edges2: Vec<(u64, u64)>,
+    /// The level-2 node set, sorted ascending (binary-searchable).
     l2: Vec<u64>,
     expect_fwd: usize,
     got_fwd: usize,
-    l2_lists: Vec<(u64, Vec<u64>)>,
+    l2_lists: Vec<(u64, Arc<Vec<u64>>)>,
     edges2_sent: bool,
     edges3_sent: bool,
 }
 
 #[derive(Debug, Default)]
 struct L1State {
+    /// Assigned level-2 children, sorted ascending (inherits the by-child
+    /// order of `edges2`).
     children: Vec<u64>,
-    lists: Vec<(u64, Vec<u64>)>,
+    lists: Vec<(u64, Arc<Vec<u64>>)>,
     forwarded: bool,
 }
 
@@ -149,7 +161,9 @@ pub type FastWakeUp = FastWakeUpImpl<100>;
 #[derive(Debug)]
 pub struct FastWakeUpImpl<const PCT: u32> {
     id: u64,
-    neighbors: Vec<u64>,
+    /// Sorted ascending (from `NodeInit::neighbor_ids`); shared so every
+    /// `NbrList*` message reuses this allocation instead of cloning it.
+    neighbors: Arc<Vec<u64>>,
     rng: Xoshiro256,
     root_probability: f64,
     status: Status,
@@ -161,8 +175,12 @@ pub struct FastWakeUpImpl<const PCT: u32> {
     deactivated_at: Option<u32>,
     broadcasted: bool,
     root_state: Option<RootState>,
-    l1: BTreeMap<u64, L1State>,
-    l2: BTreeMap<u64, u64>, // root -> my level-1 parent
+    /// Per-tree level-1 state; a node joins few trees, so a linear-scan
+    /// vector beats the old `BTreeMap` (no per-tree allocation, no pointer
+    /// chasing). Never iterated, so map order was irrelevant.
+    l1: Vec<(u64, L1State)>,
+    /// `(root, my level-1 parent)` per tree joined at level 2.
+    l2: Vec<(u64, u64)>,
 }
 
 impl<const PCT: u32> FastWakeUpImpl<PCT> {
@@ -199,6 +217,10 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
         });
     }
 
+    fn l1_state(&mut self, root: u64) -> Option<&mut L1State> {
+        self.l1.iter_mut().find(|(r, _)| *r == root).map(|(_, s)| s)
+    }
+
     fn handle_tree_message(
         &mut self,
         ctx: &mut Context<'_, FwMsg>,
@@ -210,19 +232,23 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
         match msg {
             FwMsg::Invite1 { root } => {
                 // Join at level 1 and report my neighborhood.
-                self.l1.entry(root).or_default();
+                if self.l1.iter().all(|&(r, _)| r != root) {
+                    self.l1.push((root, L1State::default()));
+                }
                 self.schedule_deactivation(self.local_round + 8);
                 ctx.send_to_id(
                     sender,
                     FwMsg::NbrList1 {
                         root,
-                        nbrs: self.neighbors.clone(),
+                        nbrs: Arc::clone(&self.neighbors),
                     },
                 );
             }
             FwMsg::NbrList1 { root: _, nbrs } => {
                 if let Some(rs) = self.root_state.as_mut() {
-                    rs.nbr_lists.insert(sender, nbrs);
+                    // Senders are distinct (one Invite1 per neighbor), so a
+                    // push is the old map insert.
+                    rs.nbr_lists.push((sender, nbrs));
                 }
             }
             FwMsg::Edges2 { root, edges } => {
@@ -234,27 +260,30 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
                 for &c in &children {
                     ctx.send_to_id(c, FwMsg::Invite2 { root });
                 }
-                if let Some(state) = self.l1.get_mut(&root) {
+                if let Some(state) = self.l1_state(root) {
                     state.children = children;
                 }
             }
             FwMsg::Invite2 { root } => {
-                self.l2.insert(root, sender);
+                self.l2.push((root, sender));
                 self.schedule_deactivation(self.local_round + 5);
                 ctx.send_to_id(
                     sender,
                     FwMsg::NbrList2 {
                         root,
-                        nbrs: self.neighbors.clone(),
+                        nbrs: Arc::clone(&self.neighbors),
                     },
                 );
             }
             FwMsg::NbrList2 { root, nbrs } => {
-                if let Some(state) = self.l1.get_mut(&root) {
+                if let Some(state) = self.l1_state(root) {
                     state.lists.push((sender, nbrs));
                     if !state.forwarded && state.lists.len() == state.children.len() {
                         state.forwarded = true;
-                        let lists = state.lists.clone();
+                        // All children reported — no further NbrList2 can
+                        // arrive for this tree, so hand the collected lists
+                        // over instead of cloning them.
+                        let lists = std::mem::take(&mut state.lists);
                         ctx.send_to_id(root, FwMsg::FwdLists { root, lists });
                     }
                 }
@@ -270,21 +299,31 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
             }
             FwMsg::Edges3 { root, edges } => {
                 // Group by the level-2 parent among my children and forward.
-                if let Some(state) = self.l1.get_mut(&root) {
-                    let mut by_parent: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
-                    for &(p, c) in &edges {
-                        if state.children.contains(&p) {
-                            by_parent.entry(p).or_default().push((p, c));
+                // A stable sort by parent reproduces the old BTreeMap pass
+                // exactly: groups go out in ascending-parent order, and each
+                // group keeps the incoming edge order.
+                if let Some(state) = self.l1_state(root) {
+                    let mut mine: Vec<(u64, u64)> = edges
+                        .iter()
+                        .filter(|&&(p, _)| state.children.binary_search(&p).is_ok())
+                        .copied()
+                        .collect();
+                    mine.sort_by_key(|&(p, _)| p);
+                    let mut i = 0;
+                    while i < mine.len() {
+                        let p = mine[i].0;
+                        let mut j = i;
+                        while j < mine.len() && mine[j].0 == p {
+                            j += 1;
                         }
-                    }
-                    for (p, subset) in by_parent {
                         ctx.send_to_id(
                             p,
                             FwMsg::Edges3Fwd {
                                 root,
-                                edges: subset,
+                                edges: mine[i..j].to_vec(),
                             },
                         );
+                        i = j;
                     }
                 }
             }
@@ -312,87 +351,102 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
 
     /// Root: compute `S₂` from the collected level-1 neighbor lists and push
     /// it down; runs once all level-1 lists have arrived.
+    ///
+    /// The old implementation kept a `BTreeMap<child, min parent>`; here the
+    /// same result comes from sorting all `(child, parent)` candidates and
+    /// deduping by child — sorting puts the minimum parent first, and
+    /// `dedup_by_key` keeps the first entry of each run, so the surviving
+    /// pairs are exactly the map's `(child, min parent)` entries in
+    /// ascending-child order.
     fn send_edges2(&mut self, ctx: &mut Context<'_, FwMsg>) {
         let rs = self.root_state.as_mut().expect("only roots compute S2");
         rs.edges2_sent = true;
-        let l1: Vec<u64> = self.neighbors.clone();
-        let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
-        for (&v, nbrs) in &rs.nbr_lists {
-            for &w in nbrs {
-                if w != self.id && !l1.contains(&w) {
-                    parent_of
-                        .entry(w)
-                        .and_modify(|p| {
-                            if v < *p {
-                                *p = v;
-                            }
-                        })
-                        .or_insert(v);
+        let mut pairs: Vec<(u64, u64)> = Vec::new(); // (level-2 child, level-1 parent)
+        for (v, nbrs) in &rs.nbr_lists {
+            for &w in nbrs.iter() {
+                if w != self.id && self.neighbors.binary_search(&w).is_err() {
+                    pairs.push((w, *v));
                 }
             }
         }
-        rs.edges2 = parent_of.iter().map(|(&c, &p)| (p, c)).collect();
-        rs.l2 = parent_of.keys().copied().collect();
-        let parents: std::collections::BTreeSet<u64> = rs.edges2.iter().map(|&(p, _)| p).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|&mut (c, _)| c);
+        rs.edges2 = pairs.iter().map(|&(c, p)| (p, c)).collect();
+        rs.l2 = pairs.iter().map(|&(c, _)| c).collect();
+        let mut parents: Vec<u64> = rs.edges2.iter().map(|&(p, _)| p).collect();
+        parents.sort_unstable();
+        parents.dedup();
         rs.expect_fwd = parents.len();
-        let edges = rs.edges2.clone();
-        let done = edges.is_empty();
-        if !done {
-            for &v in &l1 {
+        if rs.edges2.is_empty() {
+            // No level 2: the construction ends here.
+            rs.edges3_sent = true;
+        } else {
+            let edges = Arc::new(rs.edges2.clone());
+            for &v in self.neighbors.iter() {
                 ctx.send_to_id(
                     v,
                     FwMsg::Edges2 {
                         root: self.id,
-                        edges: edges.clone(),
+                        edges: Arc::clone(&edges),
                     },
                 );
             }
-        } else {
-            // No level 2: the construction ends here.
-            self.root_state.as_mut().unwrap().edges3_sent = true;
         }
     }
 
     /// Root: compute `S₃` from the level-2 neighbor lists and push each
-    /// level-1 subtree its share.
+    /// level-1 subtree its share. Same sort/dedup replacement for the old
+    /// min-parent `BTreeMap` as in [`Self::send_edges2`].
     fn send_edges3(&mut self, ctx: &mut Context<'_, FwMsg>) {
         let rs = self.root_state.as_mut().expect("only roots compute S3");
         rs.edges3_sent = true;
-        let l1 = &self.neighbors;
-        let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut pairs: Vec<(u64, u64)> = Vec::new(); // (level-3 child, level-2 parent)
         for (c2, nbrs) in &rs.l2_lists {
-            for &w in nbrs {
-                if w != self.id && !l1.contains(&w) && !rs.l2.contains(&w) {
-                    parent_of
-                        .entry(w)
-                        .and_modify(|p| {
-                            if *c2 < *p {
-                                *p = *c2;
-                            }
-                        })
-                        .or_insert(*c2);
+            for &w in nbrs.iter() {
+                if w != self.id
+                    && self.neighbors.binary_search(&w).is_err()
+                    && rs.l2.binary_search(&w).is_err()
+                {
+                    pairs.push((w, *c2));
                 }
             }
         }
-        if parent_of.is_empty() {
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|&mut (c3, _)| c3);
+        if pairs.is_empty() {
             return;
         }
         // Route each S3 edge via the level-1 parent that owns the level-2
-        // node.
-        let l1_parent_of_l2: BTreeMap<u64, u64> = rs.edges2.iter().map(|&(p, c)| (c, p)).collect();
-        let mut per_l1: BTreeMap<u64, Vec<(u64, u64)>> = BTreeMap::new();
-        for (&c3, &p2) in &parent_of {
-            let p1 = l1_parent_of_l2[&p2];
-            per_l1.entry(p1).or_default().push((p2, c3));
-        }
-        for (p1, edges) in per_l1 {
+        // node; `edges2` is sorted by child, so the lookup is a binary
+        // search. The stable sort by level-1 parent reproduces the old
+        // nested-BTreeMap emission order: ascending parent, and within a
+        // parent the ascending-child order of `pairs`.
+        let mut per_l1: Vec<(u64, u64, u64)> = pairs
+            .iter()
+            .map(|&(c3, p2)| {
+                let i = rs
+                    .edges2
+                    .binary_search_by_key(&p2, |&(_, c)| c)
+                    .expect("every level-2 node has a level-1 parent");
+                (rs.edges2[i].0, p2, c3)
+            })
+            .collect();
+        per_l1.sort_by_key(|&(p1, _, _)| p1);
+        let mut i = 0;
+        while i < per_l1.len() {
+            let p1 = per_l1[i].0;
+            let mut j = i;
+            while j < per_l1.len() && per_l1[j].0 == p1 {
+                j += 1;
+            }
             ctx.send_to_id(
                 p1,
                 FwMsg::Edges3 {
                     root: self.id,
-                    edges,
+                    edges: per_l1[i..j].iter().map(|&(_, p2, c3)| (p2, c3)).collect(),
                 },
             );
+            i = j;
         }
     }
 }
@@ -404,10 +458,11 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
         let n = init.n_hint.max(2) as f64;
         FastWakeUpImpl {
             id: init.id,
-            neighbors: init
-                .neighbor_ids
-                .expect("FastWakeUp requires the KT1 knowledge mode")
-                .to_vec(),
+            neighbors: Arc::new(
+                init.neighbor_ids
+                    .expect("FastWakeUp requires the KT1 knowledge mode")
+                    .to_vec(),
+            ),
             rng: Xoshiro256::seed_from(init.private_seed),
             root_probability: ((n.ln() / n).sqrt() * f64::from(PCT) / 100.0).min(1.0),
             status: Status::Dormant,
@@ -418,9 +473,26 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
             deactivated_at: None,
             broadcasted: false,
             root_state: None,
-            l1: BTreeMap::new(),
-            l2: BTreeMap::new(),
+            l1: Vec::new(),
+            l2: Vec::new(),
         }
+    }
+
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        // The node's identity (id, neighbor list, sampling probability) is
+        // immutable across trials — only re-seed the RNG and reset the
+        // mutable protocol state, keeping the `l1`/`l2` allocations.
+        self.rng = Xoshiro256::seed_from(init.private_seed);
+        self.status = Status::Dormant;
+        self.local_round = 0;
+        self.sampled = false;
+        self.is_root = false;
+        self.deactivate_at = None;
+        self.deactivated_at = None;
+        self.broadcasted = false;
+        self.root_state = None;
+        self.l1.clear();
+        self.l2.clear();
     }
 
     fn on_wake(&mut self, _ctx: &mut Context<'_, FwMsg>, cause: WakeCause) {
@@ -449,7 +521,8 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
                 self.root_state = Some(RootState::default());
                 // Root deactivates at the end of the 9-round construction.
                 self.schedule_deactivation(self.local_round + 9);
-                for &v in &self.neighbors.clone() {
+                let nbrs = Arc::clone(&self.neighbors);
+                for &v in nbrs.iter() {
                     ctx.send_to_id(v, FwMsg::Invite1 { root: self.id });
                 }
                 if self.neighbors.is_empty() {

@@ -113,11 +113,23 @@ pub fn run_trials_async<P: AsyncProtocol>(
         messages: Vec::with_capacity(trials),
         times: Vec::with_capacity(trials),
     };
+    // One engine for all trials: reset re-seeds the per-node states in place,
+    // so the tables, wheel, and channel arrays are built once, not per trial
+    // (and unlike `run_async`, no per-trial ρ_awk/diameter BFS — TrialStats
+    // never reports them).
+    let config = AsyncConfig {
+        seed: base_seed,
+        ..AsyncConfig::default()
+    };
+    let mut engine = AsyncEngine::<P>::new(net, config);
     for i in 0..trials {
-        let run = run_async::<P>(net, schedule, base_seed + i as u64);
-        stats.successes += usize::from(run.report.all_awake);
-        stats.messages.push(run.report.messages());
-        stats.times.push(run.report.time_units());
+        if i > 0 {
+            engine.reset(base_seed + i as u64);
+        }
+        let report = engine.run_mut(schedule, &mut wakeup_sim::adversary::UnitDelay);
+        stats.successes += usize::from(report.all_awake);
+        stats.messages.push(report.messages());
+        stats.times.push(report.time_units());
     }
     stats
 }
@@ -135,11 +147,20 @@ pub fn run_trials_sync<P: SyncProtocol>(
         messages: Vec::with_capacity(trials),
         times: Vec::with_capacity(trials),
     };
+    // Same engine-reuse pattern as `run_trials_async`.
+    let config = SyncConfig {
+        seed: base_seed,
+        ..SyncConfig::default()
+    };
+    let mut engine = SyncEngine::<P>::new(net, config);
     for i in 0..trials {
-        let run = run_sync::<P>(net, schedule, base_seed + i as u64);
-        stats.successes += usize::from(run.report.all_awake);
-        stats.messages.push(run.report.messages());
-        stats.times.push(run.report.rounds as f64);
+        if i > 0 {
+            engine.reset(base_seed + i as u64);
+        }
+        let report = engine.run_mut(schedule);
+        stats.successes += usize::from(report.all_awake);
+        stats.messages.push(report.messages());
+        stats.times.push(report.rounds as f64);
     }
     stats
 }

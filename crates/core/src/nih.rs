@@ -39,10 +39,13 @@ impl<M: Payload> Payload for NihMsg<M> {
 
 /// The Lemma 1 adapter around an inner wake-up protocol.
 #[derive(Debug)]
-pub struct Nih<P> {
+pub struct Nih<P: AsyncProtocol> {
     inner: P,
     degree: usize,
     responded: bool,
+    /// Recycled outbox for the inner protocol's handlers — one allocation
+    /// per node for the whole run instead of one per event.
+    inner_outbox: Vec<(wakeup_sim::Port, P::Msg)>,
 }
 
 impl<P: AsyncProtocol> Nih<P> {
@@ -52,7 +55,11 @@ impl<P: AsyncProtocol> Nih<P> {
         f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>) -> R,
     ) -> R {
         let inner = &mut self.inner;
-        ctx.scoped(|inner_ctx| f(inner, inner_ctx), NihMsg::Inner)
+        ctx.scoped_with(
+            &mut self.inner_outbox,
+            |inner_ctx| f(inner, inner_ctx),
+            NihMsg::Inner,
+        )
     }
 }
 
@@ -64,7 +71,14 @@ impl<P: AsyncProtocol> AsyncProtocol for Nih<P> {
             inner: P::init(init),
             degree: init.degree,
             responded: false,
+            inner_outbox: Vec::new(),
         }
+    }
+
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        self.inner.reinit(init);
+        self.degree = init.degree;
+        self.responded = false;
     }
 
     fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause) {

@@ -255,7 +255,7 @@ pub fn run_fragment_point(n: usize, seed: u64) -> FragmentPoint {
     let stats = AdviceStats::measure(&advice);
     let config = AsyncConfig {
         seed: seed ^ 0xF0F0,
-        advice: Some(advice),
+        advice: Some(std::sync::Arc::new(advice)),
         ..AsyncConfig::default()
     };
     let schedule = WakeSchedule::all_at_zero(&fam.centers());

@@ -176,7 +176,7 @@ pub fn run_point(n: usize, beta: usize, seed: u64) -> Thm1Point {
     let stats = AdviceStats::measure(&advice);
     let config = AsyncConfig {
         seed: seed ^ 0xABCD,
-        advice: Some(advice),
+        advice: Some(std::sync::Arc::new(advice)),
         ..AsyncConfig::default()
     };
     let schedule = WakeSchedule::all_at_zero(&fam.centers());
@@ -225,7 +225,7 @@ pub fn port_usage(n: usize, beta: usize, seed: u64) -> PortUsageProfile {
     let advice = prefix_advice(&fam, &net, beta);
     let config = AsyncConfig {
         seed: seed ^ 0xABCD,
-        advice: Some(advice),
+        advice: Some(std::sync::Arc::new(advice)),
         track_ports: true,
         ..AsyncConfig::default()
     };

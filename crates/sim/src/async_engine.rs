@@ -25,7 +25,8 @@
 //! horizons and sequence counters are flat arrays indexed by the dense
 //! directed-edge slots of [`NodeTables`].
 
-use wakeup_graph::rng::Xoshiro256;
+use std::sync::Arc;
+
 use wakeup_graph::NodeId;
 
 use crate::adversary::{DelayStrategy, UnitDelay, WakeSchedule};
@@ -34,7 +35,7 @@ use crate::knowledge::Port;
 use crate::message::{ChannelModel, Payload};
 use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
 use crate::network::{Network, NodeTables};
-use crate::protocol::{AsyncProtocol, Context, Incoming, NodeInit, WakeCause};
+use crate::protocol::{AsyncProtocol, Context, Incoming, WakeCause};
 use crate::trace::{Trace, TraceEvent};
 
 /// Configuration of an [`AsyncEngine`] run.
@@ -47,8 +48,9 @@ pub struct AsyncConfig {
     pub seed: u64,
     /// Seed of the shared random tape.
     pub shared_seed: u64,
-    /// Per-node advice strings from an oracle (None = no advice).
-    pub advice: Option<Vec<BitStr>>,
+    /// Per-node advice strings from an oracle (None = no advice). Shared via
+    /// `Arc` so cached advice is handed to many engines without copying.
+    pub advice: Option<Arc<Vec<BitStr>>>,
     /// Safety cap on processed events; exceeding it sets
     /// [`RunReport::truncated`].
     pub max_events: u64,
@@ -121,6 +123,13 @@ impl<M> MsgSlab<M> {
             .expect("slab handle taken twice");
         self.free.push(handle);
         msg
+    }
+
+    /// Drops every stored message and resets the free list, keeping the
+    /// slot vector's capacity for the next run.
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
     }
 
     /// Number of live (inserted, not yet taken) messages.
@@ -203,6 +212,19 @@ impl<M> TimerWheel<M> {
         self.spare = bucket;
     }
 
+    /// Empties the wheel (dropping any undelivered payloads left by a
+    /// truncated run) while keeping bucket and slab capacity for reuse.
+    fn clear(&mut self) {
+        if self.len > 0 {
+            for b in &mut self.buckets {
+                b.clear();
+            }
+            self.occupied = [0; WHEEL_WORDS];
+            self.len = 0;
+        }
+        self.slab.clear();
+    }
+
     /// The earliest tick strictly after `now` holding a delivery, if any.
     fn next_occupied_after(&self, now: u64) -> Option<u64> {
         if self.len == 0 {
@@ -245,10 +267,22 @@ impl<M> TimerWheel<M> {
 /// [`UnitDelay`]); FIFO order per channel is enforced regardless of the
 /// strategy's choices, matching the paper's channel model.
 pub struct AsyncEngine<'n, P: AsyncProtocol> {
-    net: &'n Network,
-    tables: NodeTables,
+    net: crate::network::NetHandle<'n>,
+    tables: Arc<NodeTables>,
     config: AsyncConfig,
     protocols: Vec<P>,
+    scratch: AsyncScratch<P::Msg>,
+}
+
+/// Run-to-run reusable buffers: the wheel (with its payload slab), the flat
+/// per-channel arrays, and the outbox lent to handlers. Kept in the engine so
+/// [`AsyncEngine::reset`]-then-[`AsyncEngine::run_mut`] trial loops recycle
+/// every steady-state allocation.
+struct AsyncScratch<M> {
+    wheel: TimerWheel<M>,
+    channel_next: Vec<u64>,
+    channel_seq: Vec<u64>,
+    outbox_buf: Vec<(Port, M)>,
 }
 
 impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
@@ -258,88 +292,127 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
     ///
     /// Panics if `config.advice` is present but has the wrong length.
     pub fn new(net: &'n Network, config: AsyncConfig) -> AsyncEngine<'n, P> {
-        let tables = NodeTables::build(net);
-        let empty = BitStr::new();
-        if let Some(advice) = &config.advice {
-            assert_eq!(advice.len(), net.n(), "advice must cover every node");
-        }
-        let master = Xoshiro256::seed_from(config.seed);
-        let protocols = (0..net.n())
-            .map(|v| {
-                let node = NodeId::new(v);
-                let advice = config.advice.as_ref().map_or(&empty, |a| &a[v]);
-                let init = NodeInit {
-                    id: net.ids().id(node),
-                    degree: net.graph().degree(node),
-                    n_hint: net.n(),
-                    neighbor_ids: if self_is_kt1(net) {
-                        Some(tables.neighbor_ids[v].as_slice())
-                    } else {
-                        None
-                    },
-                    advice,
-                    private_seed: master.fork(v as u64).next_u64_peek(),
-                    shared_seed: config.shared_seed,
-                };
-                P::init(&init)
-            })
-            .collect();
+        Self::with_handle(crate::network::NetHandle::Borrowed(net), config)
+    }
+
+    /// As [`AsyncEngine::new`], but co-owning a shared network — the entry
+    /// point for artifact caches that hand out `Arc<Network>`s, freeing the
+    /// engine from the caller's borrow lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.advice` is present but has the wrong length.
+    pub fn new_shared(net: Arc<Network>, config: AsyncConfig) -> AsyncEngine<'static, P> {
+        AsyncEngine::with_handle(crate::network::NetHandle::Shared(net), config)
+    }
+
+    fn with_handle(net: crate::network::NetHandle<'n>, config: AsyncConfig) -> AsyncEngine<'n, P> {
+        let tables = Arc::clone(net.tables());
+        let mut protocols = Vec::with_capacity(net.n());
+        crate::protocol::for_each_node_init(
+            &net,
+            &tables,
+            config.seed,
+            config.shared_seed,
+            config.advice.as_deref().map(Vec::as_slice),
+            |_, init| protocols.push(P::init(init)),
+        );
+        let dir_edges = tables.directed_edges();
         AsyncEngine {
             net,
             tables,
             config,
             protocols,
+            scratch: AsyncScratch {
+                wheel: TimerWheel::new(),
+                channel_next: vec![0; dir_edges],
+                channel_seq: vec![0; dir_edges],
+                outbox_buf: Vec::new(),
+            },
         }
     }
 
+    /// Re-derives every node's state for a fresh trial under a new master
+    /// seed, keeping the engine's allocations (tables, wheel, channel
+    /// arrays, and — via [`AsyncProtocol::reinit`] — per-node containers).
+    pub fn reset(&mut self, seed: u64) {
+        self.config.seed = seed;
+        let protocols = &mut self.protocols;
+        crate::protocol::for_each_node_init(
+            &self.net,
+            &self.tables,
+            seed,
+            self.config.shared_seed,
+            self.config.advice.as_deref().map(Vec::as_slice),
+            |v, init| protocols[v].reinit(init),
+        );
+    }
+
     /// Runs with per-message delay τ (the [`UnitDelay`] strategy).
-    pub fn run(self, schedule: &WakeSchedule) -> RunReport {
-        self.run_with(schedule, &mut UnitDelay)
+    pub fn run(mut self, schedule: &WakeSchedule) -> RunReport {
+        self.run_mut(schedule, &mut UnitDelay)
     }
 
     /// Runs with an explicit delay strategy.
-    pub fn run_with(self, schedule: &WakeSchedule, delays: &mut dyn DelayStrategy) -> RunReport {
-        self.run_into_parts(schedule, delays).0
+    pub fn run_with(
+        mut self,
+        schedule: &WakeSchedule,
+        delays: &mut dyn DelayStrategy,
+    ) -> RunReport {
+        self.run_mut(schedule, delays)
     }
 
     /// As [`AsyncEngine::run_with`], but also returns the final per-node
     /// protocol states for post-hoc inspection (e.g. checking Claim 4's
     /// per-node token-forwarding bound on `DfsRank`).
     pub fn run_into_parts(
-        self,
+        mut self,
         schedule: &WakeSchedule,
         delays: &mut dyn DelayStrategy,
     ) -> (RunReport, Vec<P>) {
-        let AsyncEngine {
-            net,
-            tables,
-            config,
-            protocols,
-        } = self;
+        let report = self.run_mut(schedule, delays);
+        (report, self.protocols)
+    }
+
+    /// Executes one run without consuming the engine, so a trial loop can
+    /// [`AsyncEngine::reset`] and go again over the same topology. The
+    /// protocol states afterwards are the run's final states (read them via
+    /// [`AsyncEngine::protocols`]).
+    pub fn run_mut(
+        &mut self,
+        schedule: &WakeSchedule,
+        delays: &mut dyn DelayStrategy,
+    ) -> RunReport {
+        let net = &*self.net;
+        let tables = &self.tables;
+        let config = &self.config;
         let n = net.n();
+        self.scratch.wheel.clear();
+        self.scratch.channel_next.fill(0);
+        self.scratch.channel_seq.fill(0);
         // Stable sort: equal-tick wakes keep schedule order, matching the
         // sequence numbers the seed heap implementation assigned at setup.
         let mut wakes: Vec<(u64, NodeId)> = schedule.entries().to_vec();
         wakes.sort_by_key(|&(tick, _)| tick);
         let mut st = RunState {
             net,
-            tables: &tables,
-            config: &config,
-            protocols,
+            tables,
+            config,
+            protocols: &mut self.protocols,
             metrics: Metrics::new(n),
             outputs: vec![None; n],
             awake: vec![false; n],
             awake_count: 0,
-            wheel: TimerWheel::new(),
-            channel_next: vec![0; tables.directed_edges()],
-            channel_seq: vec![0; tables.directed_edges()],
+            wheel: &mut self.scratch.wheel,
+            channel_next: &mut self.scratch.channel_next,
+            channel_seq: &mut self.scratch.channel_seq,
             ports_touched: if config.track_ports {
                 DenseBits::new(tables.directed_edges())
             } else {
                 DenseBits::default()
             },
             trace: config.trace_capacity.map(Trace::with_capacity),
-            outbox_buf: Vec::new(),
+            outbox_buf: std::mem::take(&mut self.scratch.outbox_buf),
         };
         let mut wake_cursor = 0usize;
         let mut processed = 0u64;
@@ -365,8 +438,8 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 for &entry in &bucket {
                     processed += 1;
                     if processed > config.max_events {
-                        // Undelivered payloads stay in the slab and are
-                        // dropped with the engine, like the seed heap's.
+                        // Undelivered payloads stay in the slab until the
+                        // next run's `clear` (or the engine drop).
                         truncated = true;
                         break 'ticks;
                     }
@@ -398,12 +471,14 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             metrics: st.metrics,
             trace: st.trace,
         };
-        (report, st.protocols)
+        self.scratch.outbox_buf = st.outbox_buf;
+        report
     }
-}
 
-fn self_is_kt1(net: &Network) -> bool {
-    net.mode() == crate::knowledge::KnowledgeMode::Kt1
+    /// The per-node protocol states (final states after a run).
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
+    }
 }
 
 /// All mutable state of one engine run, so the wake/deliver/dispatch helpers
@@ -412,17 +487,17 @@ struct RunState<'e, P: AsyncProtocol> {
     net: &'e Network,
     tables: &'e NodeTables,
     config: &'e AsyncConfig,
-    protocols: Vec<P>,
+    protocols: &'e mut [P],
     metrics: Metrics,
     outputs: Vec<Option<u64>>,
     awake: Vec<bool>,
     awake_count: usize,
-    wheel: TimerWheel<P::Msg>,
+    wheel: &'e mut TimerWheel<P::Msg>,
     /// Per directed-edge slot: latest delivery tick scheduled on the channel
     /// (the FIFO horizon — the seed's `last_scheduled` hash map, flattened).
-    channel_next: Vec<u64>,
+    channel_next: &'e mut [u64],
     /// Per directed-edge slot: messages sent so far on the channel.
-    channel_seq: Vec<u64>,
+    channel_seq: &'e mut [u64],
     /// Directed-edge slots over which a message was sent or received; empty
     /// unless `track_ports`.
     ports_touched: DenseBits,
@@ -565,22 +640,11 @@ impl<P: AsyncProtocol> RunState<'_, P> {
     }
 }
 
-/// Peek helper so engine init can derive a per-node seed without consuming
-/// the forked stream's state semantics elsewhere.
-trait PeekU64 {
-    fn next_u64_peek(self) -> u64;
-}
-
-impl PeekU64 for Xoshiro256 {
-    fn next_u64_peek(mut self) -> u64 {
-        self.next_u64()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::adversary::{AdversarialDelay, RandomDelay};
+    use crate::protocol::NodeInit;
     use wakeup_graph::generators;
 
     #[derive(Debug, Clone)]

@@ -1,5 +1,7 @@
 //! The [`Network`]: a topology bundled with the adversary's static choices.
 
+use std::sync::{Arc, OnceLock};
+
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_graph::{Graph, NodeId};
 
@@ -16,6 +18,10 @@ pub struct Network {
     ports: PortAssignment,
     ids: IdAssignment,
     mode: KnowledgeMode,
+    /// Engine lookup tables, derived lazily on first engine construction and
+    /// shared (via `Arc`) by every subsequent engine over this network —
+    /// including clones, since cloning a populated cell clones the `Arc`.
+    tables: OnceLock<Arc<NodeTables>>,
 }
 
 impl Network {
@@ -31,6 +37,7 @@ impl Network {
             ports,
             ids,
             mode: KnowledgeMode::Kt0,
+            tables: OnceLock::new(),
         }
     }
 
@@ -47,6 +54,7 @@ impl Network {
             ports,
             ids,
             mode: KnowledgeMode::Kt1,
+            tables: OnceLock::new(),
         }
     }
 
@@ -63,6 +71,7 @@ impl Network {
             ports,
             ids,
             mode,
+            tables: OnceLock::new(),
         }
     }
 
@@ -97,6 +106,37 @@ impl Network {
         (0..self.n())
             .map(NodeId::new)
             .find(|&v| self.ids.id(v) == id)
+    }
+
+    /// The engine lookup tables, built on first use and cached. Concurrent
+    /// first calls may race to build, but every caller observes the same
+    /// winning `Arc` and the tables are a pure function of the network, so
+    /// duplicates are merely discarded work.
+    pub(crate) fn tables(&self) -> &Arc<NodeTables> {
+        self.tables
+            .get_or_init(|| Arc::new(NodeTables::build(self)))
+    }
+}
+
+/// Borrowed-or-shared handle to a [`Network`], so the engines accept either
+/// a plain reference (the classic entry points) or an `Arc` from an artifact
+/// cache without cloning the topology in either case.
+#[derive(Debug)]
+pub(crate) enum NetHandle<'n> {
+    /// Borrows a caller-owned network.
+    Borrowed(&'n Network),
+    /// Co-owns a cache-shared network (the `'static` case).
+    Shared(Arc<Network>),
+}
+
+impl std::ops::Deref for NetHandle<'_> {
+    type Target = Network;
+
+    fn deref(&self) -> &Network {
+        match self {
+            NetHandle::Borrowed(net) => net,
+            NetHandle::Shared(net) => net,
+        }
     }
 }
 

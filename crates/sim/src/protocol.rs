@@ -1,10 +1,12 @@
 //! Protocol traits and the handler-side [`Context`].
 
+use wakeup_graph::rng::Xoshiro256;
 use wakeup_graph::NodeId;
 
 use crate::bits::BitStr;
 use crate::knowledge::{KnowledgeMode, Port};
 use crate::message::Payload;
+use crate::network::{Network, NodeTables};
 
 /// Everything a node knows at initialization time, per the paper's model.
 #[derive(Debug, Clone)]
@@ -26,6 +28,45 @@ pub struct NodeInit<'a> {
     /// Seed of the shared random tape (same for all nodes), for algorithms
     /// analyzed under shared randomness (Theorem 1 allows it).
     pub shared_seed: u64,
+}
+
+/// Drives `f` over every node's [`NodeInit`], in dense-index order — the one
+/// place both engines (and their `reset` paths) derive initial knowledge, so
+/// fresh construction and in-place re-initialization cannot drift apart.
+///
+/// # Panics
+///
+/// Panics if `advice` is present but has the wrong length.
+pub(crate) fn for_each_node_init(
+    net: &Network,
+    tables: &NodeTables,
+    seed: u64,
+    shared_seed: u64,
+    advice: Option<&[BitStr]>,
+    mut f: impl FnMut(usize, &NodeInit<'_>),
+) {
+    let empty = BitStr::new();
+    if let Some(advice) = advice {
+        assert_eq!(advice.len(), net.n(), "advice must cover every node");
+    }
+    let master = Xoshiro256::seed_from(seed);
+    for v in 0..net.n() {
+        let node = NodeId::new(v);
+        let init = NodeInit {
+            id: net.ids().id(node),
+            degree: net.graph().degree(node),
+            n_hint: net.n(),
+            neighbor_ids: (net.mode() == KnowledgeMode::Kt1)
+                .then(|| tables.neighbor_ids[v].as_slice()),
+            advice: advice.map_or(&empty, |a| &a[v]),
+            private_seed: {
+                let mut fork = master.fork(v as u64);
+                fork.next_u64()
+            },
+            shared_seed,
+        };
+        f(v, &init);
+    }
 }
 
 /// How a node was woken up.
@@ -179,16 +220,37 @@ impl<'a, M: Payload> Context<'a, M> {
         M2: Payload,
     {
         let mut inner_outbox: Vec<(Port, M2)> = Vec::new();
+        self.scoped_with(&mut inner_outbox, run, wrap)
+    }
+
+    /// As [`Context::scoped`], but borrowing the inner outbox from the
+    /// caller, so adapters that run a sub-protocol on every event (e.g. the
+    /// needles-in-haystack wrapper) can recycle one buffer instead of
+    /// allocating per handler invocation. The buffer is drained before
+    /// returning.
+    pub fn scoped_with<M2, R>(
+        &mut self,
+        inner_outbox: &mut Vec<(Port, M2)>,
+        run: impl FnOnce(&mut Context<'_, M2>) -> R,
+        wrap: impl Fn(M2) -> M,
+    ) -> R
+    where
+        M2: Payload,
+    {
+        debug_assert!(
+            inner_outbox.is_empty(),
+            "scoped outbox buffer must be drained between handlers"
+        );
         let mut inner: Context<'_, M2> = Context {
             node: self.node,
             degree: self.degree,
             mode: self.mode,
             id_to_port: self.id_to_port,
-            outbox: &mut inner_outbox,
+            outbox: inner_outbox,
             output: &mut *self.output,
         };
         let result = run(&mut inner);
-        for (port, msg) in inner_outbox {
+        for (port, msg) in inner_outbox.drain(..) {
             self.outbox.push((port, wrap(msg)));
         }
         result
@@ -205,6 +267,14 @@ pub trait AsyncProtocol: Sized {
 
     /// Constructs the per-node state from the initial knowledge.
     fn init(init: &NodeInit<'_>) -> Self;
+
+    /// Re-derives this node's state for a fresh trial over the same network.
+    /// Must leave `self` exactly as `Self::init(init)` would; the default
+    /// does literally that. Protocols with large per-node containers
+    /// override it to keep their allocations.
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        *self = Self::init(init);
+    }
 
     /// Called exactly once when the node wakes up (adversary wake or first
     /// message receipt; in the latter case `on_wake` runs before
@@ -226,6 +296,12 @@ pub trait SyncProtocol: Sized {
 
     /// Constructs the per-node state from the initial knowledge.
     fn init(init: &NodeInit<'_>) -> Self;
+
+    /// Re-derives this node's state for a fresh trial over the same network
+    /// (see [`AsyncProtocol::reinit`]).
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        *self = Self::init(init);
+    }
 
     /// Called exactly once, at the start of the round in which the node
     /// wakes (before its first `on_round`).

@@ -1,6 +1,7 @@
 //! The synchronous lock-step engine.
 
-use wakeup_graph::rng::Xoshiro256;
+use std::sync::Arc;
+
 use wakeup_graph::NodeId;
 
 use crate::adversary::WakeSchedule;
@@ -9,7 +10,7 @@ use crate::knowledge::Port;
 use crate::message::{ChannelModel, Payload};
 use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
 use crate::network::{Network, NodeTables};
-use crate::protocol::{Context, Incoming, NodeInit, SyncProtocol, WakeCause};
+use crate::protocol::{Context, Incoming, SyncProtocol, WakeCause};
 use crate::trace::{Trace, TraceEvent};
 
 /// Configuration of a [`SyncEngine`] run.
@@ -21,8 +22,9 @@ pub struct SyncConfig {
     pub seed: u64,
     /// Seed of the shared random tape.
     pub shared_seed: u64,
-    /// Per-node advice strings from an oracle (None = no advice).
-    pub advice: Option<Vec<BitStr>>,
+    /// Per-node advice strings from an oracle (None = no advice). Shared via
+    /// `Arc` so cached advice is handed to many engines without copying.
+    pub advice: Option<Arc<Vec<BitStr>>>,
     /// Safety cap on rounds; exceeding it sets [`RunReport::truncated`].
     pub max_rounds: u64,
     /// Track distinct ports used per node.
@@ -56,10 +58,24 @@ impl Default for SyncConfig {
 /// and every awake node takes one compute-and-send step. Nodes do not know
 /// the global round number.
 pub struct SyncEngine<'n, P: SyncProtocol> {
-    net: &'n Network,
-    tables: NodeTables,
+    net: crate::network::NetHandle<'n>,
+    tables: Arc<NodeTables>,
     config: SyncConfig,
     protocols: Vec<P>,
+    scratch: SyncScratch<P::Msg>,
+}
+
+/// Run-to-run reusable buffers (see `AsyncScratch` in the async engine):
+/// receiver inboxes, the touched/newly-awake lists, the handler outbox, the
+/// send queue, and the in-flight message queue.
+struct SyncScratch<M> {
+    in_flight: Vec<InFlight<M>>,
+    inboxes: Vec<Vec<(Incoming, M)>>,
+    touched: Vec<usize>,
+    newly_awake: Vec<(NodeId, WakeCause)>,
+    wake_queued: Vec<bool>,
+    outbox_buf: Vec<(Port, M)>,
+    outbox_all: Vec<(NodeId, Port, M)>,
 }
 
 struct InFlight<M> {
@@ -78,41 +94,63 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
     ///
     /// Panics if `config.advice` is present but has the wrong length.
     pub fn new(net: &'n Network, config: SyncConfig) -> SyncEngine<'n, P> {
-        let tables = NodeTables::build(net);
-        let empty = BitStr::new();
-        if let Some(advice) = &config.advice {
-            assert_eq!(advice.len(), net.n(), "advice must cover every node");
-        }
-        let master = Xoshiro256::seed_from(config.seed);
-        let protocols = (0..net.n())
-            .map(|v| {
-                let node = NodeId::new(v);
-                let advice = config.advice.as_ref().map_or(&empty, |a| &a[v]);
-                let init = NodeInit {
-                    id: net.ids().id(node),
-                    degree: net.graph().degree(node),
-                    n_hint: net.n(),
-                    neighbor_ids: if net.mode() == crate::knowledge::KnowledgeMode::Kt1 {
-                        Some(tables.neighbor_ids[v].as_slice())
-                    } else {
-                        None
-                    },
-                    advice,
-                    private_seed: {
-                        let mut fork = master.fork(v as u64);
-                        fork.next_u64()
-                    },
-                    shared_seed: config.shared_seed,
-                };
-                P::init(&init)
-            })
-            .collect();
+        Self::with_handle(crate::network::NetHandle::Borrowed(net), config)
+    }
+
+    /// As [`SyncEngine::new`], but co-owning a shared network — the entry
+    /// point for artifact caches that hand out `Arc<Network>`s, freeing the
+    /// engine from the caller's borrow lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.advice` is present but has the wrong length.
+    pub fn new_shared(net: Arc<Network>, config: SyncConfig) -> SyncEngine<'static, P> {
+        SyncEngine::with_handle(crate::network::NetHandle::Shared(net), config)
+    }
+
+    fn with_handle(net: crate::network::NetHandle<'n>, config: SyncConfig) -> SyncEngine<'n, P> {
+        let tables = Arc::clone(net.tables());
+        let n = net.n();
+        let mut protocols = Vec::with_capacity(n);
+        crate::protocol::for_each_node_init(
+            &net,
+            &tables,
+            config.seed,
+            config.shared_seed,
+            config.advice.as_deref().map(Vec::as_slice),
+            |_, init| protocols.push(P::init(init)),
+        );
         SyncEngine {
             net,
             tables,
             config,
             protocols,
+            scratch: SyncScratch {
+                in_flight: Vec::new(),
+                inboxes: (0..n).map(|_| Vec::new()).collect(),
+                touched: Vec::new(),
+                newly_awake: Vec::new(),
+                wake_queued: vec![false; n],
+                outbox_buf: Vec::new(),
+                outbox_all: Vec::new(),
+            },
         }
+    }
+
+    /// Re-derives every node's state for a fresh trial under a new master
+    /// seed, keeping the engine's allocations (tables, round buffers, and —
+    /// via [`SyncProtocol::reinit`] — per-node containers).
+    pub fn reset(&mut self, seed: u64) {
+        self.config.seed = seed;
+        let protocols = &mut self.protocols;
+        crate::protocol::for_each_node_init(
+            &self.net,
+            &self.tables,
+            seed,
+            self.config.shared_seed,
+            self.config.advice.as_deref().map(Vec::as_slice),
+            |v, init| protocols[v].reinit(init),
+        );
     }
 
     /// Runs rounds until quiescence (no traffic in flight, no pending
@@ -121,14 +159,21 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
     ///
     /// Wake schedule ticks are interpreted as rounds
     /// (`tick / TICKS_PER_UNIT`), so unit-based schedules carry over.
-    pub fn run(self, schedule: &WakeSchedule) -> RunReport {
-        self.run_into_parts(schedule).0
+    pub fn run(mut self, schedule: &WakeSchedule) -> RunReport {
+        self.run_mut(schedule)
     }
 
     /// As [`SyncEngine::run`], but also returns the final per-node protocol
     /// states for post-hoc inspection (e.g. which FastWakeUp nodes sampled
     /// themselves as roots).
     pub fn run_into_parts(mut self, schedule: &WakeSchedule) -> (RunReport, Vec<P>) {
+        let report = self.run_mut(schedule);
+        (report, self.protocols)
+    }
+
+    /// Executes one run without consuming the engine, so a trial loop can
+    /// [`SyncEngine::reset`] and go again over the same topology.
+    pub fn run_mut(&mut self, schedule: &WakeSchedule) -> RunReport {
         let n = self.net.n();
         let mut metrics = Metrics::new(n);
         let mut outputs: Vec<Option<u64>> = vec![None; n];
@@ -147,17 +192,31 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             .collect();
         pending_wakes.sort_unstable();
         let mut wake_cursor = 0usize;
-        let mut in_flight: Vec<InFlight<P::Msg>> = Vec::new();
         let mut trace: Option<Trace> = self.config.trace_capacity.map(Trace::with_capacity);
-        // Persistent per-round buffers, allocated once and reused: receiver
-        // inboxes (with the list of receivers touched this round), the wake
-        // list, a dedup scratch, the handler outbox, and the send queue.
-        let mut inboxes: Vec<Vec<(Incoming, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-        let mut touched: Vec<usize> = Vec::new();
-        let mut newly_awake: Vec<(NodeId, WakeCause)> = Vec::new();
-        let mut wake_queued = vec![false; n];
-        let mut outbox_buf: Vec<(Port, P::Msg)> = Vec::new();
-        let mut outbox_all: Vec<(NodeId, Port, P::Msg)> = Vec::new();
+        // Persistent per-round buffers from the engine scratch, allocated
+        // once and reused across rounds *and* across runs: receiver inboxes
+        // (with the list of receivers touched this round), the wake list, a
+        // dedup scratch, the handler outbox, the send queue, and the
+        // in-flight queue. A truncated previous run may have left residue;
+        // clear defensively (no-ops after a quiescent run).
+        let SyncScratch {
+            in_flight,
+            inboxes,
+            touched,
+            newly_awake,
+            wake_queued,
+            outbox_buf,
+            outbox_all,
+        } = &mut self.scratch;
+        in_flight.clear();
+        for inbox in inboxes.iter_mut() {
+            inbox.clear();
+        }
+        touched.clear();
+        newly_awake.clear();
+        wake_queued.iter_mut().for_each(|q| *q = false);
+        outbox_buf.clear();
+        outbox_all.clear();
         let mut truncated = false;
         let mut round = 0u64;
         loop {
@@ -216,14 +275,14 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 }
             }
             // Message receipt wakes.
-            for &v in &touched {
+            for &v in touched.iter() {
                 if !awake[v] && !wake_queued[v] {
                     wake_queued[v] = true;
                     newly_awake.push((NodeId::new(v), WakeCause::Message));
                 }
             }
             newly_awake.sort_unstable_by_key(|&(v, _)| v);
-            for &(v, cause) in &newly_awake {
+            for &(v, cause) in newly_awake.iter() {
                 if let Some(tr) = trace.as_mut() {
                     tr.record(TraceEvent::Wake {
                         tick,
@@ -244,7 +303,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     self.net.graph().degree(v),
                     self.net.mode(),
                     &self.tables.id_to_port[v.index()],
-                    &mut outbox_buf,
+                    &mut *outbox_buf,
                     &mut outputs[v.index()],
                 );
                 self.protocols[v.index()].on_wake(&mut ctx, cause);
@@ -252,7 +311,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     outbox_all.push((v, port, msg));
                 }
             }
-            for &(v, _) in &newly_awake {
+            for &(v, _) in newly_awake.iter() {
                 wake_queued[v.index()] = false;
             }
             newly_awake.clear();
@@ -269,7 +328,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     self.net.graph().degree(node),
                     self.net.mode(),
                     &self.tables.id_to_port[v],
-                    &mut outbox_buf,
+                    &mut *outbox_buf,
                     &mut outputs[v],
                 );
                 self.protocols[v].on_round(&mut ctx, inbox);
@@ -324,21 +383,26 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     as u32;
             }
         }
-        let report = RunReport {
+        RunReport {
             all_awake: awake_count == n,
             rounds: round,
             outputs,
             truncated,
             metrics,
             trace,
-        };
-        (report, self.protocols)
+        }
+    }
+
+    /// The per-node protocol states (final states after a run).
+    pub fn protocols(&self) -> &[P] {
+        &self.protocols
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::NodeInit;
     use wakeup_graph::generators;
 
     #[derive(Debug, Clone)]

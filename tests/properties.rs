@@ -246,7 +246,7 @@ proptest! {
         let schedule = WakeSchedule::single(NodeId::new(seed as usize % n));
         let config = AsyncConfig {
             seed,
-            advice: Some(advice.clone()),
+            advice: Some(std::sync::Arc::new(advice.clone())),
             record_congest_violations: true,
             // Fail fast (instead of hanging) if a regression reintroduces a
             // corrupted-advice message loop.
@@ -278,7 +278,7 @@ proptest! {
         let net = Network::kt0(g, seed);
         let config = AsyncConfig {
             seed,
-            advice: Some(advice),
+            advice: Some(std::sync::Arc::new(advice)),
             record_congest_violations: true,
             max_events: 200_000,
             ..AsyncConfig::default()
