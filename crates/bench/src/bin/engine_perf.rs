@@ -1,12 +1,21 @@
 //! Engine-throughput baseline emitter.
 //!
 //! ```text
-//! cargo run --release -p wakeup-bench --bin engine_perf [out.json]
+//! cargo run --release -p wakeup-bench --bin engine_perf [out.json] \
+//!     [--filter <substring>] [--n <comma-separated list>]
 //! ```
 //!
 //! Times the discrete-event engines on fixed workloads and writes
 //! `BENCH_engine.json` (or the given path). Future engine PRs compare
 //! against the committed numbers to show a trajectory.
+//!
+//! `--filter` keeps only the workloads whose name contains the given
+//! substring (e.g. `--filter flood`, `--filter table1_cor2_cold`), and
+//! `--n` overrides each selected workload's default problem sizes — so a
+//! single hot workload can be re-measured (or scaled to n = 10⁶ smoke runs)
+//! without paying for the whole suite. Filtered runs print the table but
+//! skip writing the JSON baseline: the committed file always reflects the
+//! full default suite.
 //!
 //! Schema 2 separates the two cost classes the artifact cache split apart:
 //!
@@ -72,10 +81,20 @@ fn time_split<T>(
     (events, setup_ms, walls[walls.len() / 2])
 }
 
+/// Trial counts shrink as n grows: the large-n rows exist to pin scaling,
+/// not to nail the median, and a 10^6-node flood is a smoke run.
+fn reps_for(n: usize) -> usize {
+    match n {
+        0..=99_999 => 5,
+        100_000..=999_999 => 3,
+        _ => 1,
+    }
+}
+
 fn flood_async(n: usize) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
     let (events, setup_ms, run_ms) = time_split(
-        5,
+        reps_for(n),
         || {
             let net = artifacts::global().network(NetworkKey {
                 family: GraphFamily::Sparse,
@@ -143,7 +162,7 @@ fn dfs_async(n: usize) -> Entry {
 fn flood_sync(n: usize) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
     let (events, setup_ms, run_ms) = time_split(
-        5,
+        reps_for(n),
         || {
             let net = artifacts::global().network(NetworkKey {
                 family: GraphFamily::Sparse,
@@ -258,20 +277,69 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
     }
 }
 
+fn table1_cor2_cold(n: usize) -> Entry {
+    table1_cor2(n, false)
+}
+
+fn table1_cor2_cached(n: usize) -> Entry {
+    table1_cor2(n, true)
+}
+
+/// A named workload with its committed default problem sizes.
+type Workload = (&'static str, &'static [usize], fn(usize) -> Entry);
+
+/// The default suite: each workload with the problem sizes the committed
+/// baseline pins. `--filter` / `--n` cut this table down for spot checks.
+const WORKLOADS: &[Workload] = &[
+    ("flood_async", &[1_000, 10_000, 100_000], flood_async),
+    ("dfs_rank_async", &[1_000], dfs_async),
+    ("flood_sync", &[1_000, 10_000, 100_000], flood_sync),
+    ("fast_wakeup_sync", &[128], fast_wakeup_sync),
+    ("table1_cor2_cold", &[512], table1_cor2_cold),
+    ("table1_cor2_cached", &[512], table1_cor2_cached),
+];
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
-    let entries = [
-        flood_async(1_000),
-        flood_async(10_000),
-        dfs_async(1_000),
-        flood_sync(1_000),
-        flood_sync(10_000),
-        fast_wakeup_sync(128),
-        table1_cor2(512, false),
-        table1_cor2(512, true),
-    ];
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut filter: Option<String> = None;
+    let mut ns: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--filter" => {
+                filter = Some(args.next().expect("--filter needs a substring"));
+            }
+            "--n" => {
+                let list = args.next().expect("--n needs a comma-separated list");
+                ns = Some(
+                    list.split(',')
+                        .map(|t| {
+                            t.trim()
+                                .replace('_', "")
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad --n entry {t:?}"))
+                        })
+                        .collect(),
+                );
+            }
+            other if !other.starts_with("--") => out_path = other.to_string(),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for &(name, default_ns, workload) in WORKLOADS {
+        if let Some(f) = &filter {
+            if !name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let sizes: &[usize] = ns.as_deref().unwrap_or(default_ns);
+        for &n in sizes {
+            entries.push(workload(n));
+        }
+    }
+    assert!(!entries.is_empty(), "filter matched no workloads");
 
     let mut json = String::from("{\n  \"schema\": 2,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -296,6 +364,8 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write benchmark baseline");
-    println!("wrote {out_path}");
+    if filter.is_none() && ns.is_none() {
+        std::fs::write(&out_path, json).expect("write benchmark baseline");
+        println!("wrote {out_path}");
+    }
 }

@@ -94,23 +94,26 @@ pub enum SiblingLayout {
 /// tables over `net`'s nodes.
 ///
 /// Children are arranged per `layout`; all ports are looked up in `net`'s
-/// port assignment.
-pub(crate) fn cen_entries(
+/// port assignment. The children accessor returns a borrowed slice (tree and
+/// forest structures store children contiguously), so building the tuples
+/// never copies a child list.
+pub(crate) fn cen_entries<'c>(
     net: &Network,
     parent: impl Fn(NodeId) -> Option<NodeId>,
-    children: impl Fn(NodeId) -> Vec<NodeId>,
+    children: impl Fn(NodeId) -> &'c [NodeId],
 ) -> Vec<CenEntry> {
     cen_entries_with(net, parent, children, SiblingLayout::Balanced)
 }
 
-pub(crate) fn cen_entries_with(
+pub(crate) fn cen_entries_with<'c>(
     net: &Network,
     parent: impl Fn(NodeId) -> Option<NodeId>,
-    children: impl Fn(NodeId) -> Vec<NodeId>,
+    children: impl Fn(NodeId) -> &'c [NodeId],
     layout: SiblingLayout,
 ) -> Vec<CenEntry> {
     let n = net.n();
     let mut entries = vec![CenEntry::default(); n];
+    let mut stack: Vec<(usize, usize)> = Vec::new();
     for vi in 0..n {
         let v = NodeId::new(vi);
         if let Some(p) = parent(v) {
@@ -137,7 +140,8 @@ pub(crate) fn cen_entries_with(
                 }
                 let root_idx = mid(0, kids.len());
                 entries[vi].first_child_port = Some(port_to(kids[root_idx]));
-                let mut stack = vec![(0usize, kids.len())];
+                stack.clear();
+                stack.push((0usize, kids.len()));
                 while let Some((lo, hi)) = stack.pop() {
                     if lo >= hi {
                         continue;
@@ -238,12 +242,7 @@ impl AdvisingScheme for CenScheme {
             .or_else(|| algo::center(net.graph()).map(|(_, c)| c))
             .unwrap_or(NodeId::new(0));
         let tree = algo::bfs_tree(net.graph(), root);
-        let entries = cen_entries_with(
-            net,
-            |v| tree.parent(v),
-            |v| tree.children(v).to_vec(),
-            self.layout,
-        );
+        let entries = cen_entries_with(net, |v| tree.parent(v), |v| tree.children(v), self.layout);
         entries
             .iter()
             .map(|e| {
@@ -489,6 +488,7 @@ mod tests {
     fn sibling_tree_covers_all_children() {
         let g = generators::star(33).unwrap();
         let net = Network::kt0(g, 3);
+        let kids: Vec<NodeId> = (1..33).map(NodeId::new).collect();
         let entries = super::cen_entries(
             &net,
             |v| {
@@ -500,9 +500,9 @@ mod tests {
             },
             |v| {
                 if v.index() == 0 {
-                    (1..33).map(NodeId::new).collect()
+                    kids.as_slice()
                 } else {
-                    Vec::new()
+                    &[]
                 }
             },
         );

@@ -20,8 +20,8 @@
 
 use wakeup_graph::algo;
 use wakeup_sim::{
-    AsyncProtocol, BitReader, BitStr, ChannelModel, Context, Incoming, Network, NodeInit, Payload,
-    Port, WakeCause,
+    AsyncProtocol, BitReader, BitStr, ChannelModel, Context, Inbox, Incoming, Network, NodeInit,
+    Payload, Port, WakeCause,
 };
 
 use super::cen::{cen_entries, decode_entry, encode_entry, CenEntry};
@@ -104,24 +104,22 @@ impl AdvisingScheme for SpannerScheme {
         let spanner = algo::greedy_spanner(net.graph(), self.k);
         let forests = algo::forest_decomposition(&spanner);
         let n = net.n();
-        let mut per_node: Vec<Vec<CenEntry>> = vec![Vec::new(); n];
-        for forest in &forests {
-            let entries = cen_entries(net, |v| forest.parent(v), |v| forest.children(v).to_vec());
-            for (v, e) in entries.into_iter().enumerate() {
-                per_node[v].push(e);
+        // One entry table per forest; node v's advice is its row across all
+        // tables, so the strings can be built without a per-node collection.
+        let entries_by_forest: Vec<Vec<CenEntry>> = forests
+            .iter()
+            .map(|forest| cen_entries(net, |v| forest.parent(v), |v| forest.children(v)))
+            .collect();
+        let mut strings = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut s = BitStr::new();
+            s.push_gamma(entries_by_forest.len() as u64 + 1);
+            for table in &entries_by_forest {
+                encode_entry(&mut s, &table[v]);
             }
+            strings.push(s);
         }
-        per_node
-            .into_iter()
-            .map(|entries| {
-                let mut s = BitStr::new();
-                s.push_gamma(entries.len() as u64 + 1);
-                for e in &entries {
-                    encode_entry(&mut s, e);
-                }
-                s
-            })
-            .collect()
+        strings
     }
 
     fn channel(&self, n: usize) -> ChannelModel {
@@ -139,7 +137,10 @@ pub struct SpannerWake {
     entries: Vec<CenEntry>,
     started: bool,
     replied: Vec<bool>,
-    contacted: Vec<std::collections::BTreeSet<u32>>,
+    // (forest, port) pairs already contacted — a flat list beats a set per
+    // forest here, since honest advice contacts each node O(1) times per
+    // forest and the list stays a handful of entries long.
+    contacted: Vec<(u32, u32)>,
 }
 
 impl SpannerWake {
@@ -170,7 +171,9 @@ impl SpannerWake {
         if port == 0 || port as usize > ctx.degree() {
             return; // corrupted advice: out-of-range port
         }
-        if self.contacted[forest].insert(port) {
+        let key = (forest as u32, port);
+        if !self.contacted.contains(&key) {
+            self.contacted.push(key);
             ctx.send(
                 Port::new(port as usize),
                 ForestMsg {
@@ -203,7 +206,7 @@ impl AsyncProtocol for SpannerWake {
             entries,
             started: false,
             replied: vec![false; forests],
-            contacted: vec![std::collections::BTreeSet::new(); forests],
+            contacted: Vec::new(),
         }
     }
 
@@ -213,6 +216,25 @@ impl AsyncProtocol for SpannerWake {
 
     fn on_message(&mut self, ctx: &mut Context<'_, ForestMsg>, from: Incoming, msg: ForestMsg) {
         self.start(ctx);
+        self.handle(ctx, from, msg);
+    }
+
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, ForestMsg>,
+        inbox: &mut Inbox<'_, ForestMsg>,
+    ) {
+        // Batched delivery: start once for the whole tick's arrivals, then
+        // handle each message in delivery order.
+        self.start(ctx);
+        while let Some((from, msg)) = inbox.next() {
+            self.handle(ctx, from, msg);
+        }
+    }
+}
+
+impl SpannerWake {
+    fn handle(&mut self, ctx: &mut Context<'_, ForestMsg>, from: Incoming, msg: ForestMsg) {
         let f = msg.forest as usize;
         let Some(entry) = self.entries.get(f) else {
             return;

@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use wakeup_graph::rng::Xoshiro256;
-use wakeup_sim::{Context, Incoming, NodeInit, Payload, SyncProtocol, WakeCause};
+use wakeup_sim::{Context, Inbox, Incoming, NodeInit, Payload, SyncProtocol, WakeCause};
 
 /// FastWakeUp messages (LOCAL model — neighbor lists may be large).
 ///
@@ -128,8 +128,10 @@ struct RootState {
     /// computation is order-independent, so a flat push-vector replaces the
     /// old `BTreeMap` without changing any output.
     nbr_lists: Vec<(u64, Arc<Vec<u64>>)>,
-    /// `S₂` as `(level-1 parent, level-2 child)`, sorted by child.
-    edges2: Vec<(u64, u64)>,
+    /// `S₂` as `(level-1 parent, level-2 child)`, sorted by child. Shared
+    /// behind an `Arc` so every `Edges2` message down the tree reuses the one
+    /// allocation the root computed (no per-send clone of the edge set).
+    edges2: Arc<Vec<(u64, u64)>>,
     /// The level-2 node set, sorted ascending (binary-searchable).
     l2: Vec<u64>,
     expect_fwd: usize,
@@ -363,15 +365,24 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
         rs.edges2_sent = true;
         let mut pairs: Vec<(u64, u64)> = Vec::new(); // (level-2 child, level-1 parent)
         for (v, nbrs) in &rs.nbr_lists {
+            // Both lists are sorted ascending, so membership in my own
+            // neighborhood is a linear merge scan instead of a binary search
+            // per element. The final sort below makes the output independent
+            // of push order anyway (ties are full-pair equal).
+            let mut ni = 0;
             for &w in nbrs.iter() {
-                if w != self.id && self.neighbors.binary_search(&w).is_err() {
+                while ni < self.neighbors.len() && self.neighbors[ni] < w {
+                    ni += 1;
+                }
+                let is_nbr = ni < self.neighbors.len() && self.neighbors[ni] == w;
+                if w != self.id && !is_nbr {
                     pairs.push((w, *v));
                 }
             }
         }
         pairs.sort_unstable();
         pairs.dedup_by_key(|&mut (c, _)| c);
-        rs.edges2 = pairs.iter().map(|&(c, p)| (p, c)).collect();
+        rs.edges2 = Arc::new(pairs.iter().map(|&(c, p)| (p, c)).collect());
         rs.l2 = pairs.iter().map(|&(c, _)| c).collect();
         let mut parents: Vec<u64> = rs.edges2.iter().map(|&(p, _)| p).collect();
         parents.sort_unstable();
@@ -381,7 +392,7 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
             // No level 2: the construction ends here.
             rs.edges3_sent = true;
         } else {
-            let edges = Arc::new(rs.edges2.clone());
+            let edges = Arc::clone(&rs.edges2);
             for &v in self.neighbors.iter() {
                 ctx.send_to_id(
                     v,
@@ -402,11 +413,20 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
         rs.edges3_sent = true;
         let mut pairs: Vec<(u64, u64)> = Vec::new(); // (level-3 child, level-2 parent)
         for (c2, nbrs) in &rs.l2_lists {
+            // Merge scan against the two sorted exclusion sets (my own
+            // neighborhood and the level-2 set) — the lists are ascending, so
+            // two advancing pointers replace two binary searches per element.
+            let (mut ni, mut li) = (0, 0);
             for &w in nbrs.iter() {
-                if w != self.id
-                    && self.neighbors.binary_search(&w).is_err()
-                    && rs.l2.binary_search(&w).is_err()
-                {
+                while ni < self.neighbors.len() && self.neighbors[ni] < w {
+                    ni += 1;
+                }
+                while li < rs.l2.len() && rs.l2[li] < w {
+                    li += 1;
+                }
+                let is_nbr = ni < self.neighbors.len() && self.neighbors[ni] == w;
+                let is_l2 = li < rs.l2.len() && rs.l2[li] == w;
+                if w != self.id && !is_nbr && !is_l2 {
                     pairs.push((w, *c2));
                 }
             }
@@ -504,12 +524,20 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
     }
 
     fn on_round(&mut self, ctx: &mut Context<'_, FwMsg>, inbox: Vec<(Incoming, FwMsg)>) {
+        // Legacy entry point: the engine calls the batch hook directly; this
+        // forwarder keeps by-value callers (tests, adapters) working.
+        let mut inbox = inbox;
+        let mut inbox = Inbox::new(&mut inbox);
+        self.on_messages_batch(ctx, &mut inbox);
+    }
+
+    fn on_messages_batch(&mut self, ctx: &mut Context<'_, FwMsg>, inbox: &mut Inbox<'_, FwMsg>) {
         let was_asleep = self.local_round == 0;
         self.local_round += 1;
         // Scheduled deactivation fires at the start of the round, before the
         // broadcast step — ties go to deactivation (Lemma 13).
         self.apply_scheduled_deactivation();
-        for (from, msg) in inbox {
+        while let Some((from, msg)) = inbox.next() {
             self.handle_tree_message(ctx, from, msg, was_asleep);
         }
         self.apply_scheduled_deactivation();
@@ -721,7 +749,7 @@ mod tests {
     fn root_sampling_rate_close_to_expected() {
         let n = 128usize;
         let g = generators::complete(n).unwrap();
-        let net = Network::kt1(g.clone(), 11);
+        let net = Network::kt1(g, 11);
         let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
         let config = SyncConfig {
             seed: 21,

@@ -6,7 +6,9 @@
 //! time is optimal (ρ_awk) and message complexity is Θ(m) — the yardstick
 //! every message-efficient algorithm in the paper is measured against.
 
-use wakeup_sim::{AsyncProtocol, Context, Incoming, NodeInit, Payload, SyncProtocol, WakeCause};
+use wakeup_sim::{
+    AsyncProtocol, Context, Inbox, Incoming, NodeInit, Payload, SyncProtocol, WakeCause,
+};
 
 /// The one-bit wake-up signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +56,16 @@ impl AsyncProtocol for FloodAsync {
     }
 
     fn on_message(&mut self, _: &mut Context<'_, WakeSignal>, _: Incoming, _: WakeSignal) {}
+
+    fn on_messages_batch(
+        &mut self,
+        _: &mut Context<'_, WakeSignal>,
+        _: &mut Inbox<'_, WakeSignal>,
+    ) {
+        // Received signals carry no information beyond the wake-up the
+        // engine already performed; dropping the whole batch at once skips
+        // the default hook's per-message dispatch.
+    }
 }
 
 /// Flooding in the synchronous model.
@@ -77,6 +89,15 @@ impl SyncProtocol for FloodSync {
     }
 
     fn on_round(&mut self, _: &mut Context<'_, WakeSignal>, _: Vec<(Incoming, WakeSignal)>) {}
+
+    fn on_messages_batch(
+        &mut self,
+        _: &mut Context<'_, WakeSignal>,
+        _: &mut Inbox<'_, WakeSignal>,
+    ) {
+        // As `on_round`: nothing to do — the `Inbox` drops its messages in
+        // one drain, with no intermediate `Vec` materialization.
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 //! example, measure how many messages `DfsRank` needs before every center
 //! knows its crucial neighbor.
 
-use wakeup_sim::{AsyncProtocol, Context, Incoming, NodeInit, Payload, WakeCause};
+use wakeup_sim::{
+    AsyncProtocol, Context, Inbox, Incoming, NodeInit, Payload, ScopedBuf, WakeCause,
+};
 
 /// Message wrapper: the inner protocol's traffic plus the Lemma 1 response.
 #[derive(Debug, Clone)]
@@ -43,9 +45,11 @@ pub struct Nih<P: AsyncProtocol> {
     inner: P,
     degree: usize,
     responded: bool,
-    /// Recycled outbox for the inner protocol's handlers — one allocation
-    /// per node for the whole run instead of one per event.
-    inner_outbox: Vec<(wakeup_sim::Port, P::Msg)>,
+    /// Recycled staging buffer for the inner protocol's handlers — one
+    /// allocation per node for the whole run instead of one per event.
+    inner_outbox: ScopedBuf<P::Msg>,
+    /// Recycled buffer of unwrapped inner messages for batched delivery.
+    batch_buf: Vec<(Incoming, P::Msg)>,
 }
 
 impl<P: AsyncProtocol> Nih<P> {
@@ -61,6 +65,24 @@ impl<P: AsyncProtocol> Nih<P> {
             NihMsg::Inner,
         )
     }
+
+    /// Hands a buffered run of consecutive `Inner` messages to the inner
+    /// protocol's own batch hook, in delivery order.
+    fn flush_inner_run(
+        &mut self,
+        ctx: &mut Context<'_, NihMsg<P::Msg>>,
+        run: &mut Vec<(Incoming, P::Msg)>,
+    ) {
+        let inner = &mut self.inner;
+        ctx.scoped_with(
+            &mut self.inner_outbox,
+            |inner_ctx| {
+                let mut inbox = Inbox::new(run);
+                inner.on_messages_batch(inner_ctx, &mut inbox);
+            },
+            NihMsg::Inner,
+        );
+    }
 }
 
 impl<P: AsyncProtocol> AsyncProtocol for Nih<P> {
@@ -71,7 +93,8 @@ impl<P: AsyncProtocol> AsyncProtocol for Nih<P> {
             inner: P::init(init),
             degree: init.degree,
             responded: false,
-            inner_outbox: Vec::new(),
+            inner_outbox: ScopedBuf::default(),
+            batch_buf: Vec::new(),
         }
     }
 
@@ -101,6 +124,35 @@ impl<P: AsyncProtocol> AsyncProtocol for Nih<P> {
                 self.run_inner(ctx, |p, c| p.on_message(c, from, m));
             }
         }
+    }
+
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &mut Inbox<'_, Self::Msg>,
+    ) {
+        // Process the inbox strictly in delivery order: runs of consecutive
+        // `Inner` messages are unwrapped into one batch for the inner
+        // protocol, and every `Response` flushes the pending run first so
+        // output-overwrite order is exactly that of per-message dispatch.
+        let mut run = std::mem::take(&mut self.batch_buf);
+        debug_assert!(run.is_empty());
+        while let Some((from, msg)) = inbox.next() {
+            match msg {
+                NihMsg::Response => {
+                    if !run.is_empty() {
+                        self.flush_inner_run(ctx, &mut run);
+                    }
+                    let answer = from.sender_id.unwrap_or(from.port.number() as u64);
+                    ctx.output(answer);
+                }
+                NihMsg::Inner(m) => run.push((from, m)),
+            }
+        }
+        if !run.is_empty() {
+            self.flush_inner_run(ctx, &mut run);
+        }
+        self.batch_buf = run;
     }
 }
 

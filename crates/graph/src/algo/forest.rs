@@ -101,24 +101,38 @@ impl Forest {
 /// ```
 pub fn forest_decomposition(graph: &Graph) -> Vec<Forest> {
     let n = graph.n();
-    let mut remaining: Vec<Vec<NodeId>> = (0..n)
-        .map(|v| graph.neighbors(NodeId::new(v)).to_vec())
-        .collect();
+    // The shrinking edge multiset, flat: node v's remaining neighbors are
+    // `flat[start[v]..start[v] + live[v]]`. Removal swaps with the last live
+    // slot (exactly `Vec::swap_remove`, preserving the traversal order the
+    // committed goldens pin) without per-node allocations.
+    let mut start = vec![0usize; n + 1];
+    for v in 0..n {
+        start[v + 1] = start[v] + graph.neighbors(NodeId::new(v)).len();
+    }
+    let mut flat: Vec<NodeId> = Vec::with_capacity(start[n]);
+    for v in 0..n {
+        flat.extend_from_slice(graph.neighbors(NodeId::new(v)));
+    }
+    let mut live: Vec<u32> = (0..n).map(|v| (start[v + 1] - start[v]) as u32).collect();
     let mut remaining_edges = graph.m();
     let mut forests = Vec::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut used_edge: Vec<(NodeId, NodeId)> = Vec::new();
     while remaining_edges > 0 {
         // Extract one maximal spanning forest of the remaining edges by DFS.
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
         let mut in_tree = vec![false; n];
-        let mut used_edge: Vec<(NodeId, NodeId)> = Vec::new();
-        for start in 0..n {
-            if in_tree[start] {
+        used_edge.clear();
+        for root in 0..n {
+            if in_tree[root] {
                 continue;
             }
-            in_tree[start] = true;
-            let mut stack = vec![NodeId::new(start)];
+            in_tree[root] = true;
+            stack.clear();
+            stack.push(NodeId::new(root));
             while let Some(v) = stack.pop() {
-                for &w in &remaining[v.index()] {
+                let b = start[v.index()];
+                for &w in &flat[b..b + live[v.index()] as usize] {
                     if !in_tree[w.index()] {
                         in_tree[w.index()] = true;
                         parent[w.index()] = Some(v);
@@ -136,7 +150,8 @@ pub fn forest_decomposition(graph: &Graph) -> Vec<Forest> {
         }
         // Remove used edges from the remaining multiset.
         for &(u, v) in &used_edge {
-            remove_edge(&mut remaining, u, v);
+            remove_half_edge(&mut flat, &start, &mut live, u, v);
+            remove_half_edge(&mut flat, &start, &mut live, v, u);
             remaining_edges -= 1;
         }
         forests.push(Forest::from_parents(parent));
@@ -144,12 +159,12 @@ pub fn forest_decomposition(graph: &Graph) -> Vec<Forest> {
     forests
 }
 
-fn remove_edge(adj: &mut [Vec<NodeId>], u: NodeId, v: NodeId) {
-    if let Some(pos) = adj[u.index()].iter().position(|&x| x == v) {
-        adj[u.index()].swap_remove(pos);
-    }
-    if let Some(pos) = adj[v.index()].iter().position(|&x| x == u) {
-        adj[v.index()].swap_remove(pos);
+fn remove_half_edge(flat: &mut [NodeId], start: &[usize], live: &mut [u32], u: NodeId, v: NodeId) {
+    let b = start[u.index()];
+    let l = live[u.index()] as usize;
+    if let Some(pos) = flat[b..b + l].iter().position(|&x| x == v) {
+        flat.swap(b + pos, b + l - 1);
+        live[u.index()] -= 1;
     }
 }
 

@@ -1,8 +1,6 @@
 //! Greedy multiplicative spanners (Althöfer et al.), the substrate of the
 //! Theorem 6 advising scheme.
 
-use std::collections::VecDeque;
-
 use crate::{Graph, GraphBuilder, NodeId};
 
 /// Computes a greedy (2k−1)-spanner of `graph`.
@@ -30,47 +28,144 @@ pub fn greedy_spanner(graph: &Graph, k: usize) -> Graph {
     let stretch = 2 * k - 1;
     let n = graph.n();
     let mut builder = GraphBuilder::new(n);
-    // Adjacency of the growing spanner for bounded-depth BFS probes.
-    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    let mut dist = vec![usize::MAX; n];
-    let mut touched: Vec<usize> = Vec::new();
+    // Adjacency of the growing spanner for bounded-depth search probes, laid
+    // out flat: node x's spanner degree never exceeds its graph degree, so
+    // the graph's degree prefix sums give fixed slot capacities and the
+    // whole structure is one contiguous allocation.
+    let mut start = vec![0usize; n + 1];
+    for x in 0..n {
+        start[x + 1] = start[x] + graph.neighbors(NodeId::new(x)).len();
+    }
+    let mut flat: Vec<NodeId> = vec![NodeId::new(0); start[n]];
+    let mut deg = vec![0u32; n];
+    // Ball membership is tracked with epoch stamps packed two-per-node in a
+    // single word: the high half holds the u-side epoch, the low half the
+    // v-side epoch (`stamp[x] >> 32 == epoch_u` means x lies in the current
+    // u-ball). One random load answers both membership questions per scanned
+    // neighbor, and clearing a ball is an epoch bump rather than a sweep.
+    // BFS levels are tracked by the frontier buffers; no distance values are
+    // ever needed — only membership.
+    let mut stamp = vec![0u64; n];
+    let mut epoch_u = 0u64;
+    let mut epoch_v = 0u64;
+    // Each search side is a flat BFS queue; the current frontier is the
+    // window `[lo, hi)` and discovered nodes are appended past `hi`, so a
+    // level step is two index updates instead of buffer swaps.
+    let mut qu: Vec<NodeId> = Vec::new();
+    let mut qv: Vec<NodeId> = Vec::new();
+    let (mut u_lo, mut u_hi) = (0usize, 0usize);
+    // The u-side ball persists across consecutive probes that share the same
+    // endpoint u (the canonical edge list is grouped by u), as long as no
+    // edge insertion has changed the spanner in between. Insertions only
+    // shrink distances, so a stale ball could under-report reachability and
+    // must be discarded.
+    let mut cached_u: Option<NodeId> = None;
+    let mut ru = 0usize;
     for &(u, v) in graph.edges() {
-        // Bounded BFS from u up to depth `stretch` inside the spanner.
-        let within = {
-            dist[u.index()] = 0;
-            touched.push(u.index());
-            let mut queue = VecDeque::new();
-            queue.push_back(u);
-            let mut found = false;
-            'bfs: while let Some(x) = queue.pop_front() {
-                let dx = dist[x.index()];
-                if dx >= stretch {
-                    break;
-                }
-                for &y in &adj[x.index()] {
-                    if dist[y.index()] == usize::MAX {
-                        dist[y.index()] = dx + 1;
-                        touched.push(y.index());
-                        if y == v {
-                            found = true;
-                            break 'bfs;
+        // Decide whether spanner-dist(u, v) ≤ 2k − 1 with a *bidirectional*
+        // bounded BFS: alternately grow the smaller of two balls around u
+        // and v until their radii sum to the stretch. Any scan that touches
+        // a node labeled by the opposite side certifies a path of length
+        // ≤ r_u + r_v + 1 ≤ stretch; conversely a path of length d ≤ stretch
+        // has a midpoint inside both final balls (r_u + r_v = stretch ≥ d),
+        // and whichever side labels it second detects the other's label.
+        // Both hold for the cached u-ball too: its levels are exact BFS
+        // levels of the unchanged spanner, and its radius never exceeds the
+        // stretch. The predicate is therefore exactly the unidirectional
+        // one, while each probe explores two balls of half the depth — the
+        // dominant saving for the Corollary 2 instantiation, where the
+        // stretch is 2⌈log₂ n⌉ − 1.
+        let within = if deg[u.index()] == 0 || deg[v.index()] == 0 {
+            false
+        } else {
+            if cached_u != Some(u) {
+                cached_u = Some(u);
+                epoch_u += 1;
+                stamp[u.index()] = (stamp[u.index()] & 0xFFFF_FFFF) | (epoch_u << 32);
+                qu.clear();
+                qu.push(u);
+                u_lo = 0;
+                u_hi = 1;
+                ru = 0;
+            }
+            if stamp[v.index()] >> 32 == epoch_u {
+                // v already inside the cached u-ball (radius ≤ stretch).
+                true
+            } else {
+                epoch_v += 1;
+                stamp[v.index()] = (stamp[v.index()] & !0xFFFF_FFFF) | epoch_v;
+                qv.clear();
+                qv.push(v);
+                let (mut v_lo, mut v_hi) = (0usize, 1usize);
+                let mut rv = 0usize;
+                let mut found = false;
+                'probe: while ru + rv < stretch && u_lo < u_hi && v_lo < v_hi {
+                    // The u-side's work outlives the probe, so expanding it
+                    // is preferred until its frontier is twice the v-side's.
+                    if u_hi - u_lo > 2 * (v_hi - v_lo) {
+                        // Expand the per-probe v-ball; partial levels are
+                        // fine here since the v-state dies with the probe.
+                        let mut i = v_lo;
+                        while i < v_hi {
+                            let x = qv[i];
+                            i += 1;
+                            let b = start[x.index()];
+                            for &y in &flat[b..b + deg[x.index()] as usize] {
+                                let s = stamp[y.index()];
+                                if s >> 32 == epoch_u {
+                                    found = true;
+                                    break 'probe;
+                                }
+                                if s & 0xFFFF_FFFF != epoch_v {
+                                    stamp[y.index()] = (s & !0xFFFF_FFFF) | epoch_v;
+                                    qv.push(y);
+                                }
+                            }
                         }
-                        queue.push_back(y);
+                        v_lo = v_hi;
+                        v_hi = qv.len();
+                        rv += 1;
+                    } else {
+                        // Expand the persistent u-ball. Its level invariant
+                        // (window = exactly the nodes at radius ru) must
+                        // survive for later probes, so a level that meets the
+                        // v-ball is completed — never left half-stamped.
+                        let mut hit = false;
+                        let mut i = u_lo;
+                        while i < u_hi {
+                            let x = qu[i];
+                            i += 1;
+                            let b = start[x.index()];
+                            for &y in &flat[b..b + deg[x.index()] as usize] {
+                                let s = stamp[y.index()];
+                                hit |= s & 0xFFFF_FFFF == epoch_v;
+                                if s >> 32 != epoch_u {
+                                    stamp[y.index()] = (s & 0xFFFF_FFFF) | (epoch_u << 32);
+                                    qu.push(y);
+                                }
+                            }
+                        }
+                        u_lo = u_hi;
+                        u_hi = qu.len();
+                        ru += 1;
+                        if hit {
+                            found = true;
+                            break 'probe;
+                        }
                     }
                 }
+                found
             }
-            for &t in &touched {
-                dist[t] = usize::MAX;
-            }
-            touched.clear();
-            found
         };
         if !within {
             builder
                 .add_edge(u.index(), v.index())
                 .expect("spanner edges come from a valid graph");
-            adj[u.index()].push(v);
-            adj[v.index()].push(u);
+            flat[start[u.index()] + deg[u.index()] as usize] = v;
+            deg[u.index()] += 1;
+            flat[start[v.index()] + deg[v.index()] as usize] = u;
+            deg[v.index()] += 1;
+            cached_u = None;
         }
     }
     builder.build()

@@ -9,7 +9,23 @@ fn invalid(reason: impl Into<String>) -> GraphError {
     }
 }
 
+/// Node count above which [`erdos_renyi`] switches from per-pair Bernoulli
+/// draws to geometric skip sampling. Every committed artifact (test graphs,
+/// execution goldens, benchmark rows) lives at or below this size, so their
+/// bit-exact streams are preserved; only the large-n sweep regime pays the
+/// different (but equally seeded-deterministic) sampling path.
+const GEOMETRIC_SKIP_MIN_N: usize = 20_001;
+
 /// Erdős–Rényi graph `G(n, p)` with the given seed.
+///
+/// For `n <= 20_000` every pair is tested with an independent Bernoulli
+/// draw, in canonical pair order. Above that, the generator draws geometric
+/// skip lengths between successive edges instead — `O(n + m)` rather than
+/// `O(n²)`, which is what makes `n = 10⁵`–`10⁶` sweep rows feasible. Both
+/// regimes are deterministic in `(n, p, seed)` and sample the same `G(n, p)`
+/// distribution, but they consume the RNG stream differently, so the same
+/// seed yields different (equally valid) graphs on either side of the
+/// threshold.
 ///
 /// # Errors
 ///
@@ -23,10 +39,43 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
     }
     let mut rng = Xoshiro256::seed_from(seed);
     let mut b = GraphBuilder::new(n);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if rng.bernoulli(p) {
+    if n < GEOMETRIC_SKIP_MIN_N {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.bernoulli(p) {
+                    b.add_edge(i, j)?;
+                }
+            }
+        }
+    } else if p > 0.0 {
+        // Skip sampling: the gap before the next present pair in canonical
+        // order is geometric with success probability p, sampled by
+        // inversion as floor(ln(1 − U) / ln(1 − p)). For p = 1 the log is
+        // −∞ and every skip is 0, i.e. the complete graph, as required.
+        let ln_q = (1.0 - p).ln();
+        let (mut i, mut j) = (0usize, 1usize);
+        while i + 1 < n {
+            let u = rng.unit_f64();
+            let mut skip = ((1.0 - u).ln() / ln_q) as u64;
+            // Advance the (i, j) cursor over `skip` absent pairs.
+            while skip > 0 && i + 1 < n {
+                let row_left = (n - j) as u64;
+                if skip < row_left {
+                    j += skip as usize;
+                    skip = 0;
+                } else {
+                    skip -= row_left;
+                    i += 1;
+                    j = i + 1;
+                }
+            }
+            if i + 1 < n {
                 b.add_edge(i, j)?;
+                j += 1;
+                if j == n {
+                    i += 1;
+                    j = i + 1;
+                }
             }
         }
     }
@@ -280,6 +329,42 @@ mod tests {
         assert_eq!(erdos_renyi(10, 1.0, 1).unwrap().m(), 45);
         assert!(erdos_renyi(10, 1.5, 1).is_err());
         assert!(erdos_renyi(0, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_skip_sampling_edge_count() {
+        // Above the skip-sampling threshold: m ~ Binomial(n(n-1)/2, p) with
+        // mean ≈ 4n for p = 8/n; allow a generous multi-sigma band.
+        let n = 30_000usize;
+        let g = erdos_renyi(n, 8.0 / n as f64, 17).unwrap();
+        let expect = 4 * n;
+        assert!(
+            (g.m() as f64 - expect as f64).abs() < 0.05 * expect as f64,
+            "m = {}, expected ≈ {expect}",
+            g.m()
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_skip_sampling_reproducible() {
+        let n = 25_000usize;
+        let a = erdos_renyi(n, 8.0 / n as f64, 5).unwrap();
+        let b = erdos_renyi(n, 8.0 / n as f64, 5).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        let c = erdos_renyi(n, 8.0 / n as f64, 6).unwrap();
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn erdos_renyi_skip_sampling_zero_p() {
+        assert_eq!(erdos_renyi(25_000, 0.0, 1).unwrap().m(), 0);
+    }
+
+    #[test]
+    fn connected_variant_connects_large() {
+        let n = 30_000usize;
+        let g = erdos_renyi_connected(n, 8.0 / n as f64, 3).unwrap();
+        assert!(algo::is_connected(&g));
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Pooled, copy-on-write payload storage shared by both engines.
+//!
+//! Sending a message used to mean cloning the payload into an engine queue —
+//! a broadcast to deg(v) neighbors did deg(v) heap clones even though every
+//! copy was identical. The [`PayloadArena`] replaces that with reference
+//! counting: the payload is stored once at enqueue time (together with its
+//! [`crate::message::Payload::size_bits`], computed exactly once), handed
+//! around as a small
+//! `Copy` [`PayloadRef`], and only materialized per receiver at delivery
+//! time — where the *last* outstanding reference is moved out instead of
+//! cloned, so a unicast never touches the payload again and a broadcast does
+//! deg(v) − 1 clones instead of deg(v).
+//!
+//! Slots are recycled through a free list, so steady-state traffic allocates
+//! nothing; [`PayloadArena::clear`] drops all payloads while keeping slot
+//! capacity, which is what the engines' `reset()` paths rely on to reuse one
+//! arena across trials. In debug builds every slot carries a generation
+//! counter and refs are validated against it, catching use-after-free of a
+//! recycled slot; release builds keep `PayloadRef` at four bytes.
+
+/// Handle to a payload stored in a [`PayloadArena`].
+///
+/// Plain index in release builds; index + generation in debug builds so a
+/// stale handle (kept across a `take` that freed the slot) panics instead of
+/// silently aliasing whatever payload was recycled into the slot.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PayloadRef {
+    idx: u32,
+    #[cfg(debug_assertions)]
+    gen: u32,
+}
+
+#[derive(Debug)]
+struct Slot<M> {
+    msg: Option<M>,
+    /// Outstanding references; the slot is freed when the last one is taken.
+    refs: u32,
+    /// `size_bits()` of the payload, computed once at insert time.
+    bits: usize,
+    #[cfg(debug_assertions)]
+    gen: u32,
+}
+
+/// The arena: a slab of reference-counted payload slots with a free list.
+#[derive(Debug)]
+pub(crate) struct PayloadArena<M> {
+    slots: Vec<Slot<M>>,
+    free: Vec<u32>,
+}
+
+impl<M> Default for PayloadArena<M> {
+    fn default() -> Self {
+        PayloadArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<M> PayloadArena<M> {
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn check_gen(&self, r: PayloadRef) {
+        assert_eq!(
+            self.slots[r.idx as usize].gen, r.gen,
+            "stale payload ref: slot was freed and recycled"
+        );
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline]
+    fn check_gen(&self, _r: PayloadRef) {}
+
+    /// Stores `msg` with its precomputed bit size, reusing a freed slot when
+    /// one exists. The returned handle carries one reference.
+    pub(crate) fn insert_with_bits(&mut self, msg: M, bits: usize) -> PayloadRef {
+        match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                debug_assert!(slot.msg.is_none(), "free list holds a live slot");
+                slot.msg = Some(msg);
+                slot.refs = 1;
+                slot.bits = bits;
+                PayloadRef {
+                    idx,
+                    #[cfg(debug_assertions)]
+                    gen: slot.gen,
+                }
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("arena handle fits u32");
+                self.slots.push(Slot {
+                    msg: Some(msg),
+                    refs: 1,
+                    bits,
+                    #[cfg(debug_assertions)]
+                    gen: 0,
+                });
+                PayloadRef {
+                    idx,
+                    #[cfg(debug_assertions)]
+                    gen: 0,
+                }
+            }
+        }
+    }
+
+    /// Adds one reference to the payload behind `r` (a broadcast fan-out is
+    /// one `insert_with_bits` plus deg − 1 shares — zero clones).
+    pub(crate) fn share(&mut self, r: PayloadRef) -> PayloadRef {
+        self.check_gen(r);
+        self.slots[r.idx as usize].refs += 1;
+        r
+    }
+
+    /// The `size_bits()` recorded for the payload behind `r`.
+    #[inline]
+    pub(crate) fn bits(&self, r: PayloadRef) -> usize {
+        self.check_gen(r);
+        self.slots[r.idx as usize].bits
+    }
+
+    /// Number of live (inserted, not yet fully taken) payloads.
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Number of slots ever allocated (high-water mark of `live`).
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drops every stored payload and resets the free list, keeping the slot
+    /// vector's capacity for the next run. Any handle that survives a
+    /// `clear` is invalid.
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+impl<M: Clone> PayloadArena<M> {
+    /// Consumes one reference and returns the payload: a move when `r` holds
+    /// the last reference (freeing the slot), a clone otherwise.
+    pub(crate) fn take(&mut self, r: PayloadRef) -> M {
+        self.check_gen(r);
+        let slot = &mut self.slots[r.idx as usize];
+        if slot.refs <= 1 {
+            let msg = slot.msg.take().expect("payload taken twice");
+            slot.refs = 0;
+            #[cfg(debug_assertions)]
+            {
+                slot.gen = slot.gen.wrapping_add(1);
+            }
+            self.free.push(r.idx);
+            msg
+        } else {
+            slot.refs -= 1;
+            slot.msg.clone().expect("payload taken twice")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_reuses_freed_slots() {
+        let mut arena: PayloadArena<String> = PayloadArena::default();
+        let a = arena.insert_with_bits("a".into(), 8);
+        let b = arena.insert_with_bits("b".into(), 8);
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.take(a), "a");
+        assert_eq!(arena.live(), 1);
+        // The freed slot is recycled: no new capacity allocated.
+        let c = arena.insert_with_bits("c".into(), 8);
+        assert_eq!(arena.capacity(), 2);
+        assert_eq!(arena.take(b), "b");
+        assert_eq!(arena.take(c), "c");
+        assert_eq!(arena.live(), 0);
+        // Steady-state churn never grows past the high-water mark.
+        for i in 0..100 {
+            let h = arena.insert_with_bits(format!("x{i}"), 8);
+            arena.take(h);
+        }
+        assert_eq!(arena.capacity(), 2);
+    }
+
+    #[test]
+    fn shared_payload_clones_then_moves() {
+        let mut arena: PayloadArena<String> = PayloadArena::default();
+        let a = arena.insert_with_bits("hello".into(), 40);
+        let b = arena.share(a);
+        let c = arena.share(a);
+        assert_eq!(arena.bits(c), 40);
+        // Two takes clone, the last take moves and frees the slot.
+        assert_eq!(arena.take(a), "hello");
+        assert_eq!(arena.take(b), "hello");
+        assert_eq!(arena.live(), 1);
+        assert_eq!(arena.take(c), "hello");
+        assert_eq!(arena.live(), 0);
+        assert_eq!(arena.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_take_panics() {
+        let mut arena: PayloadArena<String> = PayloadArena::default();
+        let a = arena.insert_with_bits("x".into(), 8);
+        arena.take(a);
+        arena.take(a);
+    }
+
+    #[test]
+    fn clear_keeps_slot_capacity() {
+        let mut arena: PayloadArena<u32> = PayloadArena::default();
+        for i in 0..10 {
+            arena.insert_with_bits(i, 32);
+        }
+        assert_eq!(arena.live(), 10);
+        arena.clear();
+        assert_eq!(arena.live(), 0);
+        let r = arena.insert_with_bits(7, 32);
+        assert_eq!(arena.take(r), 7);
+    }
+}

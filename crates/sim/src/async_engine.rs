@@ -20,22 +20,28 @@
 //! events for two different ticks while live, so insertion order *is*
 //! sequence order).
 //!
-//! Message payloads live out-of-line in a [`MsgSlab`] (a `Vec` with a free
-//! list), keeping wheel entries small `Copy` structs; per-channel FIFO
-//! horizons and sequence counters are flat arrays indexed by the dense
-//! directed-edge slots of [`NodeTables`].
+//! Message payloads live out-of-line in a [`PayloadArena`] (a refcounted
+//! slab with a free list): the handle created when a context enqueues a send
+//! is the very handle delivered later, so a unicast payload is written once
+//! and moved out once, and a broadcast is stored once and shared across
+//! deg(v) wheel entries. Per-channel FIFO horizons and sequence counters are
+//! flat arrays indexed by the dense directed-edge slots of [`NodeTables`].
+//! Within a tick, consecutive wheel entries addressed to the same receiver
+//! are handed to the protocol as one batch (`on_messages_batch`), which
+//! preserves delivery order exactly while amortizing per-delivery dispatch.
 
 use std::sync::Arc;
 
 use wakeup_graph::NodeId;
 
 use crate::adversary::{DelayStrategy, UnitDelay, WakeSchedule};
+use crate::arena::{PayloadArena, PayloadRef};
 use crate::bits::{BitStr, DenseBits};
 use crate::knowledge::Port;
-use crate::message::{ChannelModel, Payload};
+use crate::message::ChannelModel;
 use crate::metrics::{Metrics, RunReport, TICKS_PER_UNIT};
 use crate::network::{Network, NodeTables};
-use crate::protocol::{AsyncProtocol, Context, Incoming, WakeCause};
+use crate::protocol::{AsyncProtocol, Context, Inbox, Incoming, WakeCause};
 use crate::trace::{Trace, TraceEvent};
 
 /// Configuration of an [`AsyncEngine`] run.
@@ -84,96 +90,34 @@ const WHEEL_SIZE: usize = (TICKS_PER_UNIT as usize + 1).next_power_of_two();
 const WHEEL_MASK: u64 = (WHEEL_SIZE - 1) as u64;
 const WHEEL_WORDS: usize = WHEEL_SIZE / 64;
 
-/// Out-of-line message storage: a slab with a free list. Queue entries carry
-/// a `u32` handle instead of the payload, so they stay small and `Copy`
-/// whatever the protocol's message type is.
-pub(crate) struct MsgSlab<M> {
-    slots: Vec<Option<M>>,
-    free: Vec<u32>,
-}
-
-impl<M> MsgSlab<M> {
-    pub(crate) fn new() -> MsgSlab<M> {
-        MsgSlab {
-            slots: Vec::new(),
-            free: Vec::new(),
-        }
-    }
-
-    /// Stores `msg`, reusing a freed slot when one exists.
-    pub(crate) fn insert(&mut self, msg: M) -> u32 {
-        match self.free.pop() {
-            Some(i) => {
-                debug_assert!(self.slots[i as usize].is_none());
-                self.slots[i as usize] = Some(msg);
-                i
-            }
-            None => {
-                let i = u32::try_from(self.slots.len()).expect("slab handle fits u32");
-                self.slots.push(Some(msg));
-                i
-            }
-        }
-    }
-
-    /// Removes and returns the message behind `handle`, freeing its slot.
-    pub(crate) fn take(&mut self, handle: u32) -> M {
-        let msg = self.slots[handle as usize]
-            .take()
-            .expect("slab handle taken twice");
-        self.free.push(handle);
-        msg
-    }
-
-    /// Drops every stored message and resets the free list, keeping the
-    /// slot vector's capacity for the next run.
-    pub(crate) fn clear(&mut self) {
-        self.slots.clear();
-        self.free.clear();
-    }
-
-    /// Number of live (inserted, not yet taken) messages.
-    #[cfg(test)]
-    pub(crate) fn live(&self) -> usize {
-        self.slots.len() - self.free.len()
-    }
-
-    /// Number of slots ever allocated (high-water mark of `live`).
-    #[cfg(test)]
-    pub(crate) fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-}
-
-/// A pending delivery: 16 bytes, `Copy`, payload behind a slab handle.
+/// A pending delivery: a small `Copy` struct, payload behind an arena handle.
 #[derive(Clone, Copy, Debug)]
 struct DeliverEntry {
     to: u32,
     from: u32,
     /// Receiver-side port number (1-based).
     rport: u32,
-    msg: u32,
+    msg: PayloadRef,
 }
 
 /// Bucketed timer wheel over the delivery horizon, with a word-packed
-/// occupancy bitmap for skipping empty ticks.
-struct TimerWheel<M> {
+/// occupancy bitmap for skipping empty ticks. Payloads live in the engine's
+/// [`PayloadArena`]; the wheel holds only handles.
+struct TimerWheel {
     buckets: Vec<Vec<DeliverEntry>>,
     occupied: [u64; WHEEL_WORDS],
     len: usize,
-    slab: MsgSlab<M>,
     /// Drained-bucket storage kept around so steady-state ticks reuse one
     /// allocation instead of churning.
     spare: Vec<DeliverEntry>,
 }
 
-impl<M> TimerWheel<M> {
-    fn new() -> TimerWheel<M> {
+impl TimerWheel {
+    fn new() -> TimerWheel {
         TimerWheel {
             buckets: (0..WHEEL_SIZE).map(|_| Vec::new()).collect(),
             occupied: [0; WHEEL_WORDS],
             len: 0,
-            slab: MsgSlab::new(),
             spare: Vec::new(),
         }
     }
@@ -212,8 +156,9 @@ impl<M> TimerWheel<M> {
         self.spare = bucket;
     }
 
-    /// Empties the wheel (dropping any undelivered payloads left by a
-    /// truncated run) while keeping bucket and slab capacity for reuse.
+    /// Empties the wheel (any undelivered entries left by a truncated run
+    /// are dropped; their payloads die with the arena's `clear`) while
+    /// keeping bucket capacity for reuse.
     fn clear(&mut self) {
         if self.len > 0 {
             for b in &mut self.buckets {
@@ -222,7 +167,6 @@ impl<M> TimerWheel<M> {
             self.occupied = [0; WHEEL_WORDS];
             self.len = 0;
         }
-        self.slab.clear();
     }
 
     /// The earliest tick strictly after `now` holding a delivery, if any.
@@ -274,15 +218,17 @@ pub struct AsyncEngine<'n, P: AsyncProtocol> {
     scratch: AsyncScratch<P::Msg>,
 }
 
-/// Run-to-run reusable buffers: the wheel (with its payload slab), the flat
-/// per-channel arrays, and the outbox lent to handlers. Kept in the engine so
-/// [`AsyncEngine::reset`]-then-[`AsyncEngine::run_mut`] trial loops recycle
-/// every steady-state allocation.
+/// Run-to-run reusable buffers: the wheel, the payload arena, the flat
+/// per-channel arrays, and the outbox/batch buffers lent to handlers. Kept
+/// in the engine so [`AsyncEngine::reset`]-then-[`AsyncEngine::run_mut`]
+/// trial loops recycle every steady-state allocation.
 struct AsyncScratch<M> {
-    wheel: TimerWheel<M>,
+    wheel: TimerWheel,
+    arena: PayloadArena<M>,
     channel_next: Vec<u64>,
     channel_seq: Vec<u64>,
-    outbox_buf: Vec<(Port, M)>,
+    entries_buf: Vec<(Port, PayloadRef)>,
+    batch_buf: Vec<(Incoming, M)>,
 }
 
 impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
@@ -325,15 +271,17 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             protocols,
             scratch: AsyncScratch {
                 wheel: TimerWheel::new(),
+                arena: PayloadArena::default(),
                 channel_next: vec![0; dir_edges],
                 channel_seq: vec![0; dir_edges],
-                outbox_buf: Vec::new(),
+                entries_buf: Vec::new(),
+                batch_buf: Vec::new(),
             },
         }
     }
 
     /// Re-derives every node's state for a fresh trial under a new master
-    /// seed, keeping the engine's allocations (tables, wheel, channel
+    /// seed, keeping the engine's allocations (tables, wheel, arena, channel
     /// arrays, and — via [`AsyncProtocol::reinit`] — per-node containers).
     pub fn reset(&mut self, seed: u64) {
         self.config.seed = seed;
@@ -388,6 +336,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         let config = &self.config;
         let n = net.n();
         self.scratch.wheel.clear();
+        self.scratch.arena.clear();
         self.scratch.channel_next.fill(0);
         self.scratch.channel_seq.fill(0);
         // Stable sort: equal-tick wakes keep schedule order, matching the
@@ -404,6 +353,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             awake: vec![false; n],
             awake_count: 0,
             wheel: &mut self.scratch.wheel,
+            arena: &mut self.scratch.arena,
             channel_next: &mut self.scratch.channel_next,
             channel_seq: &mut self.scratch.channel_seq,
             ports_touched: if config.track_ports {
@@ -412,7 +362,8 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 DenseBits::default()
             },
             trace: config.trace_capacity.map(Trace::with_capacity),
-            outbox_buf: std::mem::take(&mut self.scratch.outbox_buf),
+            entries_buf: std::mem::take(&mut self.scratch.entries_buf),
+            batch_buf: std::mem::take(&mut self.scratch.batch_buf),
         };
         let mut wake_cursor = 0usize;
         let mut processed = 0u64;
@@ -434,16 +385,39 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                         st.wake_node(v, WakeCause::Adversary, now, delays);
                     }
                 }
+                // Deliveries at `now`, batched per run of consecutive
+                // same-receiver entries (bucket order is delivery order, so
+                // batching runs — not arbitrary per-receiver groups —
+                // preserves the global adversarial order exactly).
                 let bucket = st.wheel.take_bucket(now);
-                for &entry in &bucket {
-                    processed += 1;
-                    if processed > config.max_events {
-                        // Undelivered payloads stay in the slab until the
+                let mut i = 0usize;
+                while i < bucket.len() {
+                    let to = bucket[i].to;
+                    let mut j = i + 1;
+                    while j < bucket.len() && bucket[j].to == to {
+                        j += 1;
+                    }
+                    // The event cap counts deliveries one by one; a run that
+                    // crosses the cap is truncated mid-batch, exactly as the
+                    // per-message loop would have stopped.
+                    let mut k = i;
+                    while k < j {
+                        processed += 1;
+                        if processed > config.max_events {
+                            truncated = true;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    if k > i {
+                        st.deliver_batch(&bucket[i..k], now, delays);
+                    }
+                    if truncated {
+                        // Undelivered payloads stay in the arena until the
                         // next run's `clear` (or the engine drop).
-                        truncated = true;
                         break 'ticks;
                     }
-                    st.deliver(entry, now, delays);
+                    i = j;
                 }
                 st.wheel.restore_bucket(bucket);
                 let next_wake = wakes.get(wake_cursor).map(|&(tick, _)| tick);
@@ -471,7 +445,8 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             metrics: st.metrics,
             trace: st.trace,
         };
-        self.scratch.outbox_buf = st.outbox_buf;
+        self.scratch.entries_buf = st.entries_buf;
+        self.scratch.batch_buf = st.batch_buf;
         report
     }
 
@@ -492,7 +467,9 @@ struct RunState<'e, P: AsyncProtocol> {
     outputs: Vec<Option<u64>>,
     awake: Vec<bool>,
     awake_count: usize,
-    wheel: &'e mut TimerWheel<P::Msg>,
+    wheel: &'e mut TimerWheel,
+    /// Payload storage shared by the wheel entries and the handler contexts.
+    arena: &'e mut PayloadArena<P::Msg>,
     /// Per directed-edge slot: latest delivery tick scheduled on the channel
     /// (the FIFO horizon — the seed's `last_scheduled` hash map, flattened).
     channel_next: &'e mut [u64],
@@ -503,7 +480,9 @@ struct RunState<'e, P: AsyncProtocol> {
     ports_touched: DenseBits,
     trace: Option<Trace>,
     /// Reusable outbox buffer lent to every handler invocation.
-    outbox_buf: Vec<(Port, P::Msg)>,
+    entries_buf: Vec<(Port, PayloadRef)>,
+    /// Reusable materialized-inbox buffer lent to every batch delivery.
+    batch_buf: Vec<(Incoming, P::Msg)>,
 }
 
 impl<P: AsyncProtocol> RunState<'_, P> {
@@ -529,70 +508,102 @@ impl<P: AsyncProtocol> RunState<'_, P> {
         if self.awake_count == self.awake.len() {
             self.metrics.all_awake_tick = Some(tick);
         }
-        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        let mut entries = std::mem::take(&mut self.entries_buf);
         let mut ctx = Context::new(
             v,
             self.net.graph().degree(v),
             self.net.mode(),
             &self.tables.id_to_port[v.index()],
-            &mut outbox,
+            &mut entries,
+            self.arena,
+            self.config.channel,
+            self.config.record_congest_violations,
+            &mut self.metrics.congest_violations,
             &mut self.outputs[v.index()],
         );
         self.protocols[v.index()].on_wake(&mut ctx, cause);
-        self.dispatch_outbox(&mut outbox, v, tick, delays);
-        self.outbox_buf = outbox;
+        self.dispatch_outbox(&mut entries, v, tick, delays);
+        self.entries_buf = entries;
     }
 
-    fn deliver(&mut self, entry: DeliverEntry, tick: u64, delays: &mut dyn DelayStrategy) {
-        let to = NodeId::new(entry.to as usize);
-        let from = NodeId::new(entry.from as usize);
-        let msg = self.wheel.slab.take(entry.msg);
-        if let Some(tr) = self.trace.as_mut() {
-            tr.record(TraceEvent::Deliver { tick, from, to });
-        }
-        self.metrics.received_by[to.index()] += 1;
+    /// Delivers a maximal run of same-tick, same-receiver entries: metrics
+    /// and traces per entry, wake-on-message once, one batch handler call,
+    /// one dispatch. Equivalent to delivering the entries one by one — the
+    /// handler's sends land in strictly later ticks either way, so nothing
+    /// this batch does can affect the rest of the current bucket.
+    fn deliver_batch(
+        &mut self,
+        entries: &[DeliverEntry],
+        tick: u64,
+        delays: &mut dyn DelayStrategy,
+    ) {
+        let to = NodeId::new(entries[0].to as usize);
+        self.metrics.received_by[to.index()] += entries.len() as u64;
         self.metrics.last_receipt_tick =
             Some(self.metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
-        let rport = Port::new(entry.rport as usize);
+        if let Some(tr) = self.trace.as_mut() {
+            for e in entries {
+                tr.record(TraceEvent::Deliver {
+                    tick,
+                    from: NodeId::new(e.from as usize),
+                    to,
+                });
+            }
+        }
         if self.config.track_ports {
-            self.ports_touched.set(self.tables.slot(to, rport));
+            for e in entries {
+                self.ports_touched
+                    .set(self.tables.slot(to, Port::new(e.rport as usize)));
+            }
         }
         if !self.awake[to.index()] {
             self.wake_node(to, WakeCause::Message, tick, delays);
         }
-        let sender_id = match self.net.mode() {
-            crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(from)),
-            crate::knowledge::KnowledgeMode::Kt0 => None,
-        };
-        let incoming = Incoming {
-            port: rport,
-            sender_id,
-        };
-        let mut outbox = std::mem::take(&mut self.outbox_buf);
+        let kt1 = self.net.mode() == crate::knowledge::KnowledgeMode::Kt1;
+        let mut batch = std::mem::take(&mut self.batch_buf);
+        debug_assert!(batch.is_empty());
+        for e in entries {
+            let sender_id = kt1.then(|| self.net.ids().id(NodeId::new(e.from as usize)));
+            batch.push((
+                Incoming {
+                    port: Port::new(e.rport as usize),
+                    sender_id,
+                },
+                self.arena.take(e.msg),
+            ));
+        }
+        let mut inbox = Inbox::new(&mut batch);
+        let mut out_entries = std::mem::take(&mut self.entries_buf);
         let mut ctx = Context::new(
             to,
             self.net.graph().degree(to),
             self.net.mode(),
             &self.tables.id_to_port[to.index()],
-            &mut outbox,
+            &mut out_entries,
+            self.arena,
+            self.config.channel,
+            self.config.record_congest_violations,
+            &mut self.metrics.congest_violations,
             &mut self.outputs[to.index()],
         );
-        self.protocols[to.index()].on_message(&mut ctx, incoming, msg);
-        self.dispatch_outbox(&mut outbox, to, tick, delays);
-        self.outbox_buf = outbox;
+        self.protocols[to.index()].on_messages_batch(&mut ctx, &mut inbox);
+        drop(inbox);
+        self.dispatch_outbox(&mut out_entries, to, tick, delays);
+        self.entries_buf = out_entries;
+        self.batch_buf = batch;
     }
 
     fn dispatch_outbox(
         &mut self,
-        outbox: &mut Vec<(Port, P::Msg)>,
+        entries: &mut Vec<(Port, PayloadRef)>,
         from: NodeId,
         tick: u64,
         delays: &mut dyn DelayStrategy,
     ) {
-        for (port, msg) in outbox.drain(..) {
+        for (port, r) in entries.drain(..) {
             let slot = self.tables.slot(from, port);
             let to = NodeId::new(self.tables.edge_to[slot] as usize);
-            let bits = msg.size_bits();
+            let bits = self.arena.bits(r);
             if let Some(tr) = self.trace.as_mut() {
                 tr.record(TraceEvent::Send {
                     tick,
@@ -600,16 +611,6 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                     to,
                     bits,
                 });
-            }
-            if !self.config.channel.permits(bits) {
-                if self.config.record_congest_violations {
-                    self.metrics.congest_violations += 1;
-                } else {
-                    panic!(
-                        "CONGEST violation: {bits}-bit message from {from} exceeds {:?}",
-                        self.config.channel
-                    );
-                }
             }
             self.metrics.messages_sent += 1;
             self.metrics.bits_sent += bits as u64;
@@ -628,12 +629,13 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             let deliver = (tick + delay).max(self.channel_next[slot]);
             self.channel_next[slot] = deliver;
             // The receiver-side port is the paper's port_to(to, from),
-            // precomputed per directed edge.
+            // precomputed per directed edge. The enqueue-time payload handle
+            // rides the wheel untouched.
             let entry = DeliverEntry {
                 to: self.tables.edge_to[slot],
                 from: from.index() as u32,
                 rport: self.tables.rev_port[slot],
-                msg: self.wheel.slab.insert(msg),
+                msg: r,
             };
             self.wheel.push(tick, deliver, entry);
         }
@@ -644,6 +646,7 @@ impl<P: AsyncProtocol> RunState<'_, P> {
 mod tests {
     use super::*;
     use crate::adversary::{AdversarialDelay, RandomDelay};
+    use crate::message::Payload;
     use crate::protocol::NodeInit;
     use wakeup_graph::generators;
 
@@ -900,7 +903,8 @@ mod tests {
     #[test]
     fn fifo_clamp_keeps_send_order_on_same_tick_ties() {
         // All 20 sends clamp to the first message's delivery tick: they land
-        // in a single wheel bucket and must come out in send order.
+        // in a single wheel bucket — one batched delivery — and must come
+        // out in send order.
         let net = Network::kt0(generators::path(2).unwrap(), 0);
         let report = AsyncEngine::<FifoProbe>::new(&net, AsyncConfig::default())
             .run_with(&WakeSchedule::single(NodeId::new(0)), &mut DecreasingDelay);
@@ -914,99 +918,52 @@ mod tests {
         assert_eq!(report.metrics.last_receipt_tick, Some(TICKS_PER_UNIT));
     }
 
-    #[test]
-    fn msg_slab_reuses_freed_slots() {
-        let mut slab: MsgSlab<String> = MsgSlab::new();
-        let a = slab.insert("a".into());
-        let b = slab.insert("b".into());
-        assert_eq!(slab.live(), 2);
-        assert_eq!(slab.take(a), "a");
-        assert_eq!(slab.live(), 1);
-        // The freed slot is recycled: no new capacity allocated.
-        let c = slab.insert("c".into());
-        assert_eq!(c, a);
-        assert_eq!(slab.capacity(), 2);
-        assert_eq!(slab.take(b), "b");
-        assert_eq!(slab.take(c), "c");
-        assert_eq!(slab.live(), 0);
-        // Steady-state churn never grows past the high-water mark.
-        for i in 0..100 {
-            let h = slab.insert(format!("x{i}"));
-            slab.take(h);
+    /// A protocol that overrides the async batch hook, recording how many
+    /// messages each handler call saw.
+    struct BatchProbe {
+        batches: Vec<usize>,
+        is_sender: bool,
+    }
+    impl AsyncProtocol for BatchProbe {
+        type Msg = Seq;
+        fn init(init: &NodeInit<'_>) -> Self {
+            BatchProbe {
+                batches: Vec::new(),
+                is_sender: init.id == 0,
+            }
         }
-        assert_eq!(slab.capacity(), 2);
+        fn on_wake(&mut self, ctx: &mut Context<'_, Seq>, _cause: WakeCause) {
+            if self.is_sender {
+                for i in 0..6 {
+                    ctx.send(Port::new(1), Seq(i));
+                }
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Seq>, _: Incoming, _: Seq) {
+            unreachable!("the engine must call on_messages_batch, not on_message");
+        }
+        fn on_messages_batch(&mut self, ctx: &mut Context<'_, Seq>, inbox: &mut Inbox<'_, Seq>) {
+            self.batches.push(inbox.len());
+            let mut last = None;
+            while let Some((_, msg)) = inbox.next() {
+                last = Some(msg.0);
+            }
+            if last == Some(5) {
+                ctx.output(self.batches.iter().map(|&b| b as u64).sum());
+            }
+        }
     }
 
     #[test]
-    #[should_panic(expected = "taken twice")]
-    fn msg_slab_double_take_panics() {
-        let mut slab: MsgSlab<u32> = MsgSlab::new();
-        let h = slab.insert(5);
-        slab.take(h);
-        slab.take(h);
-    }
-
-    #[test]
-    fn timer_wheel_scan_finds_next_tick_across_word_boundaries_and_wrap() {
-        let entry = DeliverEntry {
-            to: 0,
-            from: 0,
-            rport: 1,
-            msg: 0,
-        };
-        let mut wheel: TimerWheel<Token> = TimerWheel::new();
-        assert_eq!(wheel.next_occupied_after(0), None);
-        // Same word, later bit.
-        wheel.push(0, 5, entry);
-        assert_eq!(wheel.next_occupied_after(0), Some(5));
-        assert_eq!(wheel.next_occupied_after(4), Some(5));
-        // A later word in the bitmap.
-        wheel.push(0, 300, entry);
-        assert_eq!(wheel.next_occupied_after(5), Some(300));
-        // Ring wrap: drain tick 5's bucket (as the engine does once the
-        // cursor passes it), then occupy the same ring slot one lap later —
-        // the scan must report the wrapped absolute tick.
-        let drained = wheel.take_bucket(5);
-        assert_eq!(drained.len(), 1);
-        wheel.restore_bucket(drained);
-        let far = 5 + WHEEL_SIZE as u64;
-        wheel.push(far - 1, far, entry);
-        assert_eq!(wheel.next_occupied_after(301), Some(far));
-        // Horizon assert: within τ is fine, beyond τ must panic.
-        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut w: TimerWheel<Token> = TimerWheel::new();
-            w.push(10, 10 + TICKS_PER_UNIT, entry);
-        }));
-        assert!(ok.is_ok());
-        let too_far = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut w: TimerWheel<Token> = TimerWheel::new();
-            w.push(10, 11 + TICKS_PER_UNIT, entry);
-        }));
-        assert!(too_far.is_err());
-    }
-
-    #[test]
-    fn timer_wheel_take_restore_keeps_len_and_occupancy() {
-        let entry = DeliverEntry {
-            to: 0,
-            from: 0,
-            rport: 1,
-            msg: 0,
-        };
-        let mut wheel: TimerWheel<Token> = TimerWheel::new();
-        wheel.push(0, 3, entry);
-        wheel.push(0, 3, entry);
-        wheel.push(0, 9, entry);
-        assert_eq!(wheel.len, 3);
-        let bucket = wheel.take_bucket(3);
-        assert_eq!(bucket.len(), 2);
-        assert_eq!(wheel.len, 1);
-        wheel.restore_bucket(bucket);
-        assert_eq!(wheel.next_occupied_after(3), Some(9));
-        let bucket = wheel.take_bucket(9);
-        assert_eq!(bucket.len(), 1);
-        wheel.restore_bucket(bucket);
-        assert_eq!(wheel.next_occupied_after(3), None);
-        assert_eq!(wheel.len, 0);
+    fn same_tick_same_receiver_deliveries_arrive_as_one_batch() {
+        // Unit delay: all 6 sends from the wake handler share one send tick
+        // and one channel, so the FIFO clamp collapses them onto consecutive
+        // ticks... with UnitDelay all get delay τ from the same tick, hence
+        // the same delivery tick and one bucket run: a single batch of 6.
+        let net = Network::kt0(generators::path(2).unwrap(), 0);
+        let (report, states) = AsyncEngine::<BatchProbe>::new(&net, AsyncConfig::default())
+            .run_into_parts(&WakeSchedule::single(NodeId::new(0)), &mut UnitDelay);
+        assert_eq!(report.outputs[1], Some(6));
+        assert_eq!(states[1].batches, vec![6]);
     }
 }

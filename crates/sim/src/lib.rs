@@ -60,6 +60,7 @@
 
 pub mod adversary;
 pub mod advice;
+mod arena;
 mod async_engine;
 pub mod bits;
 pub mod invariants;
@@ -81,6 +82,8 @@ pub use lockstep::Lockstep;
 pub use message::{ChannelModel, Payload};
 pub use metrics::{Metrics, RunReport, TICKS_PER_UNIT};
 pub use network::Network;
-pub use protocol::{AsyncProtocol, Context, Incoming, NodeInit, SyncProtocol, WakeCause};
+pub use protocol::{
+    AsyncProtocol, Context, Inbox, Incoming, NodeInit, ScopedBuf, SyncProtocol, WakeCause,
+};
 pub use sync_engine::{SyncConfig, SyncEngine};
 pub use trace::{Trace, TraceEvent};

@@ -12,7 +12,7 @@
 //! engine running `Lockstep<P>`) and for running the Section 4 advising
 //! schemes in synchronous experiments.
 
-use crate::protocol::{AsyncProtocol, Context, Incoming, NodeInit, SyncProtocol, WakeCause};
+use crate::protocol::{AsyncProtocol, Context, Inbox, Incoming, NodeInit, SyncProtocol, WakeCause};
 
 /// Adapter exposing an asynchronous protocol to the synchronous engine.
 #[derive(Debug)]
@@ -44,6 +44,16 @@ impl<P: AsyncProtocol> SyncProtocol for Lockstep<P> {
         for (from, msg) in inbox {
             self.inner.on_message(ctx, from, msg);
         }
+    }
+
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &mut Inbox<'_, Self::Msg>,
+    ) {
+        // Forward the batch hook directly: if the inner async protocol
+        // overrides it, the sync engine benefits from the same batching.
+        self.inner.on_messages_batch(ctx, inbox);
     }
 }
 

@@ -167,44 +167,86 @@ pub(crate) struct NodeTables {
     pub rev_port: Vec<u32>,
 }
 
+/// Node count below which [`NodeTables::build`] stays sequential: spawning
+/// threads costs more than the fill saves.
+const PARALLEL_BUILD_MIN_N: usize = 50_000;
+
+/// Worker threads for large-network table builds: `WAKEUP_THREADS` if set
+/// (mirroring the sweep harness; invalid or zero values fall back to 1),
+/// otherwise the machine's available parallelism.
+fn build_threads() -> usize {
+    match std::env::var("WAKEUP_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(t) if t >= 1 => t,
+            _ => 1,
+        },
+        Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    }
+}
+
 impl NodeTables {
     pub(crate) fn build(net: &Network) -> NodeTables {
+        let threads = if net.n() < PARALLEL_BUILD_MIN_N {
+            1
+        } else {
+            build_threads()
+        };
+        Self::build_with_threads(net, threads)
+    }
+
+    /// Table construction with an explicit worker count. Every per-node
+    /// output (sorted ID tables, directed-edge slots) depends only on that
+    /// node's ports, so the node range is split into contiguous chunks whose
+    /// output slices are disjoint — the result is byte-identical at any
+    /// thread count, which the 1-vs-4-thread CI diff pins end to end.
+    pub(crate) fn build_with_threads(net: &Network, threads: usize) -> NodeTables {
         let n = net.n();
-        let mut neighbor_ids = vec![Vec::new(); n];
-        let mut id_to_port = vec![Vec::new(); n];
-        if net.mode() == KnowledgeMode::Kt1 {
-            for v in net.graph().nodes() {
-                let deg = net.graph().degree(v);
-                let mut pairs: Vec<(u64, crate::knowledge::Port)> = (1..=deg)
-                    .map(|p| {
-                        let port = crate::knowledge::Port::new(p);
-                        let w = net.ports().neighbor(v, port);
-                        (net.ids().id(w), port)
-                    })
-                    .collect();
-                pairs.sort_unstable_by_key(|&(id, _)| id);
-                neighbor_ids[v.index()] = pairs.iter().map(|&(id, _)| id).collect();
-                id_to_port[v.index()] = pairs;
-            }
-        }
         let mut edge_offset = Vec::with_capacity(n + 1);
         edge_offset.push(0usize);
         for v in net.graph().nodes() {
             edge_offset.push(edge_offset[v.index()] + net.graph().degree(v));
         }
         let dir_edges = edge_offset[n];
-        let mut edge_to = Vec::with_capacity(dir_edges);
-        let mut rev_port = Vec::with_capacity(dir_edges);
-        for v in net.graph().nodes() {
-            for p in 1..=net.graph().degree(v) {
-                let w = net.ports().neighbor(v, crate::knowledge::Port::new(p));
-                let back = net
-                    .ports()
-                    .port_to(w, v)
-                    .expect("port maps are bijections onto neighbors");
-                edge_to.push(u32::try_from(w.index()).expect("node index fits u32"));
-                rev_port.push(u32::try_from(back.number()).expect("port fits u32"));
-            }
+        let mut neighbor_ids = vec![Vec::new(); n];
+        let mut id_to_port = vec![Vec::new(); n];
+        let mut edge_to = vec![0u32; dir_edges];
+        let mut rev_port = vec![0u32; dir_edges];
+        if threads <= 1 || n < 2 {
+            fill_node_range(
+                net,
+                &edge_offset,
+                0,
+                &mut neighbor_ids,
+                &mut id_to_port,
+                &mut edge_to,
+                &mut rev_port,
+            );
+        } else {
+            let chunk = n.div_ceil(threads.min(n));
+            std::thread::scope(|scope| {
+                let offsets = &edge_offset;
+                let mut nb = neighbor_ids.as_mut_slice();
+                let mut ip = id_to_port.as_mut_slice();
+                let mut et = edge_to.as_mut_slice();
+                let mut rp = rev_port.as_mut_slice();
+                let mut base = 0usize;
+                while base < n {
+                    let hi = (base + chunk).min(n);
+                    let (nb_head, nb_tail) = nb.split_at_mut(hi - base);
+                    let (ip_head, ip_tail) = ip.split_at_mut(hi - base);
+                    let edges_here = offsets[hi] - offsets[base];
+                    let (et_head, et_tail) = et.split_at_mut(edges_here);
+                    let (rp_head, rp_tail) = rp.split_at_mut(edges_here);
+                    scope.spawn(move || {
+                        fill_node_range(net, offsets, base, nb_head, ip_head, et_head, rp_head);
+                    });
+                    nb = nb_tail;
+                    ip = ip_tail;
+                    et = et_tail;
+                    rp = rp_tail;
+                    base = hi;
+                }
+            });
         }
         NodeTables {
             neighbor_ids,
@@ -224,6 +266,48 @@ impl NodeTables {
     /// Total number of directed edges (= sum of degrees = 2m).
     pub(crate) fn directed_edges(&self) -> usize {
         *self.edge_offset.last().expect("offsets are non-empty")
+    }
+}
+
+/// Fills the table rows for the contiguous node range starting at `base`
+/// whose length is `neighbor_ids.len()`; the edge slices start at directed
+/// slot `edge_offset[base]`.
+fn fill_node_range(
+    net: &Network,
+    edge_offset: &[usize],
+    base: usize,
+    neighbor_ids: &mut [Vec<u64>],
+    id_to_port: &mut [Vec<(u64, crate::knowledge::Port)>],
+    edge_to: &mut [u32],
+    rev_port: &mut [u32],
+) {
+    let kt1 = net.mode() == KnowledgeMode::Kt1;
+    let edge_base = edge_offset[base];
+    for i in 0..neighbor_ids.len() {
+        let v = NodeId::new(base + i);
+        let deg = net.graph().degree(v);
+        if kt1 {
+            let mut pairs: Vec<(u64, crate::knowledge::Port)> = (1..=deg)
+                .map(|p| {
+                    let port = crate::knowledge::Port::new(p);
+                    let w = net.ports().neighbor(v, port);
+                    (net.ids().id(w), port)
+                })
+                .collect();
+            pairs.sort_unstable_by_key(|&(id, _)| id);
+            neighbor_ids[i] = pairs.iter().map(|&(id, _)| id).collect();
+            id_to_port[i] = pairs;
+        }
+        let slot0 = edge_offset[base + i] - edge_base;
+        for p in 1..=deg {
+            let w = net.ports().neighbor(v, crate::knowledge::Port::new(p));
+            let back = net
+                .ports()
+                .port_to(w, v)
+                .expect("port maps are bijections onto neighbors");
+            edge_to[slot0 + p - 1] = u32::try_from(w.index()).expect("node index fits u32");
+            rev_port[slot0 + p - 1] = u32::try_from(back.number()).expect("port fits u32");
+        }
     }
 }
 
@@ -259,6 +343,30 @@ mod tests {
             assert_eq!(net.node_with_id(id), Some(v));
         }
         assert_eq!(net.node_with_id(999), None);
+    }
+
+    #[test]
+    fn parallel_table_build_is_byte_identical() {
+        // The parallel fill must be indistinguishable from the sequential
+        // one at every thread count, including counts that don't divide n.
+        for kt1 in [false, true] {
+            let g = generators::erdos_renyi_connected(97, 0.1, 11).unwrap();
+            let net = if kt1 {
+                Network::kt1(g, 11)
+            } else {
+                Network::kt0(g, 11)
+            };
+            let mode = net.mode();
+            let seq = NodeTables::build_with_threads(&net, 1);
+            for threads in [2usize, 3, 7, 128] {
+                let par = NodeTables::build_with_threads(&net, threads);
+                assert_eq!(seq.neighbor_ids, par.neighbor_ids, "{mode:?} {threads}");
+                assert_eq!(seq.id_to_port, par.id_to_port, "{mode:?} {threads}");
+                assert_eq!(seq.edge_offset, par.edge_offset, "{mode:?} {threads}");
+                assert_eq!(seq.edge_to, par.edge_to, "{mode:?} {threads}");
+                assert_eq!(seq.rev_port, par.rev_port, "{mode:?} {threads}");
+            }
+        }
     }
 
     #[test]

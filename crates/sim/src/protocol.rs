@@ -3,9 +3,10 @@
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_graph::NodeId;
 
+use crate::arena::{PayloadArena, PayloadRef};
 use crate::bits::BitStr;
 use crate::knowledge::{KnowledgeMode, Port};
-use crate::message::Payload;
+use crate::message::{ChannelModel, Payload};
 use crate::network::{Network, NodeTables};
 
 /// Everything a node knows at initialization time, per the paper's model.
@@ -97,14 +98,63 @@ pub struct Incoming {
     pub sender_id: Option<u64>,
 }
 
+/// The batch of messages delivered to one node at one instant (one tick of
+/// the async engine, one round of the sync engine), in adversarial delivery
+/// order.
+///
+/// An `Inbox` is a draining view over an engine-owned buffer: consuming it
+/// moves payloads out without allocating, and anything left unconsumed when
+/// the handler returns is dropped (the buffer's capacity is recycled either
+/// way). The engines construct inboxes; protocols that implement the legacy
+/// per-message hooks in terms of a batch implementation can wrap their own
+/// buffer via [`Inbox::new`].
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    inner: std::vec::Drain<'a, (Incoming, M)>,
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Wraps `buf` as an inbox, draining it (the buffer is empty once the
+    /// inbox is dropped, keeping its capacity).
+    pub fn new(buf: &'a mut Vec<(Incoming, M)>) -> Inbox<'a, M> {
+        Inbox {
+            inner: buf.drain(..),
+        }
+    }
+
+    /// The next message, in delivery order.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(Incoming, M)> {
+        self.inner.next()
+    }
+
+    /// Messages not yet consumed.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether every message has been consumed (or none ever arrived).
+    pub fn is_empty(&self) -> bool {
+        self.inner.len() == 0
+    }
+
+    /// Collects the remaining messages into an owned vector (the
+    /// compatibility path for protocols that keep the `Vec`-based
+    /// [`SyncProtocol::on_round`] signature).
+    pub fn take_all(&mut self) -> Vec<(Incoming, M)> {
+        self.inner.by_ref().collect()
+    }
+}
+
 /// Handler-side capabilities: sending messages and recording outputs.
 ///
 /// A fresh `Context` is passed to every handler invocation; messages queued
 /// with [`Context::send`]/[`Context::send_to_id`]/[`Context::broadcast`] are
 /// dispatched by the engine when the handler returns (local computation is
-/// instantaneous and free, per the model). The outbox is a buffer owned by
-/// the engine and reused across handler invocations, so steady-state event
-/// processing does not allocate per event.
+/// instantaneous and free, per the model). Payloads are stored once in the
+/// engine's arena at enqueue time — a broadcast shares one stored payload
+/// across all ports — and `size_bits` accounting plus CONGEST enforcement
+/// happen here, so the engines' dispatch loops touch only small handles.
 #[derive(Debug)]
 pub struct Context<'a, M> {
     node: NodeId,
@@ -112,21 +162,30 @@ pub struct Context<'a, M> {
     mode: KnowledgeMode,
     /// Sorted (neighbor id, port) pairs; empty under KT0.
     id_to_port: &'a [(u64, Port)],
-    outbox: &'a mut Vec<(Port, M)>,
+    entries: &'a mut Vec<(Port, PayloadRef)>,
+    arena: &'a mut PayloadArena<M>,
+    channel: ChannelModel,
+    count_violations: bool,
+    violations: &'a mut u64,
     output: &'a mut Option<u64>,
 }
 
 impl<'a, M: Payload> Context<'a, M> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         node: NodeId,
         degree: usize,
         mode: KnowledgeMode,
         id_to_port: &'a [(u64, Port)],
-        outbox: &'a mut Vec<(Port, M)>,
+        entries: &'a mut Vec<(Port, PayloadRef)>,
+        arena: &'a mut PayloadArena<M>,
+        channel: ChannelModel,
+        count_violations: bool,
+        violations: &'a mut u64,
         output: &'a mut Option<u64>,
     ) -> Context<'a, M> {
         debug_assert!(
-            outbox.is_empty(),
+            entries.is_empty(),
             "outbox buffer must be drained between handlers"
         );
         Context {
@@ -134,7 +193,11 @@ impl<'a, M: Payload> Context<'a, M> {
             degree,
             mode,
             id_to_port,
-            outbox,
+            entries,
+            arena,
+            channel,
+            count_violations,
+            violations,
             output,
         }
     }
@@ -151,18 +214,37 @@ impl<'a, M: Payload> Context<'a, M> {
         self.degree
     }
 
+    /// One CONGEST check per queued message, at enqueue time.
+    #[inline]
+    fn check(&mut self, bits: usize) {
+        if !self.channel.permits(bits) {
+            if self.count_violations {
+                *self.violations += 1;
+            } else {
+                panic!(
+                    "CONGEST violation: {bits}-bit message from {} exceeds {:?}",
+                    self.node, self.channel
+                );
+            }
+        }
+    }
+
     /// Queues `msg` on the given port.
     ///
     /// # Panics
     ///
-    /// Panics if the port number exceeds the degree.
+    /// Panics if the port number exceeds the degree, or (under CONGEST
+    /// without violation recording) if the message is oversize.
     pub fn send(&mut self, port: Port, msg: M) {
         assert!(
             port.number() <= self.degree,
             "port {port} out of range for degree {}",
             self.degree
         );
-        self.outbox.push((port, msg));
+        let bits = msg.size_bits();
+        self.check(bits);
+        let r = self.arena.insert_with_bits(msg, bits);
+        self.entries.push((port, r));
     }
 
     /// Queues `msg` to the neighbor with the given ID (KT1 only).
@@ -183,13 +265,32 @@ impl<'a, M: Payload> Context<'a, M> {
             .binary_search_by_key(&id, |&(x, _)| x)
             .map(|i| self.id_to_port[i].1)
             .unwrap_or_else(|_| panic!("id {id} is not a neighbor of {}", self.node));
-        self.outbox.push((port, msg));
+        let bits = msg.size_bits();
+        self.check(bits);
+        let r = self.arena.insert_with_bits(msg, bits);
+        self.entries.push((port, r));
     }
 
-    /// Queues `msg` on every port (clones the payload per port).
+    /// Queues `msg` on every port. The payload is stored once and shared —
+    /// zero clones, however large the degree (receivers still each get their
+    /// own copy at delivery time, per the model).
     pub fn broadcast(&mut self, msg: M) {
-        for p in 1..=self.degree {
-            self.outbox.push((Port::new(p), msg.clone()));
+        if self.degree == 0 {
+            return;
+        }
+        let bits = msg.size_bits();
+        if !self.channel.permits(bits) {
+            // One violation per port, matching what per-port sends would
+            // report (the panic path fires on the first).
+            for _ in 0..self.degree {
+                self.check(bits);
+            }
+        }
+        let first = self.arena.insert_with_bits(msg, bits);
+        self.entries.push((Port::new(1), first));
+        for p in 2..=self.degree {
+            let r = self.arena.share(first);
+            self.entries.push((Port::new(p), r));
         }
     }
 
@@ -219,18 +320,23 @@ impl<'a, M: Payload> Context<'a, M> {
     where
         M2: Payload,
     {
-        let mut inner_outbox: Vec<(Port, M2)> = Vec::new();
-        self.scoped_with(&mut inner_outbox, run, wrap)
+        let mut buf = ScopedBuf::default();
+        self.scoped_with(&mut buf, run, wrap)
     }
 
-    /// As [`Context::scoped`], but borrowing the inner outbox from the
-    /// caller, so adapters that run a sub-protocol on every event (e.g. the
-    /// needles-in-haystack wrapper) can recycle one buffer instead of
+    /// As [`Context::scoped`], but borrowing the inner staging buffer from
+    /// the caller, so adapters that run a sub-protocol on every event (e.g.
+    /// the needles-in-haystack wrapper) can recycle one buffer instead of
     /// allocating per handler invocation. The buffer is drained before
     /// returning.
+    ///
+    /// CONGEST is enforced on the *wrapped* messages as they enter this
+    /// context's outbox (the inner context's raw messages never cross a
+    /// wire, so they are exempt — exactly one check per transmitted
+    /// message).
     pub fn scoped_with<M2, R>(
         &mut self,
-        inner_outbox: &mut Vec<(Port, M2)>,
+        buf: &mut ScopedBuf<M2>,
         run: impl FnOnce(&mut Context<'_, M2>) -> R,
         wrap: impl Fn(M2) -> M,
     ) -> R
@@ -238,22 +344,51 @@ impl<'a, M: Payload> Context<'a, M> {
         M2: Payload,
     {
         debug_assert!(
-            inner_outbox.is_empty(),
+            buf.entries.is_empty(),
             "scoped outbox buffer must be drained between handlers"
         );
+        let mut ignored = 0u64;
         let mut inner: Context<'_, M2> = Context {
             node: self.node,
             degree: self.degree,
             mode: self.mode,
             id_to_port: self.id_to_port,
-            outbox: inner_outbox,
+            entries: &mut buf.entries,
+            arena: &mut buf.arena,
+            // Inner messages are wrapped before transmission; the outer push
+            // below performs the single CONGEST check on the wrapped size.
+            channel: ChannelModel::Local,
+            count_violations: true,
+            violations: &mut ignored,
             output: &mut *self.output,
         };
         let result = run(&mut inner);
-        for (port, msg) in inner_outbox.drain(..) {
-            self.outbox.push((port, wrap(msg)));
+        for (port, r) in buf.entries.drain(..) {
+            let wrapped = wrap(buf.arena.take(r));
+            let bits = wrapped.size_bits();
+            self.check(bits);
+            let nr = self.arena.insert_with_bits(wrapped, bits);
+            self.entries.push((port, nr));
         }
         result
+    }
+}
+
+/// Reusable staging buffer for [`Context::scoped_with`]: the inner
+/// sub-protocol's outbox entries plus the arena holding their payloads.
+/// Adapters keep one per node and recycle it across handler invocations.
+#[derive(Debug)]
+pub struct ScopedBuf<M> {
+    entries: Vec<(Port, PayloadRef)>,
+    arena: PayloadArena<M>,
+}
+
+impl<M> Default for ScopedBuf<M> {
+    fn default() -> Self {
+        ScopedBuf {
+            entries: Vec::new(),
+            arena: PayloadArena::default(),
+        }
     }
 }
 
@@ -277,12 +412,31 @@ pub trait AsyncProtocol: Sized {
     }
 
     /// Called exactly once when the node wakes up (adversary wake or first
-    /// message receipt; in the latter case `on_wake` runs before
-    /// `on_message` for the waking message).
+    /// message receipt; in the latter case `on_wake` runs before the waking
+    /// message is handled).
     fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause);
 
     /// Called on every message receipt (after `on_wake`, if waking).
     fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: Incoming, msg: Self::Msg);
+
+    /// Handles every message delivered to this node at one tick in one call.
+    ///
+    /// The engine invokes this (not `on_message`) once per receiving node
+    /// per tick; the default forwards each message to [`Self::on_message`]
+    /// in delivery order, so per-message protocols need not care. Protocols
+    /// on hot paths override it to amortize per-delivery work. Overrides
+    /// must preserve the semantics of processing the messages one by one in
+    /// inbox order — the engine's adversarial delivery order and per-channel
+    /// FIFO guarantees are fixed before this hook runs.
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &mut Inbox<'_, Self::Msg>,
+    ) {
+        while let Some((from, msg)) = inbox.next() {
+            self.on_message(ctx, from, msg);
+        }
+    }
 }
 
 /// A protocol for the synchronous lock-step engine.
@@ -304,12 +458,28 @@ pub trait SyncProtocol: Sized {
     }
 
     /// Called exactly once, at the start of the round in which the node
-    /// wakes (before its first `on_round`).
+    /// wakes (before its first round step).
     fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause);
 
     /// One synchronous step: `inbox` holds the messages delivered at the
     /// start of this round.
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: Vec<(Incoming, Self::Msg)>);
+
+    /// One synchronous step over a borrowed inbox.
+    ///
+    /// The engine invokes this (not `on_round`) once per awake node per
+    /// round — including rounds with an empty inbox, which protocols with
+    /// internal timers count. The default collects the inbox into a `Vec`
+    /// and forwards to [`Self::on_round`]; hot protocols override it to
+    /// consume the messages in place without the per-round allocation.
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &mut Inbox<'_, Self::Msg>,
+    ) {
+        let batch = inbox.take_all();
+        self.on_round(ctx, batch);
+    }
 
     /// Whether this node needs further rounds even with no traffic in
     /// flight. The engine keeps stepping while any awake node returns true —
@@ -332,23 +502,52 @@ mod tests {
         }
     }
 
+    /// Builds a context over the given scratch parts, defaulting to LOCAL.
+    fn ctx_over<'a, M: Payload>(
+        degree: usize,
+        mode: KnowledgeMode,
+        id_to_port: &'a [(u64, Port)],
+        entries: &'a mut Vec<(Port, PayloadRef)>,
+        arena: &'a mut PayloadArena<M>,
+        violations: &'a mut u64,
+        output: &'a mut Option<u64>,
+    ) -> Context<'a, M> {
+        Context::new(
+            NodeId::new(0),
+            degree,
+            mode,
+            id_to_port,
+            entries,
+            arena,
+            ChannelModel::Local,
+            false,
+            violations,
+            output,
+        )
+    }
+
     #[test]
     fn context_send_collects() {
         let mut out = None;
-        let mut outbox = Vec::new();
-        let mut ctx: Context<'_, Unit> = Context::new(
-            NodeId::new(0),
+        let mut entries = Vec::new();
+        let mut arena = PayloadArena::default();
+        let mut violations = 0;
+        let mut ctx: Context<'_, Unit> = ctx_over(
             3,
             KnowledgeMode::Kt0,
             &[],
-            &mut outbox,
+            &mut entries,
+            &mut arena,
+            &mut violations,
             &mut out,
         );
         ctx.send(Port::new(2), Unit);
         ctx.broadcast(Unit);
         ctx.output(42);
-        assert_eq!(outbox.len(), 4);
-        assert_eq!(outbox[0].0, Port::new(2));
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].0, Port::new(2));
+        // The broadcast stored one payload shared across three ports.
+        assert_eq!(arena.live(), 2);
         assert_eq!(out, Some(42));
     }
 
@@ -356,13 +555,16 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn send_beyond_degree_panics() {
         let mut out = None;
-        let mut outbox = Vec::new();
-        let mut ctx: Context<'_, Unit> = Context::new(
-            NodeId::new(0),
+        let mut entries = Vec::new();
+        let mut arena = PayloadArena::default();
+        let mut violations = 0;
+        let mut ctx: Context<'_, Unit> = ctx_over(
             2,
             KnowledgeMode::Kt0,
             &[],
-            &mut outbox,
+            &mut entries,
+            &mut arena,
+            &mut violations,
             &mut out,
         );
         ctx.send(Port::new(3), Unit);
@@ -372,13 +574,16 @@ mod tests {
     #[should_panic(expected = "KT1")]
     fn send_to_id_requires_kt1() {
         let mut out = None;
-        let mut outbox = Vec::new();
-        let mut ctx: Context<'_, Unit> = Context::new(
-            NodeId::new(0),
+        let mut entries = Vec::new();
+        let mut arena = PayloadArena::default();
+        let mut violations = 0;
+        let mut ctx: Context<'_, Unit> = ctx_over(
             2,
             KnowledgeMode::Kt0,
             &[],
-            &mut outbox,
+            &mut entries,
+            &mut arena,
+            &mut violations,
             &mut out,
         );
         ctx.send_to_id(5, Unit);
@@ -388,17 +593,20 @@ mod tests {
     fn send_to_id_resolves_port() {
         let table = [(3u64, Port::new(2)), (9u64, Port::new(1))];
         let mut out = None;
-        let mut outbox = Vec::new();
-        let mut ctx: Context<'_, Unit> = Context::new(
-            NodeId::new(0),
+        let mut entries = Vec::new();
+        let mut arena = PayloadArena::default();
+        let mut violations = 0;
+        let mut ctx: Context<'_, Unit> = ctx_over(
             2,
             KnowledgeMode::Kt1,
             &table,
-            &mut outbox,
+            &mut entries,
+            &mut arena,
+            &mut violations,
             &mut out,
         );
         ctx.send_to_id(9, Unit);
-        assert_eq!(outbox[0].0, Port::new(1));
+        assert_eq!(entries[0].0, Port::new(1));
     }
 
     #[test]
@@ -406,15 +614,66 @@ mod tests {
     fn send_to_unknown_id_panics() {
         let table = [(3u64, Port::new(1))];
         let mut out = None;
-        let mut outbox = Vec::new();
-        let mut ctx: Context<'_, Unit> = Context::new(
-            NodeId::new(0),
+        let mut entries = Vec::new();
+        let mut arena = PayloadArena::default();
+        let mut violations = 0;
+        let mut ctx: Context<'_, Unit> = ctx_over(
             1,
             KnowledgeMode::Kt1,
             &table,
-            &mut outbox,
+            &mut entries,
+            &mut arena,
+            &mut violations,
             &mut out,
         );
         ctx.send_to_id(4, Unit);
+    }
+
+    #[test]
+    fn congest_checked_at_enqueue_per_port() {
+        #[derive(Debug, Clone)]
+        struct Big;
+        impl Payload for Big {
+            fn size_bits(&self) -> usize {
+                1000
+            }
+        }
+        let mut out = None;
+        let mut entries = Vec::new();
+        let mut arena = PayloadArena::default();
+        let mut violations = 0;
+        let mut ctx: Context<'_, Big> = Context::new(
+            NodeId::new(0),
+            3,
+            KnowledgeMode::Kt0,
+            &[],
+            &mut entries,
+            &mut arena,
+            ChannelModel::Congest { max_bits: 10 },
+            true,
+            &mut violations,
+            &mut out,
+        );
+        ctx.broadcast(Big);
+        ctx.send(Port::new(1), Big);
+        assert_eq!(violations, 4, "one violation per port, counted at enqueue");
+        assert_eq!(entries.len(), 4);
+    }
+
+    #[test]
+    fn inbox_drains_leftovers_and_reports_len() {
+        let inc = Incoming {
+            port: Port::new(1),
+            sender_id: None,
+        };
+        let mut buf = vec![(inc, Unit), (inc, Unit), (inc, Unit)];
+        let mut inbox = Inbox::new(&mut buf);
+        assert_eq!(inbox.len(), 3);
+        assert!(!inbox.is_empty());
+        assert!(inbox.next().is_some());
+        assert_eq!(inbox.len(), 2);
+        drop(inbox);
+        assert!(buf.is_empty(), "dropping the inbox drains the buffer");
+        assert!(buf.capacity() >= 3, "the buffer keeps its capacity");
     }
 }

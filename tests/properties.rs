@@ -289,6 +289,71 @@ proptest! {
     }
 
     #[test]
+    fn async_engine_reuse_matches_fresh_engines(
+        g in connected_graph(),
+        seed in 0u64..200,
+    ) {
+        // Reset-then-run trial loops must be indistinguishable from fresh
+        // engine construction: N back-to-back trials on one engine produce
+        // the same executions as N one-shot engines, trial by trial.
+        use wakeup::sim::adversary::UnitDelay;
+        use wakeup::sim::{AsyncConfig, AsyncEngine};
+        let n = g.n();
+        let net = Network::kt1(g, seed);
+        let schedule = WakeSchedule::single(NodeId::new(seed as usize % n));
+        let config = AsyncConfig { seed, ..AsyncConfig::default() };
+        let mut reused = AsyncEngine::<DfsRank>::new(&net, config.clone());
+        for trial in 0..3u64 {
+            let trial_seed = seed ^ (trial << 32) ^ trial;
+            reused.reset(trial_seed);
+            let a = reused.run_mut(&schedule, &mut UnitDelay);
+            let fresh_config = AsyncConfig { seed: trial_seed, ..config.clone() };
+            let b = AsyncEngine::<DfsRank>::new(&net, fresh_config).run(&schedule);
+            prop_assert_eq!(a.all_awake, b.all_awake, "trial {}", trial);
+            prop_assert_eq!(a.messages(), b.messages(), "trial {}", trial);
+            prop_assert_eq!(&a.metrics.wake_tick, &b.metrics.wake_tick, "trial {}", trial);
+            prop_assert_eq!(&a.metrics.sent_by, &b.metrics.sent_by, "trial {}", trial);
+            prop_assert_eq!(&a.metrics.received_by, &b.metrics.received_by, "trial {}", trial);
+            prop_assert_eq!(
+                a.metrics.last_receipt_tick,
+                b.metrics.last_receipt_tick,
+                "trial {}", trial
+            );
+        }
+    }
+
+    #[test]
+    fn sync_engine_reuse_matches_fresh_engines(
+        g in connected_graph(),
+        seed in 0u64..200,
+    ) {
+        use wakeup::core::flooding::FloodSync;
+        use wakeup::sim::{SyncConfig, SyncEngine};
+        let n = g.n();
+        let net = Network::kt1(g, seed);
+        let schedule = WakeSchedule::single(NodeId::new(seed as usize % n));
+        let config = SyncConfig { seed, ..SyncConfig::default() };
+        let mut reused = SyncEngine::<FloodSync>::new(&net, config.clone());
+        for trial in 0..3u64 {
+            let trial_seed = seed ^ (trial << 32) ^ trial;
+            reused.reset(trial_seed);
+            let a = reused.run_mut(&schedule);
+            let fresh_config = SyncConfig { seed: trial_seed, ..config.clone() };
+            let b = SyncEngine::<FloodSync>::new(&net, fresh_config).run(&schedule);
+            prop_assert_eq!(a.all_awake, b.all_awake, "trial {}", trial);
+            prop_assert_eq!(a.messages(), b.messages(), "trial {}", trial);
+            prop_assert_eq!(&a.metrics.wake_tick, &b.metrics.wake_tick, "trial {}", trial);
+            prop_assert_eq!(&a.metrics.sent_by, &b.metrics.sent_by, "trial {}", trial);
+            prop_assert_eq!(&a.metrics.received_by, &b.metrics.received_by, "trial {}", trial);
+            prop_assert_eq!(
+                a.metrics.last_receipt_tick,
+                b.metrics.last_receipt_tick,
+                "trial {}", trial
+            );
+        }
+    }
+
+    #[test]
     fn wake_times_respect_hop_distance_lower_bound(
         g in connected_graph(),
         seed in 0u64..200,
