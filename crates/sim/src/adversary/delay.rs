@@ -20,6 +20,18 @@ pub trait DelayStrategy {
     fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64;
 }
 
+impl<D: DelayStrategy + ?Sized> DelayStrategy for Box<D> {
+    fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64 {
+        (**self).delay_ticks(from, to, send_tick, seq)
+    }
+}
+
+impl<D: DelayStrategy + ?Sized> DelayStrategy for &mut D {
+    fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64 {
+        (**self).delay_ticks(from, to, send_tick, seq)
+    }
+}
+
 /// Every message takes exactly τ (the worst uniform delay).
 ///
 /// Under `UnitDelay` the async engine behaves like a synchronizer, which
@@ -159,6 +171,78 @@ impl DelayStrategy for BurstDelay {
     }
 }
 
+/// Caps another strategy's delays at `max_ticks` — modelling a network whose
+/// effective τ is tighter than the engine constant [`TICKS_PER_UNIT`].
+///
+/// The conformance audits run every strategy under caps of a few ticks
+/// (τ ∈ {1, 3, 16}) to stress tick-level orderings that the full τ never
+/// exercises; pair with `AuditScope::with_max_delay_ticks(max_ticks)` so the
+/// delay-bound invariant checks the tightened bound.
+#[derive(Debug, Clone)]
+pub struct CappedDelay<D> {
+    inner: D,
+    max_ticks: u64,
+}
+
+impl<D> CappedDelay<D> {
+    /// Wraps `inner`, clamping its delays into `[1, max_ticks]`
+    /// (`max_ticks` itself is clamped into `[1, TICKS_PER_UNIT]`).
+    pub fn new(inner: D, max_ticks: u64) -> CappedDelay<D> {
+        CappedDelay {
+            inner,
+            max_ticks: max_ticks.clamp(1, TICKS_PER_UNIT),
+        }
+    }
+
+    /// The effective delay bound in ticks.
+    pub fn max_ticks(&self) -> u64 {
+        self.max_ticks
+    }
+}
+
+impl<D: DelayStrategy> DelayStrategy for CappedDelay<D> {
+    fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64 {
+        self.inner
+            .delay_ticks(from, to, send_tick, seq)
+            .clamp(1, self.max_ticks)
+    }
+}
+
+/// The FIFO worst case: per-channel delays strictly decrease with the
+/// sequence number, so *every* later message would overtake every earlier
+/// one if the engine's FIFO clamp were broken — the most hostile schedule
+/// for channel-order bookkeeping (deliveries collapse onto shared ticks and
+/// must still come out in send order).
+#[derive(Debug, Clone)]
+pub struct FifoWorstDelay {
+    max_ticks: u64,
+}
+
+impl FifoWorstDelay {
+    /// Creates the strategy with delays starting at `max_ticks` (clamped
+    /// into `[1, TICKS_PER_UNIT]`) and decreasing per channel message.
+    pub fn new(max_ticks: u64) -> FifoWorstDelay {
+        FifoWorstDelay {
+            max_ticks: max_ticks.clamp(1, TICKS_PER_UNIT),
+        }
+    }
+}
+
+impl Default for FifoWorstDelay {
+    /// Starts from the full τ.
+    fn default() -> FifoWorstDelay {
+        FifoWorstDelay::new(TICKS_PER_UNIT)
+    }
+}
+
+impl DelayStrategy for FifoWorstDelay {
+    fn delay_ticks(&mut self, _: NodeId, _: NodeId, _: u64, seq: u64) -> u64 {
+        // Strictly decreasing until the floor of 1 tick; later messages on a
+        // long channel all race at top speed, which keeps the pressure on.
+        self.max_ticks.saturating_sub(seq).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +308,41 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn burst_zero_period_rejected() {
         BurstDelay::new(0, 0.5);
+    }
+
+    #[test]
+    fn capped_delay_clamps_inner_strategy() {
+        let mut d = CappedDelay::new(UnitDelay, 3);
+        assert_eq!(d.max_ticks(), 3);
+        assert_eq!(d.delay_ticks(NodeId::new(0), NodeId::new(1), 0, 0), 3);
+        // An inner 1-tick delay is left alone.
+        let mut d = CappedDelay::new(AdversarialDelay::new(11), 16);
+        let mut seen_fast = false;
+        for u in 0..10 {
+            let delay = d.delay_ticks(NodeId::new(u), NodeId::new(u + 1), 0, 0);
+            assert!((1..=16).contains(&delay));
+            seen_fast |= delay == 1;
+        }
+        assert!(seen_fast);
+        // The cap itself is clamped into the engine's range.
+        assert_eq!(CappedDelay::new(UnitDelay, 0).max_ticks(), 1);
+        assert_eq!(
+            CappedDelay::new(UnitDelay, u64::MAX).max_ticks(),
+            TICKS_PER_UNIT
+        );
+    }
+
+    #[test]
+    fn fifo_worst_decreases_to_floor() {
+        let mut d = FifoWorstDelay::new(4);
+        let delays: Vec<u64> = (0..6)
+            .map(|seq| d.delay_ticks(NodeId::new(0), NodeId::new(1), 0, seq))
+            .collect();
+        assert_eq!(delays, vec![4, 3, 2, 1, 1, 1]);
+        assert_eq!(
+            FifoWorstDelay::default().delay_ticks(NodeId::new(0), NodeId::new(1), 0, 0),
+            TICKS_PER_UNIT
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ mod delay;
 mod wake;
 
 pub use delay::{
-    AdversarialDelay, BurstDelay, DelayStrategy, RandomDelay, TargetedDelay, UnitDelay,
+    AdversarialDelay, BurstDelay, CappedDelay, DelayStrategy, FifoWorstDelay, RandomDelay,
+    TargetedDelay, UnitDelay,
 };
 pub use wake::WakeSchedule;

@@ -14,20 +14,38 @@
 //! Slots are recycled through a free list, so steady-state traffic allocates
 //! nothing; [`PayloadArena::clear`] drops all payloads while keeping slot
 //! capacity, which is what the engines' `reset()` paths rely on to reuse one
-//! arena across trials. In debug builds every slot carries a generation
-//! counter and refs are validated against it, catching use-after-free of a
-//! recycled slot; release builds keep `PayloadRef` at four bytes.
+//! arena across trials. In debug builds (and in any build with the `audit`
+//! feature) every slot carries a generation counter and refs are validated
+//! against it, catching use-after-free of a recycled slot; plain release
+//! builds keep `PayloadRef` at four bytes.
 
 /// Handle to a payload stored in a [`PayloadArena`].
 ///
-/// Plain index in release builds; index + generation in debug builds so a
-/// stale handle (kept across a `take` that freed the slot) panics instead of
-/// silently aliasing whatever payload was recycled into the slot.
+/// Plain index in release builds; index + generation in debug and `audit`
+/// builds so a stale handle (kept across a `take` that freed the slot)
+/// panics instead of silently aliasing whatever payload was recycled into
+/// the slot. The audit recorder stamps both halves into its `send` and
+/// `deliver` events, which is what lets the payload-lifecycle invariant
+/// prove the absence of silent reuse post hoc.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct PayloadRef {
     idx: u32,
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "audit"))]
     gen: u32,
+}
+
+impl PayloadRef {
+    /// The slot index (stable identity of the stored payload while live).
+    #[cfg(feature = "audit")]
+    pub(crate) fn slot(self) -> u32 {
+        self.idx
+    }
+
+    /// The slot generation this handle was issued against.
+    #[cfg(feature = "audit")]
+    pub(crate) fn generation(self) -> u32 {
+        self.gen
+    }
 }
 
 #[derive(Debug)]
@@ -37,7 +55,7 @@ struct Slot<M> {
     refs: u32,
     /// `size_bits()` of the payload, computed once at insert time.
     bits: usize,
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "audit"))]
     gen: u32,
 }
 
@@ -58,7 +76,7 @@ impl<M> Default for PayloadArena<M> {
 }
 
 impl<M> PayloadArena<M> {
-    #[cfg(debug_assertions)]
+    #[cfg(any(debug_assertions, feature = "audit"))]
     #[inline]
     fn check_gen(&self, r: PayloadRef) {
         assert_eq!(
@@ -67,7 +85,7 @@ impl<M> PayloadArena<M> {
         );
     }
 
-    #[cfg(not(debug_assertions))]
+    #[cfg(not(any(debug_assertions, feature = "audit")))]
     #[inline]
     fn check_gen(&self, _r: PayloadRef) {}
 
@@ -83,7 +101,7 @@ impl<M> PayloadArena<M> {
                 slot.bits = bits;
                 PayloadRef {
                     idx,
-                    #[cfg(debug_assertions)]
+                    #[cfg(any(debug_assertions, feature = "audit"))]
                     gen: slot.gen,
                 }
             }
@@ -93,12 +111,12 @@ impl<M> PayloadArena<M> {
                     msg: Some(msg),
                     refs: 1,
                     bits,
-                    #[cfg(debug_assertions)]
+                    #[cfg(any(debug_assertions, feature = "audit"))]
                     gen: 0,
                 });
                 PayloadRef {
                     idx,
-                    #[cfg(debug_assertions)]
+                    #[cfg(any(debug_assertions, feature = "audit"))]
                     gen: 0,
                 }
             }
@@ -150,7 +168,7 @@ impl<M: Clone> PayloadArena<M> {
         if slot.refs <= 1 {
             let msg = slot.msg.take().expect("payload taken twice");
             slot.refs = 0;
-            #[cfg(debug_assertions)]
+            #[cfg(any(debug_assertions, feature = "audit"))]
             {
                 slot.gen = slot.gen.wrapping_add(1);
             }
@@ -212,6 +230,36 @@ mod tests {
         let a = arena.insert_with_bits("x".into(), 8);
         arena.take(a);
         arena.take(a);
+    }
+
+    /// A handle kept across the `take` that freed its slot must be rejected
+    /// when the slot has been recycled for a new payload — the silent-reuse
+    /// failure mode the generation counter exists to catch. Generation
+    /// checks run in debug builds and in `audit` builds.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    #[test]
+    #[should_panic(expected = "stale payload ref")]
+    fn stale_ref_into_recycled_slot_is_rejected() {
+        let mut arena: PayloadArena<String> = PayloadArena::default();
+        let stale = arena.insert_with_bits("old".into(), 8);
+        assert_eq!(arena.take(stale), "old"); // frees the slot
+        let fresh = arena.insert_with_bits("new".into(), 8);
+        // Same slot, new generation: the recycled payload must NOT be
+        // visible through the stale handle.
+        assert_eq!(fresh.idx, stale.idx);
+        let _ = arena.take(stale);
+    }
+
+    /// `share` and `bits` validate generations too, not just `take`.
+    #[cfg(any(debug_assertions, feature = "audit"))]
+    #[test]
+    #[should_panic(expected = "stale payload ref")]
+    fn stale_ref_bits_lookup_is_rejected() {
+        let mut arena: PayloadArena<u32> = PayloadArena::default();
+        let stale = arena.insert_with_bits(1, 8);
+        arena.take(stale);
+        arena.insert_with_bits(2, 16);
+        let _ = arena.bits(stale);
     }
 
     #[test]

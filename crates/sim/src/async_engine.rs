@@ -67,6 +67,12 @@ pub struct AsyncConfig {
     pub record_congest_violations: bool,
     /// Record an execution trace with the given event capacity.
     pub trace_capacity: Option<usize>,
+    /// Record a model-conformance [`crate::audit::AuditLog`] with the given
+    /// event capacity (`None` = off). Independent of `trace_capacity`: the
+    /// audit log additionally carries logical timestamps, payload-arena
+    /// generations, and advice reads.
+    #[cfg(feature = "audit")]
+    pub audit_capacity: Option<usize>,
 }
 
 impl Default for AsyncConfig {
@@ -80,6 +86,8 @@ impl Default for AsyncConfig {
             track_ports: false,
             record_congest_violations: false,
             trace_capacity: None,
+            #[cfg(feature = "audit")]
+            audit_capacity: None,
         }
     }
 }
@@ -362,6 +370,10 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 DenseBits::default()
             },
             trace: config.trace_capacity.map(Trace::with_capacity),
+            #[cfg(feature = "audit")]
+            audit: config
+                .audit_capacity
+                .map(crate::audit::AuditLog::with_capacity),
             entries_buf: std::mem::take(&mut self.scratch.entries_buf),
             batch_buf: std::mem::take(&mut self.scratch.batch_buf),
         };
@@ -444,6 +456,8 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             truncated,
             metrics: st.metrics,
             trace: st.trace,
+            #[cfg(feature = "audit")]
+            audit_log: st.audit,
         };
         self.scratch.entries_buf = st.entries_buf;
         self.scratch.batch_buf = st.batch_buf;
@@ -479,6 +493,9 @@ struct RunState<'e, P: AsyncProtocol> {
     /// unless `track_ports`.
     ports_touched: DenseBits,
     trace: Option<Trace>,
+    /// Model-conformance event recorder (`audit` feature, off by default).
+    #[cfg(feature = "audit")]
+    audit: Option<crate::audit::AuditLog>,
     /// Reusable outbox buffer lent to every handler invocation.
     entries_buf: Vec<(Port, PayloadRef)>,
     /// Reusable materialized-inbox buffer lent to every batch delivery.
@@ -499,6 +516,24 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                 node: v,
                 cause,
             });
+        }
+        #[cfg(feature = "audit")]
+        if let Some(log) = self.audit.as_mut() {
+            log.record(crate::audit::AuditEvent::Wake {
+                tick,
+                node: v.index() as u32,
+                cause,
+            });
+            // A node consults its advice exactly when it wakes; the length
+            // recorded here is what the advice-accounting invariant checks
+            // against the oracle's assignment.
+            if let Some(advice) = self.config.advice.as_deref() {
+                log.record(crate::audit::AuditEvent::AdviceRead {
+                    tick,
+                    node: v.index() as u32,
+                    bits: advice[v.index()].len() as u32,
+                });
+            }
         }
         self.awake[v.index()] = true;
         self.awake_count += 1;
@@ -547,6 +582,20 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                     tick,
                     from: NodeId::new(e.from as usize),
                     to,
+                });
+            }
+        }
+        // Deliveries are recorded before the wake they may cause (below), so
+        // the wake-causality invariant can stream the log in order.
+        #[cfg(feature = "audit")]
+        if let Some(log) = self.audit.as_mut() {
+            for e in entries {
+                log.record(crate::audit::AuditEvent::Deliver {
+                    tick,
+                    from: e.from,
+                    to: e.to,
+                    slot: e.msg.slot(),
+                    gen: e.msg.generation(),
                 });
             }
         }
@@ -610,6 +659,17 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                     from,
                     to,
                     bits,
+                });
+            }
+            #[cfg(feature = "audit")]
+            if let Some(log) = self.audit.as_mut() {
+                log.record(crate::audit::AuditEvent::Send {
+                    tick,
+                    from: from.index() as u32,
+                    to: self.tables.edge_to[slot],
+                    bits: bits as u32,
+                    slot: r.slot(),
+                    gen: r.generation(),
                 });
             }
             self.metrics.messages_sent += 1;

@@ -1,0 +1,280 @@
+//! Hand-rolled JSONL codec for [`AuditLog`] (the workspace vendors no JSON
+//! dependency, and the schema is flat enough that a purpose-built
+//! reader/writer is both smaller and byte-deterministic).
+//!
+//! One event per line, keys always in the same order, no whitespace:
+//!
+//! ```text
+//! {"seq":0,"e":"wake","t":0,"node":0,"cause":"adversary"}
+//! {"seq":1,"e":"advice","t":0,"node":0,"bits":12}
+//! {"seq":2,"e":"send","t":0,"from":0,"to":1,"bits":32,"slot":0,"gen":0}
+//! {"seq":3,"e":"deliver","t":1024,"from":0,"to":1,"slot":0,"gen":0}
+//! ```
+//!
+//! `seq` is the event's logical timestamp (its log index), written out so a
+//! human reading a trace diff sees absolute positions and so the parser can
+//! detect truncated or reordered files.
+
+use std::fmt::Write as _;
+
+use super::{AuditEvent, AuditLog};
+use crate::protocol::WakeCause;
+
+pub(super) fn to_jsonl(log: &AuditLog) -> String {
+    let mut out = String::with_capacity(log.len() * 56);
+    for (seq, event) in log.events().iter().enumerate() {
+        match *event {
+            AuditEvent::Wake { tick, node, cause } => {
+                let cause = match cause {
+                    WakeCause::Adversary => "adversary",
+                    WakeCause::Message => "message",
+                };
+                let _ = writeln!(
+                    out,
+                    "{{\"seq\":{seq},\"e\":\"wake\",\"t\":{tick},\"node\":{node},\"cause\":\"{cause}\"}}"
+                );
+            }
+            AuditEvent::AdviceRead { tick, node, bits } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"seq\":{seq},\"e\":\"advice\",\"t\":{tick},\"node\":{node},\"bits\":{bits}}}"
+                );
+            }
+            AuditEvent::Send {
+                tick,
+                from,
+                to,
+                bits,
+                slot,
+                gen,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"seq\":{seq},\"e\":\"send\",\"t\":{tick},\"from\":{from},\"to\":{to},\"bits\":{bits},\"slot\":{slot},\"gen\":{gen}}}"
+                );
+            }
+            AuditEvent::Deliver {
+                tick,
+                from,
+                to,
+                slot,
+                gen,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"seq\":{seq},\"e\":\"deliver\",\"t\":{tick},\"from\":{from},\"to\":{to},\"slot\":{slot},\"gen\":{gen}}}"
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A parsed `"key":value` field; values are unsigned integers or bare
+/// strings (the schema needs nothing else).
+enum Field<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+/// Splits one JSONL line into `(key, field)` pairs. Strict by design: the
+/// reader accepts exactly what the writer emits, so any hand-edit that
+/// changes the shape is surfaced instead of half-parsed.
+fn parse_line(line: &str) -> Result<Vec<(&str, Field<'_>)>, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("line is not a {...} object")?;
+    let mut fields = Vec::with_capacity(8);
+    for part in inner.split(',') {
+        let (key, value) = part.split_once(':').ok_or("field without ':'")?;
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or("key is not quoted")?;
+        let field = match value.strip_prefix('"') {
+            Some(rest) => Field::Str(rest.strip_suffix('"').ok_or("unterminated string")?),
+            None => Field::Num(
+                value
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad number {value:?}: {e}"))?,
+            ),
+        };
+        fields.push((key, field));
+    }
+    Ok(fields)
+}
+
+fn num(fields: &[(&str, Field<'_>)], key: &str) -> Result<u64, String> {
+    match fields.iter().find(|(k, _)| *k == key) {
+        Some((_, Field::Num(v))) => Ok(*v),
+        Some((_, Field::Str(_))) => Err(format!("field {key:?} is a string, expected a number")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn num32(fields: &[(&str, Field<'_>)], key: &str) -> Result<u32, String> {
+    u32::try_from(num(fields, key)?).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+fn string<'a>(fields: &[(&str, Field<'a>)], key: &str) -> Result<&'a str, String> {
+    match fields.iter().find(|(k, _)| *k == key) {
+        Some((_, Field::Str(v))) => Ok(v),
+        Some((_, Field::Num(_))) => Err(format!("field {key:?} is a number, expected a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+pub(super) fn from_jsonl(text: &str) -> Result<AuditLog, String> {
+    let mut log = AuditLog::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let event = (|| -> Result<AuditEvent, String> {
+            let fields = parse_line(line)?;
+            let seq = num(&fields, "seq")?;
+            if seq != log.len() as u64 {
+                return Err(format!(
+                    "seq {seq} where {} was expected (truncated or reordered file)",
+                    log.len()
+                ));
+            }
+            let tick = num(&fields, "t")?;
+            match string(&fields, "e")? {
+                "wake" => Ok(AuditEvent::Wake {
+                    tick,
+                    node: num32(&fields, "node")?,
+                    cause: match string(&fields, "cause")? {
+                        "adversary" => WakeCause::Adversary,
+                        "message" => WakeCause::Message,
+                        other => return Err(format!("unknown wake cause {other:?}")),
+                    },
+                }),
+                "advice" => Ok(AuditEvent::AdviceRead {
+                    tick,
+                    node: num32(&fields, "node")?,
+                    bits: num32(&fields, "bits")?,
+                }),
+                "send" => Ok(AuditEvent::Send {
+                    tick,
+                    from: num32(&fields, "from")?,
+                    to: num32(&fields, "to")?,
+                    bits: num32(&fields, "bits")?,
+                    slot: num32(&fields, "slot")?,
+                    gen: num32(&fields, "gen")?,
+                }),
+                "deliver" => Ok(AuditEvent::Deliver {
+                    tick,
+                    from: num32(&fields, "from")?,
+                    to: num32(&fields, "to")?,
+                    slot: num32(&fields, "slot")?,
+                    gen: num32(&fields, "gen")?,
+                }),
+                other => Err(format!("unknown event type {other:?}")),
+            }
+        })()
+        .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        log.record(event);
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AuditEvent, AuditLog};
+    use crate::protocol::WakeCause;
+
+    fn sample() -> AuditLog {
+        let mut log = AuditLog::default();
+        log.record(AuditEvent::Wake {
+            tick: 0,
+            node: 0,
+            cause: WakeCause::Adversary,
+        });
+        log.record(AuditEvent::AdviceRead {
+            tick: 0,
+            node: 0,
+            bits: 12,
+        });
+        log.record(AuditEvent::Send {
+            tick: 0,
+            from: 0,
+            to: 1,
+            bits: 32,
+            slot: 0,
+            gen: 0,
+        });
+        log.record(AuditEvent::Deliver {
+            tick: 1024,
+            from: 0,
+            to: 1,
+            slot: 0,
+            gen: 0,
+        });
+        log.record(AuditEvent::Wake {
+            tick: 1024,
+            node: 1,
+            cause: WakeCause::Message,
+        });
+        log
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let log = sample();
+        let text = log.to_jsonl();
+        let back = AuditLog::from_jsonl(&text).unwrap();
+        assert_eq!(back.events(), log.events());
+        // Serialization is byte-deterministic.
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        let text = sample().to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            r#"{"seq":0,"e":"wake","t":0,"node":0,"cause":"adversary"}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"seq":1,"e":"advice","t":0,"node":0,"bits":12}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"seq":2,"e":"send","t":0,"from":0,"to":1,"bits":32,"slot":0,"gen":0}"#
+        );
+        assert_eq!(
+            lines[3],
+            r#"{"seq":3,"e":"deliver","t":1024,"from":0,"to":1,"slot":0,"gen":0}"#
+        );
+    }
+
+    #[test]
+    fn seq_holes_are_rejected() {
+        let text = sample().to_jsonl();
+        // Drop the middle line: the parser must notice the hole.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.remove(2);
+        let err = AuditLog::from_jsonl(&lines.join("\n")).unwrap_err();
+        assert!(err.contains("truncated or reordered"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_position() {
+        let err = AuditLog::from_jsonl("not json").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = AuditLog::from_jsonl(r#"{"seq":0,"e":"warp","t":0,"node":0}"#).unwrap_err();
+        assert!(err.contains("unknown event type"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = format!("\n{}\n\n", sample().to_jsonl());
+        let back = AuditLog::from_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 5);
+    }
+}

@@ -1,0 +1,362 @@
+//! Differential-testing adapters and run digests.
+//!
+//! The engines always drive protocols through the batched
+//! [`crate::AsyncProtocol::on_messages_batch`] /
+//! [`crate::SyncProtocol::on_messages_batch`] hook; protocols that override
+//! it promise to be equivalent to processing the inbox one message at a
+//! time. That promise is exactly the kind of thing that silently rots, so
+//! this module provides the machinery to test it end to end:
+//!
+//! * [`PerMessage`] / [`PerRound`] wrap a protocol and *force* the
+//!   unbatched path (the default-hook semantics), so running `P` and
+//!   `PerMessage<P>` over the same seed and schedule and comparing
+//!   [`RunDigest`]s checks the batch override against its specification.
+//! * [`RunDigest`] condenses a [`RunReport`] into the "final node tables"
+//!   that any two equivalent executions must agree on — outputs, wake
+//!   ticks, per-node traffic counts — with a field-by-field [`RunDigest::diff`]
+//!   for actionable mismatch reports.
+//!
+//! The `audit` binary in the bench crate builds its paired configurations
+//! (batched vs per-message, `reset()` vs fresh engine, cached vs cold
+//! artifacts, async-lockstep vs sync) on these types; the proptest suite in
+//! `tests/differential.rs` drives them over random graphs.
+
+use crate::metrics::RunReport;
+use crate::protocol::{AsyncProtocol, Context, Inbox, Incoming, NodeInit, SyncProtocol, WakeCause};
+
+/// Forces per-message delivery for an [`AsyncProtocol`]: the batch hook is
+/// overridden to feed the inbox through [`AsyncProtocol::on_message`] one
+/// message at a time, exactly like the trait's default implementation — even
+/// when `P` overrides the batch hook for speed.
+pub struct PerMessage<P> {
+    inner: P,
+}
+
+impl<P> PerMessage<P> {
+    /// The wrapped protocol state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: AsyncProtocol> AsyncProtocol for PerMessage<P> {
+    type Msg = P::Msg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        PerMessage {
+            inner: P::init(init),
+        }
+    }
+
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        self.inner.reinit(init);
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause) {
+        self.inner.on_wake(ctx, cause);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: Incoming, msg: Self::Msg) {
+        self.inner.on_message(ctx, from, msg);
+    }
+
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &mut Inbox<'_, Self::Msg>,
+    ) {
+        while let Some((from, msg)) = inbox.next() {
+            self.inner.on_message(ctx, from, msg);
+        }
+    }
+}
+
+/// Forces the `Vec`-based round path for a [`SyncProtocol`]: the batch hook
+/// is overridden to collect the inbox and call [`SyncProtocol::on_round`],
+/// exactly like the trait's default implementation — even when `P` overrides
+/// the batch hook to consume the inbox in place.
+pub struct PerRound<P> {
+    inner: P,
+}
+
+impl<P> PerRound<P> {
+    /// The wrapped protocol state.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SyncProtocol> SyncProtocol for PerRound<P> {
+    type Msg = P::Msg;
+
+    fn init(init: &NodeInit<'_>) -> Self {
+        PerRound {
+            inner: P::init(init),
+        }
+    }
+
+    fn reinit(&mut self, init: &NodeInit<'_>) {
+        self.inner.reinit(init);
+    }
+
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>, cause: WakeCause) {
+        self.inner.on_wake(ctx, cause);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: Vec<(Incoming, Self::Msg)>) {
+        self.inner.on_round(ctx, inbox);
+    }
+
+    fn on_messages_batch(
+        &mut self,
+        ctx: &mut Context<'_, Self::Msg>,
+        inbox: &mut Inbox<'_, Self::Msg>,
+    ) {
+        let batch = inbox.take_all();
+        self.inner.on_round(ctx, batch);
+    }
+
+    fn wants_round(&self) -> bool {
+        self.inner.wants_round()
+    }
+}
+
+/// The observable outcome of a run — every per-node and aggregate quantity
+/// that two model-equivalent executions must agree on.
+///
+/// Round counts are deliberately excluded (an async run reports 0), so one
+/// digest type serves every pairing, including async-vs-sync lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDigest {
+    /// Whether every node was awake at the end.
+    pub all_awake: bool,
+    /// Whether the run hit its safety cap.
+    pub truncated: bool,
+    /// Per-node outputs.
+    pub outputs: Vec<Option<u64>>,
+    /// Per-node wake ticks.
+    pub wake_tick: Vec<Option<u64>>,
+    /// Per-node messages sent.
+    pub sent_by: Vec<u64>,
+    /// Per-node messages received.
+    pub received_by: Vec<u64>,
+    /// Total messages sent.
+    pub messages_sent: u64,
+    /// Total bits sent.
+    pub bits_sent: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// CONGEST violations recorded (when not panicking).
+    pub congest_violations: u64,
+}
+
+impl RunDigest {
+    /// Extracts the digest of a completed run.
+    pub fn of(report: &RunReport) -> RunDigest {
+        RunDigest {
+            all_awake: report.all_awake,
+            truncated: report.truncated,
+            outputs: report.outputs.clone(),
+            wake_tick: report.metrics.wake_tick.clone(),
+            sent_by: report.metrics.sent_by.clone(),
+            received_by: report.metrics.received_by.clone(),
+            messages_sent: report.metrics.messages_sent,
+            bits_sent: report.metrics.bits_sent,
+            max_message_bits: report.metrics.max_message_bits,
+            congest_violations: report.metrics.congest_violations,
+        }
+    }
+
+    /// Names of the fields on which `self` and `other` disagree (empty when
+    /// the digests are equal). For per-node vectors the first disagreeing
+    /// node index is included.
+    pub fn diff(&self, other: &RunDigest) -> Vec<String> {
+        fn vec_diff<T: PartialEq + std::fmt::Debug>(
+            out: &mut Vec<String>,
+            name: &str,
+            a: &[T],
+            b: &[T],
+        ) {
+            if a.len() != b.len() {
+                out.push(format!("{name}: length {} vs {}", a.len(), b.len()));
+                return;
+            }
+            if let Some(v) = (0..a.len()).find(|&v| a[v] != b[v]) {
+                out.push(format!(
+                    "{name}: first mismatch at node {v} ({:?} vs {:?})",
+                    a[v], b[v]
+                ));
+            }
+        }
+        let mut out = Vec::new();
+        if self.all_awake != other.all_awake {
+            out.push(format!(
+                "all_awake: {} vs {}",
+                self.all_awake, other.all_awake
+            ));
+        }
+        if self.truncated != other.truncated {
+            out.push(format!(
+                "truncated: {} vs {}",
+                self.truncated, other.truncated
+            ));
+        }
+        vec_diff(&mut out, "outputs", &self.outputs, &other.outputs);
+        vec_diff(&mut out, "wake_tick", &self.wake_tick, &other.wake_tick);
+        vec_diff(&mut out, "sent_by", &self.sent_by, &other.sent_by);
+        vec_diff(
+            &mut out,
+            "received_by",
+            &self.received_by,
+            &other.received_by,
+        );
+        if self.messages_sent != other.messages_sent {
+            out.push(format!(
+                "messages_sent: {} vs {}",
+                self.messages_sent, other.messages_sent
+            ));
+        }
+        if self.bits_sent != other.bits_sent {
+            out.push(format!(
+                "bits_sent: {} vs {}",
+                self.bits_sent, other.bits_sent
+            ));
+        }
+        if self.max_message_bits != other.max_message_bits {
+            out.push(format!(
+                "max_message_bits: {} vs {}",
+                self.max_message_bits, other.max_message_bits
+            ));
+        }
+        if self.congest_violations != other.congest_violations {
+            out.push(format!(
+                "congest_violations: {} vs {}",
+                self.congest_violations, other.congest_violations
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::WakeSchedule;
+    use crate::message::Payload;
+    use crate::network::Network;
+    use crate::sync_engine::{SyncConfig, SyncEngine};
+    use crate::{AsyncConfig, AsyncEngine};
+    use wakeup_graph::{generators, NodeId};
+
+    #[derive(Debug, Clone)]
+    struct Tok(u32);
+    impl Payload for Tok {
+        fn size_bits(&self) -> usize {
+            32
+        }
+    }
+
+    /// Async protocol with a batch override that accumulates a sum —
+    /// equivalent to its per-message path by construction, so the wrapper
+    /// must produce an identical digest.
+    struct SumFlood {
+        relayed: bool,
+        sum: u64,
+    }
+    impl AsyncProtocol for SumFlood {
+        type Msg = Tok;
+        fn init(_: &NodeInit<'_>) -> Self {
+            SumFlood {
+                relayed: false,
+                sum: 0,
+            }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Tok>, _: WakeCause) {
+            if !self.relayed {
+                self.relayed = true;
+                ctx.broadcast(Tok(3));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Tok>, _: Incoming, msg: Tok) {
+            self.sum += u64::from(msg.0);
+            ctx.output(self.sum);
+        }
+        fn on_messages_batch(&mut self, ctx: &mut Context<'_, Tok>, inbox: &mut Inbox<'_, Tok>) {
+            while let Some((_, msg)) = inbox.next() {
+                self.sum += u64::from(msg.0);
+            }
+            ctx.output(self.sum);
+        }
+    }
+
+    #[test]
+    fn per_message_wrapper_matches_batched_async() {
+        let net = Network::kt0(generators::erdos_renyi_connected(24, 0.2, 5).unwrap(), 2);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let batched = AsyncEngine::<SumFlood>::new(&net, AsyncConfig::default()).run(&schedule);
+        let unbatched =
+            AsyncEngine::<PerMessage<SumFlood>>::new(&net, AsyncConfig::default()).run(&schedule);
+        let (a, b) = (RunDigest::of(&batched), RunDigest::of(&unbatched));
+        assert_eq!(a.diff(&b), Vec::<String>::new());
+        assert_eq!(a, b);
+    }
+
+    /// Sync protocol with a batch override, mirroring the async case.
+    struct RoundCounter {
+        seen: u64,
+        relayed: bool,
+    }
+    impl SyncProtocol for RoundCounter {
+        type Msg = Tok;
+        fn init(_: &NodeInit<'_>) -> Self {
+            RoundCounter {
+                seen: 0,
+                relayed: false,
+            }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Tok>, _: WakeCause) {
+            if !self.relayed {
+                self.relayed = true;
+                ctx.broadcast(Tok(1));
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Context<'_, Tok>, inbox: Vec<(Incoming, Tok)>) {
+            self.seen += inbox.len() as u64;
+            ctx.output(self.seen);
+        }
+        fn on_messages_batch(&mut self, ctx: &mut Context<'_, Tok>, inbox: &mut Inbox<'_, Tok>) {
+            self.seen += inbox.len() as u64;
+            while inbox.next().is_some() {}
+            ctx.output(self.seen);
+        }
+    }
+
+    #[test]
+    fn per_round_wrapper_matches_batched_sync() {
+        let net = Network::kt1(generators::watts_strogatz(30, 2, 0.1, 3).unwrap(), 2);
+        let schedule = WakeSchedule::all_at_zero(&[NodeId::new(0), NodeId::new(7)]);
+        let batched = SyncEngine::<RoundCounter>::new(&net, SyncConfig::default()).run(&schedule);
+        let unbatched =
+            SyncEngine::<PerRound<RoundCounter>>::new(&net, SyncConfig::default()).run(&schedule);
+        let (a, b) = (RunDigest::of(&batched), RunDigest::of(&unbatched));
+        assert_eq!(a.diff(&b), Vec::<String>::new());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn digest_diff_names_fields_and_first_node() {
+        let net = Network::kt0(generators::path(4).unwrap(), 0);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let report = AsyncEngine::<SumFlood>::new(&net, AsyncConfig::default()).run(&schedule);
+        let a = RunDigest::of(&report);
+        let mut b = a.clone();
+        b.outputs[2] = Some(999);
+        b.messages_sent += 1;
+        let diff = a.diff(&b);
+        assert!(diff
+            .iter()
+            .any(|d| d.starts_with("outputs: ") && d.contains("node 2")));
+        assert!(diff.iter().any(|d| d.starts_with("messages_sent")));
+        assert_eq!(diff.len(), 2);
+    }
+}

@@ -62,7 +62,10 @@ pub mod adversary;
 pub mod advice;
 mod arena;
 mod async_engine;
+#[cfg(feature = "audit")]
+pub mod audit;
 pub mod bits;
+pub mod differential;
 pub mod invariants;
 pub mod knowledge;
 mod lockstep;
@@ -77,6 +80,7 @@ pub mod viz;
 
 pub use async_engine::{AsyncConfig, AsyncEngine};
 pub use bits::{BitReader, BitStr, DenseBits};
+pub use differential::{PerMessage, PerRound, RunDigest};
 pub use knowledge::{IdAssignment, KnowledgeMode, Port, PortAssignment};
 pub use lockstep::Lockstep;
 pub use message::{ChannelModel, Payload};

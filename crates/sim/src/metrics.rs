@@ -101,6 +101,10 @@ pub struct RunReport {
     pub truncated: bool,
     /// Execution trace, when tracing was enabled in the engine config.
     pub trace: Option<crate::trace::Trace>,
+    /// Model-conformance audit log, when auditing was enabled in the engine
+    /// config (`audit` feature).
+    #[cfg(feature = "audit")]
+    pub audit_log: Option<crate::audit::AuditLog>,
 }
 
 impl RunReport {

@@ -427,7 +427,9 @@ pub trait AsyncProtocol: Sized {
     /// on hot paths override it to amortize per-delivery work. Overrides
     /// must preserve the semantics of processing the messages one by one in
     /// inbox order — the engine's adversarial delivery order and per-channel
-    /// FIFO guarantees are fixed before this hook runs.
+    /// FIFO guarantees are fixed before this hook runs. The
+    /// [`crate::PerMessage`] wrapper forces the unbatched path, so an
+    /// override can be differentially tested against this specification.
     fn on_messages_batch(
         &mut self,
         ctx: &mut Context<'_, Self::Msg>,
@@ -471,7 +473,9 @@ pub trait SyncProtocol: Sized {
     /// round — including rounds with an empty inbox, which protocols with
     /// internal timers count. The default collects the inbox into a `Vec`
     /// and forwards to [`Self::on_round`]; hot protocols override it to
-    /// consume the messages in place without the per-round allocation.
+    /// consume the messages in place without the per-round allocation. The
+    /// [`crate::PerRound`] wrapper forces the `Vec`-based path, so an
+    /// override can be differentially tested against this specification.
     fn on_messages_batch(
         &mut self,
         ctx: &mut Context<'_, Self::Msg>,

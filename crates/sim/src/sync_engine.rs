@@ -34,6 +34,12 @@ pub struct SyncConfig {
     pub record_congest_violations: bool,
     /// Record an execution trace with the given event capacity.
     pub trace_capacity: Option<usize>,
+    /// Record a model-conformance [`crate::audit::AuditLog`] with the given
+    /// event capacity (`None` = off). Independent of `trace_capacity`: the
+    /// audit log additionally carries logical timestamps, payload-arena
+    /// generations, and advice reads.
+    #[cfg(feature = "audit")]
+    pub audit_capacity: Option<usize>,
 }
 
 impl Default for SyncConfig {
@@ -47,6 +53,8 @@ impl Default for SyncConfig {
             track_ports: false,
             record_congest_violations: false,
             trace_capacity: None,
+            #[cfg(feature = "audit")]
+            audit_capacity: None,
         }
     }
 }
@@ -200,6 +208,11 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         pending_wakes.sort_unstable();
         let mut wake_cursor = 0usize;
         let mut trace: Option<Trace> = self.config.trace_capacity.map(Trace::with_capacity);
+        #[cfg(feature = "audit")]
+        let mut audit_log = self
+            .config
+            .audit_capacity
+            .map(crate::audit::AuditLog::with_capacity);
         // Persistent per-round buffers from the engine scratch, allocated
         // once and reused across rounds *and* across runs: the payload
         // arena, receiver inboxes (with the list of receivers touched this
@@ -261,6 +274,18 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                         to: m.to,
                     });
                 }
+                // Recorded before any wake of this round, so wake causality
+                // streams in order (the whole in-flight queue drains first).
+                #[cfg(feature = "audit")]
+                if let Some(log) = audit_log.as_mut() {
+                    log.record(crate::audit::AuditEvent::Deliver {
+                        tick,
+                        from: m.from.index() as u32,
+                        to: m.to.index() as u32,
+                        slot: m.msg.slot(),
+                        gen: m.msg.generation(),
+                    });
+                }
                 if self.config.track_ports {
                     ports_touched.set(self.tables.slot(m.to, m.rport));
                 }
@@ -303,6 +328,21 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                         node: v,
                         cause,
                     });
+                }
+                #[cfg(feature = "audit")]
+                if let Some(log) = audit_log.as_mut() {
+                    log.record(crate::audit::AuditEvent::Wake {
+                        tick,
+                        node: v.index() as u32,
+                        cause,
+                    });
+                    if let Some(advice) = self.config.advice.as_deref() {
+                        log.record(crate::audit::AuditEvent::AdviceRead {
+                            tick,
+                            node: v.index() as u32,
+                            bits: advice[v.index()].len() as u32,
+                        });
+                    }
                 }
                 awake[v.index()] = true;
                 awake_count += 1;
@@ -376,6 +416,17 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                         bits,
                     });
                 }
+                #[cfg(feature = "audit")]
+                if let Some(log) = audit_log.as_mut() {
+                    log.record(crate::audit::AuditEvent::Send {
+                        tick,
+                        from: from.index() as u32,
+                        to: to.index() as u32,
+                        bits: bits as u32,
+                        slot: r.slot(),
+                        gen: r.generation(),
+                    });
+                }
                 metrics.messages_sent += 1;
                 metrics.bits_sent += bits as u64;
                 metrics.max_message_bits = metrics.max_message_bits.max(bits);
@@ -407,6 +458,8 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             truncated,
             metrics,
             trace,
+            #[cfg(feature = "audit")]
+            audit_log,
         }
     }
 

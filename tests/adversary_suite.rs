@@ -13,10 +13,11 @@ use wakeup::core::harness;
 use wakeup::core::leader::LeaderElect;
 use wakeup::graph::{generators, Graph, NodeId};
 use wakeup::sim::adversary::{
-    AdversarialDelay, BurstDelay, DelayStrategy, RandomDelay, TargetedDelay, UnitDelay,
-    WakeSchedule,
+    AdversarialDelay, BurstDelay, CappedDelay, DelayStrategy, FifoWorstDelay, RandomDelay,
+    TargetedDelay, UnitDelay, WakeSchedule,
 };
-use wakeup::sim::{AsyncProtocol, Network};
+use wakeup::sim::audit::{AuditScope, Auditor};
+use wakeup::sim::{AsyncConfig, AsyncEngine, AsyncProtocol, Network, TICKS_PER_UNIT};
 
 fn battleground() -> Graph {
     generators::watts_strogatz(60, 2, 0.15, 77).unwrap()
@@ -52,6 +53,7 @@ fn delay_strategies(victims: &[NodeId]) -> Vec<(&'static str, Box<dyn DelayStrat
             Box::new(TargetedDelay::new(victims.iter().copied(), 1)),
         ),
         ("bursty", Box::new(BurstDelay::new(3, 0.5))),
+        ("fifo-worst", Box::new(FifoWorstDelay::default())),
     ]
 }
 
@@ -135,6 +137,73 @@ fn sync_algorithms_survive_the_schedules() {
         assert!(gossip.report.all_awake, "gossip/{sname}");
         // Gossip invariant: one message per node per round.
         assert!(gossip.report.messages() <= g.n() as u64 * gossip.report.rounds);
+    }
+}
+
+/// Runs flooding under `delays`, with the audit log enabled, and asserts
+/// the standard invariant pipeline (FIFO per channel, delay ∈ (0, τ_cap],
+/// CONGEST budgets, monotone clocks, payload lifecycle, wake causality)
+/// finds nothing.
+fn assert_clean_audit(
+    net: &Network,
+    schedule: &WakeSchedule,
+    delays: &mut dyn DelayStrategy,
+    max_delay_ticks: u64,
+    label: &str,
+) {
+    let config = AsyncConfig {
+        seed: 11,
+        audit_capacity: Some(1 << 20),
+        ..AsyncConfig::default()
+    };
+    let report = AsyncEngine::<FloodAsync>::new(net, config).run_with(schedule, delays);
+    assert!(report.all_awake && !report.truncated, "{label}");
+    let log = report.audit_log.as_ref().expect("audit enabled");
+    assert!(!log.truncated, "{label}: audit log truncated");
+    let scope = AuditScope::new(net).with_max_delay_ticks(max_delay_ticks);
+    let violations = Auditor::standard(scope).run(log);
+    assert!(
+        violations.is_empty(),
+        "{label}: {} violation(s), first: {:?}",
+        violations.len(),
+        violations[0]
+    );
+}
+
+#[test]
+fn every_delay_strategy_passes_the_auditor() {
+    let net = Network::kt0(battleground(), 1);
+    let victims: Vec<NodeId> = (0..net.n()).step_by(9).map(NodeId::new).collect();
+    let schedule = WakeSchedule::random(net.n(), 4, 13);
+    for (dname, mut delays) in delay_strategies(&victims) {
+        assert_clean_audit(
+            &net,
+            &schedule,
+            delays.as_mut(),
+            TICKS_PER_UNIT,
+            &format!("uncapped/{dname}"),
+        );
+    }
+}
+
+#[test]
+fn every_delay_strategy_passes_the_auditor_under_tau_caps() {
+    // τ ∈ {1, 3, 16} ticks: cap every strategy and tell the auditor about
+    // the tighter bound, so the delay-bound invariant actually bites.
+    let net = Network::kt0(battleground(), 1);
+    let victims: Vec<NodeId> = (0..net.n()).step_by(9).map(NodeId::new).collect();
+    let schedule = WakeSchedule::random(net.n(), 4, 13);
+    for tau in [1u64, 3, 16] {
+        for (dname, delays) in delay_strategies(&victims) {
+            let mut capped = CappedDelay::new(delays, tau);
+            assert_clean_audit(
+                &net,
+                &schedule,
+                &mut capped,
+                tau,
+                &format!("τ={tau}/{dname}"),
+            );
+        }
     }
 }
 
