@@ -17,9 +17,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use wakeup_bench::artifacts::{self, GraphFamily, NetworkKey};
 use wakeup_core::fast_wakeup::FastWakeUp;
+use wakeup_core::flooding::FloodAsync;
 use wakeup_graph::NodeId;
-use wakeup_sim::adversary::WakeSchedule;
-use wakeup_sim::{KnowledgeMode, SyncConfig, SyncEngine};
+use wakeup_sim::adversary::{UnitDelay, WakeSchedule};
+use wakeup_sim::{AsyncConfig, AsyncEngine, KnowledgeMode, SyncConfig, SyncEngine};
 
 /// Steady-state budget: allocations per engine event, after warmup. The
 /// engine itself recycles every buffer (wheel, arena, round queues, batch
@@ -30,6 +31,15 @@ use wakeup_sim::{KnowledgeMode, SyncConfig, SyncEngine};
 /// budget of 0.08 trips on any such change while tolerating protocol-level
 /// variation across seeds.
 const MAX_ALLOCS_PER_EVENT: f64 = 0.08;
+
+/// Budget for the async flood leg, which exercises every always-on
+/// observability hot path (histogram records, batch sizes, causal wake
+/// predecessors). The histograms are inline arrays and the predecessor
+/// table is one `Vec` per run, so the per-event rate stays dominated by the
+/// per-run report assembly (metrics vectors, outputs) amortized over ~2m
+/// deliveries — ≈ 0.003 allocs/event measured. An accidental per-record
+/// allocation in the obs layer would land at ≥ 1 alloc/event.
+const MAX_ALLOCS_PER_EVENT_FLOOD: f64 = 0.02;
 
 struct CountingAlloc;
 
@@ -110,5 +120,51 @@ fn main() {
         per_event <= MAX_ALLOCS_PER_EVENT,
         "allocation regression: {per_event:.5} allocs/event exceeds the \
          pinned budget {MAX_ALLOCS_PER_EVENT}"
+    );
+
+    // Second leg: the async flood drives the observability layer's hot
+    // paths (delay/bit histograms per send, batch-size records per
+    // delivery, wake-predecessor stores per first wake) at full level —
+    // the production default — and must stay allocation-free per event.
+    let n = 1_000usize;
+    let schedule = WakeSchedule::single(NodeId::new(0));
+    let net = artifacts::global().network(NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed: 7,
+        mode: KnowledgeMode::Kt0,
+    });
+    let config = AsyncConfig {
+        seed: 7,
+        ..AsyncConfig::default()
+    };
+    let mut engine = AsyncEngine::<FloodAsync>::new_shared(net, config);
+    engine.reset(7);
+    let warm = engine.run_mut(&schedule, &mut UnitDelay);
+    assert!(warm.all_awake);
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    let mut events = 0u64;
+    for t in 0..trials {
+        engine.reset(7 + t);
+        let report = engine.run_mut(&schedule, &mut UnitDelay);
+        assert!(report.all_awake);
+        events += report.messages() + 1;
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    let per_event = allocs as f64 / events as f64;
+    println!(
+        "flood_async n={n}: {allocs} allocations / {events} events \
+         over {trials} warm trials = {per_event:.5} allocs/event \
+         (budget {MAX_ALLOCS_PER_EVENT_FLOOD})"
+    );
+    assert!(
+        per_event <= MAX_ALLOCS_PER_EVENT_FLOOD,
+        "allocation regression on the observability hot path: \
+         {per_event:.5} allocs/event exceeds the pinned budget \
+         {MAX_ALLOCS_PER_EVENT_FLOOD}"
     );
 }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p wakeup-bench --bin engine_perf [out.json] \
-//!     [--filter <substring>] [--n <comma-separated list>]
+//!     [--filter <substring>] [--n <comma-separated list>] \
+//!     [--obs-json <path>]
 //! ```
 //!
 //! Times the discrete-event engines on fixed workloads and writes
@@ -17,7 +18,13 @@
 //! skip writing the JSON baseline: the committed file always reflects the
 //! full default suite.
 //!
-//! Schema 2 separates the two cost classes the artifact cache split apart:
+//! `--obs-json <path>` additionally writes one [`ObsSnapshot`] per entry —
+//! the byte-deterministic observability export (schema 3: tick histograms,
+//! phase spans, causal critical path). CI diffs this file across
+//! `WAKEUP_THREADS` settings and parses it as the schema check.
+//!
+//! Schema 3 keeps schema 2's split of the two cost classes and adds the
+//! causal critical path per entry:
 //!
 //! * `setup_ms` — one-time artifact construction: graph generation, network
 //!   assembly (ports, IDs, node tables), engine allocation, and — for the
@@ -25,6 +32,9 @@
 //!   key thanks to the cache and engine reuse.
 //! * `run_ms` — the median per-trial simulation cost: what a measurement
 //!   loop actually pays per iteration after warm setup.
+//! * `crit_hops` / `crit_tau` — the longest causal wake chain (waking
+//!   deliveries, and its elapsed τ) reconstructed from the run's wake
+//!   predecessors; a logical quantity, identical across machines.
 //!
 //! "Events" are engine-level units of work: processed wake + deliver events
 //! for the async engine, delivered messages + node wakes for the sync one.
@@ -32,6 +42,8 @@
 //! steady-state throughput, not workload construction.
 
 use std::time::Instant;
+
+use wakeup_sim::{ObsSnapshot, RunReport};
 
 use wakeup_bench::artifacts::{self, AdviceKey, GraphFamily, NetworkKey, SchemeId};
 use wakeup_core::advice::{run_scheme, run_scheme_with_advice, AdvisingScheme, SpannerScheme};
@@ -48,6 +60,7 @@ struct Entry {
     events: u64,
     setup_ms: f64,
     run_ms: f64,
+    snapshot: ObsSnapshot,
 }
 
 impl Entry {
@@ -61,24 +74,31 @@ impl Entry {
 }
 
 /// Times `setup` once, then reports the median wall time over `reps` calls
-/// of `run` (which reports its event count) on the value `setup` built.
+/// of `run` (which reports its event count and the finished run's report)
+/// on the value `setup` built. The observability snapshot is built from the
+/// last trial's report *after* the timed region, so `run_ms` stays a pure
+/// engine metric.
 fn time_split<T>(
     reps: usize,
     setup: impl FnOnce() -> T,
-    mut run: impl FnMut(&mut T) -> u64,
-) -> (u64, f64, f64) {
+    mut run: impl FnMut(&mut T) -> (u64, RunReport),
+) -> (u64, ObsSnapshot, f64, f64) {
     let start = Instant::now();
     let mut state = setup();
     let setup_ms = start.elapsed().as_secs_f64() * 1e3;
     let mut walls: Vec<f64> = Vec::with_capacity(reps);
     let mut events = 0;
+    let mut last: Option<RunReport> = None;
     for _ in 0..reps {
         let start = Instant::now();
-        events = run(&mut state);
+        let (e, report) = run(&mut state);
         walls.push(start.elapsed().as_secs_f64() * 1e3);
+        events = e;
+        last = Some(report);
     }
     walls.sort_by(|a, b| a.total_cmp(b));
-    (events, setup_ms, walls[walls.len() / 2])
+    let snapshot = last.expect("reps >= 1").obs_snapshot();
+    (events, snapshot, setup_ms, walls[walls.len() / 2])
 }
 
 /// Trial counts shrink as n grows: the large-n rows exist to pin scaling,
@@ -93,7 +113,7 @@ fn reps_for(n: usize) -> usize {
 
 fn flood_async(n: usize) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
-    let (events, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_ms, run_ms) = time_split(
         reps_for(n),
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -113,7 +133,7 @@ fn flood_async(n: usize) -> Entry {
             let report = engine.run_mut(&schedule, &mut UnitDelay);
             assert!(report.all_awake);
             // Every delivery is one event, plus one wake event per node.
-            report.messages() + n as u64
+            (report.messages() + n as u64, report)
         },
     );
     Entry {
@@ -122,13 +142,14 @@ fn flood_async(n: usize) -> Entry {
         events,
         setup_ms,
         run_ms,
+        snapshot,
     }
 }
 
 fn dfs_async(n: usize) -> Entry {
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::staggered(&all, 2.0);
-    let (events, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_ms, run_ms) = time_split(
         3,
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -147,7 +168,7 @@ fn dfs_async(n: usize) -> Entry {
             engine.reset(7);
             let report = engine.run_mut(&schedule, &mut UnitDelay);
             assert!(report.all_awake);
-            report.messages() + n as u64
+            (report.messages() + n as u64, report)
         },
     );
     Entry {
@@ -156,12 +177,13 @@ fn dfs_async(n: usize) -> Entry {
         events,
         setup_ms,
         run_ms,
+        snapshot,
     }
 }
 
 fn flood_sync(n: usize) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
-    let (events, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_ms, run_ms) = time_split(
         reps_for(n),
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -180,7 +202,7 @@ fn flood_sync(n: usize) -> Entry {
             engine.reset(7);
             let report = engine.run_mut(&schedule);
             assert!(report.all_awake);
-            report.messages() + n as u64
+            (report.messages() + n as u64, report)
         },
     );
     Entry {
@@ -189,13 +211,14 @@ fn flood_sync(n: usize) -> Entry {
         events,
         setup_ms,
         run_ms,
+        snapshot,
     }
 }
 
 fn fast_wakeup_sync(n: usize) -> Entry {
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::all_at_zero(&all);
-    let (events, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_ms, run_ms) = time_split(
         3,
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -214,7 +237,7 @@ fn fast_wakeup_sync(n: usize) -> Entry {
             engine.reset(7);
             let report = engine.run_mut(&schedule);
             assert!(report.all_awake);
-            report.messages() + n as u64
+            (report.messages() + n as u64, report)
         },
     );
     Entry {
@@ -223,6 +246,7 @@ fn fast_wakeup_sync(n: usize) -> Entry {
         events,
         setup_ms,
         run_ms,
+        snapshot,
     }
 }
 
@@ -240,7 +264,7 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
         seed: 7,
         mode: KnowledgeMode::Kt0,
     };
-    let (events, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_ms, run_ms) = time_split(
         3,
         || {
             let net = artifacts::global().network(key);
@@ -261,7 +285,7 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
                 None => run_scheme(&scheme, net, &schedule, 7),
             };
             assert!(run.report.all_awake);
-            run.report.messages() + n as u64
+            (run.report.messages() + n as u64, run.report)
         },
     );
     Entry {
@@ -274,6 +298,7 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
         events,
         setup_ms,
         run_ms,
+        snapshot,
     }
 }
 
@@ -303,11 +328,15 @@ fn main() {
     let mut out_path = "BENCH_engine.json".to_string();
     let mut filter: Option<String> = None;
     let mut ns: Option<Vec<usize>> = None;
+    let mut obs_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--filter" => {
                 filter = Some(args.next().expect("--filter needs a substring"));
+            }
+            "--obs-json" => {
+                obs_json = Some(args.next().expect("--obs-json needs a path"));
             }
             "--n" => {
                 let list = args.next().expect("--n needs a comma-separated list");
@@ -341,31 +370,54 @@ fn main() {
     }
     assert!(!entries.is_empty(), "filter matched no workloads");
 
-    let mut json = String::from("{\n  \"schema\": 2,\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"schema\": 3,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"events\": {}, \"setup_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"events\": {}, \"setup_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}, \"crit_hops\": {}, \"crit_tau\": {:.6}}}{}\n",
             e.protocol,
             e.n,
             e.events,
             e.setup_ms,
             e.run_ms,
             e.events_per_sec(),
+            e.snapshot.crit_hops,
+            e.snapshot.crit_tau,
             if i + 1 < entries.len() { "," } else { "" }
         ));
         println!(
-            "{:<20} n={:<6} events={:<9} setup={:>9.3} ms  run={:>9.3} ms  {:>12.0} events/s",
+            "{:<20} n={:<6} events={:<9} setup={:>9.3} ms  run={:>9.3} ms  {:>12.0} events/s  crit {}h/{:.3}τ",
             e.protocol,
             e.n,
             e.events,
             e.setup_ms,
             e.run_ms,
-            e.events_per_sec()
+            e.events_per_sec(),
+            e.snapshot.crit_hops,
+            e.snapshot.crit_tau
         );
     }
     json.push_str("  ]\n}\n");
     if filter.is_none() && ns.is_none() {
         std::fs::write(&out_path, json).expect("write benchmark baseline");
         println!("wrote {out_path}");
+    }
+    // The observability export is written whenever requested (filtered runs
+    // included — the path is explicit) and contains only logical
+    // quantities, so its bytes are identical across machines and
+    // WAKEUP_THREADS settings.
+    if let Some(path) = obs_json {
+        let mut out = String::from("[\n");
+        for (i, e) in entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"protocol\":\"{}\",\"n\":{},\"snapshot\":{}}}{}\n",
+                e.protocol,
+                e.n,
+                e.snapshot.to_json(),
+                if i + 1 < entries.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write observability snapshots");
+        println!("wrote {path}");
     }
 }

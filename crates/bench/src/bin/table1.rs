@@ -1,13 +1,18 @@
 //! Prints the measured counterpart of the paper's Table 1.
 //!
 //! ```text
-//! cargo run --release -p wakeup-bench --bin table1
+//! cargo run --release -p wakeup-bench --bin table1 [--obs-json <path>]
 //! ```
 //!
 //! Each row reports, for the largest sweep size, the measured time, message
 //! count, and advice lengths, next to the paper's claimed bounds; the ratio
 //! column (measured messages / claimed shape) should stay roughly flat
 //! across the sweep — printed per size below the table.
+//!
+//! `--obs-json <path>` writes the schema-3 observability snapshot of every
+//! measured cell (tick histograms, phase spans, causal critical path) as a
+//! JSON array; the bytes are deterministic for the fixed seeds, at any
+//! `WAKEUP_THREADS` setting.
 
 use wakeup_bench::{
     measure_cor1, measure_cor2, measure_flooding, measure_thm3, measure_thm4, measure_thm5a,
@@ -22,6 +27,17 @@ struct Row {
 }
 
 fn main() {
+    let mut obs_json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--obs-json" => {
+                obs_json = Some(args.next().expect("--obs-json needs a path"));
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+
     let rows: Vec<Row> = vec![
         Row {
             label: "flooding (baseline)",
@@ -121,4 +137,20 @@ fn main() {
         println!("  {:<22} {}", row.label, row.claim);
     }
     println!("\nratio = measured messages / claimed shape; flat ratios across n confirm the asymptotics.");
+
+    if let Some(path) = obs_json {
+        let mut out = String::from("[\n");
+        for (k, (&(i, _), p)) in cells.iter().zip(&points).enumerate() {
+            out.push_str(&format!(
+                "  {{\"row\":\"{}\",\"n\":{},\"snapshot\":{}}}{}\n",
+                rows[i].label,
+                p.n,
+                p.snapshot.to_json(),
+                if k + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out).expect("write observability snapshots");
+        println!("wrote {path}");
+    }
 }

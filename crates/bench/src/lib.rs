@@ -12,6 +12,7 @@ pub mod stats;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use artifacts::{AdviceKey, GraphFamily, NetworkKey, SchemeId};
 use wakeup_core::advice::{
@@ -24,7 +25,7 @@ use wakeup_core::flooding::FloodAsync;
 use wakeup_core::harness;
 use wakeup_graph::{generators, Graph, NodeId};
 use wakeup_sim::adversary::WakeSchedule;
-use wakeup_sim::{KnowledgeMode, TICKS_PER_UNIT};
+use wakeup_sim::{KnowledgeMode, ObsSnapshot, TICKS_PER_UNIT};
 
 /// One measured point of a Table 1 row.
 #[derive(Debug, Clone)]
@@ -42,6 +43,9 @@ pub struct RowPoint {
     /// The row's predicted asymptotic shape evaluated at `n` (for ratio
     /// columns in the reports).
     pub shape: f64,
+    /// Deterministic observability snapshot of the measured run (tick
+    /// histograms, phase spans, causal critical path).
+    pub snapshot: ObsSnapshot,
 }
 
 impl RowPoint {
@@ -83,6 +87,7 @@ pub fn measure_flooding(n: usize, seed: u64) -> RowPoint {
         advice_max_bits: 0,
         advice_avg_bits: 0.0,
         shape: 2.0 * m,
+        snapshot: run.report.obs_snapshot(),
     }
 }
 
@@ -110,6 +115,7 @@ pub fn measure_thm3(n: usize, seed: u64) -> RowPoint {
         advice_max_bits: 0,
         advice_avg_bits: 0.0,
         shape: n as f64 * ln(n),
+        snapshot: run.report.obs_snapshot(),
     }
 }
 
@@ -131,6 +137,7 @@ pub fn measure_thm4(n: usize, seed: u64) -> RowPoint {
         advice_max_bits: 0,
         advice_avg_bits: 0.0,
         shape: (n as f64).powf(1.5) * ln(n).sqrt(),
+        snapshot: run.report.obs_snapshot(),
     }
 }
 
@@ -183,6 +190,7 @@ fn measure_scheme<S: AdvisingScheme>(
         advice_max_bits: run.advice.max_bits,
         advice_avg_bits: run.advice.avg_bits,
         shape,
+        snapshot: run.report.obs_snapshot(),
     }
 }
 
@@ -258,6 +266,45 @@ where
     par_sweep_with(sweep_threads(), items, job)
 }
 
+/// Live sweep progress, printed to **stderr** only (stdout stays
+/// byte-identical for CI diffs) and gated by the `WAKEUP_PROGRESS`
+/// environment variable — set it to any non-empty value other than `0` to
+/// see one line per finished trial: rows done, sustained engine events/s
+/// (from the process-wide [`wakeup_sim::obs::global_events`] counter), and
+/// the linear-extrapolation ETA for the rest of the sweep.
+struct SweepProgress {
+    total: usize,
+    done: AtomicUsize,
+    start: Instant,
+    events_at_start: u64,
+}
+
+impl SweepProgress {
+    /// `None` when progress reporting is disabled (the zero-overhead path).
+    fn new(total: usize) -> Option<SweepProgress> {
+        let on = std::env::var("WAKEUP_PROGRESS").is_ok_and(|v| !v.is_empty() && v != "0");
+        on.then(|| SweepProgress {
+            total,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            events_at_start: wakeup_sim::obs::global_events(),
+        })
+    }
+
+    /// Records one finished trial and prints the progress line.
+    fn finish_one(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let events = wakeup_sim::obs::global_events().wrapping_sub(self.events_at_start);
+        let rate = events as f64 / elapsed;
+        let eta = elapsed / done as f64 * (self.total - done) as f64;
+        eprintln!(
+            "[sweep] {done}/{} rows done, {rate:.0} events/s, ETA {eta:.1}s",
+            self.total
+        );
+    }
+}
+
 /// [`par_sweep`] with an explicit thread count (exposed so determinism tests
 /// can compare thread counts directly; `threads <= 1` runs inline on the
 /// calling thread).
@@ -266,9 +313,19 @@ where
     I: Sync,
     T: Send,
 {
+    let progress = SweepProgress::new(items.len());
     let workers = threads.min(items.len());
     if workers <= 1 {
-        return items.iter().map(job).collect();
+        return items
+            .iter()
+            .map(|item| {
+                let result = job(item);
+                if let Some(p) = &progress {
+                    p.finish_one();
+                }
+                result
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(items.len()));
@@ -281,6 +338,9 @@ where
                 done.lock()
                     .expect("a sweep worker panicked")
                     .push((i, result));
+                if let Some(p) = &progress {
+                    p.finish_one();
+                }
             });
         }
     });
@@ -324,9 +384,21 @@ mod tests {
         ] {
             assert!(point.messages > 0);
             assert!(point.ratio().is_finite());
+            // The causal critical path is a lower bound witness for the
+            // measured wake-up time on every async row.
+            assert!(
+                point.snapshot.crit_tau <= point.time + 1e-9,
+                "crit_tau {} exceeds measured time {}",
+                point.snapshot.crit_tau,
+                point.time
+            );
         }
         let p4 = measure_thm4(32, 1);
         assert!(p4.messages > 0);
+        // Every node is adversary-woken at round 0, so no wake is caused by
+        // a message and the causal forest is all roots.
+        assert_eq!(p4.snapshot.crit_hops, 0);
+        assert_eq!(p4.snapshot.messages, p4.messages);
     }
 
     /// A cache hit must be indistinguishable from a cold build: the cached
@@ -371,6 +443,9 @@ mod tests {
                 assert_eq!(a.advice_max_bits, b.advice_max_bits);
                 assert_eq!(a.advice_avg_bits.to_bits(), b.advice_avg_bits.to_bits());
                 assert_eq!(a.shape.to_bits(), b.shape.to_bits());
+                // The observability export must be byte-deterministic too —
+                // CI diffs these exact bytes across WAKEUP_THREADS settings.
+                assert_eq!(a.snapshot.to_json(), b.snapshot.to_json());
             }
         }
     }

@@ -411,6 +411,9 @@ pub struct Summary {
     pub leader: Option<u64>,
     /// Sparkline of the awake-set growth over time.
     pub wake_front: String,
+    /// One-line observability summary (causal critical path, batch/delay
+    /// means) from the run's [`wakeup_sim::ObsSnapshot`].
+    pub obs: String,
 }
 
 impl fmt::Display for Summary {
@@ -432,6 +435,7 @@ impl fmt::Display for Summary {
             writeln!(f, "leader    : id {leader}")?;
         }
         writeln!(f, "front     : {}", self.wake_front)?;
+        writeln!(f, "obs       : {}", self.obs)?;
         Ok(())
     }
 }
@@ -463,10 +467,12 @@ pub fn execute(
     let mut leader = None;
     #[allow(unused_assignments)]
     let mut front = String::new();
+    let obs_line: String;
     let (all_awake, messages, time) = match algorithm {
         Algorithm::Flooding => {
             let run = harness::run_async_with_delays::<FloodAsync>(&net, schedule, seed, delays);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -476,6 +482,7 @@ pub fn execute(
         Algorithm::DfsRank => {
             let run = harness::run_async_with_delays::<DfsRank>(&net, schedule, seed, delays);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -486,6 +493,7 @@ pub fn execute(
             let run = harness::run_async_with_delays::<LeaderElect>(&net, schedule, seed, delays);
             leader = run.report.outputs.first().copied().flatten();
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -495,6 +503,7 @@ pub fn execute(
         Algorithm::FastWakeUp => {
             let run = harness::run_sync::<FastWakeUp>(&net, schedule, seed);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             let rounds = run
                 .report
                 .metrics
@@ -505,6 +514,7 @@ pub fn execute(
         Algorithm::Gossip => {
             let run = harness::run_sync::<SetGossip>(&net, schedule, seed);
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -515,6 +525,7 @@ pub fn execute(
             let run = run_scheme(&BfsTreeScheme::new(), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -525,6 +536,7 @@ pub fn execute(
             let run = run_scheme(&ThresholdScheme::new(), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -535,6 +547,7 @@ pub fn execute(
             let run = run_scheme(&CenScheme::new(), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -545,6 +558,7 @@ pub fn execute(
             let run = run_scheme(&SpannerScheme::new(k), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -555,6 +569,7 @@ pub fn execute(
             let run = run_scheme(&SpannerScheme::log_instantiation(n), &net, schedule, seed);
             advice = Some((run.advice.max_bits, run.advice.avg_bits));
             front = wakeup_sim::viz::wake_front_sparkline(&run.report.metrics.wake_tick, 40);
+            obs_line = run.report.obs_snapshot().summary_line();
             (
                 run.report.all_awake,
                 run.report.messages(),
@@ -573,6 +588,7 @@ pub fn execute(
         advice,
         leader,
         wake_front: front,
+        obs: obs_line,
     })
 }
 

@@ -149,6 +149,7 @@ impl SpannerWake {
             return;
         }
         self.started = true;
+        ctx.phase("spanner:start");
         for f in 0..self.entries.len() {
             if let Some(p) = self.entries[f].parent_port {
                 if p.number() <= ctx.degree() {
@@ -174,6 +175,7 @@ impl SpannerWake {
         let key = (forest as u32, port);
         if !self.contacted.contains(&key) {
             self.contacted.push(key);
+            ctx.phase("spanner:probe");
             ctx.send(
                 Port::new(port as usize),
                 ForestMsg {

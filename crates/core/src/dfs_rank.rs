@@ -193,6 +193,7 @@ impl DfsRank {
         );
         match self.neighbors.get(self.cursor) {
             Some(&w) => {
+                ctx.phase("dfs:descend");
                 self.tokens_forwarded += 1;
                 ctx.send_to_id(w, token);
             }
@@ -200,6 +201,7 @@ impl DfsRank {
                 // Backtrack: pop self; forward to the DFS parent if any.
                 token.path.pop();
                 if let Some(&parent) = token.path.last() {
+                    ctx.phase("dfs:backtrack");
                     self.tokens_forwarded += 1;
                     ctx.send_to_id(parent, token);
                 }
@@ -252,6 +254,7 @@ impl AsyncProtocol for DfsRank {
         } else {
             1 + self.rng.next_below(self.rank_bound)
         };
+        ctx.phase("dfs:launch");
         self.best = Some((rank, self.id));
         let token = DfsToken::launch(rank, self.id);
         self.track((rank, self.id));

@@ -361,6 +361,7 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
     /// pairs are exactly the map's `(child, min parent)` entries in
     /// ascending-child order.
     fn send_edges2(&mut self, ctx: &mut Context<'_, FwMsg>) {
+        ctx.phase("fw:construct");
         let rs = self.root_state.as_mut().expect("only roots compute S2");
         rs.edges2_sent = true;
         let mut pairs: Vec<(u64, u64)> = Vec::new(); // (level-2 child, level-1 parent)
@@ -409,6 +410,7 @@ impl<const PCT: u32> FastWakeUpImpl<PCT> {
     /// level-1 subtree its share. Same sort/dedup replacement for the old
     /// min-parent `BTreeMap` as in [`Self::send_edges2`].
     fn send_edges3(&mut self, ctx: &mut Context<'_, FwMsg>) {
+        ctx.phase("fw:construct");
         let rs = self.root_state.as_mut().expect("only roots compute S3");
         rs.edges3_sent = true;
         let mut pairs: Vec<(u64, u64)> = Vec::new(); // (level-3 child, level-2 parent)
@@ -544,6 +546,7 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
         // Sampling step: every active node, in its first active round.
         if self.status == Status::Active && !self.sampled {
             self.sampled = true;
+            ctx.phase("fw:sample");
             if self.rng.bernoulli(self.root_probability) {
                 self.is_root = true;
                 self.root_state = Some(RootState::default());
@@ -568,6 +571,7 @@ impl<const PCT: u32> SyncProtocol for FastWakeUpImpl<PCT> {
         // Broadcast step: active for 9 full rounds => broadcast in the 10th.
         if self.status == Status::Active && self.local_round >= 10 && !self.broadcasted {
             self.broadcasted = true;
+            ctx.phase("fw:broadcast");
             ctx.broadcast(FwMsg::Activate);
             self.schedule_deactivation(self.local_round + 1);
         }

@@ -231,11 +231,12 @@ pub fn port_usage(n: usize, beta: usize, seed: u64) -> PortUsageProfile {
     };
     let schedule = WakeSchedule::all_at_zero(&fam.centers());
     let report = AsyncEngine::<PrefixProbe>::new(&net, config).run(&schedule);
-    let ports_used: Vec<u32> = fam
-        .centers()
-        .iter()
-        .map(|&v| report.metrics.ports_used[v.index()])
-        .collect();
+    let tracked = report
+        .metrics
+        .ports_used
+        .as_ref()
+        .expect("track_ports was enabled in the engine config");
+    let ports_used: Vec<u32> = fam.centers().iter().map(|&v| tracked[v.index()]).collect();
     let small_threshold = n as f64 / (1u64 << beta.min(62)) as f64;
     let small = ports_used
         .iter()

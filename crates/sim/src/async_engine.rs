@@ -63,6 +63,9 @@ pub struct AsyncConfig {
     /// Track the set of distinct ports each node communicates over (needed
     /// by the lower-bound experiments; costs memory, off by default).
     pub track_ports: bool,
+    /// Observability recording level (default [`crate::obs::ObsLevel::Full`]
+    /// — always on; `Counters` is the overhead-bench baseline).
+    pub obs: crate::obs::ObsLevel,
     /// Count CONGEST violations in metrics instead of panicking.
     pub record_congest_violations: bool,
     /// Record an execution trace with the given event capacity.
@@ -84,6 +87,7 @@ impl Default for AsyncConfig {
             advice: None,
             max_events: 50_000_000,
             track_ports: false,
+            obs: crate::obs::ObsLevel::Full,
             record_congest_violations: false,
             trace_capacity: None,
             #[cfg(feature = "audit")]
@@ -353,10 +357,12 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         wakes.sort_by_key(|&(tick, _)| tick);
         let mut st = RunState {
             net,
+            send_run: crate::obs::PairRun::new(),
             tables,
             config,
             protocols: &mut self.protocols,
             metrics: Metrics::new(n),
+            obs: crate::obs::Obs::new(n, config.obs),
             outputs: vec![None; n],
             awake: vec![false; n],
             awake_count: 0,
@@ -380,6 +386,11 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         let mut wake_cursor = 0usize;
         let mut processed = 0u64;
         let mut truncated = false;
+        // Batch sizes accumulate in registers across the whole event loop
+        // (one spill per size change) rather than one histogram
+        // read-modify-write per batch — see `ValueRun`.
+        let obs_full = config.obs == crate::obs::ObsLevel::Full;
+        let mut batch_run = crate::obs::ValueRun::new();
         if let Some(&(first_tick, _)) = wakes.first() {
             let mut now = first_tick;
             'ticks: loop {
@@ -422,6 +433,9 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                         k += 1;
                     }
                     if k > i {
+                        if obs_full {
+                            batch_run.note(&mut st.obs.batch_sizes, (k - i) as u64);
+                        }
                         st.deliver_batch(&bucket[i..k], now, delays);
                     }
                     if truncated {
@@ -442,13 +456,21 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             }
         }
         if config.track_ports {
-            for v in 0..n {
-                st.metrics.ports_used[v] = st
-                    .ports_touched
-                    .count_range(tables.edge_offset[v], tables.edge_offset[v + 1])
-                    as u32;
-            }
+            st.metrics.ports_used = Some(
+                (0..n)
+                    .map(|v| {
+                        st.ports_touched
+                            .count_range(tables.edge_offset[v], tables.edge_offset[v + 1])
+                            as u32
+                    })
+                    .collect(),
+            );
         }
+        batch_run.flush(&mut st.obs.batch_sizes);
+        st.send_run
+            .flush(&mut st.obs.message_bits, &mut st.obs.delay_ticks);
+        st.obs.events = processed;
+        crate::obs::add_global_events(processed);
         let report = RunReport {
             all_awake: st.awake_count == n,
             rounds: 0,
@@ -456,6 +478,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             truncated,
             metrics: st.metrics,
             trace: st.trace,
+            obs: st.obs,
             #[cfg(feature = "audit")]
             audit_log: st.audit,
         };
@@ -474,10 +497,17 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
 /// are methods instead of functions threading a dozen `&mut` parameters.
 struct RunState<'e, P: AsyncProtocol> {
     net: &'e Network,
+    /// Packed (payload bits, delivery delay) run accumulator for the two
+    /// send histograms; lives for the whole run and is flushed once, so the
+    /// common all-sends-identical case costs one compare per message and no
+    /// per-dispatch histogram traffic.
+    send_run: crate::obs::PairRun,
     tables: &'e NodeTables,
     config: &'e AsyncConfig,
     protocols: &'e mut [P],
     metrics: Metrics,
+    /// Always-on observability accumulator (histograms, phases, wake preds).
+    obs: crate::obs::Obs,
     outputs: Vec<Option<u64>>,
     awake: Vec<bool>,
     awake_count: usize,
@@ -555,6 +585,8 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             self.config.record_congest_violations,
             &mut self.metrics.congest_violations,
             &mut self.outputs[v.index()],
+            &mut self.obs.phases,
+            tick,
         );
         self.protocols[v.index()].on_wake(&mut ctx, cause);
         self.dispatch_outbox(&mut entries, v, tick, delays);
@@ -606,6 +638,9 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             }
         }
         if !self.awake[to.index()] {
+            // The batch's first entry is the delivery that wakes `to`: its
+            // sender becomes `to`'s predecessor in the causal wake forest.
+            self.obs.note_wake_pred(to.index(), entries[0].from);
             self.wake_node(to, WakeCause::Message, tick, delays);
         }
         let kt1 = self.net.mode() == crate::knowledge::KnowledgeMode::Kt1;
@@ -634,6 +669,8 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             self.config.record_congest_violations,
             &mut self.metrics.congest_violations,
             &mut self.outputs[to.index()],
+            &mut self.obs.phases,
+            tick,
         );
         self.protocols[to.index()].on_messages_batch(&mut ctx, &mut inbox);
         drop(inbox);
@@ -649,6 +686,13 @@ impl<P: AsyncProtocol> RunState<'_, P> {
         tick: u64,
         delays: &mut dyn DelayStrategy,
     ) {
+        // Most handler invocations send nothing (e.g. an already-awake flood
+        // node ignoring a duplicate) — skip everything, including the
+        // histogram flush below, for an empty outbox.
+        if entries.is_empty() {
+            return;
+        }
+        let obs_full = self.obs.level() == crate::obs::ObsLevel::Full;
         for (port, r) in entries.drain(..) {
             let slot = self.tables.slot(from, port);
             let to = NodeId::new(self.tables.edge_to[slot] as usize);
@@ -688,6 +732,18 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             // insertion order is send order.
             let deliver = (tick + delay).max(self.channel_next[slot]);
             self.channel_next[slot] = deliver;
+            // One packed compare per message covers both send histograms;
+            // per-message `record` calls would put six memory
+            // read-modify-writes on the loop-carried path and blow the
+            // obs_overhead budget.
+            if obs_full {
+                self.send_run.note(
+                    &mut self.obs.message_bits,
+                    &mut self.obs.delay_ticks,
+                    bits as u64,
+                    deliver - tick,
+                );
+            }
             // The receiver-side port is the paper's port_to(to, from),
             // precomputed per directed edge. The enqueue-time payload handle
             // rides the wheel untouched.
@@ -867,10 +923,69 @@ mod tests {
         let report =
             AsyncEngine::<Flood>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
         // The hub broadcasts on all 5 ports and receives back on all 5.
-        assert_eq!(report.metrics.ports_used[0], 5);
-        for leaf in 1..6 {
-            assert_eq!(report.metrics.ports_used[leaf], 1);
+        let ports = report.metrics.ports_used.as_ref().expect("tracking was on");
+        assert_eq!(ports[0], 5);
+        for &leaf_ports in &ports[1..6] {
+            assert_eq!(leaf_ports, 1);
         }
+    }
+
+    #[test]
+    fn port_tracking_off_reports_untracked() {
+        let net = Network::kt0(generators::star(6).unwrap(), 2);
+        let report = AsyncEngine::<Flood>::new(&net, AsyncConfig::default())
+            .run(&WakeSchedule::single(NodeId::new(0)));
+        assert_eq!(report.metrics.ports_used, None);
+    }
+
+    #[test]
+    fn obs_records_histograms_and_critical_path_on_a_path_flood() {
+        // Flood down a path: the causal wake chain is exactly the path, so
+        // the critical path has n-1 hops and spans wakeup_time_units() τ.
+        let net = Network::kt0(generators::path(10).unwrap(), 3);
+        let report = AsyncEngine::<Flood>::new(&net, AsyncConfig::default())
+            .run(&WakeSchedule::single(NodeId::new(0)));
+        let cp = report.critical_path();
+        assert_eq!(cp.hops, 9);
+        assert_eq!(cp.tau, report.metrics.wakeup_time_units().unwrap());
+        assert_eq!(cp.root, Some(NodeId::new(0)));
+        assert_eq!(cp.end, Some(NodeId::new(9)));
+        assert!(cp.tau <= report.time_units() + 1e-9);
+        // Every send was recorded in the histograms.
+        assert_eq!(
+            report.obs.message_bits.count(),
+            report.metrics.messages_sent
+        );
+        assert_eq!(report.obs.delay_ticks.count(), report.metrics.messages_sent);
+        // Unit delays: every delay is exactly τ ticks.
+        assert_eq!(report.obs.delay_ticks.max_value(), TICKS_PER_UNIT);
+        assert_eq!(
+            report.obs.delay_ticks.sum(),
+            report.metrics.messages_sent * TICKS_PER_UNIT
+        );
+        // Every node woke, so the wake-latency histogram has n entries.
+        assert_eq!(report.obs.wake_latency(&report.metrics).count(), 10);
+        // Events = 1 schedule wake + every delivery (message wakes ride
+        // their waking delivery's event).
+        assert_eq!(report.obs.events, 1 + report.metrics.messages_sent);
+        // Chain reconstruction returns the whole path, in order.
+        let chain = report.obs.critical_chain(&report.metrics);
+        assert_eq!(chain, (0..10).map(NodeId::new).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn obs_counters_level_skips_distributions() {
+        let net = Network::kt0(generators::path(6).unwrap(), 3);
+        let config = AsyncConfig {
+            obs: crate::obs::ObsLevel::Counters,
+            ..AsyncConfig::default()
+        };
+        let report =
+            AsyncEngine::<Flood>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)));
+        assert!(report.all_awake);
+        assert!(report.obs.delay_ticks.is_empty());
+        assert!(report.obs.wake_latency(&report.metrics).is_empty());
+        assert_eq!(report.critical_path().hops, 0);
     }
 
     /// Echoes grow without bound; exercises the event cap.

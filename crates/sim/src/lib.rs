@@ -72,6 +72,7 @@ mod lockstep;
 mod message;
 mod metrics;
 mod network;
+pub mod obs;
 mod proptests;
 mod protocol;
 mod sync_engine;
@@ -86,6 +87,7 @@ pub use lockstep::Lockstep;
 pub use message::{ChannelModel, Payload};
 pub use metrics::{Metrics, RunReport, TICKS_PER_UNIT};
 pub use network::Network;
+pub use obs::{CriticalPath, Hist64, Obs, ObsLevel, ObsSnapshot};
 pub use protocol::{
     AsyncProtocol, Context, Inbox, Incoming, NodeInit, ScopedBuf, SyncProtocol, WakeCause,
 };

@@ -1,0 +1,334 @@
+//! Stable, deterministic export formats for a run's observability data.
+//!
+//! [`ObsSnapshot`] is a plain-old-data view of one run: counters, the four
+//! histograms (sparse non-empty buckets only), phase spans, and the causal
+//! critical path. Every field is a *logical* quantity — ticks, counts, τ
+//! units — never wall-clock time, so the JSON rendering is byte-identical
+//! across machines, thread counts, and repetitions of the same seeded run
+//! (CI diffs `WAKEUP_THREADS=1` against `=4` on exactly these bytes).
+//!
+//! Two renderings: [`ObsSnapshot::to_json`] (schema 3, consumed by the bench
+//! artifacts and CI) and [`ObsSnapshot::to_prometheus`] (text exposition
+//! format: counters plus cumulative `_bucket{le=...}` histogram series).
+
+use super::{Hist64, Obs};
+use crate::metrics::{RunReport, TICKS_PER_UNIT};
+
+/// Schema version of [`ObsSnapshot::to_json`] (bumped with the bench JSON).
+pub const OBS_SCHEMA: u32 = 3;
+
+/// Sparse, order-stable view of one [`Hist64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// `(bucket index, count)` for non-empty buckets, ascending index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistSnapshot {
+    fn of(h: &Hist64) -> HistSnapshot {
+        HistSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            max: h.max_value(),
+            buckets: h.iter_nonempty().map(|(i, c)| (i as u32, c)).collect(),
+        }
+    }
+}
+
+/// One phase span, with the label owned so snapshots outlive the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSnapshot {
+    /// Phase label.
+    pub label: String,
+    /// Times the phase was entered.
+    pub enters: u64,
+    /// Tick of the first enter.
+    pub first_tick: u64,
+    /// Tick of the last enter.
+    pub last_tick: u64,
+}
+
+/// Deterministic export view of one run (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSnapshot {
+    /// Network size.
+    pub n: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bits sent.
+    pub bits: u64,
+    /// Engine events processed.
+    pub events: u64,
+    /// The run's τ-normalized time complexity.
+    pub time_units: f64,
+    /// Whether every node woke.
+    pub all_awake: bool,
+    /// Longest causal wake chain, in waking deliveries.
+    pub crit_hops: u64,
+    /// Longest causal wake chain's elapsed time in τ units.
+    pub crit_tau: f64,
+    /// Scheduled delivery latency distribution (ticks).
+    pub delay_ticks: HistSnapshot,
+    /// Delivery batch size distribution.
+    pub batch_sizes: HistSnapshot,
+    /// Per-node wake latency distribution (ticks past first wake).
+    pub wake_latency: HistSnapshot,
+    /// Message payload size distribution (bits).
+    pub message_bits: HistSnapshot,
+    /// Protocol phase spans, in first-entered order.
+    pub phases: Vec<PhaseSnapshot>,
+}
+
+impl ObsSnapshot {
+    /// Captures a snapshot of one finished run.
+    pub fn of(report: &RunReport) -> ObsSnapshot {
+        Self::of_parts(report, &report.obs)
+    }
+
+    /// As [`ObsSnapshot::of`], but over an explicit [`Obs`] (for callers
+    /// holding the pieces separately).
+    pub fn of_parts(report: &RunReport, obs: &Obs) -> ObsSnapshot {
+        let crit = obs.critical_path(&report.metrics);
+        ObsSnapshot {
+            n: report.metrics.wake_tick.len(),
+            messages: report.metrics.messages_sent,
+            bits: report.metrics.bits_sent,
+            events: obs.events,
+            time_units: report.metrics.time_units(),
+            all_awake: report.all_awake,
+            crit_hops: crit.hops,
+            crit_tau: crit.tau,
+            delay_ticks: HistSnapshot::of(&obs.delay_ticks),
+            batch_sizes: HistSnapshot::of(&obs.batch_sizes),
+            wake_latency: HistSnapshot::of(&obs.wake_latency(&report.metrics)),
+            message_bits: HistSnapshot::of(&obs.message_bits),
+            phases: obs
+                .phases
+                .spans()
+                .iter()
+                .map(|s| PhaseSnapshot {
+                    label: s.label.to_string(),
+                    enters: s.enters,
+                    first_tick: s.first_tick,
+                    last_tick: s.last_tick,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the schema-3 JSON object (single line, stable key order,
+    /// floats fixed to six decimals — byte-deterministic for a seeded run).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str(&format!(
+            "{{\"schema\":{OBS_SCHEMA},\"n\":{},\"messages\":{},\"bits\":{},\"events\":{},\
+             \"time_units\":{:.6},\"all_awake\":{},\"crit_hops\":{},\"crit_tau\":{:.6}",
+            self.n,
+            self.messages,
+            self.bits,
+            self.events,
+            self.time_units,
+            self.all_awake,
+            self.crit_hops,
+            self.crit_tau,
+        ));
+        for (name, h) in [
+            ("delay_ticks", &self.delay_ticks),
+            ("batch_sizes", &self.batch_sizes),
+            ("wake_latency", &self.wake_latency),
+            ("message_bits", &self.message_bits),
+        ] {
+            s.push_str(&format!(
+                ",\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                h.count, h.sum, h.max
+            ));
+            for (k, &(i, c)) in h.buckets.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("[{i},{c}]"));
+            }
+            s.push_str("]}");
+        }
+        s.push_str(",\"phases\":[");
+        for (k, p) in self.phases.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"label\":\"{}\",\"enters\":{},\"first_tick\":{},\"last_tick\":{}}}",
+                p.label, p.enters, p.first_tick, p.last_tick
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the Prometheus text exposition format: one gauge/counter per
+    /// scalar, cumulative `_bucket{le="..."}` series per histogram (the `le`
+    /// labels are the log2 buckets' inclusive upper bounds).
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        let scalar = |s: &mut String, name: &str, kind: &str, v: String| {
+            s.push_str(&format!("# TYPE wakeup_{name} {kind}\nwakeup_{name} {v}\n"));
+        };
+        scalar(
+            &mut s,
+            "messages_total",
+            "counter",
+            self.messages.to_string(),
+        );
+        scalar(&mut s, "bits_total", "counter", self.bits.to_string());
+        scalar(&mut s, "events_total", "counter", self.events.to_string());
+        scalar(
+            &mut s,
+            "time_units",
+            "gauge",
+            format!("{:.6}", self.time_units),
+        );
+        scalar(
+            &mut s,
+            "all_awake",
+            "gauge",
+            u64::from(self.all_awake).to_string(),
+        );
+        scalar(
+            &mut s,
+            "critical_path_hops",
+            "gauge",
+            self.crit_hops.to_string(),
+        );
+        scalar(
+            &mut s,
+            "critical_path_tau",
+            "gauge",
+            format!("{:.6}", self.crit_tau),
+        );
+        for (name, h) in [
+            ("delay_ticks", &self.delay_ticks),
+            ("batch_sizes", &self.batch_sizes),
+            ("wake_latency", &self.wake_latency),
+            ("message_bits", &self.message_bits),
+        ] {
+            s.push_str(&format!("# TYPE wakeup_{name} histogram\n"));
+            let mut cum = 0u64;
+            for &(i, c) in &h.buckets {
+                cum += c;
+                s.push_str(&format!(
+                    "wakeup_{name}_bucket{{le=\"{}\"}} {cum}\n",
+                    Hist64::bucket_hi(i as usize)
+                ));
+            }
+            s.push_str(&format!(
+                "wakeup_{name}_bucket{{le=\"+Inf\"}} {}\n",
+                h.count
+            ));
+            s.push_str(&format!("wakeup_{name}_sum {}\n", h.sum));
+            s.push_str(&format!("wakeup_{name}_count {}\n", h.count));
+        }
+        for p in &self.phases {
+            s.push_str(&format!(
+                "wakeup_phase_enters_total{{phase=\"{}\"}} {}\n",
+                p.label, p.enters
+            ));
+            s.push_str(&format!(
+                "wakeup_phase_span_ticks{{phase=\"{}\"}} {}\n",
+                p.label,
+                p.last_tick - p.first_tick
+            ));
+        }
+        s
+    }
+
+    /// One-line human summary used by the CLI and examples.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "critical path: {} hops over {:.3} τ (mean batch {:.1}, mean delay {:.0} ticks)",
+            self.crit_hops,
+            self.crit_tau,
+            mean(&self.batch_sizes),
+            mean(&self.delay_ticks),
+        )
+    }
+}
+
+fn mean(h: &HistSnapshot) -> f64 {
+    if h.count == 0 {
+        0.0
+    } else {
+        h.sum as f64 / h.count as f64
+    }
+}
+
+/// Marks `TICKS_PER_UNIT` as intentionally reachable from snapshot docs.
+const _: u64 = TICKS_PER_UNIT;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use crate::obs::ObsLevel;
+
+    fn tiny_report() -> RunReport {
+        let mut metrics = Metrics::new(2);
+        metrics.messages_sent = 3;
+        metrics.bits_sent = 96;
+        metrics.wake_tick = vec![Some(0), Some(TICKS_PER_UNIT)];
+        metrics.first_wake_tick = Some(0);
+        metrics.last_receipt_tick = Some(TICKS_PER_UNIT);
+        let mut obs = Obs::new(2, ObsLevel::Full);
+        obs.on_send(32, TICKS_PER_UNIT);
+        obs.on_batch(1);
+        obs.note_wake_pred(1, 0);
+        obs.events = 5;
+        RunReport {
+            all_awake: true,
+            rounds: 0,
+            outputs: vec![None, None],
+            truncated: false,
+            metrics,
+            trace: None,
+            obs,
+            #[cfg(feature = "audit")]
+            audit_log: None,
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_schema3() {
+        let r = tiny_report();
+        let a = ObsSnapshot::of(&r).to_json();
+        let b = ObsSnapshot::of(&r).to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":3,"));
+        assert!(a.contains("\"crit_hops\":1"));
+        assert!(a.contains("\"crit_tau\":1.000000"));
+        assert!(a.contains(
+            "\"delay_ticks\":{\"count\":1,\"sum\":1024,\"max\":1024,\"buckets\":[[11,1]]}"
+        ));
+    }
+
+    #[test]
+    fn prometheus_has_cumulative_buckets() {
+        let r = tiny_report();
+        let text = ObsSnapshot::of(&r).to_prometheus();
+        assert!(text.contains("wakeup_messages_total 3"));
+        assert!(text.contains("wakeup_delay_ticks_bucket{le=\"2047\"} 1"));
+        assert!(text.contains("wakeup_delay_ticks_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("wakeup_critical_path_hops 1"));
+    }
+
+    #[test]
+    fn summary_line_mentions_critical_path() {
+        let r = tiny_report();
+        assert!(ObsSnapshot::of(&r)
+            .summary_line()
+            .starts_with("critical path: 1 hops"));
+    }
+}

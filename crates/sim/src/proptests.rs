@@ -50,6 +50,33 @@ impl AsyncProtocol for OrderProbe {
     }
 }
 
+/// Minimal flooding protocol (send to every port on first wake) — enough to
+/// exercise the engine's causal wake tracing without depending on
+/// `wakeup-core`.
+struct FloodProbe {
+    degree: usize,
+    sent: bool,
+}
+
+impl AsyncProtocol for FloodProbe {
+    type Msg = SeqMsg;
+    fn init(init: &NodeInit<'_>) -> Self {
+        FloodProbe {
+            degree: init.degree,
+            sent: false,
+        }
+    }
+    fn on_wake(&mut self, ctx: &mut Context<'_, SeqMsg>, _: WakeCause) {
+        if !self.sent {
+            self.sent = true;
+            for p in 1..=self.degree {
+                ctx.send(Port::new(p), SeqMsg(0));
+            }
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, SeqMsg>, _: Incoming, _: SeqMsg) {}
+}
+
 /// One field of a bit-string write plan.
 #[derive(Debug, Clone)]
 enum Field {
@@ -148,6 +175,59 @@ proptest! {
         let report = AsyncEngine::<OrderProbe>::new(&net, config)
             .run_with(&WakeSchedule::single(NodeId::new(0)), &mut delays);
         prop_assert_eq!(report.outputs[1], Some(1));
+    }
+
+    /// The causal critical path is a *witness* for the measured wake-up
+    /// time: its τ span can never exceed `time_units()`, its hop count is
+    /// below n, and the reconstructed chain starts at an adversary-woken
+    /// root — under arbitrary graphs, delays, and wake schedules.
+    #[test]
+    fn critical_path_tau_never_exceeds_measured_time(
+        seed in any::<u64>(),
+        n in 2usize..40,
+        wakes in 1usize..4,
+        gap_quarters in 0u64..12,
+    ) {
+        use crate::adversary::{RandomDelay, WakeSchedule};
+        use crate::{AsyncConfig, AsyncEngine, Network};
+        use wakeup_graph::{generators, NodeId};
+        let g = generators::erdos_renyi_connected(n, (8.0 / n as f64).min(1.0), seed)
+            .expect("valid size");
+        let net = Network::kt0(g, seed);
+        let ids: Vec<NodeId> = (0..wakes.min(n)).map(NodeId::new).collect();
+        let schedule = WakeSchedule::staggered(&ids, gap_quarters as f64 * 0.25);
+        let mut delays = RandomDelay::new(seed ^ 0x9E3779B97F4A7C15);
+        let report = AsyncEngine::<FloodProbe>::new(&net, AsyncConfig::default())
+            .run_with(&schedule, &mut delays);
+        prop_assert!(report.all_awake);
+        let cp = report.critical_path();
+        prop_assert!(
+            cp.tau <= report.time_units() + 1e-9,
+            "critical path τ {} exceeds measured time {}",
+            cp.tau,
+            report.time_units()
+        );
+        prop_assert!((cp.hops as usize) < n);
+        // The chain's root is adversary-woken (no wake predecessor), and
+        // each link's predecessor woke strictly earlier.
+        let chain = report.obs.critical_chain(&report.metrics);
+        if cp.end.is_some() {
+            prop_assert_eq!(chain.len() as u64, cp.hops + 1);
+        } else {
+            prop_assert!(chain.is_empty());
+        }
+        if let Some(&root) = chain.first() {
+            prop_assert!(report.obs.wake_pred(root).is_none());
+            for pair in chain.windows(2) {
+                let pred = report.obs.wake_pred(pair[1])
+                    .expect("non-root chain nodes have a wake predecessor");
+                prop_assert_eq!(pred, pair[0]);
+                // The waking delivery's tick is the successor's wake tick;
+                // the predecessor must have woken strictly earlier.
+                let woke_at = report.metrics.wake_tick[pair[1].index()].expect("woke");
+                prop_assert!(report.metrics.wake_tick[pair[0].index()].expect("pred woke") < woke_at);
+            }
+        }
     }
 
     #[test]

@@ -168,6 +168,8 @@ pub struct Context<'a, M> {
     count_violations: bool,
     violations: &'a mut u64,
     output: &'a mut Option<u64>,
+    phases: &'a mut crate::obs::PhaseSpans,
+    tick: u64,
 }
 
 impl<'a, M: Payload> Context<'a, M> {
@@ -183,6 +185,8 @@ impl<'a, M: Payload> Context<'a, M> {
         count_violations: bool,
         violations: &'a mut u64,
         output: &'a mut Option<u64>,
+        phases: &'a mut crate::obs::PhaseSpans,
+        tick: u64,
     ) -> Context<'a, M> {
         debug_assert!(
             entries.is_empty(),
@@ -199,6 +203,8 @@ impl<'a, M: Payload> Context<'a, M> {
             count_violations,
             violations,
             output,
+            phases,
+            tick,
         }
     }
 
@@ -300,6 +306,18 @@ impl<'a, M: Payload> Context<'a, M> {
         *self.output = Some(value);
     }
 
+    /// Marks this handler invocation as belonging to the named protocol
+    /// phase, for the run's [`crate::obs::PhaseSpans`].
+    ///
+    /// Telemetry only: the call records the engine's current tick on the
+    /// engine side and returns nothing, so a protocol cannot use it to learn
+    /// global time — the model stays honest. Labels must be `&'static str`
+    /// so recording never allocates; call it at phase *transitions*, not per
+    /// message.
+    pub fn phase(&mut self, label: &'static str) {
+        self.phases.enter(label, self.tick);
+    }
+
     /// Runs a sub-protocol handler under a context of a different message
     /// type, wrapping every queued message with `wrap` into this context's
     /// outbox. Outputs recorded by the inner handler land in the same
@@ -361,6 +379,8 @@ impl<'a, M: Payload> Context<'a, M> {
             count_violations: true,
             violations: &mut ignored,
             output: &mut *self.output,
+            phases: &mut *self.phases,
+            tick: self.tick,
         };
         let result = run(&mut inner);
         for (port, r) in buf.entries.drain(..) {
@@ -507,6 +527,7 @@ mod tests {
     }
 
     /// Builds a context over the given scratch parts, defaulting to LOCAL.
+    #[allow(clippy::too_many_arguments)]
     fn ctx_over<'a, M: Payload>(
         degree: usize,
         mode: KnowledgeMode,
@@ -515,6 +536,7 @@ mod tests {
         arena: &'a mut PayloadArena<M>,
         violations: &'a mut u64,
         output: &'a mut Option<u64>,
+        phases: &'a mut crate::obs::PhaseSpans,
     ) -> Context<'a, M> {
         Context::new(
             NodeId::new(0),
@@ -527,6 +549,8 @@ mod tests {
             false,
             violations,
             output,
+            phases,
+            0,
         )
     }
 
@@ -536,6 +560,7 @@ mod tests {
         let mut entries = Vec::new();
         let mut arena = PayloadArena::default();
         let mut violations = 0;
+        let mut phases = crate::obs::PhaseSpans::default();
         let mut ctx: Context<'_, Unit> = ctx_over(
             3,
             KnowledgeMode::Kt0,
@@ -544,15 +569,18 @@ mod tests {
             &mut arena,
             &mut violations,
             &mut out,
+            &mut phases,
         );
         ctx.send(Port::new(2), Unit);
         ctx.broadcast(Unit);
         ctx.output(42);
+        ctx.phase("probe");
         assert_eq!(entries.len(), 4);
         assert_eq!(entries[0].0, Port::new(2));
         // The broadcast stored one payload shared across three ports.
         assert_eq!(arena.live(), 2);
         assert_eq!(out, Some(42));
+        assert_eq!(phases.spans()[0].label, "probe");
     }
 
     #[test]
@@ -562,6 +590,7 @@ mod tests {
         let mut entries = Vec::new();
         let mut arena = PayloadArena::default();
         let mut violations = 0;
+        let mut phases = crate::obs::PhaseSpans::default();
         let mut ctx: Context<'_, Unit> = ctx_over(
             2,
             KnowledgeMode::Kt0,
@@ -570,6 +599,7 @@ mod tests {
             &mut arena,
             &mut violations,
             &mut out,
+            &mut phases,
         );
         ctx.send(Port::new(3), Unit);
     }
@@ -581,6 +611,7 @@ mod tests {
         let mut entries = Vec::new();
         let mut arena = PayloadArena::default();
         let mut violations = 0;
+        let mut phases = crate::obs::PhaseSpans::default();
         let mut ctx: Context<'_, Unit> = ctx_over(
             2,
             KnowledgeMode::Kt0,
@@ -589,6 +620,7 @@ mod tests {
             &mut arena,
             &mut violations,
             &mut out,
+            &mut phases,
         );
         ctx.send_to_id(5, Unit);
     }
@@ -600,6 +632,7 @@ mod tests {
         let mut entries = Vec::new();
         let mut arena = PayloadArena::default();
         let mut violations = 0;
+        let mut phases = crate::obs::PhaseSpans::default();
         let mut ctx: Context<'_, Unit> = ctx_over(
             2,
             KnowledgeMode::Kt1,
@@ -608,6 +641,7 @@ mod tests {
             &mut arena,
             &mut violations,
             &mut out,
+            &mut phases,
         );
         ctx.send_to_id(9, Unit);
         assert_eq!(entries[0].0, Port::new(1));
@@ -621,6 +655,7 @@ mod tests {
         let mut entries = Vec::new();
         let mut arena = PayloadArena::default();
         let mut violations = 0;
+        let mut phases = crate::obs::PhaseSpans::default();
         let mut ctx: Context<'_, Unit> = ctx_over(
             1,
             KnowledgeMode::Kt1,
@@ -629,6 +664,7 @@ mod tests {
             &mut arena,
             &mut violations,
             &mut out,
+            &mut phases,
         );
         ctx.send_to_id(4, Unit);
     }
@@ -646,6 +682,7 @@ mod tests {
         let mut entries = Vec::new();
         let mut arena = PayloadArena::default();
         let mut violations = 0;
+        let mut phases = crate::obs::PhaseSpans::default();
         let mut ctx: Context<'_, Big> = Context::new(
             NodeId::new(0),
             3,
@@ -657,6 +694,8 @@ mod tests {
             true,
             &mut violations,
             &mut out,
+            &mut phases,
+            0,
         );
         ctx.broadcast(Big);
         ctx.send(Port::new(1), Big);

@@ -30,6 +30,9 @@ pub struct SyncConfig {
     pub max_rounds: u64,
     /// Track distinct ports used per node.
     pub track_ports: bool,
+    /// Observability recording level (default [`crate::obs::ObsLevel::Full`]
+    /// — always on; `Counters` is the overhead-bench baseline).
+    pub obs: crate::obs::ObsLevel,
     /// Count CONGEST violations instead of panicking.
     pub record_congest_violations: bool,
     /// Record an execution trace with the given event capacity.
@@ -51,6 +54,7 @@ impl Default for SyncConfig {
             advice: None,
             max_rounds: 1_000_000,
             track_ports: false,
+            obs: crate::obs::ObsLevel::Full,
             record_congest_violations: false,
             trace_capacity: None,
             #[cfg(feature = "audit")]
@@ -191,6 +195,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
     pub fn run_mut(&mut self, schedule: &WakeSchedule) -> RunReport {
         let n = self.net.n();
         let mut metrics = Metrics::new(n);
+        let mut obs = crate::obs::Obs::new(n, self.config.obs);
         let mut outputs: Vec<Option<u64>> = vec![None; n];
         let mut awake = vec![false; n];
         let mut awake_count = 0usize;
@@ -265,6 +270,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 metrics.last_receipt_tick =
                     Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
             }
+            obs.events += in_flight.len() as u64;
             for m in in_flight.drain(..) {
                 metrics.received_by[m.to.index()] += 1;
                 if let Some(tr) = trace.as_mut() {
@@ -296,6 +302,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if inboxes[m.to.index()].is_empty() {
                     touched.push(m.to.index());
                 }
+                if !awake[m.to.index()] {
+                    // Provisional causal predecessor: the round's first
+                    // delivery to a sleeping node (erased below if the
+                    // adversary wakes it this round instead).
+                    obs.note_wake_pred(m.to.index(), m.from.index() as u32);
+                }
                 inboxes[m.to.index()].push((
                     Incoming {
                         port: m.rport,
@@ -321,7 +333,14 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 }
             }
             newly_awake.sort_unstable_by_key(|&(v, _)| v);
+            obs.events += newly_awake.len() as u64;
             for &(v, cause) in newly_awake.iter() {
+                if cause == WakeCause::Adversary {
+                    // Adversary wakes take precedence over message wakes in
+                    // the same round: the node is a root of the causal
+                    // forest, not a successor.
+                    obs.clear_wake_pred(v.index());
+                }
                 if let Some(tr) = trace.as_mut() {
                     tr.record(TraceEvent::Wake {
                         tick,
@@ -363,6 +382,8 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     self.config.record_congest_violations,
                     &mut metrics.congest_violations,
                     &mut outputs[v.index()],
+                    &mut obs.phases,
+                    tick,
                 );
                 self.protocols[v.index()].on_wake(&mut ctx, cause);
                 for (port, r) in entries_buf.drain(..) {
@@ -382,6 +403,9 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     continue;
                 }
                 let node = NodeId::new(v);
+                if !inboxes[v].is_empty() {
+                    obs.on_batch(inboxes[v].len());
+                }
                 let mut inbox = Inbox::new(&mut inboxes[v]);
                 let mut ctx = Context::new(
                     node,
@@ -394,6 +418,8 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     self.config.record_congest_violations,
                     &mut metrics.congest_violations,
                     &mut outputs[v],
+                    &mut obs.phases,
+                    tick,
                 );
                 self.protocols[v].on_messages_batch(&mut ctx, &mut inbox);
                 drop(inbox);
@@ -431,6 +457,8 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 metrics.bits_sent += bits as u64;
                 metrics.max_message_bits = metrics.max_message_bits.max(bits);
                 metrics.sent_by[from.index()] += 1;
+                // Sync deliveries always take one round: τ ticks of latency.
+                obs.on_send(bits as u64, TICKS_PER_UNIT);
                 if self.config.track_ports {
                     ports_touched.set(slot);
                 }
@@ -445,12 +473,17 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             round += 1;
         }
         if self.config.track_ports {
-            for v in 0..n {
-                metrics.ports_used[v] = ports_touched
-                    .count_range(self.tables.edge_offset[v], self.tables.edge_offset[v + 1])
-                    as u32;
-            }
+            metrics.ports_used = Some(
+                (0..n)
+                    .map(|v| {
+                        ports_touched
+                            .count_range(self.tables.edge_offset[v], self.tables.edge_offset[v + 1])
+                            as u32
+                    })
+                    .collect(),
+            );
         }
+        crate::obs::add_global_events(obs.events);
         RunReport {
             all_awake: awake_count == n,
             rounds: round,
@@ -458,6 +491,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             truncated,
             metrics,
             trace,
+            obs,
             #[cfg(feature = "audit")]
             audit_log,
         }
@@ -510,6 +544,43 @@ mod tests {
         // ρ_awk = 8: node 8 wakes in round 8.
         assert_eq!(report.metrics.wake_tick[8], Some(8 * TICKS_PER_UNIT));
         assert_eq!(report.metrics.messages_sent, 16);
+    }
+
+    #[test]
+    fn sync_obs_critical_path_follows_the_flood() {
+        let g = generators::path(9).unwrap();
+        let net = Network::kt1(g, 1);
+        let report = SyncEngine::<Flood>::new(&net, SyncConfig::default())
+            .run(&WakeSchedule::single(NodeId::new(0)));
+        let cp = report.critical_path();
+        assert_eq!(cp.hops, 8);
+        assert_eq!(cp.tau, 8.0);
+        assert_eq!(cp.root, Some(NodeId::new(0)));
+        assert_eq!(cp.end, Some(NodeId::new(8)));
+        assert!(cp.tau <= report.time_units() + 1e-9);
+        assert_eq!(
+            report.obs.message_bits.count(),
+            report.metrics.messages_sent
+        );
+        // One round of latency per message.
+        assert_eq!(
+            report.obs.delay_ticks.sum(),
+            report.metrics.messages_sent * TICKS_PER_UNIT
+        );
+        assert_eq!(report.obs.wake_latency(&report.metrics).count(), 9);
+    }
+
+    #[test]
+    fn sync_adversary_wake_beats_message_pred_in_same_round() {
+        // Node 1 both receives node 0's flood in round 1 and is
+        // adversary-woken in round 1: it must be a causal root.
+        let g = generators::path(3).unwrap();
+        let net = Network::kt1(g, 1);
+        let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(1), 1.0)]);
+        let report = SyncEngine::<Flood>::new(&net, SyncConfig::default()).run(&schedule);
+        assert_eq!(report.obs.wake_pred(NodeId::new(1)), None);
+        // Node 2 was woken by node 1's broadcast.
+        assert_eq!(report.obs.wake_pred(NodeId::new(2)), Some(NodeId::new(1)));
     }
 
     #[test]

@@ -90,5 +90,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert!(flood.report.all_awake && fast.report.all_awake && spanner.report.all_awake);
     println!("\nfleet fully awake under all three strategies ✓");
+
+    // Telemetry view: when did the racks actually come up, and what was the
+    // unavoidable serial part? The wake-latency histogram buckets each NIC's
+    // sleep time (ticks past the first ingress wake); the critical path is
+    // the longest chain of wake-triggering packets — the floor on wall-clock
+    // wake-up no matter how wide the fabric is.
+    for (name, report) in [
+        ("flooding", &flood.report),
+        ("FastWakeUp", &fast.report),
+        ("spanner advice", &spanner.report),
+    ] {
+        println!(
+            "\n{name}: {}\n  wake latency (ticks past first wake):",
+            report.obs_snapshot().summary_line()
+        );
+        print!("{}", report.obs.wake_latency(&report.metrics).render(30));
+    }
     Ok(())
 }

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<16} {:>12} {:>10} {:>10} {:>8}",
         "strategy", "total energy", "max load", "imbalance", "gini"
     );
-    let rows: Vec<(&str, EnergyReport, bool)> = vec![
+    let rows: Vec<(&str, EnergyReport, bool, wakeup::sim::RunReport)> = vec![
         {
             let net = Network::kt0(g.clone(), 13);
             let run = harness::run_async::<FloodAsync>(&net, &schedule, 1);
@@ -40,6 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "flooding",
                 EnergyReport::from_metrics(&run.report.metrics),
                 run.report.all_awake,
+                run.report,
             )
         },
         {
@@ -49,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "dfs-rank",
                 EnergyReport::from_metrics(&run.report.metrics),
                 run.report.all_awake,
+                run.report,
             )
         },
         {
@@ -58,10 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "cen advice",
                 EnergyReport::from_metrics(&run.report.metrics),
                 run.report.all_awake,
+                run.report,
             )
         },
     ];
-    for (name, e, ok) in &rows {
+    for (name, e, ok, _) in &rows {
         assert!(ok, "{name} failed to wake everyone");
         println!(
             "{:<16} {:>12} {:>10} {:>9.1}x {:>8.3}",
@@ -78,5 +81,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows[0].1.total as f64 / rows[1].1.total.max(1) as f64,
         rows[0].1.total as f64 / rows[2].1.total.max(1) as f64
     );
+
+    // The always-on telemetry shows *when* that energy is spent: the
+    // wake-latency histogram is how long each NIC stayed asleep (ticks past
+    // the first wake, log2 buckets), and the causal critical path is the
+    // longest chain of wake-triggering deliveries — the part of the run no
+    // extra parallelism can shorten.
+    for (name, _, _, report) in &rows {
+        println!(
+            "\n{name}: {}\n  wake latency (ticks past first wake):",
+            report.obs_snapshot().summary_line()
+        );
+        print!("{}", report.obs.wake_latency(&report.metrics).render(30));
+    }
     Ok(())
 }

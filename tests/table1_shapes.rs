@@ -193,3 +193,54 @@ fn row_thm2_lower_bound_shape() {
     assert!(p_big.dfs_messages < p_big.flood_messages);
     assert!(p_big.dfs_time_units > p_big.flood_rounds as f64);
 }
+
+/// Acceptance check for the observability layer: on every Table 1 workload
+/// at n = 256, the causal critical path (the longest chain of
+/// wake-triggering deliveries the engine traced) must span at most the
+/// measured `time_units()` — the chain is a *witness* for the measured
+/// time, so a violation means the tracing or the time accounting is wrong.
+#[test]
+fn critical_path_tau_bounds_measured_time_at_n_256() {
+    use wakeup::core::flooding::FloodAsync;
+
+    let n = 256usize;
+    let check = |label: &str, report: &wakeup::sim::RunReport| {
+        assert!(report.all_awake, "{label}: not all awake");
+        let cp = report.critical_path();
+        let time = report.time_units();
+        assert!(
+            cp.tau <= time + 1e-9,
+            "{label}: critical path τ {} exceeds measured time {time}",
+            cp.tau
+        );
+        assert!((cp.hops as usize) < n, "{label}: chain longer than n");
+    };
+
+    let g = generators::erdos_renyi_connected(n, 8.0 / n as f64, 7).unwrap();
+    let single = WakeSchedule::single(NodeId::new(0));
+
+    let net0 = Network::kt0(g.clone(), 7);
+    let flood = harness::run_async::<FloodAsync>(&net0, &single, 7);
+    check("flooding", &flood.report);
+
+    let net1 = Network::kt1(g.clone(), 7);
+    let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let dfs = harness::run_async::<DfsRank>(&net1, &WakeSchedule::staggered(&all, 2.0), 7);
+    check("thm3 dfs_rank", &dfs.report);
+
+    let complete = generators::complete(n).unwrap();
+    let netc = Network::kt1(complete, 7);
+    let fast = harness::run_sync::<FastWakeUp>(&netc, &single, 7);
+    check("thm4 fast_wakeup", &fast.report);
+
+    let cor1 = run_scheme(&BfsTreeScheme::new(), &net0, &single, 7);
+    check("cor1 bfs_tree", &cor1.report);
+    let thm5a = run_scheme(&ThresholdScheme::new(), &net0, &single, 7);
+    check("thm5a threshold", &thm5a.report);
+    let thm5b = run_scheme(&CenScheme::new(), &net0, &single, 7);
+    check("thm5b cen", &thm5b.report);
+    let thm6 = run_scheme(&SpannerScheme::new(2), &net0, &single, 7);
+    check("thm6 spanner k=2", &thm6.report);
+    let cor2 = run_scheme(&SpannerScheme::log_instantiation(n), &net0, &single, 7);
+    check("cor2 spanner log", &cor2.report);
+}
