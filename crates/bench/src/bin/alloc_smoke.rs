@@ -41,6 +41,15 @@ const MAX_ALLOCS_PER_EVENT: f64 = 0.08;
 /// allocation in the obs layer would land at ≥ 1 alloc/event.
 const MAX_ALLOCS_PER_EVENT_FLOOD: f64 = 0.02;
 
+/// Budget for the sharded flood leg. A sharded run pays a per-run (not
+/// per-event) overhead the serial path doesn't: worker thread spawns, the
+/// cross-shard mailbox grid, publication slots, and shard-local report
+/// assembly. The steady-state message path stays allocation-free (stage
+/// buffers, mailbox cells, and scratch vectors all circulate capacity), so
+/// amortized over a 10⁴-node flood the rate is ≈ 0.004 allocs/event; a
+/// per-message clone or box on the cross-shard path lands at ≥ 0.5.
+const MAX_ALLOCS_PER_EVENT_SHARDED: f64 = 0.05;
+
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -166,5 +175,52 @@ fn main() {
         "allocation regression on the observability hot path: \
          {per_event:.5} allocs/event exceeds the pinned budget \
          {MAX_ALLOCS_PER_EVENT_FLOOD}"
+    );
+
+    // Third leg: the intra-run sharded flood. Steady state must recycle the
+    // shard scratch (wheels, arenas, stage buffers, mailbox cells) exactly
+    // like the serial engine; what remains is the bounded per-run cost of
+    // standing up the worker pool.
+    let n = 10_000usize;
+    let shards = 4usize;
+    let schedule = WakeSchedule::single(NodeId::new(0));
+    let net = artifacts::global().network(NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed: 7,
+        mode: KnowledgeMode::Kt0,
+    });
+    let config = AsyncConfig {
+        seed: 7,
+        shards,
+        ..AsyncConfig::default()
+    };
+    let mut engine = AsyncEngine::<FloodAsync>::new_shared(net, config);
+    engine.reset(7);
+    let warm = engine.run_mut(&schedule, &mut UnitDelay);
+    assert!(warm.all_awake);
+
+    ALLOCS.store(0, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    let mut events = 0u64;
+    for t in 0..trials {
+        engine.reset(7 + t);
+        let report = engine.run_mut(&schedule, &mut UnitDelay);
+        assert!(report.all_awake);
+        events += report.messages() + 1;
+    }
+    ENABLED.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    let per_event = allocs as f64 / events as f64;
+    println!(
+        "flood_async_sharded n={n} shards={shards}: {allocs} allocations / \
+         {events} events over {trials} warm trials = {per_event:.5} \
+         allocs/event (budget {MAX_ALLOCS_PER_EVENT_SHARDED})"
+    );
+    assert!(
+        per_event <= MAX_ALLOCS_PER_EVENT_SHARDED,
+        "allocation regression on the sharded path: {per_event:.5} \
+         allocs/event exceeds the pinned budget {MAX_ALLOCS_PER_EVENT_SHARDED}"
     );
 }

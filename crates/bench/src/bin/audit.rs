@@ -6,7 +6,10 @@
 //! * batched vs per-message delivery ([`PerMessage`] / [`PerRound`]),
 //! * `reset()` + rerun vs a freshly constructed engine,
 //! * cached advice artifacts vs freshly built advice,
-//! * the async engine under lockstep (all delays = τ) vs the sync engine.
+//! * the async engine under lockstep (all delays = τ) vs the sync engine,
+//! * intra-run sharded execution vs serial (digests plus byte-exact
+//!   observability snapshots; audit recording forces the serial path, so
+//!   these runs use plain configs).
 //!
 //! Every run additionally passes through [`Auditor::standard`], and an
 //! engine × delay-strategy matrix exercises the invariant checkers under
@@ -80,6 +83,7 @@ fn main() -> ExitCode {
     reset_vs_fresh(&mut h);
     cached_vs_cold(&mut h);
     async_vs_lockstep(&mut h);
+    sharded_vs_serial(&mut h);
     h.finish()
 }
 
@@ -178,6 +182,32 @@ impl Harness {
             }
         }
         self.pass(name);
+    }
+
+    /// Asserts two paired runs agree on their final node tables and on the
+    /// byte-exact observability snapshot — for pairings that run without
+    /// audit logs (there are no traces to dump on failure).
+    fn equivalent_snapshots(&mut self, name: &str, left: &RunReport, right: &RunReport) {
+        let diffs = RunDigest::of(left).diff(&RunDigest::of(right));
+        if !diffs.is_empty() {
+            self.fail(
+                name,
+                format!(
+                    "{} digest field(s) differ; first: {}",
+                    diffs.len(),
+                    diffs[0]
+                ),
+            );
+            return;
+        }
+        let (a, b) = (left.obs_snapshot(), right.obs_snapshot());
+        if a.to_json() != b.to_json() {
+            self.fail(name, "digests agree but ObsSnapshot JSON differs".into());
+        } else if a.to_prometheus() != b.to_prometheus() {
+            self.fail(name, "ObsSnapshot Prometheus text differs".into());
+        } else {
+            self.pass(name);
+        }
     }
 
     fn finish(self) -> ExitCode {
@@ -522,5 +552,59 @@ fn async_vs_lockstep(h: &mut Harness) {
             AuditScope::new(&net),
             &s,
         );
+    }
+}
+
+/// Sharded engines vs serial: every byte of the digest and observability
+/// snapshot must match at shard counts 2 and 4, for both engines, under a
+/// forkable adversarial delay strategy.
+fn sharded_vs_serial(h: &mut Harness) {
+    println!("== sharded vs serial execution ==");
+    let schedule = staggered_schedule();
+    for &n in &[16usize, 40] {
+        let net = sparse_net(n, KnowledgeMode::Kt0);
+        let serial = {
+            let config = AsyncConfig {
+                seed: 3,
+                ..AsyncConfig::default()
+            };
+            run_async::<FloodAsync>(&net, config, &schedule, &mut AdversarialDelay::new(9))
+        };
+        for shards in [2usize, 4] {
+            let config = AsyncConfig {
+                seed: 3,
+                shards,
+                ..AsyncConfig::default()
+            };
+            let sharded =
+                run_async::<FloodAsync>(&net, config, &schedule, &mut AdversarialDelay::new(9));
+            h.equivalent_snapshots(
+                &format!("sharded-vs-serial-async-flood-n{n}-k{shards}"),
+                &serial,
+                &sharded,
+            );
+        }
+
+        let kt1 = sparse_net(n, KnowledgeMode::Kt1);
+        let serial = {
+            let config = SyncConfig {
+                seed: 3,
+                ..SyncConfig::default()
+            };
+            run_sync::<FastWakeUp>(&kt1, config, &schedule)
+        };
+        for shards in [2usize, 4] {
+            let config = SyncConfig {
+                seed: 3,
+                shards,
+                ..SyncConfig::default()
+            };
+            let sharded = run_sync::<FastWakeUp>(&kt1, config, &schedule);
+            h.equivalent_snapshots(
+                &format!("sharded-vs-serial-sync-fast-wakeup-n{n}-k{shards}"),
+                &serial,
+                &sharded,
+            );
+        }
     }
 }

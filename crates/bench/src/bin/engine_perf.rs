@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p wakeup-bench --bin engine_perf [out.json] \
 //!     [--filter <substring>] [--n <comma-separated list>] \
-//!     [--obs-json <path>]
+//!     [--shards <K>] [--obs-json <path>]
 //! ```
 //!
 //! Times the discrete-event engines on fixed workloads and writes
@@ -18,20 +18,32 @@
 //! skip writing the JSON baseline: the committed file always reflects the
 //! full default suite.
 //!
+//! `--shards <K>` sets the intra-run shard count used by the `*_sharded`
+//! workloads (default: the `WAKEUP_SHARDS` environment variable, else 4).
+//! Sharded execution is byte-identical to serial — CI diffs the `--obs-json`
+//! export across shard counts exactly as it does across `WAKEUP_THREADS`.
+//!
 //! `--obs-json <path>` additionally writes one [`ObsSnapshot`] per entry —
 //! the byte-deterministic observability export (schema 3: tick histograms,
 //! phase spans, causal critical path). CI diffs this file across
-//! `WAKEUP_THREADS` settings and parses it as the schema check.
+//! `WAKEUP_THREADS` and `--shards` settings and parses it as the schema
+//! check.
 //!
-//! Schema 3 keeps schema 2's split of the two cost classes and adds the
-//! causal critical path per entry:
+//! Schema 4 splits setup into its cold and steady-state components (the old
+//! single `setup_ms` conflated them, making the first workload at each size
+//! an outlier — the n = 10⁴ flood row paid the whole artifact-cache build),
+//! and tags every entry with its shard count:
 //!
-//! * `setup_ms` — one-time artifact construction: graph generation, network
-//!   assembly (ports, IDs, node tables), engine allocation, and — for the
-//!   advising workloads — the oracle's advice computation. Paid once per
-//!   key thanks to the cache and engine reuse.
+//! * `setup_cold_ms` — first-call artifact construction: graph generation,
+//!   network assembly (ports, IDs, node tables), oracle advice. Paid once
+//!   per key; every later trial, criterion iteration, or sweep worker hits
+//!   the artifact cache instead.
+//! * `setup_ms` — warm (cache-hit) setup: engine allocation plus artifact
+//!   lookups. This is what a measurement loop actually pays to stand a run
+//!   up after the first one.
 //! * `run_ms` — the median per-trial simulation cost: what a measurement
 //!   loop actually pays per iteration after warm setup.
+//! * `shards` — the intra-run shard count the entry ran with (1 = serial).
 //! * `crit_hops` / `crit_tau` — the longest causal wake chain (waking
 //!   deliveries, and its elapsed τ) reconstructed from the run's wake
 //!   predecessors; a logical quantity, identical across machines.
@@ -57,7 +69,9 @@ use wakeup_sim::{AsyncConfig, AsyncEngine, KnowledgeMode, SyncConfig, SyncEngine
 struct Entry {
     protocol: &'static str,
     n: usize,
+    shards: usize,
     events: u64,
+    setup_cold_ms: f64,
     setup_ms: f64,
     run_ms: f64,
     snapshot: ObsSnapshot,
@@ -73,16 +87,23 @@ impl Entry {
     }
 }
 
-/// Times `setup` once, then reports the median wall time over `reps` calls
-/// of `run` (which reports its event count and the finished run's report)
-/// on the value `setup` built. The observability snapshot is built from the
-/// last trial's report *after* the timed region, so `run_ms` stays a pure
-/// engine metric.
+/// Times `setup` twice — cold (first call, which builds any missing
+/// artifact-cache entries) and warm (cache hits only) — then reports the
+/// median wall time over `reps` calls of `run` (which reports its event
+/// count and the finished run's report) on the warm state. Splitting the
+/// two setup costs keeps the first workload at each size from looking like
+/// an outlier: the cold artifact build lands in `setup_cold_ms` instead of
+/// polluting the steady-state `setup_ms`. The observability snapshot is
+/// built from the last trial's report *after* the timed region, so `run_ms`
+/// stays a pure engine metric.
 fn time_split<T>(
     reps: usize,
-    setup: impl FnOnce() -> T,
+    setup: impl Fn() -> T,
     mut run: impl FnMut(&mut T) -> (u64, RunReport),
-) -> (u64, ObsSnapshot, f64, f64) {
+) -> (u64, ObsSnapshot, f64, f64, f64) {
+    let start = Instant::now();
+    drop(setup());
+    let setup_cold_ms = start.elapsed().as_secs_f64() * 1e3;
     let start = Instant::now();
     let mut state = setup();
     let setup_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -98,7 +119,13 @@ fn time_split<T>(
     }
     walls.sort_by(|a, b| a.total_cmp(b));
     let snapshot = last.expect("reps >= 1").obs_snapshot();
-    (events, snapshot, setup_ms, walls[walls.len() / 2])
+    (
+        events,
+        snapshot,
+        setup_cold_ms,
+        setup_ms,
+        walls[walls.len() / 2],
+    )
 }
 
 /// Trial counts shrink as n grows: the large-n rows exist to pin scaling,
@@ -111,9 +138,9 @@ fn reps_for(n: usize) -> usize {
     }
 }
 
-fn flood_async(n: usize) -> Entry {
+fn flood_async_with(n: usize, shards: usize, protocol: &'static str) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
-    let (events, snapshot, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         reps_for(n),
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -124,6 +151,7 @@ fn flood_async(n: usize) -> Entry {
             });
             let config = AsyncConfig {
                 seed: 7,
+                shards,
                 ..AsyncConfig::default()
             };
             AsyncEngine::<FloodAsync>::new_shared(net, config)
@@ -137,19 +165,32 @@ fn flood_async(n: usize) -> Entry {
         },
     );
     Entry {
-        protocol: "flood_async",
+        protocol,
         n,
+        shards,
         events,
+        setup_cold_ms,
         setup_ms,
         run_ms,
         snapshot,
     }
 }
 
-fn dfs_async(n: usize) -> Entry {
+fn flood_async(n: usize, _shards: usize) -> Entry {
+    flood_async_with(n, 1, "flood_async")
+}
+
+/// The sharded flood rows: the same workload as `flood_async`, executed
+/// with `--shards` worker shards. Byte-identical output (CI diffs it), so
+/// the only number that may move is wall time.
+fn flood_async_sharded(n: usize, shards: usize) -> Entry {
+    flood_async_with(n, shards, "flood_async_sharded")
+}
+
+fn dfs_async(n: usize, _shards: usize) -> Entry {
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::staggered(&all, 2.0);
-    let (events, snapshot, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         3,
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -174,16 +215,18 @@ fn dfs_async(n: usize) -> Entry {
     Entry {
         protocol: "dfs_rank_async",
         n,
+        shards: 1,
         events,
+        setup_cold_ms,
         setup_ms,
         run_ms,
         snapshot,
     }
 }
 
-fn flood_sync(n: usize) -> Entry {
+fn flood_sync_with(n: usize, shards: usize, protocol: &'static str) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
-    let (events, snapshot, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         reps_for(n),
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -194,6 +237,7 @@ fn flood_sync(n: usize) -> Entry {
             });
             let config = SyncConfig {
                 seed: 7,
+                shards,
                 ..SyncConfig::default()
             };
             SyncEngine::<FloodSync>::new_shared(net, config)
@@ -206,19 +250,29 @@ fn flood_sync(n: usize) -> Entry {
         },
     );
     Entry {
-        protocol: "flood_sync",
+        protocol,
         n,
+        shards,
         events,
+        setup_cold_ms,
         setup_ms,
         run_ms,
         snapshot,
     }
 }
 
-fn fast_wakeup_sync(n: usize) -> Entry {
+fn flood_sync(n: usize, _shards: usize) -> Entry {
+    flood_sync_with(n, 1, "flood_sync")
+}
+
+fn flood_sync_sharded(n: usize, shards: usize) -> Entry {
+    flood_sync_with(n, shards, "flood_sync_sharded")
+}
+
+fn fast_wakeup_sync(n: usize, _shards: usize) -> Entry {
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::all_at_zero(&all);
-    let (events, snapshot, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         3,
         || {
             let net = artifacts::global().network(NetworkKey {
@@ -243,7 +297,9 @@ fn fast_wakeup_sync(n: usize) -> Entry {
     Entry {
         protocol: "fast_wakeup_sync",
         n,
+        shards: 1,
         events,
+        setup_cold_ms,
         setup_ms,
         run_ms,
         snapshot,
@@ -264,7 +320,7 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
         seed: 7,
         mode: KnowledgeMode::Kt0,
     };
-    let (events, snapshot, setup_ms, run_ms) = time_split(
+    let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         3,
         || {
             let net = artifacts::global().network(key);
@@ -295,30 +351,42 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
             "table1_cor2_cold"
         },
         n,
+        shards: 1,
         events,
+        setup_cold_ms,
         setup_ms,
         run_ms,
         snapshot,
     }
 }
 
-fn table1_cor2_cold(n: usize) -> Entry {
+fn table1_cor2_cold(n: usize, _shards: usize) -> Entry {
     table1_cor2(n, false)
 }
 
-fn table1_cor2_cached(n: usize) -> Entry {
+fn table1_cor2_cached(n: usize, _shards: usize) -> Entry {
     table1_cor2(n, true)
 }
 
-/// A named workload with its committed default problem sizes.
-type Workload = (&'static str, &'static [usize], fn(usize) -> Entry);
+/// A named workload with its committed default problem sizes. The function
+/// receives the suite's shard count; serial workloads ignore it.
+type Workload = (&'static str, &'static [usize], fn(usize, usize) -> Entry);
 
 /// The default suite: each workload with the problem sizes the committed
 /// baseline pins. `--filter` / `--n` cut this table down for spot checks.
+/// The `*_sharded` rows rerun the flood workloads through the intra-run
+/// sharded engines — same bytes out, different wall clock — including the
+/// n = 10⁶ scaling row.
 const WORKLOADS: &[Workload] = &[
     ("flood_async", &[1_000, 10_000, 100_000], flood_async),
+    (
+        "flood_async_sharded",
+        &[100_000, 1_000_000],
+        flood_async_sharded,
+    ),
     ("dfs_rank_async", &[1_000], dfs_async),
     ("flood_sync", &[1_000, 10_000, 100_000], flood_sync),
+    ("flood_sync_sharded", &[100_000], flood_sync_sharded),
     ("fast_wakeup_sync", &[128], fast_wakeup_sync),
     ("table1_cor2_cold", &[512], table1_cor2_cold),
     ("table1_cor2_cached", &[512], table1_cor2_cached),
@@ -329,11 +397,26 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut ns: Option<Vec<usize>> = None;
     let mut obs_json: Option<String> = None;
+    // Shard count for the `*_sharded` workloads: `--shards` beats
+    // `WAKEUP_SHARDS` beats the committed default of 4 (the baseline file
+    // pins 4-shard rows so the numbers are comparable across machines).
+    let mut shards = match wakeup_sim::shards_from_env() {
+        1 => 4,
+        s => s,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--filter" => {
                 filter = Some(args.next().expect("--filter needs a substring"));
+            }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards needs an integer");
+                assert!(shards >= 1, "--shards must be at least 1");
             }
             "--obs-json" => {
                 obs_json = Some(args.next().expect("--obs-json needs a path"));
@@ -365,18 +448,20 @@ fn main() {
         }
         let sizes: &[usize] = ns.as_deref().unwrap_or(default_ns);
         for &n in sizes {
-            entries.push(workload(n));
+            entries.push(workload(n, shards));
         }
     }
     assert!(!entries.is_empty(), "filter matched no workloads");
 
-    let mut json = String::from("{\n  \"schema\": 3,\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"schema\": 4,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"events\": {}, \"setup_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}, \"crit_hops\": {}, \"crit_tau\": {:.6}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"shards\": {}, \"events\": {}, \"setup_cold_ms\": {:.3}, \"setup_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}, \"crit_hops\": {}, \"crit_tau\": {:.6}}}{}\n",
             e.protocol,
             e.n,
+            e.shards,
             e.events,
+            e.setup_cold_ms,
             e.setup_ms,
             e.run_ms,
             e.events_per_sec(),
@@ -385,10 +470,12 @@ fn main() {
             if i + 1 < entries.len() { "," } else { "" }
         ));
         println!(
-            "{:<20} n={:<6} events={:<9} setup={:>9.3} ms  run={:>9.3} ms  {:>12.0} events/s  crit {}h/{:.3}τ",
+            "{:<20} n={:<7} s={:<2} events={:<9} cold={:>9.3} ms  setup={:>8.3} ms  run={:>9.3} ms  {:>12.0} events/s  crit {}h/{:.3}τ",
             e.protocol,
             e.n,
+            e.shards,
             e.events,
+            e.setup_cold_ms,
             e.setup_ms,
             e.run_ms,
             e.events_per_sec(),
@@ -399,7 +486,7 @@ fn main() {
     json.push_str("  ]\n}\n");
     if filter.is_none() && ns.is_none() {
         std::fs::write(&out_path, json).expect("write benchmark baseline");
-        println!("wrote {out_path}");
+        eprintln!("wrote {out_path}");
     }
     // The observability export is written whenever requested (filtered runs
     // included — the path is explicit) and contains only logical
@@ -408,6 +495,8 @@ fn main() {
     if let Some(path) = obs_json {
         let mut out = String::from("[\n");
         for (i, e) in entries.iter().enumerate() {
+            // No shard count here: CI diffs these bytes across --shards
+            // settings, and the snapshot is a logical artifact.
             out.push_str(&format!(
                 "  {{\"protocol\":\"{}\",\"n\":{},\"snapshot\":{}}}{}\n",
                 e.protocol,
@@ -418,6 +507,6 @@ fn main() {
         }
         out.push_str("]\n");
         std::fs::write(&path, out).expect("write observability snapshots");
-        println!("wrote {path}");
+        eprintln!("wrote {path}");
     }
 }

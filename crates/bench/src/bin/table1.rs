@@ -1,7 +1,7 @@
 //! Prints the measured counterpart of the paper's Table 1.
 //!
 //! ```text
-//! cargo run --release -p wakeup-bench --bin table1 [--obs-json <path>]
+//! cargo run --release -p wakeup-bench --bin table1 [--obs-json <path>] [--shards <K>]
 //! ```
 //!
 //! Each row reports, for the largest sweep size, the measured time, message
@@ -13,6 +13,12 @@
 //! measured cell (tick histograms, phase spans, causal critical path) as a
 //! JSON array; the bytes are deterministic for the fixed seeds, at any
 //! `WAKEUP_THREADS` setting.
+//!
+//! `--shards <K>` runs every cell's engines with K intra-run shards (it
+//! sets `WAKEUP_SHARDS`, which the measurement harness reads). Sharded
+//! execution is byte-identical to serial, so the printed table and the
+//! `--obs-json` bytes must not change — CI diffs 1 vs 4 shards exactly as
+//! it diffs 1 vs 4 sweep threads.
 
 use wakeup_bench::{
     measure_cor1, measure_cor2, measure_flooding, measure_thm3, measure_thm4, measure_thm5a,
@@ -33,6 +39,17 @@ fn main() {
         match arg.as_str() {
             "--obs-json" => {
                 obs_json = Some(args.next().expect("--obs-json needs a path"));
+            }
+            "--shards" => {
+                let k: usize = args
+                    .next()
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards needs an integer");
+                assert!(k >= 1, "--shards must be at least 1");
+                // The measure_* harness reads WAKEUP_SHARDS per run; the
+                // flag is just a spelled-out way to set it for this process.
+                std::env::set_var("WAKEUP_SHARDS", k.to_string());
             }
             other => panic!("unknown flag {other:?}"),
         }
@@ -151,6 +168,6 @@ fn main() {
         }
         out.push_str("]\n");
         std::fs::write(&path, out).expect("write observability snapshots");
-        println!("wrote {path}");
+        eprintln!("wrote {path}");
     }
 }

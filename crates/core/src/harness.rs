@@ -1,6 +1,11 @@
 //! One-call experiment harness: run an algorithm on a network and collect
 //! the paper's complexity measures alongside the graph parameters they are
 //! compared against (ρ_awk, D).
+//!
+//! Every engine config built here takes its intra-run shard count from the
+//! `WAKEUP_SHARDS` environment variable ([`wakeup_sim::shards_from_env`],
+//! default 1). Sharded execution is byte-identical to serial, so flipping
+//! the variable changes wall time only, never a reported number.
 
 use wakeup_graph::algo;
 use wakeup_sim::adversary::{DelayStrategy, WakeSchedule};
@@ -36,6 +41,7 @@ fn decorate(net: &Network, schedule: &WakeSchedule, report: RunReport) -> Wakeup
 pub fn run_async<P: AsyncProtocol>(net: &Network, schedule: &WakeSchedule, seed: u64) -> WakeupRun {
     let config = AsyncConfig {
         seed,
+        shards: wakeup_sim::shards_from_env(),
         ..AsyncConfig::default()
     };
     let report = AsyncEngine::<P>::new(net, config).run(schedule);
@@ -51,6 +57,7 @@ pub fn run_async_with_delays<P: AsyncProtocol>(
 ) -> WakeupRun {
     let config = AsyncConfig {
         seed,
+        shards: wakeup_sim::shards_from_env(),
         ..AsyncConfig::default()
     };
     let report = AsyncEngine::<P>::new(net, config).run_with(schedule, delays);
@@ -61,6 +68,7 @@ pub fn run_async_with_delays<P: AsyncProtocol>(
 pub fn run_sync<P: SyncProtocol>(net: &Network, schedule: &WakeSchedule, seed: u64) -> WakeupRun {
     let config = SyncConfig {
         seed,
+        shards: wakeup_sim::shards_from_env(),
         ..SyncConfig::default()
     };
     let report = SyncEngine::<P>::new(net, config).run(schedule);
@@ -119,6 +127,7 @@ pub fn run_trials_async<P: AsyncProtocol>(
     // never reports them).
     let config = AsyncConfig {
         seed: base_seed,
+        shards: wakeup_sim::shards_from_env(),
         ..AsyncConfig::default()
     };
     let mut engine = AsyncEngine::<P>::new(net, config);
@@ -150,6 +159,7 @@ pub fn run_trials_sync<P: SyncProtocol>(
     // Same engine-reuse pattern as `run_trials_async`.
     let config = SyncConfig {
         seed: base_seed,
+        shards: wakeup_sim::shards_from_env(),
         ..SyncConfig::default()
     };
     let mut engine = SyncEngine::<P>::new(net, config);

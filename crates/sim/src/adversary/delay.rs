@@ -18,17 +18,38 @@ pub trait DelayStrategy {
     /// the engine clamps out-of-range values and FIFO order is restored by
     /// the engine regardless.
     fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64;
+
+    /// A per-shard clone for the engines' intra-run sharded paths, or `None`
+    /// if the strategy cannot be split (the engines then fall back to the
+    /// serial path, which is byte-identical anyway).
+    ///
+    /// A strategy may return `Some` **only if** it is a pure function of the
+    /// `delay_ticks` arguments — each shard calls its fork for the shard's
+    /// own senders only, so call *order and interleaving* differ from the
+    /// serial run, and any hidden sequential state (e.g. [`RandomDelay`]'s
+    /// RNG) would produce different delays. The default is `None`.
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        None
+    }
 }
 
 impl<D: DelayStrategy + ?Sized> DelayStrategy for Box<D> {
     fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64 {
         (**self).delay_ticks(from, to, send_tick, seq)
     }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        (**self).fork()
+    }
 }
 
 impl<D: DelayStrategy + ?Sized> DelayStrategy for &mut D {
     fn delay_ticks(&mut self, from: NodeId, to: NodeId, send_tick: u64, seq: u64) -> u64 {
         (**self).delay_ticks(from, to, send_tick, seq)
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        (**self).fork()
     }
 }
 
@@ -42,6 +63,10 @@ pub struct UnitDelay;
 impl DelayStrategy for UnitDelay {
     fn delay_ticks(&mut self, _: NodeId, _: NodeId, _: u64, _: u64) -> u64 {
         TICKS_PER_UNIT
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        Some(Box::new(*self))
     }
 }
 
@@ -100,6 +125,10 @@ impl DelayStrategy for AdversarialDelay {
             TICKS_PER_UNIT
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Targets a victim set: every channel touching a victim runs at the full τ
@@ -129,6 +158,10 @@ impl DelayStrategy for TargetedDelay {
         } else {
             self.fast_ticks
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -169,6 +202,10 @@ impl DelayStrategy for BurstDelay {
             1
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// Caps another strategy's delays at `max_ticks` — modelling a network whose
@@ -206,6 +243,15 @@ impl<D: DelayStrategy> DelayStrategy for CappedDelay<D> {
             .delay_ticks(from, to, send_tick, seq)
             .clamp(1, self.max_ticks)
     }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        self.inner.fork().map(|inner| {
+            Box::new(CappedDelay {
+                inner,
+                max_ticks: self.max_ticks,
+            }) as Box<dyn DelayStrategy + Send>
+        })
+    }
 }
 
 /// The FIFO worst case: per-channel delays strictly decrease with the
@@ -240,6 +286,10 @@ impl DelayStrategy for FifoWorstDelay {
         // Strictly decreasing until the floor of 1 tick; later messages on a
         // long channel all race at top speed, which keeps the pressure on.
         self.max_ticks.saturating_sub(seq).max(1)
+    }
+
+    fn fork(&self) -> Option<Box<dyn DelayStrategy + Send>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -12,13 +12,17 @@
 //! events that may lie arbitrarily far in the future; they are known upfront
 //! and handled by a cursor over a stably tick-sorted list.
 //!
-//! Processing order is identical to the seed heap implementation's
-//! `(tick, seq)` order without materializing sequence numbers: at every tick,
-//! schedule wakes run first (they received the globally smallest sequence
-//! numbers at setup, in schedule order), then the tick's deliveries in bucket
-//! insertion order (pushes happen in send order, and a bucket never receives
-//! events for two different ticks while live, so insertion order *is*
-//! sequence order).
+//! Processing order within a tick is **canonical** — a pure function of the
+//! simulated execution, independent of schedule entry order and of the shard
+//! count: schedule wakes run first in ascending node-id order, then the
+//! tick's deliveries as one batch per receiving node, receivers ascending,
+//! each receiver's batch in channel send order (bucket insertion order is
+//! send order, and the per-receiver scatter preserves it). Canonicalizing
+//! the serial engine this way is what lets the sharded path (see
+//! [`AsyncConfig::shards`] and the `shard` module) reproduce its output
+//! byte for byte: shard-owned node ranges are contiguous and ascending, so
+//! draining cross-shard mailboxes phase-major/source-shard-major replays
+//! exactly this order.
 //!
 //! Message payloads live out-of-line in a [`PayloadArena`] (a refcounted
 //! slab with a free list): the handle created when a context enqueues a send
@@ -76,6 +80,14 @@ pub struct AsyncConfig {
     /// generations, and advice reads.
     #[cfg(feature = "audit")]
     pub audit_capacity: Option<usize>,
+    /// Number of intra-run worker shards (default 1 = serial). With `K > 1`
+    /// the nodes are partitioned into `K` contiguous ranges advanced in
+    /// lockstep tick windows by `K` threads; output is byte-identical to
+    /// the serial run at any shard count. Runs that record traces or audit
+    /// logs, track ports, or use a delay strategy without a deterministic
+    /// [`DelayStrategy::fork`] fall back to the serial path silently (the
+    /// output is the same either way).
+    pub shards: usize,
 }
 
 impl Default for AsyncConfig {
@@ -92,6 +104,7 @@ impl Default for AsyncConfig {
             trace_capacity: None,
             #[cfg(feature = "audit")]
             audit_capacity: None,
+            shards: 1,
         }
     }
 }
@@ -241,6 +254,72 @@ struct AsyncScratch<M> {
     channel_seq: Vec<u64>,
     entries_buf: Vec<(Port, PayloadRef)>,
     batch_buf: Vec<(Incoming, M)>,
+    /// Per-receiver scatter lists for the within-tick delivery phase,
+    /// lazily sized to `n` on first use.
+    pending: Vec<Vec<DeliverEntry>>,
+    /// Receivers with a non-empty `pending` list this tick.
+    touched: Vec<u32>,
+    /// Per-shard state for sharded runs; empty until the first `shards > 1`
+    /// run, rebuilt only when the shard count changes.
+    shards: Vec<AsyncShardScratch<M>>,
+}
+
+/// Run-to-run reusable per-shard buffers (the sharded counterpart of the
+/// fields `AsyncScratch` holds once for serial runs).
+struct AsyncShardScratch<M> {
+    wheel: TimerWheel,
+    arena: PayloadArena<M>,
+    pending: Vec<Vec<DeliverEntry>>,
+    touched: Vec<u32>,
+    entries_buf: Vec<(Port, PayloadRef)>,
+    batch_buf: Vec<(Incoming, M)>,
+    /// Staged outbound messages, one buffer per `(destination shard, phase)`.
+    stage: Vec<Vec<CrossMsg<M>>>,
+    /// Scratch a mailbox cell is swapped into while draining.
+    drain_buf: Vec<CrossMsg<M>>,
+}
+
+impl<M> AsyncShardScratch<M> {
+    fn new(k: usize) -> AsyncShardScratch<M> {
+        AsyncShardScratch {
+            wheel: TimerWheel::new(),
+            arena: PayloadArena::default(),
+            pending: Vec::new(),
+            touched: Vec::new(),
+            entries_buf: Vec::new(),
+            batch_buf: Vec::new(),
+            stage: (0..k * crate::shard::PHASES).map(|_| Vec::new()).collect(),
+            drain_buf: Vec::new(),
+        }
+    }
+}
+
+/// A message staged for a window boundary crossing between shards.
+struct CrossMsg<M> {
+    deliver: u64,
+    to: u32,
+    from: u32,
+    rport: u32,
+    payload: crate::shard::CrossPayload<M>,
+}
+
+/// What each shard publishes at a window boundary for the coordinator.
+#[derive(Clone, Copy)]
+struct AsyncPublished {
+    /// Earliest future event this shard knows about (its own pending wakes,
+    /// its wheel, and the sends it just staged); `u64::MAX` when none.
+    next_event: u64,
+    /// Events processed in the window just finished (for the global cap).
+    new_events: u64,
+}
+
+impl Default for AsyncPublished {
+    fn default() -> AsyncPublished {
+        AsyncPublished {
+            next_event: u64::MAX,
+            new_events: 0,
+        }
+    }
 }
 
 impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
@@ -288,6 +367,9 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 channel_seq: vec![0; dir_edges],
                 entries_buf: Vec::new(),
                 batch_buf: Vec::new(),
+                pending: Vec::new(),
+                touched: Vec::new(),
+                shards: Vec::new(),
             },
         }
     }
@@ -343,6 +425,9 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         schedule: &WakeSchedule,
         delays: &mut dyn DelayStrategy,
     ) -> RunReport {
+        if let Some(forks) = self.sharded_eligible(delays) {
+            return self.run_sharded(schedule, forks);
+        }
         let net = &*self.net;
         let tables = &self.tables;
         let config = &self.config;
@@ -351,10 +436,12 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         self.scratch.arena.clear();
         self.scratch.channel_next.fill(0);
         self.scratch.channel_seq.fill(0);
-        // Stable sort: equal-tick wakes keep schedule order, matching the
-        // sequence numbers the seed heap implementation assigned at setup.
+        if self.scratch.pending.len() < n {
+            self.scratch.pending.resize_with(n, Vec::new);
+        }
+        // Canonical wake order: (tick, node id), not schedule entry order.
         let mut wakes: Vec<(u64, NodeId)> = schedule.entries().to_vec();
-        wakes.sort_by_key(|&(tick, _)| tick);
+        wakes.sort_unstable_by_key(|&(tick, v)| (tick, v));
         let mut st = RunState {
             net,
             send_run: crate::obs::PairRun::new(),
@@ -393,59 +480,51 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         let mut batch_run = crate::obs::ValueRun::new();
         if let Some(&(first_tick, _)) = wakes.first() {
             let mut now = first_tick;
-            'ticks: loop {
-                // Schedule wakes at `now` run before this tick's deliveries
-                // (their sequence numbers predate every send).
+            let mut pending = std::mem::take(&mut self.scratch.pending);
+            let mut touched = std::mem::take(&mut self.scratch.touched);
+            loop {
+                // Phase 0: schedule wakes at `now`, ascending node id (the
+                // canonical within-tick order — see the module docs).
                 while wake_cursor < wakes.len() && wakes[wake_cursor].0 == now {
                     let v = wakes[wake_cursor].1;
                     wake_cursor += 1;
                     processed += 1;
-                    if processed > config.max_events {
-                        truncated = true;
-                        break 'ticks;
-                    }
                     if !st.awake[v.index()] {
                         st.wake_node(v, WakeCause::Adversary, now, delays);
                     }
                 }
-                // Deliveries at `now`, batched per run of consecutive
-                // same-receiver entries (bucket order is delivery order, so
-                // batching runs — not arbitrary per-receiver groups —
-                // preserves the global adversarial order exactly).
+                // Phase 1: deliveries at `now`, one batch per receiver,
+                // receivers ascending. The scatter keeps each receiver's
+                // entries in bucket — i.e. channel send — order.
                 let bucket = st.wheel.take_bucket(now);
-                let mut i = 0usize;
-                while i < bucket.len() {
-                    let to = bucket[i].to;
-                    let mut j = i + 1;
-                    while j < bucket.len() && bucket[j].to == to {
-                        j += 1;
+                processed += bucket.len() as u64;
+                for &e in bucket.iter() {
+                    let pend = &mut pending[e.to as usize];
+                    if pend.is_empty() {
+                        touched.push(e.to);
                     }
-                    // The event cap counts deliveries one by one; a run that
-                    // crosses the cap is truncated mid-batch, exactly as the
-                    // per-message loop would have stopped.
-                    let mut k = i;
-                    while k < j {
-                        processed += 1;
-                        if processed > config.max_events {
-                            truncated = true;
-                            break;
-                        }
-                        k += 1;
-                    }
-                    if k > i {
-                        if obs_full {
-                            batch_run.note(&mut st.obs.batch_sizes, (k - i) as u64);
-                        }
-                        st.deliver_batch(&bucket[i..k], now, delays);
-                    }
-                    if truncated {
-                        // Undelivered payloads stay in the arena until the
-                        // next run's `clear` (or the engine drop).
-                        break 'ticks;
-                    }
-                    i = j;
+                    pend.push(e);
                 }
+                touched.sort_unstable();
+                for &to in &touched {
+                    let mut pend = std::mem::take(&mut pending[to as usize]);
+                    if obs_full {
+                        batch_run.note(&mut st.obs.batch_sizes, pend.len() as u64);
+                    }
+                    st.deliver_batch(&pend, now, delays);
+                    pend.clear();
+                    pending[to as usize] = pend;
+                }
+                touched.clear();
                 st.wheel.restore_bucket(bucket);
+                // The event cap is checked at tick boundaries only, so a
+                // truncation point never depends on within-tick processing
+                // order or on the shard count. Undelivered payloads stay in
+                // the arena until the next run's `clear`.
+                if processed > config.max_events {
+                    truncated = true;
+                    break;
+                }
                 let next_wake = wakes.get(wake_cursor).map(|&(tick, _)| tick);
                 now = match (next_wake, st.wheel.next_occupied_after(now)) {
                     (Some(w), Some(d)) => w.min(d),
@@ -454,6 +533,8 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                     (None, None) => break,
                 };
             }
+            self.scratch.pending = pending;
+            self.scratch.touched = touched;
         }
         if config.track_ports {
             st.metrics.ports_used = Some(
@@ -490,6 +571,214 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
     /// The per-node protocol states (final states after a run).
     pub fn protocols(&self) -> &[P] {
         &self.protocols
+    }
+
+    /// Decides whether this run can take the sharded path, and if so forks
+    /// the delay strategy once per shard. Trace/audit recording, port
+    /// tracking, and unforkable (history-dependent) delay strategies fall
+    /// back to the serial path — which produces identical output, so the
+    /// fallback is safe to keep silent.
+    fn sharded_eligible(
+        &self,
+        delays: &mut dyn DelayStrategy,
+    ) -> Option<Vec<Box<dyn DelayStrategy + Send>>> {
+        if self.config.shards <= 1
+            || self.config.trace_capacity.is_some()
+            || self.config.track_ports
+        {
+            return None;
+        }
+        #[cfg(feature = "audit")]
+        if self.config.audit_capacity.is_some() {
+            return None;
+        }
+        let plan = crate::shard::ShardPlan::new(self.net.n(), self.config.shards);
+        if plan.k <= 1 {
+            return None;
+        }
+        (0..plan.k).map(|_| delays.fork()).collect()
+    }
+
+    /// The sharded run: `K` workers advance their node ranges in lockstep
+    /// tick windows under the τ-lookahead guarantee, coordinated by this
+    /// thread through a two-phase barrier per window. See the `shard`
+    /// module docs for the protocol and the determinism argument.
+    fn run_sharded(
+        &mut self,
+        schedule: &WakeSchedule,
+        forks: Vec<Box<dyn DelayStrategy + Send>>,
+    ) -> RunReport {
+        use crate::shard::{split_lengths, Cells, ShardMetrics, ShardPlan};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Barrier, Mutex};
+
+        let net = &*self.net;
+        let tables = &*self.tables;
+        let config = &self.config;
+        let n = net.n();
+        let plan = ShardPlan::new(n, config.shards);
+        let k = plan.k;
+        if self.scratch.shards.len() != k {
+            self.scratch.shards = (0..k).map(|_| AsyncShardScratch::new(k)).collect();
+        }
+        self.scratch.channel_next.fill(0);
+        self.scratch.channel_seq.fill(0);
+        let mut wakes_all: Vec<(u64, NodeId)> = schedule.entries().to_vec();
+        wakes_all.sort_unstable_by_key(|&(tick, v)| (tick, v));
+        let mut metrics = Metrics::new(n);
+        let mut outputs: Vec<Option<u64>> = vec![None; n];
+        let mut awake = vec![false; n];
+        let node_lens: Vec<usize> = (0..k)
+            .map(|s| {
+                let (lo, hi) = plan.range(s);
+                hi - lo
+            })
+            .collect();
+        let edge_lens: Vec<usize> = (0..k)
+            .map(|s| {
+                let (lo, hi) = plan.range(s);
+                tables.edge_offset[hi] - tables.edge_offset[lo]
+            })
+            .collect();
+        let mut prot_it = split_lengths(self.protocols.as_mut_slice(), &node_lens).into_iter();
+        let mut out_it = split_lengths(outputs.as_mut_slice(), &node_lens).into_iter();
+        let mut awake_it = split_lengths(awake.as_mut_slice(), &node_lens).into_iter();
+        let mut wt_it = split_lengths(metrics.wake_tick.as_mut_slice(), &node_lens).into_iter();
+        let mut sb_it = split_lengths(metrics.sent_by.as_mut_slice(), &node_lens).into_iter();
+        let mut rb_it = split_lengths(metrics.received_by.as_mut_slice(), &node_lens).into_iter();
+        let mut cn_it =
+            split_lengths(self.scratch.channel_next.as_mut_slice(), &edge_lens).into_iter();
+        let mut cs_it =
+            split_lengths(self.scratch.channel_seq.as_mut_slice(), &edge_lens).into_iter();
+        let mut fork_it = forks.into_iter();
+        let mut workers: Vec<AsyncShard<'_, P>> = Vec::with_capacity(k);
+        for (s, scr) in self.scratch.shards.iter_mut().enumerate() {
+            let (lo, hi) = plan.range(s);
+            let local_n = hi - lo;
+            let AsyncShardScratch {
+                wheel,
+                arena,
+                pending,
+                touched,
+                entries_buf,
+                batch_buf,
+                stage,
+                drain_buf,
+            } = scr;
+            wheel.clear();
+            arena.clear();
+            if pending.len() < local_n {
+                pending.resize_with(local_n, Vec::new);
+            }
+            touched.clear();
+            let wakes: Vec<(u64, NodeId)> = wakes_all
+                .iter()
+                .copied()
+                .filter(|&(_, v)| v.index() >= lo && v.index() < hi)
+                .collect();
+            workers.push(AsyncShard {
+                me: s,
+                lo,
+                plan,
+                net,
+                tables,
+                config,
+                protocols: prot_it.next().unwrap(),
+                outputs: out_it.next().unwrap(),
+                awake: awake_it.next().unwrap(),
+                wake_tick: wt_it.next().unwrap(),
+                sent_by: sb_it.next().unwrap(),
+                received_by: rb_it.next().unwrap(),
+                channel_next: cn_it.next().unwrap(),
+                channel_seq: cs_it.next().unwrap(),
+                edge_base: tables.edge_offset[lo],
+                sm: ShardMetrics::default(),
+                obs: crate::obs::ShardObs::new(local_n, config.obs),
+                send_run: crate::obs::PairRun::new(),
+                batch_run: crate::obs::ValueRun::new(),
+                wheel,
+                arena,
+                pending,
+                touched,
+                entries_buf,
+                batch_buf,
+                stage,
+                drain_buf,
+                wakes,
+                cursor: 0,
+                delays: fork_it.next().unwrap(),
+                phase: 0,
+                staged_min: u64::MAX,
+                new_events: 0,
+                prev_tick: 0,
+            });
+        }
+        let cells: Cells<CrossMsg<P::Msg>> = Cells::new(k);
+        let slots: Vec<Mutex<AsyncPublished>> = (0..k)
+            .map(|_| Mutex::new(AsyncPublished::default()))
+            .collect();
+        let barrier = Barrier::new(k + 1);
+        let decision = AtomicU64::new(0);
+        let mut processed = 0u64;
+        let mut truncated = false;
+        std::thread::scope(|scope| {
+            let cells = &cells;
+            let slots = &slots;
+            let barrier = &barrier;
+            let decision = &decision;
+            for w in &mut workers {
+                scope.spawn(move || w.run(cells, slots, decision, barrier));
+            }
+            // Coordinator: pick the globally earliest next event (the safe
+            // horizon under τ-lookahead), or stop on quiescence / the cap.
+            loop {
+                barrier.wait();
+                let mut next = u64::MAX;
+                for slot in slots {
+                    let p = *slot.lock().unwrap();
+                    next = next.min(p.next_event);
+                    processed += p.new_events;
+                }
+                if processed > config.max_events {
+                    truncated = true;
+                    next = u64::MAX;
+                }
+                decision.store(next, Ordering::Relaxed);
+                barrier.wait();
+                if next == u64::MAX {
+                    break;
+                }
+            }
+        });
+        // Consume the workers first: their field moves end the slice borrows
+        // of `metrics`, so the scalar merge below can take it mutably.
+        let (sms, obs_shards): (Vec<ShardMetrics>, Vec<crate::obs::ShardObs>) =
+            workers.into_iter().map(|w| (w.sm, w.obs)).unzip();
+        let mut awake_total = 0usize;
+        for sm in &sms {
+            sm.merge_into(&mut metrics);
+            awake_total += sm.awake_count;
+        }
+        let all_awake = awake_total == n;
+        if all_awake {
+            // The last wake is the all-awake moment (wake ticks are set from
+            // a monotone cursor, exactly as the serial engine records it).
+            metrics.all_awake_tick = metrics.wake_tick.iter().filter_map(|&t| t).max();
+        }
+        let mut obs = crate::obs::merge_shard_obs(n, config.obs, &obs_shards);
+        obs.events = processed;
+        crate::obs::add_global_events(processed);
+        RunReport {
+            all_awake,
+            rounds: 0,
+            outputs,
+            truncated,
+            metrics,
+            trace: None,
+            obs,
+            #[cfg(feature = "audit")]
+            audit_log: None,
+        }
     }
 }
 
@@ -754,6 +1043,321 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                 msg: r,
             };
             self.wheel.push(tick, deliver, entry);
+        }
+    }
+}
+
+/// One worker shard of a sharded async run: the serial engine's state,
+/// restricted to a contiguous node range (slices of the run-global arrays)
+/// plus staging buffers for sends that cross the window boundary. Local
+/// node index = global id − `lo`; local edge slot = global slot −
+/// `edge_base`.
+struct AsyncShard<'e, P: AsyncProtocol> {
+    me: usize,
+    lo: usize,
+    plan: crate::shard::ShardPlan,
+    net: &'e Network,
+    tables: &'e NodeTables,
+    config: &'e AsyncConfig,
+    protocols: &'e mut [P],
+    outputs: &'e mut [Option<u64>],
+    awake: &'e mut [bool],
+    wake_tick: &'e mut [Option<u64>],
+    sent_by: &'e mut [u64],
+    received_by: &'e mut [u64],
+    channel_next: &'e mut [u64],
+    channel_seq: &'e mut [u64],
+    edge_base: usize,
+    sm: crate::shard::ShardMetrics,
+    obs: crate::obs::ShardObs,
+    send_run: crate::obs::PairRun,
+    batch_run: crate::obs::ValueRun,
+    wheel: &'e mut TimerWheel,
+    arena: &'e mut PayloadArena<P::Msg>,
+    pending: &'e mut Vec<Vec<DeliverEntry>>,
+    touched: &'e mut Vec<u32>,
+    entries_buf: &'e mut Vec<(Port, PayloadRef)>,
+    batch_buf: &'e mut Vec<(Incoming, P::Msg)>,
+    stage: &'e mut [Vec<CrossMsg<P::Msg>>],
+    drain_buf: &'e mut Vec<CrossMsg<P::Msg>>,
+    /// This shard's schedule wakes, `(tick, id)`-sorted.
+    wakes: Vec<(u64, NodeId)>,
+    cursor: usize,
+    delays: Box<dyn DelayStrategy + Send>,
+    /// Current within-tick phase: 0 = schedule wakes, 1 = deliveries.
+    phase: u8,
+    /// Earliest delivery staged since the last publish.
+    staged_min: u64,
+    /// Events processed since the last publish.
+    new_events: u64,
+    /// The tick last processed (the wheel's cursor).
+    prev_tick: u64,
+}
+
+impl<P: AsyncProtocol> AsyncShard<'_, P> {
+    /// The worker loop. Each window: meet the coordinator (its read of the
+    /// previous publications happens between the two waits), drain the
+    /// mailboxes filled last window, learn the decided tick, process it,
+    /// stage + publish. Publications and mailbox swaps are always separated
+    /// from their readers by a barrier, so every access is race-free.
+    fn run(
+        &mut self,
+        cells: &crate::shard::Cells<CrossMsg<P::Msg>>,
+        slots: &[std::sync::Mutex<AsyncPublished>],
+        decision: &std::sync::atomic::AtomicU64,
+        barrier: &std::sync::Barrier,
+    ) {
+        self.publish_slot(slots);
+        loop {
+            barrier.wait();
+            self.drain_cells(cells);
+            barrier.wait();
+            let now = decision.load(std::sync::atomic::Ordering::Relaxed);
+            if now == u64::MAX {
+                break;
+            }
+            self.process_tick(now);
+            self.prev_tick = now;
+            self.publish_cells(cells);
+            self.publish_slot(slots);
+        }
+        self.batch_run.flush(&mut self.obs.batch_sizes);
+        self.send_run
+            .flush(&mut self.obs.message_bits, &mut self.obs.delay_ticks);
+    }
+
+    fn publish_slot(&mut self, slots: &[std::sync::Mutex<AsyncPublished>]) {
+        let next_wake = self.wakes.get(self.cursor).map_or(u64::MAX, |&(t, _)| t);
+        let wheel_next = self
+            .wheel
+            .next_occupied_after(self.prev_tick)
+            .unwrap_or(u64::MAX);
+        *slots[self.me].lock().unwrap() = AsyncPublished {
+            next_event: self.staged_min.min(wheel_next).min(next_wake),
+            new_events: self.new_events,
+        };
+        self.staged_min = u64::MAX;
+        self.new_events = 0;
+    }
+
+    fn publish_cells(&mut self, cells: &crate::shard::Cells<CrossMsg<P::Msg>>) {
+        for dst in 0..self.plan.k {
+            if dst == self.me {
+                continue;
+            }
+            for phase in 0..crate::shard::PHASES {
+                let buf = &mut self.stage[dst * crate::shard::PHASES + phase];
+                if !buf.is_empty() {
+                    cells.publish(self.me, dst, phase, buf);
+                }
+            }
+        }
+    }
+
+    /// Moves last window's staged messages — own staging buffers for the
+    /// same-shard case, mailbox cells otherwise — into the wheel. Draining
+    /// phase-major then source-shard-major replays the canonical serial
+    /// send order (see the module docs).
+    fn drain_cells(&mut self, cells: &crate::shard::Cells<CrossMsg<P::Msg>>) {
+        for phase in 0..crate::shard::PHASES {
+            for src in 0..self.plan.k {
+                if src == self.me {
+                    let mut buf =
+                        std::mem::take(&mut self.stage[self.me * crate::shard::PHASES + phase]);
+                    self.ingest(&mut buf);
+                    self.stage[self.me * crate::shard::PHASES + phase] = buf;
+                } else {
+                    cells.drain(src, self.me, phase, self.drain_buf);
+                    let mut buf = std::mem::take(&mut *self.drain_buf);
+                    self.ingest(&mut buf);
+                    *self.drain_buf = buf;
+                }
+            }
+        }
+    }
+
+    fn ingest(&mut self, buf: &mut Vec<CrossMsg<P::Msg>>) {
+        for m in buf.drain(..) {
+            let msg = match m.payload {
+                crate::shard::CrossPayload::Local(r) => r,
+                crate::shard::CrossPayload::Remote(payload, bits) => {
+                    self.arena.insert_with_bits(payload, bits)
+                }
+            };
+            self.wheel.push(
+                self.prev_tick,
+                m.deliver,
+                DeliverEntry {
+                    to: m.to,
+                    from: m.from,
+                    rport: m.rport,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// The serial engine's per-tick body over this shard's nodes: schedule
+    /// wakes ascending, then one delivery batch per receiver ascending.
+    fn process_tick(&mut self, now: u64) {
+        self.phase = 0;
+        while self.cursor < self.wakes.len() && self.wakes[self.cursor].0 == now {
+            let v = self.wakes[self.cursor].1;
+            self.cursor += 1;
+            self.new_events += 1;
+            if !self.awake[v.index() - self.lo] {
+                self.wake_node(v, WakeCause::Adversary, now);
+            }
+        }
+        self.phase = 1;
+        let bucket = self.wheel.take_bucket(now);
+        self.new_events += bucket.len() as u64;
+        let mut touched = std::mem::take(&mut *self.touched);
+        for &e in bucket.iter() {
+            let pend = &mut self.pending[e.to as usize - self.lo];
+            if pend.is_empty() {
+                touched.push(e.to);
+            }
+            pend.push(e);
+        }
+        touched.sort_unstable();
+        let obs_full = self.obs.level == crate::obs::ObsLevel::Full;
+        for &to in &touched {
+            let mut pend = std::mem::take(&mut self.pending[to as usize - self.lo]);
+            if obs_full {
+                self.batch_run
+                    .note(&mut self.obs.batch_sizes, pend.len() as u64);
+            }
+            self.deliver_batch(&pend, now);
+            pend.clear();
+            self.pending[to as usize - self.lo] = pend;
+        }
+        touched.clear();
+        *self.touched = touched;
+        self.wheel.restore_bucket(bucket);
+    }
+
+    fn wake_node(&mut self, v: NodeId, cause: WakeCause, tick: u64) {
+        let li = v.index() - self.lo;
+        self.awake[li] = true;
+        self.sm.awake_count += 1;
+        self.wake_tick[li] = Some(tick);
+        self.sm.first_wake_tick = Some(self.sm.first_wake_tick.map_or(tick, |t| t.min(tick)));
+        let mut entries = std::mem::take(&mut *self.entries_buf);
+        let mut ctx = Context::new(
+            v,
+            self.net.graph().degree(v),
+            self.net.mode(),
+            &self.tables.id_to_port[v.index()],
+            &mut entries,
+            self.arena,
+            self.config.channel,
+            self.config.record_congest_violations,
+            &mut self.sm.congest_violations,
+            &mut self.outputs[li],
+            &mut self.obs.phases,
+            tick,
+        );
+        self.protocols[li].on_wake(&mut ctx, cause);
+        self.obs.stamp_new_spans(tick, self.phase, v.index() as u32);
+        self.dispatch_outbox(&mut entries, v, tick);
+        *self.entries_buf = entries;
+    }
+
+    fn deliver_batch(&mut self, entries: &[DeliverEntry], tick: u64) {
+        let to = NodeId::new(entries[0].to as usize);
+        let li = to.index() - self.lo;
+        self.received_by[li] += entries.len() as u64;
+        self.sm.last_receipt_tick = Some(self.sm.last_receipt_tick.map_or(tick, |t| t.max(tick)));
+        if !self.awake[li] {
+            self.obs.note_wake_pred(li, entries[0].from);
+            self.wake_node(to, WakeCause::Message, tick);
+        }
+        let kt1 = self.net.mode() == crate::knowledge::KnowledgeMode::Kt1;
+        let mut batch = std::mem::take(&mut *self.batch_buf);
+        debug_assert!(batch.is_empty());
+        for e in entries {
+            let sender_id = kt1.then(|| self.net.ids().id(NodeId::new(e.from as usize)));
+            batch.push((
+                Incoming {
+                    port: Port::new(e.rport as usize),
+                    sender_id,
+                },
+                self.arena.take(e.msg),
+            ));
+        }
+        let mut inbox = Inbox::new(&mut batch);
+        let mut out_entries = std::mem::take(&mut *self.entries_buf);
+        let mut ctx = Context::new(
+            to,
+            self.net.graph().degree(to),
+            self.net.mode(),
+            &self.tables.id_to_port[to.index()],
+            &mut out_entries,
+            self.arena,
+            self.config.channel,
+            self.config.record_congest_violations,
+            &mut self.sm.congest_violations,
+            &mut self.outputs[li],
+            &mut self.obs.phases,
+            tick,
+        );
+        self.protocols[li].on_messages_batch(&mut ctx, &mut inbox);
+        drop(inbox);
+        self.obs
+            .stamp_new_spans(tick, self.phase, to.index() as u32);
+        self.dispatch_outbox(&mut out_entries, to, tick);
+        *self.entries_buf = out_entries;
+        *self.batch_buf = batch;
+    }
+
+    /// The serial `dispatch_outbox`, staging into per-`(shard, phase)`
+    /// buffers instead of pushing the wheel directly. Same-shard sends keep
+    /// their arena handle; cross-shard sends carry the payload itself.
+    fn dispatch_outbox(&mut self, entries: &mut Vec<(Port, PayloadRef)>, from: NodeId, tick: u64) {
+        if entries.is_empty() {
+            return;
+        }
+        let obs_full = self.obs.level == crate::obs::ObsLevel::Full;
+        for (port, r) in entries.drain(..) {
+            let slot = self.tables.slot(from, port);
+            let to = self.tables.edge_to[slot] as usize;
+            let bits = self.arena.bits(r);
+            self.sm.messages_sent += 1;
+            self.sm.bits_sent += bits as u64;
+            self.sm.max_message_bits = self.sm.max_message_bits.max(bits);
+            self.sent_by[from.index() - self.lo] += 1;
+            let ls = slot - self.edge_base;
+            let seq = self.channel_seq[ls];
+            let delay = self
+                .delays
+                .delay_ticks(from, NodeId::new(to), tick, seq)
+                .clamp(1, TICKS_PER_UNIT);
+            self.channel_seq[ls] = seq + 1;
+            let deliver = (tick + delay).max(self.channel_next[ls]);
+            self.channel_next[ls] = deliver;
+            if obs_full {
+                self.send_run.note(
+                    &mut self.obs.message_bits,
+                    &mut self.obs.delay_ticks,
+                    bits as u64,
+                    deliver - tick,
+                );
+            }
+            let dst = self.plan.shard_of(to);
+            let payload = if dst == self.me {
+                crate::shard::CrossPayload::Local(r)
+            } else {
+                crate::shard::CrossPayload::Remote(self.arena.take(r), bits)
+            };
+            self.staged_min = self.staged_min.min(deliver);
+            self.stage[dst * crate::shard::PHASES + self.phase as usize].push(CrossMsg {
+                deliver,
+                to: self.tables.edge_to[slot],
+                from: from.index() as u32,
+                rport: self.tables.rev_port[slot],
+                payload,
+            });
         }
     }
 }
@@ -1127,6 +1731,72 @@ mod tests {
                 ctx.output(self.batches.iter().map(|&b| b as u64).sum());
             }
         }
+    }
+
+    /// Byte-identity of a sharded run against serial, across shard counts
+    /// that divide the nodes evenly, raggedly, and with empty trailing
+    /// shards.
+    #[test]
+    fn sharded_run_is_byte_identical_to_serial() {
+        let net = Network::kt0(generators::erdos_renyi_connected(37, 0.15, 11).unwrap(), 11);
+        let all: Vec<NodeId> = (0..37).map(NodeId::new).collect();
+        let schedule = WakeSchedule::staggered(&all, 1.5);
+        let run = |shards: usize| {
+            let config = AsyncConfig {
+                shards,
+                ..AsyncConfig::default()
+            };
+            let mut delays = AdversarialDelay::new(7);
+            AsyncEngine::<Flood>::new(&net, config).run_with(&schedule, &mut delays)
+        };
+        let serial = run(1);
+        for shards in [2, 3, 4, 64] {
+            let sharded = run(shards);
+            assert_eq!(serial.metrics, sharded.metrics, "shards={shards}");
+            assert_eq!(serial.all_awake, sharded.all_awake);
+            assert_eq!(serial.outputs, sharded.outputs);
+            assert_eq!(serial.truncated, sharded.truncated);
+            let a = crate::obs::ObsSnapshot::of(&serial);
+            let b = crate::obs::ObsSnapshot::of(&sharded);
+            assert_eq!(a.to_json(), b.to_json(), "shards={shards}");
+            assert_eq!(a.to_prometheus(), b.to_prometheus(), "shards={shards}");
+        }
+    }
+
+    /// An unforkable (history-dependent) delay strategy silently falls back
+    /// to the serial path — and the output is identical either way.
+    #[test]
+    fn random_delays_fall_back_to_serial_under_sharding() {
+        let net = Network::kt0(generators::erdos_renyi_connected(20, 0.2, 3).unwrap(), 3);
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        let run = |shards: usize| {
+            let config = AsyncConfig {
+                shards,
+                ..AsyncConfig::default()
+            };
+            let mut delays = RandomDelay::new(99);
+            AsyncEngine::<Flood>::new(&net, config).run_with(&schedule, &mut delays)
+        };
+        let (serial, sharded) = (run(1), run(4));
+        assert_eq!(serial.metrics, sharded.metrics);
+    }
+
+    /// The event cap truncates at the same boundary at any shard count.
+    #[test]
+    fn event_cap_truncation_is_shard_invariant() {
+        let net = Network::kt0(generators::path(4).unwrap(), 0);
+        let run = |shards: usize| {
+            let config = AsyncConfig {
+                max_events: 100,
+                shards,
+                ..AsyncConfig::default()
+            };
+            AsyncEngine::<PingPong>::new(&net, config).run(&WakeSchedule::single(NodeId::new(0)))
+        };
+        let (serial, sharded) = (run(1), run(2));
+        assert!(serial.truncated && sharded.truncated);
+        assert_eq!(serial.metrics, sharded.metrics);
+        assert_eq!(serial.obs.events, sharded.obs.events);
     }
 
     #[test]

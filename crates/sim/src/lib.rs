@@ -75,6 +75,7 @@ mod network;
 pub mod obs;
 mod proptests;
 mod protocol;
+mod shard;
 mod sync_engine;
 pub mod trace;
 pub mod viz;
@@ -91,5 +92,6 @@ pub use obs::{CriticalPath, Hist64, Obs, ObsLevel, ObsSnapshot};
 pub use protocol::{
     AsyncProtocol, Context, Inbox, Incoming, NodeInit, ScopedBuf, SyncProtocol, WakeCause,
 };
+pub use shard::shards_from_env;
 pub use sync_engine::{SyncConfig, SyncEngine};
 pub use trace::{Trace, TraceEvent};

@@ -5,7 +5,7 @@
 /// Every protocol defines its own message enum and reports an honest size so
 /// that the CONGEST model ([`ChannelModel::Congest`]) can be enforced and the
 /// LOCAL model can still report bit volumes.
-pub trait Payload: Clone + std::fmt::Debug {
+pub trait Payload: Clone + Send + std::fmt::Debug {
     /// Size of this message in bits, as it would be serialized on the wire.
     fn size_bits(&self) -> usize;
 }

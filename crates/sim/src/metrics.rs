@@ -6,7 +6,7 @@ use wakeup_graph::NodeId;
 pub const TICKS_PER_UNIT: u64 = 1024;
 
 /// Counters collected during a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metrics {
     /// Total point-to-point messages sent — the paper's message complexity.
     pub messages_sent: u64,

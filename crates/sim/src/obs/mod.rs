@@ -158,6 +158,19 @@ impl Hist64 {
         }
     }
 
+    /// Folds another histogram into this one — exactly equivalent to having
+    /// recorded the other histogram's inputs here (bucket-wise addition, a
+    /// wrapping sum, a max). Because a `Hist64` is a pure function of the
+    /// *multiset* of recorded values, merging per-shard histograms in any
+    /// order reproduces the serial histogram byte for byte.
+    pub(crate) fn merge(&mut self, other: &Hist64) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Count in bucket `i` (see the type-level bucket convention).
     pub fn bucket(&self, i: usize) -> u64 {
         self.buckets[i]
@@ -534,6 +547,128 @@ impl Obs {
         chain.reverse();
         chain
     }
+}
+
+/// Canonical position of a phase label's first enter inside a sharded run:
+/// `(tick, engine phase, actor, shard-local span index)`. Shard-local
+/// processing order is exactly `(tick, phase, actor)`-ascending over owned
+/// actors, so sorting merged labels by this key reconstructs the serial
+/// engine's first-entered order (the trailing index breaks ties between
+/// several labels first entered by the *same* handler invocation).
+pub(crate) type SpanKey = (u64, u8, u32, u32);
+
+/// Per-shard observability accumulator for the engines' intra-run sharded
+/// paths: the three recorded histograms, phase spans with their canonical
+/// [`SpanKey`]s, and the shard-owned slice of the wake-predecessor array.
+/// Merged into one [`Obs`] by [`merge_shard_obs`].
+pub(crate) struct ShardObs {
+    pub(crate) level: ObsLevel,
+    pub(crate) delay_ticks: Hist64,
+    pub(crate) batch_sizes: Hist64,
+    pub(crate) message_bits: Hist64,
+    pub(crate) phases: PhaseSpans,
+    span_keys: Vec<SpanKey>,
+    wake_pred: Vec<u32>,
+}
+
+impl ShardObs {
+    /// Fresh accumulator for a shard owning `local_n` nodes.
+    pub(crate) fn new(local_n: usize, level: ObsLevel) -> ShardObs {
+        ShardObs {
+            level,
+            delay_ticks: Hist64::default(),
+            batch_sizes: Hist64::default(),
+            message_bits: Hist64::default(),
+            phases: PhaseSpans::default(),
+            span_keys: Vec::new(),
+            wake_pred: vec![NO_PRED; local_n],
+        }
+    }
+
+    /// As [`Obs::note_wake_pred`], indexed by the shard-local node offset.
+    #[inline]
+    pub(crate) fn note_wake_pred(&mut self, local: usize, pred: u32) {
+        if self.level == ObsLevel::Full && self.wake_pred[local] == NO_PRED {
+            self.wake_pred[local] = pred;
+        }
+    }
+
+    /// As [`Obs::clear_wake_pred`], indexed by the shard-local node offset.
+    #[inline]
+    pub(crate) fn clear_wake_pred(&mut self, local: usize) {
+        self.wake_pred[local] = NO_PRED;
+    }
+
+    /// One delivery batch of `len` messages handed to a node.
+    #[inline]
+    pub(crate) fn on_batch(&mut self, len: usize) {
+        if self.level == ObsLevel::Full {
+            self.batch_sizes.record(len as u64);
+        }
+    }
+
+    /// Per-message send accounting (payload bits, scheduled delay in ticks).
+    #[inline]
+    pub(crate) fn on_send(&mut self, bits: u64, delay_ticks: u64) {
+        if self.level == ObsLevel::Full {
+            self.message_bits.record(bits);
+            self.delay_ticks.record(delay_ticks);
+        }
+    }
+
+    /// Stamps a [`SpanKey`] onto every span the last handler invocation
+    /// (`actor` at `tick`, in engine `phase`) entered for the first time.
+    /// Call after each handler; spans are append-only, so new spans are
+    /// exactly the unstamped tail.
+    #[inline]
+    pub(crate) fn stamp_new_spans(&mut self, tick: u64, phase: u8, actor: u32) {
+        while self.span_keys.len() < self.phases.spans().len() {
+            let idx = self.span_keys.len() as u32;
+            self.span_keys.push((tick, phase, actor, idx));
+        }
+    }
+}
+
+/// Merges per-shard observers (ascending shard order, covering node ranges
+/// `[0, n)` contiguously) into the [`Obs`] the equivalent serial run would
+/// have produced — byte-identical snapshots included. Histograms merge
+/// bucket-wise; wake predecessors concatenate; phase spans merge per label
+/// and are re-ordered by their canonical minimal [`SpanKey`], recovering the
+/// serial first-entered order.
+pub(crate) fn merge_shard_obs(n: usize, level: ObsLevel, shards: &[ShardObs]) -> Obs {
+    let mut obs = Obs::new(n, level);
+    let mut merged: Vec<(SpanKey, PhaseSpan)> = Vec::new();
+    let mut off = 0usize;
+    for sh in shards {
+        obs.delay_ticks.merge(&sh.delay_ticks);
+        obs.batch_sizes.merge(&sh.batch_sizes);
+        obs.message_bits.merge(&sh.message_bits);
+        obs.wake_pred[off..off + sh.wake_pred.len()].copy_from_slice(&sh.wake_pred);
+        off += sh.wake_pred.len();
+        for (i, s) in sh.phases.spans().iter().enumerate() {
+            let key = sh.span_keys[i];
+            match merged
+                .iter_mut()
+                .find(|(_, m)| std::ptr::eq(m.label, s.label) || m.label == s.label)
+            {
+                Some((k, m)) => {
+                    if key < *k {
+                        *k = key;
+                    }
+                    m.enters += s.enters;
+                    m.first_tick = m.first_tick.min(s.first_tick);
+                    m.last_tick = m.last_tick.max(s.last_tick);
+                }
+                None => merged.push((key, s.clone())),
+            }
+        }
+    }
+    debug_assert_eq!(off, n, "shard observers must cover all nodes");
+    merged.sort_by_key(|&(k, _)| k);
+    obs.phases = PhaseSpans {
+        spans: merged.into_iter().map(|(_, s)| s).collect(),
+    };
+    obs
 }
 
 use std::sync::atomic::{AtomicU64, Ordering};

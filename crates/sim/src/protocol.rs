@@ -416,7 +416,11 @@ impl<M> Default for ScopedBuf<M> {
 ///
 /// Handlers run atomically; the node is event-driven (woken by the adversary
 /// or by a first message, then driven by message receipts).
-pub trait AsyncProtocol: Sized {
+///
+/// Protocol state must be [`Send`]: sharded runs (see
+/// [`crate::AsyncConfig::shards`]) move each node's state to its owning
+/// worker thread.
+pub trait AsyncProtocol: Sized + Send {
     /// The message type exchanged by this protocol.
     type Msg: Payload;
 
@@ -466,7 +470,9 @@ pub trait AsyncProtocol: Sized {
 /// Each round, every awake node receives the batch of messages sent to it in
 /// the previous round and takes one compute-and-send step. Nodes have no
 /// global round counter — only what they count themselves since waking.
-pub trait SyncProtocol: Sized {
+///
+/// Protocol state must be [`Send`] (see [`AsyncProtocol`] on sharded runs).
+pub trait SyncProtocol: Sized + Send {
     /// The message type exchanged by this protocol.
     type Msg: Payload;
 

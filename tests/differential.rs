@@ -6,6 +6,11 @@
 //! semantics on the wrapped protocol; equality of [`RunDigest`]s then says
 //! the final node tables agree bit for bit — outputs, wake ticks, message
 //! and bit counts, per-node send/receive tallies.
+//!
+//! The `*_sharded_equals_serial` properties additionally pin the intra-run
+//! sharded engines to the serial ones: for every protocol family, shard
+//! counts 2–4 must reproduce the serial digest *and* the byte-exact
+//! observability exports (schema-3 JSON and Prometheus text).
 
 use std::sync::Arc;
 
@@ -18,10 +23,12 @@ use wakeup::core::flooding::FloodAsync;
 use wakeup::core::nih::Nih;
 use wakeup::graph::families::ClassG;
 use wakeup::graph::{generators, Graph, NodeId};
-use wakeup::sim::adversary::{DelayStrategy, RandomDelay, UnitDelay, WakeSchedule};
+use wakeup::sim::adversary::{
+    AdversarialDelay, DelayStrategy, RandomDelay, UnitDelay, WakeSchedule,
+};
 use wakeup::sim::{
-    AsyncConfig, AsyncEngine, AsyncProtocol, Network, PerMessage, PerRound, RunDigest, SyncConfig,
-    SyncEngine, SyncProtocol,
+    AsyncConfig, AsyncEngine, AsyncProtocol, Network, ObsSnapshot, PerMessage, PerRound, RunDigest,
+    SyncConfig, SyncEngine, SyncProtocol,
 };
 
 /// Strategy: a connected graph with 2..=40 nodes (mirrors `properties.rs`).
@@ -175,4 +182,160 @@ fn run_sync<P: SyncProtocol>(
     schedule: &WakeSchedule,
 ) -> wakeup::sim::RunReport {
     SyncEngine::<P>::new(net, config).run(schedule)
+}
+
+/// Runs `P` serially and with `shards` worker shards over the same seeds
+/// (plain, non-audited configs — audit recording forces the serial path)
+/// and asserts digest equality plus byte-identity of both observability
+/// serializations.
+fn assert_async_sharded_matches_serial<P: AsyncProtocol>(
+    net: &Network,
+    schedule: &WakeSchedule,
+    config: AsyncConfig,
+    delay_seed: u64,
+    shards: usize,
+) {
+    let run = |shards: usize| {
+        let config = AsyncConfig {
+            shards,
+            ..config.clone()
+        };
+        let mut delays = AdversarialDelay::new(delay_seed);
+        AsyncEngine::<P>::new(net, config).run_with(schedule, &mut delays)
+    };
+    let serial = run(1);
+    let sharded = run(shards);
+    let diffs = RunDigest::of(&serial).diff(&RunDigest::of(&sharded));
+    prop_assert!(
+        diffs.is_empty(),
+        "digest diffs at {shards} shards: {diffs:?}"
+    );
+    let a = ObsSnapshot::of(&serial);
+    let b = ObsSnapshot::of(&sharded);
+    prop_assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "obs json diverged at {} shards",
+        shards
+    );
+    prop_assert_eq!(
+        a.to_prometheus(),
+        b.to_prometheus(),
+        "prometheus text diverged at {} shards",
+        shards
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded async flood vs serial: metrics, outputs, and the full
+    /// observability export must agree byte for byte at 2 and 4 shards.
+    #[test]
+    fn flood_sharded_equals_serial(
+        g in connected_graph(),
+        wakers in (2usize..40).prop_flat_map(awake_set),
+        seed in 0u64..500,
+        delay_seed in 1u64..100,
+        shards in 2usize..5,
+    ) {
+        let wakers = clamp_wakers(wakers, g.n());
+        let net = Network::kt0(g, seed);
+        let schedule = WakeSchedule::all_at_zero(&wakers);
+        let config = AsyncConfig { seed, ..AsyncConfig::default() };
+        assert_async_sharded_matches_serial::<FloodAsync>(
+            &net, &schedule, config, delay_seed, shards,
+        );
+    }
+
+    #[test]
+    fn nih_sharded_equals_serial(
+        k in 4usize..12,
+        seed in 0u64..200,
+        delay_seed in 1u64..50,
+        shards in 2usize..5,
+    ) {
+        let fam = ClassG::new(k).unwrap();
+        let net = Network::kt0(fam.graph().clone(), seed);
+        let schedule = WakeSchedule::all_at_zero(&fam.centers());
+        let config = AsyncConfig { seed, ..AsyncConfig::default() };
+        assert_async_sharded_matches_serial::<Nih<FloodAsync>>(
+            &net, &schedule, config, delay_seed, shards,
+        );
+    }
+
+    /// SpannerWake under CONGEST with oracle advice — the most stateful
+    /// async protocol in the tree — sharded vs serial.
+    #[test]
+    fn spanner_wake_sharded_equals_serial(
+        g in connected_graph(),
+        k in 2usize..4,
+        seed in 0u64..200,
+        shards in 2usize..5,
+    ) {
+        let n = g.n();
+        let net = Network::kt0(g, seed);
+        let scheme = SpannerScheme::new(k);
+        let advice = Arc::new(scheme.advise(&net));
+        let config = AsyncConfig {
+            seed,
+            channel: scheme.channel(n),
+            advice: Some(advice),
+            ..AsyncConfig::default()
+        };
+        let schedule = WakeSchedule::single(NodeId::new(0));
+        assert_async_sharded_matches_serial::<SpannerWake>(&net, &schedule, config, 9, shards);
+    }
+
+    /// Sharded sync FastWakeUp vs serial, including both obs exports.
+    #[test]
+    fn fast_wakeup_sharded_equals_serial(
+        g in connected_graph(),
+        wakers in (2usize..40).prop_flat_map(awake_set),
+        seed in 0u64..200,
+        shards in 2usize..5,
+    ) {
+        let wakers = clamp_wakers(wakers, g.n());
+        let net = Network::kt1(g, seed);
+        let schedule = WakeSchedule::all_at_zero(&wakers);
+        let run = |shards: usize| {
+            let config = SyncConfig { seed, shards, ..SyncConfig::default() };
+            run_sync::<FastWakeUp>(&net, config, &schedule)
+        };
+        let serial = run(1);
+        let sharded = run(shards);
+        let diffs = RunDigest::of(&serial).diff(&RunDigest::of(&sharded));
+        prop_assert!(diffs.is_empty(), "digest diffs at {shards} shards: {diffs:?}");
+        let a = ObsSnapshot::of(&serial);
+        let b = ObsSnapshot::of(&sharded);
+        prop_assert_eq!(a.to_json(), b.to_json());
+        prop_assert_eq!(a.to_prometheus(), b.to_prometheus());
+    }
+
+    /// `reset()` + rerun must stay exact under sharding: a dirty sharded
+    /// engine reset to a seed reproduces a fresh engine at that seed.
+    #[test]
+    fn sharded_reset_vs_fresh(
+        g in connected_graph(),
+        seed in 0u64..200,
+        dirty_seed in 0u64..200,
+    ) {
+        let n = g.n();
+        let net = Network::kt0(g, seed);
+        let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let schedule = WakeSchedule::staggered(&all, 1.25);
+        let config = AsyncConfig { seed, shards: 3, ..AsyncConfig::default() };
+        let fresh = AsyncEngine::<FloodAsync>::new(&net, config.clone())
+            .run_with(&schedule, &mut AdversarialDelay::new(5));
+        let mut engine = AsyncEngine::<FloodAsync>::new(&net, config);
+        engine.reset(dirty_seed);
+        let _ = engine.run_mut(&schedule, &mut AdversarialDelay::new(dirty_seed.wrapping_add(1)));
+        engine.reset(seed);
+        let reused = engine.run_mut(&schedule, &mut AdversarialDelay::new(5));
+        let diffs = RunDigest::of(&fresh).diff(&RunDigest::of(&reused));
+        prop_assert!(diffs.is_empty(), "digest diffs: {diffs:?}");
+        let a = ObsSnapshot::of(&fresh);
+        let b = ObsSnapshot::of(&reused);
+        prop_assert_eq!(a.to_json(), b.to_json());
+    }
 }

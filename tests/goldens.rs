@@ -31,7 +31,10 @@ fn golden_dfs_rank() {
     let all: Vec<NodeId> = (0..60).map(NodeId::new).collect();
     let run = harness::run_async::<DfsRank>(&net, &WakeSchedule::staggered(&all, 2.0), 42);
     assert!(run.report.all_awake);
-    assert_eq!(run.report.messages(), 142);
+    // Re-pinned (142 → 143) when tick delivery moved to canonical
+    // receiver-ascending batches: RandomDelay is history-dependent, so the
+    // new draw order shifts this seed's message count by one.
+    assert_eq!(run.report.messages(), 143);
 }
 
 #[test]
