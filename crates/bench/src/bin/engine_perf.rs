@@ -44,6 +44,17 @@
 //! * `run_ms` — the median per-trial simulation cost: what a measurement
 //!   loop actually pays per iteration after warm setup.
 //! * `shards` — the intra-run shard count the entry ran with (1 = serial).
+//!
+//! Schema 5 adds the persistent-store tier:
+//!
+//! * `setup_mmap_ms` — wall time for a *fresh* process-state artifact cache
+//!   to stand up the entry's network (and advice, where the workload uses
+//!   one) from the baked on-disk store via zero-copy mmap views
+//!   (structurally validated at open; see the `wakeup-store` crate docs).
+//!   Compare against `setup_cold_ms`: the gap is what `wakeup bake` saves
+//!   every first-touch of a key. The store directory is `WAKEUP_STORE` when
+//!   set, else a per-process temp directory baked on the fly; a store-status
+//!   line (hits/misses/bytes) is printed to stderr after the table.
 //! * `crit_hops` / `crit_tau` — the longest causal wake chain (waking
 //!   deliveries, and its elapsed τ) reconstructed from the run's wake
 //!   predecessors; a logical quantity, identical across machines.
@@ -57,14 +68,14 @@ use std::time::Instant;
 
 use wakeup_sim::{ObsSnapshot, RunReport};
 
-use wakeup_bench::artifacts::{self, AdviceKey, GraphFamily, NetworkKey, SchemeId};
+use wakeup_bench::artifacts::{self, AdviceKey, ArtifactCache, GraphFamily, NetworkKey, SchemeId};
 use wakeup_core::advice::{run_scheme, run_scheme_with_advice, AdvisingScheme, SpannerScheme};
 use wakeup_core::dfs_rank::DfsRank;
 use wakeup_core::fast_wakeup::FastWakeUp;
 use wakeup_core::flooding::{FloodAsync, FloodSync};
 use wakeup_graph::NodeId;
 use wakeup_sim::adversary::{UnitDelay, WakeSchedule};
-use wakeup_sim::{AsyncConfig, AsyncEngine, KnowledgeMode, SyncConfig, SyncEngine};
+use wakeup_sim::{persist, AsyncConfig, AsyncEngine, KnowledgeMode, SyncConfig, SyncEngine};
 
 struct Entry {
     protocol: &'static str,
@@ -73,7 +84,14 @@ struct Entry {
     events: u64,
     setup_cold_ms: f64,
     setup_ms: f64,
+    /// Filled in by `measure_mmap_setups` once all entries exist: the
+    /// fresh-cache load time of this entry's artifacts from the baked store.
+    setup_mmap_ms: f64,
     run_ms: f64,
+    /// The network the workload ran on — the key the store loads back.
+    net_key: NetworkKey,
+    /// The advice artifact the workload replays, if any.
+    advice_scheme: Option<SchemeId>,
     snapshot: ObsSnapshot,
 }
 
@@ -140,15 +158,16 @@ fn reps_for(n: usize) -> usize {
 
 fn flood_async_with(n: usize, shards: usize, protocol: &'static str) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
+    let net_key = NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed: 7,
+        mode: KnowledgeMode::Kt0,
+    };
     let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         reps_for(n),
         || {
-            let net = artifacts::global().network(NetworkKey {
-                family: GraphFamily::Sparse,
-                n,
-                seed: 7,
-                mode: KnowledgeMode::Kt0,
-            });
+            let net = artifacts::global().network(net_key);
             let config = AsyncConfig {
                 seed: 7,
                 shards,
@@ -171,7 +190,10 @@ fn flood_async_with(n: usize, shards: usize, protocol: &'static str) -> Entry {
         events,
         setup_cold_ms,
         setup_ms,
+        setup_mmap_ms: 0.0,
         run_ms,
+        net_key,
+        advice_scheme: None,
         snapshot,
     }
 }
@@ -190,15 +212,16 @@ fn flood_async_sharded(n: usize, shards: usize) -> Entry {
 fn dfs_async(n: usize, _shards: usize) -> Entry {
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::staggered(&all, 2.0);
+    let net_key = NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed: 7,
+        mode: KnowledgeMode::Kt1,
+    };
     let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         3,
         || {
-            let net = artifacts::global().network(NetworkKey {
-                family: GraphFamily::Sparse,
-                n,
-                seed: 7,
-                mode: KnowledgeMode::Kt1,
-            });
+            let net = artifacts::global().network(net_key);
             let config = AsyncConfig {
                 seed: 7,
                 ..AsyncConfig::default()
@@ -219,22 +242,26 @@ fn dfs_async(n: usize, _shards: usize) -> Entry {
         events,
         setup_cold_ms,
         setup_ms,
+        setup_mmap_ms: 0.0,
         run_ms,
+        net_key,
+        advice_scheme: None,
         snapshot,
     }
 }
 
 fn flood_sync_with(n: usize, shards: usize, protocol: &'static str) -> Entry {
     let schedule = WakeSchedule::single(NodeId::new(0));
+    let net_key = NetworkKey {
+        family: GraphFamily::Sparse,
+        n,
+        seed: 7,
+        mode: KnowledgeMode::Kt1,
+    };
     let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         reps_for(n),
         || {
-            let net = artifacts::global().network(NetworkKey {
-                family: GraphFamily::Sparse,
-                n,
-                seed: 7,
-                mode: KnowledgeMode::Kt1,
-            });
+            let net = artifacts::global().network(net_key);
             let config = SyncConfig {
                 seed: 7,
                 shards,
@@ -256,7 +283,10 @@ fn flood_sync_with(n: usize, shards: usize, protocol: &'static str) -> Entry {
         events,
         setup_cold_ms,
         setup_ms,
+        setup_mmap_ms: 0.0,
         run_ms,
+        net_key,
+        advice_scheme: None,
         snapshot,
     }
 }
@@ -272,15 +302,16 @@ fn flood_sync_sharded(n: usize, shards: usize) -> Entry {
 fn fast_wakeup_sync(n: usize, _shards: usize) -> Entry {
     let all: Vec<NodeId> = (0..n).map(NodeId::new).collect();
     let schedule = WakeSchedule::all_at_zero(&all);
+    let net_key = NetworkKey {
+        family: GraphFamily::Complete,
+        n,
+        seed: 7,
+        mode: KnowledgeMode::Kt1,
+    };
     let (events, snapshot, setup_cold_ms, setup_ms, run_ms) = time_split(
         3,
         || {
-            let net = artifacts::global().network(NetworkKey {
-                family: GraphFamily::Complete,
-                n,
-                seed: 7,
-                mode: KnowledgeMode::Kt1,
-            });
+            let net = artifacts::global().network(net_key);
             let config = SyncConfig {
                 seed: 7,
                 ..SyncConfig::default()
@@ -301,7 +332,10 @@ fn fast_wakeup_sync(n: usize, _shards: usize) -> Entry {
         events,
         setup_cold_ms,
         setup_ms,
+        setup_mmap_ms: 0.0,
         run_ms,
+        net_key,
+        advice_scheme: None,
         snapshot,
     }
 }
@@ -355,7 +389,10 @@ fn table1_cor2(n: usize, cached: bool) -> Entry {
         events,
         setup_cold_ms,
         setup_ms,
+        setup_mmap_ms: 0.0,
         run_ms,
+        net_key: key,
+        advice_scheme: cached.then_some(SchemeId::SpannerLog),
         snapshot,
     }
 }
@@ -366,6 +403,71 @@ fn table1_cor2_cold(n: usize, _shards: usize) -> Entry {
 
 fn table1_cor2_cached(n: usize, _shards: usize) -> Entry {
     table1_cor2(n, true)
+}
+
+/// Bakes every entry's artifacts into the store directory (`WAKEUP_STORE`
+/// when set, else a per-process temp directory) and fills in
+/// `setup_mmap_ms`: the wall time for a *fresh* artifact cache — no
+/// process-state Arc tier — to stand the entry's network (and advice, where
+/// the workload replays one) up from disk through zero-copy mmap
+/// views. Baking goes through the already-warm global cache, so nothing is
+/// cold-built a second time; each measurement gets its own loader cache so
+/// the Arc tier cannot shadow the disk tier.
+fn measure_mmap_setups(entries: &mut [Entry]) {
+    let explicit_dir = std::env::var_os("WAKEUP_STORE").map(std::path::PathBuf::from);
+    let store_dir = explicit_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("wakeup-engine-perf-store-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&store_dir).expect("create store directory");
+    let mut loads = 0u64;
+    let mut bytes_loaded = 0u64;
+    let mut mmap_loads = 0u64;
+    for e in entries.iter_mut() {
+        let net = artifacts::global().network(e.net_key);
+        let net_path = store_dir.join(e.net_key.store_file_name());
+        if !net_path.exists() {
+            persist::write_network(&net_path, &e.net_key.store_key(), &net).expect("bake network");
+        }
+        let adv_key = e.advice_scheme.map(|scheme| AdviceKey {
+            net: e.net_key,
+            scheme,
+        });
+        if let Some(key) = adv_key {
+            let advice =
+                artifacts::global().advice(key, || artifacts::build_advice(key.scheme, &net));
+            let path = store_dir.join(key.store_file_name());
+            if !path.exists() {
+                persist::write_advice(&path, &key.store_key(), &advice).expect("bake advice");
+            }
+        }
+        let loader = ArtifactCache::with_store(&store_dir);
+        let start = Instant::now();
+        let _net = loader.network(e.net_key);
+        if let Some(key) = adv_key {
+            let _advice = loader.advice(key, || unreachable!("advice must load from the store"));
+        }
+        e.setup_mmap_ms = start.elapsed().as_secs_f64() * 1e3;
+        let counts = loader.store_counts();
+        let expected = 1 + u64::from(adv_key.is_some());
+        assert_eq!(
+            counts.hits, expected,
+            "{} n={}: store load must hit, not fall back",
+            e.protocol, e.n
+        );
+        loads += counts.hits;
+        bytes_loaded += counts.bytes_loaded;
+        mmap_loads += counts.mmap_loads;
+    }
+    eprintln!(
+        "store: dir={} loads={loads} bytes_loaded={bytes_loaded} mmap_loads={mmap_loads}",
+        store_dir.display()
+    );
+    // A temp-dir store is scratch: drop it so repeated perf runs don't
+    // accumulate multi-MB bake files under /tmp. An explicit WAKEUP_STORE
+    // is the user's cache and stays.
+    if explicit_dir.is_none() {
+        std::fs::remove_dir_all(&store_dir).ok();
+    }
 }
 
 /// A named workload with its committed default problem sizes. The function
@@ -452,17 +554,19 @@ fn main() {
         }
     }
     assert!(!entries.is_empty(), "filter matched no workloads");
+    measure_mmap_setups(&mut entries);
 
-    let mut json = String::from("{\n  \"schema\": 4,\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"schema\": 5,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"protocol\": \"{}\", \"n\": {}, \"shards\": {}, \"events\": {}, \"setup_cold_ms\": {:.3}, \"setup_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}, \"crit_hops\": {}, \"crit_tau\": {:.6}}}{}\n",
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"shards\": {}, \"events\": {}, \"setup_cold_ms\": {:.3}, \"setup_ms\": {:.3}, \"setup_mmap_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}, \"crit_hops\": {}, \"crit_tau\": {:.6}}}{}\n",
             e.protocol,
             e.n,
             e.shards,
             e.events,
             e.setup_cold_ms,
             e.setup_ms,
+            e.setup_mmap_ms,
             e.run_ms,
             e.events_per_sec(),
             e.snapshot.crit_hops,
@@ -470,13 +574,14 @@ fn main() {
             if i + 1 < entries.len() { "," } else { "" }
         ));
         println!(
-            "{:<20} n={:<7} s={:<2} events={:<9} cold={:>9.3} ms  setup={:>8.3} ms  run={:>9.3} ms  {:>12.0} events/s  crit {}h/{:.3}τ",
+            "{:<20} n={:<7} s={:<2} events={:<9} cold={:>9.3} ms  setup={:>8.3} ms  mmap={:>8.3} ms  run={:>9.3} ms  {:>12.0} events/s  crit {}h/{:.3}τ",
             e.protocol,
             e.n,
             e.shards,
             e.events,
             e.setup_cold_ms,
             e.setup_ms,
+            e.setup_mmap_ms,
             e.run_ms,
             e.events_per_sec(),
             e.snapshot.crit_hops,

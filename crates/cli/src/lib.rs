@@ -17,6 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bake;
+
+pub use bake::cmd_bake;
+
 use std::fmt;
 
 use wakeup_core::advice::{run_scheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme};

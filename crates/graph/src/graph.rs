@@ -7,6 +7,9 @@
 //! needs to care about ID assignments.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+use wakeup_store::{Buf, SectionElem};
 
 /// Dense index of a node in a [`Graph`], in `0..n`.
 ///
@@ -24,7 +27,22 @@ use std::fmt;
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct NodeId(u32);
+
+// Compile-time witnesses for the SectionElem layout contract below.
+const _: () = assert!(std::mem::size_of::<NodeId>() == 4);
+const _: () = assert!(std::mem::align_of::<NodeId>() == 4);
+
+// SAFETY: `NodeId` is `repr(transparent)` over `u32` (asserted above), so
+// it is padding-free with every bit pattern valid, and its little-endian
+// in-memory form equals the store's on-disk `u32` encoding. This is the
+// crate's only `unsafe` item; it contains no code.
+#[allow(unsafe_code)]
+unsafe impl SectionElem for NodeId {
+    const WIDTH: u32 = 4;
+    const ELEMS: usize = 1;
+}
 
 impl NodeId {
     /// Creates a node id from a dense index.
@@ -41,6 +59,20 @@ impl NodeId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Creates a node id from its raw `u32` representation (the inverse of
+    /// [`Self::as_u32`]). Used by the persistent artifact store to rebuild
+    /// id buffers from on-disk `u32` sections without widening round trips.
+    #[inline]
+    pub const fn from_u32(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// Raw `u32` representation of this node id.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
     }
 }
 
@@ -122,12 +154,69 @@ impl std::error::Error for GraphError {}
 /// assert!(!g.has_edge(NodeId::new(0), NodeId::new(2)));
 /// # Ok::<(), wakeup_graph::GraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
-    offsets: Vec<usize>,
-    adjacency: Vec<NodeId>,
-    edges: Vec<(NodeId, NodeId)>,
+    offsets: Buf<usize>,
+    adjacency: Buf<NodeId>,
+    edges: EdgeList,
 }
+
+/// The canonical `u < v` edge list, in one of two states:
+///
+/// * **materialized** — built graphs fill `pairs` eagerly (the builder
+///   produces them anyway);
+/// * **raw** — store-reloaded graphs keep the interleaved on-disk
+///   `(u, v, u, v, …)` window and materialize `pairs` lazily on the first
+///   [`Graph::edges`] call, keeping the multi-megabyte copy off the
+///   mmap-reload hot path (the engines never touch the edge list).
+///
+/// The lazy copy reproduces the baked order exactly, so equality and
+/// re-encoded bytes are unaffected by which state a graph is in.
+#[derive(Clone)]
+struct EdgeList {
+    raw: Buf<NodeId>,
+    pairs: OnceLock<Vec<(NodeId, NodeId)>>,
+}
+
+impl EdgeList {
+    fn materialized(pairs: Vec<(NodeId, NodeId)>) -> EdgeList {
+        EdgeList {
+            raw: Buf::default(),
+            pairs: OnceLock::from(pairs),
+        }
+    }
+
+    fn from_raw(raw: Buf<NodeId>) -> EdgeList {
+        EdgeList {
+            raw,
+            pairs: OnceLock::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.pairs.get() {
+            Some(pairs) => pairs.len(),
+            None => self.raw.len() / 2,
+        }
+    }
+
+    fn pairs(&self) -> &[(NodeId, NodeId)] {
+        self.pairs
+            .get_or_init(|| self.raw.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+    }
+}
+
+/// Graphs compare by structure; the edge list is materialized on demand
+/// (comparisons are test/verify paths, never the reload hot path).
+impl PartialEq for Graph {
+    fn eq(&self, other: &Graph) -> bool {
+        self.offsets == other.offsets
+            && self.adjacency == other.adjacency
+            && self.edges.pairs() == other.edges.pairs()
+    }
+}
+
+impl Eq for Graph {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -170,6 +259,18 @@ impl Graph {
         self.edges.len()
     }
 
+    /// Iterates the `(u, v)` pairs of `self.edges()` without forcing a
+    /// store-reloaded edge list to materialize.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        let (raw, pairs) = match self.edges.pairs.get() {
+            Some(p) => (&[][..], &p[..]),
+            None => (&self.edges.raw[..], &[][..]),
+        };
+        raw.chunks_exact(2)
+            .map(|c| (c[0], c[1]))
+            .chain(pairs.iter().copied())
+    }
+
     /// Degree of `v`.
     ///
     /// # Panics
@@ -196,8 +297,76 @@ impl Graph {
     }
 
     /// Canonical edge list; every edge appears once with `u < v`.
+    ///
+    /// For store-reloaded graphs the pair vector is materialized (copied
+    /// out of the mapping) on first call; prefer [`Self::edge_pairs`] on
+    /// paths that only iterate.
     pub fn edges(&self) -> &[(NodeId, NodeId)] {
-        &self.edges
+        self.edges.pairs()
+    }
+
+    /// Raw CSR parts: `(offsets, adjacency, edges)`.
+    ///
+    /// `offsets` has `n + 1` entries; the sorted neighbors of node `v` are
+    /// `adjacency[offsets[v]..offsets[v + 1]]`; `edges` is the canonical
+    /// `u < v` edge list. Exposed for the persistent artifact store, which
+    /// serializes these buffers verbatim.
+    pub fn csr_parts(&self) -> (&[usize], &[NodeId], &[(NodeId, NodeId)]) {
+        (&self.offsets, &self.adjacency, self.edges.pairs())
+    }
+
+    /// Rebuilds a graph from CSR parts previously obtained via
+    /// [`Self::csr_parts`] (for example, reloaded from the persistent
+    /// artifact store).
+    ///
+    /// Performs light structural validation — offset monotonicity and
+    /// bounds, adjacency/edge length consistency — but trusts the caller
+    /// for deeper invariants (sortedness, symmetry, canonical edge order),
+    /// which the store layer already guarantees via checksums over buffers
+    /// produced by a valid `Graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] when the parts are structurally
+    /// inconsistent.
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        adjacency: Vec<NodeId>,
+        edges: Vec<(NodeId, NodeId)>,
+    ) -> Result<Graph, GraphError> {
+        validate_csr(&offsets, &adjacency, edges.len())?;
+        Ok(Graph {
+            offsets: offsets.into(),
+            adjacency: adjacency.into(),
+            edges: EdgeList::materialized(edges),
+        })
+    }
+
+    /// As [`Self::from_csr_parts`], but over store-reloaded [`Buf`]
+    /// windows — the zero-copy reload entry point. `edges_raw` is the
+    /// interleaved `(u, v, u, v, …)` canonical edge list; it stays a raw
+    /// window until [`Self::edges`] first materializes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidSize`] when the parts are structurally
+    /// inconsistent (same checks as [`Self::from_csr_parts`]).
+    pub fn from_csr_sections(
+        offsets: Buf<usize>,
+        adjacency: Buf<NodeId>,
+        edges_raw: Buf<NodeId>,
+    ) -> Result<Graph, GraphError> {
+        if !edges_raw.len().is_multiple_of(2) {
+            return Err(GraphError::InvalidSize {
+                reason: "interleaved edge list must have even length".to_owned(),
+            });
+        }
+        validate_csr(&offsets, &adjacency, edges_raw.len() / 2)?;
+        Ok(Graph {
+            offsets,
+            adjacency,
+            edges: EdgeList::from_raw(edges_raw),
+        })
     }
 
     /// Iterator over all node ids `0..n`.
@@ -228,7 +397,7 @@ impl Graph {
     /// the edges for which `keep` returns true.
     pub fn filter_edges(&self, mut keep: impl FnMut(NodeId, NodeId) -> bool) -> Graph {
         let mut builder = GraphBuilder::new(self.n());
-        for &(u, v) in &self.edges {
+        for (u, v) in self.edge_pairs() {
             if keep(u, v) {
                 builder
                     .add_edge(u.index(), v.index())
@@ -254,7 +423,7 @@ impl Graph {
             map[old.index()] = Some(NodeId::new(new));
         }
         let mut builder = GraphBuilder::new(nodes.len());
-        for &(u, v) in &self.edges {
+        for (u, v) in self.edge_pairs() {
             if let (Some(nu), Some(nv)) = (map[u.index()], map[v.index()]) {
                 builder
                     .add_edge(nu.index(), nv.index())
@@ -276,6 +445,39 @@ impl Graph {
         }
         builder.build()
     }
+}
+
+/// Structural CSR validation shared by [`Graph::from_csr_parts`] and
+/// [`Graph::from_csr_sections`]: offset monotonicity and bounds,
+/// adjacency/edge length consistency. Deeper invariants (sortedness,
+/// symmetry, canonical edge order) are trusted from the caller — for the
+/// store path they are covered by checksums over buffers produced by a
+/// valid `Graph`.
+fn validate_csr(
+    offsets: &[usize],
+    adjacency: &[NodeId],
+    edge_count: usize,
+) -> Result<(), GraphError> {
+    let invalid = |reason: &str| GraphError::InvalidSize {
+        reason: reason.to_owned(),
+    };
+    if offsets.is_empty() || offsets[0] != 0 {
+        return Err(invalid("csr offsets must start with 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(invalid("csr offsets must be non-decreasing"));
+    }
+    if *offsets.last().unwrap() != adjacency.len() {
+        return Err(invalid("csr offsets must end at adjacency length"));
+    }
+    if adjacency.len() != edge_count * 2 {
+        return Err(invalid("adjacency length must be twice the edge count"));
+    }
+    let n = offsets.len() - 1;
+    if adjacency.iter().any(|v| v.index() >= n) {
+        return Err(invalid("adjacency entry out of range"));
+    }
+    Ok(())
 }
 
 /// Incremental, validating builder for [`Graph`].
@@ -412,9 +614,9 @@ impl GraphBuilder {
             .map(|(u, v)| (NodeId(u), NodeId(v)))
             .collect();
         Graph {
-            offsets,
-            adjacency,
-            edges,
+            offsets: offsets.into(),
+            adjacency: adjacency.into(),
+            edges: EdgeList::materialized(edges),
         }
     }
 }

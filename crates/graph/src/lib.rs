@@ -28,7 +28,10 @@
 //! assert_eq!(diameter, 4);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `SectionElem` marker impl for `NodeId` in `graph.rs` (no unsafe *code*,
+// just a layout assertion the store's zero-copy views rely on).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;

@@ -867,7 +867,7 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             v,
             self.net.graph().degree(v),
             self.net.mode(),
-            &self.tables.id_to_port[v.index()],
+            self.tables.id_to_port(v.index()),
             &mut entries,
             self.arena,
             self.config.channel,
@@ -951,7 +951,7 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             to,
             self.net.graph().degree(to),
             self.net.mode(),
-            &self.tables.id_to_port[to.index()],
+            self.tables.id_to_port(to.index()),
             &mut out_entries,
             self.arena,
             self.config.channel,
@@ -1248,7 +1248,7 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
             v,
             self.net.graph().degree(v),
             self.net.mode(),
-            &self.tables.id_to_port[v.index()],
+            self.tables.id_to_port(v.index()),
             &mut entries,
             self.arena,
             self.config.channel,
@@ -1292,7 +1292,7 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
             to,
             self.net.graph().degree(to),
             self.net.mode(),
-            &self.tables.id_to_port[to.index()],
+            self.tables.id_to_port(to.index()),
             &mut out_entries,
             self.arena,
             self.config.channel,

@@ -4,10 +4,12 @@ use std::fmt;
 
 use wakeup_graph::rng::Xoshiro256;
 use wakeup_graph::{Graph, NodeId};
+use wakeup_store::{Buf, SectionElem};
 
 /// A port number at some node, in `1..=deg(v)` (the paper numbers ports from
 /// 1; we follow that convention in the public API).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct Port(u32);
 
 impl Port {
@@ -44,6 +46,31 @@ impl fmt::Display for Port {
     }
 }
 
+/// One entry of the reverse port table: neighbor `id` is reached back via
+/// `port`. Stored `#[repr(C)]` as two little-endian `u32`s so the persistent
+/// store can serve the whole table as a zero-copy view of one interleaved
+/// `u32` section (a `(NodeId, Port)` tuple has no guaranteed layout, so it
+/// cannot be viewed directly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(C)]
+pub(crate) struct PortEntry {
+    pub(crate) id: NodeId,
+    pub(crate) port: Port,
+}
+
+const _: () = assert!(std::mem::size_of::<PortEntry>() == 8);
+const _: () = assert!(std::mem::align_of::<PortEntry>() == 4);
+
+// SAFETY: `PortEntry` is `repr(C)` over two `repr(transparent)` `u32`
+// newtypes — 8 bytes, align 4, no padding or niches, and its in-memory
+// little-endian representation is exactly the two interleaved `u32`s the
+// store writes (asserted above).
+#[allow(unsafe_code)]
+unsafe impl SectionElem for PortEntry {
+    const WIDTH: u32 = 4;
+    const ELEMS: usize = 2;
+}
+
 /// Which initial-knowledge assumption the network runs under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum KnowledgeMode {
@@ -55,12 +82,21 @@ pub enum KnowledgeMode {
 
 /// The adversary's port mapping for every node: a bijection
 /// `port_v : [deg(v)] → N(v)` per node `v` (Section 1.1 of the paper).
-#[derive(Debug, Clone)]
+///
+/// Stored flat in CSR form (one `offsets` prefix-sum plus two dense
+/// per-port buffers) rather than as `Vec<Vec<…>>`: the layout is two
+/// allocations instead of `2n`, the slot arithmetic matches the engines'
+/// edge-indexed state, and the persistent artifact store can serialize and
+/// reload the buffers without any per-node walking.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PortAssignment {
-    // to_neighbor[v][p-1] = neighbor reached via port p at v.
-    to_neighbor: Vec<Vec<NodeId>>,
-    // from_neighbor[v] is sorted by neighbor for O(log deg) reverse lookup.
-    from_neighbor: Vec<Vec<(NodeId, Port)>>,
+    // Node v's ports occupy slots offsets[v]..offsets[v + 1] (the graph's
+    // degree prefix sums).
+    offsets: Buf<usize>,
+    // to_neighbor[offsets[v] + p - 1] = neighbor reached via port p at v.
+    to_neighbor: Buf<NodeId>,
+    // Node v's range is sorted by neighbor for O(log deg) reverse lookup.
+    from_neighbor: Buf<PortEntry>,
 }
 
 impl PortAssignment {
@@ -86,31 +122,38 @@ impl PortAssignment {
         mut perm_for: impl FnMut(usize, usize) -> Vec<usize>,
     ) -> PortAssignment {
         let n = graph.n();
-        let mut to_neighbor = Vec::with_capacity(n);
-        let mut from_neighbor = Vec::with_capacity(n);
+        let (graph_offsets, _, _) = graph.csr_parts();
+        let offsets = graph_offsets.to_vec();
+        let total = offsets[n];
+        let mut to_neighbor = Vec::with_capacity(total);
+        let mut from_neighbor: Vec<PortEntry> = Vec::with_capacity(total);
         for v in 0..n {
             let nbrs = graph.neighbors(NodeId::new(v));
             let perm = perm_for(v, nbrs.len());
             debug_assert_eq!(perm.len(), nbrs.len());
-            let table: Vec<NodeId> = perm.iter().map(|&i| nbrs[i]).collect();
-            let mut reverse: Vec<(NodeId, Port)> = table
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| (w, Port::new(i + 1)))
-                .collect();
-            reverse.sort_unstable_by_key(|&(w, _)| w);
-            to_neighbor.push(table);
-            from_neighbor.push(reverse);
+            let base = to_neighbor.len();
+            to_neighbor.extend(perm.iter().map(|&i| nbrs[i]));
+            from_neighbor.extend(
+                to_neighbor[base..]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &w)| PortEntry {
+                        id: w,
+                        port: Port::new(i + 1),
+                    }),
+            );
+            from_neighbor[base..].sort_unstable_by_key(|e| e.id);
         }
         PortAssignment {
-            to_neighbor,
-            from_neighbor,
+            offsets: offsets.into(),
+            to_neighbor: to_neighbor.into(),
+            from_neighbor: from_neighbor.into(),
         }
     }
 
     /// Number of ports at `v` (= its degree).
     pub fn degree(&self, v: NodeId) -> usize {
-        self.to_neighbor[v.index()].len()
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
     }
 
     /// The neighbor reached from `v` via `port` — the paper's `port_v(i)`.
@@ -119,40 +162,71 @@ impl PortAssignment {
     ///
     /// Panics if the port number exceeds `deg(v)`.
     pub fn neighbor(&self, v: NodeId, port: Port) -> NodeId {
-        self.to_neighbor[v.index()][port.index()]
+        let range = &self.to_neighbor[self.offsets[v.index()]..self.offsets[v.index() + 1]];
+        range[port.index()]
     }
 
     /// The port at `v` leading to neighbor `w` — the paper's `port_v⁻¹(w)`.
     ///
     /// Returns `None` if `w` is not a neighbor of `v`.
     pub fn port_to(&self, v: NodeId, w: NodeId) -> Option<Port> {
-        let table = &self.from_neighbor[v.index()];
+        let table = &self.from_neighbor[self.offsets[v.index()]..self.offsets[v.index() + 1]];
         table
-            .binary_search_by_key(&w, |&(x, _)| x)
+            .binary_search_by_key(&w, |e| e.id)
             .ok()
-            .map(|i| table[i].1)
+            .map(|i| table[i].port)
+    }
+
+    /// Flat CSR parts `(offsets, to_neighbor, from_neighbor)`, consumed by
+    /// the persistent artifact store.
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[NodeId], &[PortEntry]) {
+        (&self.offsets, &self.to_neighbor, &self.from_neighbor)
+    }
+
+    /// Rebuilds the assignment from store-loaded CSR sections (owned or
+    /// zero-copy views). The store layer guarantees structural integrity at
+    /// open; the buffers were produced by a valid `PortAssignment` at bake
+    /// time, so per-node bijectivity is only debug-asserted here.
+    pub(crate) fn from_raw_parts(
+        offsets: Buf<usize>,
+        to_neighbor: Buf<NodeId>,
+        from_neighbor: Buf<PortEntry>,
+    ) -> PortAssignment {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), to_neighbor.len());
+        debug_assert_eq!(to_neighbor.len(), from_neighbor.len());
+        PortAssignment {
+            offsets,
+            to_neighbor,
+            from_neighbor,
+        }
     }
 }
 
 /// The adversary's assignment of network IDs (the paper's `id(u)`, unique
 /// integers from a range polynomial in n).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IdAssignment {
-    id_of: Vec<u64>,
+    id_of: Buf<u64>,
 }
 
 impl IdAssignment {
     /// Identity assignment: node `v` has ID `v`.
     pub fn identity(n: usize) -> IdAssignment {
         IdAssignment {
-            id_of: (0..n as u64).collect(),
+            id_of: (0..n as u64).collect::<Vec<_>>().into(),
         }
     }
 
     /// A random permutation of `0..n` as IDs.
     pub fn random_permutation(n: usize, rng: &mut Xoshiro256) -> IdAssignment {
         IdAssignment {
-            id_of: rng.permutation(n).into_iter().map(|x| x as u64).collect(),
+            id_of: rng
+                .permutation(n)
+                .into_iter()
+                .map(|x| x as u64)
+                .collect::<Vec<_>>()
+                .into(),
         }
     }
 
@@ -166,7 +240,21 @@ impl IdAssignment {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), ids.len(), "node IDs must be distinct");
+        IdAssignment { id_of: ids.into() }
+    }
+
+    /// Builds from a store-loaded buffer (owned or zero-copy view) whose
+    /// distinctness was already established when the artifact was baked,
+    /// skipping the `O(n log n)` duplicate scan of [`Self::from_vec`] on the
+    /// reload hot path.
+    pub(crate) fn from_buf_trusted(ids: Buf<u64>) -> IdAssignment {
         IdAssignment { id_of: ids }
+    }
+
+    /// The full `node index → ID` table, consumed by the persistent
+    /// artifact store.
+    pub(crate) fn as_slice(&self) -> &[u64] {
+        &self.id_of
     }
 
     /// The ID of node `v`.

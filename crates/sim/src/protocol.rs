@@ -57,8 +57,7 @@ pub(crate) fn for_each_node_init(
             id: net.ids().id(node),
             degree: net.graph().degree(node),
             n_hint: net.n(),
-            neighbor_ids: (net.mode() == KnowledgeMode::Kt1)
-                .then(|| tables.neighbor_ids[v].as_slice()),
+            neighbor_ids: (net.mode() == KnowledgeMode::Kt1).then(|| tables.neighbor_ids(v)),
             advice: advice.map_or(&empty, |a| &a[v]),
             private_seed: {
                 let mut fork = master.fork(v as u64);

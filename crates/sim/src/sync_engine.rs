@@ -440,7 +440,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     v,
                     self.net.graph().degree(v),
                     self.net.mode(),
-                    &self.tables.id_to_port[v.index()],
+                    self.tables.id_to_port(v.index()),
                     &mut *entries_buf,
                     &mut *arena,
                     self.config.channel,
@@ -476,7 +476,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     node,
                     self.net.graph().degree(node),
                     self.net.mode(),
-                    &self.tables.id_to_port[v],
+                    self.tables.id_to_port(v),
                     &mut *entries_buf,
                     &mut *arena,
                     self.config.channel,
@@ -948,7 +948,7 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
                 v,
                 self.net.graph().degree(v),
                 self.net.mode(),
-                &self.tables.id_to_port[v.index()],
+                self.tables.id_to_port(v.index()),
                 &mut entries,
                 self.arena,
                 self.config.channel,
@@ -982,7 +982,7 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
                 v,
                 self.net.graph().degree(v),
                 self.net.mode(),
-                &self.tables.id_to_port[li + self.lo],
+                self.tables.id_to_port(li + self.lo),
                 &mut entries,
                 self.arena,
                 self.config.channel,

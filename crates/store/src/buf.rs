@@ -1,0 +1,219 @@
+//! Owned-or-mapped flat buffers: the zero-copy currency between the store
+//! and the simulator's CSR structures.
+//!
+//! A [`Buf<T>`] is either a plain owned `Vec<T>` (cold-built artifacts) or
+//! a typed window into a shared file [`Mapping`] (store-reloaded
+//! artifacts). Both deref to `&[T]`, so consumers index and slice exactly
+//! as they would a `Vec` — the difference is purely who owns the bytes.
+//! Mapped views keep the whole `Mapping` alive via `Arc`, so a reloaded
+//! artifact can outlive the [`crate::StoreFile`] it came from.
+//!
+//! Views are only ever constructed by [`crate::StoreFile::view`], which
+//! validates bounds, element width, and alignment against the section
+//! table first; the `unsafe` reinterpretation below leans on those checks
+//! plus the [`SectionElem`] layout contract.
+
+use std::marker::PhantomData;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::map::Mapping;
+
+/// Marker for element types that may overlay an on-disk section verbatim.
+///
+/// # Safety
+///
+/// Implementors must guarantee all of the following, which the store's
+/// zero-copy views rely on:
+///
+/// - `Self` is plain old data: no padding bytes, no niches — **every**
+///   `size_of::<Self>()`-byte sequence is a valid value (so corrupted
+///   payload bytes can produce wrong values, never undefined behavior);
+/// - `size_of::<Self>() == WIDTH as usize * ELEMS` and
+///   `align_of::<Self>() <= 8` (sections start on 64-byte boundaries and
+///   both mapping backends are at least 8-byte aligned);
+/// - on a little-endian target the in-memory representation equals the
+///   on-disk little-endian encoding (the store rejects big-endian targets
+///   at open, so views never observe foreign byte order).
+pub unsafe trait SectionElem: Copy + 'static {
+    /// The on-disk element width (1, 4 or 8) of sections this type overlays.
+    const WIDTH: u32;
+    /// How many on-disk elements one value of `Self` covers.
+    const ELEMS: usize;
+}
+
+// SAFETY: primitive integers are padding-free, niche-free, and their LE
+// representation is the wire encoding on LE targets.
+unsafe impl SectionElem for u8 {
+    const WIDTH: u32 = 1;
+    const ELEMS: usize = 1;
+}
+// SAFETY: as for u8.
+unsafe impl SectionElem for u32 {
+    const WIDTH: u32 = 4;
+    const ELEMS: usize = 1;
+}
+// SAFETY: as for u8.
+unsafe impl SectionElem for u64 {
+    const WIDTH: u32 = 8;
+    const ELEMS: usize = 1;
+}
+// SAFETY: on 64-bit targets usize is layout-identical to u64. (32-bit
+// targets get no impl and fall back to checked copies — see
+// `StoreFile::view_usizes`.)
+#[cfg(target_pointer_width = "64")]
+unsafe impl SectionElem for usize {
+    const WIDTH: u32 = 8;
+    const ELEMS: usize = 1;
+}
+
+enum Repr<T> {
+    Owned(Vec<T>),
+    View {
+        map: Arc<Mapping>,
+        byte_off: usize,
+        len: usize,
+        _elem: PhantomData<T>,
+    },
+}
+
+/// A flat, immutable buffer of `T` that is either owned (`Vec<T>`) or a
+/// zero-copy window into a store file mapping. See the module docs.
+pub struct Buf<T> {
+    repr: Repr<T>,
+}
+
+impl<T> Buf<T> {
+    /// Wraps a typed window of `map`.
+    ///
+    /// # Safety
+    ///
+    /// `T` must honour the [`SectionElem`] contract, and
+    /// `[byte_off, byte_off + len * size_of::<T>())` must lie within
+    /// `map.bytes()` with `byte_off` aligned to `align_of::<T>()` (given
+    /// the mapping base alignment). [`crate::StoreFile::view`] is the only
+    /// constructor and checks all of this against the section table.
+    pub(crate) unsafe fn view(map: Arc<Mapping>, byte_off: usize, len: usize) -> Buf<T> {
+        Buf {
+            repr: Repr::View {
+                map,
+                byte_off,
+                len,
+                _elem: PhantomData,
+            },
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Owned(v) => v.len(),
+            Repr::View { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements are served by a file mapping (vs owned memory).
+    #[must_use]
+    pub fn is_view(&self) -> bool {
+        matches!(self.repr, Repr::View { .. })
+    }
+}
+
+impl<T> Deref for Buf<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v,
+            Repr::View {
+                map, byte_off, len, ..
+            } => {
+                // SAFETY: the view constructor's invariants — in-bounds,
+                // aligned, T: SectionElem (all byte patterns valid) — hold
+                // for the lifetime of `map`, which this value co-owns. The
+                // mapping is read-only, so the shared slice cannot be
+                // invalidated.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        map.bytes().as_ptr().add(*byte_off).cast::<T>(),
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for Buf<T> {
+    fn from(v: Vec<T>) -> Buf<T> {
+        Buf {
+            repr: Repr::Owned(v),
+        }
+    }
+}
+
+impl<T> Default for Buf<T> {
+    fn default() -> Buf<T> {
+        Buf::from(Vec::new())
+    }
+}
+
+impl<T: Clone> Clone for Buf<T> {
+    fn clone(&self) -> Buf<T> {
+        match &self.repr {
+            Repr::Owned(v) => Buf::from(v.clone()),
+            // Cloning a view clones the Arc, not the bytes.
+            Repr::View {
+                map, byte_off, len, ..
+            } => Buf {
+                repr: Repr::View {
+                    map: Arc::clone(map),
+                    byte_off: *byte_off,
+                    len: *len,
+                    _elem: PhantomData,
+                },
+            },
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Buf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Buf<T> {
+    fn eq(&self, other: &Buf<T>) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Eq> Eq for Buf<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_buf_behaves_like_a_slice() {
+        let b: Buf<u32> = vec![3u32, 1, 4, 1, 5].into();
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+        assert!(!b.is_view());
+        assert_eq!(b[2], 4);
+        assert_eq!(&b[1..3], &[1, 4]);
+        assert_eq!(b.clone(), b);
+        let d: Buf<u32> = Buf::default();
+        assert!(d.is_empty());
+        assert_ne!(b, d);
+    }
+}

@@ -1,0 +1,240 @@
+//! Read-only file mapping with a safe eager-read fallback.
+//!
+//! The build environment is offline, so instead of `memmap2` this module
+//! declares the two libc symbols it needs (`mmap`/`munmap`) directly —
+//! `std` already links libc on unix targets, consistent with the
+//! repository's vendored-shim policy. Everything `unsafe` in the workspace
+//! lives in this crate; the mapping is private, read-only (`PROT_READ`,
+//! `MAP_PRIVATE`) and exposed only as `&[u8]`.
+//!
+//! The eager path reads the file into a `Vec<u64>` (not `Vec<u8>`) so the
+//! base pointer is 8-byte aligned; combined with the format's 64-byte
+//! section alignment this keeps zero-copy `u32`/`u64` views valid on both
+//! paths. Non-unix targets and `WAKEUP_STORE_NO_MMAP=1` always take the
+//! eager path.
+
+use std::fs::File;
+use std::io::Read;
+
+/// How [`Mapping::open`] should back the bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapMode {
+    /// mmap when available, otherwise eager read (honours
+    /// `WAKEUP_STORE_NO_MMAP=1`).
+    Auto,
+    /// Always read the file into owned memory.
+    Eager,
+}
+
+/// A read-only view of an entire file, either mmap-backed or owned.
+pub struct Mapping {
+    backing: Backing,
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped { ptr: *const u8, len: usize },
+    /// Owned words + the exact byte length of the file (the final word may
+    /// be partially filled, zero-padded).
+    Owned { words: Vec<u64>, len: usize },
+}
+
+// The mapped region is immutable for the lifetime of the value (PROT_READ,
+// MAP_PRIVATE) and freed exactly once in Drop, so sharing across threads is
+// sound.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Map or read `file` (of size `len` bytes) according to `mode`.
+    pub fn open(file: &mut File, len: usize, mode: MapMode) -> std::io::Result<Self> {
+        if mode == MapMode::Auto && !no_mmap_env() {
+            #[cfg(unix)]
+            if len > 0 {
+                if let Some(ptr) = sys::map_readonly(file, len) {
+                    return Ok(Self {
+                        backing: Backing::Mapped { ptr, len },
+                    });
+                }
+            }
+        }
+        let mut words = vec![0u64; len.div_ceil(8)];
+        let mut read_total = 0usize;
+        {
+            let bytes = words_as_mut_bytes(&mut words);
+            while read_total < len {
+                let n = file.read(&mut bytes[read_total..len])?;
+                if n == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "file shorter than its reported length",
+                    ));
+                }
+                read_total += n;
+            }
+        }
+        Ok(Self {
+            backing: Backing::Owned { words, len },
+        })
+    }
+
+    /// The full file contents.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: the region [ptr, ptr+len) was returned by a
+                // successful PROT_READ mmap and stays mapped until Drop.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned { words, len } => &words_as_bytes(words)[..*len],
+        }
+    }
+
+    /// Whether the bytes are served by the kernel page cache (mmap) rather
+    /// than an owned copy.
+    #[must_use]
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { .. } => true,
+            Backing::Owned { .. } => false,
+        }
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.bytes().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                sys::unmap(ptr, len);
+            }
+        }
+    }
+}
+
+fn no_mmap_env() -> bool {
+    std::env::var("WAKEUP_STORE_NO_MMAP").is_ok_and(|v| v == "1")
+}
+
+fn words_as_bytes(words: &[u64]) -> &[u8] {
+    // SAFETY: u64 has no padding and any byte pattern is a valid u8.
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+fn words_as_mut_bytes(words: &mut [u64]) -> &mut [u8] {
+    // SAFETY: as above; exclusive borrow, and every u8 pattern is a valid
+    // u64 byte, so writes cannot create invalid values.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8) }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    /// Map `len` bytes of `file` read-only; `None` on failure (the caller
+    /// falls back to an eager read).
+    pub fn map_readonly(file: &File, len: usize) -> Option<*const u8> {
+        // SAFETY: NULL hint + a valid open fd; the kernel picks the
+        // address. MAP_FAILED is (-1), checked below.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 || ptr.is_null() {
+            None
+        } else {
+            Some(ptr.cast_const().cast::<u8>())
+        }
+    }
+
+    /// # Safety
+    /// `ptr`/`len` must come from a successful [`map_readonly`] call and
+    /// must not be unmapped twice.
+    pub unsafe fn unmap(ptr: *const u8, len: usize) {
+        let _ = munmap(ptr.cast_mut().cast::<core::ffi::c_void>(), len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{MapMode, Mapping};
+    use std::io::Write;
+
+    fn tmp_file(bytes: &[u8], name: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("wakeup-store-maptest-{name}-{}", bytes.len()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn eager_and_auto_agree() {
+        let data: Vec<u8> = (0u32..3000).map(|i| (i % 251) as u8).collect();
+        let path = tmp_file(&data, "agree");
+        let mut f1 = std::fs::File::open(&path).unwrap();
+        let eager = Mapping::open(&mut f1, data.len(), MapMode::Eager).unwrap();
+        let mut f2 = std::fs::File::open(&path).unwrap();
+        let auto = Mapping::open(&mut f2, data.len(), MapMode::Auto).unwrap();
+        assert_eq!(eager.bytes(), &data[..]);
+        assert_eq!(auto.bytes(), &data[..]);
+        assert!(!eager.is_mapped());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eager_base_is_8_aligned() {
+        let data = vec![7u8; 65];
+        let path = tmp_file(&data, "align");
+        let mut f = std::fs::File::open(&path).unwrap();
+        let m = Mapping::open(&mut f, data.len(), MapMode::Eager).unwrap();
+        assert_eq!(m.bytes().as_ptr() as usize % 8, 0);
+        assert_eq!(m.bytes().len(), 65);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_file_is_unexpected_eof() {
+        let path = tmp_file(&[1, 2, 3], "short");
+        let mut f = std::fs::File::open(&path).unwrap();
+        let err = Mapping::open(&mut f, 10, MapMode::Eager).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(&path).ok();
+    }
+}

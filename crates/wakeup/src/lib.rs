@@ -10,6 +10,9 @@
 //! * [`core`] — the paper's algorithms and advising schemes
 //!   ([`wakeup_core`]).
 //! * [`lb`] — the lower-bound experiments ([`wakeup_lb`]).
+//! * [`store`] — the persistent artifact store: versioned, checksummed
+//!   container files reloaded via zero-copy mmap ([`wakeup_store`]); the
+//!   network/advice encodings live in [`sim::persist`].
 //!
 //! # Example
 //!
@@ -35,3 +38,4 @@ pub use wakeup_core as core;
 pub use wakeup_graph as graph;
 pub use wakeup_lb as lb;
 pub use wakeup_sim as sim;
+pub use wakeup_store as store;
