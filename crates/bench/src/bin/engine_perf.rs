@@ -15,8 +15,10 @@
 //! `--n` overrides each selected workload's default problem sizes — so a
 //! single hot workload can be re-measured (or scaled to n = 10⁶ smoke runs)
 //! without paying for the whole suite. Filtered runs print the table but
-//! skip writing the JSON baseline: the committed file always reflects the
-//! full default suite.
+//! skip writing the *default* JSON baseline — the committed file always
+//! reflects the full default suite. An explicitly given output path is
+//! always written, filtered or not; CI's perf-regression gate relies on
+//! this to compare a `--filter flood` run against `BENCH_baseline.json`.
 //!
 //! `--shards <K>` sets the intra-run shard count used by the `*_sharded`
 //! workloads (default: the `WAKEUP_SHARDS` environment variable, else 4).
@@ -483,7 +485,7 @@ const WORKLOADS: &[Workload] = &[
     ("flood_async", &[1_000, 10_000, 100_000], flood_async),
     (
         "flood_async_sharded",
-        &[100_000, 1_000_000],
+        &[10_000, 100_000, 1_000_000],
         flood_async_sharded,
     ),
     ("dfs_rank_async", &[1_000], dfs_async),
@@ -495,7 +497,7 @@ const WORKLOADS: &[Workload] = &[
 ];
 
 fn main() {
-    let mut out_path = "BENCH_engine.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut filter: Option<String> = None;
     let mut ns: Option<Vec<usize>> = None;
     let mut obs_json: Option<String> = None;
@@ -536,7 +538,7 @@ fn main() {
                         .collect(),
                 );
             }
-            other if !other.starts_with("--") => out_path = other.to_string(),
+            other if !other.starts_with("--") => out_path = Some(other.to_string()),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -589,7 +591,13 @@ fn main() {
         );
     }
     json.push_str("  ]\n}\n");
-    if filter.is_none() && ns.is_none() {
+    // The default baseline file only ever holds the full suite, but an
+    // explicit output path is honored even for filtered runs (the CI perf
+    // gate writes a `--filter flood` subset and compares it to the
+    // committed baseline).
+    let explicit = out_path.is_some();
+    let out_path = out_path.unwrap_or_else(|| "BENCH_engine.json".to_string());
+    if explicit || (filter.is_none() && ns.is_none()) {
         std::fs::write(&out_path, json).expect("write benchmark baseline");
         eprintln!("wrote {out_path}");
     }

@@ -1,0 +1,280 @@
+//! Locality-ordered node relabeling (reverse Cuthill–McKee).
+//!
+//! The engines' hot arrays (channel cursors, wake bits, protocol state) are
+//! indexed by dense node/edge ids, so the adversary's arbitrary labeling
+//! turns a flood's wave-front into random memory scatter. A [`Relabeling`]
+//! is a bijection `orig ↔ run` computed once per graph by a deterministic
+//! reverse Cuthill–McKee traversal: BFS from a minimum-degree node with
+//! neighbors enqueued in ascending `(degree, id)` order, visit order
+//! reversed. Nodes that are close in the graph end up close in run-id
+//! space, which keeps the per-tick working set contiguous.
+//!
+//! The relabeling is a pure function of the topology (ties broken by
+//! original id), so a cold rebuild reproduces the baked artifact byte for
+//! byte — the store's `--verify` path depends on that.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+
+/// A bijection between the network's original node ids (`orig`, the space
+/// every public input and output uses) and the engine's run-time ids
+/// (`run`, the locality-ordered space the hot loops index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relabeling {
+    /// `to_run[orig] = run`.
+    to_run: Vec<u32>,
+    /// `to_orig[run] = orig`.
+    to_orig: Vec<u32>,
+}
+
+impl Relabeling {
+    /// The reverse Cuthill–McKee ordering of `g`. Deterministic: every
+    /// tie (component start, neighbor visit order) is broken by
+    /// `(degree, original id)`.
+    pub fn locality(g: &Graph) -> Relabeling {
+        let n = g.n();
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        // Component starts: minimum degree first, then id.
+        let mut starts: Vec<u32> = (0..n as u32).collect();
+        starts.sort_unstable_by_key(|&v| (g.degree(crate::NodeId::new(v as usize)), v));
+        let mut queue: VecDeque<u32> = VecDeque::new();
+        let mut nbuf: Vec<u32> = Vec::new();
+        for &s in &starts {
+            if seen[s as usize] {
+                continue;
+            }
+            seen[s as usize] = true;
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                order.push(v);
+                nbuf.clear();
+                for &w in g.neighbors(crate::NodeId::new(v as usize)) {
+                    if !seen[w.index()] {
+                        nbuf.push(w.index() as u32);
+                    }
+                }
+                nbuf.sort_unstable_by_key(|&w| (g.degree(crate::NodeId::new(w as usize)), w));
+                for &w in &nbuf {
+                    seen[w as usize] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        order.reverse();
+        Relabeling::from_to_orig(order)
+    }
+
+    /// Reassembles a relabeling from its `to_orig` array (the form the
+    /// artifact store persists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_orig` is not a permutation of `0..len`.
+    pub fn from_to_orig(to_orig: Vec<u32>) -> Relabeling {
+        let n = to_orig.len();
+        let mut to_run = vec![u32::MAX; n];
+        for (run, &orig) in to_orig.iter().enumerate() {
+            let slot = &mut to_run[orig as usize];
+            assert_eq!(*slot, u32::MAX, "duplicate orig id {orig} in relabeling");
+            *slot = run as u32;
+        }
+        Relabeling { to_run, to_orig }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.to_orig.len()
+    }
+
+    /// Whether the relabeling covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.to_orig.is_empty()
+    }
+
+    /// Whether this is the identity permutation (relabeled execution would
+    /// be a no-op; callers skip it).
+    pub fn is_identity(&self) -> bool {
+        self.to_orig
+            .iter()
+            .enumerate()
+            .all(|(run, &orig)| run as u32 == orig)
+    }
+
+    /// Run id of original node `orig`.
+    #[inline]
+    pub fn to_run(&self, orig: usize) -> usize {
+        self.to_run[orig] as usize
+    }
+
+    /// Original id of run node `run`.
+    #[inline]
+    pub fn to_orig(&self, run: usize) -> usize {
+        self.to_orig[run] as usize
+    }
+
+    /// The raw `to_orig` array (persisted by the artifact store).
+    pub fn to_orig_slice(&self) -> &[u32] {
+        &self.to_orig
+    }
+
+    /// The raw `to_run` array.
+    pub fn to_run_slice(&self) -> &[u32] {
+        &self.to_run
+    }
+
+    /// Reorders an orig-indexed slice into run order in place:
+    /// `data[run] = old_data[to_orig(run)]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn permute_to_run<T>(&self, data: &mut [T]) {
+        apply_perm(data, &self.to_orig);
+    }
+
+    /// Reorders a run-indexed slice back into original order in place:
+    /// `data[orig] = old_data[to_run(orig)]` — the inverse of
+    /// [`Relabeling::permute_to_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn permute_to_orig<T>(&self, data: &mut [T]) {
+        apply_perm(data, &self.to_run);
+    }
+}
+
+/// Applies `data[i] = old_data[perm[i]]` in place by following the
+/// permutation's cycles with swaps (O(n) moves, n/8 bytes of scratch).
+fn apply_perm<T>(data: &mut [T], perm: &[u32]) {
+    assert_eq!(data.len(), perm.len(), "permutation length mismatch");
+    let mut visited = vec![0u64; perm.len().div_ceil(64)];
+    for start in 0..perm.len() {
+        if visited[start / 64] >> (start % 64) & 1 == 1 {
+            continue;
+        }
+        visited[start / 64] |= 1 << (start % 64);
+        let mut i = start;
+        loop {
+            let j = perm[i] as usize;
+            if j == start {
+                break;
+            }
+            data.swap(i, j);
+            visited[j / 64] |= 1 << (j % 64);
+            i = j;
+        }
+    }
+}
+
+/// Mean `|label(u) − label(v)|` over the directed edges of `g` under the
+/// original labeling — the locality figure `wakeup bake --stats` reports.
+pub fn avg_neighbor_distance(g: &Graph) -> f64 {
+    distance_sum(g, |v| v) / (2 * g.m()).max(1) as f64
+}
+
+/// As [`avg_neighbor_distance`], but under the run-space labels of `rel`.
+pub fn avg_neighbor_distance_relabeled(g: &Graph, rel: &Relabeling) -> f64 {
+    distance_sum(g, |v| rel.to_run(v)) / (2 * g.m()).max(1) as f64
+}
+
+fn distance_sum(g: &Graph, label: impl Fn(usize) -> usize) -> f64 {
+    let mut sum = 0u64;
+    for v in g.nodes() {
+        let lv = label(v.index());
+        for &w in g.neighbors(v) {
+            sum += lv.abs_diff(label(w.index())) as u64;
+        }
+    }
+    sum as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn locality_is_a_permutation_and_deterministic() {
+        let g = generators::erdos_renyi_connected(200, 0.05, 3).unwrap();
+        let a = Relabeling::locality(&g);
+        let b = Relabeling::locality(&g);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        for v in 0..200 {
+            assert_eq!(a.to_orig(a.to_run(v)), v);
+            assert_eq!(a.to_run(a.to_orig(v)), v);
+        }
+    }
+
+    #[test]
+    fn path_graph_relabeling_is_near_identity_bandwidth() {
+        // A path in natural order already has bandwidth 1; RCM must not
+        // make it worse.
+        let g = generators::path(50).unwrap();
+        let rel = Relabeling::locality(&g);
+        assert!(avg_neighbor_distance_relabeled(&g, &rel) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rcm_recovers_locality_of_adversarially_shuffled_grid() {
+        // A 40×50 grid in natural order has mean neighbor distance ≈ 20;
+        // an adversarial (random) labeling pushes it to Θ(n). RCM must
+        // pull a shuffled grid back far below the shuffled figure. (A pure
+        // expander is the wrong fixture here — its bandwidth is Θ(n) under
+        // *every* labeling, which is exactly why the adversary's labels
+        // only hurt on structured topologies.)
+        let natural = generators::grid(40, 50).unwrap();
+        let mut perm: Vec<usize> = (0..natural.n()).collect();
+        let mut rng = crate::rng::Xoshiro256::seed_from(9);
+        rng.shuffle(&mut perm);
+        let edges: Vec<(usize, usize)> = natural
+            .nodes()
+            .flat_map(|v| {
+                natural
+                    .neighbors(v)
+                    .iter()
+                    .filter(move |w| v.index() < w.index())
+                    .map(|w| (perm[v.index()], perm[w.index()]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let shuffled = Graph::from_edges(natural.n(), &edges).unwrap();
+        let before = avg_neighbor_distance(&shuffled);
+        let rel = Relabeling::locality(&shuffled);
+        let after = avg_neighbor_distance_relabeled(&shuffled, &rel);
+        assert!(
+            after < before / 4.0,
+            "RCM should undo most of the shuffle: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn disconnected_graphs_are_covered() {
+        let g = Graph::from_edges(7, &[(0, 1), (2, 3), (3, 4)]).unwrap();
+        let rel = Relabeling::locality(&g);
+        assert_eq!(rel.len(), 7);
+        let mut seen: Vec<usize> = (0..7).map(|r| rel.to_orig(r)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate orig id")]
+    fn non_permutation_rejected() {
+        Relabeling::from_to_orig(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn permute_round_trips_and_matches_definition() {
+        // to_orig = [2, 0, 3, 1]: run 0 is orig 2, etc.
+        let rel = Relabeling::from_to_orig(vec![2, 0, 3, 1]);
+        let mut data = vec!["o0", "o1", "o2", "o3"];
+        rel.permute_to_run(&mut data);
+        assert_eq!(data, vec!["o2", "o0", "o3", "o1"]);
+        rel.permute_to_orig(&mut data);
+        assert_eq!(data, vec!["o0", "o1", "o2", "o3"]);
+    }
+}

@@ -55,9 +55,11 @@
 //! # Ok::<(), wakeup_graph::GraphError>(())
 //! ```
 
-// `deny` rather than `forbid`: the one sanctioned exception is the
-// `SectionElem` marker impl for `PortEntry` in `knowledge.rs` (no unsafe
-// *code*, just a layout assertion the store's zero-copy views rely on).
+// `deny` rather than `forbid`: the sanctioned exceptions are the
+// `SectionElem` marker impls for `PortEntry` in `knowledge.rs` and
+// `EdgeHot` in `network.rs` (no unsafe *code*, just layout assertions the
+// store's zero-copy views rely on), and the non-faulting `_mm_prefetch`
+// hint in `prefetch.rs`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -77,6 +79,7 @@ mod metrics;
 mod network;
 pub mod obs;
 pub mod persist;
+mod prefetch;
 mod proptests;
 mod protocol;
 mod shard;

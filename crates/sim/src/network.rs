@@ -3,9 +3,9 @@
 use std::sync::{Arc, OnceLock};
 
 use wakeup_graph::rng::Xoshiro256;
-use wakeup_graph::{Graph, NodeId};
+use wakeup_graph::{Graph, NodeId, Relabeling};
 
-use wakeup_store::Buf;
+use wakeup_store::{Buf, SectionElem};
 
 use crate::knowledge::{IdAssignment, KnowledgeMode, PortAssignment};
 
@@ -24,6 +24,16 @@ pub struct Network {
     /// shared (via `Arc`) by every subsequent engine over this network —
     /// including clones, since cloning a populated cell clones the `Arc`.
     tables: OnceLock<Arc<NodeTables>>,
+    /// Locality-ordered run space (RCM relabeling + run-space tables),
+    /// derived lazily like `tables`. `None` once computed means relabeled
+    /// execution is off for this network: the RCM order came out as the
+    /// identity, the node count fell outside the eligible range, or
+    /// `WAKEUP_RELABEL=0` disabled it.
+    run_space: OnceLock<Option<Arc<RunSpace>>>,
+    /// Set by [`Network::force_relabel`] to bypass the [`MIN_RELABEL_N`]
+    /// size heuristic. Shared by clones, like the lazy cells above — the
+    /// run space is a pure function of the network plus this opt-in.
+    relabel_forced: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl Network {
@@ -40,6 +50,8 @@ impl Network {
             ids,
             mode: KnowledgeMode::Kt0,
             tables: OnceLock::new(),
+            run_space: OnceLock::new(),
+            relabel_forced: Arc::default(),
         }
     }
 
@@ -57,6 +69,8 @@ impl Network {
             ids,
             mode: KnowledgeMode::Kt1,
             tables: OnceLock::new(),
+            run_space: OnceLock::new(),
+            relabel_forced: Arc::default(),
         }
     }
 
@@ -74,6 +88,8 @@ impl Network {
             ids,
             mode,
             tables: OnceLock::new(),
+            run_space: OnceLock::new(),
+            relabel_forced: Arc::default(),
         }
     }
 
@@ -134,6 +150,152 @@ impl Network {
     pub(crate) fn preset_tables(&self, tables: NodeTables) {
         let _ = self.tables.set(Arc::new(tables));
     }
+
+    /// The locality-ordered run space (RCM relabeling plus run-space
+    /// tables), built on first use and cached exactly like
+    /// [`Network::tables`]. Returns `None` when relabeled execution is a
+    /// no-op or unavailable for this network: the RCM order is the
+    /// identity, `n` exceeds [`MAX_RELABEL_N`] (the engines' packed
+    /// sort-key budget), `n` is below [`MIN_RELABEL_N`] without a force
+    /// ([`Network::force_relabel`] or `WAKEUP_RELABEL=1`), or
+    /// `WAKEUP_RELABEL=0` is set.
+    pub(crate) fn run_space(&self) -> Option<&Arc<RunSpace>> {
+        self.run_space
+            .get_or_init(|| {
+                if self.n() < 2 || self.n() > MAX_RELABEL_N || relabel_disabled_by_env() {
+                    return None;
+                }
+                let forced = self
+                    .relabel_forced
+                    .load(std::sync::atomic::Ordering::Relaxed)
+                    || relabel_forced_by_env();
+                if self.n() < MIN_RELABEL_N && !forced {
+                    return None;
+                }
+                let rel = Relabeling::locality(&self.graph);
+                if rel.is_identity() {
+                    return None;
+                }
+                let rel = Arc::new(rel);
+                let tables = Arc::new(NodeTables::build_relabeled(self, &rel));
+                Some(Arc::new(RunSpace { rel, tables }))
+            })
+            .as_ref()
+    }
+
+    /// Installs a run space reloaded from the persistent artifact store
+    /// (the counterpart of [`Network::preset_tables`] for relabeled bakes).
+    pub(crate) fn preset_run_space(&self, rel: Relabeling, tables: NodeTables) {
+        let _ = self.run_space.set(Some(Arc::new(RunSpace {
+            rel: Arc::new(rel),
+            tables: Arc::new(tables),
+        })));
+    }
+
+    /// Forces identity execution on this network by pre-empting the lazy
+    /// run-space cell with `None`. Only effective before the first engine
+    /// touches the network; used by the relabeled-vs-identity differential
+    /// tests (and harmless to call later — the cell just keeps whatever it
+    /// already holds).
+    pub fn disable_relabel(&self) {
+        let _ = self.run_space.set(None);
+    }
+
+    /// Opts this network into relabeled execution regardless of the
+    /// [`MIN_RELABEL_N`] size heuristic (the `n`-range and env gates still
+    /// apply). Only effective before the first engine touches the network;
+    /// used by the relabeled-vs-identity differential tests and the
+    /// relabeled-bake round-trip tests, which need run spaces on networks
+    /// far too small to clear the default threshold.
+    pub fn force_relabel(&self) {
+        self.relabel_forced
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Bits of a relabeled run's packed entry key that hold the original
+/// sender index (the low field; see [`pack_entry_key`]).
+pub(crate) const FROM_IDX_BITS: u32 = 20;
+
+/// Mask extracting the original sender index from a packed entry key.
+/// Identity runs store the plain sender index in the same field and use a
+/// mask of `u32::MAX`, so one masked load serves both paths.
+pub(crate) const FROM_IDX_MASK: u32 = (1 << FROM_IDX_BITS) - 1;
+
+/// Largest node count eligible for relabeled execution: the engines
+/// canonicalize per-receiver delivery order with a packed `u32` sort key
+/// that reserves [`FROM_IDX_BITS`] bits for the original sender index.
+pub(crate) const MAX_RELABEL_N: usize = 1 << FROM_IDX_BITS;
+
+/// Smallest node count where relabeled execution is on by default.
+///
+/// Relabeling trades a per-delivery cost (packing/sorting the entry keys
+/// that restore identity delivery order, plus the boundary translation)
+/// for cache locality in the table walks. Below this threshold the hot
+/// tables of a sparse network fit comfortably in cache, so there is no
+/// locality win to buy and the overhead shows up as a straight throughput
+/// loss; above it the win dominates (the 10⁶-node flood runs ~1.5× faster
+/// relabeled). `WAKEUP_RELABEL=1` or [`Network::force_relabel`] overrides
+/// the heuristic for differential tests and experiments.
+pub(crate) const MIN_RELABEL_N: usize = 1 << 18;
+
+/// The packed `from` field of a relabeled run's pending-delivery entry.
+///
+/// Identity engines process a tick's deliveries as one batch per receiver
+/// in bucket-insertion (= chronological send) order, which is
+/// `(send tick, engine phase, original actor, outbox position)`-ascending.
+/// A relabeled run inserts in *run* order, so each per-receiver batch is
+/// stable-sorted by this key before delivery, restoring exactly that
+/// order: for a fixed delivery tick, ascending `τ − Δ` (Δ = delivery −
+/// send ∈ [1, τ], guaranteed by the wheel-horizon invariant) is ascending
+/// send tick; then the phase bit; then the original sender index. Entries
+/// with equal keys come from one handler invocation and stable sorting
+/// keeps their outbox order.
+#[inline]
+pub(crate) fn pack_entry_key(delta_ticks: u64, phase: u8, orig_from: u32) -> u32 {
+    debug_assert!((1..=crate::metrics::TICKS_PER_UNIT).contains(&delta_ticks));
+    debug_assert!(orig_from <= FROM_IDX_MASK && phase <= 1);
+    (((crate::metrics::TICKS_PER_UNIT - delta_ticks) as u32) << (FROM_IDX_BITS + 1))
+        | (u32::from(phase) << FROM_IDX_BITS)
+        | orig_from
+}
+
+/// Translates a relabeled run's report back into original-id space at the
+/// run boundary: one inverse-permute pass over every per-node array plus
+/// the canonical re-sort of the phase-span table. Scalar metrics and
+/// histograms are order/space-invariant and need no translation.
+pub(crate) fn unpermute_report(rel: &Relabeling, report: &mut crate::metrics::RunReport) {
+    rel.permute_to_orig(&mut report.outputs);
+    rel.permute_to_orig(&mut report.metrics.wake_tick);
+    rel.permute_to_orig(&mut report.metrics.sent_by);
+    rel.permute_to_orig(&mut report.metrics.received_by);
+    if let Some(ports) = report.metrics.ports_used.as_mut() {
+        rel.permute_to_orig(ports);
+    }
+    let mut wake_pred = report.obs.take_wake_pred();
+    rel.permute_to_orig(&mut wake_pred);
+    report.obs.set_wake_pred(wake_pred);
+    report.obs.phases.finish_key_order();
+}
+
+pub(crate) fn relabel_disabled_by_env() -> bool {
+    std::env::var("WAKEUP_RELABEL").is_ok_and(|v| v.trim() == "0")
+}
+
+/// `WAKEUP_RELABEL=1` forces relabeled execution on every eligible network
+/// regardless of the [`MIN_RELABEL_N`] size heuristic.
+pub(crate) fn relabel_forced_by_env() -> bool {
+    std::env::var("WAKEUP_RELABEL").is_ok_and(|v| v.trim() == "1")
+}
+
+/// A network's locality-ordered execution space: the RCM [`Relabeling`]
+/// and the [`NodeTables`] rebuilt over run-space ids. Engines that pass
+/// the relabel-eligibility gate run entirely in this space and translate
+/// back to original ids at the metrics/obs boundary.
+#[derive(Debug)]
+pub(crate) struct RunSpace {
+    pub rel: Arc<Relabeling>,
+    pub tables: Arc<NodeTables>,
 }
 
 /// Two networks are equal when all adversarial choices agree: topology,
@@ -179,24 +341,31 @@ impl std::ops::Deref for NetHandle<'_> {
 /// bits) lives in flat arrays instead of hash maps, and the receiver-side
 /// port of every channel is precomputed instead of binary-searched per
 /// delivery.
-/// All five buffers are flat and CSR-indexed by `edge_offset` — no
-/// per-node `Vec`s. That keeps construction at five allocations total
+/// All buffers are flat and CSR-indexed by `edge_offset` — no per-node
+/// `Vec`s. That keeps construction at a handful of allocations total
 /// (the KT1 build used to pay ~2 heap allocations per node), and it is
-/// what lets the persistent artifact store serve the four large buffers
-/// as zero-copy mmap views on reload (only the small KT1 `id_to_port`
+/// what lets the persistent artifact store serve the large buffers as
+/// zero-copy mmap views on reload (only the small KT1 `id_to_port`
 /// pairing is copied, because a tuple has no store-viewable layout).
+///
+/// The fields are split hot/cold by access pattern: `edge_offset` and
+/// `edge_hot` are touched once per *message* (every dispatch resolves
+/// `(sender, port)` to the receiver and its reverse port), while
+/// `neighbor_ids`/`id_to_port` are setup- and wake-time-only (KT1 node
+/// initialization and ID-addressed sends). Interleaving the per-send pair
+/// into [`EdgeHot`] means one cache line serves both lookups that used to
+/// straddle two parallel arrays.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct NodeTables {
     /// Degree prefix sums: node `v`'s directed-edge slots are
     /// `edge_offset[v] .. edge_offset[v + 1]` (length `n + 1`).
     pub edge_offset: Buf<usize>,
-    /// `edge_to[slot(v, p)]` = dense index of the neighbor reached from `v`
-    /// via port `p` — the flat form of [`PortAssignment::neighbor`].
-    pub edge_to: Buf<u32>,
-    /// `rev_port[slot(v, p)]` = 1-based port at the *receiving* endpoint
-    /// over which that neighbor sees `v` — the flat form of
-    /// [`PortAssignment::port_to`].
-    pub rev_port: Buf<u32>,
+    /// `edge_hot[slot(v, p)]` = the per-send hot pair: the dense index of
+    /// the neighbor reached from `v` via port `p` (the flat form of
+    /// [`PortAssignment::neighbor`]) and the 1-based port at the
+    /// *receiving* endpoint over which that neighbor sees `v` (the flat
+    /// form of [`PortAssignment::port_to`]).
+    pub edge_hot: Buf<EdgeHot>,
     /// Node `v`'s sorted neighbor IDs at `edge_offset[v]..edge_offset[v+1]`
     /// (fully empty under KT0); read via [`Self::neighbor_ids`].
     neighbor_ids: Buf<u64>,
@@ -204,6 +373,31 @@ pub(crate) struct NodeTables {
     /// (fully empty under KT0 — KT0 contexts refuse ID addressing anyway);
     /// read via [`Self::id_to_port`].
     id_to_port: Vec<(u64, crate::knowledge::Port)>,
+}
+
+/// The per-directed-edge fields every message dispatch touches, interleaved
+/// so one cache-line fetch resolves both. Stored by the artifact store as
+/// one interleaved `u32` section (`to, rport, to, rport, …`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
+pub(crate) struct EdgeHot {
+    /// Dense index of the neighbor reached over this slot's port.
+    pub to: u32,
+    /// 1-based port at the receiving endpoint (the paper's `port_to`).
+    pub rport: u32,
+}
+
+// Compile-time witnesses for the SectionElem layout contract below.
+const _: () = assert!(std::mem::size_of::<EdgeHot>() == 8);
+const _: () = assert!(std::mem::align_of::<EdgeHot>() == 4);
+
+// SAFETY: `EdgeHot` is `repr(C)` over two `u32`s — 8 bytes, align 4, no
+// padding or niches, and its in-memory little-endian representation is
+// exactly the two interleaved `u32`s the store writes (asserted above).
+#[allow(unsafe_code)]
+unsafe impl SectionElem for EdgeHot {
+    const WIDTH: u32 = 4;
+    const ELEMS: usize = 2;
 }
 
 /// Node count below which [`NodeTables::build`] stays sequential: spawning
@@ -239,29 +433,47 @@ impl NodeTables {
     /// output slices are disjoint — the result is byte-identical at any
     /// thread count, which the 1-vs-4-thread CI diff pins end to end.
     pub(crate) fn build_with_threads(net: &Network, threads: usize) -> NodeTables {
+        Self::build_in_space(net, threads, None)
+    }
+
+    /// Run-space tables: row `r` describes original node `rel.to_orig(r)`,
+    /// with every neighbor index translated into run space. Content that
+    /// engines expose verbatim (neighbor IDs, reverse ports, `id_to_port`)
+    /// is per-node-invariant and carried over untranslated.
+    pub(crate) fn build_relabeled(net: &Network, rel: &Relabeling) -> NodeTables {
+        let threads = if net.n() < PARALLEL_BUILD_MIN_N {
+            1
+        } else {
+            build_threads()
+        };
+        Self::build_in_space(net, threads, Some(rel))
+    }
+
+    fn build_in_space(net: &Network, threads: usize, rel: Option<&Relabeling>) -> NodeTables {
         let n = net.n();
+        let orig_of = |r: usize| rel.map_or(r, |rel| rel.to_orig(r));
         let mut edge_offset = Vec::with_capacity(n + 1);
         edge_offset.push(0usize);
-        for v in net.graph().nodes() {
-            edge_offset.push(edge_offset[v.index()] + net.graph().degree(v));
+        for r in 0..n {
+            let deg = net.graph().degree(NodeId::new(orig_of(r)));
+            edge_offset.push(edge_offset[r] + deg);
         }
         let dir_edges = edge_offset[n];
         let kt1 = net.mode() == KnowledgeMode::Kt1;
         let id_slots = if kt1 { dir_edges } else { 0 };
         let mut neighbor_ids = vec![0u64; id_slots];
         let mut id_to_port = vec![(0u64, crate::knowledge::Port::new(1)); id_slots];
-        let mut edge_to = vec![0u32; dir_edges];
-        let mut rev_port = vec![0u32; dir_edges];
+        let mut edge_hot = vec![EdgeHot { to: 0, rport: 0 }; dir_edges];
         if threads <= 1 || n < 2 {
             fill_node_range(
                 net,
                 &edge_offset,
+                rel,
                 0,
                 n,
                 &mut neighbor_ids,
                 &mut id_to_port,
-                &mut edge_to,
-                &mut rev_port,
+                &mut edge_hot,
             );
         } else {
             let chunk = n.div_ceil(threads.min(n));
@@ -269,8 +481,7 @@ impl NodeTables {
                 let offsets = &edge_offset;
                 let mut nb = neighbor_ids.as_mut_slice();
                 let mut ip = id_to_port.as_mut_slice();
-                let mut et = edge_to.as_mut_slice();
-                let mut rp = rev_port.as_mut_slice();
+                let mut eh = edge_hot.as_mut_slice();
                 let mut base = 0usize;
                 while base < n {
                     let hi = (base + chunk).min(n);
@@ -278,32 +489,29 @@ impl NodeTables {
                     let ids_here = if kt1 { edges_here } else { 0 };
                     let (nb_head, nb_tail) = nb.split_at_mut(ids_here);
                     let (ip_head, ip_tail) = ip.split_at_mut(ids_here);
-                    let (et_head, et_tail) = et.split_at_mut(edges_here);
-                    let (rp_head, rp_tail) = rp.split_at_mut(edges_here);
+                    let (eh_head, eh_tail) = eh.split_at_mut(edges_here);
                     scope.spawn(move || {
                         fill_node_range(
                             net,
                             offsets,
+                            rel,
                             base,
                             hi - base,
                             nb_head,
                             ip_head,
-                            et_head,
-                            rp_head,
+                            eh_head,
                         );
                     });
                     nb = nb_tail;
                     ip = ip_tail;
-                    et = et_tail;
-                    rp = rp_tail;
+                    eh = eh_tail;
                     base = hi;
                 }
             });
         }
         NodeTables {
             edge_offset: edge_offset.into(),
-            edge_to: edge_to.into(),
-            rev_port: rev_port.into(),
+            edge_hot: edge_hot.into(),
             neighbor_ids: neighbor_ids.into(),
             id_to_port,
         }
@@ -349,45 +557,43 @@ impl NodeTables {
     /// invariants held when the artifact was baked from a valid build.
     pub(crate) fn from_raw_parts(
         edge_offset: Buf<usize>,
-        edge_to: Buf<u32>,
-        rev_port: Buf<u32>,
+        edge_hot: Buf<EdgeHot>,
         neighbor_ids: Buf<u64>,
         id_to_port: Vec<(u64, crate::knowledge::Port)>,
     ) -> NodeTables {
         debug_assert!(!edge_offset.is_empty());
         let dir_edges = *edge_offset.last().unwrap();
-        debug_assert_eq!(edge_to.len(), dir_edges);
-        debug_assert_eq!(rev_port.len(), dir_edges);
+        debug_assert_eq!(edge_hot.len(), dir_edges);
         debug_assert!(neighbor_ids.len() == dir_edges || neighbor_ids.is_empty());
         debug_assert_eq!(neighbor_ids.len(), id_to_port.len());
         NodeTables {
             edge_offset,
-            edge_to,
-            rev_port,
+            edge_hot,
             neighbor_ids,
             id_to_port,
         }
     }
 }
 
-/// Fills the table rows for the `count` contiguous nodes starting at
-/// `base`; the edge slices start at directed slot `edge_offset[base]` (the
-/// ID slices are empty under KT0).
+/// Fills the table rows for the `count` contiguous rows starting at `base`;
+/// the edge slices start at directed slot `edge_offset[base]` (the ID
+/// slices are empty under KT0). With `rel` set, row `r` describes original
+/// node `rel.to_orig(r)` and neighbor indices land in run space.
 #[allow(clippy::too_many_arguments)]
 fn fill_node_range(
     net: &Network,
     edge_offset: &[usize],
+    rel: Option<&Relabeling>,
     base: usize,
     count: usize,
     neighbor_ids: &mut [u64],
     id_to_port: &mut [(u64, crate::knowledge::Port)],
-    edge_to: &mut [u32],
-    rev_port: &mut [u32],
+    edge_hot: &mut [EdgeHot],
 ) {
     let kt1 = net.mode() == KnowledgeMode::Kt1;
     let edge_base = edge_offset[base];
     for i in 0..count {
-        let v = NodeId::new(base + i);
+        let v = NodeId::new(rel.map_or(base + i, |rel| rel.to_orig(base + i)));
         let deg = net.graph().degree(v);
         let slot0 = edge_offset[base + i] - edge_base;
         if kt1 {
@@ -408,8 +614,11 @@ fn fill_node_range(
                 .ports()
                 .port_to(w, v)
                 .expect("port maps are bijections onto neighbors");
-            edge_to[slot0 + p - 1] = u32::try_from(w.index()).expect("node index fits u32");
-            rev_port[slot0 + p - 1] = u32::try_from(back.number()).expect("port fits u32");
+            let to = rel.map_or(w.index(), |rel| rel.to_run(w.index()));
+            edge_hot[slot0 + p - 1] = EdgeHot {
+                to: u32::try_from(to).expect("node index fits u32"),
+                rport: u32::try_from(back.number()).expect("port fits u32"),
+            };
         }
     }
 }
@@ -479,8 +688,7 @@ mod tests {
             assert_eq!(tables.edge_offset.len(), net.n() + 1);
             let m2: usize = net.graph().nodes().map(|v| net.graph().degree(v)).sum();
             assert_eq!(tables.directed_edges(), m2);
-            assert_eq!(tables.edge_to.len(), m2);
-            assert_eq!(tables.rev_port.len(), m2);
+            assert_eq!(tables.edge_hot.len(), m2);
             for v in net.graph().nodes() {
                 for p in 1..=net.graph().degree(v) {
                     let port = crate::knowledge::Port::new(p);
@@ -490,13 +698,13 @@ mod tests {
                             .contains(&slot)
                     );
                     let w = net.ports().neighbor(v, port);
-                    assert_eq!(tables.edge_to[slot] as usize, w.index());
+                    assert_eq!(tables.edge_hot[slot].to as usize, w.index());
                     let back = net.ports().port_to(w, v).unwrap();
-                    assert_eq!(tables.rev_port[slot] as usize, back.number());
-                    // The reverse slot maps back: following rev_port from w
+                    assert_eq!(tables.edge_hot[slot].rport as usize, back.number());
+                    // The reverse slot maps back: following rport from w
                     // must reach v again.
                     let back_slot = tables.slot(w, back);
-                    assert_eq!(tables.edge_to[back_slot] as usize, v.index());
+                    assert_eq!(tables.edge_hot[back_slot].to as usize, v.index());
                 }
             }
         }

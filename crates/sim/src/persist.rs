@@ -15,10 +15,18 @@
 //! The reverse port table is written as one interleaved `u32` section
 //! (`id, port, id, port, …`) and viewed as `Buf<PortEntry>` — a `repr(C)`
 //! pair of `u32` newtypes whose layout is pinned by its
-//! [`wakeup_store::SectionElem`] impl. The small KT1 `(id, port)` lookup
-//! pairing keeps split primitive sections and is copied on reload: a Rust
-//! tuple has no guaranteed layout, and at 12 bytes per directed edge only
-//! under KT1 it is nowhere near the reload budget.
+//! [`wakeup_store::SectionElem`] impl. The engines' hot per-slot pair
+//! `(to, rport)` is stored the same way ([`tag::TBL_EDGE_HOT`], viewed as
+//! `Buf<EdgeHot>`). The small KT1 `(id, port)` lookup pairing keeps split
+//! primitive sections and is copied on reload: a Rust tuple has no
+//! guaranteed layout, and at 12 bytes per directed edge only under KT1 it
+//! is nowhere near the reload budget.
+//!
+//! Networks with a locality run space bake their table sections in *run*
+//! space alongside the [`tag::PERM`] permutation and the run-space prefix
+//! sums ([`tag::TBL_OFFSETS`] — permuted degrees cannot share
+//! [`tag::OFFSETS`]); reload presets the run space directly, so the RCM
+//! relabeling is never recomputed on the artifact hot path.
 //!
 //! This module contains no `unsafe` (the crate denies it outside the one
 //! `PortEntry` layout marker); all zero-copy machinery lives behind safe
@@ -34,7 +42,7 @@ use wakeup_store::{StoreError, StoreFile, StoreWriter};
 
 use crate::bits::BitStr;
 use crate::knowledge::{IdAssignment, KnowledgeMode, Port, PortAssignment, PortEntry};
-use crate::network::{Network, NodeTables};
+use crate::network::{EdgeHot, Network, NodeTables};
 
 /// Artifact-kind discriminants (the store header's `artifact_kind` field).
 pub mod kind {
@@ -63,16 +71,25 @@ mod tag {
     pub const PORT_FROM: u32 = 6;
     /// u64 node IDs (`IdAssignment`).
     pub const IDS: u32 = 8;
-    /// u32 `NodeTables::edge_to`.
-    pub const TBL_EDGE_TO: u32 = 9;
-    /// u32 `NodeTables::rev_port`.
-    pub const TBL_REV_PORT: u32 = 10;
+    /// u32 `NodeTables::edge_hot`, interleaved `(to, rport)` pairs — viewed
+    /// on reload as `Buf<EdgeHot>`. (Tags 9/10 once held the split
+    /// `edge_to`/`rev_port` halves in format 2 and are retired.)
+    pub const TBL_EDGE_HOT: u32 = 9;
     /// u64 flat sorted neighbor IDs (empty under KT0).
     pub const TBL_NEIGHBOR_IDS: u32 = 11;
     /// u64 ID half of the flat `(id, port)` tables (empty under KT0).
     pub const TBL_I2P_ID: u32 = 12;
     /// u32 port half of the flat `(id, port)` tables (empty under KT0).
     pub const TBL_I2P_PORT: u32 = 13;
+    /// u32 run→orig locality relabeling (`Relabeling::to_orig`). Empty when
+    /// the network has no run space (identity RCM order, too many nodes for
+    /// the packed sort keys, or `WAKEUP_RELABEL=0` at bake time); when
+    /// non-empty, every table section is stored in run space.
+    pub const PERM: u32 = 14;
+    /// u64 run-space degree prefix sums, `n + 1` entries — present exactly
+    /// when [`PERM`] is non-empty (run-space tables index by relabeled
+    /// degrees, so they cannot share [`OFFSETS`]).
+    pub const TBL_OFFSETS: u32 = 15;
     /// u64 per-node advice bit lengths, `n` entries.
     pub const ADV_LENS: u32 = 20;
     /// u64 packed advice bits, each node starting on a word boundary.
@@ -90,17 +107,24 @@ fn malformed(why: &'static str) -> StoreError {
     StoreError::Malformed(why)
 }
 
-/// Encodes a network (including its derived engine tables, built now if
-/// not already) into a store writer keyed by `key`.
+/// Encodes a network (including its derived engine tables and, when
+/// eligible, its locality run space — both built now if not already) into a
+/// store writer keyed by `key`. Networks with a run space store the
+/// run-space table set plus the [`tag::PERM`] permutation; reload then
+/// presets the run space and rebuilds identity tables lazily only if an
+/// identity-bound engine (trace/audit) asks for them.
 pub fn encode_network(key: &str, net: &Network) -> StoreWriter {
-    let tables = net.tables().clone();
+    let space = net.run_space();
+    let tables = match space {
+        Some(s) => s.tables.clone(),
+        None => net.tables().clone(),
+    };
     let (goff, adjacency, edges) = net.graph().csr_parts();
     let (poff, port_to, port_from) = net.ports().raw_parts();
     debug_assert_eq!(goff, poff, "graph and port offsets must agree");
-    debug_assert_eq!(
-        goff,
-        &tables.edge_offset[..],
-        "graph and table offsets must agree"
+    debug_assert!(
+        space.is_some() || goff == &tables.edge_offset[..],
+        "graph and identity table offsets must agree"
     );
 
     let mut w = StoreWriter::new(kind::NETWORK, key);
@@ -130,8 +154,23 @@ pub fn encode_network(key: &str, net: &Network) -> StoreWriter {
         .collect();
     w.put_u32s(tag::PORT_FROM, &from_flat);
     w.put_u64s(tag::IDS, net.ids().as_slice());
-    w.put_u32s(tag::TBL_EDGE_TO, &tables.edge_to);
-    w.put_u32s(tag::TBL_REV_PORT, &tables.rev_port);
+    match space {
+        Some(s) => {
+            w.put_u32s(tag::PERM, s.rel.to_orig_slice());
+            let toff: Vec<u64> = tables.edge_offset.iter().map(|&o| o as u64).collect();
+            w.put_u64s(tag::TBL_OFFSETS, &toff);
+        }
+        None => {
+            w.put_u32s(tag::PERM, &[]);
+            w.put_u64s(tag::TBL_OFFSETS, &[]);
+        }
+    }
+    let hot_flat: Vec<u32> = tables
+        .edge_hot
+        .iter()
+        .flat_map(|e| [e.to, e.rport])
+        .collect();
+    w.put_u32s(tag::TBL_EDGE_HOT, &hot_flat);
     let (nb_ids, i2p) = tables.raw_id_tables();
     w.put_u64s(tag::TBL_NEIGHBOR_IDS, nb_ids);
     let i2p_id: Vec<u64> = i2p.iter().map(|&(id, _)| id).collect();
@@ -198,12 +237,11 @@ pub fn decode_network(f: &StoreFile) -> Result<Network, StoreError> {
     }
     let ids = IdAssignment::from_buf_trusted(ids_buf);
 
-    let edge_to = f.view::<u32>(tag::TBL_EDGE_TO)?;
-    let rev_port = f.view::<u32>(tag::TBL_REV_PORT)?;
+    let edge_hot = f.view::<EdgeHot>(tag::TBL_EDGE_HOT)?;
     let nb_ids = f.view::<u64>(tag::TBL_NEIGHBOR_IDS)?;
     let i2p_id = f.u64s(tag::TBL_I2P_ID)?;
     let i2p_port = f.u32s(tag::TBL_I2P_PORT)?;
-    if edge_to.len() != dir_edges || rev_port.len() != dir_edges {
+    if edge_hot.len() != dir_edges {
         return Err(malformed("table section length mismatch"));
     }
     let id_slots = match mode {
@@ -221,10 +259,50 @@ pub fn decode_network(f: &StoreFile) -> Result<Network, StoreError> {
         .zip(i2p_port)
         .map(|(&id, &p)| (id, Port::new(p as usize)))
         .collect();
-    let tables = NodeTables::from_raw_parts(offsets, edge_to, rev_port, nb_ids, id_to_port);
+
+    let perm = f.u32s(tag::PERM)?;
+    let tbl_offsets = f.view_usizes(tag::TBL_OFFSETS)?;
 
     let net = Network::with_parts(graph, ports, ids, mode);
-    net.preset_tables(tables);
+    if perm.is_empty() {
+        if !tbl_offsets.is_empty() {
+            return Err(malformed("run-space offsets present without a permutation"));
+        }
+        net.preset_tables(NodeTables::from_raw_parts(
+            offsets, edge_hot, nb_ids, id_to_port,
+        ));
+    } else if crate::network::relabel_disabled_by_env() {
+        // The artifact was baked in run space but relabeled execution is
+        // disabled for this process: skip both presets so the identity
+        // tables rebuild lazily on first use (and the run-space cell, if
+        // asked, re-evaluates the env gate and stays empty).
+    } else {
+        if perm.len() != n {
+            return Err(malformed("permutation length does not match n"));
+        }
+        // `Relabeling::from_to_orig` panics on a non-permutation, and
+        // mmap-path payloads are not checksummed — validate first so a
+        // corrupt file fails closed instead.
+        let mut seen = vec![0u64; n.div_ceil(64)];
+        for &o in perm {
+            let o = o as usize;
+            if o >= n || seen[o / 64] >> (o % 64) & 1 == 1 {
+                return Err(malformed("stored relabeling is not a permutation"));
+            }
+            seen[o / 64] |= 1 << (o % 64);
+        }
+        if tbl_offsets.len() != n + 1
+            || *tbl_offsets.last().unwrap() != dir_edges
+            || tbl_offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(malformed("run-space offsets malformed"));
+        }
+        let rel = wakeup_graph::Relabeling::from_to_orig(perm.to_vec());
+        net.preset_run_space(
+            rel,
+            NodeTables::from_raw_parts(tbl_offsets, edge_hot, nb_ids, id_to_port),
+        );
+    }
     Ok(net)
 }
 
@@ -393,6 +471,69 @@ mod tests {
             );
             std::fs::remove_file(&path).ok();
         }
+    }
+
+    #[test]
+    fn relabeled_network_round_trips_with_run_space_preset() {
+        let g = generators::erdos_renyi_connected(70, 0.1, 13).unwrap();
+        let net = Network::kt1(g, 7);
+        net.force_relabel();
+        assert!(
+            net.run_space().is_some(),
+            "fixture must have a non-trivial relabeling"
+        );
+        let path = tmp("net-relabeled");
+        write_network(&path, "rel", &net).unwrap();
+        let back = read_network(&path, "rel").unwrap();
+        assert_eq!(back, net);
+        // The run space comes straight from the file — same permutation,
+        // byte-identical run-space tables — not from an RCM recompute.
+        let a = net.run_space().unwrap();
+        let b = back.run_space().unwrap();
+        assert_eq!(a.rel, b.rel);
+        assert_eq!(*a.tables, *b.tables);
+        // Identity tables still lazily rebuild to the same bytes on both.
+        assert_eq!(**back.tables(), **net.tables());
+        // Re-baking the reloaded network reproduces the file image — the
+        // `--verify` cold-rebuild contract holds for relabeled bakes.
+        assert_eq!(
+            network_file_bytes("rel", &net),
+            network_file_bytes("rel", &back)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn relabeled_bake_loads_identically_on_mmap_and_eager_paths() {
+        let g = generators::erdos_renyi_connected(70, 0.1, 13).unwrap();
+        let net = Network::kt1(g, 7);
+        net.force_relabel();
+        assert!(net.run_space().is_some());
+        let path = tmp("net-relabeled-eager");
+        write_network(&path, "rel", &net).unwrap();
+        let mapped = read_network(&path, "rel").unwrap();
+        // The eager path (`WAKEUP_STORE_NO_MMAP=1` semantics) re-derives
+        // every payload checksum and must produce the same network, run
+        // space included.
+        let f = StoreFile::open_with(&path, kind::NETWORK, "rel", wakeup_store::MapMode::Eager)
+            .unwrap();
+        assert!(!f.is_mapped());
+        f.verify_all().unwrap();
+        let eager = decode_network(&f).unwrap();
+        assert_eq!(mapped, eager);
+        assert_eq!(
+            *mapped.run_space().unwrap().tables,
+            *eager.run_space().unwrap().tables
+        );
+        assert_eq!(
+            mapped.run_space().unwrap().rel,
+            eager.run_space().unwrap().rel
+        );
+        assert_eq!(
+            network_file_bytes("rel", &mapped),
+            network_file_bytes("rel", &eager)
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

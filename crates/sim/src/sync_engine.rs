@@ -81,6 +81,13 @@ impl Default for SyncConfig {
 pub struct SyncEngine<'n, P: SyncProtocol> {
     net: crate::network::NetHandle<'n>,
     tables: Arc<NodeTables>,
+    /// `Some` iff this engine executes in the locality-ordered run space
+    /// (the network has a non-identity [`wakeup_graph::Relabeling`] and the
+    /// config records neither traces nor audit logs, whose streams are
+    /// defined in chronological identity order). The sync model has no
+    /// delay strategy, so unlike the async engine there is no per-run
+    /// fallback: `Some` here means every run relabels.
+    space: Option<Arc<crate::network::RunSpace>>,
     config: SyncConfig,
     protocols: Vec<P>,
     scratch: SyncScratch<P::Msg>,
@@ -101,7 +108,10 @@ struct SyncScratch<M> {
     newly_awake: Vec<(NodeId, WakeCause)>,
     wake_queued: Vec<bool>,
     entries_buf: Vec<(Port, PayloadRef)>,
-    outbox_all: Vec<(NodeId, Port, PayloadRef)>,
+    /// The round's send queue: `(sender, port, payload, phase)` where phase
+    /// 0 = wake-handler send, 1 = step send (the packed-key bit relabeled
+    /// runs need to restore the identity delivery order).
+    outbox_all: Vec<(NodeId, Port, PayloadRef, u8)>,
     /// Per-shard state for sharded runs; empty until the first `shards > 1`
     /// run, rebuilt only when the shard count changes.
     shards: Vec<SyncShardScratch<M>>,
@@ -109,7 +119,13 @@ struct SyncScratch<M> {
 
 struct InFlight {
     to: NodeId,
-    from: NodeId,
+    /// Identity runs: the sender's node index. Relabeled runs: the packed
+    /// key `(phase << FROM_IDX_BITS) | orig_sender` — a stable sort of the
+    /// queue by `(to, from)` restores the identity-space delivery order
+    /// (wake-phase sends before step sends, original ids ascending within
+    /// each), and masking with [`crate::network::FROM_IDX_MASK`] recovers
+    /// the original sender index.
+    from: u32,
     /// Receiver-side port (the paper's `port_to(to, from)`), resolved from
     /// the directed-edge index at send time so delivery does no lookups.
     rport: Port,
@@ -187,12 +203,29 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
     }
 
     fn with_handle(net: crate::network::NetHandle<'n>, config: SyncConfig) -> SyncEngine<'n, P> {
-        let tables = Arc::clone(net.tables());
+        // Trace and audit streams are defined in chronological identity
+        // order, so recording runs stay in the original space.
+        #[allow(unused_mut)]
+        let mut identity_only = config.trace_capacity.is_some();
+        #[cfg(feature = "audit")]
+        {
+            identity_only = identity_only || config.audit_capacity.is_some();
+        }
+        let space = if identity_only {
+            None
+        } else {
+            net.run_space().cloned()
+        };
+        let tables = match &space {
+            Some(s) => Arc::clone(&s.tables),
+            None => Arc::clone(net.tables()),
+        };
         let n = net.n();
         let mut protocols = Vec::with_capacity(n);
         crate::protocol::for_each_node_init(
             &net,
             &tables,
+            space.as_ref().map(|s| &*s.rel),
             config.seed,
             config.shared_seed,
             config.advice.as_deref().map(Vec::as_slice),
@@ -201,6 +234,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         SyncEngine {
             net,
             tables,
+            space,
             config,
             protocols,
             scratch: SyncScratch {
@@ -226,6 +260,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         crate::protocol::for_each_node_init(
             &self.net,
             &self.tables,
+            self.space.as_ref().map(|s| &*s.rel),
             seed,
             self.config.shared_seed,
             self.config.advice.as_deref().map(Vec::as_slice),
@@ -258,6 +293,15 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             return self.run_sharded(schedule);
         }
         let n = self.net.n();
+        let rel = self.space.as_deref().map(|s| &*s.rel);
+        let from_mask = if rel.is_some() {
+            crate::network::FROM_IDX_MASK
+        } else {
+            u32::MAX
+        };
+        if let Some(rel) = rel {
+            rel.permute_to_run(&mut self.protocols);
+        }
         let mut metrics = Metrics::new(n);
         let mut obs = crate::obs::Obs::new(n, self.config.obs);
         let mut outputs: Vec<Option<u64>> = vec![None; n];
@@ -268,11 +312,14 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         } else {
             DenseBits::default()
         };
-        // Adversary wakes grouped by round.
+        // Adversary wakes grouped by round (run ids when relabeled).
         let mut pending_wakes: Vec<(u64, NodeId)> = schedule
             .entries()
             .iter()
-            .map(|&(tick, v)| (tick / TICKS_PER_UNIT, v))
+            .map(|&(tick, v)| {
+                let v = rel.map_or(v, |rel| NodeId::new(rel.to_run(v.index())));
+                (tick / TICKS_PER_UNIT, v)
+            })
             .collect();
         pending_wakes.sort_unstable();
         let mut wake_cursor = 0usize;
@@ -336,12 +383,18 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
             }
             obs.events += in_flight.len() as u64;
+            if rel.is_some() {
+                // Stable sort by (receiver, packed key) restores each
+                // receiver's identity-space delivery order (see
+                // `InFlight::from`).
+                in_flight.sort_by_key(|m| (m.to, m.from));
+            }
             for m in in_flight.drain(..) {
                 metrics.received_by[m.to.index()] += 1;
                 if let Some(tr) = trace.as_mut() {
                     tr.record(TraceEvent::Deliver {
                         tick,
-                        from: m.from,
+                        from: NodeId::new((m.from & from_mask) as usize),
                         to: m.to,
                     });
                 }
@@ -351,7 +404,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if let Some(log) = audit_log.as_mut() {
                     log.record(crate::audit::AuditEvent::Deliver {
                         tick,
-                        from: m.from.index() as u32,
+                        from: m.from & from_mask,
                         to: m.to.index() as u32,
                         slot: m.msg.slot(),
                         gen: m.msg.generation(),
@@ -361,7 +414,11 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     ports_touched.set(self.tables.slot(m.to, m.rport));
                 }
                 let sender_id = match self.net.mode() {
-                    crate::knowledge::KnowledgeMode::Kt1 => Some(self.net.ids().id(m.from)),
+                    crate::knowledge::KnowledgeMode::Kt1 => Some(
+                        self.net
+                            .ids()
+                            .id(NodeId::new((m.from & from_mask) as usize)),
+                    ),
                     crate::knowledge::KnowledgeMode::Kt0 => None,
                 };
                 if inboxes[m.to.index()].is_empty() {
@@ -371,7 +428,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     // Provisional causal predecessor: the round's first
                     // delivery to a sleeping node (erased below if the
                     // adversary wakes it this round instead).
-                    obs.note_wake_pred(m.to.index(), m.from.index() as u32);
+                    obs.note_wake_pred(m.to.index(), m.from & from_mask);
                 }
                 inboxes[m.to.index()].push((
                     Incoming {
@@ -406,10 +463,11 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     // forest, not a successor.
                     obs.clear_wake_pred(v.index());
                 }
+                let ov = rel.map_or(v, |rel| NodeId::new(rel.to_orig(v.index())));
                 if let Some(tr) = trace.as_mut() {
                     tr.record(TraceEvent::Wake {
                         tick,
-                        node: v,
+                        node: ov,
                         cause,
                     });
                 }
@@ -417,14 +475,14 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if let Some(log) = audit_log.as_mut() {
                     log.record(crate::audit::AuditEvent::Wake {
                         tick,
-                        node: v.index() as u32,
+                        node: ov.index() as u32,
                         cause,
                     });
                     if let Some(advice) = self.config.advice.as_deref() {
                         log.record(crate::audit::AuditEvent::AdviceRead {
                             tick,
-                            node: v.index() as u32,
-                            bits: advice[v.index()].len() as u32,
+                            node: ov.index() as u32,
+                            bits: advice[ov.index()].len() as u32,
                         });
                     }
                 }
@@ -436,9 +494,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if awake_count == n {
                     metrics.all_awake_tick = Some(tick);
                 }
+                if rel.is_some() {
+                    obs.phases.set_handler(tick, 0, ov.index() as u32);
+                }
                 let mut ctx = Context::new(
-                    v,
-                    self.net.graph().degree(v),
+                    ov,
+                    self.net.graph().degree(ov),
                     self.net.mode(),
                     self.tables.id_to_port(v.index()),
                     &mut *entries_buf,
@@ -452,7 +513,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 );
                 self.protocols[v.index()].on_wake(&mut ctx, cause);
                 for (port, r) in entries_buf.drain(..) {
-                    outbox_all.push((v, port, r));
+                    outbox_all.push((v, port, r, 0));
                 }
             }
             for &(v, _) in newly_awake.iter() {
@@ -467,14 +528,22 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if !awake[v] {
                     continue;
                 }
+                // Warm the next node's protocol state and inbox row while
+                // this handler runs.
+                crate::prefetch::prefetch_index(&self.protocols, v + 1);
+                crate::prefetch::prefetch_index(inboxes, v + 1);
                 let node = NodeId::new(v);
+                let ov = rel.map_or(node, |rel| NodeId::new(rel.to_orig(v)));
                 if !inboxes[v].is_empty() {
                     obs.on_batch(inboxes[v].len());
                 }
                 let mut inbox = Inbox::new(&mut inboxes[v]);
+                if rel.is_some() {
+                    obs.phases.set_handler(tick, 1, ov.index() as u32);
+                }
                 let mut ctx = Context::new(
-                    node,
-                    self.net.graph().degree(node),
+                    ov,
+                    self.net.graph().degree(ov),
                     self.net.mode(),
                     self.tables.id_to_port(v),
                     &mut *entries_buf,
@@ -489,21 +558,24 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 self.protocols[v].on_messages_batch(&mut ctx, &mut inbox);
                 drop(inbox);
                 for (port, r) in entries_buf.drain(..) {
-                    outbox_all.push((node, port, r));
+                    outbox_all.push((node, port, r, 1));
                 }
             }
             // Queue round-r sends for round r+1 delivery (CONGEST was
             // enforced at enqueue time by the context; here we only account
             // and route).
-            for (from, port, r) in outbox_all.drain(..) {
+            for (from, port, r, phase) in outbox_all.drain(..) {
                 let slot = self.tables.slot(from, port);
-                let to = NodeId::new(self.tables.edge_to[slot] as usize);
+                let hot = self.tables.edge_hot[slot];
+                let to = NodeId::new(hot.to as usize);
+                let of = rel.map_or(from, |rel| NodeId::new(rel.to_orig(from.index())));
+                let ot = rel.map_or(to, |rel| NodeId::new(rel.to_orig(to.index())));
                 let bits = arena.bits(r);
                 if let Some(tr) = trace.as_mut() {
                     tr.record(TraceEvent::Send {
                         tick,
-                        from,
-                        to,
+                        from: of,
+                        to: ot,
                         bits,
                     });
                 }
@@ -511,8 +583,8 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if let Some(log) = audit_log.as_mut() {
                     log.record(crate::audit::AuditEvent::Send {
                         tick,
-                        from: from.index() as u32,
-                        to: to.index() as u32,
+                        from: of.index() as u32,
+                        to: ot.index() as u32,
                         bits: bits as u32,
                         slot: r.slot(),
                         gen: r.generation(),
@@ -527,10 +599,14 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if self.config.track_ports {
                     ports_touched.set(slot);
                 }
-                let rport = Port::new(self.tables.rev_port[slot] as usize);
+                let rport = Port::new(hot.rport as usize);
                 in_flight.push(InFlight {
                     to,
-                    from,
+                    from: if rel.is_some() {
+                        (u32::from(phase) << crate::network::FROM_IDX_BITS) | of.index() as u32
+                    } else {
+                        from.index() as u32
+                    },
                     rport,
                     msg: r,
                 });
@@ -549,7 +625,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             );
         }
         crate::obs::add_global_events(obs.events);
-        RunReport {
+        let mut report = RunReport {
             all_awake: awake_count == n,
             rounds: round,
             outputs,
@@ -559,7 +635,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             obs,
             #[cfg(feature = "audit")]
             audit_log,
+        };
+        if let Some(rel) = rel {
+            crate::network::unpermute_report(rel, &mut report);
+            rel.permute_to_orig(&mut self.protocols);
         }
+        report
     }
 
     /// The per-node protocol states (final states after a run).
@@ -597,19 +678,30 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         let net = &*self.net;
         let tables = &*self.tables;
         let config = &self.config;
+        // `self.tables` is already the run-space table set when the network
+        // has a run space, and the shard plan's contiguous node ranges are
+        // therefore contiguous in locality order.
+        let rel = self.space.as_deref().map(|s| &*s.rel);
         let n = net.n();
         let plan = ShardPlan::new(n, config.shards);
         let k = plan.k;
         if self.scratch.shards.len() != k {
             self.scratch.shards = (0..k).map(|_| SyncShardScratch::new(k)).collect();
         }
-        // Adversary wakes grouped by round, canonically (round, id)-sorted.
+        // Adversary wakes grouped by round, canonically (round, id)-sorted
+        // (run ids when relabeled).
         let mut wakes_all: Vec<(u64, NodeId)> = schedule
             .entries()
             .iter()
-            .map(|&(tick, v)| (tick / TICKS_PER_UNIT, v))
+            .map(|&(tick, v)| {
+                let v = rel.map_or(v, |rel| NodeId::new(rel.to_run(v.index())));
+                (tick / TICKS_PER_UNIT, v)
+            })
             .collect();
         wakes_all.sort_unstable();
+        if let Some(rel) = rel {
+            rel.permute_to_run(&mut self.protocols);
+        }
         let mut metrics = Metrics::new(n);
         let mut outputs: Vec<Option<u64>> = vec![None; n];
         let mut awake = vec![false; n];
@@ -681,6 +773,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 drain_buf,
                 wakes,
                 cursor: 0,
+                rel,
+                from_mask: if rel.is_some() {
+                    crate::network::FROM_IDX_MASK
+                } else {
+                    u32::MAX
+                },
                 staged: 0,
                 events: 0,
             });
@@ -751,7 +849,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         let mut obs = crate::obs::merge_shard_obs(n, config.obs, &obs_shards);
         obs.events = events;
         crate::obs::add_global_events(events);
-        RunReport {
+        let mut report = RunReport {
             all_awake,
             rounds: round,
             outputs,
@@ -761,7 +859,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             obs,
             #[cfg(feature = "audit")]
             audit_log: None,
+        };
+        if let Some(rel) = rel {
+            crate::network::unpermute_report(rel, &mut report);
+            rel.permute_to_orig(&mut self.protocols);
         }
+        report
     }
 }
 
@@ -792,9 +895,14 @@ struct SyncShard<'e, P: SyncProtocol> {
     entries_buf: &'e mut Vec<(Port, PayloadRef)>,
     stage: &'e mut [Vec<SyncCross<P::Msg>>],
     drain_buf: &'e mut Vec<SyncCross<P::Msg>>,
-    /// This shard's schedule wakes, `(round, id)`-sorted.
+    /// This shard's schedule wakes, `(round, id)`-sorted (run ids when
+    /// relabeled — the shard ranges partition run-id space).
     wakes: Vec<(u64, NodeId)>,
     cursor: usize,
+    /// `Some` iff this run executes in the locality-ordered run space.
+    rel: Option<&'e wakeup_graph::Relabeling>,
+    /// Sender-index extraction mask (see [`InFlight::from`]).
+    from_mask: u32,
     /// Messages staged since the last publish.
     staged: u64,
     /// Locally processed events (deliveries + wakes), merged at the end.
@@ -825,6 +933,12 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             self.process_round(round);
             self.publish_cells(cells);
             self.publish_slot(slots);
+        }
+        if self.rel.is_some() {
+            // Relabeled runs skip `stamp_new_spans`; install the tracked
+            // canonical (tick, phase, orig actor) minima instead so the
+            // cross-shard span merge reproduces the identity label order.
+            self.obs.adopt_tracked_keys();
         }
     }
 
@@ -884,20 +998,27 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
                 Some(self.sm.last_receipt_tick.map_or(tick, |t| t.max(tick)));
         }
         self.events += inflight.len() as u64;
+        if self.rel.is_some() {
+            // Stable sort by (receiver, packed key) restores each receiver's
+            // identity-space delivery order (see `InFlight::from`).
+            inflight.sort_by_key(|m| (m.to, m.from));
+        }
         for m in inflight.drain(..) {
             let li = m.to as usize - self.lo;
             self.received_by[li] += 1;
             let sender_id = match self.net.mode() {
-                crate::knowledge::KnowledgeMode::Kt1 => {
-                    Some(self.net.ids().id(NodeId::new(m.from as usize)))
-                }
+                crate::knowledge::KnowledgeMode::Kt1 => Some(
+                    self.net
+                        .ids()
+                        .id(NodeId::new((m.from & self.from_mask) as usize)),
+                ),
                 crate::knowledge::KnowledgeMode::Kt0 => None,
             };
             if self.inboxes[li].is_empty() {
                 self.touched.push(li);
             }
             if !self.awake[li] {
-                self.obs.note_wake_pred(li, m.from);
+                self.obs.note_wake_pred(li, m.from & self.from_mask);
             }
             let msg = match m.payload {
                 crate::shard::CrossPayload::Local(r) => self.arena.take(r),
@@ -943,10 +1064,16 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             self.sm.awake_count += 1;
             self.wake_tick[li] = Some(tick);
             self.sm.first_wake_tick = Some(self.sm.first_wake_tick.map_or(tick, |t| t.min(tick)));
+            let ov = self
+                .rel
+                .map_or(v, |rel| NodeId::new(rel.to_orig(v.index())));
+            if self.rel.is_some() {
+                self.obs.phases.set_handler(tick, 0, ov.index() as u32);
+            }
             let mut entries = std::mem::take(&mut *self.entries_buf);
             let mut ctx = Context::new(
-                v,
-                self.net.graph().degree(v),
+                ov,
+                self.net.graph().degree(ov),
                 self.net.mode(),
                 self.tables.id_to_port(v.index()),
                 &mut entries,
@@ -959,7 +1086,9 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
                 tick,
             );
             self.protocols[li].on_wake(&mut ctx, cause);
-            self.obs.stamp_new_spans(tick, 0, v.index() as u32);
+            if self.rel.is_none() {
+                self.obs.stamp_new_spans(tick, 0, v.index() as u32);
+            }
             self.route_outbox(&mut entries, v, 0);
             *self.entries_buf = entries;
         }
@@ -972,15 +1101,25 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             if !self.awake[li] {
                 continue;
             }
+            // Warm the next node's protocol state and inbox row while this
+            // handler runs.
+            crate::prefetch::prefetch_index(self.protocols, li + 1);
+            crate::prefetch::prefetch_index(self.inboxes, li + 1);
             let v = NodeId::new(li + self.lo);
+            let ov = self
+                .rel
+                .map_or(v, |rel| NodeId::new(rel.to_orig(v.index())));
             if !self.inboxes[li].is_empty() {
                 self.obs.on_batch(self.inboxes[li].len());
             }
             let mut inbox = Inbox::new(&mut self.inboxes[li]);
+            if self.rel.is_some() {
+                self.obs.phases.set_handler(tick, 1, ov.index() as u32);
+            }
             let mut entries = std::mem::take(&mut *self.entries_buf);
             let mut ctx = Context::new(
-                v,
-                self.net.graph().degree(v),
+                ov,
+                self.net.graph().degree(ov),
                 self.net.mode(),
                 self.tables.id_to_port(li + self.lo),
                 &mut entries,
@@ -994,7 +1133,9 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             );
             self.protocols[li].on_messages_batch(&mut ctx, &mut inbox);
             drop(inbox);
-            self.obs.stamp_new_spans(tick, 1, v.index() as u32);
+            if self.rel.is_none() {
+                self.obs.stamp_new_spans(tick, 1, v.index() as u32);
+            }
             self.route_outbox(&mut entries, v, 1);
             *self.entries_buf = entries;
         }
@@ -1003,9 +1144,13 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
     /// The serial send-queue pass for one handler's outbox, staging into
     /// per-`(shard, phase)` buffers for next-round delivery.
     fn route_outbox(&mut self, entries: &mut Vec<(Port, PayloadRef)>, from: NodeId, phase: usize) {
+        let of = self
+            .rel
+            .map_or(from, |rel| NodeId::new(rel.to_orig(from.index())));
         for (port, r) in entries.drain(..) {
             let slot = self.tables.slot(from, port);
-            let to = self.tables.edge_to[slot] as usize;
+            let hot = self.tables.edge_hot[slot];
+            let to = hot.to as usize;
             let bits = self.arena.bits(r);
             self.sm.messages_sent += 1;
             self.sm.bits_sent += bits as u64;
@@ -1021,9 +1166,13 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             };
             self.staged += 1;
             self.stage[dst * crate::shard::PHASES + phase].push(SyncCross {
-                to: self.tables.edge_to[slot],
-                from: from.index() as u32,
-                rport: self.tables.rev_port[slot],
+                to: hot.to,
+                from: if self.rel.is_some() {
+                    ((phase as u32) << crate::network::FROM_IDX_BITS) | of.index() as u32
+                } else {
+                    from.index() as u32
+                },
+                rport: hot.rport,
                 payload,
             });
         }
@@ -1271,6 +1420,73 @@ mod tests {
             let b = crate::obs::ObsSnapshot::of(&sharded);
             assert_eq!(a.to_json(), b.to_json(), "shards={shards}");
             assert_eq!(a.to_prometheus(), b.to_prometheus(), "shards={shards}");
+        }
+    }
+
+    /// Phase-labeling flood over both sync handler surfaces — the sync
+    /// sibling of the async engine's `PhasedFlood` differential fixture.
+    struct PhasedSyncFlood {
+        relayed: bool,
+        seen: u64,
+    }
+    impl SyncProtocol for PhasedSyncFlood {
+        type Msg = Ping;
+        fn init(_: &NodeInit<'_>) -> Self {
+            PhasedSyncFlood {
+                relayed: false,
+                seen: 0,
+            }
+        }
+        fn on_wake(&mut self, ctx: &mut Context<'_, Ping>, _cause: WakeCause) {
+            ctx.phase("wake");
+            if !self.relayed {
+                self.relayed = true;
+                ctx.broadcast(Ping);
+            }
+        }
+        fn on_round(&mut self, ctx: &mut Context<'_, Ping>, inbox: Vec<(Incoming, Ping)>) {
+            if !inbox.is_empty() {
+                ctx.phase("relay");
+                self.seen += inbox.len() as u64;
+                ctx.output(self.seen * 1000 + ctx.node().index() as u64);
+            }
+        }
+    }
+
+    /// The tentpole contract on the sync engine: relabeled runs reproduce
+    /// identity-space runs byte for byte, serial and sharded.
+    #[test]
+    fn sync_relabeled_run_is_byte_identical_to_identity_run() {
+        let g = generators::erdos_renyi_connected(41, 0.12, 13).unwrap();
+        let relabeled = Network::kt1(g.clone(), 5);
+        relabeled.force_relabel();
+        assert!(
+            relabeled.run_space().is_some(),
+            "fixture must actually relabel"
+        );
+        let identity = Network::kt1(g, 5);
+        identity.disable_relabel();
+        let all: Vec<NodeId> = (0..41).map(NodeId::new).collect();
+        let schedule = WakeSchedule::staggered(&all, 1.7);
+        let run = |net: &Network, shards: usize| {
+            let config = SyncConfig {
+                shards,
+                ..SyncConfig::default()
+            };
+            SyncEngine::<PhasedSyncFlood>::new(net, config).run(&schedule)
+        };
+        for shards in [1, 3] {
+            let a = run(&relabeled, shards);
+            let b = run(&identity, shards);
+            assert_eq!(a.metrics, b.metrics, "shards={shards}");
+            assert_eq!(a.outputs, b.outputs, "shards={shards}");
+            assert_eq!(a.rounds, b.rounds, "shards={shards}");
+            assert_eq!(a.all_awake, b.all_awake);
+            assert_eq!(a.truncated, b.truncated);
+            let sa = crate::obs::ObsSnapshot::of(&a);
+            let sb = crate::obs::ObsSnapshot::of(&b);
+            assert_eq!(sa.to_json(), sb.to_json(), "shards={shards}");
+            assert_eq!(sa.to_prometheus(), sb.to_prometheus(), "shards={shards}");
         }
     }
 

@@ -88,7 +88,11 @@ pub const MAGIC: [u8; 8] = *b"WAKEBAKE";
 /// Version 2 interleaved the pair-shaped network sections (edge list,
 /// reverse port table) so they can be served as zero-copy pair-struct
 /// views instead of being zipped from split sections on every reload.
-pub const FORMAT_VERSION: u32 = 2;
+/// Version 3 interleaved the engine tables' hot `(to, rport)` pair the
+/// same way and added the locality-relabeling sections (run→orig
+/// permutation plus run-space prefix sums), storing relabeled networks'
+/// tables in run space.
+pub const FORMAT_VERSION: u32 = 3;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 64;
 /// Size of one section-table entry in bytes.
