@@ -3,17 +3,16 @@
 //! Replays identical seeds through paired engine configurations and diffs
 //! the final node tables ([`RunDigest`]) and audit traces:
 //!
-//! * batched vs per-message delivery ([`PerMessage`] / [`PerRound`]),
-//! * `reset()` + rerun vs a freshly constructed engine,
-//! * cached advice artifacts vs freshly built advice,
-//! * the async engine under lockstep (all delays = τ) vs the sync engine,
-//! * intra-run sharded execution vs serial (digests plus byte-exact
-//!   observability snapshots; audit recording forces the serial path, so
-//!   these runs use plain configs).
+//! * the scenario conformance batteries: every spec under `scenarios/audit/`
+//!   runs the full `wakeup_scenario::conformance` battery — invariant
+//!   audits, batched vs per-message/per-round delivery, `reset()` + rerun
+//!   vs fresh, sharded vs serial, and lockstep vs the sync engine where
+//!   eligible (the same battery `wakeup fuzz` applies to generated specs);
+//! * cached advice artifacts vs freshly built advice.
 //!
-//! Every run additionally passes through [`Auditor::standard`], and an
-//! engine × delay-strategy matrix exercises the invariant checkers under
-//! every [`DelayStrategy`] at τ caps {1, 3, 16} ticks and the full τ.
+//! An engine × delay-strategy matrix additionally exercises the invariant
+//! checkers under every [`DelayStrategy`] at τ caps {1, 3, 16} ticks and
+//! the full τ.
 //!
 //! On any invariant violation or pairing mismatch the offending traces are
 //! written as JSONL artifacts to `--out-dir` (default `target/audit`) and
@@ -32,8 +31,6 @@ use wakeup_core::advice::spanner::SpannerWake;
 use wakeup_core::advice::{AdvisingScheme, SpannerScheme};
 use wakeup_core::fast_wakeup::FastWakeUp;
 use wakeup_core::flooding::{FloodAsync, FloodSync};
-use wakeup_core::nih::Nih;
-use wakeup_graph::families::ClassG;
 use wakeup_graph::NodeId;
 use wakeup_sim::adversary::{
     AdversarialDelay, BurstDelay, CappedDelay, DelayStrategy, FifoWorstDelay, RandomDelay,
@@ -41,8 +38,8 @@ use wakeup_sim::adversary::{
 };
 use wakeup_sim::audit::{AuditLog, AuditScope, Auditor};
 use wakeup_sim::{
-    AsyncConfig, AsyncEngine, AsyncProtocol, KnowledgeMode, Lockstep, Network, PerMessage,
-    PerRound, RunDigest, RunReport, SyncConfig, SyncEngine, SyncProtocol, TICKS_PER_UNIT,
+    AsyncConfig, AsyncEngine, AsyncProtocol, KnowledgeMode, Network, RunDigest, RunReport,
+    SyncConfig, SyncEngine, SyncProtocol, TICKS_PER_UNIT,
 };
 
 /// Event capacity for every audited run — far above what the small-n
@@ -79,11 +76,8 @@ fn main() -> ExitCode {
         failures: Vec::new(),
     };
     delay_matrix(&mut h);
-    batched_vs_per_message(&mut h);
-    reset_vs_fresh(&mut h);
     cached_vs_cold(&mut h);
-    async_vs_lockstep(&mut h);
-    sharded_vs_serial(&mut h);
+    scenario_batteries(&mut h);
     h.finish()
 }
 
@@ -114,9 +108,13 @@ impl Harness {
     }
 
     fn dump(&self, name: &str, tag: &str, log: &AuditLog) -> PathBuf {
+        self.dump_str(name, tag, &log.to_jsonl())
+    }
+
+    fn dump_str(&self, name: &str, tag: &str, jsonl: &str) -> PathBuf {
         std::fs::create_dir_all(&self.out_dir).expect("create audit out dir");
         let path = self.out_dir.join(format!("{name}.{tag}.jsonl"));
-        std::fs::write(&path, log.to_jsonl()).expect("write failing trace");
+        std::fs::write(&path, jsonl).expect("write failing trace");
         path
     }
 
@@ -182,32 +180,6 @@ impl Harness {
             }
         }
         self.pass(name);
-    }
-
-    /// Asserts two paired runs agree on their final node tables and on the
-    /// byte-exact observability snapshot — for pairings that run without
-    /// audit logs (there are no traces to dump on failure).
-    fn equivalent_snapshots(&mut self, name: &str, left: &RunReport, right: &RunReport) {
-        let diffs = RunDigest::of(left).diff(&RunDigest::of(right));
-        if !diffs.is_empty() {
-            self.fail(
-                name,
-                format!(
-                    "{} digest field(s) differ; first: {}",
-                    diffs.len(),
-                    diffs[0]
-                ),
-            );
-            return;
-        }
-        let (a, b) = (left.obs_snapshot(), right.obs_snapshot());
-        if a.to_json() != b.to_json() {
-            self.fail(name, "digests agree but ObsSnapshot JSON differs".into());
-        } else if a.to_prometheus() != b.to_prometheus() {
-            self.fail(name, "ObsSnapshot Prometheus text differs".into());
-        } else {
-            self.pass(name);
-        }
     }
 
     fn finish(self) -> ExitCode {
@@ -355,123 +327,6 @@ fn delay_matrix(h: &mut Harness) {
     }
 }
 
-/// The engine's `on_messages_batch` fast path must be indistinguishable from
-/// per-message delivery for every protocol that overrides the batch hook.
-fn batched_vs_per_message(h: &mut Harness) {
-    println!("== batched vs per-message delivery ==");
-    let schedule = staggered_schedule();
-
-    // FloodAsync's batch override discards the whole inbox at once.
-    let net = sparse_net(40, KnowledgeMode::Kt0);
-    for (dlabel, seed) in [("unit", 0u64), ("random", 17)] {
-        let mk = |s: u64| -> Box<dyn DelayStrategy> {
-            if s == 0 {
-                Box::new(UnitDelay)
-            } else {
-                Box::new(RandomDelay::new(s))
-            }
-        };
-        let a = run_async::<FloodAsync>(&net, async_cfg(5), &schedule, mk(seed).as_mut());
-        let b =
-            run_async::<PerMessage<FloodAsync>>(&net, async_cfg(5), &schedule, mk(seed).as_mut());
-        let name = format!("batch-vs-per-message-flood-{dlabel}");
-        h.equivalent(&name, &a, &b, true);
-        h.audit(&format!("{name}-audit"), AuditScope::new(&net), &a);
-    }
-
-    // Nih wraps flooding and coalesces runs of needle reports per batch.
-    let fam = ClassG::new(8).expect("class-G family");
-    let nih_net = Network::kt0(fam.graph().clone(), 3);
-    let nih_schedule = WakeSchedule::all_at_zero(&fam.centers());
-    let a = run_async::<Nih<FloodAsync>>(&nih_net, async_cfg(2), &nih_schedule, &mut UnitDelay);
-    let b = run_async::<PerMessage<Nih<FloodAsync>>>(
-        &nih_net,
-        async_cfg(2),
-        &nih_schedule,
-        &mut UnitDelay,
-    );
-    h.equivalent("batch-vs-per-message-nih", &a, &b, true);
-    h.audit(
-        "batch-vs-per-message-nih-audit",
-        AuditScope::new(&nih_net),
-        &a,
-    );
-
-    // SpannerWake runs under CONGEST with oracle advice.
-    let key = NetworkKey {
-        family: GraphFamily::Sparse,
-        n: 32,
-        seed: 7,
-        mode: KnowledgeMode::Kt0,
-    };
-    let snet = artifacts::global().network(key);
-    let scheme = SpannerScheme::new(2);
-    let advice = artifacts::global().advice(
-        AdviceKey {
-            net: key,
-            scheme: SchemeId::Spanner(2),
-        },
-        || scheme.advise(&snet),
-    );
-    let scfg = |advice: Arc<Vec<wakeup_sim::BitStr>>| AsyncConfig {
-        channel: scheme.channel(snet.n()),
-        advice: Some(advice),
-        ..async_cfg(4)
-    };
-    let a = run_async::<SpannerWake>(&snet, scfg(advice.clone()), &schedule, &mut UnitDelay);
-    let b = run_async::<PerMessage<SpannerWake>>(
-        &snet,
-        scfg(advice.clone()),
-        &schedule,
-        &mut UnitDelay,
-    );
-    h.equivalent("batch-vs-per-message-spanner", &a, &b, true);
-    h.audit(
-        "batch-vs-per-message-spanner-audit",
-        AuditScope::new(&snet)
-            .with_channel(scheme.channel(snet.n()))
-            .with_advice(&advice),
-        &a,
-    );
-
-    // FastWakeUp overrides the sync batch hook; PerRound forces on_round.
-    let kt1 = sparse_net(24, KnowledgeMode::Kt1);
-    let a = run_sync::<FastWakeUp>(&kt1, sync_cfg(6), &schedule);
-    let b = run_sync::<PerRound<FastWakeUp>>(&kt1, sync_cfg(6), &schedule);
-    h.equivalent("batch-vs-per-round-fast-wakeup", &a, &b, true);
-    h.audit(
-        "batch-vs-per-round-fast-wakeup-audit",
-        AuditScope::new(&kt1),
-        &a,
-    );
-}
-
-/// `reset()` + rerun must reproduce a freshly constructed engine exactly —
-/// no state may leak across runs through the wheel, arena, or channels.
-fn reset_vs_fresh(h: &mut Harness) {
-    println!("== reset() vs fresh engine ==");
-    let schedule = staggered_schedule();
-
-    let net = sparse_net(40, KnowledgeMode::Kt0);
-    let fresh = run_async::<FloodAsync>(&net, async_cfg(42), &schedule, &mut RandomDelay::new(11));
-    let mut engine = AsyncEngine::<FloodAsync>::new(&net, async_cfg(42));
-    // Dirty every scratch structure with a different-seed run, then reset.
-    engine.reset(9);
-    let _ = engine.run_mut(&schedule, &mut RandomDelay::new(23));
-    engine.reset(42);
-    let reused = engine.run_mut(&schedule, &mut RandomDelay::new(11));
-    h.equivalent("reset-vs-fresh-async-flood", &fresh, &reused, true);
-
-    let kt1 = sparse_net(24, KnowledgeMode::Kt1);
-    let fresh = run_sync::<FastWakeUp>(&kt1, sync_cfg(42), &schedule);
-    let mut engine = SyncEngine::<FastWakeUp>::new(&kt1, sync_cfg(42));
-    engine.reset(9);
-    let _ = engine.run_mut(&schedule);
-    engine.reset(42);
-    let reused = engine.run_mut(&schedule);
-    h.equivalent("reset-vs-fresh-sync-fast-wakeup", &fresh, &reused, true);
-}
-
 /// Replaying cached artifacts (networks, advice) must be indistinguishable
 /// from building them cold.
 fn cached_vs_cold(h: &mut Harness) {
@@ -528,83 +383,29 @@ fn cached_vs_cold(h: &mut Harness) {
     );
 }
 
-/// An async run where the adversary delays every message by exactly τ is a
-/// valid synchronous execution: it must agree with the sync engine running
-/// the same protocol under [`Lockstep`].
-fn async_vs_lockstep(h: &mut Harness) {
-    println!("== async (lockstep adversary) vs sync engine ==");
-    // Round-aligned wake times so both engines see identical wake rounds.
-    let schedule = WakeSchedule::from_pairs(&[(NodeId::new(0), 0.0), (NodeId::new(7), 2.0)]);
-    for &n in &[16usize, 40] {
-        let net = sparse_net(n, KnowledgeMode::Kt0);
-        let a = run_async::<FloodAsync>(&net, async_cfg(3), &schedule, &mut UnitDelay);
-        let s = run_sync::<Lockstep<FloodAsync>>(&net, sync_cfg(3), &schedule);
-        // The engines schedule internal events differently, so traces are
-        // not byte-comparable — the digests must still agree exactly.
-        h.equivalent(&format!("async-unit-vs-sync-lockstep-n{n}"), &a, &s, false);
-        h.audit(
-            &format!("async-unit-vs-sync-lockstep-n{n}-async-audit"),
-            AuditScope::new(&net),
-            &a,
-        );
-        h.audit(
-            &format!("async-unit-vs-sync-lockstep-n{n}-sync-audit"),
-            AuditScope::new(&net),
-            &s,
-        );
-    }
-}
-
-/// Sharded engines vs serial: every byte of the digest and observability
-/// snapshot must match at shard counts 2 and 4, for both engines, under a
-/// forkable adversarial delay strategy.
-fn sharded_vs_serial(h: &mut Harness) {
-    println!("== sharded vs serial execution ==");
-    let schedule = staggered_schedule();
-    for &n in &[16usize, 40] {
-        let net = sparse_net(n, KnowledgeMode::Kt0);
-        let serial = {
-            let config = AsyncConfig {
-                seed: 3,
-                ..AsyncConfig::default()
-            };
-            run_async::<FloodAsync>(&net, config, &schedule, &mut AdversarialDelay::new(9))
-        };
-        for shards in [2usize, 4] {
-            let config = AsyncConfig {
-                seed: 3,
-                shards,
-                ..AsyncConfig::default()
-            };
-            let sharded =
-                run_async::<FloodAsync>(&net, config, &schedule, &mut AdversarialDelay::new(9));
-            h.equivalent_snapshots(
-                &format!("sharded-vs-serial-async-flood-n{n}-k{shards}"),
-                &serial,
-                &sharded,
-            );
-        }
-
-        let kt1 = sparse_net(n, KnowledgeMode::Kt1);
-        let serial = {
-            let config = SyncConfig {
-                seed: 3,
-                ..SyncConfig::default()
-            };
-            run_sync::<FastWakeUp>(&kt1, config, &schedule)
-        };
-        for shards in [2usize, 4] {
-            let config = SyncConfig {
-                seed: 3,
-                shards,
-                ..SyncConfig::default()
-            };
-            let sharded = run_sync::<FastWakeUp>(&kt1, config, &schedule);
-            h.equivalent_snapshots(
-                &format!("sharded-vs-serial-sync-fast-wakeup-n{n}-k{shards}"),
-                &serial,
-                &sharded,
-            );
+/// Runs the full `wakeup_scenario::conformance` battery over every spec in
+/// `scenarios/audit/` — batched vs per-message/per-round, reset vs fresh,
+/// sharded vs serial, lockstep where eligible, and the invariant audit,
+/// exactly the checks `wakeup fuzz` applies to generated specs. The corpus
+/// files replace the formerly hardcoded pairings: editing or adding a JSON
+/// spec changes the harness's coverage without touching this binary.
+fn scenario_batteries(h: &mut Harness) {
+    println!("== scenario conformance batteries (scenarios/audit) ==");
+    let specs = wakeup_scenario::corpus::audit().expect("load scenarios/audit corpus");
+    assert!(!specs.is_empty(), "scenarios/audit corpus is empty");
+    for (_, spec) in &specs {
+        for check in wakeup_scenario::conformance::run_battery(spec) {
+            let name = format!("scenario-{}-{}", spec.name, check.name);
+            if check.passed {
+                h.pass(&name);
+            } else {
+                let mut detail = check.detail.clone();
+                for (tag, jsonl) in &check.artifacts {
+                    let path = h.dump_str(&name, tag, jsonl);
+                    detail.push_str(&format!(" (trace: {})", path.display()));
+                }
+                h.fail(&name, detail);
+            }
         }
     }
 }

@@ -4,6 +4,13 @@
 //! cargo run --release -p wakeup-bench --bin table1 [--obs-json <path>] [--shards <K>]
 //! ```
 //!
+//! The rows come from the checked-in scenario corpus: every file under
+//! `scenarios/table1/` is one row, its `report` block carrying the printed
+//! label, the paper's claimed bounds, and the n-sweep sizes, while the
+//! spec's protocol and seed select the measurement via
+//! [`wakeup_bench::measure_spec`]. The printed bytes are identical to the
+//! formerly hardcoded row set.
+//!
 //! Each row reports, for the largest sweep size, the measured time, message
 //! count, and advice lengths, next to the paper's claimed bounds; the ratio
 //! column (measured messages / claimed shape) should stay roughly flat
@@ -20,16 +27,14 @@
 //! `--obs-json` bytes must not change — CI diffs 1 vs 4 shards exactly as
 //! it diffs 1 vs 4 sweep threads.
 
-use wakeup_bench::{
-    measure_cor1, measure_cor2, measure_flooding, measure_thm3, measure_thm4, measure_thm5a,
-    measure_thm5b, measure_thm6, par_sweep, RowPoint, SWEEP,
-};
+use wakeup_bench::{measure_spec, par_sweep};
+use wakeup_scenario::{corpus, ScenarioSpec};
 
 struct Row {
-    label: &'static str,
-    claim: &'static str,
+    label: String,
+    claim: String,
     sizes: Vec<usize>,
-    run: Box<dyn Fn(usize) -> RowPoint + Sync>,
+    spec: ScenarioSpec,
 }
 
 fn main() {
@@ -55,62 +60,19 @@ fn main() {
         }
     }
 
-    let rows: Vec<Row> = vec![
-        Row {
-            label: "flooding (baseline)",
-            claim: "time ρ_awk, msgs Θ(m)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_flooding(n, 7)),
-        },
-        Row {
-            label: "Theorem 3 (DfsRank)",
-            claim: "time & msgs O(n log n)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_thm3(n, 7)),
-        },
-        Row {
-            label: "Theorem 4 (FastWakeUp)",
-            claim: "10ρ_awk rounds, msgs O(n^1.5 √log n)",
-            sizes: vec![32, 64, 128, 192],
-            run: Box::new(|n| measure_thm4(n, 7)),
-        },
-        Row {
-            label: "[FIP06], Cor. 1",
-            claim: "O(D) time, O(n) msgs, advice max O(n)/avg O(log n)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_cor1(n, 7)),
-        },
-        Row {
-            label: "Theorem 5(A)",
-            claim: "O(D) time, O(n^1.5) msgs, advice max O(√n log n)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_thm5a(n, 7)),
-        },
-        Row {
-            label: "Theorem 5(B) (CEN)",
-            claim: "O(D log n) time, O(n) msgs, advice max O(log n)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_thm5b(n, 7)),
-        },
-        Row {
-            label: "Theorem 6 (k=2)",
-            claim: "O(kρ log n) time, O(k n^{1+1/k} log n) msgs, advice O(n^{1/k} log² n)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_thm6(n, 2, 7)),
-        },
-        Row {
-            label: "Theorem 6 (k=3)",
-            claim: "as above with k=3",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_thm6(n, 3, 7)),
-        },
-        Row {
-            label: "Corollary 2",
-            claim: "O(ρ log² n) time, O(n log² n) msgs, advice O(log² n)",
-            sizes: SWEEP.to_vec(),
-            run: Box::new(|n| measure_cor2(n, 7)),
-        },
-    ];
+    let rows: Vec<Row> = corpus::table1()
+        .expect("load scenarios/table1 corpus")
+        .into_iter()
+        .map(|(_, spec)| {
+            let report = spec.report.clone().expect("table1 specs carry reports");
+            Row {
+                label: report.label,
+                claim: report.claim,
+                sizes: report.sizes,
+                spec,
+            }
+        })
+        .collect();
 
     // Measure every (row, n) cell as one flat parallel batch — par_sweep
     // returns results in input (row-major) order, so the printed table is
@@ -120,7 +82,7 @@ fn main() {
         .enumerate()
         .flat_map(|(i, row)| row.sizes.iter().map(move |&n| (i, n)))
         .collect();
-    let points = par_sweep(&cells, |&(i, n)| (rows[i].run)(n));
+    let points = par_sweep(&cells, |&(i, n)| measure_spec(&rows[i].spec, n));
 
     println!("# Measured Table 1 (sparse G(n,p), avg degree ≈ 8; seeds fixed)\n");
     println!(

@@ -233,6 +233,83 @@ pub fn measure_cor2(n: usize, seed: u64) -> RowPoint {
     )
 }
 
+/// Measures one Table 1 row described by a scenario spec at sweep size `n`.
+///
+/// The spec is a *row template*: its protocol and engine seed select the
+/// measurement (`measure_flooding`, `measure_thm3`, …) while the requested
+/// sweep size replaces the template graph's own `n` — exactly how the
+/// `table1` and `experiments` binaries drive their `report.sizes` sweeps.
+/// Dispatching onto the same `measure_*` functions the binaries used to
+/// call directly keeps corpus-driven output byte-identical to the
+/// hardcoded rows.
+///
+/// # Panics
+///
+/// Panics if the spec's protocol has no Table 1 measurement row (`nih`,
+/// `gossip`).
+pub fn measure_spec(spec: &wakeup_scenario::ScenarioSpec, n: usize) -> RowPoint {
+    use wakeup_scenario::ProtocolSpec;
+    let seed = spec.engine.seed;
+    match spec.protocol {
+        ProtocolSpec::Flooding => measure_flooding(n, seed),
+        ProtocolSpec::DfsRank => measure_thm3(n, seed),
+        ProtocolSpec::FastWakeUp => measure_thm4(n, seed),
+        ProtocolSpec::Cor1 => measure_cor1(n, seed),
+        ProtocolSpec::Thm5a => measure_thm5a(n, seed),
+        ProtocolSpec::Thm5b => measure_thm5b(n, seed),
+        ProtocolSpec::Thm6 { k } => measure_thm6(n, k, seed),
+        ProtocolSpec::Cor2 => measure_cor2(n, seed),
+        other => panic!("protocol {other:?} has no Table 1 measurement row"),
+    }
+}
+
+/// Derives the persistent-store artifact keys a scenario spec's workload
+/// touches: the network key, plus the advice key for advising schemes.
+///
+/// This is the *single* spec-to-key derivation — `wakeup bake --scenario`
+/// bakes exactly these keys, and the measurement path above loads the same
+/// ones through the global cache (key-equality is unit-tested). Only the
+/// `sparse` and `complete` families have store encodings; for `sparse` the
+/// graph seed must equal the engine seed, because a [`NetworkKey`] carries
+/// one seed for both the generator and the port/ID assignment.
+pub fn spec_artifact_keys(
+    spec: &wakeup_scenario::ScenarioSpec,
+) -> Result<(NetworkKey, Option<AdviceKey>), String> {
+    use wakeup_scenario::{GraphSpec, ProtocolSpec};
+    let (family, n) = match spec.graph {
+        GraphSpec::Sparse { n, seed } => {
+            if seed != spec.engine.seed {
+                return Err(format!(
+                    "sparse graph seed {seed} != engine seed {} — artifact keys carry one seed",
+                    spec.engine.seed
+                ));
+            }
+            (GraphFamily::Sparse, n)
+        }
+        GraphSpec::Complete { n } => (GraphFamily::Complete, n),
+        ref other => {
+            return Err(format!(
+                "graph family {other:?} has no persistent-store encoding"
+            ))
+        }
+    };
+    let net = NetworkKey {
+        family,
+        n,
+        seed: spec.engine.seed,
+        mode: spec.protocol.knowledge_mode(),
+    };
+    let scheme = match spec.protocol {
+        ProtocolSpec::Cor1 => Some(SchemeId::BfsTree),
+        ProtocolSpec::Thm5a => Some(SchemeId::Threshold),
+        ProtocolSpec::Thm5b => Some(SchemeId::Cen),
+        ProtocolSpec::Thm6 { k } => Some(SchemeId::Spanner(k)),
+        ProtocolSpec::Cor2 => Some(SchemeId::SpannerLog),
+        _ => None,
+    };
+    Ok((net, scheme.map(|scheme| AdviceKey { net, scheme })))
+}
+
 /// Number of worker threads the sweep harness uses: the `WAKEUP_THREADS`
 /// environment variable if set (`WAKEUP_THREADS=1` recovers the fully
 /// sequential path), otherwise the machine's available parallelism.

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! wakeup bake [--dir DIR] [--n 512,20000] [--seed N] [--verify] [--stats]
+//! wakeup bake [--dir DIR] --scenario scenarios/table1/04-cor1.json [--verify]
 //! ```
 //!
 //! For every requested size the corpus covers each network the measurement
@@ -14,6 +15,12 @@
 //! untouched, so re-running `bake` after a format or parameter change
 //! rewrites only the stale artifacts.
 //!
+//! `--scenario FILE` bakes exactly the artifacts one scenario spec needs —
+//! its network and, for advice-scheme protocols, its oracle advice — using
+//! the same key derivation ([`wakeup_bench::spec_artifact_keys`]) the
+//! measurement harness resolves at run time, so a baked store is hit (never
+//! silently missed) by the spec that requested it.
+//!
 //! `--verify` additionally re-reads every baked file and compares it
 //! byte-for-byte (header, section table, checksums, payloads) against a
 //! from-scratch cold rebuild, then prints the store-status line.
@@ -22,7 +29,7 @@
 //! cache-locality win at a glance.
 
 use std::collections::HashMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use wakeup_bench::artifacts::{
     build_advice, AdviceKey, ArtifactCache, GraphFamily, NetworkKey, SchemeId,
@@ -104,6 +111,11 @@ pub fn cmd_bake(
         .map_err(|e| CliError(format!("create {}: {e}", dir.display())))?;
 
     let cache = ArtifactCache::with_store(&dir);
+
+    if let Some(path) = flags.get("scenario") {
+        return bake_scenario(&cache, &dir, path, verify);
+    }
+
     let mut written = 0u64;
     let mut kept = 0u64;
     let mut total_bytes = 0u64;
@@ -194,6 +206,72 @@ pub fn cmd_bake(
     Ok(())
 }
 
+/// Bakes exactly the artifacts one scenario spec resolves to at run time:
+/// its network key and (for advice-scheme protocols) its advice key, both
+/// derived by [`wakeup_bench::spec_artifact_keys`] — the same derivation
+/// the measurement harness uses, so bake-time and run-time keys cannot
+/// drift apart.
+fn bake_scenario(
+    cache: &ArtifactCache,
+    dir: &Path,
+    path: &str,
+    verify: bool,
+) -> Result<(), CliError> {
+    let spec = wakeup_scenario::corpus::load_file(Path::new(path))
+        .map_err(|e| CliError(format!("scenario {path:?}: {e}")))?;
+    let (net_key, advice_key) = wakeup_bench::spec_artifact_keys(&spec)
+        .map_err(|e| CliError(format!("scenario {path:?}: {e}")))?;
+    let mut total_bytes = 0u64;
+    let outcome = cache
+        .bake_network(net_key)
+        .map_err(|e| CliError(format!("bake {}: {e}", net_key.store_file_name())))?;
+    println!(
+        "{:<10} {:>12} B  {}",
+        if outcome.written {
+            "baked"
+        } else {
+            "up-to-date"
+        },
+        outcome.bytes,
+        net_key.store_file_name()
+    );
+    total_bytes += outcome.bytes;
+    if let Some(key) = advice_key {
+        let net = cache.network(key.net);
+        let outcome = cache
+            .bake_advice(key, || build_advice(key.scheme, &net))
+            .map_err(|e| CliError(format!("bake {}: {e}", key.store_file_name())))?;
+        println!(
+            "{:<10} {:>12} B  {}",
+            if outcome.written {
+                "baked"
+            } else {
+                "up-to-date"
+            },
+            outcome.bytes,
+            key.store_file_name()
+        );
+        total_bytes += outcome.bytes;
+    }
+    println!(
+        "scenario {}: {total_bytes} bytes in {}",
+        spec.name,
+        dir.display()
+    );
+    if verify {
+        let bytes = cache.verify_network(net_key).map_err(CliError)?;
+        println!("verified   {:>12} B  {}", bytes, net_key.store_file_name());
+        if let Some(key) = advice_key {
+            let bytes = cache
+                .verify_advice(key, |net| build_advice(key.scheme, net))
+                .map_err(CliError)?;
+            println!("verified   {:>12} B  {}", bytes, key.store_file_name());
+        }
+    }
+    eprintln!("{}", cache.store_status_line());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +326,79 @@ mod tests {
         assert!(err.contains("diverges"), "unexpected error: {err}");
         // ...and a re-bake with --verify rewrites the stale file and passes.
         cmd_bake(&flags(&[("dir", dir_s), ("n", "40")]), true, false).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scenario_keys_match_bake_corpus_derivation() {
+        use wakeup_bench::spec_artifact_keys;
+        use wakeup_scenario::{
+            DelaySpec, EngineSpec, GraphSpec, ProtocolSpec, ScenarioSpec, WakeSpec,
+        };
+        let spec = |graph, protocol| ScenarioSpec {
+            name: "key-equality".into(),
+            graph,
+            protocol,
+            wake: WakeSpec::Single { node: 0 },
+            delays: DelaySpec::Unit,
+            engine: EngineSpec {
+                seed: 7,
+                shards: 1,
+                audit: true,
+            },
+            report: None,
+        };
+        let sparse = GraphSpec::Sparse { n: 48, seed: 7 };
+        let (networks, advice) = corpus(48, 7);
+        // Plain protocols resolve to the three corpus networks, no advice.
+        let keys = spec_artifact_keys(&spec(sparse.clone(), ProtocolSpec::Flooding)).unwrap();
+        assert_eq!(keys, (networks[0], None));
+        let keys = spec_artifact_keys(&spec(sparse.clone(), ProtocolSpec::DfsRank)).unwrap();
+        assert_eq!(keys, (networks[1], None));
+        let keys = spec_artifact_keys(&spec(
+            GraphSpec::Complete { n: 48 },
+            ProtocolSpec::FastWakeUp,
+        ))
+        .unwrap();
+        assert_eq!(keys, (networks[2], None));
+        // Every advice-scheme protocol resolves to exactly the corpus
+        // advice key `bake` would write for it — one shared derivation.
+        let schemes = [
+            (ProtocolSpec::Cor1, 0),
+            (ProtocolSpec::Thm5a, 1),
+            (ProtocolSpec::Thm5b, 2),
+            (ProtocolSpec::Thm6 { k: 2 }, 3),
+            (ProtocolSpec::Thm6 { k: 3 }, 4),
+            (ProtocolSpec::Cor2, 5),
+        ];
+        for (protocol, idx) in schemes {
+            let (net, adv) = spec_artifact_keys(&spec(sparse.clone(), protocol)).unwrap();
+            assert_eq!(net, networks[0]);
+            assert_eq!(adv, Some(advice[idx]));
+        }
+        // A sparse spec whose graph seed disagrees with the engine seed has
+        // no single-seed artifact encoding.
+        let mismatched = GraphSpec::Sparse { n: 48, seed: 8 };
+        assert!(spec_artifact_keys(&spec(mismatched, ProtocolSpec::Flooding)).is_err());
+    }
+
+    #[test]
+    fn bake_scenario_writes_and_verifies_spec_artifacts() {
+        let dir = std::env::temp_dir().join("wakeup-cli-bake-scenario-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let spec_path = wakeup_scenario::corpus::dir().join("table1/04-cor1.json");
+        cmd_bake(
+            &flags(&[
+                ("dir", dir_s.as_str()),
+                ("scenario", spec_path.to_str().unwrap()),
+            ]),
+            true,
+            false,
+        )
+        .unwrap();
+        // One network file plus one advice file for the cor1 scheme.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,8 +18,10 @@
 #![warn(missing_docs)]
 
 pub mod bake;
+pub mod fuzz;
 
 pub use bake::cmd_bake;
+pub use fuzz::{cmd_fuzz, cmd_run_scenario};
 
 use std::fmt;
 

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! wakeup run  --algo dfs-rank --graph gnp:200:0.05:7 --wake single:0 [--seed N] [--delays unit|random:N|skewed:N]
+//! wakeup run  --scenario scenarios/table1/01-flooding.json
 //! wakeup sweep --algo thm5b --family gnp --sizes 64,128,256 [--seed N]
 //! wakeup info --graph classgk:3:4:7
 //! wakeup bake --dir store/ --n 512,20000 [--seed N] [--verify] [--stats]
+//! wakeup fuzz [--seed N] [--count K] [--out-dir DIR]
 //! wakeup help
 //! ```
 
@@ -12,8 +14,8 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use wakeup_cli::{
-    cmd_bake, execute, graph_info, parse_delays, parse_graph, parse_schedule, run_trials, sweep,
-    CliError,
+    cmd_bake, cmd_fuzz, cmd_run_scenario, execute, graph_info, parse_delays, parse_graph,
+    parse_schedule, run_trials, sweep, CliError,
 };
 
 const HELP: &str = "\
@@ -21,10 +23,13 @@ wakeup — adversarial wake-up simulator
 
 USAGE:
   wakeup run   --algo <ALGO> --graph <GRAPH> --wake <WAKE> [--seed N] [--delays D]
+  wakeup run   --scenario <FILE.json>
   wakeup sweep --algo <ALGO> --family <gnp|complete|tree> --sizes 64,128,... [--seed N]
   wakeup trials --algo <ALGO> --graph <GRAPH> --wake <WAKE> --count N [--seed N]
   wakeup info  --graph <GRAPH>
   wakeup bake  [--dir DIR] [--n 512,20000] [--seed N] [--verify] [--stats]
+  wakeup bake  [--dir DIR] --scenario <FILE.json> [--verify]
+  wakeup fuzz  [--seed N] [--count K] [--out-dir DIR]
   wakeup help
 
 ALGO:   flooding | dfs-rank | fast-wakeup | gossip | leader |
@@ -36,12 +41,24 @@ GRAPH:  path:N cycle:N star:N complete:N hypercube:D grid:R:C tree:N:SEED
 WAKE:   single:V | all | spread:STEP | stagger:STEP:GAP | at:V@T,V@T,...
 DELAYS: unit | random:SEED | skewed:SALT   (async algorithms only)
 
+run --scenario executes a validated scenario spec file (see scenarios/ and
+docs/MODEL.md) instead of assembling a workload from the flags above.
+
 bake pre-builds the benchmark artifact corpus (networks + oracle advice)
 into a persistent store (--dir, or the WAKEUP_STORE variable). Measurement
 binaries run with WAKEUP_STORE set then reload artifacts via mmap instead
 of rebuilding them. --verify re-reads every file and compares it
 byte-for-byte against a from-scratch cold rebuild. --stats prints each
 network's mean neighbor-id distance before/after locality relabeling.
+With --scenario, bake derives the spec's artifact keys exactly as the
+measurement harness does and bakes only those artifacts.
+
+fuzz generates --count random valid scenario specs from --seed (the same
+seed always yields the same spec stream) and runs each through the full
+conformance battery: invariant audits, batched-vs-per-message,
+reset-vs-fresh, sharded-vs-serial, lockstep-vs-sync where eligible. A
+failing spec is greedily minimized and written with its differential
+traces under --out-dir (default target/fuzz); the exit code is nonzero.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -68,6 +85,9 @@ fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str
 }
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), CliError> {
+    if let Some(path) = flags.get("scenario") {
+        return cmd_run_scenario(path);
+    }
     let graph = parse_graph(required(flags, "graph")?)?;
     let n = graph.n();
     let schedule = parse_schedule(required(flags, "wake")?, n)?;
@@ -163,6 +183,7 @@ fn main() -> ExitCode {
             rest.retain(|a| a != "--verify" && a != "--stats");
             parse_flags(&rest).and_then(|f| cmd_bake(&f, verify, stats))
         }
+        Some("fuzz") => parse_flags(&args[1..]).and_then(|f| cmd_fuzz(&f)),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())

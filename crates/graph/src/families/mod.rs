@@ -6,9 +6,19 @@
 //! * [`ClassGk`] — Section 2.2's class 𝒢ₖ for the KT1 time-restricted lower
 //!   bound (Theorem 2): same matching, but the core is an (approximately)
 //!   `n^{1/k}`-regular bipartite graph with girth at least `k + 5`.
+//!
+//! Plus two benchmark families the scenario corpus sweeps alongside them:
+//!
+//! * [`Torus`] — the wrapping 4-regular grid (small constant degree, large
+//!   diameter).
+//! * [`PowerLaw`] — preferential attachment (hub-dominated, tiny diameter).
 
 mod class_g;
 mod class_gk;
+mod power_law;
+mod torus;
 
 pub use class_g::ClassG;
 pub use class_gk::ClassGk;
+pub use power_law::PowerLaw;
+pub use torus::Torus;

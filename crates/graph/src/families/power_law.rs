@@ -1,0 +1,150 @@
+//! The preferential-attachment power-law family.
+
+use crate::generators;
+use crate::{Graph, GraphError, NodeId};
+
+/// A Barabási–Albert power-law instance: heavy-tailed degrees around a few
+/// hubs, connected by construction.
+///
+/// The construction is [`generators::preferential_attachment`] — a seed
+/// clique on `attach + 1` nodes, then each arriving node attaches to
+/// `attach` existing nodes sampled proportionally to degree. The family
+/// wrapper pins the parameters next to the graph (scenario specs and tests
+/// want them back) and exposes the hub structure the raw generator does not.
+///
+/// Hub-dominated topologies stress the opposite regime from the torus: a
+/// tiny ρ_awk with extreme degree skew, where message bounds driven by `m`
+/// diverge sharply from bounds driven by `n`.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::families::PowerLaw;
+/// let fam = PowerLaw::new(64, 2, 7)?;
+/// assert_eq!(fam.graph().n(), 64);
+/// assert!(fam.max_degree() > 2 * fam.attach());
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerLaw {
+    graph: Graph,
+    attach: usize,
+    seed: u64,
+}
+
+impl PowerLaw {
+    /// Builds a power-law instance on `n` nodes with `attach` edges per
+    /// arriving node.
+    ///
+    /// # Errors
+    ///
+    /// Fails for `attach == 0` or `n <= attach + 1` (the seed clique needs
+    /// `attach + 1` nodes and at least one node must arrive after it).
+    pub fn new(n: usize, attach: usize, seed: u64) -> Result<PowerLaw, GraphError> {
+        if n <= attach + 1 {
+            return Err(GraphError::InvalidSize {
+                reason: format!("power law requires n > attach + 1 = {}", attach + 1),
+            });
+        }
+        Ok(PowerLaw {
+            graph: generators::preferential_attachment(n, attach, seed)?,
+            attach,
+            seed,
+        })
+    }
+
+    /// The underlying graph on `n` nodes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Edges attached per arriving node.
+    pub fn attach(&self) -> usize {
+        self.attach
+    }
+
+    /// The generator seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The maximum degree (the biggest hub).
+    pub fn max_degree(&self) -> usize {
+        (0..self.graph.n())
+            .map(|v| self.graph.degree(NodeId::new(v)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Nodes sorted by descending degree — the hubs first.
+    pub fn hubs(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = (0..self.graph.n()).map(NodeId::new).collect();
+        nodes.sort_by_key(|&v| (std::cmp::Reverse(self.graph.degree(v)), v.index()));
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn shape_matches_preferential_attachment() {
+        let fam = PowerLaw::new(100, 3, 11).unwrap();
+        let g = fam.graph();
+        assert_eq!(g.n(), 100);
+        assert!(
+            algo::is_connected(g),
+            "attachment keeps the graph connected"
+        );
+        // Every arriving node contributes `attach` edges on top of the seed
+        // clique (degree-collisions can only remove a handful).
+        let clique_edges = 3 * 4 / 2;
+        assert!(g.m() <= clique_edges + 97 * 3);
+        assert!(g.m() >= clique_edges + 97 * 2);
+        // Minimum degree is `attach` (arriving nodes), hubs are much bigger.
+        for v in 0..g.n() {
+            assert!(g.degree(NodeId::new(v)) >= 3);
+        }
+        assert!(fam.max_degree() >= 10, "got {}", fam.max_degree());
+    }
+
+    #[test]
+    fn hubs_are_sorted_by_degree() {
+        let fam = PowerLaw::new(60, 2, 5).unwrap();
+        let hubs = fam.hubs();
+        assert_eq!(hubs.len(), 60);
+        for pair in hubs.windows(2) {
+            assert!(fam.graph().degree(pair[0]) >= fam.graph().degree(pair[1]));
+        }
+        // The top hub concentrates attachment mass.
+        assert_eq!(fam.graph().degree(hubs[0]), fam.max_degree());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PowerLaw::new(50, 2, 9).unwrap();
+        let b = PowerLaw::new(50, 2, 9).unwrap();
+        let c = PowerLaw::new(50, 2, 10).unwrap();
+        let edges = |f: &PowerLaw| {
+            let g = f.graph();
+            (0..g.n())
+                .flat_map(|v| {
+                    g.neighbors(NodeId::new(v))
+                        .iter()
+                        .map(move |w| (v, w.index()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(edges(&a), edges(&b));
+        assert_ne!(edges(&a), edges(&c));
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        assert!(PowerLaw::new(3, 2, 1).is_err());
+        assert!(PowerLaw::new(10, 0, 1).is_err());
+    }
+}

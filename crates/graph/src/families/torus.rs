@@ -1,0 +1,120 @@
+//! The wrapping `rows × cols` torus family.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+
+/// A 4-regular `rows × cols` torus: the grid with both dimensions wrapped.
+///
+/// Node `(r, c)` is `r * cols + c`, matching the non-wrapping
+/// [`crate::generators::grid`] layout so grid and torus scenarios index
+/// nodes identically. The wrap edges make every node degree 4 and shrink
+/// the diameter to `⌊rows/2⌋ + ⌊cols/2⌋`, which makes the family a clean
+/// probe for time-vs-ρ_awk claims: the adversary cannot hide a far corner.
+///
+/// # Example
+///
+/// ```
+/// use wakeup_graph::families::Torus;
+/// let fam = Torus::new(4, 5)?;
+/// assert_eq!(fam.graph().n(), 20);
+/// for v in 0..20 {
+///     assert_eq!(fam.graph().degree(wakeup_graph::NodeId::new(v)), 4);
+/// }
+/// # Ok::<(), wakeup_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Torus {
+    graph: Graph,
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus {
+    /// Builds the `rows × cols` torus.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless both dimensions are at least 3 — smaller wraps would
+    /// duplicate edges (a 2-cycle collapses onto the single grid edge).
+    pub fn new(rows: usize, cols: usize) -> Result<Torus, GraphError> {
+        if rows < 3 || cols < 3 {
+            return Err(GraphError::InvalidSize {
+                reason: "torus requires rows >= 3 and cols >= 3".into(),
+            });
+        }
+        let mut b = GraphBuilder::new(rows * cols);
+        let at = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                b.add_edge(at(r, c), at(r, (c + 1) % cols))?;
+                b.add_edge(at(r, c), at((r + 1) % rows, c))?;
+            }
+        }
+        Ok(Torus {
+            graph: b.build(),
+            rows,
+            cols,
+        })
+    }
+
+    /// The underlying graph on `rows * cols` nodes.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The row dimension.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The column dimension.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The node at `(r, c)`.
+    pub fn at(&self, r: usize, c: usize) -> NodeId {
+        NodeId::new(r * self.cols + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo;
+
+    #[test]
+    fn four_regular_and_connected() {
+        for (rows, cols) in [(3, 3), (3, 7), (5, 4), (8, 8)] {
+            let fam = Torus::new(rows, cols).unwrap();
+            let g = fam.graph();
+            assert_eq!(g.n(), rows * cols);
+            assert_eq!(g.m(), 2 * rows * cols, "torus has 2·rows·cols edges");
+            for v in 0..g.n() {
+                assert_eq!(g.degree(NodeId::new(v)), 4, "{rows}x{cols} node {v}");
+            }
+            assert!(algo::is_connected(g));
+        }
+    }
+
+    #[test]
+    fn diameter_is_sum_of_half_dimensions() {
+        let fam = Torus::new(6, 9).unwrap();
+        assert_eq!(algo::diameter(fam.graph()), Some(3 + 4));
+    }
+
+    #[test]
+    fn wrap_edges_exist() {
+        let fam = Torus::new(4, 5).unwrap();
+        let g = fam.graph();
+        assert!(g.has_edge(fam.at(0, 0), fam.at(0, 4)), "row wrap");
+        assert!(g.has_edge(fam.at(0, 0), fam.at(3, 0)), "column wrap");
+        assert!(!g.has_edge(fam.at(0, 0), fam.at(1, 1)), "no diagonals");
+    }
+
+    #[test]
+    fn small_dimensions_rejected() {
+        assert!(Torus::new(2, 5).is_err());
+        assert!(Torus::new(5, 2).is_err());
+        assert!(Torus::new(0, 0).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Loader for the checked-in `scenarios/` corpus.
+//!
+//! Corpus files are stored in canonical form: loading one and
+//! re-serializing it must reproduce the file bytes exactly (the
+//! `scenarios` integration tests pin this for every file). Directory
+//! resolution, in order:
+//!
+//! 1. the `WAKEUP_SCENARIOS` environment variable,
+//! 2. `./scenarios` relative to the current directory (how the installed
+//!    binaries run from a checkout),
+//! 3. the workspace-relative path baked in at compile time (how `cargo
+//!    test` finds the corpus from any crate's test cwd).
+
+use std::path::{Path, PathBuf};
+
+use crate::spec::{ScenarioSpec, SpecError};
+
+/// The workspace corpus path baked in at compile time.
+const BAKED_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+
+/// Resolves the corpus root directory.
+pub fn dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("WAKEUP_SCENARIOS") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    let local = PathBuf::from("scenarios");
+    if local.is_dir() {
+        return local;
+    }
+    PathBuf::from(BAKED_DIR)
+}
+
+fn io_err(path: &Path, err: std::io::Error) -> SpecError {
+    SpecError::Io {
+        path: path.display().to_string(),
+        detail: err.to_string(),
+    }
+}
+
+/// Loads and validates one spec file.
+pub fn load_file(path: &Path) -> Result<ScenarioSpec, SpecError> {
+    let text = std::fs::read_to_string(path).map_err(|e| io_err(path, e))?;
+    ScenarioSpec::parse(&text)
+}
+
+/// Loads every `.json` spec in one corpus subdirectory, sorted by file name
+/// (so `01-…` through `09-…` come back in Table 1 row order).
+pub fn load_subdir(subdir: &str) -> Result<Vec<(PathBuf, ScenarioSpec)>, SpecError> {
+    let root = dir().join(subdir);
+    let entries = std::fs::read_dir(&root).map_err(|e| io_err(&root, e))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load_file(&p).map(|spec| (p, spec)))
+        .collect()
+}
+
+/// The Table 1 corpus, one spec per row, in row order.
+pub fn table1() -> Result<Vec<(PathBuf, ScenarioSpec)>, SpecError> {
+    let rows = load_subdir("table1")?;
+    for (path, spec) in &rows {
+        if spec.report.is_none() {
+            return Err(SpecError::Incompatible {
+                detail: format!(
+                    "{}: table1 corpus specs must carry a report block",
+                    path.display()
+                ),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The audit-battery base specs.
+pub fn audit() -> Result<Vec<(PathBuf, ScenarioSpec)>, SpecError> {
+    load_subdir("audit")
+}
+
+/// Every spec in the corpus (all subdirectories plus the root), sorted by
+/// path.
+pub fn all() -> Result<Vec<(PathBuf, ScenarioSpec)>, SpecError> {
+    fn walk(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(root)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                walk(&path, out)?;
+            } else if path.extension().is_some_and(|ext| ext == "json") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let root = dir();
+    let mut paths = Vec::new();
+    walk(&root, &mut paths).map_err(|e| io_err(&root, e))?;
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| load_file(&p).map(|spec| (p, spec)))
+        .collect()
+}

@@ -678,6 +678,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_table_build_is_byte_identical_for_new_families() {
+        // Same guarantee over the scenario corpus's structured families:
+        // the 4-regular torus (uniform degrees — even work split) and the
+        // power-law family (hub nodes — maximally skewed work split).
+        use wakeup_graph::families::{PowerLaw, Torus};
+        let graphs = [
+            Torus::new(6, 8).unwrap().graph().clone(),
+            PowerLaw::new(80, 3, 5).unwrap().graph().clone(),
+        ];
+        for g in graphs {
+            for kt1 in [false, true] {
+                let net = if kt1 {
+                    Network::kt1(g.clone(), 9)
+                } else {
+                    Network::kt0(g.clone(), 9)
+                };
+                let mode = net.mode();
+                let seq = NodeTables::build_with_threads(&net, 1);
+                for threads in [2usize, 3, 7, 128] {
+                    let par = NodeTables::build_with_threads(&net, threads);
+                    assert_eq!(seq, par, "{mode:?} {threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn edge_index_matches_port_assignment() {
         // Random KT0 ports are the adversarial case: slots must agree with
         // the (permuted) port maps, not with neighbor order.
