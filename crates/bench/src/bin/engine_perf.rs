@@ -26,10 +26,11 @@
 //! export across shard counts exactly as it does across `WAKEUP_THREADS`.
 //!
 //! `--obs-json <path>` additionally writes one [`ObsSnapshot`] per entry —
-//! the byte-deterministic observability export (schema 3: tick histograms,
-//! phase spans, causal critical path). CI diffs this file across
-//! `WAKEUP_THREADS` and `--shards` settings and parses it as the schema
-//! check.
+//! the byte-deterministic observability export (snapshot schema 4: tick
+//! histograms, phase spans, causal critical path, windowed timeline,
+//! derived internals). CI diffs this file across `WAKEUP_THREADS` and
+//! `--shards` settings and parses it as the schema check; `wakeup obs
+//! inspect/diff/timeline` read the same file.
 //!
 //! Schema 4 splits setup into its cold and steady-state components (the old
 //! single `setup_ms` conflated them, making the first workload at each size
@@ -60,6 +61,10 @@
 //! * `crit_hops` / `crit_tau` — the longest causal wake chain (waking
 //!   deliveries, and its elapsed τ) reconstructed from the run's wake
 //!   predecessors; a logical quantity, identical across machines.
+//!
+//! Schema 6 bumps the embedded observability snapshots from schema 3 to
+//! schema 4 (windowed timeline + derived internals blocks); the timing
+//! fields are unchanged.
 //!
 //! "Events" are engine-level units of work: processed wake + deliver events
 //! for the async engine, delivered messages + node wakes for the sync one.
@@ -558,7 +563,7 @@ fn main() {
     assert!(!entries.is_empty(), "filter matched no workloads");
     measure_mmap_setups(&mut entries);
 
-    let mut json = String::from("{\n  \"schema\": 5,\n  \"entries\": [\n");
+    let mut json = String::from("{\n  \"schema\": 6,\n  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"protocol\": \"{}\", \"n\": {}, \"shards\": {}, \"events\": {}, \"setup_cold_ms\": {:.3}, \"setup_ms\": {:.3}, \"setup_mmap_ms\": {:.3}, \"run_ms\": {:.3}, \"events_per_sec\": {:.0}, \"crit_hops\": {}, \"crit_tau\": {:.6}}}{}\n",

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p wakeup-bench --bin obs_overhead \
-//!     [--n <size>] [--trials <t>] [--budget <fraction>]
+//!     [--n <size>] [--trials <t>] [--budget <fraction>] [--shards <k>]
 //! ```
 //!
 //! Runs the async flood at `n` (default 10 000) with full observability
@@ -17,6 +17,10 @@
 //! robust on noisy shared runners than comparing per-level minima. The
 //! process exits nonzero if full observability costs more than `--budget`
 //! (default 3%) of the baseline's events/s.
+//!
+//! `--shards <k>` runs both levels on the sharded execution path (set
+//! `WAKEUP_SHARDS_FORCE=1` to shard below the engine's size threshold), so
+//! the gate also covers the per-shard recorders and the merge step.
 
 use std::cell::Cell;
 use std::time::Instant;
@@ -31,6 +35,7 @@ fn main() {
     let mut n = 10_000usize;
     let mut trials = 31usize;
     let mut budget = 0.03f64;
+    let mut shards = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut next = |what: &str| {
@@ -41,6 +46,7 @@ fn main() {
             "--n" => n = next("--n").parse().expect("--n takes an integer"),
             "--trials" => trials = next("--trials").parse().expect("--trials takes an integer"),
             "--budget" => budget = next("--budget").parse().expect("--budget takes a fraction"),
+            "--shards" => shards = next("--shards").parse().expect("--shards takes an integer"),
             other => panic!("unknown flag {other:?}"),
         }
     }
@@ -56,6 +62,7 @@ fn main() {
         let config = AsyncConfig {
             seed: 7,
             obs,
+            shards,
             ..AsyncConfig::default()
         };
         AsyncEngine::<FloodAsync>::new_shared(net.clone(), config)
@@ -100,7 +107,7 @@ fn main() {
 
         let rate = |secs: f64| events.get() as f64 / secs;
         println!(
-            "flood_async n={n} (attempt {attempt}/{ATTEMPTS}): full obs {:.0} events/s vs \
+            "flood_async n={n} shards={shards} (attempt {attempt}/{ATTEMPTS}): full obs {:.0} events/s vs \
              counters-only {:.0} events/s (best of {trials} pairs) → median pairwise overhead \
              {:+.2}% (budget {:.2}%)",
             rate(best_full),

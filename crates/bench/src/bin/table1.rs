@@ -1,7 +1,8 @@
 //! Prints the measured counterpart of the paper's Table 1.
 //!
 //! ```text
-//! cargo run --release -p wakeup-bench --bin table1 [--obs-json <path>] [--shards <K>]
+//! cargo run --release -p wakeup-bench --bin table1 \
+//!     [--obs-json <path>] [--obs-prom <path>] [--shards <K>]
 //! ```
 //!
 //! The rows come from the checked-in scenario corpus: every file under
@@ -16,10 +17,13 @@
 //! column (measured messages / claimed shape) should stay roughly flat
 //! across the sweep — printed per size below the table.
 //!
-//! `--obs-json <path>` writes the schema-3 observability snapshot of every
-//! measured cell (tick histograms, phase spans, causal critical path) as a
-//! JSON array; the bytes are deterministic for the fixed seeds, at any
-//! `WAKEUP_THREADS` setting.
+//! `--obs-json <path>` writes the schema-4 observability snapshot of every
+//! measured cell (tick histograms, phase spans, causal critical path,
+//! windowed timeline) as a JSON array; the bytes are deterministic for the
+//! fixed seeds, at any `WAKEUP_THREADS` setting. `--obs-prom <path>` writes
+//! the same snapshots in the Prometheus text exposition format, one block
+//! per cell labeled `row`/`n` — equally byte-deterministic (CI diffs it
+//! across thread counts).
 //!
 //! `--shards <K>` runs every cell's engines with K intra-run shards (it
 //! sets `WAKEUP_SHARDS`, which the measurement harness reads). Sharded
@@ -39,11 +43,15 @@ struct Row {
 
 fn main() {
     let mut obs_json: Option<String> = None;
+    let mut obs_prom: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--obs-json" => {
                 obs_json = Some(args.next().expect("--obs-json needs a path"));
+            }
+            "--obs-prom" => {
+                obs_prom = Some(args.next().expect("--obs-prom needs a path"));
             }
             "--shards" => {
                 let k: usize = args
@@ -130,6 +138,23 @@ fn main() {
         }
         out.push_str("]\n");
         std::fs::write(&path, out).expect("write observability snapshots");
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = obs_prom {
+        // One exposition block per cell, separated by `# cell` comment
+        // headers (Prometheus scrapers ignore comments; the golden-file
+        // diff in CI compares the full bytes).
+        let mut out = String::new();
+        for (&(i, _), p) in cells.iter().zip(&points) {
+            out.push_str(&format!(
+                "# cell row={:?} n={}\n{}",
+                rows[i].label,
+                p.n,
+                p.snapshot.to_prometheus()
+            ));
+        }
+        std::fs::write(&path, out).expect("write Prometheus snapshots");
         eprintln!("wrote {path}");
     }
 }

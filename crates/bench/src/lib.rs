@@ -10,7 +10,7 @@
 pub mod artifacts;
 pub mod stats;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -343,17 +343,27 @@ where
     par_sweep_with(sweep_threads(), items, job)
 }
 
+/// Minimum spacing between sweep progress lines, in milliseconds. Trials
+/// finishing inside the window are folded into the next line instead of
+/// flooding stderr on fast sweeps.
+const PROGRESS_INTERVAL_MS: u64 = 200;
+
 /// Live sweep progress, printed to **stderr** only (stdout stays
 /// byte-identical for CI diffs) and gated by the `WAKEUP_PROGRESS`
-/// environment variable — set it to any non-empty value other than `0` to
-/// see one line per finished trial: rows done, sustained engine events/s
-/// (from the process-wide [`wakeup_sim::obs::global_events`] counter), and
-/// the linear-extrapolation ETA for the rest of the sweep.
+/// environment variable — set it to any non-empty value other than `0`.
+/// Lines flush on a [`PROGRESS_INTERVAL_MS`] interval (plus always the
+/// final trial) and carry: rows done, sustained engine events/s (from the
+/// process-wide [`wakeup_sim::obs::global_events`] counter), the most
+/// recent timeline window any recorder rolled into
+/// ([`wakeup_sim::obs::current_window`]), and the linear-extrapolation ETA
+/// for the rest of the sweep.
 struct SweepProgress {
     total: usize,
     done: AtomicUsize,
     start: Instant,
     events_at_start: u64,
+    /// Milliseconds since `start` of the last printed line.
+    last_print_ms: AtomicU64,
 }
 
 impl SweepProgress {
@@ -365,18 +375,36 @@ impl SweepProgress {
             done: AtomicUsize::new(0),
             start: Instant::now(),
             events_at_start: wakeup_sim::obs::global_events(),
+            last_print_ms: AtomicU64::new(0),
         })
     }
 
-    /// Records one finished trial and prints the progress line.
+    /// Records one finished trial and prints a progress line if the flush
+    /// interval elapsed (the final trial always prints).
     fn finish_one(&self) {
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let elapsed = self.start.elapsed().as_secs_f64().max(1e-9);
+        let elapsed = self.start.elapsed();
+        if done < self.total {
+            let now_ms = elapsed.as_millis() as u64;
+            let last = self.last_print_ms.load(Ordering::Relaxed);
+            // One worker wins the CAS per interval; the rest fold their
+            // trial into whoever prints next.
+            if now_ms.saturating_sub(last) < PROGRESS_INTERVAL_MS
+                || self
+                    .last_print_ms
+                    .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+            {
+                return;
+            }
+        }
+        let secs = elapsed.as_secs_f64().max(1e-9);
         let events = wakeup_sim::obs::global_events().wrapping_sub(self.events_at_start);
-        let rate = events as f64 / elapsed;
-        let eta = elapsed / done as f64 * (self.total - done) as f64;
+        let rate = events as f64 / secs;
+        let eta = secs / done as f64 * (self.total - done) as f64;
+        let window = wakeup_sim::obs::current_window();
         eprintln!(
-            "[sweep] {done}/{} rows done, {rate:.0} events/s, ETA {eta:.1}s",
+            "[sweep] {done}/{} rows done, {rate:.0} events/s, window {window}, ETA {eta:.1}s",
             self.total
         );
     }

@@ -19,9 +19,11 @@
 
 pub mod bake;
 pub mod fuzz;
+pub mod obs;
 
 pub use bake::cmd_bake;
 pub use fuzz::{cmd_fuzz, cmd_run_scenario};
+pub use obs::cmd_obs;
 
 use std::fmt;
 

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use wakeup_cli::{
-    cmd_bake, cmd_fuzz, cmd_run_scenario, execute, graph_info, parse_delays, parse_graph,
+    cmd_bake, cmd_fuzz, cmd_obs, cmd_run_scenario, execute, graph_info, parse_delays, parse_graph,
     parse_schedule, run_trials, sweep, CliError,
 };
 
@@ -30,6 +30,9 @@ USAGE:
   wakeup bake  [--dir DIR] [--n 512,20000] [--seed N] [--verify] [--stats]
   wakeup bake  [--dir DIR] --scenario <FILE.json> [--verify]
   wakeup fuzz  [--seed N] [--count K] [--out-dir DIR]
+  wakeup obs   inspect <FILE>
+  wakeup obs   diff <A> <B> [--tolerance PATH,PATH]
+  wakeup obs   timeline <FILE> [--format csv|jsonl]
   wakeup help
 
 ALGO:   flooding | dfs-rank | fast-wakeup | gossip | leader |
@@ -59,6 +62,13 @@ conformance battery: invariant audits, batched-vs-per-message,
 reset-vs-fresh, sharded-vs-serial, lockstep-vs-sync where eligible. A
 failing spec is greedily minimized and written with its differential
 traces under --out-dir (default target/fuzz); the exit code is nonzero.
+
+obs inspects schema-4 observability snapshots (bare ObsSnapshot JSON or
+the --obs-json arrays of table1/engine_perf). inspect pretty-prints
+counters, histograms, the causal critical path, and an ASCII timeline
+sparkline. diff compares two files field-by-field: runtime.* (and any
+--tolerance path) may differ, every other field must match byte-for-byte
+— an exact mismatch exits nonzero. timeline dumps the windowed series.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
@@ -184,6 +194,8 @@ fn main() -> ExitCode {
             parse_flags(&rest).and_then(|f| cmd_bake(&f, verify, stats))
         }
         Some("fuzz") => parse_flags(&args[1..]).and_then(|f| cmd_fuzz(&f)),
+        // `obs` takes positional file paths; it parses its own args.
+        Some("obs") => cmd_obs(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())

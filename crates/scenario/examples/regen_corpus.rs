@@ -13,7 +13,8 @@
 use std::path::{Path, PathBuf};
 
 use wakeup_scenario::{
-    DelaySpec, EngineSpec, GraphSpec, ProtocolSpec, ReportSpec, ScenarioSpec, WakeSpec,
+    DelaySpec, EngineSpec, GraphSpec, ObsWindowSpec, ProtocolSpec, ReportSpec, ScenarioSpec,
+    WakeSpec,
 };
 
 const SWEEP: &[usize] = &[64, 128, 256, 512];
@@ -54,6 +55,7 @@ fn table1_row(
             experiments_title: experiments_title.to_string(),
             experiments_claim: experiments_claim.to_string(),
             sizes: sizes.to_vec(),
+            obs: None,
         }),
     }
 }
@@ -331,6 +333,29 @@ fn families() -> Vec<(&'static str, ScenarioSpec)> {
                 delays: DelaySpec::Unit,
                 engine: engine(9),
                 report: None,
+            },
+        ),
+        // Worked example of the opt-in `report.obs` window config: fixed
+        // 64-tick windows instead of the default log2 spacing.
+        (
+            "obs-windows.json",
+            ScenarioSpec {
+                name: "families-obs-windows".to_string(),
+                graph: GraphSpec::Sparse { n: 48, seed: 7 },
+                protocol: ProtocolSpec::Flooding,
+                wake: WakeSpec::Staggered { gap: 1.0 },
+                delays: DelaySpec::Unit,
+                engine: engine(9),
+                report: Some(ReportSpec {
+                    label: "flooding (linear obs windows)".to_string(),
+                    claim: "timeline bucketed into fixed 64-tick windows".to_string(),
+                    experiments_title: "Obs: linear timeline windows".to_string(),
+                    experiments_claim: "report.obs selects the recorder's window \
+                                        spacing; runs stay byte-deterministic"
+                        .to_string(),
+                    sizes: vec![48, 96],
+                    obs: Some(ObsWindowSpec::Linear { width: 64 }),
+                }),
             },
         ),
     ]

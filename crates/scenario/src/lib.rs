@@ -31,6 +31,6 @@ pub mod run;
 pub mod spec;
 
 pub use spec::{
-    DelaySpec, EngineSpec, GraphSpec, ProtocolSpec, ReportSpec, ScenarioSpec, SpecError, WakeSpec,
-    MAX_SEED, SPEC_VERSION,
+    DelaySpec, EngineSpec, GraphSpec, ObsWindowSpec, ProtocolSpec, ReportSpec, ScenarioSpec,
+    SpecError, WakeSpec, MAX_SEED, SPEC_VERSION,
 };

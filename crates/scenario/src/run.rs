@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use crate::spec::{DelaySpec, GraphSpec, ProtocolSpec, ScenarioSpec, WakeSpec};
+use crate::spec::{DelaySpec, GraphSpec, ObsWindowSpec, ProtocolSpec, ScenarioSpec, WakeSpec};
 use wakeup_core::advice::{
     AdvisingScheme, BfsTreeScheme, CenScheme, SpannerScheme, ThresholdScheme,
 };
@@ -26,7 +26,7 @@ use wakeup_sim::adversary::{
 use wakeup_sim::advice::AdviceStats;
 use wakeup_sim::{
     AsyncConfig, AsyncEngine, AsyncProtocol, BitStr, ChannelModel, KnowledgeMode, Network,
-    RunReport, SyncConfig, SyncEngine, SyncProtocol,
+    RunReport, SyncConfig, SyncEngine, SyncProtocol, WindowCfg,
 };
 
 /// Builds the graph a validated spec describes.
@@ -203,6 +203,15 @@ pub fn dispatch_sync<V: SyncDispatch>(
     }
 }
 
+/// Maps the spec's optional `report.obs` window config onto the engines'
+/// timeline window layout (the default log2 spacing when absent).
+fn obs_windows(spec: &ScenarioSpec) -> WindowCfg {
+    match spec.report.as_ref().and_then(|r| r.obs) {
+        Some(ObsWindowSpec::Linear { width }) => WindowCfg::Linear { width },
+        Some(ObsWindowSpec::Log2) | None => WindowCfg::Log2,
+    }
+}
+
 /// The async engine configuration a spec pins (advice is filled in by the
 /// dispatcher, channel by the scheme).
 pub fn async_config(
@@ -215,6 +224,7 @@ pub fn async_config(
         seed: spec.engine.seed,
         advice,
         shards: spec.engine.shards,
+        obs_windows: obs_windows(spec),
         ..AsyncConfig::default()
     }
 }
@@ -224,6 +234,7 @@ pub fn sync_config(spec: &ScenarioSpec) -> SyncConfig {
     SyncConfig {
         seed: spec.engine.seed,
         shards: spec.engine.shards,
+        obs_windows: obs_windows(spec),
         ..SyncConfig::default()
     }
 }

@@ -371,6 +371,23 @@ pub struct ReportSpec {
     pub experiments_claim: String,
     /// The n-sweep sizes.
     pub sizes: Vec<usize>,
+    /// Opt-in obs timeline window spacing for report runs (`None` = the
+    /// engine default, log-spaced).
+    pub obs: Option<ObsWindowSpec>,
+}
+
+/// Window spacing of the schema-4 obs timeline, mirrored onto
+/// [`wakeup_sim::WindowCfg`] by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsWindowSpec {
+    /// Log-spaced windows: window `w` covers ticks `[2^w − 1, 2^(w+1) − 1)`.
+    Log2,
+    /// Fixed-width windows of `width` ticks each (capped at 4096 windows by
+    /// the recorder).
+    Linear {
+        /// Window width in ticks, `1..=2^32`.
+        width: u64,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -570,6 +587,12 @@ impl ScenarioSpec {
                         detail: format!("size {s} outside 2..={MAX_NODES}"),
                     });
                 }
+            }
+            if report.obs == Some(ObsWindowSpec::Linear { width: 0 }) {
+                return Err(SpecError::OutOfRange {
+                    at: "$.report.obs.width".into(),
+                    detail: "linear window width must be at least 1 tick".into(),
+                });
             }
         }
         Ok(())
@@ -1023,6 +1046,10 @@ fn parse_report(at: &str, value: &Value) -> Result<ReportSpec, SpecError> {
             MAX_NODES as u64,
         )? as usize);
     }
+    let obs = match f.take("obs") {
+        Some(v) => Some(parse_obs_windows(&f.path("obs"), &v)?),
+        None => None,
+    };
     f.finish()?;
     Ok(ReportSpec {
         label,
@@ -1030,11 +1057,34 @@ fn parse_report(at: &str, value: &Value) -> Result<ReportSpec, SpecError> {
         experiments_title,
         experiments_claim,
         sizes,
+        obs,
     })
 }
 
+fn parse_obs_windows(at: &str, value: &Value) -> Result<ObsWindowSpec, SpecError> {
+    let mut f = Fields::new(at, value)?;
+    let mode = as_str(&f.path("mode"), &f.require("mode")?)?;
+    let spec = match mode.as_str() {
+        "log2" => ObsWindowSpec::Log2,
+        "linear" => ObsWindowSpec::Linear {
+            // 2^32 keeps the width exactly representable through the f64
+            // carrier, like seeds.
+            width: as_uint(&f.path("width"), &f.require("width")?, 1 << 32)?,
+        },
+        other => {
+            return Err(SpecError::UnknownVariant {
+                at: f.path("mode"),
+                value: other.to_string(),
+                allowed: "log2, linear",
+            })
+        }
+    };
+    f.finish()?;
+    Ok(spec)
+}
+
 fn report_value(report: &ReportSpec) -> Value {
-    Value::Obj(vec![
+    let mut out = vec![
         ("label".into(), Value::Str(report.label.clone())),
         ("claim".into(), Value::Str(report.claim.clone())),
         (
@@ -1049,7 +1099,18 @@ fn report_value(report: &ReportSpec) -> Value {
             "sizes".into(),
             Value::Arr(report.sizes.iter().map(|&s| Value::Num(s as f64)).collect()),
         ),
-    ])
+    ];
+    if let Some(obs) = &report.obs {
+        let fields = match obs {
+            ObsWindowSpec::Log2 => vec![("mode".to_string(), Value::Str("log2".into()))],
+            ObsWindowSpec::Linear { width } => vec![
+                ("mode".to_string(), Value::Str("linear".into())),
+                ("width".to_string(), Value::Num(*width as f64)),
+            ],
+        };
+        out.push(("obs".into(), Value::Obj(fields)));
+    }
+    Value::Obj(out)
 }
 
 #[cfg(test)]
@@ -1190,6 +1251,94 @@ mod tests {
         let doc = doc.replace("[5, 1.25], [11, 2.5]", "[5, 2.5], [11, 1.25]");
         assert!(matches!(
             ScenarioSpec::parse(&doc).unwrap_err(),
+            SpecError::OutOfRange { .. }
+        ));
+    }
+
+    /// `minimal()` with a report block whose `obs` value is the given JSON.
+    fn with_report_obs(obs: &str) -> String {
+        minimal().replace(
+            "\"engine\": {\"seed\": 7, \"shards\": 1, \"audit\": true}",
+            &format!(
+                "\"engine\": {{\"seed\": 7, \"shards\": 1, \"audit\": true}},\n  \
+                 \"report\": {{\"label\": \"l\", \"claim\": \"c\", \
+                 \"experiments_title\": \"t\", \"experiments_claim\": \"e\", \
+                 \"sizes\": [16], \"obs\": {obs}}}"
+            ),
+        )
+    }
+
+    #[test]
+    fn report_obs_window_configs_round_trip() {
+        let spec = ScenarioSpec::parse(&with_report_obs("{\"mode\": \"log2\"}")).unwrap();
+        assert_eq!(spec.report.as_ref().unwrap().obs, Some(ObsWindowSpec::Log2));
+        let canon = spec.to_canonical_json();
+        assert_eq!(ScenarioSpec::parse(&canon).unwrap(), spec);
+        assert_eq!(
+            ScenarioSpec::parse(&canon).unwrap().to_canonical_json(),
+            canon
+        );
+
+        let spec =
+            ScenarioSpec::parse(&with_report_obs("{\"mode\": \"linear\", \"width\": 64}")).unwrap();
+        assert_eq!(
+            spec.report.as_ref().unwrap().obs,
+            Some(ObsWindowSpec::Linear { width: 64 })
+        );
+        let canon = spec.to_canonical_json();
+        assert_eq!(ScenarioSpec::parse(&canon).unwrap(), spec);
+
+        // Absent obs stays absent (and the default window layout applies).
+        let doc =
+            with_report_obs("{\"mode\": \"log2\"}").replace(", \"obs\": {\"mode\": \"log2\"}", "");
+        let spec = ScenarioSpec::parse(&doc).unwrap();
+        assert_eq!(spec.report.as_ref().unwrap().obs, None);
+        assert!(!spec.to_canonical_json().contains("\"obs\""));
+    }
+
+    #[test]
+    fn report_obs_rejects_malformed_configs() {
+        // Unknown mode.
+        assert_eq!(
+            ScenarioSpec::parse(&with_report_obs("{\"mode\": \"fib\"}")).unwrap_err(),
+            SpecError::UnknownVariant {
+                at: "$.report.obs.mode".into(),
+                value: "fib".into(),
+                allowed: "log2, linear",
+            }
+        );
+        // Linear without a width.
+        assert_eq!(
+            ScenarioSpec::parse(&with_report_obs("{\"mode\": \"linear\"}")).unwrap_err(),
+            SpecError::MissingField {
+                at: "$.report.obs".into(),
+                field: "width".into(),
+            }
+        );
+        // Extra keys are rejected like everywhere else in the schema.
+        assert_eq!(
+            ScenarioSpec::parse(&with_report_obs("{\"mode\": \"log2\", \"stride\": 4}"))
+                .unwrap_err(),
+            SpecError::UnknownField {
+                at: "$.report.obs".into(),
+                field: "stride".into(),
+            }
+        );
+        // Zero-width linear windows never tick over.
+        assert_eq!(
+            ScenarioSpec::parse(&with_report_obs("{\"mode\": \"linear\", \"width\": 0}"))
+                .unwrap_err(),
+            SpecError::OutOfRange {
+                at: "$.report.obs.width".into(),
+                detail: "linear window width must be at least 1 tick".into(),
+            }
+        );
+        // Widths beyond 2^32 lose f64 exactness and are out of range.
+        assert!(matches!(
+            ScenarioSpec::parse(&with_report_obs(
+                "{\"mode\": \"linear\", \"width\": 4294967297}"
+            ))
+            .unwrap_err(),
             SpecError::OutOfRange { .. }
         ));
     }

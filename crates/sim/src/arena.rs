@@ -150,6 +150,14 @@ impl<M> PayloadArena<M> {
         self.slots.len()
     }
 
+    /// High-water mark of live payloads this run: slots are only appended
+    /// when the free list is empty, so the slot count *is* the peak
+    /// occupancy since the last `clear`. Read once per run into the obs
+    /// runtime counters.
+    pub(crate) fn high_water(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Drops every stored payload and resets the free list, keeping the slot
     /// vector's capacity for the next run. Any handle that survives a
     /// `clear` is invalid.

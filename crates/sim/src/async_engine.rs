@@ -70,6 +70,10 @@ pub struct AsyncConfig {
     /// Observability recording level (default [`crate::obs::ObsLevel::Full`]
     /// — always on; `Counters` is the overhead-bench baseline).
     pub obs: crate::obs::ObsLevel,
+    /// Timeline window spacing for the obs v4 windowed series (default
+    /// log2; ignored at [`crate::obs::ObsLevel::Counters`], which records
+    /// no timeline at all).
+    pub obs_windows: crate::obs::WindowCfg,
     /// Count CONGEST violations in metrics instead of panicking.
     pub record_congest_violations: bool,
     /// Record an execution trace with the given event capacity.
@@ -100,6 +104,7 @@ impl Default for AsyncConfig {
             max_events: 50_000_000,
             track_ports: false,
             obs: crate::obs::ObsLevel::Full,
+            obs_windows: crate::obs::WindowCfg::Log2,
             record_congest_violations: false,
             trace_capacity: None,
             #[cfg(feature = "audit")]
@@ -514,7 +519,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             phase: 0,
             protocols: &mut self.protocols,
             metrics: Metrics::new(n),
-            obs: crate::obs::Obs::new(n, config.obs),
+            obs: crate::obs::Obs::with_windows(n, config.obs, config.obs_windows),
             outputs: vec![None; n],
             awake: vec![false; n],
             awake_count: 0,
@@ -567,6 +572,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 st.phase = 1;
                 let bucket = st.wheel.take_bucket(now);
                 processed += bucket.len() as u64;
+                st.obs.tl_delivered(now, bucket.len() as u64);
                 for &e in bucket.iter() {
                     let pend = &mut pending[e.to as usize];
                     if pend.is_empty() {
@@ -607,7 +613,13 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                     break;
                 }
                 let next_wake = wakes.get(wake_cursor).map(|&(tick, _)| tick);
-                now = match (next_wake, st.wheel.next_occupied_after(now)) {
+                let wheel_next = st.wheel.next_occupied_after(now);
+                if let Some(d) = wheel_next {
+                    // Runtime diag: deepest forward scan the wheel performed
+                    // (once per tick advance, never per event).
+                    st.obs.runtime.wheel_max_scan = st.obs.runtime.wheel_max_scan.max(d - now);
+                }
+                now = match (next_wake, wheel_next) {
                     (Some(w), Some(d)) => w.min(d),
                     (Some(w), None) => w,
                     (None, Some(d)) => d,
@@ -631,7 +643,12 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         batch_run.flush(&mut st.obs.batch_sizes);
         st.send_run
             .flush(&mut st.obs.message_bits, &mut st.obs.delay_ticks);
+        st.obs.timeline.finish();
         st.obs.events = processed;
+        st.obs.runtime.shards = 1;
+        st.obs.runtime.arena_high_water = st.arena.high_water() as u64;
+        st.obs.runtime.prefetch_batches = st.obs.batch_sizes.count();
+        st.obs.runtime.relabel_applied = rel.is_some();
         crate::obs::add_global_events(processed);
         let mut report = RunReport {
             all_awake: st.awake_count == n,
@@ -790,7 +807,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
                 channel_seq: cs_it.next().unwrap(),
                 edge_base: tables.edge_offset[lo],
                 sm: ShardMetrics::default(),
-                obs: crate::obs::ShardObs::new(local_n, config.obs),
+                obs: crate::obs::ShardObs::new(local_n, config.obs, config.obs_windows),
                 send_run: crate::obs::PairRun::new(),
                 batch_run: crate::obs::ValueRun::new(),
                 wheel,
@@ -824,6 +841,7 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         let decision = AtomicU64::new(0);
         let mut processed = 0u64;
         let mut truncated = false;
+        let mut stall_rounds = 0u64;
         std::thread::scope(|scope| {
             let cells = &cells;
             let slots = &slots;
@@ -834,14 +852,24 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
             }
             // Coordinator: pick the globally earliest next event (the safe
             // horizon under τ-lookahead), or stop on quiescence / the cap.
+            let mut first_round = true;
             loop {
                 barrier.wait();
                 let mut next = u64::MAX;
+                let mut round_events = 0u64;
                 for slot in slots {
                     let p = *slot.lock().unwrap();
                     next = next.min(p.next_event);
-                    processed += p.new_events;
+                    round_events += p.new_events;
                 }
+                processed += round_events;
+                // Runtime diag: a barrier round in which no shard processed
+                // anything is a pure horizon-advance stall (skip the priming
+                // round — nothing has run yet by construction).
+                if round_events == 0 && !first_round && next != u64::MAX {
+                    stall_rounds += 1;
+                }
+                first_round = false;
                 if processed > config.max_events {
                     truncated = true;
                     next = u64::MAX;
@@ -870,6 +898,9 @@ impl<'n, P: AsyncProtocol> AsyncEngine<'n, P> {
         }
         let mut obs = crate::obs::merge_shard_obs(n, config.obs, &obs_shards);
         obs.events = processed;
+        obs.runtime.stall_rounds = stall_rounds;
+        obs.runtime.prefetch_batches = obs.batch_sizes.count();
+        obs.runtime.relabel_applied = rel.is_some();
         crate::obs::add_global_events(processed);
         let mut report = RunReport {
             all_awake,
@@ -980,6 +1011,7 @@ impl<P: AsyncProtocol> RunState<'_, P> {
         }
         self.awake[v.index()] = true;
         self.awake_count += 1;
+        self.obs.tl_wakes(tick, 1);
         self.metrics.wake_tick[v.index()] = Some(tick);
         self.metrics.first_wake_tick =
             Some(self.metrics.first_wake_tick.map_or(tick, |t| t.min(tick)));
@@ -1124,6 +1156,10 @@ impl<P: AsyncProtocol> RunState<'_, P> {
             return;
         }
         let obs_full = self.obs.level() == crate::obs::ObsLevel::Full;
+        // Timeline send sums stay in registers across the outbox (every
+        // entry shares the dispatch `tick`); one recorder update per outbox
+        // keeps struct-field read-modify-writes off the loop-carried path.
+        let (mut tl_sends, mut tl_bits) = (0u64, 0u64);
         let of = self
             .rel
             .map_or(from, |rel| NodeId::new(rel.to_orig(from.index())));
@@ -1183,6 +1219,8 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                     bits as u64,
                     deliver - tick,
                 );
+                tl_sends += 1;
+                tl_bits += bits as u64;
             }
             // The receiver-side port is the paper's port_to(to, from),
             // precomputed per directed edge. The enqueue-time payload handle
@@ -1198,6 +1236,10 @@ impl<P: AsyncProtocol> RunState<'_, P> {
                 msg: r,
             };
             self.wheel.push(tick, deliver, entry);
+        }
+        if obs_full {
+            // Timeline sends are attributed at the origin dispatch tick.
+            self.obs.timeline.note_sends(tick, tl_sends, tl_bits);
         }
     }
 }
@@ -1285,6 +1327,8 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
         self.batch_run.flush(&mut self.obs.batch_sizes);
         self.send_run
             .flush(&mut self.obs.message_bits, &mut self.obs.delay_ticks);
+        self.obs.timeline.finish();
+        self.obs.arena_high_water = self.arena.high_water() as u64;
         if self.rel.is_some() {
             // Relabeled runs skip `stamp_new_spans` (run-order stamping
             // would capture the wrong first actor); install the tracked
@@ -1300,6 +1344,11 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
             .wheel
             .next_occupied_after(self.prev_tick)
             .unwrap_or(u64::MAX);
+        if wheel_next != u64::MAX {
+            // Runtime diag: deepest wheel forward scan, once per window.
+            self.obs.note_wheel_scan(wheel_next - self.prev_tick);
+        }
+        self.obs.events += self.new_events;
         *slots[self.me].lock().unwrap() = AsyncPublished {
             next_event: self.staged_min.min(wheel_next).min(next_wake),
             new_events: self.new_events,
@@ -1380,6 +1429,7 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
         self.phase = 1;
         let bucket = self.wheel.take_bucket(now);
         self.new_events += bucket.len() as u64;
+        self.obs.tl_delivered(now, bucket.len() as u64);
         let mut touched = std::mem::take(&mut *self.touched);
         for &e in bucket.iter() {
             let pend = &mut self.pending[e.to as usize - self.lo];
@@ -1422,6 +1472,7 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
         let li = v.index() - self.lo;
         self.awake[li] = true;
         self.sm.awake_count += 1;
+        self.obs.tl_wakes(tick, 1);
         self.wake_tick[li] = Some(tick);
         self.sm.first_wake_tick = Some(self.sm.first_wake_tick.map_or(tick, |t| t.min(tick)));
         let ov = self
@@ -1525,6 +1576,9 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
             return;
         }
         let obs_full = self.obs.level == crate::obs::ObsLevel::Full;
+        // Register-resident send sums, one recorder update per outbox — the
+        // same hot-path discipline as the serial `dispatch_outbox`.
+        let (mut tl_sends, mut tl_bits) = (0u64, 0u64);
         let of = self
             .rel
             .map_or(from, |rel| NodeId::new(rel.to_orig(from.index())));
@@ -1558,7 +1612,10 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
                     bits as u64,
                     deliver - tick,
                 );
+                tl_sends += 1;
+                tl_bits += bits as u64;
             }
+            self.obs.sends += 1;
             let dst = self.plan.shard_of(to);
             let payload = if dst == self.me {
                 crate::shard::CrossPayload::Local(r)
@@ -1577,6 +1634,11 @@ impl<P: AsyncProtocol> AsyncShard<'_, P> {
                 rport: hot.rport,
                 payload,
             });
+        }
+        if obs_full {
+            // Timeline sends are attributed at the origin dispatch tick,
+            // never at the receiving shard's ingest.
+            self.obs.timeline.note_sends(tick, tl_sends, tl_bits);
         }
     }
 }

@@ -95,7 +95,10 @@ pub use lockstep::Lockstep;
 pub use message::{ChannelModel, Payload};
 pub use metrics::{Metrics, RunReport, TICKS_PER_UNIT};
 pub use network::Network;
-pub use obs::{CriticalPath, Hist64, Obs, ObsLevel, ObsSnapshot};
+pub use obs::{
+    current_window, global_events, CriticalPath, Hist64, Obs, ObsLevel, ObsSnapshot,
+    RuntimeCounters, TimelineSnapshot, WindowCfg, WindowRow,
+};
 pub use protocol::{
     AsyncProtocol, Context, Inbox, Incoming, NodeInit, ScopedBuf, SyncProtocol, WakeCause,
 };

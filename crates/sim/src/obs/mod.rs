@@ -45,8 +45,12 @@ use wakeup_graph::NodeId;
 use crate::metrics::{Metrics, TICKS_PER_UNIT};
 
 mod snapshot;
+mod timeline;
 
-pub use snapshot::{HistSnapshot, ObsSnapshot, PhaseSnapshot};
+pub use snapshot::{
+    HistSnapshot, InternalsSnapshot, ObsSnapshot, PhaseSnapshot, TimelineSnapshot, WindowRow,
+};
+pub use timeline::{Timeline, WindowCfg, WindowDelta, MAX_LINEAR_WINDOWS};
 
 /// How much the engines record into [`Obs`] during a run.
 ///
@@ -446,6 +450,40 @@ pub struct CriticalPath {
     pub root: Option<NodeId>,
 }
 
+/// Machine- and configuration-dependent engine internals recorded alongside
+/// a run: shard progress/imbalance, timer-wheel scan depth, payload-arena
+/// high-water, prefetch batching, and relabel usage.
+///
+/// These are *diagnostics*, deliberately excluded from the deterministic
+/// schema-4 [`ObsSnapshot::to_json`]/[`ObsSnapshot::to_prometheus`]
+/// renderings (which CI byte-diffs across `WAKEUP_THREADS` and
+/// `WAKEUP_SHARDS`): a 4-shard run legitimately has four arenas and four
+/// wheels, so these values depend on the executor layout. They are exported
+/// only by [`ObsSnapshot::to_json_diag`], and `wakeup obs diff` treats them
+/// as tolerance-class fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeCounters {
+    /// Executor shards the run actually used (1 = serial path).
+    pub shards: u32,
+    /// Events processed per shard, ascending shard index (empty on the
+    /// serial path — `Obs::events` already carries the total).
+    pub shard_events: Vec<u64>,
+    /// Messages dispatched per shard, ascending shard index (empty serial).
+    pub shard_sends: Vec<u64>,
+    /// Largest timer-wheel forward scan (ticks skipped in one
+    /// `next_occupied_after` advance), max across shards.
+    pub wheel_max_scan: u64,
+    /// Payload-arena high-water mark in slots, summed across shards.
+    pub arena_high_water: u64,
+    /// Delivery batches handed to prefetched handler runs.
+    pub prefetch_batches: u64,
+    /// Coordinator barrier rounds in which no shard processed any event
+    /// (pure horizon-advance stalls; 0 on the serial path).
+    pub stall_rounds: u64,
+    /// Whether a bake-time locality relabeling was active for this run.
+    pub relabel_applied: bool,
+}
+
 /// Per-run observability data carried by every [`crate::RunReport`].
 #[derive(Debug, Clone)]
 pub struct Obs {
@@ -462,6 +500,10 @@ pub struct Obs {
     /// Events the engine processed this run (wakes + deliveries for the
     /// async engine; deliveries + wakes for the sync engine).
     pub events: u64,
+    /// Deterministic windowed time series (empty at [`ObsLevel::Counters`]).
+    pub timeline: Timeline,
+    /// Machine/config-dependent internals (diag export only).
+    pub runtime: RuntimeCounters,
     /// For each node woken by a message: the sender of the delivery that did
     /// it ([`NO_PRED`] for adversary-woken or never-woken nodes). The waking
     /// delivery's tick is the node's own [`Metrics::wake_tick`].
@@ -469,8 +511,13 @@ pub struct Obs {
 }
 
 impl Obs {
-    /// Fresh per-run accumulator over `n` nodes.
+    /// Fresh per-run accumulator over `n` nodes with default (log2) windows.
     pub fn new(n: usize, level: ObsLevel) -> Obs {
+        Obs::with_windows(n, level, WindowCfg::default())
+    }
+
+    /// Fresh per-run accumulator with an explicit timeline window spacing.
+    pub fn with_windows(n: usize, level: ObsLevel, windows: WindowCfg) -> Obs {
         Obs {
             level,
             delay_ticks: Hist64::default(),
@@ -478,6 +525,8 @@ impl Obs {
             message_bits: Hist64::default(),
             phases: PhaseSpans::default(),
             events: 0,
+            timeline: Timeline::new(windows),
+            runtime: RuntimeCounters::default(),
             wake_pred: vec![NO_PRED; n],
         }
     }
@@ -487,20 +536,40 @@ impl Obs {
         self.level
     }
 
-    /// Per-message send accounting (payload bits, scheduled delay in ticks).
-    #[inline(always)]
-    pub(crate) fn on_send(&mut self, bits: u64, delay_ticks: u64) {
-        if self.level == ObsLevel::Full {
-            self.message_bits.record(bits);
-            self.delay_ticks.record(delay_ticks);
-        }
-    }
-
     /// One delivery batch of `len` messages handed to a node.
     #[inline(always)]
     pub(crate) fn on_batch(&mut self, len: usize) {
         if self.level == ObsLevel::Full {
             self.batch_sizes.record(len as u64);
+        }
+    }
+
+    /// Per-message send accounting (payload bits, scheduled delay in ticks)
+    /// plus timeline attribution at the origin's dispatch `tick` — one
+    /// combined level check for call sites that don't keep an `obs_full`
+    /// local.
+    #[inline(always)]
+    pub(crate) fn on_send_at(&mut self, tick: u64, bits: u64, delay_ticks: u64) {
+        if self.level == ObsLevel::Full {
+            self.message_bits.record(bits);
+            self.delay_ticks.record(delay_ticks);
+            self.timeline.note_send(tick, bits);
+        }
+    }
+
+    /// Timeline: `count` messages delivered at `tick` (level-gated).
+    #[inline(always)]
+    pub(crate) fn tl_delivered(&mut self, tick: u64, count: u64) {
+        if self.level == ObsLevel::Full {
+            self.timeline.note_delivered(tick, count);
+        }
+    }
+
+    /// Timeline: `count` nodes woke at `tick` (level-gated).
+    #[inline(always)]
+    pub(crate) fn tl_wakes(&mut self, tick: u64, count: u64) {
+        if self.level == ObsLevel::Full {
+            self.timeline.note_wakes(tick, count);
         }
     }
 
@@ -639,19 +708,35 @@ pub(crate) struct ShardObs {
     pub(crate) batch_sizes: Hist64,
     pub(crate) message_bits: Hist64,
     pub(crate) phases: PhaseSpans,
+    /// Shard-local windowed timeline; merged additively at the run tail.
+    pub(crate) timeline: Timeline,
+    /// Events this shard processed (runtime diag; merged into
+    /// [`RuntimeCounters::shard_events`]).
+    pub(crate) events: u64,
+    /// Messages this shard dispatched (runtime diag).
+    pub(crate) sends: u64,
+    /// Largest timer-wheel forward scan this shard performed (runtime diag).
+    pub(crate) wheel_max_scan: u64,
+    /// Shard payload-arena high-water mark in slots (runtime diag).
+    pub(crate) arena_high_water: u64,
     span_keys: Vec<SpanKey>,
     wake_pred: Vec<u32>,
 }
 
 impl ShardObs {
     /// Fresh accumulator for a shard owning `local_n` nodes.
-    pub(crate) fn new(local_n: usize, level: ObsLevel) -> ShardObs {
+    pub(crate) fn new(local_n: usize, level: ObsLevel, windows: WindowCfg) -> ShardObs {
         ShardObs {
             level,
             delay_ticks: Hist64::default(),
             batch_sizes: Hist64::default(),
             message_bits: Hist64::default(),
             phases: PhaseSpans::default(),
+            timeline: Timeline::new(windows),
+            events: 0,
+            sends: 0,
+            wheel_max_scan: 0,
+            arena_high_water: 0,
             span_keys: Vec::new(),
             wake_pred: vec![NO_PRED; local_n],
         }
@@ -679,13 +764,40 @@ impl ShardObs {
         }
     }
 
-    /// Per-message send accounting (payload bits, scheduled delay in ticks).
+    /// Per-message send accounting (payload bits, scheduled delay in ticks)
+    /// with timeline attribution at the origin's dispatch `tick`. Counted
+    /// only at the dispatching shard — cross-shard ingest must not call this.
     #[inline]
-    pub(crate) fn on_send(&mut self, bits: u64, delay_ticks: u64) {
+    pub(crate) fn on_send_at(&mut self, tick: u64, bits: u64, delay_ticks: u64) {
+        self.sends += 1;
         if self.level == ObsLevel::Full {
             self.message_bits.record(bits);
             self.delay_ticks.record(delay_ticks);
+            self.timeline.note_send(tick, bits);
         }
+    }
+
+    /// Timeline: `count` messages delivered at `tick` (level-gated).
+    #[inline(always)]
+    pub(crate) fn tl_delivered(&mut self, tick: u64, count: u64) {
+        if self.level == ObsLevel::Full {
+            self.timeline.note_delivered(tick, count);
+        }
+    }
+
+    /// Timeline: `count` nodes woke at `tick` (level-gated).
+    #[inline(always)]
+    pub(crate) fn tl_wakes(&mut self, tick: u64, count: u64) {
+        if self.level == ObsLevel::Full {
+            self.timeline.note_wakes(tick, count);
+        }
+    }
+
+    /// Notes one timer-wheel forward scan of `scan` ticks (runtime diag;
+    /// branchless max).
+    #[inline(always)]
+    pub(crate) fn note_wheel_scan(&mut self, scan: u64) {
+        self.wheel_max_scan = self.wheel_max_scan.max(scan);
     }
 
     /// Stamps a [`SpanKey`] onto every span the last handler invocation
@@ -716,13 +828,20 @@ impl ShardObs {
 /// and are re-ordered by their canonical minimal [`SpanKey`], recovering the
 /// serial first-entered order.
 pub(crate) fn merge_shard_obs(n: usize, level: ObsLevel, shards: &[ShardObs]) -> Obs {
-    let mut obs = Obs::new(n, level);
+    let windows = shards.first().map(|s| s.timeline.cfg()).unwrap_or_default();
+    let mut obs = Obs::with_windows(n, level, windows);
+    obs.runtime.shards = shards.len() as u32;
     let mut merged: Vec<(SpanKey, PhaseSpan)> = Vec::new();
     let mut off = 0usize;
     for sh in shards {
         obs.delay_ticks.merge(&sh.delay_ticks);
         obs.batch_sizes.merge(&sh.batch_sizes);
         obs.message_bits.merge(&sh.message_bits);
+        obs.timeline.merge(&sh.timeline);
+        obs.runtime.shard_events.push(sh.events);
+        obs.runtime.shard_sends.push(sh.sends);
+        obs.runtime.wheel_max_scan = obs.runtime.wheel_max_scan.max(sh.wheel_max_scan);
+        obs.runtime.arena_high_water += sh.arena_high_water;
         obs.wake_pred[off..off + sh.wake_pred.len()].copy_from_slice(&sh.wake_pred);
         off += sh.wake_pred.len();
         for (i, s) in sh.phases.spans().iter().enumerate() {
@@ -767,6 +886,22 @@ pub(crate) fn add_global_events(n: u64) {
 /// Total engine events processed by this process so far, across all threads.
 pub fn global_events() -> u64 {
     GLOBAL_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Most recent timeline window id any recorder in this process rolled into.
+/// Fed by [`Timeline`] on window changes — at most ~64 stores per log2 run,
+/// nothing per event — and read by the sweep harness's progress lines.
+static GLOBAL_WINDOW: AtomicU64 = AtomicU64::new(0);
+
+/// Records a window roll (relaxed store; see [`GLOBAL_WINDOW`]).
+pub(crate) fn note_global_window(w: u32) {
+    GLOBAL_WINDOW.store(u64::from(w), Ordering::Relaxed);
+}
+
+/// The most recent timeline window id rolled into by any run in this
+/// process (0 before any window change).
+pub fn current_window() -> u64 {
+    GLOBAL_WINDOW.load(Ordering::Relaxed)
 }
 
 #[cfg(test)]
@@ -853,7 +988,7 @@ mod tests {
     #[test]
     fn counters_level_skips_recording() {
         let mut obs = Obs::new(2, ObsLevel::Counters);
-        obs.on_send(32, 1024);
+        obs.on_send_at(0, 32, 1024);
         obs.on_batch(3);
         obs.note_wake_pred(1, 0);
         assert!(obs.delay_ticks.is_empty());

@@ -33,6 +33,9 @@ pub struct SyncConfig {
     /// Observability recording level (default [`crate::obs::ObsLevel::Full`]
     /// — always on; `Counters` is the overhead-bench baseline).
     pub obs: crate::obs::ObsLevel,
+    /// Window spacing of the obs timeline (default log-spaced; ignored at
+    /// [`crate::obs::ObsLevel::Counters`], which records no timeline).
+    pub obs_windows: crate::obs::WindowCfg,
     /// Count CONGEST violations instead of panicking.
     pub record_congest_violations: bool,
     /// Record an execution trace with the given event capacity.
@@ -62,6 +65,7 @@ impl Default for SyncConfig {
             max_rounds: 1_000_000,
             track_ports: false,
             obs: crate::obs::ObsLevel::Full,
+            obs_windows: crate::obs::WindowCfg::default(),
             record_congest_violations: false,
             trace_capacity: None,
             #[cfg(feature = "audit")]
@@ -303,7 +307,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             rel.permute_to_run(&mut self.protocols);
         }
         let mut metrics = Metrics::new(n);
-        let mut obs = crate::obs::Obs::new(n, self.config.obs);
+        let mut obs = crate::obs::Obs::with_windows(n, self.config.obs, self.config.obs_windows);
         let mut outputs: Vec<Option<u64>> = vec![None; n];
         let mut awake = vec![false; n];
         let mut awake_count = 0usize;
@@ -374,6 +378,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             if !traffic && !wakes_pending && !wants {
                 break;
             }
+            // A round entered with no traffic (only pending wakes or
+            // timer-driven nodes) delivers nothing — the sync analog of the
+            // async executor's horizon stall.
+            if !traffic {
+                obs.runtime.stall_rounds += 1;
+            }
             // Deliver round r-1 traffic: group per receiver, stable order.
             // All deliveries of a round share one tick, so the last-receipt
             // watermark moves once per round, not once per message.
@@ -383,6 +393,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     Some(metrics.last_receipt_tick.map_or(tick, |t| t.max(tick)));
             }
             obs.events += in_flight.len() as u64;
+            obs.tl_delivered(tick, in_flight.len() as u64);
             if rel.is_some() {
                 // Stable sort by (receiver, packed key) restores each
                 // receiver's identity-space delivery order (see
@@ -456,6 +467,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
             }
             newly_awake.sort_unstable_by_key(|&(v, _)| v);
             obs.events += newly_awake.len() as u64;
+            obs.tl_wakes(tick, newly_awake.len() as u64);
             for &(v, cause) in newly_awake.iter() {
                 if cause == WakeCause::Adversary {
                     // Adversary wakes take precedence over message wakes in
@@ -595,7 +607,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 metrics.max_message_bits = metrics.max_message_bits.max(bits);
                 metrics.sent_by[from.index()] += 1;
                 // Sync deliveries always take one round: τ ticks of latency.
-                obs.on_send(bits as u64, TICKS_PER_UNIT);
+                obs.on_send_at(tick, bits as u64, TICKS_PER_UNIT);
                 if self.config.track_ports {
                     ports_touched.set(slot);
                 }
@@ -624,6 +636,11 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                     .collect(),
             );
         }
+        obs.timeline.finish();
+        obs.runtime.shards = 1;
+        obs.runtime.arena_high_water = arena.high_water() as u64;
+        obs.runtime.prefetch_batches = obs.batch_sizes.count();
+        obs.runtime.relabel_applied = rel.is_some();
         crate::obs::add_global_events(obs.events);
         let mut report = RunReport {
             all_awake: awake_count == n,
@@ -763,7 +780,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 wake_queued,
                 inboxes,
                 sm: ShardMetrics::default(),
-                obs: crate::obs::ShardObs::new(hi - lo, config.obs),
+                obs: crate::obs::ShardObs::new(hi - lo, config.obs, config.obs_windows),
                 arena,
                 inflight,
                 touched,
@@ -791,6 +808,7 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         let decision = AtomicU64::new(0);
         let mut round = 0u64;
         let mut truncated = false;
+        let mut stall_rounds = 0u64;
         std::thread::scope(|scope| {
             let cells = &cells;
             let slots = &slots;
@@ -826,6 +844,12 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
                 if decide == u64::MAX {
                     break;
                 }
+                // A round entered with no traffic (only pending wakes or
+                // timer-driven nodes) delivers nothing — the sync analog of
+                // the async executor's horizon stall.
+                if !traffic {
+                    stall_rounds += 1;
+                }
                 round += 1;
             }
         });
@@ -848,6 +872,9 @@ impl<'n, P: SyncProtocol> SyncEngine<'n, P> {
         let obs_shards: Vec<crate::obs::ShardObs> = per_shard.into_iter().map(|(o, _)| o).collect();
         let mut obs = crate::obs::merge_shard_obs(n, config.obs, &obs_shards);
         obs.events = events;
+        obs.runtime.stall_rounds = stall_rounds;
+        obs.runtime.prefetch_batches = obs.batch_sizes.count();
+        obs.runtime.relabel_applied = rel.is_some();
         crate::obs::add_global_events(events);
         let mut report = RunReport {
             all_awake,
@@ -934,6 +961,9 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             self.publish_cells(cells);
             self.publish_slot(slots);
         }
+        self.obs.timeline.finish();
+        self.obs.events = self.events;
+        self.obs.arena_high_water = self.arena.high_water() as u64;
         if self.rel.is_some() {
             // Relabeled runs skip `stamp_new_spans`; install the tracked
             // canonical (tick, phase, orig actor) minima instead so the
@@ -998,6 +1028,7 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
                 Some(self.sm.last_receipt_tick.map_or(tick, |t| t.max(tick)));
         }
         self.events += inflight.len() as u64;
+        self.obs.tl_delivered(tick, inflight.len() as u64);
         if self.rel.is_some() {
             // Stable sort by (receiver, packed key) restores each receiver's
             // identity-space delivery order (see `InFlight::from`).
@@ -1055,6 +1086,7 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
         let mut newly = std::mem::take(&mut *self.newly_awake);
         newly.sort_unstable_by_key(|&(v, _)| v);
         self.events += newly.len() as u64;
+        self.obs.tl_wakes(tick, newly.len() as u64);
         for &(v, cause) in newly.iter() {
             let li = v.index() - self.lo;
             if cause == WakeCause::Adversary {
@@ -1089,7 +1121,7 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             if self.rel.is_none() {
                 self.obs.stamp_new_spans(tick, 0, v.index() as u32);
             }
-            self.route_outbox(&mut entries, v, 0);
+            self.route_outbox(&mut entries, v, 0, tick);
             *self.entries_buf = entries;
         }
         for &(v, _) in newly.iter() {
@@ -1136,14 +1168,21 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             if self.rel.is_none() {
                 self.obs.stamp_new_spans(tick, 1, v.index() as u32);
             }
-            self.route_outbox(&mut entries, v, 1);
+            self.route_outbox(&mut entries, v, 1, tick);
             *self.entries_buf = entries;
         }
     }
 
     /// The serial send-queue pass for one handler's outbox, staging into
-    /// per-`(shard, phase)` buffers for next-round delivery.
-    fn route_outbox(&mut self, entries: &mut Vec<(Port, PayloadRef)>, from: NodeId, phase: usize) {
+    /// per-`(shard, phase)` buffers for next-round delivery. `tick` is the
+    /// round's dispatch tick — sends attribute to the origin round.
+    fn route_outbox(
+        &mut self,
+        entries: &mut Vec<(Port, PayloadRef)>,
+        from: NodeId,
+        phase: usize,
+        tick: u64,
+    ) {
         let of = self
             .rel
             .map_or(from, |rel| NodeId::new(rel.to_orig(from.index())));
@@ -1157,7 +1196,7 @@ impl<P: SyncProtocol> SyncShard<'_, P> {
             self.sm.max_message_bits = self.sm.max_message_bits.max(bits);
             self.sent_by[from.index() - self.lo] += 1;
             // Sync deliveries always take one round: τ ticks of latency.
-            self.obs.on_send(bits as u64, TICKS_PER_UNIT);
+            self.obs.on_send_at(tick, bits as u64, TICKS_PER_UNIT);
             let dst = self.plan.shard_of(to);
             let payload = if dst == self.me {
                 crate::shard::CrossPayload::Local(r)
